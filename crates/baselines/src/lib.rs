@@ -1,0 +1,67 @@
+//! Hand-written baseline kernels, re-implemented on the kernel IR.
+//!
+//! Every library the paper compares against is reproduced here as a
+//! kernel-IR program embodying its published algorithmic strategy, so all
+//! comparisons run on the same simulator and cost model as the Insum
+//! compiler output:
+//!
+//! | Paper baseline | Module | Strategy reproduced |
+//! |---|---|---|
+//! | dense matmul (cuBLAS) | [`dense`] | tiled `tl.dot` GEMM |
+//! | TorchBSR | [`spmm::torch_bsr_spmm`] | BCSR with per-block-row pointers (pays `O(N)` row overhead) |
+//! | Sputnik | [`spmm::sputnik_spmm`] | CSR with rows sorted by length (load-balancing swizzle) |
+//! | cuSPARSE | [`spmm::cusparse_spmm`] | CSR row-split, launch order as stored |
+//! | TorchSparse Algo1 | [`conv::implicit_gemm_conv`] | ImplicitGEMM over a dense 27×V neighbour table |
+//! | TorchSparse Algo2 | [`conv::fetch_on_demand_conv`] | per-offset gather → GEMM → scatter (3 launches × 27) |
+//! | TACO | [`conv::taco_conv`] | unscheduled scalar kernel, no Tensor Cores |
+//! | SparseTIR | [`conv::sparsetir_conv`] | manually scheduled fused kernel (fixed tiles, eager broadcasting) |
+//! | e3nn | [`tp::e3nn_tp`] | per-path dense CG contraction + batched GEMM (2 launches/path) |
+//! | cuequivariance | [`tp::cuequivariance_tp`] | specialized fused kernel per path (CG baked in, no Tensor Cores) |
+//!
+//! Each baseline returns its output tensor plus the [`insum_gpu::Profile`]
+//! of every kernel it launched.
+
+pub mod conv;
+pub mod dense;
+pub mod spmm;
+pub mod tp;
+
+use insum_gpu::GpuError;
+use std::error::Error;
+use std::fmt;
+
+/// Error from running a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Simulator error.
+    Gpu(GpuError),
+    /// Invalid workload configuration.
+    Invalid(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Gpu(e) => write!(f, "gpu error: {e}"),
+            BaselineError::Invalid(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for BaselineError {
+    fn from(e: GpuError) -> Self {
+        BaselineError::Gpu(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,375 @@
+//! Equivariant tensor-product baselines (paper §6.5, Table 2): e3nn and
+//! cuequivariance.
+
+use crate::Result;
+use insum_gpu::{launch, DeviceModel, Mode, Profile};
+use insum_kernel::{BinOp, KernelBuilder};
+use insum_tensor::Tensor;
+use insum_workloads::equivariant::{clebsch_gordan, irrep_offset, CgTensor};
+
+/// e3nn-style tensor product: for every coupling path, (1) contract the
+/// *dense* per-path CG block with the inputs (including its zeros —
+/// e3nn's format-agnostic einsum), then (2) a batched GEMM against the
+/// path weights. Two kernel launches per path; intermediates
+/// materialized. Efficient at large channel counts, launch-bound at
+/// small ones — the trend of Table 2.
+///
+/// `x` is `[B, dim, U]`, `y` is `[B, dim]`, `w` is `[B, paths, U, W]`;
+/// returns `Z [B, dim, W]`.
+///
+/// # Errors
+///
+/// Simulator errors are propagated.
+pub fn e3nn_tp(
+    cg: &CgTensor,
+    x: &Tensor,
+    y: &Tensor,
+    w: &Tensor,
+    device: &DeviceModel,
+    mode: Mode,
+) -> Result<(Tensor, Profile)> {
+    let b_sz = x.shape()[0];
+    let dim = x.shape()[1];
+    let u = x.shape()[2];
+    let wc = w.shape()[3];
+    let n_paths = cg.paths.len();
+    let mut z = Tensor::zeros_with(vec![b_sz, dim, wc], x.dtype());
+    let mut profile = Profile::new();
+
+    for (pidx, path) in cg.paths.iter().enumerate() {
+        let (d1, d2, d3) = (2 * path.l1 + 1, 2 * path.l2 + 1, 2 * path.l3 + 1);
+        let (o1, o2, o3) = (irrep_offset(path.l1), irrep_offset(path.l2), irrep_offset(path.l3));
+        // Dense CG block [d3, d1, d2] including zeros.
+        let cgd = Tensor::from_fn(vec![d3, d1, d2], |i| {
+            clebsch_gordan(
+                path.l1 as i64,
+                i[1] as i64 - path.l1 as i64,
+                path.l2 as i64,
+                i[2] as i64 - path.l2 as i64,
+                path.l3 as i64,
+                i[0] as i64 - path.l3 as i64,
+            ) as f32
+        });
+
+        // (1) T[b, m3, u] = sum_{m1,m2} CGd[m3,m1,m2] X[b,o1+m1,u] Y[b,o2+m2].
+        let mut t = Tensor::zeros_with(vec![b_sz, d3, u], x.dtype());
+        {
+            let mut kb = KernelBuilder::new("e3nn_cg_contract");
+            let cg_p = kb.input("CGD");
+            let x_p = kb.input("X");
+            let y_p = kb.input("Y");
+            let t_p = kb.output("T");
+            let b_id = kb.program_id(1);
+            let m3 = kb.program_id(0);
+            let ul = kb.arange(u);
+            let acc = kb.full(vec![u], 0.0);
+            let m1 = kb.begin_loop(0, d1 as i64, 1);
+            {
+                let m2 = kb.begin_loop(0, d2 as i64, 1);
+                {
+                    let d12 = kb.constant((d1 * d2) as f64);
+                    let d2c = kb.constant(d2 as f64);
+                    let cg_row = kb.binary(BinOp::Mul, m3, d12);
+                    let cg_m1 = kb.binary(BinOp::Mul, m1, d2c);
+                    let cg_rm = kb.binary(BinOp::Add, cg_row, cg_m1);
+                    let cg_off = kb.binary(BinOp::Add, cg_rm, m2);
+                    let cgv = kb.load(cg_p, cg_off, None, 0.0);
+                    let dimu = kb.constant((dim * u) as f64);
+                    let u_c = kb.constant(u as f64);
+                    let o1m = kb.constant(o1 as f64);
+                    let j = kb.binary(BinOp::Add, o1m, m1);
+                    let x_b = kb.binary(BinOp::Mul, b_id, dimu);
+                    let x_j = kb.binary(BinOp::Mul, j, u_c);
+                    let x_bj = kb.binary(BinOp::Add, x_b, x_j);
+                    let x_off = kb.binary(BinOp::Add, x_bj, ul);
+                    let xv = kb.load(x_p, x_off, None, 0.0);
+                    let dim_c = kb.constant(dim as f64);
+                    let o2m = kb.constant(o2 as f64);
+                    let k = kb.binary(BinOp::Add, o2m, m2);
+                    let y_b = kb.binary(BinOp::Mul, b_id, dim_c);
+                    let y_off = kb.binary(BinOp::Add, y_b, k);
+                    let yv = kb.load(y_p, y_off, None, 0.0);
+                    let cgx = kb.binary(BinOp::Mul, cgv, xv);
+                    let cgxy = kb.binary(BinOp::Mul, cgx, yv);
+                    kb.binary_into(acc, BinOp::Add, acc, cgxy);
+                }
+                kb.end_loop();
+            }
+            kb.end_loop();
+            let d3u = kb.constant((d3 * u) as f64);
+            let u_c2 = kb.constant(u as f64);
+            let t_b = kb.binary(BinOp::Mul, b_id, d3u);
+            let t_m = kb.binary(BinOp::Mul, m3, u_c2);
+            let t_bm = kb.binary(BinOp::Add, t_b, t_m);
+            let t_off = kb.binary(BinOp::Add, t_bm, ul);
+            kb.store(t_p, t_off, acc, None);
+            let kernel = kb.build();
+            let mut cg_t = cgd.clone();
+            let mut x_t = x.clone();
+            let mut y_t = y.clone();
+            let report = launch(
+                &kernel,
+                &[d3, b_sz],
+                &mut [&mut cg_t, &mut x_t, &mut y_t, &mut t],
+                device,
+                mode,
+            )?;
+            profile.push(report);
+        }
+
+        // (2) Z[b, o3+m3, w] += T[b, m3, :] @ W[b, pidx, :, :]  (batched
+        // GEMM via cuBLAS in real e3nn).
+        {
+            let yb = d3.next_power_of_two().max(4);
+            let rb = u.min(16);
+            let mut kb = KernelBuilder::new("e3nn_path_gemm");
+            let t_p = kb.input("T");
+            let w_p = kb.input("W");
+            let z_p = kb.output("Z");
+            let b_id = kb.program_id(1);
+            let pid0 = kb.program_id(0); // w tile
+            let xb = wc.min(32);
+            let xb_c = kb.constant(xb as f64);
+            let xbase = kb.binary(BinOp::Mul, pid0, xb_c);
+            let xl = kb.arange(xb);
+            let xr = kb.binary(BinOp::Add, xbase, xl);
+            let x2 = kb.expand_dims(xr, 0);
+            let yl = kb.arange(yb);
+            let d3_c = kb.constant(d3 as f64);
+            let ymask = kb.binary(BinOp::Lt, yl, d3_c);
+            let ym2 = kb.expand_dims(ymask, 1);
+            let yc = kb.expand_dims(yl, 1);
+            let acc = kb.full(vec![yb, xb], 0.0);
+            let i = kb.begin_loop(0, (u as i64) / rb as i64, 1);
+            {
+                let rb_c = kb.constant(rb as f64);
+                let rbase = kb.binary(BinOp::Mul, i, rb_c);
+                let rl = kb.arange(rb);
+                let r = kb.binary(BinOp::Add, rbase, rl);
+                let r_row = kb.expand_dims(r, 0);
+                let r_col = kb.expand_dims(r, 1);
+                let d3u = kb.constant((d3 * u) as f64);
+                let u_c = kb.constant(u as f64);
+                let t_b = kb.binary(BinOp::Mul, b_id, d3u);
+                let t_m = kb.binary(BinOp::Mul, yc, u_c);
+                let t_bm = kb.binary(BinOp::Add, t_b, t_m);
+                let t_off = kb.binary(BinOp::Add, t_bm, r_row);
+                let t_blk = kb.load(t_p, t_off, Some(ym2), 0.0);
+                let wc_c = kb.constant(wc as f64);
+                let puw = kb.constant((n_paths * u * wc) as f64);
+                let uw = kb.constant((u * wc) as f64);
+                let w_b = kb.binary(BinOp::Mul, b_id, puw);
+                let p_c = kb.constant(pidx as f64);
+                let w_p_off = kb.binary(BinOp::Mul, p_c, uw);
+                let w_bp = kb.binary(BinOp::Add, w_b, w_p_off);
+                let w_r = kb.binary(BinOp::Mul, r_col, wc_c);
+                let w_rx = kb.binary(BinOp::Add, w_r, x2);
+                let w_off = kb.binary(BinOp::Add, w_bp, w_rx);
+                let w_blk = kb.load(w_p, w_off, None, 0.0);
+                kb.dot_acc(acc, t_blk, w_blk);
+            }
+            kb.end_loop();
+            let dimw = kb.constant((dim * wc) as f64);
+            let wc_c2 = kb.constant(wc as f64);
+            let o3_c = kb.constant(o3 as f64);
+            let z_b = kb.binary(BinOp::Mul, b_id, dimw);
+            let i3 = kb.binary(BinOp::Add, o3_c, yc);
+            let z_i = kb.binary(BinOp::Mul, i3, wc_c2);
+            let z_bi = kb.binary(BinOp::Add, z_b, z_i);
+            let z_off = kb.binary(BinOp::Add, z_bi, x2);
+            kb.atomic_add(z_p, z_off, acc, Some(ym2));
+            let kernel = kb.build();
+            let mut w_t = w.clone();
+            let report = launch(
+                &kernel,
+                &[wc.div_ceil(xb), b_sz],
+                &mut [&mut t, &mut w_t, &mut z],
+                device,
+                mode,
+            )?;
+            profile.push(report);
+        }
+    }
+    Ok((z, profile))
+}
+
+/// cuequivariance-style tensor product: one *specialized* fused kernel
+/// per path with the CG coefficients baked in as constants (the
+/// library's per-path code generation). Far fewer launches than e3nn and
+/// no intermediates, but the contraction runs on the scalar pipe — so it
+/// shines at small sizes and loses ground at large `ℓmax`/channels,
+/// matching the Table 2 trend.
+///
+/// # Errors
+///
+/// Simulator errors are propagated.
+pub fn cuequivariance_tp(
+    cg: &CgTensor,
+    x: &Tensor,
+    y: &Tensor,
+    w: &Tensor,
+    device: &DeviceModel,
+    mode: Mode,
+) -> Result<(Tensor, Profile)> {
+    let b_sz = x.shape()[0];
+    let dim = x.shape()[1];
+    let u = x.shape()[2];
+    let wc = w.shape()[3];
+    let n_paths = cg.paths.len();
+    let mut z = Tensor::zeros_with(vec![b_sz, dim, wc], x.dtype());
+    let mut profile = Profile::new();
+
+    for (pidx, path) in cg.paths.iter().enumerate() {
+        let (d3, l1, l2, l3) = (2 * path.l3 + 1, path.l1 as i64, path.l2 as i64, path.l3 as i64);
+        let (o1, o2, o3) = (irrep_offset(path.l1), irrep_offset(path.l2), irrep_offset(path.l3));
+        let mut kb = KernelBuilder::new("cueq_path_kernel");
+        let x_p = kb.input("X");
+        let y_p = kb.input("Y");
+        let w_p = kb.input("W");
+        let z_p = kb.output("Z");
+        let b_id = kb.program_id(0);
+        let ul = kb.arange(u);
+        let u_col = kb.expand_dims(ul, 1); // (U,1)
+        let wl = kb.arange(wc);
+        let w_row = kb.expand_dims(wl, 0); // (1,W)
+
+        for m3 in -l3..=l3 {
+            // t_u = sum over nonzero CG of cg * X[b, o1+m1, :] * Y[b, o2+m2].
+            let t = kb.full(vec![u], 0.0);
+            let mut any = false;
+            for m1 in -l1..=l1 {
+                let m2 = m3 - m1;
+                if m2.abs() > l2 {
+                    continue;
+                }
+                let c = clebsch_gordan(l1, m1, l2, m2, l3, m3);
+                if c.abs() < 1e-12 {
+                    continue;
+                }
+                any = true;
+                let dimu = kb.constant((dim * u) as f64);
+                let u_c = kb.constant(u as f64);
+                let j_c = kb.constant((o1 as i64 + m1 + l1) as f64);
+                let x_b = kb.binary(BinOp::Mul, b_id, dimu);
+                let x_j = kb.binary(BinOp::Mul, j_c, u_c);
+                let x_bj = kb.binary(BinOp::Add, x_b, x_j);
+                let x_off = kb.binary(BinOp::Add, x_bj, ul);
+                let xv = kb.load(x_p, x_off, None, 0.0);
+                let dim_c = kb.constant(dim as f64);
+                let k_c = kb.constant((o2 as i64 + m2 + l2) as f64);
+                let y_b = kb.binary(BinOp::Mul, b_id, dim_c);
+                let y_off = kb.binary(BinOp::Add, y_b, k_c);
+                let yv = kb.load(y_p, y_off, None, 0.0);
+                let cg_c = kb.constant(c);
+                let cx = kb.binary(BinOp::Mul, cg_c, xv);
+                let cxy = kb.binary(BinOp::Mul, cx, yv);
+                kb.binary_into(t, BinOp::Add, t, cxy);
+            }
+            if !any {
+                continue;
+            }
+            // acc_w = sum_u t[u] * W[b, pidx, u, w]  (scalar pipe).
+            let puw = kb.constant((n_paths * u * wc) as f64);
+            let uw = kb.constant((u * wc) as f64);
+            let wc_c = kb.constant(wc as f64);
+            let w_b = kb.binary(BinOp::Mul, b_id, puw);
+            let p_c = kb.constant(pidx as f64);
+            let w_po = kb.binary(BinOp::Mul, p_c, uw);
+            let w_bp = kb.binary(BinOp::Add, w_b, w_po);
+            let w_u = kb.binary(BinOp::Mul, u_col, wc_c);
+            let w_ux = kb.binary(BinOp::Add, w_u, w_row);
+            let w_off = kb.binary(BinOp::Add, w_bp, w_ux); // (U,W)
+            let w_blk = kb.load(w_p, w_off, None, 0.0);
+            let t_col = kb.expand_dims(t, 1); // (U,1)
+            let prod = kb.binary(BinOp::Mul, t_col, w_blk); // (U,W)
+            let accw = kb.sum(prod, 0); // (W,)
+            let dimw = kb.constant((dim * wc) as f64);
+            let i3_c = kb.constant(((o3 as i64 + m3 + l3) * wc as i64) as f64);
+            let z_b = kb.binary(BinOp::Mul, b_id, dimw);
+            let z_bi = kb.binary(BinOp::Add, z_b, i3_c);
+            let z_off = kb.binary(BinOp::Add, z_bi, wl);
+            kb.atomic_add(z_p, z_off, accw, None);
+        }
+        let _ = d3;
+        let kernel = kb.build();
+        let mut x_t = x.clone();
+        let mut y_t = y.clone();
+        let mut w_t = w.clone();
+        let report =
+            launch(&kernel, &[b_sz], &mut [&mut x_t, &mut y_t, &mut w_t, &mut z], device, mode)?;
+        profile.push(report);
+    }
+    Ok((z, profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insum_tensor::rand_uniform;
+    use insum_workloads::equivariant::cg_tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Direct reference: Z[b,i,w] = sum CG entries.
+    fn reference_tp(cg: &CgTensor, x: &Tensor, y: &Tensor, w: &Tensor) -> Tensor {
+        let b_sz = x.shape()[0];
+        let u = x.shape()[2];
+        let wc = w.shape()[3];
+        let mut z = Tensor::zeros(vec![b_sz, cg.dim, wc]);
+        for pidx in 0..cg.paths.len() {
+            for (i, j, k, v) in cg.path_entries(pidx) {
+                for b in 0..b_sz {
+                    for wi in 0..wc {
+                        let mut acc = z.at(&[b, i, wi]);
+                        for ui in 0..u {
+                            acc += v * x.at(&[b, j, ui]) * y.at(&[b, k]) * w.at(&[b, pidx, ui, wi]);
+                        }
+                        z.set(&[b, i, wi], acc);
+                    }
+                }
+            }
+        }
+        z
+    }
+
+    fn tp_setup(lmax: usize) -> (CgTensor, Tensor, Tensor, Tensor, Tensor) {
+        let cg = cg_tensor(lmax, 4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (b_sz, u, wc) = (2, 16, 16);
+        let x = rand_uniform(vec![b_sz, cg.dim, u], -1.0, 1.0, &mut rng);
+        let y = rand_uniform(vec![b_sz, cg.dim], -1.0, 1.0, &mut rng);
+        let w = rand_uniform(vec![b_sz, cg.paths.len(), u, wc], -0.5, 0.5, &mut rng);
+        let want = reference_tp(&cg, &x, &y, &w);
+        (cg, x, y, w, want)
+    }
+
+    #[test]
+    fn e3nn_matches_reference() {
+        let (cg, x, y, w, want) = tp_setup(1);
+        let (got, profile) =
+            e3nn_tp(&cg, &x, &y, &w, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
+        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
+        assert_eq!(profile.launches(), 2 * cg.paths.len());
+    }
+
+    #[test]
+    fn cuequivariance_matches_reference() {
+        let (cg, x, y, w, want) = tp_setup(1);
+        let (got, profile) =
+            cuequivariance_tp(&cg, &x, &y, &w, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
+        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
+        assert_eq!(profile.launches(), cg.paths.len());
+        let s = profile.total_stats();
+        assert_eq!(s.flops_tc_f16 + s.flops_tc_f32, 0, "cueq path is scalar");
+    }
+
+    #[test]
+    fn lmax2_agreement() {
+        let (cg, x, y, w, want) = tp_setup(2);
+        let device = DeviceModel::rtx3090();
+        let (z1, _) = e3nn_tp(&cg, &x, &y, &w, &device, Mode::Execute).unwrap();
+        let (z2, _) = cuequivariance_tp(&cg, &x, &y, &w, &device, Mode::Execute).unwrap();
+        assert!(z1.allclose(&want, 1e-3, 1e-3));
+        assert!(z2.allclose(&want, 1e-3, 1e-3));
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! fusion, broadcasting strategy, Tensor Cores, format family, and the
+//! group-size heuristic. Each bench measures the host cost of the
+//! analytic simulation and prints the *simulated* device time once, which
+//! is the quantity the ablations compare.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use insum::apps;
+use insum::{InsumOptions, Tensor};
+use insum_formats::heuristic::{brute_force_group_size, heuristic_group_size};
+use insum_formats::{BlockCoo, BlockGroupCoo, Coo, Ell, GroupCoo};
+use insum_tensor::DType;
+use insum_workloads::blocksparse::block_sparse_dense;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup() -> (Tensor, Tensor) {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let a = block_sparse_dense(256, 256, 32, 32, 0.8, &mut rng).cast(DType::F16);
+    let b = insum_tensor::rand_uniform(vec![256, 64], -1.0, 1.0, &mut rng).cast(DType::F16);
+    (a, b)
+}
+
+fn simulated(app: &apps::BoundApp, opts: &InsumOptions) -> f64 {
+    app.compile(opts)
+        .expect("compilation succeeds")
+        .time(&app.tensors)
+        .expect("simulation succeeds")
+        .total_time()
+}
+
+/// Ablation 1: fusion on vs off (Fig. 13 rows 4–5 mechanism).
+fn ablation_fusion(c: &mut Criterion) {
+    let (a, b) = setup();
+    let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 4).expect("blocked");
+    let app = apps::spmm_block_group(&bgc, &b);
+    let fused = simulated(&app, &InsumOptions::default());
+    let unfused = simulated(&app, &InsumOptions::unfused());
+    eprintln!("[ablation_fusion] simulated: fused={:.2}us unfused={:.2}us ({:.2}x)",
+        fused * 1e6, unfused * 1e6, unfused / fused);
+    assert!(fused < unfused, "fusion must win");
+    c.bench_function("ablation/fusion_on", |bch| {
+        bch.iter(|| simulated(black_box(&app), &InsumOptions::default()))
+    });
+    c.bench_function("ablation/fusion_off", |bch| {
+        bch.iter(|| simulated(black_box(&app), &InsumOptions::unfused()))
+    });
+}
+
+/// Ablation 2: lazy vs eager broadcasting (§5.2.3).
+fn ablation_broadcast(c: &mut Criterion) {
+    let (a, b) = setup();
+    let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 4).expect("blocked");
+    let app = apps::spmm_block_group(&bgc, &b);
+    let lazy = simulated(&app, &InsumOptions::default());
+    let eager = simulated(&app, &InsumOptions { lazy_broadcast: false, ..Default::default() });
+    eprintln!("[ablation_broadcast] simulated: lazy={:.2}us eager={:.2}us ({:.2}x)",
+        lazy * 1e6, eager * 1e6, eager / lazy);
+    assert!(lazy < eager, "lazy broadcasting must win");
+    c.bench_function("ablation/broadcast_lazy", |bch| {
+        bch.iter(|| simulated(black_box(&app), &InsumOptions::default()))
+    });
+}
+
+/// Ablation 3: Tensor Cores on vs off.
+fn ablation_tensor_cores(c: &mut Criterion) {
+    let (a, b) = setup();
+    let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 4).expect("blocked");
+    let app = apps::spmm_block_group(&bgc, &b);
+    let tc = simulated(&app, &InsumOptions::default());
+    let no_tc = simulated(&app, &InsumOptions { tensor_cores: false, ..Default::default() });
+    eprintln!("[ablation_tensor_cores] simulated: tc={:.2}us scalar={:.2}us ({:.2}x)",
+        tc * 1e6, no_tc * 1e6, no_tc / tc);
+    assert!(tc < no_tc, "tensor cores must win");
+    c.bench_function("ablation/tensor_cores_on", |bch| {
+        bch.iter(|| simulated(black_box(&app), &InsumOptions::default()))
+    });
+}
+
+/// Ablation 4: format family at fixed compiler settings (COO vs GroupCOO
+/// vs ELL-like padding behaviour).
+fn ablation_formats(c: &mut Criterion) {
+    let (a, b) = setup();
+    let coo = Coo::from_dense(&a).expect("matrix");
+    let gc = GroupCoo::from_coo(&coo, 16).expect("valid g");
+    let ell = Ell::from_coo(&coo).expect("no duplicates");
+    let opts = InsumOptions::default();
+    let t_coo = simulated(&apps::spmm_coo(&coo, &b), &opts);
+    let t_gc = simulated(&apps::spmm_group(&gc, &b), &opts);
+    // ELL is GroupCOO with g = max occupancy and per-row groups.
+    let gc_ell = GroupCoo::from_coo(&coo, ell.width.max(1)).expect("valid g");
+    let t_ell = simulated(&apps::spmm_group(&gc_ell, &b), &opts);
+    eprintln!("[ablation_formats] simulated: coo={:.2}us group16={:.2}us ell-like={:.2}us",
+        t_coo * 1e6, t_gc * 1e6, t_ell * 1e6);
+    c.bench_function("ablation/format_group_coo", |bch| {
+        bch.iter(|| simulated(black_box(&apps::spmm_group(&gc, &b)), &opts))
+    });
+}
+
+/// Ablation 5: heuristic group size vs brute-force argmin of F(g) (§4.2).
+fn ablation_group_size(c: &mut Criterion) {
+    let (a, b) = setup();
+    let bcoo = BlockCoo::from_dense(&a, 32, 32).expect("blocked");
+    let occ = bcoo.block_occupancy();
+    let g_h = heuristic_group_size(&occ);
+    let g_b = brute_force_group_size(&occ);
+    let opts = InsumOptions::default();
+    let t_h = simulated(
+        &apps::spmm_block_group(&BlockGroupCoo::from_block_coo(&bcoo, g_h).expect("valid"), &b),
+        &opts,
+    );
+    let t_b = simulated(
+        &apps::spmm_block_group(&BlockGroupCoo::from_block_coo(&bcoo, g_b).expect("valid"), &b),
+        &opts,
+    );
+    eprintln!(
+        "[ablation_group_size] heuristic g={g_h} -> {:.2}us; brute-force g={g_b} -> {:.2}us (ratio {:.3})",
+        t_h * 1e6, t_b * 1e6, t_h / t_b
+    );
+    assert!(t_h <= t_b * 1.5, "heuristic must stay near-optimal");
+    c.bench_function("ablation/group_size_heuristic", |bch| {
+        bch.iter(|| heuristic_group_size(black_box(&occ)))
+    });
+    c.bench_function("ablation/group_size_bruteforce", |bch| {
+        bch.iter(|| brute_force_group_size(black_box(&occ)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = ablation_fusion, ablation_broadcast, ablation_tensor_cores, ablation_formats, ablation_group_size
+}
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Shared helpers for the benchmark harness that regenerates every table
+//! and figure of the paper (see EXPERIMENTS.md for the index and the
+//! scaled problem sizes).
+
+use insum::apps::BoundApp;
+use insum::{InsumOptions, Tensor};
+use insum_formats::{BlockCoo, BlockGroupCoo};
+use insum_tensor::DType;
+use insum_workloads::blocksparse::block_sparse_dense;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Compile and time a bound application, returning simulated seconds.
+///
+/// # Panics
+///
+/// Panics on compilation or simulation errors (benchmark harness policy:
+/// fail loudly).
+pub fn time_app(app: &BoundApp, opts: &InsumOptions) -> f64 {
+    let compiled = app.compile(opts).expect("compilation succeeds");
+    compiled.time(&app.tensors).expect("simulation succeeds").total_time()
+}
+
+/// Build the structured-SpMM workload of Figs. 10/13: a block-sparse
+/// matrix in BlockGroupCOO (heuristic group size) plus a dense `B`.
+pub fn structured_spmm_setup(
+    n: usize,
+    cols_b: usize,
+    sparsity: f64,
+    dtype: DType,
+    seed: u64,
+) -> (Tensor, BlockGroupCoo, Tensor) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dense = block_sparse_dense(n, n, 32, 32, sparsity, &mut rng).cast(dtype);
+    let bcoo = BlockCoo::from_dense(&dense, 32, 32).expect("extents divide block size");
+    let g = insum_formats::heuristic::heuristic_group_size(&bcoo.block_occupancy());
+    let bgc = BlockGroupCoo::from_block_coo(&bcoo, g).expect("valid group size");
+    let b = insum_tensor::rand_uniform(vec![n, cols_b], -1.0, 1.0, &mut rng).cast(dtype);
+    (dense, bgc, b)
+}
+
+/// Format seconds as microseconds with 2 decimals.
+pub fn us(t: f64) -> String {
+    format!("{:.2}", t * 1e6)
+}
+
+/// Format a speedup ratio.
+pub fn x(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn structured_setup_consistent() {
+        let (dense, bgc, b) = structured_spmm_setup(128, 64, 0.8, DType::F16, 1);
+        assert_eq!(dense.shape(), &[128, 128]);
+        assert_eq!(b.shape(), &[128, 64]);
+        assert_eq!(bgc.to_dense(), dense);
+    }
+
+    #[test]
+    fn time_app_returns_positive_time() {
+        let (_, bgc, b) = structured_spmm_setup(128, 64, 0.8, DType::F16, 2);
+        let app = insum::apps::spmm_block_group(&bgc, &b);
+        let t = time_app(&app, &InsumOptions::default());
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The `insum(...)` entry point and compiled-operation handle.
+
+use crate::options::InsumOptions;
+use crate::Result;
+use insum_gpu::{Mode, Profile};
+use insum_graph::TensorMeta;
+use insum_inductor::{autotune, compile_fused, compile_unfused, FusedOp, UnfusedOp};
+use insum_lang::Statement;
+use insum_tensor::Tensor;
+use std::collections::BTreeMap;
+
+enum Pipeline {
+    Fused(Box<FusedOp>),
+    Unfused(Box<UnfusedOp>),
+}
+
+/// A compiled indirect Einsum, ready to run on the simulated device.
+pub struct Compiled {
+    statement: Statement,
+    pipeline: Pipeline,
+    options: InsumOptions,
+    /// Host wall-clock spent compiling (including autotuning), seconds.
+    pub compile_seconds: f64,
+    /// Autotuning sweep wall-clock, seconds (0 when disabled).
+    pub autotune_seconds: f64,
+    /// Configurations evaluated by the autotuner.
+    pub autotune_configs: usize,
+}
+
+impl Compiled {
+    /// The parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.statement
+    }
+
+    /// Number of kernels launched per run (1 when fused).
+    pub fn kernel_count(&self) -> usize {
+        match &self.pipeline {
+            Pipeline::Fused(_) => 1,
+            Pipeline::Unfused(op) => op.kernel_count,
+        }
+    }
+
+    /// The generated Triton-like source listing (all kernels).
+    pub fn triton_source(&self) -> String {
+        match &self.pipeline {
+            Pipeline::Fused(op) => insum_kernel::print_kernel(&op.kernel),
+            Pipeline::Unfused(_) => {
+                "# unfused pipeline: one stock-Inductor kernel per FX node".to_string()
+            }
+        }
+    }
+
+    /// True if the compiled kernel reduces through `tl.dot`.
+    pub fn uses_tensor_cores(&self) -> bool {
+        match &self.pipeline {
+            Pipeline::Fused(op) => op.uses_dot,
+            Pipeline::Unfused(_) => self.options.tensor_cores,
+        }
+    }
+
+    /// Execute functionally: returns the output tensor and the profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding and simulator errors.
+    pub fn run(&self, tensors: &BTreeMap<String, Tensor>) -> Result<(Tensor, Profile)> {
+        self.dispatch(tensors, Mode::Execute)
+    }
+
+    /// Measure without computing values (analytic mode): counters and
+    /// simulated time are identical to [`Compiled::run`], but value math
+    /// is skipped and no tensor is written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding and simulator errors.
+    pub fn time(&self, tensors: &BTreeMap<String, Tensor>) -> Result<Profile> {
+        Ok(self.dispatch(tensors, Mode::Analytic)?.1)
+    }
+
+    fn dispatch(
+        &self,
+        tensors: &BTreeMap<String, Tensor>,
+        mode: Mode,
+    ) -> Result<(Tensor, Profile)> {
+        match &self.pipeline {
+            Pipeline::Fused(op) => {
+                let (out, report) =
+                    insum_inductor::run_fused(op, tensors, &self.options.device, mode)?;
+                let mut profile = Profile::new();
+                profile.push(report);
+                Ok((out, profile))
+            }
+            Pipeline::Unfused(op) => {
+                let (out, profile) =
+                    insum_inductor::run_unfused(op, tensors, &self.options.device, mode)?;
+                Ok((out, profile))
+            }
+        }
+    }
+}
+
+fn metas_of(tensors: &BTreeMap<String, Tensor>) -> BTreeMap<String, TensorMeta> {
+    tensors
+        .iter()
+        .map(|(n, t)| (n.clone(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+        .collect()
+}
+
+/// Compile an indirect Einsum with the default (full-paper) options.
+///
+/// # Errors
+///
+/// Propagates parsing, analysis, and codegen errors.
+pub fn insum(expression: &str, tensors: &BTreeMap<String, Tensor>) -> Result<Compiled> {
+    insum_with(expression, tensors, &InsumOptions::default())
+}
+
+/// Compile an indirect Einsum with explicit options.
+///
+/// `tensors` supplies the shapes/dtypes (and, when autotuning, the actual
+/// data the tuner measures against).
+///
+/// # Errors
+///
+/// Propagates parsing, analysis, and codegen errors.
+pub fn insum_with(
+    expression: &str,
+    tensors: &BTreeMap<String, Tensor>,
+    options: &InsumOptions,
+) -> Result<Compiled> {
+    let start = std::time::Instant::now();
+    let statement = insum_lang::parse(expression)?;
+    let metas = metas_of(tensors);
+    let mut autotune_seconds = 0.0;
+    let mut autotune_configs = 0;
+    let pipeline = if options.fuse {
+        let plan = insum_inductor::build_plan(&statement, &metas)?;
+        let op = if options.autotune {
+            let result = autotune(&plan, &options.codegen(), tensors, &options.device)?;
+            autotune_seconds = result.tuning_wall_seconds;
+            autotune_configs = result.configs_tried;
+            result.op
+        } else {
+            compile_fused(&plan, &options.codegen())?
+        };
+        Pipeline::Fused(Box::new(op))
+    } else {
+        let lowered = insum_graph::lower(&statement, &metas)?;
+        Pipeline::Unfused(Box::new(compile_unfused(&lowered, &options.codegen())?))
+    };
+    Ok(Compiled {
+        statement,
+        pipeline,
+        options: options.clone(),
+        compile_seconds: start.elapsed().as_secs_f64(),
+        autotune_seconds,
+        autotune_configs,
+    })
+}
+
+/// Evaluate an indirect Einsum eagerly (the PyTorch-eager reference
+/// semantics); used for verification, not performance.
+///
+/// # Errors
+///
+/// Propagates parsing, lowering, and execution errors.
+pub fn eager(expression: &str, tensors: &BTreeMap<String, Tensor>) -> Result<Tensor> {
+    let statement = insum_lang::parse(expression)?;
+    let lowered = insum_graph::lower(&statement, &metas_of(tensors))?;
+    Ok(insum_graph::execute(&lowered.graph, tensors)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InsumError;
+    use insum_tensor::{rand_uniform, randint};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spmm_tensors() -> BTreeMap<String, Tensor> {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let nnz = 29;
+        [
+            ("C".to_string(), Tensor::zeros(vec![16, 32])),
+            ("AM".to_string(), randint(vec![nnz], 16, &mut rng)),
+            ("AK".to_string(), randint(vec![nnz], 24, &mut rng)),
+            ("AV".to_string(), rand_uniform(vec![nnz], -1.0, 1.0, &mut rng)),
+            ("B".to_string(), rand_uniform(vec![24, 32], -1.0, 1.0, &mut rng)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    const SPMM: &str = "C[AM[p],n] += AV[p] * B[AK[p],n]";
+
+    #[test]
+    fn fused_run_matches_eager() {
+        let tensors = spmm_tensors();
+        let op = insum(SPMM, &tensors).unwrap();
+        let (got, profile) = op.run(&tensors).unwrap();
+        let want = eager(SPMM, &tensors).unwrap();
+        assert!(got.allclose(&want, 1e-4, 1e-4));
+        assert_eq!(profile.launches(), 1);
+        assert_eq!(op.kernel_count(), 1);
+    }
+
+    #[test]
+    fn unfused_run_matches_eager() {
+        let tensors = spmm_tensors();
+        let op = insum_with(SPMM, &tensors, &InsumOptions::unfused()).unwrap();
+        let (got, profile) = op.run(&tensors).unwrap();
+        let want = eager(SPMM, &tensors).unwrap();
+        assert!(got.allclose(&want, 1e-4, 1e-4));
+        assert!(profile.launches() >= 3, "gather + matmul + scatter");
+        assert!(op.kernel_count() >= 3);
+    }
+
+    #[test]
+    fn fused_beats_unfused() {
+        let tensors = spmm_tensors();
+        let fused = insum(SPMM, &tensors).unwrap();
+        let unfused = insum_with(SPMM, &tensors, &InsumOptions::unfused()).unwrap();
+        let t_f = fused.time(&tensors).unwrap().total_time();
+        let t_u = unfused.time(&tensors).unwrap().total_time();
+        assert!(t_f < t_u, "fused {t_f:.3e} vs unfused {t_u:.3e}");
+    }
+
+    #[test]
+    fn time_is_side_effect_free() {
+        let tensors = spmm_tensors();
+        let op = insum(SPMM, &tensors).unwrap();
+        let p1 = op.time(&tensors).unwrap();
+        let (out, p2) = op.run(&tensors).unwrap();
+        assert_eq!(p1.total_time(), p2.total_time(), "analytic and execute agree on cost");
+        assert!(out.sum().abs() > 0.0);
+    }
+
+    #[test]
+    fn autotune_records_metadata() {
+        let tensors = spmm_tensors();
+        let op = insum_with(SPMM, &tensors, &InsumOptions::autotuned()).unwrap();
+        assert!(op.autotune_configs > 1);
+        assert!(op.autotune_seconds > 0.0);
+        assert!(op.compile_seconds >= op.autotune_seconds);
+        let (got, _) = op.run(&tensors).unwrap();
+        let want = eager(SPMM, &tensors).unwrap();
+        assert!(got.allclose(&want, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn triton_source_is_printable() {
+        let tensors = spmm_tensors();
+        let op = insum(SPMM, &tensors).unwrap();
+        let src = op.triton_source();
+        assert!(src.contains("@triton.jit"));
+        assert!(src.contains("tl.atomic_add"));
+    }
+
+    #[test]
+    fn missing_tensor_reported_at_compile() {
+        let mut tensors = spmm_tensors();
+        tensors.remove("B");
+        assert!(insum(SPMM, &tensors).is_err());
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        let tensors = spmm_tensors();
+        assert!(matches!(insum("C[i] ?= A[i]", &tensors), Err(InsumError::Lang(_))));
+    }
+}

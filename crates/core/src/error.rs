@@ -1,0 +1,67 @@
+//! Unified error type for the public API.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error the Insum pipeline can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsumError {
+    /// Lexing/parsing/analysis of the expression failed.
+    Lang(insum_lang::LangError),
+    /// Graph construction failed.
+    Graph(insum_graph::GraphError),
+    /// Codegen or execution failed.
+    Inductor(insum_inductor::InductorError),
+    /// Tensor-level error.
+    Tensor(insum_tensor::TensorError),
+    /// A named tensor binding is missing.
+    MissingTensor(String),
+}
+
+impl fmt::Display for InsumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsumError::Lang(e) => write!(f, "{e}"),
+            InsumError::Graph(e) => write!(f, "{e}"),
+            InsumError::Inductor(e) => write!(f, "{e}"),
+            InsumError::Tensor(e) => write!(f, "{e}"),
+            InsumError::MissingTensor(name) => write!(f, "tensor {name:?} was not provided"),
+        }
+    }
+}
+
+impl Error for InsumError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InsumError::Lang(e) => Some(e),
+            InsumError::Graph(e) => Some(e),
+            InsumError::Inductor(e) => Some(e),
+            InsumError::Tensor(e) => Some(e),
+            InsumError::MissingTensor(_) => None,
+        }
+    }
+}
+
+impl From<insum_lang::LangError> for InsumError {
+    fn from(e: insum_lang::LangError) -> Self {
+        InsumError::Lang(e)
+    }
+}
+
+impl From<insum_graph::GraphError> for InsumError {
+    fn from(e: insum_graph::GraphError) -> Self {
+        InsumError::Graph(e)
+    }
+}
+
+impl From<insum_inductor::InductorError> for InsumError {
+    fn from(e: insum_inductor::InductorError) -> Self {
+        InsumError::Inductor(e)
+    }
+}
+
+impl From<insum_tensor::TensorError> for InsumError {
+    fn from(e: insum_tensor::TensorError) -> Self {
+        InsumError::Tensor(e)
+    }
+}

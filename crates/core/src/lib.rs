@@ -1,0 +1,53 @@
+//! # Insum — sparse GPU kernels from indirect Einsums
+//!
+//! Rust reproduction of *"Insum: Sparse GPU Kernels Simplified and
+//! Optimized with Indirect Einsums"* (ASPLOS 2026). One indirect-Einsum
+//! string compiles to a single fused, Tensor-Core-enabled kernel that
+//! runs on the bundled RTX-3090-class simulator:
+//!
+//! ```
+//! use insum::{insum, InsumOptions};
+//! use insum_tensor::Tensor;
+//! use std::collections::BTreeMap;
+//!
+//! # fn main() -> Result<(), insum::InsumError> {
+//! // SpMM with A in COO format: C[AM[p], n] += AV[p] * B[AK[p], n]
+//! let mut tensors = BTreeMap::new();
+//! tensors.insert("C".into(), Tensor::zeros(vec![4, 32]));
+//! tensors.insert("AM".into(), Tensor::from_indices(vec![3], vec![0, 2, 3])?);
+//! tensors.insert("AK".into(), Tensor::from_indices(vec![3], vec![1, 0, 7])?);
+//! tensors.insert("AV".into(), Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0])?);
+//! tensors.insert("B".into(), Tensor::ones(vec![8, 32]));
+//!
+//! let op = insum("C[AM[p],n] += AV[p] * B[AK[p],n]", &tensors)?;
+//! let (c, profile) = op.run(&tensors)?;
+//! assert_eq!(c.at(&[2, 0]), 2.0);
+//! assert_eq!(profile.launches(), 1); // fully fused
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The pipeline is the paper's: parse ([`insum_lang`]) → FX-style graph
+//! ([`insum_graph`]) → extended-Inductor codegen ([`insum_inductor`]) →
+//! simulated GPU execution ([`insum_gpu`]). [`InsumOptions`] exposes the
+//! ablation axes (fusion, Tensor Cores, lazy broadcasting, autotuning),
+//! and [`apps`] wraps the paper's four case studies as one-expression
+//! calls.
+
+pub mod apps;
+mod compile;
+mod error;
+mod options;
+mod tune;
+
+pub use compile::{eager, insum, insum_with, Compiled};
+pub use error::InsumError;
+pub use options::InsumOptions;
+pub use tune::{pow2_candidates, tune_block_group_size, tune_group_size};
+
+// Re-exports so downstream users need only this crate.
+pub use insum_gpu::{DeviceModel, Mode, Profile};
+pub use insum_tensor::{DType, Tensor};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, InsumError>;

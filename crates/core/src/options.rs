@@ -1,0 +1,85 @@
+//! Compilation options — the ablation axes of paper Fig. 13.
+
+use insum_gpu::DeviceModel;
+
+/// Options controlling how an indirect Einsum is compiled and executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsumOptions {
+    /// Fuse gather + contraction + scatter into one kernel (the paper's
+    /// extended Inductor). `false` reproduces stock TorchInductor: one
+    /// kernel per graph node with materialized intermediates.
+    pub fuse: bool,
+    /// Emit `ops.dot`/`tl.dot` (Tensor Cores) when a legal partition
+    /// exists.
+    pub tensor_cores: bool,
+    /// Lazy broadcasting (§5.2.3); `false` pays eager reshape/transpose
+    /// shared-memory traffic before every dot.
+    pub lazy_broadcast: bool,
+    /// Sweep tile configurations with analytic launches and keep the
+    /// fastest (PyTorch-autotuner analogue; only affects fused kernels).
+    pub autotune: bool,
+    /// Fixed Y tile (rows); `None` = heuristic/autotuned.
+    pub yblock: Option<usize>,
+    /// Fixed X tile (columns); `None` = heuristic/autotuned.
+    pub xblock: Option<usize>,
+    /// Fixed R tile (reduction); `None` = heuristic/autotuned.
+    pub rblock: Option<usize>,
+    /// The simulated device.
+    pub device: DeviceModel,
+}
+
+impl Default for InsumOptions {
+    fn default() -> InsumOptions {
+        InsumOptions {
+            fuse: true,
+            tensor_cores: true,
+            lazy_broadcast: true,
+            autotune: false,
+            yblock: None,
+            xblock: None,
+            rblock: None,
+            device: DeviceModel::rtx3090(),
+        }
+    }
+}
+
+impl InsumOptions {
+    /// The full paper configuration plus autotuning (used by Table 3).
+    pub fn autotuned() -> InsumOptions {
+        InsumOptions { autotune: true, ..Default::default() }
+    }
+
+    /// Stock-TorchInductor configuration (ablation rows 1–3 of Fig. 13):
+    /// separate gather/matmul/scatter kernels.
+    pub fn unfused() -> InsumOptions {
+        InsumOptions { fuse: false, ..Default::default() }
+    }
+
+    pub(crate) fn codegen(&self) -> insum_inductor::CodegenOptions {
+        insum_inductor::CodegenOptions {
+            tensor_cores: self.tensor_cores,
+            lazy_broadcast: self.lazy_broadcast,
+            yblock: self.yblock,
+            xblock: self.xblock,
+            rblock: self.rblock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let o = InsumOptions::default();
+        assert!(o.fuse && o.tensor_cores && o.lazy_broadcast);
+        assert!(!o.autotune);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(InsumOptions::autotuned().autotune);
+        assert!(!InsumOptions::unfused().fuse);
+    }
+}

@@ -1,0 +1,439 @@
+//! Block-sparse formats: BlockCOO, BCSR, and BlockGroupCOO (§4.1).
+
+use crate::error::FormatError;
+use crate::Result;
+use insum_tensor::Tensor;
+
+fn check_blocking(rows: usize, cols: usize, bm: usize, bk: usize) -> Result<()> {
+    if bm == 0 || bk == 0 {
+        return Err(FormatError::InvalidParameter("block extents must be >= 1".to_string()));
+    }
+    if rows % bm != 0 {
+        return Err(FormatError::BlockMismatch { extent: rows, block: bm });
+    }
+    if cols % bk != 0 {
+        return Err(FormatError::BlockMismatch { extent: cols, block: bk });
+    }
+    Ok(())
+}
+
+/// Locate nonzero blocks of a dense matrix, returning `(brow, bcol)`
+/// coordinates in row-major order plus the packed block values.
+fn collect_blocks(
+    dense: &Tensor,
+    bm: usize,
+    bk: usize,
+) -> Result<(Vec<(usize, usize)>, Vec<f32>)> {
+    if dense.ndim() != 2 {
+        return Err(FormatError::InvalidParameter(format!(
+            "expected a matrix, got shape {:?}",
+            dense.shape()
+        )));
+    }
+    let (rows, cols) = (dense.shape()[0], dense.shape()[1]);
+    check_blocking(rows, cols, bm, bk)?;
+    let mut coords = Vec::new();
+    let mut values = Vec::new();
+    for br in 0..rows / bm {
+        for bc in 0..cols / bk {
+            let mut any = false;
+            'scan: for i in 0..bm {
+                for j in 0..bk {
+                    if dense.at(&[br * bm + i, bc * bk + j]) != 0.0 {
+                        any = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if any {
+                coords.push((br, bc));
+                for i in 0..bm {
+                    for j in 0..bk {
+                        values.push(dense.at(&[br * bm + i, bc * bk + j]));
+                    }
+                }
+            }
+        }
+    }
+    Ok((coords, values))
+}
+
+/// BlockCOO: coordinates of nonzero `bm × bk` blocks plus dense block
+/// payloads (`av[p, bm, bk]`). SpMM Einsum:
+/// `C[AM[p],bm,n] += AV[p,bm,bk] * B[AK[p],bk,n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCoo {
+    /// Matrix rows (elements).
+    pub rows: usize,
+    /// Matrix cols (elements).
+    pub cols: usize,
+    /// Block height.
+    pub bm: usize,
+    /// Block width.
+    pub bk: usize,
+    /// Block-row coordinate per block (`[nblocks]`, I32).
+    pub am: Tensor,
+    /// Block-col coordinate per block (`[nblocks]`, I32).
+    pub ak: Tensor,
+    /// Block payloads (`[nblocks, bm, bk]`).
+    pub av: Tensor,
+}
+
+impl BlockCoo {
+    /// Extract nonzero blocks from a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::BlockMismatch`] if the matrix extents are
+    /// not divisible by the block extents.
+    pub fn from_dense(dense: &Tensor, bm: usize, bk: usize) -> Result<BlockCoo> {
+        let (coords, values) = collect_blocks(dense, bm, bk)?;
+        let n = coords.len();
+        Ok(BlockCoo {
+            rows: dense.shape()[0],
+            cols: dense.shape()[1],
+            bm,
+            bk,
+            am: Tensor::from_indices(vec![n], coords.iter().map(|c| c.0 as i64).collect())
+                .expect("length matches"),
+            ak: Tensor::from_indices(vec![n], coords.iter().map(|c| c.1 as i64).collect())
+                .expect("length matches"),
+            av: Tensor::from_vec(vec![n, bm, bk], values)
+                .expect("length matches")
+                .cast(dense.dtype()),
+        })
+    }
+
+    /// Number of stored blocks.
+    pub fn nblocks(&self) -> usize {
+        self.am.len()
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        for p in 0..self.nblocks() {
+            let br = self.am.at_i64(&[p]) as usize;
+            let bc = self.ak.at_i64(&[p]) as usize;
+            for i in 0..self.bm {
+                for j in 0..self.bk {
+                    out.set(&[br * self.bm + i, bc * self.bk + j], self.av.at(&[p, i, j]));
+                }
+            }
+        }
+        out.cast(self.av.dtype())
+    }
+
+    /// Bytes on the simulated device.
+    pub fn device_bytes(&self) -> usize {
+        self.am.device_bytes() + self.ak.device_bytes() + self.av.device_bytes()
+    }
+
+    /// Per-block-row block counts.
+    pub fn block_occupancy(&self) -> Vec<usize> {
+        let mut occ = vec![0usize; self.rows / self.bm];
+        for p in 0..self.nblocks() {
+            occ[self.am.at_i64(&[p]) as usize] += 1;
+        }
+        occ
+    }
+}
+
+/// BCSR — block CSR, the format behind the TorchBSR baseline. Like CSR it
+/// stores a pointer per block row, including empty ones; that `O(N)`
+/// overhead is what BlockGroupCOO removes in the hypersparse regime
+/// (paper Fig. 10 discussion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bcsr {
+    /// Matrix rows (elements).
+    pub rows: usize,
+    /// Matrix cols (elements).
+    pub cols: usize,
+    /// Block height.
+    pub bm: usize,
+    /// Block width.
+    pub bk: usize,
+    /// Block-row pointers (`[rows/bm + 1]`, I32).
+    pub row_ptr: Tensor,
+    /// Block-col index per block (`[nblocks]`, I32).
+    pub col_idx: Tensor,
+    /// Block payloads (`[nblocks, bm, bk]`).
+    pub av: Tensor,
+}
+
+impl Bcsr {
+    /// Convert from BlockCOO (blocks are already row-major sorted).
+    pub fn from_block_coo(bcoo: &BlockCoo) -> Bcsr {
+        let brows = bcoo.rows / bcoo.bm;
+        let mut ptr = vec![0i64; brows + 1];
+        for p in 0..bcoo.nblocks() {
+            ptr[bcoo.am.at_i64(&[p]) as usize + 1] += 1;
+        }
+        for r in 0..brows {
+            ptr[r + 1] += ptr[r];
+        }
+        Bcsr {
+            rows: bcoo.rows,
+            cols: bcoo.cols,
+            bm: bcoo.bm,
+            bk: bcoo.bk,
+            row_ptr: Tensor::from_indices(vec![brows + 1], ptr).expect("length matches"),
+            col_idx: bcoo.ak.clone(),
+            av: bcoo.av.clone(),
+        }
+    }
+
+    /// Extract from a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates blocking errors.
+    pub fn from_dense(dense: &Tensor, bm: usize, bk: usize) -> Result<Bcsr> {
+        Ok(Bcsr::from_block_coo(&BlockCoo::from_dense(dense, bm, bk)?))
+    }
+
+    /// Number of stored blocks.
+    pub fn nblocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn to_dense(&self) -> Tensor {
+        let brows = self.rows / self.bm;
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        for br in 0..brows {
+            let lo = self.row_ptr.at_i64(&[br]) as usize;
+            let hi = self.row_ptr.at_i64(&[br + 1]) as usize;
+            for p in lo..hi {
+                let bc = self.col_idx.at_i64(&[p]) as usize;
+                for i in 0..self.bm {
+                    for j in 0..self.bk {
+                        out.set(&[br * self.bm + i, bc * self.bk + j], self.av.at(&[p, i, j]));
+                    }
+                }
+            }
+        }
+        out.cast(self.av.dtype())
+    }
+
+    /// Bytes on the simulated device (includes the per-row pointers).
+    pub fn device_bytes(&self) -> usize {
+        self.row_ptr.device_bytes() + self.col_idx.device_bytes() + self.av.device_bytes()
+    }
+}
+
+/// BlockGroupCOO: BlockCOO grouped along block rows (§4.1) — the format
+/// behind the paper's structured-SpMM results. SpMM Einsum:
+/// `C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockGroupCoo {
+    /// Matrix rows (elements).
+    pub rows: usize,
+    /// Matrix cols (elements).
+    pub cols: usize,
+    /// Block height.
+    pub bm: usize,
+    /// Block width.
+    pub bk: usize,
+    /// Group size (blocks per group).
+    pub group_size: usize,
+    /// Block-row coordinate per group (`[num_groups]`, I32).
+    pub am: Tensor,
+    /// Block-col coordinates (`[num_groups, g]`, I32; 0 for padding).
+    pub ak: Tensor,
+    /// Block payloads (`[num_groups, g, bm, bk]`; 0.0 for padding).
+    pub av: Tensor,
+}
+
+impl BlockGroupCoo {
+    /// Convert from BlockCOO with the given group size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidParameter`] if `group_size == 0`.
+    pub fn from_block_coo(bcoo: &BlockCoo, group_size: usize) -> Result<BlockGroupCoo> {
+        if group_size == 0 {
+            return Err(FormatError::InvalidParameter("group size must be >= 1".to_string()));
+        }
+        let g = group_size;
+        let (bm, bk) = (bcoo.bm, bcoo.bk);
+        let occ = bcoo.block_occupancy();
+        let num_groups: usize = occ.iter().map(|&o| o.div_ceil(g)).sum();
+        let block_elems = bm * bk;
+        let mut am = Vec::with_capacity(num_groups);
+        let mut ak = vec![0i64; num_groups * g];
+        let mut av = vec![0.0f32; num_groups * g * block_elems];
+        let mut group = 0usize;
+        let mut p = 0usize;
+        for (brow, &o) in occ.iter().enumerate() {
+            let mut remaining = o;
+            while remaining > 0 {
+                let take = remaining.min(g);
+                am.push(brow as i64);
+                for q in 0..take {
+                    ak[group * g + q] = bcoo.ak.at_i64(&[p]);
+                    let dst = (group * g + q) * block_elems;
+                    for e in 0..block_elems {
+                        av[dst + e] = bcoo.av.data()[p * block_elems + e];
+                    }
+                    p += 1;
+                }
+                remaining -= take;
+                group += 1;
+            }
+        }
+        debug_assert_eq!(group, num_groups);
+        Ok(BlockGroupCoo {
+            rows: bcoo.rows,
+            cols: bcoo.cols,
+            bm,
+            bk,
+            group_size: g,
+            am: Tensor::from_indices(vec![num_groups], am).expect("length matches"),
+            ak: Tensor::from_indices(vec![num_groups, g], ak).expect("length matches"),
+            av: Tensor::from_vec(vec![num_groups, g, bm, bk], av)
+                .expect("length matches")
+                .cast(bcoo.av.dtype()),
+        })
+    }
+
+    /// Extract from a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates blocking and parameter errors.
+    pub fn from_dense(dense: &Tensor, bm: usize, bk: usize, group_size: usize) -> Result<BlockGroupCoo> {
+        BlockGroupCoo::from_block_coo(&BlockCoo::from_dense(dense, bm, bk)?, group_size)
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.am.len()
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        for p in 0..self.num_groups() {
+            let br = self.am.at_i64(&[p]) as usize;
+            for q in 0..self.group_size {
+                // Padding blocks are all-zero; adding them is harmless,
+                // but they may alias block column 0, so accumulate.
+                let bc = self.ak.at_i64(&[p, q]) as usize;
+                for i in 0..self.bm {
+                    for j in 0..self.bk {
+                        let v = self.av.at(&[p, q, i, j]);
+                        if v != 0.0 {
+                            let cur = out.at(&[br * self.bm + i, bc * self.bk + j]) + v;
+                            out.set(&[br * self.bm + i, bc * self.bk + j], cur);
+                        }
+                    }
+                }
+            }
+        }
+        out.cast(self.av.dtype())
+    }
+
+    /// Bytes on the simulated device.
+    pub fn device_bytes(&self) -> usize {
+        self.am.device_bytes() + self.ak.device_bytes() + self.av.device_bytes()
+    }
+
+    /// Indirect accesses for one SpMM (`F(g)` numerator at block level).
+    pub fn indirect_accesses(&self) -> usize {
+        self.num_groups() * (1 + self.group_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Fig. 5/6 example: 4x4 matrix with 2x2 blocks at (0,0), (0,1),
+    /// (1,1).
+    fn sample() -> Tensor {
+        let mut t = Tensor::zeros(vec![4, 4]);
+        t.set(&[0, 0], 1.0); // block (0,0): a
+        t.set(&[1, 0], 2.0); // b  (paper has b/b duplicated; values differ here)
+        t.set(&[1, 1], 3.0); // c
+        t.set(&[0, 2], 4.0); // block (0,1): d
+        t.set(&[1, 3], 5.0); // e
+        t.set(&[2, 2], 6.0); // block (1,1): f
+        t.set(&[3, 3], 7.0); // g
+        t
+    }
+
+    #[test]
+    fn block_coo_matches_paper_figure_5() {
+        let b = BlockCoo::from_dense(&sample(), 2, 2).unwrap();
+        assert_eq!(b.nblocks(), 3);
+        assert_eq!(b.am.data(), &[0.0, 0.0, 1.0]);
+        assert_eq!(b.ak.data(), &[0.0, 1.0, 1.0]);
+        assert_eq!(b.av.shape(), &[3, 2, 2]);
+    }
+
+    #[test]
+    fn block_coo_roundtrip() {
+        let d = sample();
+        assert_eq!(BlockCoo::from_dense(&d, 2, 2).unwrap().to_dense(), d);
+    }
+
+    #[test]
+    fn bcsr_roundtrip_and_pointers() {
+        let d = sample();
+        let b = Bcsr::from_dense(&d, 2, 2).unwrap();
+        assert_eq!(b.row_ptr.data(), &[0.0, 2.0, 3.0]);
+        assert_eq!(b.to_dense(), d);
+    }
+
+    #[test]
+    fn block_group_coo_matches_paper_figure_6() {
+        // Fig. 6: group block rows by 2 -> 2 groups; group 0 holds blocks
+        // (0,0) and (0,1); group 1 holds (1,1) plus padding.
+        let bg = BlockGroupCoo::from_dense(&sample(), 2, 2, 2).unwrap();
+        assert_eq!(bg.num_groups(), 2);
+        assert_eq!(bg.am.data(), &[0.0, 1.0]);
+        assert_eq!(bg.ak.data(), &[0.0, 1.0, 1.0, 0.0]); // last is padding
+        assert_eq!(bg.av.shape(), &[2, 2, 2, 2]);
+        // Padding block is all zeros.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(bg.av.at(&[1, 1, i, j]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn block_group_roundtrip_various_g() {
+        let d = sample();
+        for g in 1..=4 {
+            assert_eq!(BlockGroupCoo::from_dense(&d, 2, 2, g).unwrap().to_dense(), d, "g={g}");
+        }
+    }
+
+    #[test]
+    fn blocking_mismatch_rejected() {
+        let d = Tensor::zeros(vec![5, 4]);
+        assert!(matches!(
+            BlockCoo::from_dense(&d, 2, 2),
+            Err(FormatError::BlockMismatch { extent: 5, block: 2 })
+        ));
+        assert!(BlockCoo::from_dense(&Tensor::zeros(vec![4, 4]), 0, 2).is_err());
+    }
+
+    #[test]
+    fn bcsr_pays_rowptr_for_empty_rows() {
+        // Hypersparse: 1 block in a 64-block-row matrix.
+        let mut d = Tensor::zeros(vec![128, 8]);
+        d.set(&[0, 0], 1.0);
+        let bcsr = Bcsr::from_dense(&d, 2, 2).unwrap();
+        let bcoo = BlockCoo::from_dense(&d, 2, 2).unwrap();
+        assert!(bcsr.device_bytes() > 3 * bcoo.device_bytes(), "row pointers dominate");
+    }
+
+    #[test]
+    fn block_occupancy() {
+        let b = BlockCoo::from_dense(&sample(), 2, 2).unwrap();
+        assert_eq!(b.block_occupancy(), vec![2, 1]);
+    }
+}

@@ -1,0 +1,187 @@
+//! The COO (coordinate) format.
+
+use crate::error::FormatError;
+use crate::Result;
+use insum_tensor::{DType, Tensor};
+
+/// Coordinate-list storage: one `(row, col, value)` triplet per nonzero.
+///
+/// Metadata tensors `am`/`ak` are I32; values keep their dtype. Entries
+/// are stored row-major sorted (row, then column), which every conversion
+/// in this crate relies on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    /// Number of matrix rows.
+    pub rows: usize,
+    /// Number of matrix columns.
+    pub cols: usize,
+    /// Row coordinate of each nonzero (`[nnz]`, I32).
+    pub am: Tensor,
+    /// Column coordinate of each nonzero (`[nnz]`, I32).
+    pub ak: Tensor,
+    /// Nonzero values (`[nnz]`).
+    pub av: Tensor,
+}
+
+impl Coo {
+    /// Build from unsorted triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::CoordinateOutOfBounds`] for any coordinate
+    /// outside `rows × cols`.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        entries: &[(usize, usize, f32)],
+    ) -> Result<Coo> {
+        for &(r, c, _) in entries {
+            if r >= rows || c >= cols {
+                return Err(FormatError::CoordinateOutOfBounds { row: r, col: c, rows, cols });
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f32)> = entries.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let nnz = sorted.len();
+        let am = Tensor::from_indices(vec![nnz], sorted.iter().map(|e| e.0 as i64).collect())
+            .expect("length matches");
+        let ak = Tensor::from_indices(vec![nnz], sorted.iter().map(|e| e.1 as i64).collect())
+            .expect("length matches");
+        let av = Tensor::from_vec(vec![nnz], sorted.iter().map(|e| e.2).collect())
+            .expect("length matches");
+        Ok(Coo { rows, cols, am, ak, av })
+    }
+
+    /// Extract the nonzeros of a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidParameter`] unless `dense` is rank 2.
+    pub fn from_dense(dense: &Tensor) -> Result<Coo> {
+        if dense.ndim() != 2 {
+            return Err(FormatError::InvalidParameter(format!(
+                "expected a matrix, got shape {:?}",
+                dense.shape()
+            )));
+        }
+        let (rows, cols) = (dense.shape()[0], dense.shape()[1]);
+        let mut entries = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense.at(&[r, c]);
+                if v != 0.0 {
+                    entries.push((r, c, v));
+                }
+            }
+        }
+        let mut coo = Coo::from_triplets(rows, cols, &entries)?;
+        coo.av = coo.av.cast(dense.dtype());
+        Ok(coo)
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.av.len()
+    }
+
+    /// Reconstruct the dense matrix (duplicates accumulate).
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        for p in 0..self.nnz() {
+            let r = self.am.at_i64(&[p]) as usize;
+            let c = self.ak.at_i64(&[p]) as usize;
+            let v = out.at(&[r, c]) + self.av.at(&[p]);
+            out.set(&[r, c], v);
+        }
+        out.cast(self.av.dtype())
+    }
+
+    /// Per-row nonzero counts (the `occ` vector of §4.2).
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut occ = vec![0usize; self.rows];
+        for p in 0..self.nnz() {
+            occ[self.am.at_i64(&[p]) as usize] += 1;
+        }
+        occ
+    }
+
+    /// Bytes on the simulated device (values + both coordinate arrays).
+    pub fn device_bytes(&self) -> usize {
+        self.am.device_bytes() + self.ak.device_bytes() + self.av.device_bytes()
+    }
+
+    /// Cast the values to a dtype, returning a new COO.
+    pub fn with_dtype(&self, dtype: DType) -> Coo {
+        Coo { av: self.av.cast(dtype), ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Tensor {
+        // 4x5 with nonzeros a..g laid out as in paper Fig. 1.
+        let mut t = Tensor::zeros(vec![4, 5]);
+        t.set(&[0, 0], 1.0); // a
+        t.set(&[0, 2], 2.0); // b
+        t.set(&[0, 3], 3.0); // c
+        t.set(&[1, 1], 4.0); // d
+        t.set(&[2, 2], 5.0); // e
+        t.set(&[3, 2], 6.0); // f
+        t.set(&[3, 3], 7.0); // g
+        t
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let coo = Coo::from_dense(&d).unwrap();
+        assert_eq!(coo.nnz(), 7);
+        assert_eq!(coo.to_dense(), d);
+    }
+
+    #[test]
+    fn triplets_are_sorted() {
+        let coo = Coo::from_triplets(3, 3, &[(2, 1, 1.0), (0, 2, 2.0), (0, 1, 3.0)]).unwrap();
+        assert_eq!(coo.am.data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(coo.ak.data(), &[1.0, 2.0, 1.0]);
+        assert_eq!(coo.av.data(), &[3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        assert!(matches!(
+            Coo::from_triplets(2, 2, &[(2, 0, 1.0)]),
+            Err(FormatError::CoordinateOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn occupancy_matches_paper_example() {
+        // Paper §4.2: occ = [3, 1, 1, 2] for the Fig. 4 matrix.
+        let coo = Coo::from_dense(&sample_dense()).unwrap();
+        assert_eq!(coo.occupancy(), vec![3, 1, 1, 2]);
+    }
+
+    #[test]
+    fn device_bytes_accounts_metadata() {
+        let coo = Coo::from_dense(&sample_dense()).unwrap();
+        // 7 nnz * (4 + 4 + 4) bytes.
+        assert_eq!(coo.device_bytes(), 7 * 12);
+        let half = coo.with_dtype(DType::F16);
+        assert_eq!(half.device_bytes(), 7 * 10);
+    }
+
+    #[test]
+    fn rank_validated() {
+        assert!(Coo::from_dense(&Tensor::zeros(vec![2, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let coo = Coo::from_dense(&Tensor::zeros(vec![3, 3])).unwrap();
+        assert_eq!(coo.nnz(), 0);
+        assert_eq!(coo.to_dense(), Tensor::zeros(vec![3, 3]));
+    }
+}

@@ -1,0 +1,132 @@
+//! The CSR (compressed sparse row) format.
+
+use crate::coo::Coo;
+use crate::Result;
+use insum_tensor::Tensor;
+
+/// Compressed sparse row storage — the variable-length format used by the
+/// cuSPARSE and Sputnik baselines.
+///
+/// CSR is *not* expressible as an indirect Einsum because the per-row loop
+/// bound `row_ptr[m+1] - row_ptr[m]` is data-dependent (§4); it exists
+/// here for the baseline kernels and as a conversion source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of matrix rows.
+    pub rows: usize,
+    /// Number of matrix columns.
+    pub cols: usize,
+    /// Row pointers (`[rows + 1]`, I32).
+    pub row_ptr: Tensor,
+    /// Column index of each nonzero (`[nnz]`, I32).
+    pub col_idx: Tensor,
+    /// Nonzero values (`[nnz]`).
+    pub vals: Tensor,
+}
+
+impl Csr {
+    /// Convert from COO (already row-sorted by construction).
+    pub fn from_coo(coo: &Coo) -> Csr {
+        let nnz = coo.nnz();
+        let mut ptr = vec![0i64; coo.rows + 1];
+        for p in 0..nnz {
+            ptr[coo.am.at_i64(&[p]) as usize + 1] += 1;
+        }
+        for r in 0..coo.rows {
+            ptr[r + 1] += ptr[r];
+        }
+        Csr {
+            rows: coo.rows,
+            cols: coo.cols,
+            row_ptr: Tensor::from_indices(vec![coo.rows + 1], ptr).expect("length matches"),
+            col_idx: coo.ak.clone(),
+            vals: coo.av.clone(),
+        }
+    }
+
+    /// Extract from a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::FormatError`] from the COO conversion.
+    pub fn from_dense(dense: &Tensor) -> Result<Csr> {
+        Ok(Csr::from_coo(&Coo::from_dense(dense)?))
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Nonzero count of one row.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        (self.row_ptr.at_i64(&[row + 1]) - self.row_ptr.at_i64(&[row])) as usize
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        for r in 0..self.rows {
+            let lo = self.row_ptr.at_i64(&[r]) as usize;
+            let hi = self.row_ptr.at_i64(&[r + 1]) as usize;
+            for p in lo..hi {
+                let c = self.col_idx.at_i64(&[p]) as usize;
+                let v = out.at(&[r, c]) + self.vals.at(&[p]);
+                out.set(&[r, c], v);
+            }
+        }
+        out.cast(self.vals.dtype())
+    }
+
+    /// Bytes on the simulated device. Note the `O(rows)` row-pointer term
+    /// that the paper's Fig. 10 analysis charges against (B)CSR in the
+    /// hypersparse regime.
+    pub fn device_bytes(&self) -> usize {
+        self.row_ptr.device_bytes() + self.col_idx.device_bytes() + self.vals.device_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        let mut t = Tensor::zeros(vec![4, 5]);
+        for (r, c, v) in [(0, 0, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 1, 4.0), (2, 2, 5.0), (3, 2, 6.0), (3, 3, 7.0)] {
+            t.set(&[r, c], v);
+        }
+        t
+    }
+
+    #[test]
+    fn matches_paper_figure_1() {
+        // Fig. 1 CSR for the example matrix: AM = [0,3,4,5,7].
+        let csr = Csr::from_dense(&sample()).unwrap();
+        assert_eq!(csr.row_ptr.data(), &[0.0, 3.0, 4.0, 5.0, 7.0]);
+        assert_eq!(csr.col_idx.data(), &[0.0, 2.0, 3.0, 1.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        assert_eq!(Csr::from_dense(&d).unwrap().to_dense(), d);
+    }
+
+    #[test]
+    fn row_nnz() {
+        let csr = Csr::from_dense(&sample()).unwrap();
+        assert_eq!(csr.row_nnz(0), 3);
+        assert_eq!(csr.row_nnz(1), 1);
+        assert_eq!(csr.row_nnz(3), 2);
+    }
+
+    #[test]
+    fn empty_rows_still_cost_pointer_space() {
+        let mut t = Tensor::zeros(vec![100, 4]);
+        t.set(&[0, 0], 1.0);
+        let csr = Csr::from_dense(&t).unwrap();
+        assert_eq!(csr.nnz(), 1);
+        // 101 pointers * 4 bytes dominate the 8 bytes of payload.
+        assert!(csr.device_bytes() > 101 * 4);
+    }
+}

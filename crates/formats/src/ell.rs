@@ -1,0 +1,153 @@
+//! The ELL (ELLPACK) format.
+
+use crate::coo::Coo;
+use crate::error::FormatError;
+use crate::Result;
+use insum_tensor::Tensor;
+
+/// ELLPACK storage: every row padded to the same width (the maximum row
+/// occupancy), so no row coordinates are needed and no scatter is required
+/// — but padding can explode for skewed distributions (§4).
+///
+/// Padding entries store column 0 with value 0.0, which is numerically
+/// inert under multiply-accumulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ell {
+    /// Number of matrix rows.
+    pub rows: usize,
+    /// Number of matrix columns.
+    pub cols: usize,
+    /// Row width (max occupancy).
+    pub width: usize,
+    /// Column indices (`[rows, width]`, I32; 0 for padding).
+    pub ak: Tensor,
+    /// Values (`[rows, width]`; 0.0 for padding).
+    pub av: Tensor,
+}
+
+impl Ell {
+    /// Convert from COO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::InvalidParameter`] if the COO holds
+    /// duplicate coordinates (ELL cannot accumulate them).
+    pub fn from_coo(coo: &Coo) -> Result<Ell> {
+        let occ = coo.occupancy();
+        let width = occ.iter().copied().max().unwrap_or(0);
+        let mut ak = vec![0i64; coo.rows * width];
+        let mut av = vec![0.0f32; coo.rows * width];
+        let mut cursor = vec![0usize; coo.rows];
+        let mut last: Option<(usize, usize)> = None;
+        for p in 0..coo.nnz() {
+            let r = coo.am.at_i64(&[p]) as usize;
+            let c = coo.ak.at_i64(&[p]) as usize;
+            if last == Some((r, c)) {
+                return Err(FormatError::InvalidParameter(format!(
+                    "duplicate coordinate ({r}, {c}) cannot be stored in ELL"
+                )));
+            }
+            last = Some((r, c));
+            let slot = r * width + cursor[r];
+            ak[slot] = c as i64;
+            av[slot] = coo.av.at(&[p]);
+            cursor[r] += 1;
+        }
+        Ok(Ell {
+            rows: coo.rows,
+            cols: coo.cols,
+            width,
+            ak: Tensor::from_indices(vec![coo.rows, width], ak).expect("length matches"),
+            av: Tensor::from_vec(vec![coo.rows, width], av)
+                .expect("length matches")
+                .cast(coo.av.dtype()),
+        })
+    }
+
+    /// Extract from a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the COO conversion.
+    pub fn from_dense(dense: &Tensor) -> Result<Ell> {
+        Ell::from_coo(&Coo::from_dense(dense)?)
+    }
+
+    /// Stored slots (including padding).
+    pub fn slots(&self) -> usize {
+        self.rows * self.width
+    }
+
+    /// Fraction of slots that are padding.
+    pub fn padding_ratio(&self, nnz: usize) -> f64 {
+        if self.slots() == 0 {
+            return 0.0;
+        }
+        1.0 - nnz as f64 / self.slots() as f64
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        for r in 0..self.rows {
+            for w in 0..self.width {
+                let v = self.av.at(&[r, w]);
+                if v != 0.0 {
+                    let c = self.ak.at_i64(&[r, w]) as usize;
+                    let cur = out.at(&[r, c]) + v;
+                    out.set(&[r, c], cur);
+                }
+            }
+        }
+        out.cast(self.av.dtype())
+    }
+
+    /// Bytes on the simulated device.
+    pub fn device_bytes(&self) -> usize {
+        self.ak.device_bytes() + self.av.device_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        let mut t = Tensor::zeros(vec![4, 5]);
+        for (r, c, v) in [(0, 0, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 1, 4.0), (2, 2, 5.0), (3, 2, 6.0), (3, 3, 7.0)] {
+            t.set(&[r, c], v);
+        }
+        t
+    }
+
+    #[test]
+    fn width_is_max_occupancy() {
+        let ell = Ell::from_dense(&sample()).unwrap();
+        assert_eq!(ell.width, 3);
+        assert_eq!(ell.slots(), 12);
+        assert!((ell.padding_ratio(7) - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        assert_eq!(Ell::from_dense(&d).unwrap().to_dense(), d);
+    }
+
+    #[test]
+    fn padding_matches_paper_figure_4() {
+        // Fig. 4 ELL: AV = [a b c | d 0 0 | e 0 0 | f g 0].
+        let ell = Ell::from_dense(&sample()).unwrap();
+        assert_eq!(
+            ell.av.data(),
+            &[1.0, 2.0, 3.0, 4.0, 0.0, 0.0, 5.0, 0.0, 0.0, 6.0, 7.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_width() {
+        let ell = Ell::from_dense(&Tensor::zeros(vec![3, 3])).unwrap();
+        assert_eq!(ell.width, 0);
+        assert_eq!(ell.to_dense(), Tensor::zeros(vec![3, 3]));
+    }
+}

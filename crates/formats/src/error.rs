@@ -1,0 +1,62 @@
+//! Format construction errors.
+
+use insum_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error from building or converting a sparse format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormatError {
+    /// A coordinate lies outside the matrix bounds.
+    CoordinateOutOfBounds {
+        /// The row coordinate.
+        row: usize,
+        /// The column coordinate.
+        col: usize,
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix cols.
+        cols: usize,
+    },
+    /// The matrix dimensions are not divisible by the block size.
+    BlockMismatch {
+        /// Matrix extent.
+        extent: usize,
+        /// Block extent.
+        block: usize,
+    },
+    /// An invalid parameter (e.g. group size 0).
+    InvalidParameter(String),
+    /// Error from an underlying tensor operation.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::CoordinateOutOfBounds { row, col, rows, cols } => {
+                write!(f, "coordinate ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            }
+            FormatError::BlockMismatch { extent, block } => {
+                write!(f, "matrix extent {extent} is not divisible by block extent {block}")
+            }
+            FormatError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            FormatError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for FormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FormatError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for FormatError {
+    fn from(e: TensorError) -> Self {
+        FormatError::Tensor(e)
+    }
+}

@@ -1,0 +1,146 @@
+//! Group-size selection (§4.2).
+//!
+//! The paper shows that SpMM runtime tracks the number of indirect
+//! accesses `F(g) = (g+1) · Σᵢ ⌈occᵢ/g⌉` (scatters to `AM` plus gathers
+//! through `AK`), not the format's memory footprint. Relaxing the ceiling
+//! gives the closed-form minimizer `g★ = √(S/n)` where `S = Σ occᵢ` and
+//! `n` is the row count; in practice `g★` is rounded to the nearest
+//! power of two because the Triton backend prefers power-of-two blocks.
+
+/// The indirect-access cost `F(g) = (g+1) · Σᵢ ⌈occᵢ/g⌉`.
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+pub fn indirect_access_cost(occ: &[usize], g: usize) -> u64 {
+    assert!(g > 0, "group size must be positive");
+    let groups: u64 = occ.iter().map(|&o| o.div_ceil(g) as u64).sum();
+    (g as u64 + 1) * groups
+}
+
+/// The relaxed continuous estimate `g★ = √(S/n)` (clamped to ≥ 1).
+pub fn continuous_group_size(occ: &[usize]) -> f64 {
+    let s: usize = occ.iter().sum();
+    let n = occ.len();
+    if n == 0 || s == 0 {
+        return 1.0;
+    }
+    (s as f64 / n as f64).sqrt().max(1.0)
+}
+
+/// Round a positive value to the nearest power of two (ties prefer the
+/// larger power, matching "round up when equal ratio").
+pub fn nearest_power_of_two(x: f64) -> usize {
+    if x <= 1.0 {
+        return 1;
+    }
+    let lo = 1usize << (x.log2().floor() as u32);
+    let hi = lo * 2;
+    if x / lo as f64 <= hi as f64 / x {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// The paper's heuristic: `g★ = √(S/n)` rounded to the nearest power of
+/// two.
+pub fn heuristic_group_size(occ: &[usize]) -> usize {
+    nearest_power_of_two(continuous_group_size(occ))
+}
+
+/// Brute-force minimizer of `F(g)` over `1..=max occupancy` — the
+/// `O(n · max occ)` search the heuristic replaces; used for validation
+/// and the group-size ablation bench.
+pub fn brute_force_group_size(occ: &[usize]) -> usize {
+    let max_occ = occ.iter().copied().max().unwrap_or(1).max(1);
+    (1..=max_occ)
+        .min_by_key(|&g| indirect_access_cost(occ, g))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_matches_paper_example() {
+        // Fig. 4: occ = [3, 1, 1, 2].
+        let occ = [3, 1, 1, 2];
+        // g=1: (1+1) * (3+1+1+2) = 14.
+        assert_eq!(indirect_access_cost(&occ, 1), 14);
+        // g=2: (2+1) * (2+1+1+1) = 15.
+        assert_eq!(indirect_access_cost(&occ, 2), 15);
+        // g=3: (3+1) * (1+1+1+1) = 16.
+        assert_eq!(indirect_access_cost(&occ, 3), 16);
+    }
+
+    #[test]
+    fn continuous_estimate() {
+        // S = 7, n = 4 -> sqrt(1.75) ~ 1.32.
+        let occ = [3, 1, 1, 2];
+        assert!((continuous_group_size(&occ) - (7.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heuristic_is_near_optimal_on_uniform_rows() {
+        // 64 rows x 16 nnz each: g* = sqrt(16) = 4. The exact argmin of
+        // F is larger (the ceiling relaxation is conservative), but the
+        // heuristic's cost must stay within ~20% of optimal — the
+        // "nearly optimal" claim of §4.2.
+        let occ = vec![16usize; 64];
+        let h = heuristic_group_size(&occ);
+        assert_eq!(h, 4);
+        let b = brute_force_group_size(&occ);
+        let ratio = indirect_access_cost(&occ, h) as f64 / indirect_access_cost(&occ, b) as f64;
+        assert!(ratio <= 1.2, "heuristic cost ratio {ratio}");
+    }
+
+    #[test]
+    fn heuristic_close_to_brute_force_cost_on_skewed_rows() {
+        // A power-law-ish occupancy: the heuristic may not equal the
+        // argmin but must be within 25% of the optimal cost (the paper
+        // reports it "nearly optimal").
+        let occ: Vec<usize> = (1..200).map(|i| 1 + 2000 / i).collect();
+        let h = heuristic_group_size(&occ);
+        let b = brute_force_group_size(&occ);
+        let ch = indirect_access_cost(&occ, h) as f64;
+        let cb = indirect_access_cost(&occ, b) as f64;
+        assert!(ch <= 1.25 * cb, "heuristic {h} cost {ch} vs optimal {b} cost {cb}");
+    }
+
+    #[test]
+    fn nearest_power_of_two_rounds() {
+        assert_eq!(nearest_power_of_two(0.5), 1);
+        assert_eq!(nearest_power_of_two(1.0), 1);
+        assert_eq!(nearest_power_of_two(1.4), 1);
+        assert_eq!(nearest_power_of_two(3.0), 4); // 3/2 vs 4/3: 4 wins
+        assert_eq!(nearest_power_of_two(5.0), 4);
+        assert_eq!(nearest_power_of_two(6.0), 8); // 6/4 = 1.5 vs 8/6 = 1.33
+        assert_eq!(nearest_power_of_two(24.0), 32);
+        assert_eq!(nearest_power_of_two(16.0), 16);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(heuristic_group_size(&[]), 1);
+        assert_eq!(heuristic_group_size(&[0, 0, 0]), 1);
+        assert_eq!(brute_force_group_size(&[]), 1);
+    }
+
+    #[test]
+    fn cost_has_divisor_dips() {
+        // F(g) is jagged: it dips where g divides the occupancy (no
+        // padding) — the structure behind the paper's Fig. 7 spikes.
+        let occ = vec![64usize; 32];
+        let f = |g| indirect_access_cost(&occ, g);
+        // Divisors of 64 beat their neighbors.
+        for g in [2u64, 4, 8, 16, 32] {
+            assert!(f(g as usize) < f(g as usize + 1) || f(g as usize) < f(g as usize - 1));
+        }
+        // Extremes are worse than the brute-force optimum.
+        let best = f(brute_force_group_size(&occ));
+        assert!(best < f(1));
+        assert!(best <= f(64));
+    }
+}

@@ -1,0 +1,38 @@
+//! Sparse matrix formats (§4 of the paper).
+//!
+//! The paper's key formats are the *fixed-length* family designed to fit
+//! the Einsum iteration model (loop bounds independent of data):
+//!
+//! * [`Coo`] — plain coordinate triplets; the degenerate `g = 1` case.
+//! * [`GroupCoo`] — nonzeros grouped along the row dimension into
+//!   fixed-size groups with one stored row index per group (§4.1); `g`
+//!   sweeps between COO (`g = 1`) and [`Ell`] (`g = max occupancy`).
+//! * [`BlockCoo`] / [`BlockGroupCoo`] — the block-sparse variants whose
+//!   dense `bm × bk` tiles feed Tensor Cores.
+//!
+//! Variable-length comparison formats are also provided: [`Csr`] (used by
+//! the cuSPARSE/Sputnik baselines) and [`Bcsr`] (TorchBSR's format, whose
+//! `O(N)` row-pointer overhead drives the hypersparse behaviour in paper
+//! Fig. 10).
+//!
+//! [`heuristic`] implements §4.2: the indirect-access cost
+//! `F(g) = (g+1) · Σᵢ ⌈occᵢ/g⌉` and the closed-form minimizer
+//! `g★ = √(S/n)` rounded to a power of two.
+
+mod block;
+mod coo;
+mod csr;
+mod ell;
+mod error;
+mod group;
+pub mod heuristic;
+
+pub use block::{Bcsr, BlockCoo, BlockGroupCoo};
+pub use coo::Coo;
+pub use csr::Csr;
+pub use ell::Ell;
+pub use error::FormatError;
+pub use group::GroupCoo;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FormatError>;

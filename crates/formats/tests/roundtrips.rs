@@ -1,0 +1,100 @@
+//! Property tests: every format is a faithful encoding of its matrix.
+
+use insum_formats::{Bcsr, BlockCoo, BlockGroupCoo, Coo, Csr, Ell, GroupCoo};
+use insum_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Random sparse matrices with dimensions divisible by 4 (so the block
+/// formats always apply with 2x2 and 4x4 blocks).
+fn sparse_matrix() -> impl Strategy<Value = Tensor> {
+    (1usize..=4, 1usize..=4, 0.0f64..0.9).prop_flat_map(|(rb, cb, density)| {
+        let rows = rb * 4;
+        let cols = cb * 4;
+        proptest::collection::vec((0.0f64..1.0, -4.0f32..4.0), rows * cols).prop_map(
+            move |cells| {
+                Tensor::from_fn(vec![rows, cols], |idx| {
+                    let (p, v) = cells[idx[0] * cols + idx[1]];
+                    // Nonzero with probability `density`, never storing
+                    // explicit zeros (v == 0 collides with padding).
+                    if p < density && v != 0.0 {
+                        v
+                    } else {
+                        0.0
+                    }
+                })
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_roundtrip(m in sparse_matrix()) {
+        prop_assert_eq!(Coo::from_dense(&m).unwrap().to_dense(), m);
+    }
+
+    #[test]
+    fn csr_roundtrip(m in sparse_matrix()) {
+        prop_assert_eq!(Csr::from_dense(&m).unwrap().to_dense(), m);
+    }
+
+    #[test]
+    fn ell_roundtrip(m in sparse_matrix()) {
+        prop_assert_eq!(Ell::from_dense(&m).unwrap().to_dense(), m);
+    }
+
+    #[test]
+    fn group_coo_roundtrip(m in sparse_matrix(), g in 1usize..=8) {
+        prop_assert_eq!(GroupCoo::from_dense(&m, g).unwrap().to_dense(), m);
+    }
+
+    #[test]
+    fn block_coo_roundtrip(m in sparse_matrix()) {
+        prop_assert_eq!(BlockCoo::from_dense(&m, 2, 2).unwrap().to_dense(), m.clone());
+        prop_assert_eq!(BlockCoo::from_dense(&m, 4, 4).unwrap().to_dense(), m);
+    }
+
+    #[test]
+    fn bcsr_roundtrip(m in sparse_matrix()) {
+        prop_assert_eq!(Bcsr::from_dense(&m, 2, 2).unwrap().to_dense(), m);
+    }
+
+    #[test]
+    fn block_group_coo_roundtrip(m in sparse_matrix(), g in 1usize..=4) {
+        prop_assert_eq!(BlockGroupCoo::from_dense(&m, 2, 2, g).unwrap().to_dense(), m);
+    }
+
+    #[test]
+    fn group_coo_padding_never_decreases_slots(m in sparse_matrix(), g in 1usize..=8) {
+        let coo = Coo::from_dense(&m).unwrap();
+        let gc = GroupCoo::from_coo(&coo, g).unwrap();
+        prop_assert!(gc.slots() >= coo.nnz());
+        // Slots are bounded by nnz + one partial group per nonempty row.
+        let nonempty = coo.occupancy().iter().filter(|&&o| o > 0).count();
+        prop_assert!(gc.slots() <= coo.nnz() + nonempty * (g - 1).max(0));
+    }
+
+    #[test]
+    fn csr_and_coo_agree(m in sparse_matrix()) {
+        let coo = Coo::from_dense(&m).unwrap();
+        let csr = Csr::from_coo(&coo);
+        prop_assert_eq!(csr.nnz(), coo.nnz());
+        prop_assert_eq!(csr.to_dense(), coo.to_dense());
+    }
+
+    #[test]
+    fn heuristic_cost_is_never_catastrophic(m in sparse_matrix()) {
+        use insum_formats::heuristic::*;
+        let occ = Coo::from_dense(&m).unwrap().occupancy();
+        if occ.iter().any(|&o| o > 0) {
+            let h = heuristic_group_size(&occ);
+            let b = brute_force_group_size(&occ);
+            // Within 2x of optimal indirect-access cost on arbitrary data.
+            prop_assert!(
+                indirect_access_cost(&occ, h) <= 2 * indirect_access_cost(&occ, b)
+            );
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Block values: the small n-d arrays kernels compute on.
+
+use insum_kernel::BinOp;
+
+/// A block value held in a virtual register: a rank ≤ 4 array of `f64`.
+///
+/// All kernel arithmetic happens in `f64` so that integer offsets (up to
+/// 2^53) and `f32` data are both represented exactly; stores round to the
+/// destination tensor's dtype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The block shape; empty for scalars.
+    pub shape: Vec<usize>,
+    /// Row-major data.
+    pub data: Vec<f64>,
+}
+
+impl Block {
+    /// A scalar block.
+    pub fn scalar(value: f64) -> Block {
+        Block { shape: vec![], data: vec![value] }
+    }
+
+    /// A block filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f64) -> Block {
+        let n = shape.iter().product();
+        Block { shape, data: vec![value; n] }
+    }
+
+    /// `[0, 1, ..., len-1]`.
+    pub fn iota(len: usize) -> Block {
+        Block { shape: vec![len], data: (0..len).map(|i| i as f64).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the block has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Insert a size-1 axis at `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > rank`.
+    pub fn expand_dims(&self, axis: usize) -> Block {
+        assert!(axis <= self.shape.len(), "expand_dims axis out of range");
+        let mut shape = self.shape.clone();
+        shape.insert(axis, 1);
+        Block { shape, data: self.data.clone() }
+    }
+
+    /// Reshape (same volume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn view(&self, shape: Vec<usize>) -> Block {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "view changes volume"
+        );
+        Block { shape, data: self.data.clone() }
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the block is rank 2.
+    pub fn trans(&self) -> Block {
+        assert_eq!(self.shape.len(), 2, "trans requires a rank-2 block");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut data = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Block { shape: vec![n, m], data }
+    }
+
+    /// Broadcast to a larger shape (NumPy rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn broadcast_to(&self, shape: &[usize]) -> Block {
+        if self.shape == shape {
+            return self.clone();
+        }
+        let nd = shape.len();
+        assert!(nd >= self.shape.len(), "broadcast cannot reduce rank");
+        let pad = nd - self.shape.len();
+        // Source strides in the padded coordinate system (0 for broadcast dims).
+        let mut strides = vec![0usize; nd];
+        let mut acc = 1usize;
+        for d in (0..self.shape.len()).rev() {
+            let dim = self.shape[d];
+            let target = shape[pad + d];
+            assert!(dim == target || dim == 1, "cannot broadcast {:?} to {:?}", self.shape, shape);
+            strides[pad + d] = if dim == 1 { 0 } else { acc };
+            acc *= dim;
+        }
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; nd];
+        for _ in 0..n {
+            let off: usize = idx.iter().zip(&strides).map(|(&i, &s)| i * s).sum();
+            data.push(self.data[off]);
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                if idx[d] < shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Block { shape: shape.to_vec(), data }
+    }
+
+    /// Joint broadcast shape of two blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn joint_shape(a: &Block, b: &Block) -> Vec<usize> {
+        let nd = a.shape.len().max(b.shape.len());
+        let mut out = vec![0usize; nd];
+        for i in 0..nd {
+            let da = if i < nd - a.shape.len() { 1 } else { a.shape[i - (nd - a.shape.len())] };
+            let db = if i < nd - b.shape.len() { 1 } else { b.shape[i - (nd - b.shape.len())] };
+            assert!(da == db || da == 1 || db == 1, "incompatible block shapes {:?} / {:?}", a.shape, b.shape);
+            out[i] = da.max(db);
+        }
+        out
+    }
+
+    /// Elementwise binary op with broadcasting.
+    pub fn binary(op: BinOp, a: &Block, b: &Block) -> Block {
+        let f = |x: f64, y: f64| -> f64 {
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::FloorDiv => (x / y).floor(),
+                BinOp::Mod => x - (x / y).floor() * y,
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::Lt => f64::from(x < y),
+                BinOp::Le => f64::from(x <= y),
+                BinOp::Eq => f64::from(x == y),
+                BinOp::Ge => f64::from(x >= y),
+                BinOp::And => f64::from(x != 0.0 && y != 0.0),
+            }
+        };
+        // Fast paths.
+        if a.shape == b.shape {
+            let data = a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect();
+            return Block { shape: a.shape.clone(), data };
+        }
+        if b.shape.is_empty() {
+            let y = b.data[0];
+            return Block { shape: a.shape.clone(), data: a.data.iter().map(|&x| f(x, y)).collect() };
+        }
+        if a.shape.is_empty() {
+            let x = a.data[0];
+            return Block { shape: b.shape.clone(), data: b.data.iter().map(|&y| f(x, y)).collect() };
+        }
+        let shape = Block::joint_shape(a, b);
+        let ab = a.broadcast_to(&shape);
+        let bb = b.broadcast_to(&shape);
+        let data = ab.data.iter().zip(&bb.data).map(|(&x, &y)| f(x, y)).collect();
+        Block { shape, data }
+    }
+
+    /// Sum over one axis (rank decreases by one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn sum_axis(&self, axis: usize) -> Block {
+        assert!(axis < self.shape.len(), "sum axis out of range");
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape.remove(axis);
+        let mut data = vec![0.0; outer * inner];
+        for o in 0..outer {
+            for m in 0..mid {
+                let src = (o * mid + m) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    data[dst + i] += self.data[src + i];
+                }
+            }
+        }
+        Block { shape, data }
+    }
+
+    /// Matrix multiply of rank-2 blocks `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn dot(a: &Block, b: &Block) -> Block {
+        assert_eq!(a.shape.len(), 2, "dot lhs must be rank 2");
+        assert_eq!(b.shape.len(), 2, "dot rhs must be rank 2");
+        let (m, k) = (a.shape[0], a.shape[1]);
+        let (k2, n) = (b.shape[0], b.shape[1]);
+        assert_eq!(k, k2, "dot inner dimensions disagree");
+        let mut data = vec![0.0; m * n];
+        for i in 0..m {
+            for l in 0..k {
+                let av = a.data[i * k + l];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = l * n;
+                let crow = i * n;
+                for j in 0..n {
+                    data[crow + j] += av * b.data[brow + j];
+                }
+            }
+        }
+        Block { shape: vec![m, n], data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iota_and_full() {
+        assert_eq!(Block::iota(3).data, vec![0.0, 1.0, 2.0]);
+        assert_eq!(Block::full(vec![2, 2], 7.0).data, vec![7.0; 4]);
+    }
+
+    #[test]
+    fn expand_and_broadcast() {
+        let r = Block::iota(3).expand_dims(0); // [1,3]
+        assert_eq!(r.shape, vec![1, 3]);
+        let b = r.broadcast_to(&[2, 3]);
+        assert_eq!(b.data, vec![0.0, 1.0, 2.0, 0.0, 1.0, 2.0]);
+        let c = Block::iota(2).expand_dims(1).broadcast_to(&[2, 3]);
+        assert_eq!(c.data, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn binary_broadcasting_matrix() {
+        // y[:,None] * 4 + x[None,:] — the flattened-offset pattern.
+        let y = Block::iota(2).expand_dims(1);
+        let x = Block::iota(4).expand_dims(0);
+        let four = Block::scalar(4.0);
+        let off = Block::binary(BinOp::Add, &Block::binary(BinOp::Mul, &y, &four), &x);
+        assert_eq!(off.shape, vec![2, 4]);
+        assert_eq!(off.data, vec![0., 1., 2., 3., 4., 5., 6., 7.]);
+    }
+
+    #[test]
+    fn comparison_produces_masks() {
+        let x = Block::iota(4);
+        let two = Block::scalar(2.0);
+        let m = Block::binary(BinOp::Lt, &x, &two);
+        assert_eq!(m.data, vec![1.0, 1.0, 0.0, 0.0]);
+        let m2 = Block::binary(BinOp::Ge, &x, &two);
+        let both = Block::binary(BinOp::And, &m, &m2);
+        assert_eq!(both.data, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn floor_div_and_mod() {
+        let x = Block::iota(6);
+        let three = Block::scalar(3.0);
+        let d = Block::binary(BinOp::FloorDiv, &x, &three);
+        let m = Block::binary(BinOp::Mod, &x, &three);
+        assert_eq!(d.data, vec![0., 0., 0., 1., 1., 1.]);
+        assert_eq!(m.data, vec![0., 1., 2., 0., 1., 2.]);
+    }
+
+    #[test]
+    fn trans_and_view() {
+        let x = Block { shape: vec![2, 3], data: (0..6).map(|v| v as f64).collect() };
+        let t = x.trans();
+        assert_eq!(t.shape, vec![3, 2]);
+        assert_eq!(t.data, vec![0., 3., 1., 4., 2., 5.]);
+        let v = x.view(vec![3, 2]);
+        assert_eq!(v.data, x.data);
+    }
+
+    #[test]
+    fn sum_axis_reduces() {
+        let x = Block { shape: vec![2, 3], data: vec![1., 2., 3., 4., 5., 6.] };
+        assert_eq!(x.sum_axis(1).data, vec![6.0, 15.0]);
+        assert_eq!(x.sum_axis(0).data, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        let a = Block { shape: vec![2, 3], data: vec![1., 2., 3., 4., 5., 6.] };
+        let b = Block { shape: vec![3, 2], data: vec![7., 8., 9., 10., 11., 12.] };
+        let c = Block::dot(&a, &b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dot_shape_mismatch_panics() {
+        let a = Block::full(vec![2, 3], 1.0);
+        let b = Block::full(vec![2, 2], 1.0);
+        Block::dot(&a, &b);
+    }
+
+    #[test]
+    fn scalar_fast_paths() {
+        let x = Block::iota(3);
+        let s = Block::scalar(10.0);
+        assert_eq!(Block::binary(BinOp::Add, &x, &s).data, vec![10., 11., 12.]);
+        assert_eq!(Block::binary(BinOp::Sub, &s, &x).data, vec![10., 9., 8.]);
+    }
+}

@@ -1,0 +1,88 @@
+//! The device cost model.
+
+/// Performance parameters of the simulated GPU.
+///
+/// Defaults approximate an NVIDIA RTX 3090 (Ampere GA102), the card used
+/// throughout the paper's evaluation. The absolute values matter less than
+/// their ratios: Tensor Core vs scalar throughput, DRAM vs L2 bandwidth,
+/// and the fixed kernel-launch overhead are what drive every relative
+/// result reproduced in EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// DRAM bandwidth, bytes/second.
+    pub dram_bw: f64,
+    /// Aggregate L2 bandwidth, bytes/second.
+    pub l2_bw: f64,
+    /// FP16 Tensor Core throughput, FLOP/s.
+    pub tc_f16_flops: f64,
+    /// FP32 (TF32) Tensor Core throughput, FLOP/s.
+    pub tc_f32_flops: f64,
+    /// Scalar ALU throughput, FLOP/s.
+    pub alu_flops: f64,
+    /// Aggregate shared-memory bandwidth, bytes/second.
+    pub smem_bw: f64,
+    /// Global atomic throughput, operations/second.
+    pub atomic_rate: f64,
+    /// Extra serialization time per colliding atomic, seconds.
+    pub atomic_conflict_penalty: f64,
+    /// Fixed kernel launch overhead, seconds.
+    pub launch_overhead: f64,
+    /// Per-instruction issue cost per program instance, seconds.
+    pub instr_issue: f64,
+    /// Pipeline stall per data-dependent (CSR-style) loop iteration —
+    /// the pointer-chase latency static loops don't pay, seconds.
+    pub dyn_loop_stall: f64,
+}
+
+impl Default for DeviceModel {
+    fn default() -> DeviceModel {
+        DeviceModel::rtx3090()
+    }
+}
+
+impl DeviceModel {
+    /// The RTX-3090-class model used for all experiments.
+    pub fn rtx3090() -> DeviceModel {
+        DeviceModel {
+            num_sms: 82,
+            dram_bw: 936e9,
+            l2_bw: 2.5e12,
+            tc_f16_flops: 71e12,
+            tc_f32_flops: 35.5e12,
+            alu_flops: 17.8e12,
+            smem_bw: 10e12,
+            atomic_rate: 4e11,
+            atomic_conflict_penalty: 2.0e-9,
+            launch_overhead: 1.5e-6,
+            instr_issue: 1.2e-9,
+            dyn_loop_stall: 12e-9,
+        }
+    }
+
+    /// Per-SM share of a device-wide rate.
+    pub fn per_sm(&self, rate: f64) -> f64 {
+        rate / self.num_sms as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_rtx3090() {
+        assert_eq!(DeviceModel::default(), DeviceModel::rtx3090());
+    }
+
+    #[test]
+    fn ratios_are_sane() {
+        let d = DeviceModel::rtx3090();
+        // Tensor cores are several times faster than the scalar ALUs.
+        assert!(d.tc_f16_flops / d.alu_flops > 3.0);
+        // L2 is faster than DRAM.
+        assert!(d.l2_bw > d.dram_bw);
+        assert!(d.per_sm(d.l2_bw) * d.num_sms as f64 == d.l2_bw);
+    }
+}

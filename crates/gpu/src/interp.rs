@@ -1,0 +1,841 @@
+//! The kernel interpreter: functional execution + cost accounting.
+
+use crate::block::Block;
+use crate::device::DeviceModel;
+use crate::stats::{combine_times, KernelReport, KernelStats};
+use insum_kernel::{Instr, Kernel, KernelError, Reg};
+use insum_tensor::{DType, Tensor};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Interpreter mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Compute real values and mutate output tensors (used by tests and
+    /// small runs). Counters are exact.
+    Execute,
+    /// Skip floating-point value math and output writes; metadata (I32)
+    /// loads still read real data so addresses, masks, and all counters
+    /// are exactly as in [`Mode::Execute`].
+    Analytic,
+}
+
+/// Error from launching a kernel on the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// Argument count does not match the kernel's parameter list.
+    ParamCountMismatch {
+        /// Parameters declared by the kernel.
+        expected: usize,
+        /// Arguments supplied.
+        actual: usize,
+    },
+    /// A lane computed an out-of-bounds element offset.
+    OffsetOutOfBounds {
+        /// Parameter name.
+        param: String,
+        /// The offending element offset.
+        offset: i64,
+        /// The parameter's element count.
+        len: usize,
+    },
+    /// The launch grid is empty or has more than 3 dimensions.
+    BadGrid(Vec<usize>),
+    /// The kernel failed structural validation.
+    Kernel(KernelError),
+    /// A register was read before being written.
+    UninitializedRegister(Reg),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::ParamCountMismatch { expected, actual } => {
+                write!(f, "kernel expects {expected} arguments, got {actual}")
+            }
+            GpuError::OffsetOutOfBounds { param, offset, len } => {
+                write!(f, "offset {offset} out of bounds for parameter {param:?} ({len} elements)")
+            }
+            GpuError::BadGrid(g) => write!(f, "bad launch grid {g:?}"),
+            GpuError::Kernel(e) => write!(f, "{e}"),
+            GpuError::UninitializedRegister(r) => write!(f, "register v{r} read before write"),
+        }
+    }
+}
+
+impl Error for GpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpuError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for GpuError {
+    fn from(e: KernelError) -> Self {
+        GpuError::Kernel(e)
+    }
+}
+
+/// Per-instance cost accumulator.
+#[derive(Default, Clone, Copy)]
+struct InstCost {
+    l2_read_sectors: u64,
+    l2_write_sectors: u64,
+    flops_tc_f16: u64,
+    flops_tc_f32: u64,
+    flops_scalar: u64,
+    smem_bytes: u64,
+    atomics: u64,
+    instructions: u64,
+    dyn_iters: u64,
+}
+
+struct Machine<'a> {
+    kernel: &'a Kernel,
+    mode: Mode,
+    dot_f16: bool,
+    bases: Vec<u64>,
+    esizes: Vec<u64>,
+    lens: Vec<usize>,
+    dtypes: Vec<DType>,
+    dram_read_seen: HashSet<u64>,
+    dram_write_seen: HashSet<u64>,
+    atomic_counts: HashMap<u64, u64>,
+    stats: KernelStats,
+    inst: InstCost,
+}
+
+const SECTOR: u64 = 32;
+const WARP: usize = 32;
+
+impl Machine<'_> {
+    /// Record a warp-granular memory access over the active lanes of an
+    /// offset block; returns an error on out-of-bounds offsets.
+    fn record_access(
+        &mut self,
+        param: usize,
+        offsets: &Block,
+        mask: Option<&Block>,
+        is_write: bool,
+    ) -> Result<(), GpuError> {
+        let base = self.bases[param];
+        let esize = self.esizes[param];
+        let len = self.lens[param];
+        let mut sectors: Vec<u64> = Vec::with_capacity(WARP);
+        let n = offsets.len();
+        let mut lane = 0;
+        while lane < n {
+            let warp_end = (lane + WARP).min(n);
+            sectors.clear();
+            for l in lane..warp_end {
+                let active = mask.map_or(true, |m| m.data[l] != 0.0);
+                if !active {
+                    continue;
+                }
+                let off = offsets.data[l];
+                let off_i = off as i64;
+                if off_i < 0 || off_i as usize >= len {
+                    return Err(GpuError::OffsetOutOfBounds {
+                        param: self.kernel.params[param].name.clone(),
+                        offset: off_i,
+                        len,
+                    });
+                }
+                let addr = base + off_i as u64 * esize;
+                sectors.push(addr / SECTOR);
+                // A multi-byte element can straddle a sector boundary only
+                // if unaligned; our tensors are element-aligned so one
+                // sector per element access suffices.
+            }
+            sectors.sort_unstable();
+            sectors.dedup();
+            let uniq = sectors.len() as u64;
+            if is_write {
+                self.inst.l2_write_sectors += uniq;
+                for &s in &sectors {
+                    if self.dram_write_seen.insert(s) {
+                        self.stats.dram_write_sectors += 1;
+                    }
+                }
+            } else {
+                self.inst.l2_read_sectors += uniq;
+                for &s in &sectors {
+                    if self.dram_read_seen.insert(s) {
+                        self.stats.dram_read_sectors += 1;
+                    }
+                }
+            }
+            lane = warp_end;
+        }
+        Ok(())
+    }
+
+    fn reg<'b>(regs: &'b [Option<Block>], r: Reg) -> Result<&'b Block, GpuError> {
+        regs[r].as_ref().ok_or(GpuError::UninitializedRegister(r))
+    }
+
+    fn run_body(
+        &mut self,
+        body: &[Instr],
+        regs: &mut Vec<Option<Block>>,
+        pid: [usize; 3],
+        args: &mut [&mut Tensor],
+    ) -> Result<(), GpuError> {
+        for instr in body {
+            self.inst.instructions += 1;
+            match instr {
+                Instr::ProgramId { dst, axis } => {
+                    regs[*dst] = Some(Block::scalar(pid[*axis] as f64));
+                }
+                Instr::Const { dst, value } => {
+                    regs[*dst] = Some(Block::scalar(*value));
+                }
+                Instr::Arange { dst, len } => {
+                    regs[*dst] = Some(Block::iota(*len));
+                }
+                Instr::Full { dst, shape, value } => {
+                    regs[*dst] = Some(Block::full(shape.clone(), *value));
+                }
+                Instr::Binary { dst, op, a, b } => {
+                    let out = {
+                        let av = Self::reg(regs, *a)?;
+                        let bv = Self::reg(regs, *b)?;
+                        Block::binary(*op, av, bv)
+                    };
+                    self.inst.flops_scalar += out.len() as u64;
+                    regs[*dst] = Some(out);
+                }
+                Instr::ExpandDims { dst, src, axis } => {
+                    regs[*dst] = Some(Self::reg(regs, *src)?.expand_dims(*axis));
+                }
+                Instr::Broadcast { dst, src, shape } => {
+                    let out = Self::reg(regs, *src)?.broadcast_to(shape);
+                    self.inst.smem_bytes += 4 * out.len() as u64;
+                    regs[*dst] = Some(out);
+                }
+                Instr::View { dst, src, shape } => {
+                    let out = Self::reg(regs, *src)?.view(shape.clone());
+                    self.inst.smem_bytes += 4 * out.len() as u64;
+                    regs[*dst] = Some(out);
+                }
+                Instr::Trans { dst, src } => {
+                    let out = Self::reg(regs, *src)?.trans();
+                    self.inst.smem_bytes += 4 * out.len() as u64;
+                    regs[*dst] = Some(out);
+                }
+                Instr::Load { dst, param, offset, mask, other } => {
+                    let (offsets, maskb) = {
+                        let off = Self::reg(regs, *offset)?;
+                        match mask {
+                            Some(m) => {
+                                let mb = Self::reg(regs, *m)?;
+                                let joint = Block::joint_shape(off, mb);
+                                (off.broadcast_to(&joint), Some(mb.broadcast_to(&joint)))
+                            }
+                            None => (off.clone(), None),
+                        }
+                    };
+                    self.record_access(*param, &offsets, maskb.as_ref(), false)?;
+                    let read_values =
+                        self.mode == Mode::Execute || self.dtypes[*param] == DType::I32;
+                    let data: Vec<f64> = offsets
+                        .data
+                        .iter()
+                        .enumerate()
+                        .map(|(l, &off)| {
+                            let active = maskb.as_ref().map_or(true, |m| m.data[l] != 0.0);
+                            if !active {
+                                *other
+                            } else if read_values {
+                                args[*param].data()[off as usize] as f64
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    regs[*dst] = Some(Block { shape: offsets.shape.clone(), data });
+                }
+                Instr::Store { param, offset, value, mask } => {
+                    let (offsets, values, maskb) =
+                        self.prepare_write(regs, *offset, *value, *mask)?;
+                    self.record_access(*param, &offsets, maskb.as_ref(), true)?;
+                    if self.mode == Mode::Execute {
+                        let round = self.dtypes[*param] == DType::F16;
+                        for (l, &off) in offsets.data.iter().enumerate() {
+                            let active = maskb.as_ref().map_or(true, |m| m.data[l] != 0.0);
+                            if active {
+                                let mut v = values.data[l] as f32;
+                                if round {
+                                    v = insum_tensor::f16_round(v);
+                                }
+                                args[*param].data_mut()[off as usize] = v;
+                            }
+                        }
+                    }
+                }
+                Instr::AtomicAdd { param, offset, value, mask } => {
+                    let (offsets, values, maskb) =
+                        self.prepare_write(regs, *offset, *value, *mask)?;
+                    self.record_access(*param, &offsets, maskb.as_ref(), true)?;
+                    let base = self.bases[*param];
+                    let esize = self.esizes[*param];
+                    let round = self.dtypes[*param] == DType::F16;
+                    for (l, &off) in offsets.data.iter().enumerate() {
+                        let active = maskb.as_ref().map_or(true, |m| m.data[l] != 0.0);
+                        if !active {
+                            continue;
+                        }
+                        self.inst.atomics += 1;
+                        let addr = base + off as u64 * esize;
+                        *self.atomic_counts.entry(addr).or_insert(0) += 1;
+                        if self.mode == Mode::Execute {
+                            let slot = &mut args[*param].data_mut()[off as usize];
+                            let mut v = *slot + values.data[l] as f32;
+                            if round {
+                                v = insum_tensor::f16_round(v);
+                            }
+                            *slot = v;
+                        }
+                    }
+                }
+                Instr::Dot { dst, a, b } => {
+                    let (m, k, n, out) = {
+                        let av = Self::reg(regs, *a)?;
+                        let bv = Self::reg(regs, *b)?;
+                        let (m, k) = (av.shape[0], av.shape[1]);
+                        let n = bv.shape[1];
+                        let out = if self.mode == Mode::Execute {
+                            Block::dot(av, bv)
+                        } else {
+                            debug_assert_eq!(bv.shape[0], k, "dot inner dims");
+                            Block::full(vec![m, n], 0.0)
+                        };
+                        (m, k, n, out)
+                    };
+                    let flops = 2 * (m * k * n) as u64;
+                    if self.dot_f16 {
+                        self.inst.flops_tc_f16 += flops;
+                    } else {
+                        self.inst.flops_tc_f32 += flops;
+                    }
+                    regs[*dst] = Some(out);
+                }
+                Instr::Sum { dst, src, axis } => {
+                    let out = {
+                        let sv = Self::reg(regs, *src)?;
+                        self.inst.flops_scalar += sv.len() as u64;
+                        sv.sum_axis(*axis)
+                    };
+                    regs[*dst] = Some(out);
+                }
+                Instr::Loop { var, start, end, step, body } => {
+                    let mut v = *start;
+                    while v < *end {
+                        regs[*var] = Some(Block::scalar(v as f64));
+                        self.run_body(body, regs, pid, args)?;
+                        v += *step;
+                    }
+                }
+                Instr::LoopDyn { var, start, end, body } => {
+                    let lo = Self::reg(regs, *start)?.data[0] as i64;
+                    let hi = Self::reg(regs, *end)?.data[0] as i64;
+                    self.inst.dyn_iters += (hi - lo).max(0) as u64;
+                    let mut v = lo;
+                    while v < hi {
+                        regs[*var] = Some(Block::scalar(v as f64));
+                        self.run_body(body, regs, pid, args)?;
+                        v += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Broadcast offset/value/mask to a joint shape for a write.
+    fn prepare_write(
+        &self,
+        regs: &[Option<Block>],
+        offset: Reg,
+        value: Reg,
+        mask: Option<Reg>,
+    ) -> Result<(Block, Block, Option<Block>), GpuError> {
+        let off = Self::reg(regs, offset)?;
+        let val = Self::reg(regs, value)?;
+        let mut joint = Block::joint_shape(off, val);
+        let maskb = match mask {
+            Some(m) => {
+                let mb = Self::reg(regs, m)?;
+                joint = Block::joint_shape(&Block::full(joint.clone(), 0.0), mb);
+                Some(mb.broadcast_to(&joint))
+            }
+            None => None,
+        };
+        Ok((off.broadcast_to(&joint), val.broadcast_to(&joint), maskb))
+    }
+}
+
+/// Launch a kernel on the simulated device.
+///
+/// `args` bind positionally to `kernel.params`. In [`Mode::Execute`] the
+/// written parameters are mutated in place; in [`Mode::Analytic`] no
+/// tensor is modified but all counters (and the returned timing) are
+/// identical.
+///
+/// # Errors
+///
+/// * [`GpuError::Kernel`] if the kernel fails validation.
+/// * [`GpuError::ParamCountMismatch`] / [`GpuError::BadGrid`] on binding
+///   errors.
+/// * [`GpuError::OffsetOutOfBounds`] if any active lane addresses outside
+///   its parameter (this catches codegen bugs; real GPUs would corrupt
+///   memory).
+pub fn launch(
+    kernel: &Kernel,
+    grid: &[usize],
+    args: &mut [&mut Tensor],
+    device: &DeviceModel,
+    mode: Mode,
+) -> Result<KernelReport, GpuError> {
+    kernel.validate()?;
+    if args.len() != kernel.params.len() {
+        return Err(GpuError::ParamCountMismatch { expected: kernel.params.len(), actual: args.len() });
+    }
+    if grid.is_empty() || grid.len() > 3 || grid.iter().any(|&g| g == 0) {
+        return Err(GpuError::BadGrid(grid.to_vec()));
+    }
+    let mut gdims = [1usize; 3];
+    gdims[..grid.len()].copy_from_slice(grid);
+
+    // Parameter layout in the simulated address space (256-byte aligned).
+    let mut bases = Vec::with_capacity(args.len());
+    let mut esizes = Vec::with_capacity(args.len());
+    let mut cursor = 0u64;
+    for t in args.iter() {
+        bases.push(cursor);
+        let esize = t.dtype().size_bytes() as u64;
+        esizes.push(esize);
+        cursor += (t.len() as u64 * esize).div_ceil(256) * 256 + 256;
+    }
+    let dot_f16 = {
+        let floats: Vec<&&mut Tensor> = args.iter().filter(|t| t.dtype().is_float()).collect();
+        !floats.is_empty() && floats.iter().all(|t| t.dtype() == DType::F16)
+    };
+
+    let instances = gdims[0] * gdims[1] * gdims[2];
+    let lens: Vec<usize> = args.iter().map(|t| t.len()).collect();
+    let dtypes: Vec<DType> = args.iter().map(|t| t.dtype()).collect();
+    let mut machine = Machine {
+        kernel,
+        mode,
+        dot_f16,
+        bases,
+        esizes,
+        lens,
+        dtypes,
+        dram_read_seen: HashSet::new(),
+        dram_write_seen: HashSet::new(),
+        atomic_counts: HashMap::new(),
+        stats: KernelStats::default(),
+        inst: InstCost::default(),
+    };
+
+    let mut instance_times = Vec::with_capacity(instances);
+    let mut regs: Vec<Option<Block>> = vec![None; kernel.num_regs];
+    for iz in 0..gdims[2] {
+        for iy in 0..gdims[1] {
+            for ix in 0..gdims[0] {
+                machine.inst = InstCost::default();
+                regs.iter_mut().for_each(|r| *r = None);
+                machine.run_body(&kernel.body, &mut regs, [ix, iy, iz], args)?;
+                // Fold instance cost into totals.
+                let c = machine.inst;
+                machine.stats.l2_read_sectors += c.l2_read_sectors;
+                machine.stats.l2_write_sectors += c.l2_write_sectors;
+                machine.stats.flops_tc_f16 += c.flops_tc_f16;
+                machine.stats.flops_tc_f32 += c.flops_tc_f32;
+                machine.stats.flops_scalar += c.flops_scalar;
+                machine.stats.smem_bytes += c.smem_bytes;
+                machine.stats.atomics += c.atomics;
+                machine.stats.instructions += c.instructions;
+                // Per-instance time on one SM.
+                let mem = 32.0 * (c.l2_read_sectors + c.l2_write_sectors) as f64
+                    / device.per_sm(device.l2_bw);
+                let compute = c.flops_tc_f16 as f64 / device.per_sm(device.tc_f16_flops)
+                    + c.flops_tc_f32 as f64 / device.per_sm(device.tc_f32_flops)
+                    + c.flops_scalar as f64 / device.per_sm(device.alu_flops)
+                    + c.smem_bytes as f64 / device.per_sm(device.smem_bw);
+                let t = device.instr_issue * c.instructions as f64
+                    + device.dyn_loop_stall * c.dyn_iters as f64
+                    + mem.max(compute);
+                instance_times.push(t);
+            }
+        }
+    }
+
+    machine.stats.instances = instances as u64;
+    let conflicts: u64 = machine.atomic_counts.values().map(|&c| c - 1).sum();
+    machine.stats.atomic_conflicts = conflicts;
+    // Atomics to distinct addresses pipeline across the L2 slices
+    // (throughput term); only the longest same-address chain serializes
+    // (latency term).
+    let max_chain: u64 =
+        machine.atomic_counts.values().map(|&c| c - 1).max().unwrap_or(0);
+
+    let dram_time = machine.stats.dram_bytes() as f64 / device.dram_bw
+        + machine.stats.atomics as f64 / device.atomic_rate
+        + max_chain as f64 * device.atomic_conflict_penalty;
+    let (time, sm_time, dram_time) = combine_times(device, &instance_times, dram_time);
+    let max_instance_time = instance_times.iter().copied().fold(0.0, f64::max);
+
+    Ok(KernelReport {
+        name: kernel.name.clone(),
+        grid: grid.to_vec(),
+        stats: machine.stats,
+        time,
+        sm_time,
+        dram_time,
+        max_instance_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insum_kernel::{BinOp, KernelBuilder};
+
+    fn device() -> DeviceModel {
+        DeviceModel::rtx3090()
+    }
+
+    /// y[i] = 2 * x[i] over a 64-element vector, 32 lanes per program.
+    fn axpy_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("axpy");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let pid = b.program_id(0);
+        let lanes = b.arange(32);
+        let width = b.constant(32.0);
+        let base = b.binary(BinOp::Mul, pid, width);
+        let offs = b.binary(BinOp::Add, base, lanes);
+        let v = b.load(x, offs, None, 0.0);
+        let two = b.constant(2.0);
+        let v2 = b.binary(BinOp::Mul, v, two);
+        b.store(y, offs, v2, None);
+        b.build()
+    }
+
+    #[test]
+    fn execute_computes_values() {
+        let mut x = Tensor::from_fn(vec![64], |i| i[0] as f32);
+        let mut y = Tensor::zeros(vec![64]);
+        let report =
+            launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y], &device(), Mode::Execute).unwrap();
+        assert_eq!(y.at(&[10]), 20.0);
+        assert_eq!(y.at(&[63]), 126.0);
+        assert_eq!(report.stats.instances, 2);
+        assert!(report.time > 0.0);
+    }
+
+    #[test]
+    fn analytic_counts_match_execute_but_skips_writes() {
+        let mut x = Tensor::from_fn(vec![64], |i| i[0] as f32);
+        let mut y1 = Tensor::zeros(vec![64]);
+        let mut y2 = Tensor::zeros(vec![64]);
+        let r1 =
+            launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y1], &device(), Mode::Execute).unwrap();
+        let r2 =
+            launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y2], &device(), Mode::Analytic).unwrap();
+        assert_eq!(r1.stats, r2.stats);
+        assert_eq!(r1.time, r2.time);
+        assert!(y2.data().iter().all(|&v| v == 0.0), "analytic mode must not write");
+    }
+
+    #[test]
+    fn coalesced_load_sector_count() {
+        // 64 contiguous f32 = 256 bytes = 8 sectors read; same written.
+        let mut x = Tensor::zeros(vec![64]);
+        let mut y = Tensor::zeros(vec![64]);
+        let r = launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y], &device(), Mode::Execute).unwrap();
+        assert_eq!(r.stats.l2_read_sectors, 8);
+        assert_eq!(r.stats.dram_read_sectors, 8);
+        assert_eq!(r.stats.l2_write_sectors, 8);
+    }
+
+    #[test]
+    fn strided_access_costs_more_sectors() {
+        // Gather x[8*i] for 32 lanes: each lane lands in its own sector.
+        let mut b = KernelBuilder::new("strided");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let stride = b.constant(8.0);
+        let offs = b.binary(BinOp::Mul, lanes, stride);
+        let v = b.load(x, offs, None, 0.0);
+        b.store(y, lanes, v, None);
+        let k = b.build();
+        let mut x_t = Tensor::zeros(vec![256]);
+        let mut y_t = Tensor::zeros(vec![32]);
+        let r = launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        assert_eq!(r.stats.l2_read_sectors, 32, "one sector per strided lane");
+    }
+
+    #[test]
+    fn repeated_loads_hit_l2_not_dram() {
+        // Two programs load the same 32 elements.
+        let mut b = KernelBuilder::new("reuse");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let pid = b.program_id(0);
+        let lanes = b.arange(32);
+        let v = b.load(x, lanes, None, 0.0);
+        let width = b.constant(32.0);
+        let base = b.binary(BinOp::Mul, pid, width);
+        let offs = b.binary(BinOp::Add, base, lanes);
+        b.store(y, offs, v, None);
+        let k = b.build();
+        let mut x_t = Tensor::zeros(vec![32]);
+        let mut y_t = Tensor::zeros(vec![64]);
+        let r = launch(&k, &[2], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        assert_eq!(r.stats.l2_read_sectors, 8, "both programs read 4 sectors");
+        assert_eq!(r.stats.dram_read_sectors, 4, "DRAM sees the data once");
+    }
+
+    #[test]
+    fn masked_lanes_generate_no_traffic() {
+        let mut b = KernelBuilder::new("masked");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let bound = b.constant(8.0);
+        let mask = b.binary(BinOp::Lt, lanes, bound);
+        let v = b.load(x, lanes, Some(mask), 0.0);
+        b.store(y, lanes, v, Some(mask));
+        let k = b.build();
+        let mut x_t = Tensor::from_fn(vec![32], |i| i[0] as f32);
+        let mut y_t = Tensor::zeros(vec![32]);
+        let r = launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        assert_eq!(r.stats.l2_read_sectors, 1, "8 f32 = 1 sector");
+        assert_eq!(y_t.at(&[7]), 7.0);
+        assert_eq!(y_t.at(&[8]), 0.0);
+    }
+
+    #[test]
+    fn masked_out_of_bounds_is_safe() {
+        // Lanes beyond the tensor are masked off; no error.
+        let mut b = KernelBuilder::new("tailmask");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let bound = b.constant(10.0);
+        let mask = b.binary(BinOp::Lt, lanes, bound);
+        let v = b.load(x, lanes, Some(mask), 0.0);
+        b.store(y, lanes, v, Some(mask));
+        let k = b.build();
+        let mut x_t = Tensor::zeros(vec![10]);
+        let mut y_t = Tensor::zeros(vec![10]);
+        launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+    }
+
+    #[test]
+    fn unmasked_out_of_bounds_reported() {
+        let mut b = KernelBuilder::new("oob");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let v = b.load(x, lanes, None, 0.0);
+        b.store(y, lanes, v, None);
+        let k = b.build();
+        let mut x_t = Tensor::zeros(vec![10]);
+        let mut y_t = Tensor::zeros(vec![32]);
+        assert!(matches!(
+            launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute),
+            Err(GpuError::OffsetOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_conflicts_are_counted() {
+        // All 32 lanes atomically add 1.0 to Y[0].
+        let mut b = KernelBuilder::new("conflict");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let zero = b.constant(0.0);
+        let offs = b.binary(BinOp::Mul, lanes, zero);
+        let one = b.constant(1.0);
+        let ones = b.binary(BinOp::Add, offs, one); // block of 1.0
+        b.atomic_add(y, offs, ones, None);
+        let k = b.build();
+        let mut y_t = Tensor::zeros(vec![4]);
+        let r = launch(&k, &[1], &mut [&mut y_t], &device(), Mode::Execute).unwrap();
+        assert_eq!(y_t.at(&[0]), 32.0);
+        assert_eq!(r.stats.atomics, 32);
+        assert_eq!(r.stats.atomic_conflicts, 31);
+    }
+
+    #[test]
+    fn atomics_to_distinct_addresses_do_not_conflict() {
+        let mut b = KernelBuilder::new("noconflict");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let one = b.constant(1.0);
+        let zero = b.constant(0.0);
+        let vals = b.binary(BinOp::Mul, lanes, zero);
+        let vals1 = b.binary(BinOp::Add, vals, one);
+        b.atomic_add(y, lanes, vals1, None);
+        let k = b.build();
+        let mut y_t = Tensor::zeros(vec![32]);
+        let r = launch(&k, &[1], &mut [&mut y_t], &device(), Mode::Execute).unwrap();
+        assert_eq!(r.stats.atomic_conflicts, 0);
+        assert!(y_t.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn dot_counts_tensor_core_flops_by_dtype() {
+        let mut b = KernelBuilder::new("dot");
+        let a = b.input("A");
+        let bb = b.input("B");
+        let c = b.output("C");
+        let offs_a = b.arange(16 * 8);
+        let a2 = b.load(a, offs_a, None, 0.0);
+        let a2v = b.view(a2, vec![16, 8]);
+        let offs_b = b.arange(8 * 16);
+        let b2 = b.load(bb, offs_b, None, 0.0);
+        let b2v = b.view(b2, vec![8, 16]);
+        let d = b.dot(a2v, b2v);
+        let offs_c = b.arange(16 * 16);
+        let dflat = b.view(d, vec![256]);
+        b.store(c, offs_c, dflat, None);
+        let k = b.build();
+
+        let mut a_t = Tensor::ones(vec![16, 8]);
+        let mut b_t = Tensor::ones(vec![8, 16]);
+        let mut c_t = Tensor::zeros(vec![16, 16]);
+        let r =
+            launch(&k, &[1], &mut [&mut a_t, &mut b_t, &mut c_t], &device(), Mode::Execute).unwrap();
+        assert_eq!(r.stats.flops_tc_f32, 2 * 16 * 8 * 16);
+        assert_eq!(r.stats.flops_tc_f16, 0);
+        assert_eq!(c_t.at(&[0, 0]), 8.0);
+
+        // Same kernel with f16 inputs charges the f16 pipe.
+        let mut a_h = Tensor::ones(vec![16, 8]).cast(DType::F16);
+        let mut b_h = Tensor::ones(vec![8, 16]).cast(DType::F16);
+        let mut c_h = Tensor::zeros(vec![16, 16]).cast(DType::F16);
+        let r2 =
+            launch(&k, &[1], &mut [&mut a_h, &mut b_h, &mut c_h], &device(), Mode::Execute).unwrap();
+        assert_eq!(r2.stats.flops_tc_f16, 2 * 16 * 8 * 16);
+        assert_eq!(r2.stats.flops_tc_f32, 0);
+    }
+
+    #[test]
+    fn f16_tensors_move_fewer_bytes() {
+        let mut x32 = Tensor::zeros(vec![64]);
+        let mut y32 = Tensor::zeros(vec![64]);
+        let r32 =
+            launch(&axpy_kernel(), &[2], &mut [&mut x32, &mut y32], &device(), Mode::Execute)
+                .unwrap();
+        let mut x16 = Tensor::zeros(vec![64]).cast(DType::F16);
+        let mut y16 = Tensor::zeros(vec![64]).cast(DType::F16);
+        let r16 =
+            launch(&axpy_kernel(), &[2], &mut [&mut x16, &mut y16], &device(), Mode::Execute)
+                .unwrap();
+        assert!(r16.stats.dram_bytes() < r32.stats.dram_bytes());
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        // y[0..32] = sum over 4 chunks of x.
+        let mut b = KernelBuilder::new("loopsum");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let acc = b.full(vec![32], 0.0);
+        let i = b.begin_loop(0, 4, 1);
+        let width = b.constant(32.0);
+        let base = b.binary(BinOp::Mul, i, width);
+        let offs = b.binary(BinOp::Add, base, lanes);
+        let v = b.load(x, offs, None, 0.0);
+        b.binary_into(acc, BinOp::Add, acc, v);
+        b.end_loop();
+        b.store(y, lanes, acc, None);
+        let k = b.build();
+        let mut x_t = Tensor::ones(vec![128]);
+        let mut y_t = Tensor::zeros(vec![32]);
+        launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        assert!(y_t.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn param_count_mismatch_reported() {
+        let mut x = Tensor::zeros(vec![64]);
+        assert!(matches!(
+            launch(&axpy_kernel(), &[1], &mut [&mut x], &device(), Mode::Execute),
+            Err(GpuError::ParamCountMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_grid_reported() {
+        let mut x = Tensor::zeros(vec![64]);
+        let mut y = Tensor::zeros(vec![64]);
+        assert!(matches!(
+            launch(&axpy_kernel(), &[], &mut [&mut x, &mut y], &device(), Mode::Execute),
+            Err(GpuError::BadGrid(_))
+        ));
+        assert!(matches!(
+            launch(&axpy_kernel(), &[0], &mut [&mut x, &mut y], &device(), Mode::Execute),
+            Err(GpuError::BadGrid(_))
+        ));
+    }
+
+    #[test]
+    fn smem_traffic_charged_for_view_and_trans() {
+        let mut b = KernelBuilder::new("smem");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let offs = b.arange(64);
+        let v = b.load(x, offs, None, 0.0);
+        let v2 = b.view(v, vec![8, 8]);
+        let v3 = b.trans(v2);
+        let v4 = b.view(v3, vec![64]);
+        b.store(y, offs, v4, None);
+        let k = b.build();
+        let mut x_t = Tensor::from_fn(vec![64], |i| i[0] as f32);
+        let mut y_t = Tensor::zeros(vec![64]);
+        let r = launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        assert_eq!(r.stats.smem_bytes, 3 * 64 * 4);
+        // Transposed copy really happened.
+        assert_eq!(y_t.at(&[1]), 8.0);
+    }
+
+    #[test]
+    fn straggler_dominates_kernel_time() {
+        // Program 0 loops 256 times, programs 1..64 do nothing much.
+        let mut b = KernelBuilder::new("skew");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let pid = b.program_id(0);
+        let zero = b.constant(0.0);
+        let is_zero = b.binary(BinOp::Eq, pid, zero);
+        let iters = b.constant(256.0);
+        let my_iters = b.binary(BinOp::Mul, is_zero, iters);
+        let lanes = b.arange(32);
+        let acc = b.full(vec![32], 0.0);
+        let i = b.begin_loop(0, 256, 1);
+        let live = b.binary(BinOp::Lt, i, my_iters);
+        let v = b.load(x, lanes, Some(live), 0.0);
+        b.binary_into(acc, BinOp::Add, acc, v);
+        b.end_loop();
+        b.store(y, lanes, acc, None);
+        let k = b.build();
+        let mut x_t = Tensor::ones(vec![32]);
+        let mut y_t = Tensor::zeros(vec![32]);
+        let r = launch(&k, &[64], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        // The longest instance is far above the mean.
+        assert!(r.max_instance_time > 10.0 * r.sm_time / 64.0);
+        assert!(r.sm_time >= r.max_instance_time);
+    }
+}

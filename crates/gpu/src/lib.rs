@@ -1,0 +1,38 @@
+//! Functional + analytic GPU simulator for the kernel IR.
+//!
+//! This crate is the hardware substitution documented in DESIGN.md: the
+//! paper runs Triton kernels on an RTX 3090; the reproduction runs
+//! [`insum_kernel::Kernel`] programs on an instruction-level simulator of
+//! an RTX-3090-class device. The simulator does two jobs at once:
+//!
+//! * **Functional execution** ([`Mode::Execute`]) — every load, store,
+//!   atomic add, `tl.dot` and block op computes real values against
+//!   [`insum_tensor::Tensor`] storage, so compiled kernels are verified
+//!   bit-for-bit against the eager reference.
+//! * **Cost accounting** (both modes) — every memory access is decomposed
+//!   into per-warp 32-byte sector transactions (coalescing model) with a
+//!   kernel-resident L2 filter in front of DRAM; `tl.dot` charges Tensor
+//!   Core flops, block arithmetic charges scalar ALU flops,
+//!   `tl.view`/`tl.trans`/`tl.broadcast_to` charge shared-memory traffic
+//!   (the eager-broadcasting tax of §5.2.3), and atomics track per-address
+//!   collision counts. A [`DeviceModel`] converts the counters into
+//!   seconds, including a load-imbalance term (longest-processor bound
+//!   over the SMs) that matters for skewed sparse workloads.
+//!
+//! [`Mode::Analytic`] runs the same interpreter but skips floating-point
+//! value math (metadata loads still execute so gather/scatter addresses
+//! are exact); counters are identical to Execute mode. The benchmark
+//! harness uses it for large sweeps.
+
+mod block;
+mod device;
+mod interp;
+mod stats;
+
+pub use block::Block;
+pub use device::DeviceModel;
+pub use interp::{launch, GpuError, Mode};
+pub use stats::{KernelReport, KernelStats, Profile};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GpuError>;

@@ -1,0 +1,167 @@
+//! Property tests for the GPU simulator: analytic/execute agreement,
+//! determinism, and cost-model monotonicity on randomized kernels.
+
+use insum_gpu::{launch, DeviceModel, Mode};
+use insum_kernel::{BinOp, Kernel, KernelBuilder};
+use insum_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A randomized gather-scale-scatter kernel: Y[idx[i]] += s * X[i].
+fn gather_scale_scatter(n: usize, lanes: usize, scale: f64) -> Kernel {
+    let mut b = KernelBuilder::new("prop_kernel");
+    let x = b.input("X");
+    let idx = b.input("IDX");
+    let y = b.output("Y");
+    let pid = b.program_id(0);
+    let w = b.constant(lanes as f64);
+    let base = b.binary(BinOp::Mul, pid, w);
+    let l = b.arange(lanes);
+    let flat = b.binary(BinOp::Add, base, l);
+    let n_c = b.constant(n as f64);
+    let mask = b.binary(BinOp::Lt, flat, n_c);
+    let v = b.load(x, flat, Some(mask), 0.0);
+    let s = b.constant(scale);
+    let sv = b.binary(BinOp::Mul, v, s);
+    let j = b.load(idx, flat, Some(mask), 0.0);
+    b.atomic_add(y, j, sv, Some(mask));
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analytic_and_execute_report_identical_costs(
+        n in 1usize..200,
+        out_size in 1usize..32,
+        seed in proptest::collection::vec(0usize..32, 1..200),
+        scale in -4.0f64..4.0,
+    ) {
+        let lanes = 32;
+        let device = DeviceModel::rtx3090();
+        let kernel = gather_scale_scatter(n, lanes, scale);
+        let grid = [n.div_ceil(lanes)];
+        let x = Tensor::from_fn(vec![n], |i| i[0] as f32 * 0.5);
+        let idx_data: Vec<i64> =
+            (0..n).map(|i| (seed[i % seed.len()] % out_size) as i64).collect();
+        let idx = Tensor::from_indices(vec![n], idx_data).expect("length matches");
+
+        let mut x1 = x.clone();
+        let mut i1 = idx.clone();
+        let mut y1 = Tensor::zeros(vec![out_size]);
+        let r_exec =
+            launch(&kernel, &grid, &mut [&mut x1, &mut i1, &mut y1], &device, Mode::Execute)
+                .expect("execute runs");
+
+        let mut x2 = x.clone();
+        let mut i2 = idx.clone();
+        let mut y2 = Tensor::zeros(vec![out_size]);
+        let r_ana =
+            launch(&kernel, &grid, &mut [&mut x2, &mut i2, &mut y2], &device, Mode::Analytic)
+                .expect("analytic runs");
+
+        prop_assert_eq!(r_exec.stats, r_ana.stats);
+        prop_assert_eq!(r_exec.time, r_ana.time);
+        prop_assert!(y2.data().iter().all(|&v| v == 0.0), "analytic never writes");
+    }
+
+    #[test]
+    fn execute_matches_host_reference(
+        n in 1usize..150,
+        out_size in 1usize..24,
+        seed in proptest::collection::vec(0usize..24, 1..150),
+        scale in -2.0f64..2.0,
+    ) {
+        let lanes = 32;
+        let device = DeviceModel::rtx3090();
+        let kernel = gather_scale_scatter(n, lanes, scale);
+        let x = Tensor::from_fn(vec![n], |i| (i[0] % 7) as f32 - 3.0);
+        let idx_data: Vec<i64> =
+            (0..n).map(|i| (seed[i % seed.len()] % out_size) as i64).collect();
+        let idx = Tensor::from_indices(vec![n], idx_data.clone()).expect("length matches");
+
+        let mut x1 = x.clone();
+        let mut i1 = idx.clone();
+        let mut y = Tensor::zeros(vec![out_size]);
+        launch(
+            &kernel,
+            &[n.div_ceil(lanes)],
+            &mut [&mut x1, &mut i1, &mut y],
+            &device,
+            Mode::Execute,
+        )
+        .expect("execute runs");
+
+        let mut want = vec![0.0f32; out_size];
+        for i in 0..n {
+            want[idx_data[i] as usize] += (scale as f32) * x.data()[i];
+        }
+        for (got, want) in y.data().iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn launches_are_deterministic(n in 1usize..100) {
+        let device = DeviceModel::rtx3090();
+        let kernel = gather_scale_scatter(n, 32, 1.5);
+        let run = || {
+            let mut x = Tensor::from_fn(vec![n], |i| i[0] as f32);
+            let mut idx = Tensor::from_indices(vec![n], (0..n as i64).collect()).expect("len");
+            let mut y = Tensor::zeros(vec![n]);
+            launch(&kernel, &[n.div_ceil(32)], &mut [&mut x, &mut idx, &mut y], &device, Mode::Execute)
+                .expect("runs")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.time, b.time);
+    }
+
+    #[test]
+    fn more_work_never_costs_less(n in 8usize..120) {
+        // Doubling the element count cannot reduce simulated time.
+        let device = DeviceModel::rtx3090();
+        let t_small = {
+            let kernel = gather_scale_scatter(n, 32, 1.0);
+            let mut x = Tensor::zeros(vec![n]);
+            let mut idx = Tensor::from_indices(vec![n], (0..n as i64).collect()).expect("len");
+            let mut y = Tensor::zeros(vec![n]);
+            launch(&kernel, &[n.div_ceil(32)], &mut [&mut x, &mut idx, &mut y], &device, Mode::Analytic)
+                .expect("runs")
+                .time
+        };
+        let n2 = n * 2;
+        let t_big = {
+            let kernel = gather_scale_scatter(n2, 32, 1.0);
+            let mut x = Tensor::zeros(vec![n2]);
+            let mut idx = Tensor::from_indices(vec![n2], (0..n2 as i64).collect()).expect("len");
+            let mut y = Tensor::zeros(vec![n2]);
+            launch(&kernel, &[n2.div_ceil(32)], &mut [&mut x, &mut idx, &mut y], &device, Mode::Analytic)
+                .expect("runs")
+                .time
+        };
+        prop_assert!(t_big >= t_small, "double work {t_big:.3e} < {t_small:.3e}");
+    }
+
+    #[test]
+    fn colliding_scatter_counts_conflicts(
+        out_size in 1usize..8,
+        n in 33usize..128,
+    ) {
+        let device = DeviceModel::rtx3090();
+        let kernel = gather_scale_scatter(n, 32, 1.0);
+        let mut x = Tensor::zeros(vec![n]);
+        // All indices collapse onto out_size addresses.
+        let mut idx = Tensor::from_indices(
+            vec![n],
+            (0..n).map(|i| (i % out_size) as i64).collect(),
+        )
+        .expect("len");
+        let mut y = Tensor::zeros(vec![out_size]);
+        let r = launch(&kernel, &[n.div_ceil(32)], &mut [&mut x, &mut idx, &mut y], &device, Mode::Execute)
+            .expect("runs");
+        prop_assert_eq!(r.stats.atomics, n as u64);
+        prop_assert_eq!(r.stats.atomic_conflicts, (n - out_size.min(n)) as u64);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for graph construction and execution.
+
+use insum_lang::LangError;
+use insum_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error from lowering a statement to a graph or executing one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Error bubbled up from the language front end.
+    Lang(LangError),
+    /// Error bubbled up from a tensor operation.
+    Tensor(TensorError),
+    /// A graph input was not provided at execution time.
+    MissingInput(String),
+    /// The statement cannot be compiled by this backend.
+    Unsupported(String),
+    /// The graph is structurally invalid (dangling node reference, etc.).
+    Malformed(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Lang(e) => write!(f, "language error: {e}"),
+            GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
+            GraphError::MissingInput(name) => write!(f, "input tensor {name:?} was not provided"),
+            GraphError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            GraphError::Malformed(msg) => write!(f, "malformed graph: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Lang(e) => Some(e),
+            GraphError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LangError> for GraphError {
+    fn from(e: LangError) -> Self {
+        GraphError::Lang(e)
+    }
+}
+
+impl From<TensorError> for GraphError {
+    fn from(e: TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = GraphError::from(LangError::UnboundTensor("A".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("A"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Eager graph interpreter — the "PyTorch eager mode" of the reproduction.
+
+use crate::error::GraphError;
+use crate::ir::{Graph, Op};
+use crate::Result;
+use insum_tensor::{einsum, Tensor};
+use std::collections::BTreeMap;
+
+/// Execute a graph eagerly over the named input tensors, returning the
+/// value of the graph's output node.
+///
+/// Inputs are looked up by placeholder name. Shapes are validated against
+/// the shapes recorded at lowering time.
+///
+/// # Errors
+///
+/// * [`GraphError::MissingInput`] if a placeholder has no binding.
+/// * [`GraphError::Malformed`] if a bound tensor's shape disagrees with
+///   the graph.
+/// * Tensor-level errors are propagated from the underlying operations.
+pub fn execute(graph: &Graph, inputs: &BTreeMap<String, Tensor>) -> Result<Tensor> {
+    let mut values: Vec<Option<Tensor>> = vec![None; graph.len()];
+    for node in graph.nodes() {
+        let value = match &node.op {
+            Op::Placeholder { name } => {
+                let t = inputs
+                    .get(name)
+                    .ok_or_else(|| GraphError::MissingInput(name.clone()))?;
+                if t.shape() != node.shape.as_slice() {
+                    return Err(GraphError::Malformed(format!(
+                        "input {name:?} has shape {:?} but the graph expects {:?}",
+                        t.shape(),
+                        node.shape
+                    )));
+                }
+                t.clone()
+            }
+            Op::Zeros => Tensor::zeros_with(node.shape.clone(), node.dtype),
+            Op::IndexSelect { input, dim, index } => {
+                let t = values[*input].as_ref().expect("topological order");
+                let ix = values[*index].as_ref().expect("topological order");
+                t.index_select(*dim, ix)?
+            }
+            Op::Reshape { input, shape } => {
+                values[*input].as_ref().expect("topological order").reshape(shape.clone())?
+            }
+            Op::Einsum { spec, inputs: ins } => {
+                let operands: Vec<&Tensor> =
+                    ins.iter().map(|&i| values[i].as_ref().expect("topological order")).collect();
+                einsum(spec, &operands)?
+            }
+            Op::IndexAdd { dest, dim, index, source } => {
+                let mut d = values[*dest].as_ref().expect("topological order").clone();
+                let ix = values[*index].as_ref().expect("topological order");
+                let s = values[*source].as_ref().expect("topological order");
+                d.index_add(*dim, ix, s)?;
+                d
+            }
+            Op::Add { lhs, rhs } => {
+                let a = values[*lhs].as_ref().expect("topological order");
+                let b = values[*rhs].as_ref().expect("topological order");
+                a.add(b)?
+            }
+            Op::Cast { input, dtype } => {
+                values[*input].as_ref().expect("topological order").cast(*dtype)
+            }
+        };
+        values[node.id] = Some(value);
+    }
+    values[graph.output]
+        .take()
+        .ok_or_else(|| GraphError::Malformed("graph has no output value".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, TensorMeta};
+    use insum_lang::parse;
+    use insum_tensor::DType;
+
+    fn run(expr: &str, binds: &[(&str, Tensor)]) -> Result<Tensor> {
+        let stmt = parse(expr).unwrap();
+        let metas: BTreeMap<String, TensorMeta> = binds
+            .iter()
+            .map(|(n, t)| (n.to_string(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .collect();
+        let lowered = lower(&stmt, &metas)?;
+        let inputs: BTreeMap<String, Tensor> =
+            binds.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+        execute(&lowered.graph, &inputs)
+    }
+
+    #[test]
+    fn coo_spmm_matches_dense_reference() {
+        // A (4x5) sparse with 3 nonzeros; B (5x2) dense.
+        // A[0,1]=2, A[2,4]=3, A[0,3]=4.
+        let am = Tensor::from_indices(vec![3], vec![0, 2, 0]).unwrap();
+        let ak = Tensor::from_indices(vec![3], vec![1, 4, 3]).unwrap();
+        let av = Tensor::from_vec(vec![3], vec![2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_fn(vec![5, 2], |i| (i[0] * 2 + i[1] + 1) as f32);
+        let c = Tensor::zeros(vec![4, 2]);
+
+        let got = run(
+            "C[AM[p],n] += AV[p] * B[AK[p],n]",
+            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b.clone())],
+        )
+        .unwrap();
+
+        // Dense reference.
+        let mut a = Tensor::zeros(vec![4, 5]);
+        a.set(&[0, 1], 2.0);
+        a.set(&[2, 4], 3.0);
+        a.set(&[0, 3], 4.0);
+        let want = a.matmul(&b).unwrap();
+        assert!(got.allclose(&want, 1e-5, 1e-5), "got {got:?} want {want:?}");
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing_output() {
+        let am = Tensor::from_indices(vec![1], vec![1]).unwrap();
+        let ak = Tensor::from_indices(vec![1], vec![0]).unwrap();
+        let av = Tensor::from_vec(vec![1], vec![1.0]).unwrap();
+        let b = Tensor::ones(vec![2, 2]);
+        let c = Tensor::full(vec![3, 2], 10.0);
+        let got = run(
+            "C[AM[p],n] += AV[p] * B[AK[p],n]",
+            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b)],
+        )
+        .unwrap();
+        assert_eq!(got.at(&[1, 0]), 11.0);
+        assert_eq!(got.at(&[0, 0]), 10.0);
+    }
+
+    #[test]
+    fn scatter_collisions_accumulate() {
+        // Two nonzeros scatter to the same output row.
+        let am = Tensor::from_indices(vec![2], vec![0, 0]).unwrap();
+        let ak = Tensor::from_indices(vec![2], vec![0, 1]).unwrap();
+        let av = Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 1], vec![3.0, 4.0]).unwrap();
+        let c = Tensor::zeros(vec![1, 1]);
+        let got = run(
+            "C[AM[p],n] = AV[p] * B[AK[p],n]",
+            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b)],
+        )
+        .unwrap();
+        assert_eq!(got.at(&[0, 0]), 7.0);
+    }
+
+    #[test]
+    fn group_coo_spmm_matches_reference() {
+        // Groups of 2 along rows; padded entries have AV = 0 and AK = 0.
+        // Nonzeros: (0,1)=2, (0,3)=4, (2,4)=3.
+        let am = Tensor::from_indices(vec![2], vec![0, 2]).unwrap();
+        let ak = Tensor::from_indices(vec![2, 2], vec![1, 3, 4, 0]).unwrap();
+        let av = Tensor::from_vec(vec![2, 2], vec![2.0, 4.0, 3.0, 0.0]).unwrap();
+        let b = Tensor::from_fn(vec![5, 3], |i| (i[0] + i[1]) as f32);
+        let c = Tensor::zeros(vec![4, 3]);
+        let got = run(
+            "C[AM[p],n] += AV[p,q] * B[AK[p,q],n]",
+            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b.clone())],
+        )
+        .unwrap();
+        let mut a = Tensor::zeros(vec![4, 5]);
+        a.set(&[0, 1], 2.0);
+        a.set(&[0, 3], 4.0);
+        a.set(&[2, 4], 3.0);
+        let want = a.matmul(&b).unwrap();
+        assert!(got.allclose(&want, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn dense_matmul_through_graph() {
+        let a = Tensor::from_fn(vec![3, 4], |i| (i[0] + 2 * i[1]) as f32);
+        let b = Tensor::from_fn(vec![4, 2], |i| (i[0] * i[1] + 1) as f32);
+        let c = Tensor::zeros(vec![3, 2]);
+        let got = run("C[y,x] = A[y,r] * B[r,x]", &[("C", c), ("A", a.clone()), ("B", b.clone())])
+            .unwrap();
+        assert!(got.allclose(&a.matmul(&b).unwrap(), 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn gather_on_rhs_inner_dim() {
+        // C[y,x] = A[y,E[r]] * B[r,x] — the paper's §5.1 example.
+        let a = Tensor::from_fn(vec![2, 6], |i| (i[0] * 6 + i[1]) as f32);
+        let e = Tensor::from_indices(vec![3], vec![5, 0, 2]).unwrap();
+        let b = Tensor::from_fn(vec![3, 2], |i| (i[0] + i[1] + 1) as f32);
+        let c = Tensor::zeros(vec![2, 2]);
+        let got = run(
+            "C[y,x] = A[y,E[r]] * B[r,x]",
+            &[("C", c), ("A", a.clone()), ("E", e.clone()), ("B", b.clone())],
+        )
+        .unwrap();
+        let atmp = a.index_select(1, &e).unwrap();
+        let want = atmp.matmul(&b).unwrap();
+        assert!(got.allclose(&want, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let stmt = parse("C[i] = A[i]").unwrap();
+        let metas: BTreeMap<String, TensorMeta> = [
+            ("C".to_string(), TensorMeta::new(vec![2], DType::F32)),
+            ("A".to_string(), TensorMeta::new(vec![2], DType::F32)),
+        ]
+        .into_iter()
+        .collect();
+        let lowered = lower(&stmt, &metas).unwrap();
+        let only_c: BTreeMap<String, Tensor> =
+            [("C".to_string(), Tensor::zeros(vec![2]))].into_iter().collect();
+        assert!(matches!(
+            execute(&lowered.graph, &only_c),
+            Err(GraphError::MissingInput(name)) if name == "A"
+        ));
+    }
+
+    #[test]
+    fn wrong_shape_input_is_reported() {
+        let stmt = parse("C[i] = A[i]").unwrap();
+        let metas: BTreeMap<String, TensorMeta> = [
+            ("C".to_string(), TensorMeta::new(vec![2], DType::F32)),
+            ("A".to_string(), TensorMeta::new(vec![2], DType::F32)),
+        ]
+        .into_iter()
+        .collect();
+        let lowered = lower(&stmt, &metas).unwrap();
+        let inputs: BTreeMap<String, Tensor> = [
+            ("C".to_string(), Tensor::zeros(vec![2])),
+            ("A".to_string(), Tensor::zeros(vec![3])),
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(execute(&lowered.graph, &inputs), Err(GraphError::Malformed(_))));
+    }
+
+    #[test]
+    fn equivariant_style_four_factor_product() {
+        // Z[b,CGI[p],w] += CGV[p] * X[b,CGJ[p],u] * Y[b,CGK[p]] * W[p,u,w]
+        let b_sz = 2;
+        let (i_dim, j_dim, k_dim) = (3, 4, 5);
+        let (p_sz, u_sz, w_sz) = (6, 2, 3);
+        let cgi = Tensor::from_indices(vec![p_sz], vec![0, 1, 2, 0, 1, 2]).unwrap();
+        let cgj = Tensor::from_indices(vec![p_sz], vec![0, 1, 2, 3, 0, 1]).unwrap();
+        let cgk = Tensor::from_indices(vec![p_sz], vec![0, 1, 2, 3, 4, 0]).unwrap();
+        let cgv = Tensor::from_vec(vec![p_sz], vec![0.5, 1.0, -1.0, 2.0, 0.25, 1.5]).unwrap();
+        let x = Tensor::from_fn(vec![b_sz, j_dim, u_sz], |i| (i[0] + i[1] + i[2]) as f32 * 0.1);
+        let y = Tensor::from_fn(vec![b_sz, k_dim], |i| (i[0] * 2 + i[1]) as f32 * 0.2);
+        let w = Tensor::from_fn(vec![p_sz, u_sz, w_sz], |i| (i[0] + i[1] * i[2]) as f32 * 0.3);
+        let z = Tensor::zeros(vec![b_sz, i_dim, w_sz]);
+
+        let got = run(
+            "Z[b,CGI[p],w] += CGV[p] * X[b,CGJ[p],u] * Y[b,CGK[p]] * W[p,u,w]",
+            &[
+                ("Z", z),
+                ("CGI", cgi.clone()),
+                ("CGJ", cgj.clone()),
+                ("CGK", cgk.clone()),
+                ("CGV", cgv.clone()),
+                ("X", x.clone()),
+                ("Y", y.clone()),
+                ("W", w.clone()),
+            ],
+        )
+        .unwrap();
+
+        // Hand-rolled reference.
+        let mut want = Tensor::zeros(vec![b_sz, i_dim, w_sz]);
+        for b in 0..b_sz {
+            for p in 0..p_sz {
+                for u in 0..u_sz {
+                    for wi in 0..w_sz {
+                        let i = cgi.at_i64(&[p]) as usize;
+                        let j = cgj.at_i64(&[p]) as usize;
+                        let k = cgk.at_i64(&[p]) as usize;
+                        let v = want.at(&[b, i, wi])
+                            + cgv.at(&[p])
+                                * x.at(&[b, j, u])
+                                * y.at(&[b, k])
+                                * w.at(&[p, u, wi]);
+                        want.set(&[b, i, wi], v);
+                    }
+                }
+            }
+        }
+        assert!(got.allclose(&want, 1e-4, 1e-4));
+    }
+}

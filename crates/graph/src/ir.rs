@@ -1,0 +1,359 @@
+//! The operation graph (FX graph analogue).
+
+use crate::error::GraphError;
+use crate::Result;
+use insum_tensor::{DType, EinsumSpec};
+use std::fmt;
+
+/// Identifier of a node within its [`Graph`].
+pub type NodeId = usize;
+
+/// A tensor operation. The op set intentionally mirrors the PyTorch
+/// primitives the paper's rewriter emits (§5.1) plus the few structural
+/// ops the lowering needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A graph input bound by name at execution time.
+    Placeholder {
+        /// Name used to look up the tensor in the input map.
+        name: String,
+    },
+    /// A constant zero tensor (used as the destination of `=` statements).
+    Zeros,
+    /// `torch.index_select(input, dim, index)` — gather slices along `dim`.
+    IndexSelect {
+        /// The data tensor.
+        input: NodeId,
+        /// Dimension gathered over.
+        dim: usize,
+        /// 1-D index tensor node.
+        index: NodeId,
+    },
+    /// `tensor.reshape(shape)`.
+    Reshape {
+        /// The input tensor.
+        input: NodeId,
+        /// Target shape (same volume).
+        shape: Vec<usize>,
+    },
+    /// `torch.einsum(spec, inputs...)`.
+    Einsum {
+        /// The einsum specification, e.g. `"ar,rx->ax"`.
+        spec: String,
+        /// Operand nodes, one per spec term.
+        inputs: Vec<NodeId>,
+    },
+    /// `dest.index_add_(dim, index, source)` — functional: returns the
+    /// updated tensor; duplicate indices accumulate.
+    IndexAdd {
+        /// The tensor being scattered into.
+        dest: NodeId,
+        /// Dimension scattered along.
+        dim: usize,
+        /// 1-D index tensor node.
+        index: NodeId,
+        /// Source rows.
+        source: NodeId,
+    },
+    /// Elementwise addition (used for dense `+=` outputs).
+    Add {
+        /// Left operand.
+        lhs: NodeId,
+        /// Right operand.
+        rhs: NodeId,
+    },
+    /// Cast to a dtype (rounding through f16 when applicable).
+    Cast {
+        /// The input tensor.
+        input: NodeId,
+        /// Target dtype.
+        dtype: DType,
+    },
+}
+
+impl Op {
+    /// Node ids this op reads.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            Op::Placeholder { .. } | Op::Zeros => vec![],
+            Op::IndexSelect { input, index, .. } => vec![*input, *index],
+            Op::Reshape { input, .. } | Op::Cast { input, .. } => vec![*input],
+            Op::Einsum { inputs, .. } => inputs.clone(),
+            Op::IndexAdd { dest, index, source, .. } => vec![*dest, *index, *source],
+            Op::Add { lhs, rhs } => vec![*lhs, *rhs],
+        }
+    }
+}
+
+/// A node: an op plus its inferred result shape and dtype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// This node's id (its position in the graph).
+    pub id: NodeId,
+    /// The operation.
+    pub op: Op,
+    /// Result shape.
+    pub shape: Vec<usize>,
+    /// Result dtype.
+    pub dtype: DType,
+}
+
+/// A directed acyclic graph of tensor operations in topological order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// The node whose value is the statement's result.
+    pub output: NodeId,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// All nodes in topological (insertion) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Look up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Append a node, inferring its shape and dtype from its operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Malformed`] on dangling references and
+    /// propagates shape errors from inference.
+    pub fn push(&mut self, op: Op) -> Result<NodeId> {
+        let id = self.nodes.len();
+        for input in op.inputs() {
+            if input >= id {
+                return Err(GraphError::Malformed(format!(
+                    "node {id} references later node {input}"
+                )));
+            }
+        }
+        let (shape, dtype) = self.infer(&op)?;
+        self.nodes.push(Node { id, op, shape, dtype });
+        Ok(id)
+    }
+
+    /// Append a placeholder with an explicit shape and dtype.
+    pub fn placeholder(&mut self, name: &str, shape: Vec<usize>, dtype: DType) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { id, op: Op::Placeholder { name: name.to_string() }, shape, dtype });
+        id
+    }
+
+    /// Append a zeros node with an explicit shape and dtype.
+    pub fn zeros(&mut self, shape: Vec<usize>, dtype: DType) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node { id, op: Op::Zeros, shape, dtype });
+        id
+    }
+
+    fn infer(&self, op: &Op) -> Result<(Vec<usize>, DType)> {
+        Ok(match op {
+            Op::Placeholder { name } => {
+                return Err(GraphError::Malformed(format!(
+                    "placeholder {name:?} must be added via Graph::placeholder"
+                )))
+            }
+            Op::Zeros => {
+                return Err(GraphError::Malformed(
+                    "zeros must be added via Graph::zeros".to_string(),
+                ))
+            }
+            Op::IndexSelect { input, dim, index } => {
+                let t = self.node(*input);
+                let ix = self.node(*index);
+                if *dim >= t.shape.len() || ix.shape.len() != 1 {
+                    return Err(GraphError::Malformed(format!(
+                        "index_select dim {dim} on shape {:?} with index shape {:?}",
+                        t.shape, ix.shape
+                    )));
+                }
+                let mut shape = t.shape.clone();
+                shape[*dim] = ix.shape[0];
+                (shape, t.dtype)
+            }
+            Op::Reshape { input, shape } => {
+                let t = self.node(*input);
+                let vol: usize = shape.iter().product();
+                if vol != t.shape.iter().product::<usize>() {
+                    return Err(GraphError::Malformed(format!(
+                        "reshape {:?} -> {:?} changes volume",
+                        t.shape, shape
+                    )));
+                }
+                (shape.clone(), t.dtype)
+            }
+            Op::Einsum { spec, inputs } => {
+                let parsed = EinsumSpec::parse(spec).map_err(GraphError::Tensor)?;
+                if parsed.inputs.len() != inputs.len() {
+                    return Err(GraphError::Malformed(format!(
+                        "einsum {spec:?} expects {} operands, got {}",
+                        parsed.inputs.len(),
+                        inputs.len()
+                    )));
+                }
+                let mut extents = std::collections::BTreeMap::new();
+                for (term, &nid) in parsed.inputs.iter().zip(inputs) {
+                    let t = self.node(nid);
+                    if term.len() != t.shape.len() {
+                        return Err(GraphError::Malformed(format!(
+                            "einsum term {:?} does not match operand shape {:?}",
+                            term.iter().collect::<String>(),
+                            t.shape
+                        )));
+                    }
+                    for (&c, &d) in term.iter().zip(&t.shape) {
+                        if let Some(&prev) = extents.get(&c) {
+                            if prev != d {
+                                return Err(GraphError::Malformed(format!(
+                                    "einsum index {c} bound to {prev} and {d}"
+                                )));
+                            }
+                        }
+                        extents.insert(c, d);
+                    }
+                }
+                let shape: Vec<usize> = parsed.output.iter().map(|c| extents[c]).collect();
+                let dtype = if inputs.iter().all(|&i| self.node(i).dtype == DType::F16) {
+                    DType::F16
+                } else {
+                    DType::F32
+                };
+                (shape, dtype)
+            }
+            Op::IndexAdd { dest, dim, index, source } => {
+                let d = self.node(*dest);
+                let ix = self.node(*index);
+                let s = self.node(*source);
+                if *dim >= d.shape.len()
+                    || ix.shape.len() != 1
+                    || s.shape.len() != d.shape.len()
+                    || s.shape[*dim] != ix.shape[0]
+                {
+                    return Err(GraphError::Malformed(format!(
+                        "index_add dim {dim}: dest {:?}, index {:?}, source {:?}",
+                        d.shape, ix.shape, s.shape
+                    )));
+                }
+                for (i, (&ds, &ss)) in d.shape.iter().zip(&s.shape).enumerate() {
+                    if i != *dim && ds != ss {
+                        return Err(GraphError::Malformed(format!(
+                            "index_add non-scatter dim {i} mismatch: dest {:?} vs source {:?}",
+                            d.shape, s.shape
+                        )));
+                    }
+                }
+                (d.shape.clone(), d.dtype)
+            }
+            Op::Add { lhs, rhs } => {
+                let a = self.node(*lhs);
+                let b = self.node(*rhs);
+                if a.shape != b.shape {
+                    return Err(GraphError::Malformed(format!(
+                        "add shape mismatch {:?} vs {:?}",
+                        a.shape, b.shape
+                    )));
+                }
+                (a.shape.clone(), a.dtype)
+            }
+            Op::Cast { input, dtype } => (self.node(*input).shape.clone(), *dtype),
+        })
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph(output = %{}):", self.output)?;
+        for n in &self.nodes {
+            writeln!(f, "  %{} : {:?}/{} = {:?}", n.id, n.shape, n.dtype, n.op)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_gather_einsum_scatter() {
+        let mut g = Graph::new();
+        let a = g.placeholder("A", vec![4, 8], DType::F32);
+        let idx = g.placeholder("I", vec![3], DType::I32);
+        let sel = g.push(Op::IndexSelect { input: a, dim: 0, index: idx }).unwrap();
+        assert_eq!(g.node(sel).shape, vec![3, 8]);
+        let b = g.placeholder("B", vec![8, 5], DType::F32);
+        let mm = g.push(Op::Einsum { spec: "pr,rx->px".into(), inputs: vec![sel, b] }).unwrap();
+        assert_eq!(g.node(mm).shape, vec![3, 5]);
+        let dest = g.zeros(vec![10, 5], DType::F32);
+        let out = g
+            .push(Op::IndexAdd { dest, dim: 0, index: idx, source: mm })
+            .unwrap();
+        g.output = out;
+        assert_eq!(g.node(out).shape, vec![10, 5]);
+        assert_eq!(g.len(), 7);
+    }
+
+    #[test]
+    fn shape_inference_catches_errors() {
+        let mut g = Graph::new();
+        let a = g.placeholder("A", vec![4, 8], DType::F32);
+        let idx2d = g.placeholder("I", vec![3, 2], DType::I32);
+        assert!(g.push(Op::IndexSelect { input: a, dim: 0, index: idx2d }).is_err());
+        assert!(g.push(Op::Reshape { input: a, shape: vec![5, 5] }).is_err());
+        let b = g.placeholder("B", vec![9, 5], DType::F32);
+        assert!(g
+            .push(Op::Einsum { spec: "pr,rx->px".into(), inputs: vec![a, b] })
+            .is_err());
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let mut g = Graph::new();
+        assert!(g.push(Op::Reshape { input: 7, shape: vec![] }).is_err());
+    }
+
+    #[test]
+    fn einsum_dtype_promotion() {
+        let mut g = Graph::new();
+        let a = g.placeholder("A", vec![2, 2], DType::F16);
+        let b = g.placeholder("B", vec![2, 2], DType::F16);
+        let c = g.push(Op::Einsum { spec: "ik,kj->ij".into(), inputs: vec![a, b] }).unwrap();
+        assert_eq!(g.node(c).dtype, DType::F16);
+        let d = g.placeholder("D", vec![2, 2], DType::F32);
+        let e = g.push(Op::Einsum { spec: "ik,kj->ij".into(), inputs: vec![a, d] }).unwrap();
+        assert_eq!(g.node(e).dtype, DType::F32);
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let mut g = Graph::new();
+        g.placeholder("A", vec![2], DType::F32);
+        let s = g.to_string();
+        assert!(s.contains("%0"));
+        assert!(s.contains("Placeholder"));
+    }
+}

@@ -1,0 +1,30 @@
+//! FX-like tensor operation graph and the Insum rewriter (§5.1).
+//!
+//! The paper's `Insum` front end parses an indirect Einsum string and emits
+//! an FX graph built from stock PyTorch primitives:
+//!
+//! 1. **Gather** — indirect right-hand-side accesses become
+//!    `torch.index_select` over a flattened metadata tensor;
+//! 2. **Einsum** — the remaining dense contraction becomes `torch.einsum`;
+//! 3. **Scatter** — an indirect output access becomes `torch.index_add_`
+//!    (duplicate coordinates accumulate).
+//!
+//! This crate reproduces that pipeline: [`lower`] turns a parsed
+//! [`insum_lang::Statement`] into a [`Graph`] of [`Op`]s, and [`execute`]
+//! interprets the graph eagerly on [`insum_tensor::Tensor`]s. Eager
+//! execution is the *semantics reference* for the whole stack — the
+//! compiled GPU kernels produced by `insum-inductor` are tested against it,
+//! and it itself is tested against direct dense einsums.
+
+mod error;
+mod exec;
+mod ir;
+mod lower;
+
+pub use error::GraphError;
+pub use exec::execute;
+pub use ir::{Graph, Node, NodeId, Op};
+pub use lower::{lower, Lowered, TensorMeta};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

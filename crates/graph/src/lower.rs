@@ -1,0 +1,407 @@
+//! Lowering indirect Einsum statements to operation graphs.
+//!
+//! This is the Insum rewriter of §5.1: indirect accesses on the right-hand
+//! side become `index_select` gathers (flattening multi-variable metadata
+//! tensors first), the residual dense contraction becomes a single
+//! `einsum`, and an indirect output access becomes an `index_add` scatter.
+
+use crate::error::GraphError;
+use crate::ir::{Graph, NodeId, Op};
+use crate::Result;
+use insum_lang::{analyze, Access, Analysis, AssignOp, IndexExpr, Statement};
+use insum_tensor::DType;
+use std::collections::BTreeMap;
+
+/// Shape and dtype of a tensor bound to a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorMeta {
+    /// The tensor's shape.
+    pub shape: Vec<usize>,
+    /// The tensor's dtype.
+    pub dtype: DType,
+}
+
+impl TensorMeta {
+    /// Convenience constructor.
+    pub fn new(shape: Vec<usize>, dtype: DType) -> TensorMeta {
+        TensorMeta { shape, dtype }
+    }
+}
+
+/// The result of lowering a statement.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The operation graph; its `output` node evaluates the statement.
+    pub graph: Graph,
+    /// Extent/classification analysis of the statement.
+    pub analysis: Analysis,
+    /// The dense einsum spec at the heart of the graph.
+    pub spec: String,
+    /// Name of the output tensor (the statement's left-hand side).
+    pub output_name: String,
+}
+
+struct LowerCtx<'a> {
+    graph: Graph,
+    metas: &'a BTreeMap<String, TensorMeta>,
+    placeholders: BTreeMap<String, NodeId>,
+    letters: BTreeMap<String, char>,
+    extents: BTreeMap<String, usize>,
+}
+
+impl LowerCtx<'_> {
+    fn placeholder(&mut self, name: &str) -> Result<NodeId> {
+        if let Some(&id) = self.placeholders.get(name) {
+            return Ok(id);
+        }
+        let meta = self
+            .metas
+            .get(name)
+            .ok_or_else(|| GraphError::MissingInput(name.to_string()))?;
+        let id = self.graph.placeholder(name, meta.shape.clone(), meta.dtype);
+        self.placeholders.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn letter(&self, var: &str) -> char {
+        self.letters[var]
+    }
+
+    fn extent(&self, var: &str) -> usize {
+        self.extents[var]
+    }
+
+    /// Flattened metadata index node for an indirect access, plus its
+    /// variable list.
+    fn flat_index(&mut self, meta_access: &Access) -> Result<(NodeId, Vec<String>)> {
+        let node = self.placeholder(&meta_access.tensor)?;
+        let vars: Vec<String> = meta_access.vars().into_iter().map(String::from).collect();
+        let shape = self.graph.node(node).shape.clone();
+        let flat = if shape.len() == 1 {
+            node
+        } else {
+            let vol: usize = shape.iter().product();
+            self.graph.push(Op::Reshape { input: node, shape: vec![vol] })?
+        };
+        Ok((flat, vars))
+    }
+
+    /// Lower one right-hand-side access: an `index_select` gather per
+    /// indirect dim, then one reshape expanding flattened dims. Returns
+    /// the operand node and its einsum term.
+    fn lower_factor(&mut self, access: &Access) -> Result<(NodeId, String)> {
+        let mut node = self.placeholder(&access.tensor)?;
+        // Per-dim variable lists (one var for plain dims, the metadata's
+        // vars for indirect dims).
+        let mut dim_vars: Vec<Vec<String>> = Vec::with_capacity(access.indices.len());
+        let mut needs_expand = false;
+        for (dim, idx) in access.indices.iter().enumerate() {
+            match idx {
+                IndexExpr::Var(v) => dim_vars.push(vec![v.clone()]),
+                IndexExpr::Indirect(meta) => {
+                    let (flat, vars) = self.flat_index(meta)?;
+                    node = self.graph.push(Op::IndexSelect { input: node, dim, index: flat })?;
+                    if vars.len() > 1 {
+                        needs_expand = true;
+                    }
+                    dim_vars.push(vars);
+                }
+            }
+        }
+        if needs_expand {
+            let expanded: Vec<usize> = dim_vars
+                .iter()
+                .flat_map(|vars| vars.iter().map(|v| self.extent(v)))
+                .collect();
+            node = self.graph.push(Op::Reshape { input: node, shape: expanded })?;
+        }
+        let term: String = dim_vars.iter().flatten().map(|v| self.letter(v)).collect();
+        Ok((node, term))
+    }
+}
+
+/// Lower a parsed statement to an operation graph.
+///
+/// # Errors
+///
+/// * Propagates [`insum_lang::LangError`]s from analysis (unbound tensors,
+///   rank mismatches, extent conflicts).
+/// * [`GraphError::Unsupported`] if the output access has more than one
+///   indirect dimension or repeats an index variable.
+pub fn lower(stmt: &Statement, metas: &BTreeMap<String, TensorMeta>) -> Result<Lowered> {
+    let shapes: BTreeMap<String, Vec<usize>> =
+        metas.iter().map(|(k, v)| (k.clone(), v.shape.clone())).collect();
+    let analysis = analyze(stmt, &shapes)?;
+
+    // Assign einsum letters in first-appearance order.
+    let letters: BTreeMap<String, char> = stmt
+        .all_vars()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let c = (b'a' + i as u8) as char;
+            (v.to_string(), c)
+        })
+        .collect();
+    if letters.len() > 26 {
+        return Err(GraphError::Unsupported("more than 26 index variables".to_string()));
+    }
+
+    let mut ctx = LowerCtx {
+        graph: Graph::new(),
+        metas,
+        placeholders: BTreeMap::new(),
+        letters,
+        extents: analysis.extents.clone(),
+    };
+
+    // The output placeholder comes first so `+=` reads the original value.
+    let out_name = stmt.output.tensor.clone();
+    let out_node = ctx.placeholder(&out_name)?;
+    let out_dtype = ctx.graph.node(out_node).dtype;
+
+    // Lower every factor to (operand node, einsum term).
+    let mut operand_nodes = Vec::new();
+    let mut terms = Vec::new();
+    for factor in &stmt.factors {
+        let (node, term) = ctx.lower_factor(factor)?;
+        operand_nodes.push(node);
+        terms.push(term);
+    }
+
+    // Build the output term and locate the scatter dim (if any).
+    let mut out_term = String::new();
+    let mut scatter: Option<(usize, &Access)> = None;
+    for (dim, idx) in stmt.output.indices.iter().enumerate() {
+        match idx {
+            IndexExpr::Var(v) => out_term.push(ctx.letter(v)),
+            IndexExpr::Indirect(meta) => {
+                if scatter.is_some() {
+                    return Err(GraphError::Unsupported(
+                        "more than one indirect dimension in the output access".to_string(),
+                    ));
+                }
+                scatter = Some((dim, meta));
+                for v in meta.vars() {
+                    out_term.push(ctx.letter(v));
+                }
+            }
+        }
+    }
+    {
+        let mut seen = std::collections::HashSet::new();
+        for c in out_term.chars() {
+            if !seen.insert(c) {
+                return Err(GraphError::Unsupported(format!(
+                    "output access repeats index variable {c:?}"
+                )));
+            }
+        }
+    }
+
+    let spec = format!("{}->{}", terms.join(","), out_term);
+    let mut result = ctx.graph.push(Op::Einsum { spec: spec.clone(), inputs: operand_nodes })?;
+
+    match scatter {
+        Some((dim, meta)) => {
+            let meta_vars: Vec<String> = meta.vars().into_iter().map(String::from).collect();
+            if meta_vars.len() > 1 {
+                // Flatten the scatter vars (consecutive in the out term by
+                // construction) back into a single dim.
+                let mut shape: Vec<usize> = Vec::new();
+                for (d, idx) in stmt.output.indices.iter().enumerate() {
+                    match idx {
+                        IndexExpr::Var(v) => shape.push(ctx.extent(v)),
+                        IndexExpr::Indirect(_) => {
+                            debug_assert_eq!(d, dim);
+                            shape.push(meta_vars.iter().map(|v| ctx.extent(v)).product());
+                        }
+                    }
+                }
+                result = ctx.graph.push(Op::Reshape { input: result, shape })?;
+            }
+            if ctx.graph.node(result).dtype != out_dtype {
+                result = ctx.graph.push(Op::Cast { input: result, dtype: out_dtype })?;
+            }
+            let (flat_index, _) = ctx.flat_index(meta)?;
+            let dest = match stmt.op {
+                AssignOp::Accumulate => out_node,
+                AssignOp::Assign => {
+                    let meta_out = &metas[&out_name];
+                    ctx.graph.zeros(meta_out.shape.clone(), meta_out.dtype)
+                }
+            };
+            result = ctx.graph.push(Op::IndexAdd {
+                dest,
+                dim,
+                index: flat_index,
+                source: result,
+            })?;
+        }
+        None => {
+            if ctx.graph.node(result).dtype != out_dtype {
+                result = ctx.graph.push(Op::Cast { input: result, dtype: out_dtype })?;
+            }
+            if stmt.op == AssignOp::Accumulate {
+                result = ctx.graph.push(Op::Add { lhs: out_node, rhs: result })?;
+            }
+        }
+    }
+
+    let mut graph = ctx.graph;
+    graph.output = result;
+    Ok(Lowered { graph, analysis, spec, output_name: out_name })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insum_lang::parse;
+
+    fn metas(pairs: &[(&str, &[usize], DType)]) -> BTreeMap<String, TensorMeta> {
+        pairs
+            .iter()
+            .map(|(n, s, d)| (n.to_string(), TensorMeta::new(s.to_vec(), *d)))
+            .collect()
+    }
+
+    #[test]
+    fn coo_spmm_lowers_to_gather_einsum_scatter() {
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        let m = metas(&[
+            ("C", &[4, 8], DType::F32),
+            ("AM", &[7], DType::I32),
+            ("AV", &[7], DType::F32),
+            ("AK", &[7], DType::I32),
+            ("B", &[5, 8], DType::F32),
+        ]);
+        let lowered = lower(&stmt, &m).unwrap();
+        assert_eq!(lowered.spec, "a,ab->ab");
+        let ops: Vec<&str> = lowered
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| match &n.op {
+                Op::Placeholder { .. } => "ph",
+                Op::IndexSelect { .. } => "gather",
+                Op::Einsum { .. } => "einsum",
+                Op::IndexAdd { .. } => "scatter",
+                Op::Reshape { .. } => "reshape",
+                _ => "other",
+            })
+            .collect();
+        assert!(ops.contains(&"gather"));
+        assert!(ops.contains(&"einsum"));
+        assert!(ops.contains(&"scatter"));
+        assert_eq!(lowered.graph.node(lowered.graph.output).shape, vec![4, 8]);
+    }
+
+    #[test]
+    fn group_coo_expands_flattened_gather() {
+        let stmt = parse("C[AM[p],n] += AV[p,q] * B[AK[p,q],n]").unwrap();
+        let m = metas(&[
+            ("C", &[4, 8], DType::F32),
+            ("AM", &[3], DType::I32),
+            ("AV", &[3, 2], DType::F32),
+            ("AK", &[3, 2], DType::I32),
+            ("B", &[5, 8], DType::F32),
+        ]);
+        let lowered = lower(&stmt, &m).unwrap();
+        // Letters: p=a, n=b, q=c. AV term "ac"; B gathered by AK[p,q]
+        // then expanded gives "acb"; output "ab".
+        assert_eq!(lowered.spec, "ac,acb->ab");
+        // A reshape must expand B's gathered dim from 6 to (3, 2).
+        assert!(lowered
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(&n.op, Op::Reshape { shape, .. } if shape == &vec![3, 2, 8])));
+    }
+
+    #[test]
+    fn dense_matmul_has_no_gathers() {
+        let stmt = parse("C[y,x] = A[y,r] * B[r,x]").unwrap();
+        let m = metas(&[
+            ("C", &[2, 4], DType::F32),
+            ("A", &[2, 3], DType::F32),
+            ("B", &[3, 4], DType::F32),
+        ]);
+        let lowered = lower(&stmt, &m).unwrap();
+        assert_eq!(lowered.spec, "ac,cb->ab");
+        assert!(!lowered
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::IndexSelect { .. } | Op::IndexAdd { .. })));
+    }
+
+    #[test]
+    fn dense_accumulate_adds_existing_output() {
+        let stmt = parse("C[i] += A[i]").unwrap();
+        let m = metas(&[("C", &[4], DType::F32), ("A", &[4], DType::F32)]);
+        let lowered = lower(&stmt, &m).unwrap();
+        assert!(lowered.graph.nodes().iter().any(|n| matches!(n.op, Op::Add { .. })));
+    }
+
+    #[test]
+    fn assign_scatter_starts_from_zeros() {
+        let stmt = parse("C[AM[p],n] = AV[p] * B[AK[p],n]").unwrap();
+        let m = metas(&[
+            ("C", &[4, 8], DType::F32),
+            ("AM", &[7], DType::I32),
+            ("AV", &[7], DType::F32),
+            ("AK", &[7], DType::I32),
+            ("B", &[5, 8], DType::F32),
+        ]);
+        let lowered = lower(&stmt, &m).unwrap();
+        assert!(lowered.graph.nodes().iter().any(|n| matches!(n.op, Op::Zeros)));
+    }
+
+    #[test]
+    fn multi_var_output_scatter_flattens() {
+        // Z[b, CGI[p,q], w] has a 2-var scatter index.
+        let stmt = parse("Z[b,CGI[p,q],w] += CGV[p,q] * X[b,CGJ[p,q],u] * W[p,u,w]").unwrap();
+        let m = metas(&[
+            ("Z", &[2, 5, 3], DType::F32),
+            ("CGI", &[4, 2], DType::I32),
+            ("CGV", &[4, 2], DType::F32),
+            ("X", &[2, 6, 4], DType::F32),
+            ("CGJ", &[4, 2], DType::I32),
+            ("W", &[4, 4, 3], DType::F32),
+        ]);
+        let lowered = lower(&stmt, &m).unwrap();
+        // Letters in all_vars order: b=a, p=b, q=c, w=d, u=e.
+        assert_eq!(lowered.spec, "bc,abce,bed->abcd");
+        // The scatter source must be reshaped to flatten (p, q) -> 8.
+        assert!(lowered
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(&n.op, Op::Reshape { shape, .. } if shape == &vec![2, 8, 3])));
+        assert_eq!(lowered.graph.node(lowered.graph.output).shape, vec![2, 5, 3]);
+    }
+
+    #[test]
+    fn two_indirect_output_dims_unsupported() {
+        let stmt = parse("C[AM[p],AK[p]] += AV[p]").unwrap();
+        let m = metas(&[
+            ("C", &[4, 4], DType::F32),
+            ("AM", &[7], DType::I32),
+            ("AK", &[7], DType::I32),
+            ("AV", &[7], DType::F32),
+        ]);
+        assert!(matches!(lower(&stmt, &m), Err(GraphError::Unsupported(_))));
+    }
+
+    #[test]
+    fn f16_output_inserts_cast_when_inputs_mixed() {
+        let stmt = parse("C[i,j] = A[i,k] * B[k,j]").unwrap();
+        let m = metas(&[
+            ("C", &[2, 2], DType::F16),
+            ("A", &[2, 2], DType::F16),
+            ("B", &[2, 2], DType::F32),
+        ]);
+        let lowered = lower(&stmt, &m).unwrap();
+        assert!(lowered.graph.nodes().iter().any(|n| matches!(n.op, Op::Cast { .. })));
+    }
+}

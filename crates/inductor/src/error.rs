@@ -1,0 +1,52 @@
+//! Inductor error type.
+
+use insum_gpu::GpuError;
+use insum_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Error from planning, codegen, or running a compiled operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InductorError {
+    /// Error bubbled up from graph lowering.
+    Graph(GraphError),
+    /// Error bubbled up from the GPU simulator.
+    Gpu(GpuError),
+    /// The statement's structure is outside the fused codegen's scope.
+    Unsupported(String),
+    /// A tensor binding is missing or mismatched at run time.
+    Binding(String),
+}
+
+impl fmt::Display for InductorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InductorError::Graph(e) => write!(f, "graph error: {e}"),
+            InductorError::Gpu(e) => write!(f, "gpu error: {e}"),
+            InductorError::Unsupported(msg) => write!(f, "unsupported by fused codegen: {msg}"),
+            InductorError::Binding(msg) => write!(f, "binding error: {msg}"),
+        }
+    }
+}
+
+impl Error for InductorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InductorError::Graph(e) => Some(e),
+            InductorError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for InductorError {
+    fn from(e: GraphError) -> Self {
+        InductorError::Graph(e)
+    }
+}
+
+impl From<GpuError> for InductorError {
+    fn from(e: GpuError) -> Self {
+        InductorError::Gpu(e)
+    }
+}

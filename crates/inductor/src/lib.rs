@@ -1,0 +1,45 @@
+//! The TorchInductor analogue: lowering indirect Einsums to fused,
+//! Tensor-Core-enabled kernels (§5.2 of the paper).
+//!
+//! Stock TorchInductor fuses pointwise chains but routes matrix multiplies
+//! through a hand-written template, so an indirect Einsum becomes **three**
+//! kernels — gather, template matmul, scatter — with large intermediates
+//! materialized in DRAM. The paper extends Inductor with an `ops.dot` IR
+//! node (pattern-matched from broadcast-multiply + sum), explicit 2-D
+//! tiling over the output, and *lazy broadcasting* so `tl.dot` operands
+//! are produced in their natural `(Y, R)` / `(R, X)` layouts without
+//! `tl.view`/`tl.trans` round trips.
+//!
+//! This crate reproduces both paths:
+//!
+//! * [`compile_unfused`] walks the FX graph from `insum-graph` and emits
+//!   one kernel per node (gather kernels, a matmul kernel, a scatter
+//!   kernel), materializing intermediates — the stock-Inductor baseline
+//!   of the paper's ablation (Fig. 13, rows 1–4).
+//! * [`compile_fused`] builds a [`FusionPlan`] that classifies every index
+//!   variable into grid / Y / X / flattened-R roles (the tiling decision
+//!   of §5.2.2) and emits a **single** kernel that gathers, multiplies,
+//!   reduces (with `tl.dot` when a `(Y,R)×(R,X)` partition exists), and
+//!   scatters. [`CodegenOptions::lazy_broadcast`] switches between the
+//!   lazy layout tracking of §5.2.3 and the eager mode that pays
+//!   `tl.view`/`tl.trans` shared-memory traffic before every dot.
+//! * [`autotune`] sweeps power-of-two tile configurations with analytic
+//!   simulator launches — the "compile + autotune" cost that Table 3
+//!   charges against Insum.
+
+mod autotune;
+mod codegen;
+mod error;
+mod plan;
+mod runner;
+mod unfused;
+
+pub use autotune::{autotune, AutotuneResult};
+pub use codegen::{compile_fused, CodegenOptions, FusedOp};
+pub use error::InductorError;
+pub use plan::{build_plan, DimDesc, FactorDesc, FusionPlan, Role};
+pub use runner::run_fused;
+pub use unfused::{compile_unfused, run_unfused, UnfusedOp};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, InductorError>;

@@ -1,0 +1,489 @@
+//! Fusion planning: classify index variables into tiling roles.
+//!
+//! This is the reproduction of §5.2.2's tiling decision. Given an
+//! indirect Einsum, every index variable gets one of four roles:
+//!
+//! * **Grid** — one scalar value per program instance (batch dimensions
+//!   and variables that parameterize several metadata tensors, e.g. the
+//!   group index `p`);
+//! * **Y** — rows of the `tl.dot` tile (e.g. the block row `bm`, or the
+//!   within-group index `q` in sparse convolution);
+//! * **X** — columns of the `tl.dot` tile (the dense output channel);
+//! * **R** — the flattened reduction lanes (may combine several letters,
+//!   e.g. `(q, bk)` in BlockGroupCOO SpMM, decomposed in-kernel with
+//!   `//` and `%`).
+//!
+//! A variable can be a block (lane) role only if every metadata tensor it
+//! indexes is otherwise indexed by grid scalars — that is what keeps every
+//! loaded block at most 2-D, the Triton `tl.dot` constraint.
+
+use crate::error::InductorError;
+use crate::Result;
+use insum_graph::TensorMeta;
+use insum_lang::{analyze, Access, AssignOp, IndexExpr, Statement};
+use std::collections::BTreeMap;
+
+/// The tiling role of an index variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// Scalar per program instance (part of the launch grid).
+    Grid,
+    /// Dot-tile row lanes.
+    Y,
+    /// Dot-tile column lanes.
+    X,
+    /// Flattened reduction lanes.
+    R,
+}
+
+/// One dimension of a factor or output access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimDesc {
+    /// A plain variable indexes this dimension.
+    Dense(String),
+    /// A metadata tensor's value indexes this dimension.
+    Gathered {
+        /// Metadata tensor name.
+        meta: String,
+        /// Metadata tensor shape.
+        meta_shape: Vec<usize>,
+        /// Variables indexing the metadata tensor, in dim order.
+        meta_vars: Vec<String>,
+    },
+}
+
+/// A right-hand-side factor (or the output access).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorDesc {
+    /// The data tensor name.
+    pub tensor: String,
+    /// The data tensor shape.
+    pub shape: Vec<usize>,
+    /// Per-dimension description.
+    pub dims: Vec<DimDesc>,
+}
+
+/// The complete fusion plan for one indirect Einsum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionPlan {
+    /// Extent of every variable.
+    pub extents: BTreeMap<String, usize>,
+    /// Role of every variable.
+    pub roles: BTreeMap<String, Role>,
+    /// Grid variables in decomposition order (slowest first).
+    pub grid_vars: Vec<String>,
+    /// The Y variable, if any.
+    pub y_var: Option<String>,
+    /// The X variable, if any.
+    pub x_var: Option<String>,
+    /// Reduction variables flattened into the R lanes (slowest first).
+    pub r_vars: Vec<String>,
+    /// Right-hand-side factors.
+    pub factors: Vec<FactorDesc>,
+    /// The output access.
+    pub output: FactorDesc,
+    /// True for `+=` (accumulate into existing output).
+    pub accumulate: bool,
+    /// True if the output access contains a gather (scatter required).
+    pub scatter: bool,
+    /// Kernel parameter order: tensor names (output first, then data
+    /// tensors, then metadata tensors; deduplicated).
+    pub param_order: Vec<String>,
+}
+
+impl FusionPlan {
+    /// Extent of a variable.
+    pub fn extent(&self, var: &str) -> usize {
+        self.extents[var]
+    }
+
+    /// Extent of the Y lanes (1 when absent).
+    pub fn y_extent(&self) -> usize {
+        self.y_var.as_deref().map_or(1, |v| self.extent(v))
+    }
+
+    /// Extent of the X lanes (1 when absent).
+    pub fn x_extent(&self) -> usize {
+        self.x_var.as_deref().map_or(1, |v| self.extent(v))
+    }
+
+    /// Total flattened reduction extent (1 when there is no reduction).
+    pub fn r_extent(&self) -> usize {
+        self.r_vars.iter().map(|v| self.extent(v)).product()
+    }
+
+    /// Whether a `(Y,R) x (R,X)` Tensor-Core partition exists: Y, X and R
+    /// all present and every factor's roles fit one dot operand.
+    pub fn tensor_core_partition(&self) -> bool {
+        if self.y_var.is_none() || self.x_var.is_none() || self.r_vars.is_empty() {
+            return false;
+        }
+        self.factors.iter().all(|f| {
+            let roles = self.factor_roles(f);
+            let a_side = roles.iter().all(|r| matches!(r, Role::Y | Role::R));
+            let b_side = roles.iter().all(|r| matches!(r, Role::R | Role::X));
+            a_side || b_side
+        })
+    }
+
+    /// The set of lane roles a factor's offsets span (sorted Y < R < X).
+    pub fn factor_roles(&self, factor: &FactorDesc) -> Vec<Role> {
+        let mut roles = Vec::new();
+        let mut add = |r: Role| {
+            if r != Role::Grid && !roles.contains(&r) {
+                roles.push(r);
+            }
+        };
+        for dim in &factor.dims {
+            match dim {
+                DimDesc::Dense(v) => add(self.roles[v]),
+                DimDesc::Gathered { meta_vars, .. } => {
+                    // The metadata *value* varies along the block roles of
+                    // its index variables.
+                    for v in meta_vars {
+                        add(self.roles[v]);
+                    }
+                }
+            }
+        }
+        roles.sort_by_key(|r| match r {
+            Role::Y => 0,
+            Role::R => 1,
+            Role::X => 2,
+            Role::Grid => 3,
+        });
+        roles
+    }
+}
+
+fn describe_access(access: &Access, metas: &BTreeMap<String, TensorMeta>) -> FactorDesc {
+    let shape = metas[&access.tensor].shape.clone();
+    let dims = access
+        .indices
+        .iter()
+        .map(|idx| match idx {
+            IndexExpr::Var(v) => DimDesc::Dense(v.clone()),
+            IndexExpr::Indirect(meta) => DimDesc::Gathered {
+                meta: meta.tensor.clone(),
+                meta_shape: metas[&meta.tensor].shape.clone(),
+                meta_vars: meta.vars().into_iter().map(String::from).collect(),
+            },
+        })
+        .collect();
+    FactorDesc { tensor: access.tensor.clone(), shape, dims }
+}
+
+/// Collect every metadata access (tensor, vars) in the statement.
+fn metadata_accesses(stmt: &Statement) -> Vec<(String, Vec<String>)> {
+    let mut out = Vec::new();
+    let mut visit = |access: &Access| {
+        for idx in &access.indices {
+            if let IndexExpr::Indirect(meta) = idx {
+                out.push((
+                    meta.tensor.clone(),
+                    meta.vars().into_iter().map(String::from).collect::<Vec<_>>(),
+                ));
+            }
+        }
+    };
+    visit(&stmt.output);
+    for f in &stmt.factors {
+        visit(f);
+    }
+    out
+}
+
+/// Check that, with the proposed roles, every metadata access is indexed
+/// by grid scalars plus variables of at most one block role class
+/// (all-Y or all-R).
+fn metadata_ok(accesses: &[(String, Vec<String>)], roles: &BTreeMap<String, Role>) -> bool {
+    accesses.iter().all(|(_, vars)| {
+        let mut has_y = false;
+        let mut has_r = false;
+        let mut has_x = false;
+        for v in vars {
+            match roles[v] {
+                Role::Grid => {}
+                Role::Y => has_y = true,
+                Role::R => has_r = true,
+                Role::X => has_x = true,
+            }
+        }
+        !has_x && !(has_y && has_r)
+    })
+}
+
+/// Build the fusion plan for a statement.
+///
+/// # Errors
+///
+/// * Propagates analysis errors ([`InductorError::Graph`]).
+/// * [`InductorError::Unsupported`] when no legal role assignment exists
+///   (e.g. a metadata tensor indexed by two entangled block variables, or
+///   an X-role variable inside a metadata access).
+pub fn build_plan(
+    stmt: &Statement,
+    metas: &BTreeMap<String, TensorMeta>,
+) -> Result<FusionPlan> {
+    let shapes: BTreeMap<String, Vec<usize>> =
+        metas.iter().map(|(k, v)| (k.clone(), v.shape.clone())).collect();
+    let analysis =
+        analyze(stmt, &shapes).map_err(|e| InductorError::Graph(insum_graph::GraphError::Lang(e)))?;
+
+    let out_vars: Vec<String> = analysis.output_vars.clone();
+    let red_vars: Vec<String> = analysis.reduction_vars.clone();
+    let accesses = metadata_accesses(stmt);
+
+    // X is the last output variable, provided it never appears inside a
+    // metadata access (it must be a dense lane).
+    let in_metadata =
+        |v: &str| accesses.iter().any(|(_, vars)| vars.iter().any(|m| m == v));
+    let x_var = out_vars.last().filter(|v| !in_metadata(v)).cloned();
+
+    // Candidate Y: the output variable just before X (or the last one if
+    // there is no X).
+    let y_candidate = if x_var.is_some() {
+        out_vars.len().checked_sub(2).map(|i| out_vars[i].clone())
+    } else {
+        None
+    };
+
+    let assign = |y: Option<&String>| -> BTreeMap<String, Role> {
+        let mut roles = BTreeMap::new();
+        for v in &out_vars {
+            let role = if Some(v) == x_var.as_ref() {
+                Role::X
+            } else if Some(v) == y {
+                Role::Y
+            } else {
+                Role::Grid
+            };
+            roles.insert(v.clone(), role);
+        }
+        for v in &red_vars {
+            roles.insert(v.clone(), Role::R);
+        }
+        roles
+    };
+
+    // Try with Y, then without.
+    let mut roles = assign(y_candidate.as_ref());
+    let mut y_var = y_candidate.clone();
+    if !metadata_ok(&accesses, &roles) {
+        roles = assign(None);
+        y_var = None;
+        if !metadata_ok(&accesses, &roles) {
+            return Err(InductorError::Unsupported(
+                "no legal tiling: a metadata tensor mixes Y/R/X block variables".to_string(),
+            ));
+        }
+    }
+
+    let grid_vars: Vec<String> =
+        out_vars.iter().filter(|v| roles[*v] == Role::Grid).cloned().collect();
+    let r_vars: Vec<String> = red_vars.clone();
+
+    let factors: Vec<FactorDesc> =
+        stmt.factors.iter().map(|f| describe_access(f, metas)).collect();
+    let output = describe_access(&stmt.output, metas);
+    let scatter = stmt.output.has_indirection();
+
+    // Parameter order: output, data tensors, metadata tensors.
+    let mut param_order = vec![output.tensor.clone()];
+    let push = |name: &str, order: &mut Vec<String>| {
+        if !order.iter().any(|n| n == name) {
+            order.push(name.to_string());
+        }
+    };
+    for f in &factors {
+        push(&f.tensor, &mut param_order);
+    }
+    for f in factors.iter().chain(std::iter::once(&output)) {
+        for d in &f.dims {
+            if let DimDesc::Gathered { meta, .. } = d {
+                push(meta, &mut param_order);
+            }
+        }
+    }
+
+    Ok(FusionPlan {
+        extents: analysis.extents,
+        roles,
+        grid_vars,
+        y_var,
+        x_var,
+        r_vars,
+        factors,
+        output,
+        accumulate: stmt.op == AssignOp::Accumulate,
+        scatter,
+        param_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insum_lang::parse;
+    use insum_tensor::DType;
+
+    fn metas(pairs: &[(&str, &[usize])]) -> BTreeMap<String, TensorMeta> {
+        pairs
+            .iter()
+            .map(|(n, s)| {
+                let dtype = if n.starts_with('A') && s.len() <= 2 && (n.ends_with('M') || n.ends_with('K')) {
+                    DType::I32
+                } else {
+                    DType::F32
+                };
+                (n.to_string(), TensorMeta::new(s.to_vec(), dtype))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_matmul_plan_is_classic_tiling() {
+        let stmt = parse("C[y,x] = A[y,r] * B[r,x]").unwrap();
+        let m = metas(&[("C", &[64, 32]), ("A", &[64, 16]), ("B", &[16, 32])]);
+        let p = build_plan(&stmt, &m).unwrap();
+        assert_eq!(p.y_var.as_deref(), Some("y"));
+        assert_eq!(p.x_var.as_deref(), Some("x"));
+        assert_eq!(p.r_vars, vec!["r"]);
+        assert!(p.grid_vars.is_empty());
+        assert!(p.tensor_core_partition());
+        assert!(!p.scatter);
+        assert!(!p.accumulate);
+    }
+
+    #[test]
+    fn coo_spmm_plan_tiles_nonzeros_on_y() {
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        let m = metas(&[
+            ("C", &[16, 32]),
+            ("AM", &[40]),
+            ("AV", &[40]),
+            ("AK", &[40]),
+            ("B", &[16, 32]),
+        ]);
+        let p = build_plan(&stmt, &m).unwrap();
+        assert_eq!(p.y_var.as_deref(), Some("p"));
+        assert_eq!(p.x_var.as_deref(), Some("n"));
+        assert!(p.r_vars.is_empty());
+        assert!(p.scatter);
+        // No reduction lanes -> no tensor-core partition.
+        assert!(!p.tensor_core_partition());
+    }
+
+    #[test]
+    fn group_coo_spmm_plan_puts_group_on_grid() {
+        let stmt = parse("C[AM[p],n] += AV[p,q] * B[AK[p,q],n]").unwrap();
+        let m = metas(&[
+            ("C", &[16, 32]),
+            ("AM", &[10]),
+            ("AV", &[10, 4]),
+            ("AK", &[10, 4]),
+            ("B", &[16, 32]),
+        ]);
+        let p = build_plan(&stmt, &m).unwrap();
+        // p indexes AK together with reduction var q, so p cannot be Y.
+        assert_eq!(p.y_var, None);
+        assert_eq!(p.grid_vars, vec!["p"]);
+        assert_eq!(p.r_vars, vec!["q"]);
+        assert!(!p.tensor_core_partition());
+    }
+
+    #[test]
+    fn block_group_coo_plan_gets_tensor_cores() {
+        let stmt = parse("C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]").unwrap();
+        let m = metas(&[
+            ("C", &[4, 8, 32]),
+            ("AM", &[6]),
+            ("AV", &[6, 2, 8, 8]),
+            ("AK", &[6, 2]),
+            ("B", &[4, 8, 32]),
+        ]);
+        let p = build_plan(&stmt, &m).unwrap();
+        assert_eq!(p.grid_vars, vec!["p"]);
+        assert_eq!(p.y_var.as_deref(), Some("bm"));
+        assert_eq!(p.x_var.as_deref(), Some("n"));
+        assert_eq!(p.r_vars, vec!["q", "bk"]);
+        assert_eq!(p.r_extent(), 16);
+        assert!(p.tensor_core_partition());
+    }
+
+    #[test]
+    fn sparse_conv_plan_maps_kernel_offsets_to_y() {
+        let stmt =
+            parse("Out[MAPX[p],q,m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]").unwrap();
+        let m = metas(&[
+            ("Out", &[50, 4, 16]),
+            ("MAPX", &[10]),
+            ("MAPV", &[10, 4]),
+            ("In", &[50, 8]),
+            ("MAPY", &[10, 4]),
+            ("Weight", &[27, 8, 16]),
+            ("MAPZ", &[10]),
+        ]);
+        let p = build_plan(&stmt, &m).unwrap();
+        assert_eq!(p.grid_vars, vec!["p"]);
+        assert_eq!(p.y_var.as_deref(), Some("q"));
+        assert_eq!(p.x_var.as_deref(), Some("m"));
+        assert_eq!(p.r_vars, vec!["c"]);
+        assert!(p.tensor_core_partition());
+    }
+
+    #[test]
+    fn equivariant_plan_batches_b_and_p() {
+        let stmt = parse(
+            "Z[b,CGI[p,q],w] += CGV[p,q] * X[b,CGJ[p,q],u] * Y[b,CGK[p,q]] * W[b,CGL[p],u,w]",
+        )
+        .unwrap();
+        let m = metas(&[
+            ("Z", &[4, 9, 8]),
+            ("CGI", &[5, 3]),
+            ("CGV", &[5, 3]),
+            ("X", &[4, 9, 6]),
+            ("CGJ", &[5, 3]),
+            ("Y", &[4, 9]),
+            ("CGK", &[5, 3]),
+            ("W", &[4, 7, 6, 8]),
+            ("CGL", &[5]),
+        ]);
+        let p = build_plan(&stmt, &m).unwrap();
+        assert_eq!(p.grid_vars, vec!["b", "p"]);
+        assert_eq!(p.y_var.as_deref(), Some("q"));
+        assert_eq!(p.x_var.as_deref(), Some("w"));
+        assert_eq!(p.r_vars, vec!["u"]);
+        assert!(p.tensor_core_partition());
+        assert!(p.scatter);
+    }
+
+    #[test]
+    fn param_order_is_stable_and_deduplicated() {
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        let m = metas(&[
+            ("C", &[16, 32]),
+            ("AM", &[40]),
+            ("AV", &[40]),
+            ("AK", &[40]),
+            ("B", &[16, 32]),
+        ]);
+        let p = build_plan(&stmt, &m).unwrap();
+        assert_eq!(p.param_order, vec!["C", "AV", "B", "AK", "AM"]);
+    }
+
+    #[test]
+    fn factor_roles_are_canonically_ordered() {
+        let stmt = parse("C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]").unwrap();
+        let m = metas(&[
+            ("C", &[4, 8, 32]),
+            ("AM", &[6]),
+            ("AV", &[6, 2, 8, 8]),
+            ("AK", &[6, 2]),
+            ("B", &[4, 8, 32]),
+        ]);
+        let p = build_plan(&stmt, &m).unwrap();
+        assert_eq!(p.factor_roles(&p.factors[0]), vec![Role::Y, Role::R]);
+        assert_eq!(p.factor_roles(&p.factors[1]), vec![Role::R, Role::X]);
+    }
+}

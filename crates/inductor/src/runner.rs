@@ -1,0 +1,254 @@
+//! Executing compiled fused operations on the simulator.
+
+use crate::codegen::FusedOp;
+use crate::error::InductorError;
+use crate::Result;
+use insum_gpu::{launch, DeviceModel, KernelReport, Mode};
+use insum_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// Run a fused operation over named tensors.
+///
+/// The output tensor named by the plan is cloned from `inputs`, mutated by
+/// the kernel (in [`Mode::Execute`]), and returned together with the
+/// launch report. In [`Mode::Analytic`] the returned tensor is the
+/// unmodified output binding.
+///
+/// # Errors
+///
+/// * [`InductorError::Binding`] if a parameter tensor is missing.
+/// * Simulator errors are propagated.
+pub fn run_fused(
+    op: &FusedOp,
+    inputs: &BTreeMap<String, Tensor>,
+    device: &DeviceModel,
+    mode: Mode,
+) -> Result<(Tensor, KernelReport)> {
+    let mut owned: Vec<Tensor> = Vec::with_capacity(op.plan.param_order.len());
+    for name in &op.plan.param_order {
+        let t = inputs
+            .get(name)
+            .ok_or_else(|| InductorError::Binding(format!("missing tensor {name:?}")))?;
+        owned.push(t.clone());
+    }
+    let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
+    let report = launch(&op.kernel, &op.grid, &mut refs, device, mode)?;
+    let out_pos = op
+        .plan
+        .param_order
+        .iter()
+        .position(|n| n == &op.plan.output.tensor)
+        .expect("output is always a parameter");
+    Ok((owned.swap_remove(out_pos), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::{compile_fused, CodegenOptions};
+    use crate::plan::build_plan;
+    use insum_graph::{execute, lower, TensorMeta};
+    use insum_lang::parse;
+    use insum_tensor::{rand_uniform, randint, DType};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Compile + run an expression both through the fused kernel and the
+    /// eager graph interpreter and compare.
+    fn check_against_eager(expr: &str, binds: &[(&str, Tensor)], opts: &CodegenOptions) {
+        let stmt = parse(expr).unwrap();
+        let metas: BTreeMap<String, TensorMeta> = binds
+            .iter()
+            .map(|(n, t)| (n.to_string(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .collect();
+        let inputs: BTreeMap<String, Tensor> =
+            binds.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+
+        let plan = build_plan(&stmt, &metas).unwrap();
+        let op = compile_fused(&plan, opts).unwrap();
+        let device = DeviceModel::rtx3090();
+        let (got, report) = run_fused(&op, &inputs, &device, Mode::Execute).unwrap();
+        assert!(report.time > 0.0);
+
+        let lowered = lower(&stmt, &metas).unwrap();
+        let want = execute(&lowered.graph, &inputs).unwrap();
+        assert!(
+            got.allclose(&want, 1e-3, 1e-3),
+            "{expr}: fused kernel diverges from eager (max diff {:?})",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn dense_matmul_matches_eager() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = rand_uniform(vec![48, 24], -1.0, 1.0, &mut rng);
+        let b = rand_uniform(vec![24, 40], -1.0, 1.0, &mut rng);
+        let c = Tensor::zeros(vec![48, 40]);
+        for opts in [
+            CodegenOptions::default(),
+            CodegenOptions { tensor_cores: false, ..Default::default() },
+            CodegenOptions { lazy_broadcast: false, ..Default::default() },
+        ] {
+            check_against_eager(
+                "C[y,x] = A[y,r] * B[r,x]",
+                &[("C", c.clone()), ("A", a.clone()), ("B", b.clone())],
+                &opts,
+            );
+        }
+    }
+
+    #[test]
+    fn coo_spmm_matches_eager() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let nnz = 37;
+        let am = randint(vec![nnz], 16, &mut rng);
+        let ak = randint(vec![nnz], 20, &mut rng);
+        let av = rand_uniform(vec![nnz], -1.0, 1.0, &mut rng);
+        let b = rand_uniform(vec![20, 24], -1.0, 1.0, &mut rng);
+        let c = Tensor::zeros(vec![16, 24]);
+        check_against_eager(
+            "C[AM[p],n] += AV[p] * B[AK[p],n]",
+            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b)],
+            &CodegenOptions::default(),
+        );
+    }
+
+    #[test]
+    fn group_coo_spmm_matches_eager() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (groups, g) = (11, 3);
+        let am = randint(vec![groups], 8, &mut rng);
+        let ak = randint(vec![groups, g], 12, &mut rng);
+        let av = rand_uniform(vec![groups, g], -1.0, 1.0, &mut rng);
+        let b = rand_uniform(vec![12, 20], -1.0, 1.0, &mut rng);
+        let c = Tensor::zeros(vec![8, 20]);
+        check_against_eager(
+            "C[AM[p],n] += AV[p,q] * B[AK[p,q],n]",
+            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b)],
+            &CodegenOptions::default(),
+        );
+    }
+
+    #[test]
+    fn block_group_coo_spmm_matches_eager() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (groups, g, bm, bk) = (5, 2, 16, 16);
+        let brows = 4;
+        let bcols = 3;
+        let n = 32;
+        let am = randint(vec![groups], brows, &mut rng);
+        let ak = randint(vec![groups, g], bcols, &mut rng);
+        let av = rand_uniform(vec![groups, g, bm, bk], -1.0, 1.0, &mut rng);
+        let b = rand_uniform(vec![bcols, bk, n], -1.0, 1.0, &mut rng);
+        let c = Tensor::zeros(vec![brows, bm, n]);
+        for opts in [
+            CodegenOptions::default(),
+            CodegenOptions { lazy_broadcast: false, ..Default::default() },
+            CodegenOptions { tensor_cores: false, ..Default::default() },
+        ] {
+            check_against_eager(
+                "C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]",
+                &[
+                    ("C", c.clone()),
+                    ("AM", am.clone()),
+                    ("AK", ak.clone()),
+                    ("AV", av.clone()),
+                    ("B", b.clone()),
+                ],
+                &opts,
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_conv_matches_eager() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (pairs, q, c_in, c_out) = (7, 4, 24, 16);
+        let voxels = 30;
+        let offsets = 27;
+        let mapx = randint(vec![pairs], voxels, &mut rng);
+        let mapy = randint(vec![pairs, q], voxels, &mut rng);
+        let mapz = randint(vec![pairs], offsets, &mut rng);
+        let mapv = rand_uniform(vec![pairs, q], 0.0, 1.0, &mut rng);
+        let input = rand_uniform(vec![voxels, c_in], -1.0, 1.0, &mut rng);
+        let weight = rand_uniform(vec![offsets, c_in, c_out], -1.0, 1.0, &mut rng);
+        let out = Tensor::zeros(vec![voxels, q, c_out]);
+        check_against_eager(
+            "Out[MAPX[p],q,m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]",
+            &[
+                ("Out", out),
+                ("MAPX", mapx),
+                ("MAPY", mapy),
+                ("MAPZ", mapz),
+                ("MAPV", mapv),
+                ("In", input),
+                ("Weight", weight),
+            ],
+            &CodegenOptions::default(),
+        );
+    }
+
+    #[test]
+    fn equivariant_tp_matches_eager() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (b_sz, paths, g, u, w) = (3, 4, 2, 8, 16);
+        let (i_dim, j_dim, k_dim, l_dim) = (6, 7, 8, 4);
+        let cgi = randint(vec![paths, g], i_dim, &mut rng);
+        let cgj = randint(vec![paths, g], j_dim, &mut rng);
+        let cgk = randint(vec![paths, g], k_dim, &mut rng);
+        let cgl = randint(vec![paths], l_dim, &mut rng);
+        let cgv = rand_uniform(vec![paths, g], -1.0, 1.0, &mut rng);
+        let x = rand_uniform(vec![b_sz, j_dim, u], -1.0, 1.0, &mut rng);
+        let y = rand_uniform(vec![b_sz, k_dim], -1.0, 1.0, &mut rng);
+        let wt = rand_uniform(vec![b_sz, l_dim, u, w], -1.0, 1.0, &mut rng);
+        let z = Tensor::zeros(vec![b_sz, i_dim, w]);
+        check_against_eager(
+            "Z[b,CGI[p,q],w] += CGV[p,q] * X[b,CGJ[p,q],u] * Y[b,CGK[p,q]] * W[b,CGL[p],u,w]",
+            &[
+                ("Z", z),
+                ("CGI", cgi),
+                ("CGJ", cgj),
+                ("CGK", cgk),
+                ("CGL", cgl),
+                ("CGV", cgv),
+                ("X", x),
+                ("Y", y),
+                ("W", wt),
+            ],
+            &CodegenOptions::default(),
+        );
+    }
+
+    #[test]
+    fn f16_pipeline_matches_eager() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = rand_uniform(vec![32, 32], -1.0, 1.0, &mut rng).cast(DType::F16);
+        let b = rand_uniform(vec![32, 32], -1.0, 1.0, &mut rng).cast(DType::F16);
+        let c = Tensor::zeros(vec![32, 32]).cast(DType::F16);
+        check_against_eager(
+            "C[y,x] = A[y,r] * B[r,x]",
+            &[("C", c), ("A", a), ("B", b)],
+            &CodegenOptions::default(),
+        );
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let stmt = parse("C[i] = A[i]").unwrap();
+        let metas: BTreeMap<String, TensorMeta> = [
+            ("C".to_string(), TensorMeta::new(vec![8], DType::F32)),
+            ("A".to_string(), TensorMeta::new(vec![8], DType::F32)),
+        ]
+        .into_iter()
+        .collect();
+        let plan = build_plan(&stmt, &metas).unwrap();
+        let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+        let inputs: BTreeMap<String, Tensor> =
+            [("C".to_string(), Tensor::zeros(vec![8]))].into_iter().collect();
+        assert!(matches!(
+            run_fused(&op, &inputs, &DeviceModel::rtx3090(), Mode::Execute),
+            Err(InductorError::Binding(_))
+        ));
+    }
+}

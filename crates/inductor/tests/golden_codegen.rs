@@ -1,0 +1,188 @@
+//! Golden codegen tests (paper Figs. 8–9): the generated kernels must
+//! have the documented structure — not just compute the right values.
+
+use insum_graph::TensorMeta;
+use insum_inductor::{build_plan, compile_fused, CodegenOptions};
+use insum_kernel::print_kernel;
+use insum_lang::parse;
+use insum_tensor::DType;
+use std::collections::BTreeMap;
+
+fn metas(pairs: &[(&str, &[usize], DType)]) -> BTreeMap<String, TensorMeta> {
+    pairs.iter().map(|(n, s, d)| (n.to_string(), TensorMeta::new(s.to_vec(), *d))).collect()
+}
+
+fn fig9_metas() -> BTreeMap<String, TensorMeta> {
+    metas(&[
+        ("C", &[64, 64], DType::F32),
+        ("D", &[32], DType::I32),
+        ("A", &[32, 128], DType::F32),
+        ("E", &[32], DType::I32),
+        ("B", &[32, 64], DType::F32),
+    ])
+}
+
+const FIG9: &str = "C[D[y],x] += A[y,E[r]] * B[r,x]";
+
+#[test]
+fn fig9_lazy_kernel_structure() {
+    let stmt = parse(FIG9).unwrap();
+    let plan = build_plan(&stmt, &fig9_metas()).unwrap();
+    let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+    let src = print_kernel(&op.kernel);
+
+    // Paper Fig. 9 structure: one kernel with program ids, the E gather
+    // inside the reduction loop, one tl.dot, the D load in the epilogue,
+    // and an atomic scatter into C.
+    assert_eq!(src.matches("tl.program_id").count(), 2, "2-D grid");
+    assert_eq!(src.matches("tl.dot").count(), 1, "single fused dot");
+    assert_eq!(src.matches("tl.atomic_add").count(), 1, "single scatter");
+    assert!(src.contains("for "), "reduction loop present");
+    // E is loaded inside the loop (appears after the `for` line), D after it.
+    let loop_pos = src.find("for ").expect("loop exists");
+    let e_pos = src.find("tl.load(E + ").expect("E gather exists");
+    let d_pos = src.find("tl.load(D + ").expect("D load exists");
+    assert!(e_pos > loop_pos, "E gather belongs to the loop body");
+    assert!(d_pos > e_pos, "D scatter index loads in the epilogue");
+    // Lazy broadcasting: no view/trans anywhere.
+    assert!(!src.contains("tl.view"), "lazy mode has no views:\n{src}");
+    assert!(!src.contains("tl.trans"), "lazy mode has no transposes:\n{src}");
+}
+
+#[test]
+fn fig8b_eager_kernel_pays_views_and_transposes() {
+    let stmt = parse(FIG9).unwrap();
+    let plan = build_plan(&stmt, &fig9_metas()).unwrap();
+    let op = compile_fused(
+        &plan,
+        &CodegenOptions { lazy_broadcast: false, ..Default::default() },
+    )
+    .unwrap();
+    let src = print_kernel(&op.kernel);
+    assert!(src.contains("tl.view"), "eager mode views:\n{src}");
+    assert!(src.contains("tl.trans"), "eager mode transposes:\n{src}");
+    assert!(src.contains("tl.dot"));
+}
+
+#[test]
+fn fig8a_scalar_kernel_has_no_dot() {
+    let stmt = parse(FIG9).unwrap();
+    let plan = build_plan(&stmt, &fig9_metas()).unwrap();
+    let op = compile_fused(
+        &plan,
+        &CodegenOptions { tensor_cores: false, ..Default::default() },
+    )
+    .unwrap();
+    let src = print_kernel(&op.kernel);
+    assert!(!src.contains("tl.dot"));
+    assert!(src.contains("tl.sum"), "scalar path reduces with tl.sum:\n{src}");
+    assert!(!op.uses_dot);
+}
+
+#[test]
+fn block_group_coo_kernel_decomposes_flattened_reduction() {
+    // R = (q, bk): the kernel must decompose r with // and %.
+    let stmt = parse("C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]").unwrap();
+    let m = metas(&[
+        ("C", &[4, 32, 64], DType::F16),
+        ("AM", &[6], DType::I32),
+        ("AV", &[6, 2, 32, 32], DType::F16),
+        ("AK", &[6, 2], DType::I32),
+        ("B", &[4, 32, 64], DType::F16),
+    ]);
+    let plan = build_plan(&stmt, &m).unwrap();
+    assert_eq!(plan.r_vars, vec!["q", "bk"]);
+    let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+    let src = print_kernel(&op.kernel);
+    assert!(src.contains(" // "), "flattened r decomposition uses floor division:\n{src}");
+    assert!(src.contains("tl.dot"));
+    assert!(src.contains("tl.atomic_add"));
+}
+
+#[test]
+fn masks_appear_only_when_extents_do_not_divide_tiles() {
+    // 64-divisible everywhere with 16-tiles: no masks needed.
+    let stmt = parse("C[y,x] = A[y,r] * B[r,x]").unwrap();
+    let m = metas(&[
+        ("C", &[64, 64], DType::F32),
+        ("A", &[64, 64], DType::F32),
+        ("B", &[64, 64], DType::F32),
+    ]);
+    let plan = build_plan(&stmt, &m).unwrap();
+    let opts = CodegenOptions {
+        yblock: Some(16),
+        xblock: Some(16),
+        rblock: Some(16),
+        ..Default::default()
+    };
+    let src = print_kernel(&compile_fused(&plan, &opts).unwrap().kernel);
+    assert!(!src.contains("mask="), "divisible extents need no masks:\n{src}");
+
+    // 72 rows with 16-tiles: the Y dimension must be masked.
+    let m2 = metas(&[
+        ("C", &[72, 64], DType::F32),
+        ("A", &[72, 64], DType::F32),
+        ("B", &[64, 64], DType::F32),
+    ]);
+    let plan2 = build_plan(&stmt, &m2).unwrap();
+    let src2 = print_kernel(&compile_fused(&plan2, &opts).unwrap().kernel);
+    assert!(src2.contains("mask="), "non-divisible extents are masked:\n{src2}");
+}
+
+#[test]
+fn grid_encodes_batch_times_tiles() {
+    let stmt = parse("Out[MAPX[p,q],m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]")
+        .unwrap();
+    let m = metas(&[
+        ("Out", &[100, 32], DType::F16),
+        ("MAPX", &[40, 16], DType::I32),
+        ("MAPY", &[40, 16], DType::I32),
+        ("MAPZ", &[40], DType::I32),
+        ("MAPV", &[40, 16], DType::F16),
+        ("In", &[100, 32], DType::F16),
+        ("Weight", &[27, 32, 32], DType::F16),
+    ]);
+    let plan = build_plan(&stmt, &m).unwrap();
+    let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+    // grid = [m tiles, groups * q tiles]: 32/xb tiles, 40 groups x 1.
+    assert_eq!(op.grid[0], 32 / op.xblock);
+    assert_eq!(op.grid[1], 40 * 16usize.div_ceil(op.yblock));
+    assert!(op.uses_dot, "conv uses tensor cores");
+}
+
+#[test]
+fn codegen_is_deterministic() {
+    let stmt = parse(FIG9).unwrap();
+    let plan = build_plan(&stmt, &fig9_metas()).unwrap();
+    let a = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+    let b = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+    assert_eq!(print_kernel(&a.kernel), print_kernel(&b.kernel));
+    assert_eq!(a.grid, b.grid);
+}
+
+#[test]
+fn instruction_count_is_loop_invariant_hoisted() {
+    // Constants and aranges must be hoisted: the loop body contains no
+    // Const/Arange instructions.
+    use insum_kernel::Instr;
+    let stmt = parse(FIG9).unwrap();
+    let plan = build_plan(&stmt, &fig9_metas()).unwrap();
+    let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+    fn loop_bodies(body: &[Instr], out: &mut Vec<Instr>) {
+        for i in body {
+            if let Instr::Loop { body, .. } = i {
+                out.extend(body.iter().cloned());
+                loop_bodies(body, out);
+            }
+        }
+    }
+    let mut inner = Vec::new();
+    loop_bodies(&op.kernel.body, &mut inner);
+    assert!(!inner.is_empty());
+    for i in &inner {
+        assert!(
+            !matches!(i, Instr::Const { .. } | Instr::Arange { .. }),
+            "loop-invariant value not hoisted: {i:?}"
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! Ergonomic kernel construction.
+//!
+//! `KernelBuilder` handles register allocation and nesting so that codegen
+//! (in `insum-inductor`) and hand-written baselines (in `insum-baselines`)
+//! can build kernels without manual register bookkeeping.
+
+use crate::ir::{BinOp, Instr, Kernel, ParamDecl, Reg};
+
+/// Incremental builder for [`Kernel`]s with automatic register allocation.
+///
+/// # Example
+///
+/// ```
+/// use insum_kernel::{KernelBuilder, BinOp};
+///
+/// let mut b = KernelBuilder::new("axpy");
+/// let x = b.input("X");
+/// let y = b.output("Y");
+/// let pid = b.program_id(0);
+/// let lanes = b.arange(32);
+/// let block = b.constant(32.0);
+/// let base = b.binary(BinOp::Mul, pid, block);
+/// let offs = b.binary(BinOp::Add, base, lanes);
+/// let v = b.load(x, offs, None, 0.0);
+/// let two = b.constant(2.0);
+/// let v2 = b.binary(BinOp::Mul, v, two);
+/// b.store(y, offs, v2, None);
+/// let kernel = b.build();
+/// assert!(kernel.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<ParamDecl>,
+    next_reg: Reg,
+    // Stack of instruction lists: the last entry is the innermost open
+    // scope (loop body); index 0 is the kernel body.
+    scopes: Vec<Vec<Instr>>,
+    // Caches for hoisted pure values (constants/aranges), emitted once in
+    // the kernel body scope — the loop-invariant hoisting every real
+    // compiler performs.
+    const_cache: std::collections::HashMap<u64, Reg>,
+    arange_cache: std::collections::HashMap<usize, Reg>,
+    // One frame per open loop.
+    open_loops: Vec<LoopFrame>,
+}
+
+#[derive(Debug)]
+enum LoopFrame {
+    Static { var: Reg, start: i64, end: i64, step: i64 },
+    Dynamic { var: Reg, start: Reg, end: Reg },
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: &str) -> KernelBuilder {
+        KernelBuilder {
+            name: name.to_string(),
+            params: Vec::new(),
+            next_reg: 0,
+            scopes: vec![Vec::new()],
+            const_cache: std::collections::HashMap::new(),
+            arange_cache: std::collections::HashMap::new(),
+            open_loops: Vec::new(),
+        }
+    }
+
+    /// Declare a read-only parameter; returns its parameter index.
+    pub fn input(&mut self, name: &str) -> usize {
+        self.params.push(ParamDecl::input(name));
+        self.params.len() - 1
+    }
+
+    /// Declare a written parameter; returns its parameter index.
+    pub fn output(&mut self, name: &str) -> usize {
+        self.params.push(ParamDecl::output(name));
+        self.params.len() - 1
+    }
+
+    fn fresh(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.scopes.last_mut().expect("at least the kernel body scope").push(instr);
+    }
+
+    /// Emit `program_id(axis)`.
+    pub fn program_id(&mut self, axis: usize) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::ProgramId { dst, axis });
+        dst
+    }
+
+    /// Emit a scalar constant, hoisted to the kernel body scope and
+    /// deduplicated (constants are pure, so this is always legal and
+    /// mirrors the loop-invariant code motion real compilers perform).
+    pub fn constant(&mut self, value: f64) -> Reg {
+        if let Some(&r) = self.const_cache.get(&value.to_bits()) {
+            return r;
+        }
+        let dst = self.fresh();
+        self.scopes[0].push(Instr::Const { dst, value });
+        self.const_cache.insert(value.to_bits(), dst);
+        dst
+    }
+
+    /// Emit `arange(0, len)`, hoisted and deduplicated like
+    /// [`KernelBuilder::constant`].
+    pub fn arange(&mut self, len: usize) -> Reg {
+        if let Some(&r) = self.arange_cache.get(&len) {
+            return r;
+        }
+        let dst = self.fresh();
+        self.scopes[0].push(Instr::Arange { dst, len });
+        self.arange_cache.insert(len, dst);
+        dst
+    }
+
+    /// Emit `full(shape, value)`.
+    pub fn full(&mut self, shape: Vec<usize>, value: f64) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::Full { dst, shape, value });
+        dst
+    }
+
+    /// Emit a binary operation.
+    pub fn binary(&mut self, op: BinOp, a: Reg, b: Reg) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::Binary { dst, op, a, b });
+        dst
+    }
+
+    /// Emit a binary operation writing an existing register (for loop
+    /// accumulators: `acc = acc + x`).
+    pub fn binary_into(&mut self, dst: Reg, op: BinOp, a: Reg, b: Reg) {
+        self.emit(Instr::Binary { dst, op, a, b });
+    }
+
+    /// Emit `expand_dims(src, axis)` (a `[:, None]`-style free reshape).
+    pub fn expand_dims(&mut self, src: Reg, axis: usize) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::ExpandDims { dst, src, axis });
+        dst
+    }
+
+    /// Emit an eager `broadcast_to`.
+    pub fn broadcast(&mut self, src: Reg, shape: Vec<usize>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::Broadcast { dst, src, shape });
+        dst
+    }
+
+    /// Emit `tl.view` (shared-memory reshape).
+    pub fn view(&mut self, src: Reg, shape: Vec<usize>) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::View { dst, src, shape });
+        dst
+    }
+
+    /// Emit `tl.trans` (shared-memory 2-D transpose).
+    pub fn trans(&mut self, src: Reg) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::Trans { dst, src });
+        dst
+    }
+
+    /// Emit a load.
+    pub fn load(&mut self, param: usize, offset: Reg, mask: Option<Reg>, other: f64) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::Load { dst, param, offset, mask, other });
+        dst
+    }
+
+    /// Emit a store.
+    pub fn store(&mut self, param: usize, offset: Reg, value: Reg, mask: Option<Reg>) {
+        self.emit(Instr::Store { param, offset, value, mask });
+    }
+
+    /// Emit an atomic add (scatter).
+    pub fn atomic_add(&mut self, param: usize, offset: Reg, value: Reg, mask: Option<Reg>) {
+        self.emit(Instr::AtomicAdd { param, offset, value, mask });
+    }
+
+    /// Emit `tl.dot`.
+    pub fn dot(&mut self, a: Reg, b: Reg) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::Dot { dst, a, b });
+        dst
+    }
+
+    /// Emit `tl.dot` accumulating into an existing register:
+    /// `acc += dot(a, b)`.
+    pub fn dot_acc(&mut self, acc: Reg, a: Reg, b: Reg) {
+        let dst = self.fresh();
+        self.emit(Instr::Dot { dst, a, b });
+        self.emit(Instr::Binary { dst: acc, op: BinOp::Add, a: acc, b: dst });
+    }
+
+    /// Emit `tl.sum(src, axis)`.
+    pub fn sum(&mut self, src: Reg, axis: usize) -> Reg {
+        let dst = self.fresh();
+        self.emit(Instr::Sum { dst, src, axis });
+        dst
+    }
+
+    /// Open a `for var in range(start, end, step)` loop; returns the
+    /// induction-variable register. Close with [`KernelBuilder::end_loop`].
+    pub fn begin_loop(&mut self, start: i64, end: i64, step: i64) -> Reg {
+        let var = self.fresh();
+        self.open_loops.push(LoopFrame::Static { var, start, end, step });
+        self.scopes.push(Vec::new());
+        var
+    }
+
+    /// Open a loop with data-dependent scalar bounds (CSR-style); returns
+    /// the induction-variable register. Close with
+    /// [`KernelBuilder::end_loop`].
+    pub fn begin_loop_dyn(&mut self, start: Reg, end: Reg) -> Reg {
+        let var = self.fresh();
+        self.open_loops.push(LoopFrame::Dynamic { var, start, end });
+        self.scopes.push(Vec::new());
+        var
+    }
+
+    /// Close the innermost open loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open.
+    pub fn end_loop(&mut self) {
+        let body = self.scopes.pop().expect("scope stack underflow");
+        match self.open_loops.pop().expect("no open loop") {
+            LoopFrame::Static { var, start, end, step } => {
+                self.emit(Instr::Loop { var, start, end, step, body });
+            }
+            LoopFrame::Dynamic { var, start, end } => {
+                self.emit(Instr::LoopDyn { var, start, end, body });
+            }
+        }
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop is still open.
+    pub fn build(mut self) -> Kernel {
+        assert!(self.open_loops.is_empty(), "unclosed loop in kernel {:?}", self.name);
+        let body = self.scopes.pop().expect("kernel body scope");
+        Kernel { name: self.name, params: self.params, body, num_regs: self.next_reg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_allocates_distinct_registers() {
+        let mut b = KernelBuilder::new("k");
+        let r0 = b.constant(1.0);
+        let r1 = b.constant(2.0);
+        assert_ne!(r0, r1);
+        let k = b.build();
+        assert_eq!(k.num_regs, 2);
+        k.validate().unwrap();
+    }
+
+    #[test]
+    fn loops_nest() {
+        let mut b = KernelBuilder::new("k");
+        let _i = b.begin_loop(0, 4, 1);
+        let _j = b.begin_loop(0, 2, 1);
+        let c = b.constant(0.0);
+        b.binary(BinOp::Add, c, c);
+        b.end_loop();
+        b.end_loop();
+        let k = b.build();
+        k.validate().unwrap();
+        // The constant hoists to the kernel body; the loops follow.
+        assert_eq!(k.body.len(), 2);
+        assert!(matches!(k.body[0], Instr::Const { .. }));
+        let Instr::Loop { body, .. } = &k.body[1] else { panic!() };
+        let Instr::Loop { body: inner, .. } = &body[0] else { panic!() };
+        assert!(matches!(inner[0], Instr::Binary { .. }));
+    }
+
+    #[test]
+    fn constants_and_aranges_are_cached() {
+        let mut b = KernelBuilder::new("k");
+        let c1 = b.constant(3.0);
+        let c2 = b.constant(3.0);
+        assert_eq!(c1, c2);
+        let a1 = b.arange(8);
+        let a2 = b.arange(8);
+        assert_eq!(a1, a2);
+        let k = b.build();
+        assert_eq!(k.body.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loop")]
+    fn unclosed_loop_panics() {
+        let mut b = KernelBuilder::new("k");
+        b.begin_loop(0, 4, 1);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn dot_acc_emits_dot_then_add() {
+        let mut b = KernelBuilder::new("k");
+        let acc = b.full(vec![2, 2], 0.0);
+        let x = b.full(vec![2, 2], 1.0);
+        let y = b.full(vec![2, 2], 1.0);
+        b.dot_acc(acc, x, y);
+        let k = b.build();
+        assert!(matches!(k.body[3], Instr::Dot { .. }));
+        assert!(matches!(k.body[4], Instr::Binary { op: BinOp::Add, .. }));
+    }
+}

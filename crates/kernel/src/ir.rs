@@ -1,0 +1,455 @@
+//! Kernel IR definitions.
+
+use std::error::Error;
+use std::fmt;
+
+/// A virtual register holding a block value (a small n-d array; scalars
+/// are rank-0 blocks).
+pub type Reg = usize;
+
+/// Elementwise binary operations on blocks, with NumPy-style broadcasting.
+///
+/// Comparison and logic ops produce mask blocks of 0.0 / 1.0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// Integer floor division `a // b`.
+    FloorDiv,
+    /// Integer remainder `a % b`.
+    Mod,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `a < b` → mask
+    Lt,
+    /// `a <= b` → mask
+    Le,
+    /// `a == b` → mask
+    Eq,
+    /// `a >= b` → mask
+    Ge,
+    /// logical and of masks
+    And,
+}
+
+impl BinOp {
+    /// The Triton-ish operator token used by the printer.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Eq => "==",
+            BinOp::Ge => ">=",
+            BinOp::And => "&",
+        }
+    }
+}
+
+/// One kernel instruction.
+///
+/// Register blocks follow value semantics: an instruction overwrites its
+/// `dst` register. Loop bodies execute once per induction value with the
+/// loop variable materialized as a scalar block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = tl.program_id(axis)` — this instance's grid coordinate.
+    ProgramId {
+        /// Destination register (scalar).
+        dst: Reg,
+        /// Grid axis, 0..3.
+        axis: usize,
+    },
+    /// `dst = value` — scalar constant.
+    Const {
+        /// Destination register (scalar).
+        dst: Reg,
+        /// The value.
+        value: f64,
+    },
+    /// `dst = tl.arange(0, len)` — 1-D iota block.
+    Arange {
+        /// Destination register.
+        dst: Reg,
+        /// Number of lanes.
+        len: usize,
+    },
+    /// `dst = tl.full(shape, value)`.
+    Full {
+        /// Destination register.
+        dst: Reg,
+        /// Block shape.
+        shape: Vec<usize>,
+        /// Fill value.
+        value: f64,
+    },
+    /// `dst = a <op> b` with broadcasting.
+    Binary {
+        /// Destination register.
+        dst: Reg,
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `dst = src[..., None, ...]` — insert a size-1 axis (lazy-broadcast
+    /// building block; free on the device).
+    ExpandDims {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Position of the new axis.
+        axis: usize,
+    },
+    /// `dst = tl.broadcast_to(src, shape)` — materialize a broadcast
+    /// (eager broadcasting; charged as register/shared-memory traffic).
+    Broadcast {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Target shape.
+        shape: Vec<usize>,
+    },
+    /// `dst = tl.view(src, shape)` — reshape through shared memory
+    /// (charged by the cost model; the eager-broadcasting tax of §5.2.3).
+    View {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// New shape (same volume).
+        shape: Vec<usize>,
+    },
+    /// `dst = tl.trans(src)` — 2-D transpose through shared memory.
+    Trans {
+        /// Destination register.
+        dst: Reg,
+        /// Source register (rank 2).
+        src: Reg,
+    },
+    /// `dst = tl.load(params[param] + offset, mask=mask, other=other)`.
+    ///
+    /// `offset` is a block of *element* offsets into the parameter tensor;
+    /// masked-off lanes yield `other` and generate no memory traffic.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Parameter index.
+        param: usize,
+        /// Element-offset block.
+        offset: Reg,
+        /// Optional mask block (same shape as `offset` after broadcast).
+        mask: Option<Reg>,
+        /// Value substituted for masked lanes.
+        other: f64,
+    },
+    /// `tl.store(params[param] + offset, value, mask=mask)`.
+    Store {
+        /// Parameter index.
+        param: usize,
+        /// Element-offset block.
+        offset: Reg,
+        /// Value block.
+        value: Reg,
+        /// Optional mask block.
+        mask: Option<Reg>,
+    },
+    /// `tl.atomic_add(params[param] + offset, value, mask=mask)` — the
+    /// scatter primitive; colliding lanes serialize on the device.
+    AtomicAdd {
+        /// Parameter index.
+        param: usize,
+        /// Element-offset block.
+        offset: Reg,
+        /// Value block.
+        value: Reg,
+        /// Optional mask block.
+        mask: Option<Reg>,
+    },
+    /// `dst = tl.dot(a, b)` — Tensor-Core matrix multiply of `[m, k] x
+    /// [k, n] -> [m, n]` blocks.
+    Dot {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand (rank 2).
+        a: Reg,
+        /// Right operand (rank 2).
+        b: Reg,
+    },
+    /// `dst = tl.sum(src, axis)` — in-block reduction (rank decreases).
+    Sum {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Axis reduced over.
+        axis: usize,
+    },
+    /// `for var in range(start, end, step): body` — sequential loop.
+    Loop {
+        /// Register receiving the induction value each iteration.
+        var: Reg,
+        /// First induction value.
+        start: i64,
+        /// Exclusive upper bound.
+        end: i64,
+        /// Step (must be positive).
+        step: i64,
+        /// Loop body.
+        body: Vec<Instr>,
+    },
+    /// `for var in range(start, end): body` with *data-dependent* scalar
+    /// bounds — the variable-length loop that Einsums cannot express (§4)
+    /// but hand-written CSR/BCSR baseline kernels rely on.
+    LoopDyn {
+        /// Register receiving the induction value each iteration.
+        var: Reg,
+        /// Scalar register holding the first induction value.
+        start: Reg,
+        /// Scalar register holding the exclusive upper bound.
+        end: Reg,
+        /// Loop body.
+        body: Vec<Instr>,
+    },
+}
+
+/// Declaration of a kernel parameter (a device tensor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Parameter name (used by the printer and for binding diagnostics).
+    pub name: String,
+    /// True if the kernel writes this parameter.
+    pub written: bool,
+}
+
+impl ParamDecl {
+    /// A read-only parameter.
+    pub fn input(name: &str) -> ParamDecl {
+        ParamDecl { name: name.to_string(), written: false }
+    }
+
+    /// A written (output) parameter.
+    pub fn output(name: &str) -> ParamDecl {
+        ParamDecl { name: name.to_string(), written: true }
+    }
+}
+
+/// A complete kernel: parameters plus a straight-line body with loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (appears in printed source and profiles).
+    pub name: String,
+    /// Parameter declarations, bound positionally at launch.
+    pub params: Vec<ParamDecl>,
+    /// The body.
+    pub body: Vec<Instr>,
+    /// Number of virtual registers used.
+    pub num_regs: usize,
+}
+
+/// Structural validation error for kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError(pub String);
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid kernel: {}", self.0)
+    }
+}
+
+impl Error for KernelError {}
+
+impl Kernel {
+    /// Validate structural invariants: register bounds, parameter bounds,
+    /// positive loop steps, and that stores only target written params.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] describing the first violation found.
+    pub fn validate(&self) -> crate::Result<()> {
+        fn walk(kernel: &Kernel, body: &[Instr]) -> crate::Result<()> {
+            for instr in body {
+                let regs: Vec<Reg> = match instr {
+                    Instr::ProgramId { dst, .. } | Instr::Const { dst, .. } | Instr::Arange { dst, .. } | Instr::Full { dst, .. } => vec![*dst],
+                    Instr::Binary { dst, a, b, .. } => vec![*dst, *a, *b],
+                    Instr::ExpandDims { dst, src, .. }
+                    | Instr::Broadcast { dst, src, .. }
+                    | Instr::View { dst, src, .. }
+                    | Instr::Trans { dst, src } => vec![*dst, *src],
+                    Instr::Load { dst, offset, mask, param, .. } => {
+                        check_param(kernel, *param, false)?;
+                        let mut v = vec![*dst, *offset];
+                        v.extend(mask.iter());
+                        v
+                    }
+                    Instr::Store { offset, value, mask, param }
+                    | Instr::AtomicAdd { offset, value, mask, param } => {
+                        check_param(kernel, *param, true)?;
+                        let mut v = vec![*offset, *value];
+                        v.extend(mask.iter());
+                        v
+                    }
+                    Instr::Dot { dst, a, b } => vec![*dst, *a, *b],
+                    Instr::Sum { dst, src, .. } => vec![*dst, *src],
+                    Instr::Loop { var, step, body, .. } => {
+                        if *step <= 0 {
+                            return Err(KernelError(format!("loop step {step} must be positive")));
+                        }
+                        walk(kernel, body)?;
+                        vec![*var]
+                    }
+                    Instr::LoopDyn { var, start, end, body } => {
+                        walk(kernel, body)?;
+                        vec![*var, *start, *end]
+                    }
+                };
+                for r in regs {
+                    if r >= kernel.num_regs {
+                        return Err(KernelError(format!(
+                            "register {r} out of range ({} registers declared)",
+                            kernel.num_regs
+                        )));
+                    }
+                }
+                if let Instr::ProgramId { axis, .. } = instr {
+                    if *axis >= 3 {
+                        return Err(KernelError(format!("program_id axis {axis} must be < 3")));
+                    }
+                }
+            }
+            Ok(())
+        }
+        fn check_param(kernel: &Kernel, param: usize, needs_write: bool) -> crate::Result<()> {
+            let decl = kernel
+                .params
+                .get(param)
+                .ok_or_else(|| KernelError(format!("parameter index {param} out of range")))?;
+            if needs_write && !decl.written {
+                return Err(KernelError(format!(
+                    "parameter {:?} is stored to but not declared written",
+                    decl.name
+                )));
+            }
+            Ok(())
+        }
+        walk(self, &self.body)
+    }
+
+    /// Count instructions, recursing into loop bodies (static count, not
+    /// dynamic trip counts).
+    pub fn instruction_count(&self) -> usize {
+        fn count(body: &[Instr]) -> usize {
+            body.iter()
+                .map(|i| match i {
+                    Instr::Loop { body, .. } | Instr::LoopDyn { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_kernel() -> Kernel {
+        Kernel {
+            name: "t".into(),
+            params: vec![ParamDecl::input("A"), ParamDecl::output("C")],
+            body: vec![
+                Instr::ProgramId { dst: 0, axis: 0 },
+                Instr::Load { dst: 1, param: 0, offset: 0, mask: None, other: 0.0 },
+                Instr::Store { param: 1, offset: 0, value: 1, mask: None },
+            ],
+            num_regs: 2,
+        }
+    }
+
+    #[test]
+    fn valid_kernel_passes() {
+        trivial_kernel().validate().unwrap();
+    }
+
+    #[test]
+    fn register_out_of_range_rejected() {
+        let mut k = trivial_kernel();
+        k.num_regs = 1;
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn store_to_readonly_param_rejected() {
+        let mut k = trivial_kernel();
+        k.params[1].written = false;
+        let err = k.validate().unwrap_err();
+        assert!(err.to_string().contains("not declared written"));
+    }
+
+    #[test]
+    fn bad_param_index_rejected() {
+        let mut k = trivial_kernel();
+        k.body.push(Instr::Load { dst: 1, param: 9, offset: 0, mask: None, other: 0.0 });
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn nonpositive_loop_step_rejected() {
+        let mut k = trivial_kernel();
+        k.body.push(Instr::Loop { var: 0, start: 0, end: 4, step: 0, body: vec![] });
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn nested_loop_bodies_validated() {
+        let mut k = trivial_kernel();
+        k.body.push(Instr::Loop {
+            var: 0,
+            start: 0,
+            end: 4,
+            step: 1,
+            body: vec![Instr::Const { dst: 99, value: 1.0 }],
+        });
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn instruction_count_recurses() {
+        let mut k = trivial_kernel();
+        k.body.push(Instr::Loop {
+            var: 0,
+            start: 0,
+            end: 4,
+            step: 1,
+            body: vec![Instr::Const { dst: 1, value: 1.0 }],
+        });
+        assert_eq!(k.instruction_count(), 5);
+    }
+
+    #[test]
+    fn program_id_axis_bounded() {
+        let mut k = trivial_kernel();
+        k.body.push(Instr::ProgramId { dst: 0, axis: 3 });
+        assert!(k.validate().is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Pretty-printer: render a kernel as Triton-flavoured pseudo-Python.
+//!
+//! Used for the qualitative codegen comparison of paper Fig. 8 (default vs
+//! `tl.dot` vs lazy broadcasting) and for lines-of-code accounting.
+
+use crate::ir::{BinOp, Instr, Kernel};
+use std::fmt::Write as _;
+
+fn reg(r: usize) -> String {
+    format!("v{r}")
+}
+
+fn shape_str(shape: &[usize]) -> String {
+    let inner: Vec<String> = shape.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match instr {
+        Instr::ProgramId { dst, axis } => {
+            let _ = writeln!(out, "{pad}{} = tl.program_id({axis})", reg(*dst));
+        }
+        Instr::Const { dst, value } => {
+            let _ = writeln!(out, "{pad}{} = {value}", reg(*dst));
+        }
+        Instr::Arange { dst, len } => {
+            let _ = writeln!(out, "{pad}{} = tl.arange(0, {len})", reg(*dst));
+        }
+        Instr::Full { dst, shape, value } => {
+            let _ = writeln!(out, "{pad}{} = tl.full({}, {value})", reg(*dst), shape_str(shape));
+        }
+        Instr::Binary { dst, op, a, b } => match op {
+            BinOp::Min | BinOp::Max => {
+                let name = if *op == BinOp::Min { "minimum" } else { "maximum" };
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = tl.{name}({}, {})",
+                    reg(*dst),
+                    reg(*a),
+                    reg(*b)
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {} {} {}",
+                    reg(*dst),
+                    reg(*a),
+                    op.token(),
+                    reg(*b)
+                );
+            }
+        },
+        Instr::ExpandDims { dst, src, axis } => {
+            let _ = writeln!(out, "{pad}{} = tl.expand_dims({}, {axis})", reg(*dst), reg(*src));
+        }
+        Instr::Broadcast { dst, src, shape } => {
+            let _ = writeln!(
+                out,
+                "{pad}{} = tl.broadcast_to({}, {})",
+                reg(*dst),
+                reg(*src),
+                shape_str(shape)
+            );
+        }
+        Instr::View { dst, src, shape } => {
+            let _ = writeln!(out, "{pad}{} = tl.view({}, {})", reg(*dst), reg(*src), shape_str(shape));
+        }
+        Instr::Trans { dst, src } => {
+            let _ = writeln!(out, "{pad}{} = tl.trans({})", reg(*dst), reg(*src));
+        }
+        Instr::Load { dst, param, offset, mask, other } => {
+            let p = &kernel.params[*param].name;
+            match mask {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}{} = tl.load({p} + {}, mask={}, other={other})",
+                        reg(*dst),
+                        reg(*offset),
+                        reg(*m)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}{} = tl.load({p} + {})", reg(*dst), reg(*offset));
+                }
+            }
+        }
+        Instr::Store { param, offset, value, mask } => {
+            let p = &kernel.params[*param].name;
+            match mask {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}tl.store({p} + {}, {}, mask={})",
+                        reg(*offset),
+                        reg(*value),
+                        reg(*m)
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{pad}tl.store({p} + {}, {})", reg(*offset), reg(*value));
+                }
+            }
+        }
+        Instr::AtomicAdd { param, offset, value, mask } => {
+            let p = &kernel.params[*param].name;
+            match mask {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}tl.atomic_add({p} + {}, {}, mask={})",
+                        reg(*offset),
+                        reg(*value),
+                        reg(*m)
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{pad}tl.atomic_add({p} + {}, {})",
+                        reg(*offset),
+                        reg(*value)
+                    );
+                }
+            }
+        }
+        Instr::Dot { dst, a, b } => {
+            let _ = writeln!(out, "{pad}{} = tl.dot({}, {})", reg(*dst), reg(*a), reg(*b));
+        }
+        Instr::Sum { dst, src, axis } => {
+            let _ = writeln!(out, "{pad}{} = tl.sum({}, {axis})", reg(*dst), reg(*src));
+        }
+        Instr::Loop { var, start, end, step, body } => {
+            let _ = writeln!(out, "{pad}for {} in range({start}, {end}, {step}):", reg(*var));
+            if body.is_empty() {
+                let _ = writeln!(out, "{pad}    pass");
+            }
+            for i in body {
+                emit(i, kernel, indent + 1, out);
+            }
+        }
+        Instr::LoopDyn { var, start, end, body } => {
+            let _ = writeln!(out, "{pad}for {} in range({}, {}):", reg(*var), reg(*start), reg(*end));
+            if body.is_empty() {
+                let _ = writeln!(out, "{pad}    pass");
+            }
+            for i in body {
+                emit(i, kernel, indent + 1, out);
+            }
+        }
+    }
+}
+
+/// Render a kernel as Triton-flavoured pseudo-Python source.
+///
+/// The output is stable (deterministic) so it can back golden tests.
+pub fn print_kernel(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let params: Vec<&str> = kernel.params.iter().map(|p| p.name.as_str()).collect();
+    let _ = writeln!(out, "@triton.jit");
+    let _ = writeln!(out, "def {}({}):", kernel.name, params.join(", "));
+    if kernel.body.is_empty() {
+        let _ = writeln!(out, "    pass");
+    }
+    for instr in &kernel.body {
+        emit(instr, kernel, 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::BinOp;
+
+    #[test]
+    fn prints_simple_kernel() {
+        let mut b = KernelBuilder::new("copy");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let pid = b.program_id(0);
+        let lanes = b.arange(4);
+        let offs = b.binary(BinOp::Add, pid, lanes);
+        let v = b.load(x, offs, None, 0.0);
+        b.store(y, offs, v, None);
+        let k = b.build();
+        let src = print_kernel(&k);
+        assert!(src.contains("@triton.jit"));
+        assert!(src.contains("def copy(X, Y):"));
+        assert!(src.contains("tl.program_id(0)"));
+        assert!(src.contains("tl.load(X + v2)"));
+        assert!(src.contains("tl.store(Y + v2, v3)"));
+    }
+
+    #[test]
+    fn prints_loops_with_indentation() {
+        let mut b = KernelBuilder::new("loopy");
+        let _ = b.output("Y");
+        let i = b.begin_loop(0, 8, 2);
+        b.binary(BinOp::Add, i, i);
+        b.end_loop();
+        let k = b.build();
+        let src = print_kernel(&k);
+        assert!(src.contains("for v0 in range(0, 8, 2):"));
+        assert!(src.contains("\n        v1 = v0 + v0"));
+    }
+
+    #[test]
+    fn prints_masked_ops_and_dot() {
+        let mut b = KernelBuilder::new("m");
+        let x = b.input("X");
+        let c = b.output("C");
+        let a0 = b.full(vec![2, 2], 0.0);
+        let lanes = b.arange(2);
+        let bound = b.constant(2.0);
+        let mask = b.binary(BinOp::Lt, lanes, bound);
+        let v = b.load(x, lanes, Some(mask), 0.0);
+        let d = b.dot(a0, a0);
+        let s = b.binary(BinOp::Add, d, v);
+        b.atomic_add(c, lanes, s, Some(mask));
+        let k = b.build();
+        let src = print_kernel(&k);
+        assert!(src.contains("mask=v3, other=0"));
+        assert!(src.contains("tl.dot(v0, v0)"));
+        assert!(src.contains("tl.atomic_add(C + v1, v6, mask=v3)"));
+    }
+
+    #[test]
+    fn empty_kernel_prints_pass() {
+        let k = KernelBuilder::new("empty").build();
+        assert!(print_kernel(&k).contains("    pass"));
+    }
+
+    #[test]
+    fn print_is_deterministic() {
+        let mk = || {
+            let mut b = KernelBuilder::new("k");
+            let x = b.input("X");
+            let o = b.arange(8);
+            let v = b.load(x, o, None, 0.0);
+            let y = b.output("Y");
+            b.store(y, o, v, None);
+            b.build()
+        };
+        assert_eq!(print_kernel(&mk()), print_kernel(&mk()));
+    }
+}

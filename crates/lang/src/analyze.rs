@@ -1,0 +1,275 @@
+//! Semantic analysis: extent inference and variable classification.
+
+use crate::ast::{Access, IndexExpr, Statement};
+use crate::error::LangError;
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// Result of analyzing a [`Statement`] against concrete tensor shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Inferred extent of every plain index variable.
+    pub extents: BTreeMap<String, usize>,
+    /// Variables appearing in the output access (parallel dimensions).
+    pub output_vars: Vec<String>,
+    /// Variables appearing only on the right-hand side (summed over).
+    pub reduction_vars: Vec<String>,
+    /// Tensors used in index position (gather/scatter metadata).
+    pub metadata_tensors: Vec<String>,
+}
+
+impl Analysis {
+    /// Extent of an index variable, if it exists.
+    pub fn extent(&self, var: &str) -> Option<usize> {
+        self.extents.get(var).copied()
+    }
+
+    /// Total iteration-space volume (product of all extents).
+    pub fn iteration_volume(&self) -> usize {
+        self.extents.values().product()
+    }
+}
+
+struct Ctx<'a> {
+    shapes: &'a BTreeMap<String, Vec<usize>>,
+    extents: BTreeMap<String, usize>,
+    metadata: Vec<String>,
+}
+
+impl Ctx<'_> {
+    fn shape_of(&self, tensor: &str) -> Result<&[usize]> {
+        self.shapes
+            .get(tensor)
+            .map(Vec::as_slice)
+            .ok_or_else(|| LangError::UnboundTensor(tensor.to_string()))
+    }
+
+    fn bind(&mut self, var: &str, extent: usize) -> Result<()> {
+        match self.extents.get(var) {
+            Some(&e) if e != extent => Err(LangError::ExtentConflict {
+                var: var.to_string(),
+                detail: format!("bound to both {e} and {extent}"),
+            }),
+            _ => {
+                self.extents.insert(var.to_string(), extent);
+                Ok(())
+            }
+        }
+    }
+
+    /// Visit an access, binding every plain variable it constrains.
+    ///
+    /// `depth` counts indirection nesting; the compiler supports depth 1
+    /// (metadata tensors indexed only by plain variables), matching every
+    /// kernel in the paper.
+    fn visit(&mut self, access: &Access, depth: usize) -> Result<()> {
+        let shape = self.shape_of(&access.tensor)?.to_vec();
+        if shape.len() != access.indices.len() {
+            return Err(LangError::RankMismatch {
+                tensor: access.tensor.clone(),
+                indices: access.indices.len(),
+                rank: shape.len(),
+            });
+        }
+        for (dim, idx) in access.indices.iter().enumerate() {
+            match idx {
+                IndexExpr::Var(v) => self.bind(v, shape[dim])?,
+                IndexExpr::Indirect(inner) => {
+                    if depth >= 1 {
+                        return Err(LangError::Unsupported(format!(
+                            "nested indirection deeper than one level in {access}"
+                        )));
+                    }
+                    if inner.indices.iter().any(IndexExpr::is_indirect) {
+                        return Err(LangError::Unsupported(format!(
+                            "indirect index {inner} must be indexed by plain variables"
+                        )));
+                    }
+                    if !self.metadata.contains(&inner.tensor) {
+                        self.metadata.push(inner.tensor.clone());
+                    }
+                    // The metadata access itself binds its index variables.
+                    self.visit(inner, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Analyze a statement against the shapes of its bound tensors.
+///
+/// Infers the extent of every plain index variable (from the dimensions it
+/// directly indexes, either on a data tensor or on a metadata tensor),
+/// verifies that all bindings agree, and splits variables into output vs
+/// reduction sets.
+///
+/// # Errors
+///
+/// * [`LangError::UnboundTensor`] if a named tensor has no shape.
+/// * [`LangError::RankMismatch`] if an access has the wrong arity.
+/// * [`LangError::ExtentConflict`] if a variable is bound to two sizes.
+/// * [`LangError::Unsupported`] for indirection nested deeper than one
+///   level.
+pub fn analyze(stmt: &Statement, shapes: &BTreeMap<String, Vec<usize>>) -> Result<Analysis> {
+    let mut ctx = Ctx { shapes, extents: BTreeMap::new(), metadata: Vec::new() };
+    ctx.visit(&stmt.output, 0)?;
+    for factor in &stmt.factors {
+        ctx.visit(factor, 0)?;
+    }
+    let output_vars: Vec<String> = stmt.output_vars().into_iter().map(String::from).collect();
+    let reduction_vars: Vec<String> = stmt
+        .all_vars()
+        .into_iter()
+        .filter(|v| !output_vars.iter().any(|o| o == v))
+        .map(String::from)
+        .collect();
+    // Every variable must have an extent (visit covers all accesses, so
+    // this is an internal invariant rather than a user error).
+    for v in output_vars.iter().chain(&reduction_vars) {
+        debug_assert!(ctx.extents.contains_key(v), "variable {v} missing extent");
+    }
+    Ok(Analysis {
+        extents: ctx.extents,
+        output_vars,
+        reduction_vars,
+        metadata_tensors: ctx.metadata,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn shapes(pairs: &[(&str, &[usize])]) -> BTreeMap<String, Vec<usize>> {
+        pairs.iter().map(|(n, s)| (n.to_string(), s.to_vec())).collect()
+    }
+
+    #[test]
+    fn coo_spmm_extents() {
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        let info = analyze(
+            &stmt,
+            &shapes(&[
+                ("C", &[4, 8]),
+                ("AM", &[7]),
+                ("AV", &[7]),
+                ("AK", &[7]),
+                ("B", &[5, 8]),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(info.extent("p"), Some(7));
+        assert_eq!(info.extent("n"), Some(8));
+        assert_eq!(info.output_vars, vec!["p", "n"]);
+        assert!(info.reduction_vars.is_empty());
+        assert_eq!(info.metadata_tensors, vec!["AM", "AK"]);
+        assert_eq!(info.iteration_volume(), 56);
+    }
+
+    #[test]
+    fn group_coo_spmm_reduction_var() {
+        let stmt = parse("C[AM[p],n] += AV[p,q] * B[AK[p,q],n]").unwrap();
+        let info = analyze(
+            &stmt,
+            &shapes(&[
+                ("C", &[4, 8]),
+                ("AM", &[3]),
+                ("AV", &[3, 2]),
+                ("AK", &[3, 2]),
+                ("B", &[5, 8]),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(info.extent("q"), Some(2));
+        assert_eq!(info.reduction_vars, vec!["q"]);
+    }
+
+    #[test]
+    fn dense_matmul_reduction() {
+        let stmt = parse("C[y,x] = A[y,r] * B[r,x]").unwrap();
+        let info = analyze(&stmt, &shapes(&[("C", &[2, 4]), ("A", &[2, 3]), ("B", &[3, 4])])).unwrap();
+        assert_eq!(info.output_vars, vec!["y", "x"]);
+        assert_eq!(info.reduction_vars, vec!["r"]);
+        assert_eq!(info.extent("r"), Some(3));
+    }
+
+    #[test]
+    fn unbound_tensor_rejected() {
+        let stmt = parse("C[i] = A[i]").unwrap();
+        let err = analyze(&stmt, &shapes(&[("C", &[4])])).unwrap_err();
+        assert_eq!(err, LangError::UnboundTensor("A".into()));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let stmt = parse("C[i,j] = A[i,j]").unwrap();
+        let err = analyze(&stmt, &shapes(&[("C", &[4, 4]), ("A", &[4])])).unwrap_err();
+        assert!(matches!(err, LangError::RankMismatch { .. }));
+    }
+
+    #[test]
+    fn extent_conflict_rejected() {
+        let stmt = parse("C[i] = A[i] * B[i]").unwrap();
+        let err =
+            analyze(&stmt, &shapes(&[("C", &[4]), ("A", &[4]), ("B", &[5])])).unwrap_err();
+        assert!(matches!(err, LangError::ExtentConflict { .. }));
+    }
+
+    #[test]
+    fn metadata_extent_binds_vars() {
+        // p's extent comes from AM even though AV also constrains it.
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        let err = analyze(
+            &stmt,
+            &shapes(&[
+                ("C", &[4, 8]),
+                ("AM", &[7]),
+                ("AV", &[6]), // conflicts with AM's 7
+                ("AK", &[7]),
+                ("B", &[5, 8]),
+            ]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::ExtentConflict { .. }));
+    }
+
+    #[test]
+    fn nested_indirection_rejected() {
+        let stmt = parse("C[i] += A[P[Q[i]]]").unwrap();
+        let err = analyze(
+            &stmt,
+            &shapes(&[("C", &[4]), ("A", &[4]), ("P", &[4]), ("Q", &[4])]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LangError::Unsupported(_)));
+    }
+
+    #[test]
+    fn sparse_conv_analysis() {
+        let stmt = parse(
+            "Out[MAPX[p],q,m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]",
+        )
+        .unwrap();
+        let info = analyze(
+            &stmt,
+            &shapes(&[
+                ("Out", &[100, 4, 16]),
+                ("MAPX", &[10]),
+                ("MAPV", &[10, 4]),
+                ("In", &[100, 32]),
+                ("MAPY", &[10, 4]),
+                ("Weight", &[27, 32, 16]),
+                ("MAPZ", &[10]),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(info.extent("p"), Some(10));
+        assert_eq!(info.extent("q"), Some(4));
+        assert_eq!(info.extent("c"), Some(32));
+        assert_eq!(info.extent("m"), Some(16));
+        assert_eq!(info.output_vars, vec!["p", "q", "m"]);
+        assert_eq!(info.reduction_vars, vec!["c"]);
+    }
+}

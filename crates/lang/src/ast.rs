@@ -1,0 +1,200 @@
+//! Abstract syntax of indirect Einsum statements.
+
+use std::fmt;
+
+/// How the computed right-hand side combines into the output tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`: the output is assumed zero-initialized and written once per
+    /// coordinate (still accumulates on indirect collisions, per the
+    /// Einsum operational semantics of §3.1).
+    Assign,
+    /// `+=`: contributions accumulate into the existing output.
+    Accumulate,
+}
+
+/// One index position of an access: either a plain index variable or an
+/// *indirect* access whose value supplies the coordinate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexExpr {
+    /// A plain index variable, e.g. `n` in `B[AK[p], n]`.
+    Var(String),
+    /// An indirect index, e.g. `AK[p]` in `B[AK[p], n]`.
+    Indirect(Access),
+}
+
+impl IndexExpr {
+    /// The plain variables appearing (transitively) in this index.
+    pub fn vars(&self) -> Vec<&str> {
+        match self {
+            IndexExpr::Var(v) => vec![v.as_str()],
+            IndexExpr::Indirect(a) => a.vars(),
+        }
+    }
+
+    /// True if this index is an indirect access.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, IndexExpr::Indirect(_))
+    }
+}
+
+/// A tensor access `T[i, j, ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// The tensor name.
+    pub tensor: String,
+    /// One index expression per dimension.
+    pub indices: Vec<IndexExpr>,
+}
+
+impl Access {
+    /// All plain index variables used by this access, in positional order
+    /// with duplicates preserved.
+    pub fn vars(&self) -> Vec<&str> {
+        self.indices.iter().flat_map(|i| i.vars()).collect()
+    }
+
+    /// The names of metadata tensors used for indirect indexing here.
+    pub fn indirect_tensors(&self) -> Vec<&str> {
+        self.indices
+            .iter()
+            .filter_map(|i| match i {
+                IndexExpr::Indirect(a) => Some(a.tensor.as_str()),
+                IndexExpr::Var(_) => None,
+            })
+            .collect()
+    }
+
+    /// True if any index position is indirect.
+    pub fn has_indirection(&self) -> bool {
+        self.indices.iter().any(IndexExpr::is_indirect)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.tensor)?;
+        for (i, idx) in self.indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match idx {
+                IndexExpr::Var(v) => write!(f, "{v}")?,
+                IndexExpr::Indirect(a) => write!(f, "{a}")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// A full indirect Einsum statement: `output op factor * factor * ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// The left-hand-side access (the output tensor).
+    pub output: Access,
+    /// Assignment operator.
+    pub op: AssignOp,
+    /// The product of right-hand-side accesses.
+    pub factors: Vec<Access>,
+}
+
+impl Statement {
+    /// Every tensor named in the statement (output, factors, and metadata),
+    /// deduplicated in first-appearance order.
+    pub fn tensor_names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        fn collect<'a>(a: &'a Access, out: &mut Vec<&'a str>) {
+            if !out.contains(&a.tensor.as_str()) {
+                out.push(&a.tensor);
+            }
+            for idx in &a.indices {
+                if let IndexExpr::Indirect(inner) = idx {
+                    collect(inner, out);
+                }
+            }
+        }
+        collect(&self.output, &mut out);
+        for fac in &self.factors {
+            collect(fac, &mut out);
+        }
+        out
+    }
+
+    /// Plain index variables of the output access, deduplicated in order.
+    pub fn output_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for v in self.output.vars() {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// All plain index variables of the statement, output vars first, then
+    /// remaining (reduction) vars in appearance order.
+    pub fn all_vars(&self) -> Vec<&str> {
+        let mut out = self.output_vars();
+        for fac in &self.factors {
+            for v in fac.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            AssignOp::Assign => "=",
+            AssignOp::Accumulate => "+=",
+        };
+        write!(f, "{} {} ", self.output, op)?;
+        for (i, fac) in self.factors.iter().enumerate() {
+            if i > 0 {
+                write!(f, " * ")?;
+            }
+            write!(f, "{fac}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let src = "C[AM[p],n] += AV[p,q] * B[AK[p,q],n]";
+        let stmt = parse(src).unwrap();
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn tensor_names_include_metadata() {
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        assert_eq!(stmt.tensor_names(), vec!["C", "AM", "AV", "B", "AK"]);
+    }
+
+    #[test]
+    fn var_classification() {
+        let stmt = parse("C[AM[p],n] += AV[p,q] * B[AK[p,q],n]").unwrap();
+        assert_eq!(stmt.output_vars(), vec!["p", "n"]);
+        assert_eq!(stmt.all_vars(), vec!["p", "n", "q"]);
+    }
+
+    #[test]
+    fn access_helpers() {
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        assert!(stmt.output.has_indirection());
+        assert_eq!(stmt.output.indirect_tensors(), vec!["AM"]);
+        assert!(!stmt.factors[0].has_indirection());
+        assert!(stmt.factors[1].has_indirection());
+    }
+}

@@ -1,0 +1,88 @@
+//! Errors produced by the language front end.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from lexing, parsing, or analyzing an indirect Einsum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// An unexpected character was encountered while lexing.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Byte position in the source string.
+        pos: usize,
+    },
+    /// The token stream did not match the grammar.
+    ParseError {
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+        /// Token position.
+        pos: usize,
+    },
+    /// A tensor named in the expression was not bound to a shape.
+    UnboundTensor(String),
+    /// An index variable's extent could not be inferred or conflicts.
+    ExtentConflict {
+        /// The index variable.
+        var: String,
+        /// Details of the conflict.
+        detail: String,
+    },
+    /// A tensor is accessed with the wrong number of indices.
+    RankMismatch {
+        /// The tensor name.
+        tensor: String,
+        /// Indices in the expression.
+        indices: usize,
+        /// Rank of the bound tensor.
+        rank: usize,
+    },
+    /// The statement violates a structural rule (e.g. nested indirection).
+    Unsupported(String),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::UnexpectedChar { ch, pos } => {
+                write!(f, "unexpected character {ch:?} at byte {pos}")
+            }
+            LangError::ParseError { expected, found, pos } => {
+                write!(f, "expected {expected} but found {found} at token {pos}")
+            }
+            LangError::UnboundTensor(name) => {
+                write!(f, "tensor {name:?} is not bound to a shape")
+            }
+            LangError::ExtentConflict { var, detail } => {
+                write!(f, "extent conflict for index {var:?}: {detail}")
+            }
+            LangError::RankMismatch { tensor, indices, rank } => {
+                write!(f, "tensor {tensor:?} has rank {rank} but is accessed with {indices} indices")
+            }
+            LangError::Unsupported(msg) => write!(f, "unsupported expression: {msg}"),
+        }
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LangError::RankMismatch { tensor: "A".into(), indices: 3, rank: 2 };
+        assert!(e.to_string().contains("rank 2"));
+        assert!(e.to_string().contains("3 indices"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LangError>();
+    }
+}

@@ -1,0 +1,125 @@
+//! Tokenizer for indirect Einsum expressions.
+
+use crate::error::LangError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A tensor or index identifier.
+    Ident(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+=`
+    PlusEquals,
+    /// `=`
+    Equals,
+}
+
+/// Tokenize an indirect Einsum source string.
+///
+/// Identifiers are `[A-Za-z_][A-Za-z0-9_]*`; whitespace is skipped.
+///
+/// # Errors
+///
+/// Returns [`LangError::UnexpectedChar`] for any other character.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token::PlusEquals);
+                    i += 2;
+                } else {
+                    return Err(LangError::UnexpectedChar { ch: '+', pos: i });
+                }
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => return Err(LangError::UnexpectedChar { ch: other, pos: i }),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_spmm() {
+        let toks = lex("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        assert_eq!(toks[0], Token::Ident("C".into()));
+        assert_eq!(toks[1], Token::LBracket);
+        assert!(toks.contains(&Token::PlusEquals));
+        assert!(toks.contains(&Token::Star));
+        assert_eq!(toks.iter().filter(|t| **t == Token::LBracket).count(), 5);
+    }
+
+    #[test]
+    fn lex_assignment() {
+        let toks = lex("C[i] = A[i]").unwrap();
+        assert!(toks.contains(&Token::Equals));
+        assert!(!toks.contains(&Token::PlusEquals));
+    }
+
+    #[test]
+    fn lex_underscore_and_digits_in_idents() {
+        let toks = lex("Out_2[x_1]").unwrap();
+        assert_eq!(toks[0], Token::Ident("Out_2".into()));
+        assert_eq!(toks[2], Token::Ident("x_1".into()));
+    }
+
+    #[test]
+    fn lex_rejects_bad_chars() {
+        assert!(matches!(lex("C[i] := A[i]"), Err(LangError::UnexpectedChar { ch: ':', .. })));
+        assert!(matches!(lex("C[i] + A[i]"), Err(LangError::UnexpectedChar { ch: '+', .. })));
+        assert!(matches!(lex("C[0]"), Err(LangError::UnexpectedChar { ch: '0', .. })));
+    }
+
+    #[test]
+    fn lex_whitespace_insensitive() {
+        assert_eq!(lex("C[i]=A[i]").unwrap(), lex("  C [ i ] \n= A [ i ]  ").unwrap());
+    }
+}

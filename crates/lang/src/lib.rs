@@ -1,0 +1,58 @@
+//! The indirect-Einsum expression language (§3.1, §5.1 of the paper).
+//!
+//! An *indirect Einsum* is an Einsum whose index expressions may themselves
+//! be tensor accesses. The canonical example from the paper is GroupCOO
+//! SpMM:
+//!
+//! ```text
+//! C[AM[p], n] += AV[p, q] * B[AK[p, q], n]
+//! ```
+//!
+//! where `p` iterates over groups, `q` over entries within a group, `AM`
+//! and `AK` are coordinate (metadata) tensors, and `AV` holds nonzero
+//! values. Indirect accesses on the right-hand side are gathers; indirect
+//! accesses on the left-hand side are scatter-adds (duplicates accumulate).
+//!
+//! This crate provides the textual front end: a lexer ([`lex`]), a parser
+//! producing a [`Statement`] AST ([`parse`]), and a semantic analysis
+//! ([`analyze`]) that infers every index variable's extent from the bound
+//! tensor shapes and classifies variables as *output* (parallel) or
+//! *reduction* (summed).
+//!
+//! # Example
+//!
+//! ```
+//! use insum_lang::{parse, analyze};
+//! use std::collections::BTreeMap;
+//!
+//! # fn main() -> Result<(), insum_lang::LangError> {
+//! let stmt = parse("C[AM[p],n] += AV[p,q] * B[AK[p,q],n]")?;
+//! let mut shapes = BTreeMap::new();
+//! shapes.insert("C".to_string(), vec![4usize, 8]);
+//! shapes.insert("AM".to_string(), vec![3]);
+//! shapes.insert("AV".to_string(), vec![3, 2]);
+//! shapes.insert("AK".to_string(), vec![3, 2]);
+//! shapes.insert("B".to_string(), vec![16, 8]);
+//! let info = analyze(&stmt, &shapes)?;
+//! assert_eq!(info.extent("p"), Some(3));
+//! assert_eq!(info.extent("q"), Some(2));
+//! assert_eq!(info.extent("n"), Some(8));
+//! assert!(info.reduction_vars.contains(&"q".to_string()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod analyze;
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+
+pub use analyze::{analyze, Analysis};
+pub use ast::{Access, AssignOp, IndexExpr, Statement};
+pub use error::LangError;
+pub use lexer::{lex, Token};
+pub use parser::parse;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LangError>;

@@ -1,0 +1,124 @@
+//! Property tests for the language front end: printing and re-parsing an
+//! arbitrary statement is the identity, and analysis is stable under it.
+
+use insum_lang::{analyze, parse, Access, AssignOp, IndexExpr, Statement};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Strategy for index-variable names (single lowercase letters, distinct
+/// from tensor names).
+fn var_name() -> impl Strategy<Value = String> {
+    "[a-h]".prop_map(|s| s.to_string())
+}
+
+/// Strategy for tensor names.
+fn tensor_name() -> impl Strategy<Value = String> {
+    "[A-Z][A-Z]?".prop_map(|s| s.to_string())
+}
+
+fn leaf_index() -> impl Strategy<Value = IndexExpr> {
+    var_name().prop_map(IndexExpr::Var)
+}
+
+/// Accesses with up to 3 dims; each dim is a var or a depth-1 indirect
+/// access over vars.
+fn access() -> impl Strategy<Value = Access> {
+    (
+        tensor_name(),
+        proptest::collection::vec(
+            prop_oneof![
+                leaf_index(),
+                (tensor_name(), proptest::collection::vec(var_name(), 1..3)).prop_map(
+                    |(t, vars)| {
+                        IndexExpr::Indirect(Access {
+                            tensor: t,
+                            indices: vars.into_iter().map(IndexExpr::Var).collect(),
+                        })
+                    }
+                ),
+            ],
+            1..4,
+        ),
+    )
+        .prop_map(|(tensor, indices)| Access { tensor, indices })
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    (access(), proptest::bool::ANY, proptest::collection::vec(access(), 1..4)).prop_map(
+        |(output, acc, factors)| Statement {
+            output,
+            op: if acc { AssignOp::Accumulate } else { AssignOp::Assign },
+            factors,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(stmt in statement()) {
+        let printed = stmt.to_string();
+        let reparsed = parse(&printed).expect("printed statements parse");
+        prop_assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn tensor_names_are_deduplicated(stmt in statement()) {
+        let names = stmt.tensor_names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(names.len(), sorted.len());
+    }
+
+    #[test]
+    fn all_vars_contains_output_vars(stmt in statement()) {
+        let all = stmt.all_vars();
+        for v in stmt.output_vars() {
+            prop_assert!(all.contains(&v));
+        }
+    }
+
+    #[test]
+    fn analysis_is_deterministic(stmt in statement()) {
+        // Bind every tensor to a rank-matching shape of 4s; analysis
+        // either fails identically or succeeds identically.
+        let mut shapes: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        fn bind(a: &Access, shapes: &mut BTreeMap<String, Vec<usize>>) {
+            shapes.insert(a.tensor.clone(), vec![4; a.indices.len()]);
+            for idx in &a.indices {
+                if let IndexExpr::Indirect(inner) = idx {
+                    bind(inner, shapes);
+                }
+            }
+        }
+        bind(&stmt.output, &mut shapes);
+        for f in &stmt.factors {
+            bind(f, &mut shapes);
+        }
+        let r1 = analyze(&stmt, &shapes);
+        let r2 = analyze(&stmt, &shapes);
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn successful_analysis_binds_every_var(stmt in statement()) {
+        let mut shapes: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        fn bind(a: &Access, shapes: &mut BTreeMap<String, Vec<usize>>) {
+            shapes.insert(a.tensor.clone(), vec![4; a.indices.len()]);
+            for idx in &a.indices {
+                if let IndexExpr::Indirect(inner) = idx {
+                    bind(inner, shapes);
+                }
+            }
+        }
+        bind(&stmt.output, &mut shapes);
+        for f in &stmt.factors {
+            bind(f, &mut shapes);
+        }
+        if let Ok(info) = analyze(&stmt, &shapes) {
+            for v in stmt.all_vars() {
+                prop_assert_eq!(info.extent(v), Some(4), "var {} unbound", v);
+            }
+        }
+    }
+}

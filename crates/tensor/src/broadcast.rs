@@ -1,0 +1,70 @@
+//! NumPy-style shape broadcasting rules.
+
+/// Compute the broadcast of two shapes, or `None` if they are incompatible.
+///
+/// Shapes are right-aligned; a dimension broadcasts if the extents are
+/// equal or either is 1.
+///
+/// ```
+/// use insum_tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+/// assert_eq!(broadcast_shapes(&[4], &[2, 4]), Some(vec![2, 4]));
+/// assert_eq!(broadcast_shapes(&[2], &[3]), None);
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let nd = a.len().max(b.len());
+    let mut out = vec![0usize; nd];
+    for i in 0..nd {
+        let da = if i < nd - a.len() { 1 } else { a[i - (nd - a.len())] };
+        let db = if i < nd - b.len() { 1 } else { b[i - (nd - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn scalar_broadcasts_with_anything() {
+        assert_eq!(broadcast_shapes(&[], &[5, 2]), Some(vec![5, 2]));
+        assert_eq!(broadcast_shapes(&[5, 2], &[]), Some(vec![5, 2]));
+    }
+
+    #[test]
+    fn ones_expand() {
+        assert_eq!(broadcast_shapes(&[1, 3, 1], &[2, 1, 4]), Some(vec![2, 3, 4]));
+    }
+
+    #[test]
+    fn rank_extension_is_left_padded() {
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]), Some(vec![2, 3]));
+    }
+
+    #[test]
+    fn incompatible() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 4]), None);
+        assert_eq!(broadcast_shapes(&[5], &[4]), None);
+    }
+
+    #[test]
+    fn zero_sized_dims() {
+        assert_eq!(broadcast_shapes(&[0], &[1]), Some(vec![0]));
+        assert_eq!(broadcast_shapes(&[0], &[0]), Some(vec![0]));
+    }
+}

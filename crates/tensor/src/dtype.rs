@@ -1,0 +1,93 @@
+//! Simulated element types.
+
+use std::fmt;
+
+/// The simulated element type of a [`crate::Tensor`].
+///
+/// All tensor data is stored as `f32` in host memory; the dtype tag tells
+/// the GPU memory model how many bytes an element occupies on the simulated
+/// device and whether an operation is Tensor-Core eligible. `F16` tensors
+/// additionally round every stored value through IEEE binary16 so that
+/// half-precision rounding is observable in results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// IEEE binary16 (half precision), 2 bytes, Tensor-Core eligible.
+    F16,
+    /// IEEE binary32 (single precision), 4 bytes.
+    #[default]
+    F32,
+    /// 32-bit signed integer; used for coordinate/metadata tensors.
+    I32,
+}
+
+impl DType {
+    /// Size in bytes of one element on the simulated device.
+    ///
+    /// ```
+    /// use insum_tensor::DType;
+    /// assert_eq!(DType::F16.size_bytes(), 2);
+    /// assert_eq!(DType::F32.size_bytes(), 4);
+    /// ```
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F16 => 2,
+            DType::F32 | DType::I32 => 4,
+        }
+    }
+
+    /// Whether values of this dtype feed the simulated Tensor Cores.
+    ///
+    /// The reproduction models an Ampere-class GPU where `tl.dot` is
+    /// profitable for both F16 and F32 (TF32 mode), matching the paper's
+    /// use of Tensor Cores in both precisions.
+    pub fn tensor_core_eligible(self) -> bool {
+        matches!(self, DType::F16 | DType::F32)
+    }
+
+    /// True for the floating-point dtypes.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::F32)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+            DType::I32 => "i32",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::I32.to_string(), "i32");
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DType::default(), DType::F32);
+    }
+
+    #[test]
+    fn tensor_core_eligibility() {
+        assert!(DType::F16.tensor_core_eligible());
+        assert!(DType::F32.tensor_core_eligible());
+        assert!(!DType::I32.tensor_core_eligible());
+    }
+}

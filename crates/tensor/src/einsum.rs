@@ -1,0 +1,309 @@
+//! Reference Einsum implementation.
+//!
+//! This is the semantic ground truth of the reproduction: every compiled
+//! kernel, every sparse-format pipeline, and every baseline is checked
+//! against this direct loop-nest evaluation. It favours clarity over speed
+//! and is only used on test-sized inputs.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::{DType, Result};
+use std::collections::BTreeMap;
+
+/// A parsed Einsum specification such as `"yr,rx->yx"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EinsumSpec {
+    /// Index letters of each input operand.
+    pub inputs: Vec<Vec<char>>,
+    /// Index letters of the output.
+    pub output: Vec<char>,
+}
+
+impl EinsumSpec {
+    /// Parse a spec string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidEinsum`] if the string is malformed:
+    /// missing `->`, non-alphabetic index letters, repeated output letters,
+    /// or output letters that appear in no input.
+    pub fn parse(spec: &str) -> Result<EinsumSpec> {
+        let (lhs, rhs) = spec
+            .split_once("->")
+            .ok_or_else(|| TensorError::InvalidEinsum(format!("missing '->' in {spec:?}")))?;
+        let inputs: Vec<Vec<char>> = lhs.split(',').map(|s| s.trim().chars().collect()).collect();
+        let output: Vec<char> = rhs.trim().chars().collect();
+        for term in inputs.iter().chain(std::iter::once(&output)) {
+            for &c in term {
+                if !c.is_ascii_alphabetic() {
+                    return Err(TensorError::InvalidEinsum(format!(
+                        "index letters must be ascii alphabetic, got {c:?} in {spec:?}"
+                    )));
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &c in &output {
+            if !seen.insert(c) {
+                return Err(TensorError::InvalidEinsum(format!(
+                    "output index {c:?} repeated in {spec:?}"
+                )));
+            }
+            if !inputs.iter().any(|t| t.contains(&c)) {
+                return Err(TensorError::InvalidEinsum(format!(
+                    "output index {c:?} does not appear in any input of {spec:?}"
+                )));
+            }
+        }
+        Ok(EinsumSpec { inputs, output })
+    }
+
+    /// All distinct index letters, reduction letters last, in first-seen
+    /// order within each class.
+    pub fn all_indices(&self) -> Vec<char> {
+        let mut out = self.output.clone();
+        for term in &self.inputs {
+            for &c in term {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Index letters that are reduced over (appear in inputs only).
+    pub fn reduction_indices(&self) -> Vec<char> {
+        self.all_indices().into_iter().filter(|c| !self.output.contains(c)).collect()
+    }
+}
+
+/// Evaluate an Einsum over the given operands.
+///
+/// Supports any number of operands, implicit summation over indices absent
+/// from the output, and repeated indices within one operand (diagonal
+/// semantics). The result dtype is F16 only if every input is F16,
+/// mirroring mixed-precision promotion; accumulation is always performed in
+/// f32 (Tensor-Core style) with a final rounding for F16 outputs.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidEinsum`] on a malformed spec, operand
+/// count mismatch, rank mismatch, or inconsistent index extents.
+///
+/// ```
+/// use insum_tensor::{einsum, Tensor};
+/// # fn main() -> Result<(), insum_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+/// let b = Tensor::from_vec(vec![3], vec![1., 1., 1.])?;
+/// let c = einsum("ij,j->i", &[&a, &b])?; // row sums
+/// assert_eq!(c.data(), &[6.0, 15.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
+    let spec = EinsumSpec::parse(spec)?;
+    if spec.inputs.len() != operands.len() {
+        return Err(TensorError::InvalidEinsum(format!(
+            "spec has {} operands but {} tensors were provided",
+            spec.inputs.len(),
+            operands.len()
+        )));
+    }
+    // Bind each index letter to an extent.
+    let mut extents: BTreeMap<char, usize> = BTreeMap::new();
+    for (term, t) in spec.inputs.iter().zip(operands) {
+        if term.len() != t.ndim() {
+            return Err(TensorError::InvalidEinsum(format!(
+                "operand with shape {:?} does not match index term {:?}",
+                t.shape(),
+                term.iter().collect::<String>()
+            )));
+        }
+        for (&c, &dim) in term.iter().zip(t.shape()) {
+            match extents.get(&c) {
+                Some(&e) if e != dim => {
+                    return Err(TensorError::InvalidEinsum(format!(
+                        "index {c:?} bound to both {e} and {dim}"
+                    )))
+                }
+                _ => {
+                    extents.insert(c, dim);
+                }
+            }
+        }
+    }
+
+    let out_shape: Vec<usize> = spec.output.iter().map(|c| extents[c]).collect();
+    let red: Vec<char> = spec.reduction_indices();
+    let red_extents: Vec<usize> = red.iter().map(|c| extents[c]).collect();
+    let red_vol: usize = red_extents.iter().product();
+
+    let out_dtype = if !operands.is_empty() && operands.iter().all(|t| t.dtype() == DType::F16) {
+        DType::F16
+    } else {
+        DType::F32
+    };
+
+    let mut out = Tensor::zeros(out_shape.clone());
+    let out_vol: usize = out_shape.iter().product();
+
+    let mut assignment: BTreeMap<char, usize> = BTreeMap::new();
+    let mut out_idx = vec![0usize; out_shape.len()];
+    for o in 0..out_vol {
+        // Decode output multi-index.
+        let mut rem = o;
+        for d in (0..out_shape.len()).rev() {
+            out_idx[d] = rem % out_shape[d];
+            rem /= out_shape[d];
+        }
+        for (d, &c) in spec.output.iter().enumerate() {
+            assignment.insert(c, out_idx[d]);
+        }
+        let mut acc = 0.0f64;
+        for r in 0..red_vol.max(1) {
+            let mut rem = r;
+            for d in (0..red.len()).rev() {
+                assignment.insert(red[d], rem % red_extents[d]);
+                rem /= red_extents[d];
+            }
+            let mut prod = 1.0f64;
+            for (term, t) in spec.inputs.iter().zip(operands) {
+                let idx: Vec<usize> = term.iter().map(|c| assignment[c]).collect();
+                prod *= t.at(&idx) as f64;
+                if prod == 0.0 {
+                    break;
+                }
+            }
+            acc += prod;
+        }
+        out.data_mut()[o] = acc as f32;
+    }
+    Ok(if out_dtype == DType::F16 { out.cast(DType::F16) } else { out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn parse_valid_spec() {
+        let s = EinsumSpec::parse("yr,rx->yx").unwrap();
+        assert_eq!(s.inputs, vec![vec!['y', 'r'], vec!['r', 'x']]);
+        assert_eq!(s.output, vec!['y', 'x']);
+        assert_eq!(s.reduction_indices(), vec!['r']);
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(EinsumSpec::parse("ij,jk").is_err()); // no arrow
+        assert!(EinsumSpec::parse("i1->i").is_err()); // digit index
+        assert!(EinsumSpec::parse("ij->ii").is_err()); // repeated output
+        assert!(EinsumSpec::parse("ij->ik").is_err()); // unbound output
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let a = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = einsum("ik,kj->ij", &[&a, &b]).unwrap();
+        assert_eq!(c, a.matmul(&b).unwrap());
+    }
+
+    #[test]
+    fn outer_product() {
+        let a = t(vec![2], vec![1., 2.]);
+        let b = t(vec![3], vec![3., 4., 5.]);
+        let c = einsum("i,j->ij", &[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.at(&[1, 2]), 10.0);
+    }
+
+    #[test]
+    fn trace_via_repeated_index() {
+        let a = t(vec![2, 2], vec![1., 2., 3., 4.]);
+        let tr = einsum("ii->i", &[&a]).unwrap();
+        assert_eq!(tr.data(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn full_reduction_to_scalar() {
+        let a = t(vec![2, 2], vec![1., 2., 3., 4.]);
+        let s = einsum("ij->", &[&a]).unwrap();
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.at(&[]), 10.0);
+    }
+
+    #[test]
+    fn three_operand_contraction() {
+        // Z[b,w] = X[b,u] * Y[b,k] * W[k,u,w]
+        let x = t(vec![2, 2], vec![1., 2., 3., 4.]);
+        let y = t(vec![2, 3], vec![1., 0., 1., 0., 1., 0.]);
+        let w = Tensor::from_fn(vec![3, 2, 2], |i| (i[0] + i[1] + i[2]) as f32);
+        let z = einsum("bu,bk,kuw->bw", &[&x, &y, &w]).unwrap();
+        // Check one element by hand: z[0,0] = sum_{u,k} x[0,u] y[0,k] w[k,u,0]
+        let mut expect = 0.0;
+        for u in 0..2 {
+            for k in 0..3 {
+                expect += x.at(&[0, u]) * y.at(&[0, k]) * w.at(&[k, u, 0]);
+            }
+        }
+        assert_eq!(z.at(&[0, 0]), expect);
+    }
+
+    #[test]
+    fn permutation_only() {
+        let a = Tensor::from_fn(vec![2, 3, 4], |i| (i[0] * 12 + i[1] * 4 + i[2]) as f32);
+        let p = einsum("ijk->kij", &[&a]).unwrap();
+        assert_eq!(p, a.permute(&[2, 0, 1]).unwrap());
+    }
+
+    #[test]
+    fn operand_count_mismatch() {
+        let a = t(vec![2], vec![1., 2.]);
+        assert!(einsum("i,j->ij", &[&a]).is_err());
+    }
+
+    #[test]
+    fn extent_conflict_detected() {
+        let a = t(vec![2], vec![1., 2.]);
+        let b = t(vec![3], vec![1., 2., 3.]);
+        assert!(einsum("i,i->i", &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let a = t(vec![2, 2], vec![1.; 4]);
+        assert!(einsum("i->i", &[&a]).is_err());
+    }
+
+    #[test]
+    fn f16_inputs_round_output() {
+        let a = t(vec![2], vec![0.1, 0.2]).cast(DType::F16);
+        let b = t(vec![2], vec![1.0, 1.0]).cast(DType::F16);
+        let c = einsum("i,i->i", &[&a, &b]).unwrap();
+        assert_eq!(c.dtype(), DType::F16);
+        // Output values are representable in f16.
+        for &v in c.data() {
+            assert_eq!(crate::f16::f16_round(v), v);
+        }
+    }
+
+    #[test]
+    fn batched_matmul() {
+        let a = Tensor::from_fn(vec![2, 2, 3], |i| (i[0] + i[1] + i[2]) as f32);
+        let b = Tensor::from_fn(vec![2, 3, 2], |i| (i[0] * i[1] + i[2]) as f32);
+        let c = einsum("bik,bkj->bij", &[&a, &b]).unwrap();
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        // Spot check c[1,0,1].
+        let mut expect = 0.0;
+        for k in 0..3 {
+            expect += a.at(&[1, 0, k]) * b.at(&[1, k, 1]);
+        }
+        assert_eq!(c.at(&[1, 0, 1]), expect);
+    }
+}

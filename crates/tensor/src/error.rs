@@ -1,0 +1,82 @@
+//! Error type for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Shapes of the operands are incompatible for the operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: String,
+        /// Details of the mismatch.
+        detail: String,
+    },
+    /// The element count implied by a shape does not match the data length.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// An index (axis or element) is out of range.
+    IndexOutOfBounds {
+        /// Which index was bad.
+        index: i64,
+        /// The valid extent.
+        bound: usize,
+        /// Context for the failure.
+        context: String,
+    },
+    /// An einsum specification string could not be parsed or validated.
+    InvalidEinsum(String),
+    /// The operation requires a different dtype.
+    DTypeMismatch {
+        /// Description of the operation.
+        op: String,
+        /// Details of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::IndexOutOfBounds { index, bound, context } => {
+                write!(f, "index {index} out of bounds ({bound}) in {context}")
+            }
+            TensorError::InvalidEinsum(msg) => write!(f, "invalid einsum: {msg}"),
+            TensorError::DTypeMismatch { op, detail } => {
+                write!(f, "dtype mismatch in {op}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert_eq!(e.to_string(), "data length 5 does not match shape volume 6");
+        let e = TensorError::InvalidEinsum("bad spec".into());
+        assert!(e.to_string().contains("bad spec"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,179 @@
+//! IEEE binary16 conversion helpers.
+//!
+//! The simulator stores all values as `f32` but must reproduce the rounding
+//! behaviour of half-precision hardware. These routines implement the
+//! standard round-to-nearest-even f32 ↔ f16 conversions by bit
+//! manipulation, with no dependency on nightly `f16` support.
+
+/// Convert an `f32` to IEEE binary16 bits, rounding to nearest-even.
+///
+/// Overflow saturates to infinity; NaN payloads collapse to a quiet NaN.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 // quiet NaN
+        };
+    }
+
+    // Re-bias from f32 (127) to f16 (15).
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal f16. Keep 10 mantissa bits, round to nearest even.
+        let half_exp = ((unbiased + 15) as u32) << 10;
+        let shifted = mant >> 13;
+        let round_bits = mant & 0x1fff;
+        let mut result = sign as u32 | half_exp | shifted;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (shifted & 1) == 1) {
+            result += 1; // may carry into exponent, which is still correct
+        }
+        return result as u16;
+    }
+    if unbiased >= -25 {
+        // Subnormal f16: target mantissa = value * 2^24 = full_mant >> shift.
+        let full_mant = mant | 0x0080_0000; // implicit leading one
+        let shift = (-unbiased - 1) as u32; // 14..=24 for unbiased -15..=-25
+        let shifted = full_mant >> shift;
+        let round_bit = 1u32 << (shift - 1);
+        let rem = full_mant & ((1u32 << shift) - 1);
+        let mut result = sign as u32 | shifted;
+        if rem > round_bit || (rem == round_bit && (shifted & 1) == 1) {
+            result += 1;
+        }
+        return result as u16;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Convert IEEE binary16 bits to an `f32`.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let mant = (bits & 0x3ff) as u32;
+
+    let out = if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: normalize.
+            let mut mant = mant;
+            let mut exp = -14i32;
+            while mant & 0x400 == 0 {
+                mant <<= 1;
+                exp -= 1;
+            }
+            mant &= 0x3ff;
+            sign | (((exp + 127) as u32) << 23) | (mant << 13)
+        }
+    } else if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Round an `f32` through binary16 precision (the value a half-precision
+/// register would hold).
+///
+/// ```
+/// use insum_tensor::f16_round;
+/// assert_eq!(f16_round(1.0), 1.0);
+/// // 0.1 is not representable in binary16:
+/// assert_ne!(f16_round(0.1), 0.1);
+/// assert!((f16_round(0.1) - 0.1).abs() < 1e-4);
+/// ```
+pub fn f16_round(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(f16_round(x), x, "integer {i} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -14..=15 {
+            let x = (2.0f32).powi(e);
+            assert_eq!(f16_round(x), x);
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_inf() {
+        assert!(f16_round(1.0e6).is_infinite());
+        assert!(f16_round(-1.0e6).is_infinite());
+        assert!(f16_round(-1.0e6) < 0.0);
+        // Largest finite f16 is 65504.
+        assert_eq!(f16_round(65504.0), 65504.0);
+        assert!(f16_round(65536.0).is_infinite());
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        assert_eq!(f16_round(1e-9), 0.0);
+        assert_eq!(f16_round(-1e-9), -0.0);
+        assert!(f16_round(-1e-9).is_sign_negative());
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal f16 = 2^-24.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(f16_round(tiny), tiny);
+        // Half of it rounds to zero (ties-to-even).
+        assert_eq!(f16_round(tiny / 2.0), 0.0);
+        // 0.75 of it rounds up to tiny.
+        assert_eq!(f16_round(tiny * 0.75), tiny);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(f16_round(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn inf_propagates() {
+        assert_eq!(f16_round(f32::INFINITY), f32::INFINITY);
+        assert_eq!(f16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next f16
+        // (1.0 + 2^-10); ties-to-even keeps 1.0.
+        let halfway = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(f16_round(halfway), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + (2.0f32).powi(-11) + (2.0f32).powi(-16);
+        assert_eq!(f16_round(above), 1.0 + (2.0f32).powi(-10));
+    }
+
+    #[test]
+    fn idempotent() {
+        for &x in &[0.1f32, 3.14159, -2.71828, 1234.5678, 6.1e-5, 4.2e-7] {
+            let once = f16_round(x);
+            assert_eq!(f16_round(once), once, "f16_round must be idempotent for {x}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Gather/scatter primitives: `index_select`, `index_add`, `gather`.
+//!
+//! These mirror the PyTorch operations the Insum rewriter targets
+//! (§5.1 of the paper): indirect right-hand-side accesses lower to
+//! [`Tensor::index_select`], indirect left-hand-side accesses lower to
+//! [`Tensor::index_add`] with summation semantics for duplicate indices.
+
+use crate::error::TensorError;
+use crate::f16::f16_round;
+use crate::tensor::Tensor;
+use crate::{DType, Result};
+
+impl Tensor {
+    /// Select rows (slices along `dim`) of `self` at positions given by the
+    /// 1-D integer tensor `index`; PyTorch `torch.index_select`.
+    ///
+    /// The output shape equals `self.shape()` with dimension `dim` replaced
+    /// by `index.len()`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::ShapeMismatch`] if `dim` is out of range or `index`
+    ///   is not 1-D.
+    /// * [`TensorError::IndexOutOfBounds`] if any index is negative or
+    ///   `>= self.shape()[dim]`.
+    pub fn index_select(&self, dim: usize, index: &Tensor) -> Result<Tensor> {
+        if dim >= self.ndim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "index_select".into(),
+                detail: format!("dim {dim} out of range for rank {}", self.ndim()),
+            });
+        }
+        if index.ndim() != 1 {
+            return Err(TensorError::ShapeMismatch {
+                op: "index_select".into(),
+                detail: format!("index must be 1-D, got shape {:?}", index.shape()),
+            });
+        }
+        let bound = self.shape()[dim];
+        let outer: usize = self.shape()[..dim].iter().product();
+        let inner: usize = self.shape()[dim + 1..].iter().product();
+        let k = index.len();
+        let mut out_shape = self.shape().to_vec();
+        out_shape[dim] = k;
+        let mut out = Tensor::zeros_with(out_shape, self.dtype());
+        let src = self.data();
+        for o in 0..outer {
+            for (j, pos) in (0..k).map(|j| (j, index.data()[j] as i64)) {
+                if pos < 0 || pos as usize >= bound {
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: pos,
+                        bound,
+                        context: "index_select".into(),
+                    });
+                }
+                let src_off = (o * bound + pos as usize) * inner;
+                let dst_off = (o * k + j) * inner;
+                out.data_mut()[dst_off..dst_off + inner]
+                    .copy_from_slice(&src[src_off..src_off + inner]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Accumulate `source` rows into `self` along `dim` at the positions
+    /// given by the 1-D integer tensor `index`; PyTorch
+    /// `torch.index_add_`. Duplicate indices sum, matching the Einsum
+    /// scatter semantics of §3.1.
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::ShapeMismatch`] if `dim` is out of range, `index`
+    ///   is not 1-D, `source` has the wrong rank, or a non-`dim` extent of
+    ///   `source` disagrees with `self`.
+    /// * [`TensorError::IndexOutOfBounds`] for invalid positions.
+    pub fn index_add(&mut self, dim: usize, index: &Tensor, source: &Tensor) -> Result<()> {
+        if dim >= self.ndim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "index_add".into(),
+                detail: format!("dim {dim} out of range for rank {}", self.ndim()),
+            });
+        }
+        if index.ndim() != 1 {
+            return Err(TensorError::ShapeMismatch {
+                op: "index_add".into(),
+                detail: format!("index must be 1-D, got shape {:?}", index.shape()),
+            });
+        }
+        if source.ndim() != self.ndim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "index_add".into(),
+                detail: format!(
+                    "source rank {} does not match destination rank {}",
+                    source.ndim(),
+                    self.ndim()
+                ),
+            });
+        }
+        for d in 0..self.ndim() {
+            let want = if d == dim { index.len() } else { self.shape()[d] };
+            if source.shape()[d] != want {
+                return Err(TensorError::ShapeMismatch {
+                    op: "index_add".into(),
+                    detail: format!(
+                        "source shape {:?} incompatible with destination {:?} at dim {d}",
+                        source.shape(),
+                        self.shape()
+                    ),
+                });
+            }
+        }
+        let bound = self.shape()[dim];
+        let outer: usize = self.shape()[..dim].iter().product();
+        let inner: usize = self.shape()[dim + 1..].iter().product();
+        let k = index.len();
+        let round = self.dtype() == DType::F16;
+        for o in 0..outer {
+            for j in 0..k {
+                let pos = index.data()[j] as i64;
+                if pos < 0 || pos as usize >= bound {
+                    return Err(TensorError::IndexOutOfBounds {
+                        index: pos,
+                        bound,
+                        context: "index_add".into(),
+                    });
+                }
+                let dst_off = (o * bound + pos as usize) * inner;
+                let src_off = (o * k + j) * inner;
+                for i in 0..inner {
+                    let v = self.data()[dst_off + i] + source.data()[src_off + i];
+                    self.data_mut()[dst_off + i] = if round { f16_round(v) } else { v };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gather elements along `dim` using an index tensor of the same rank;
+    /// PyTorch `torch.gather`.
+    ///
+    /// `out[i..][j][k..] = self[i..][index[i..][j][k..]][k..]` where `j` is
+    /// the `dim` coordinate.
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::ShapeMismatch`] on rank/extent disagreements.
+    /// * [`TensorError::IndexOutOfBounDs`] for invalid positions.
+    pub fn gather(&self, dim: usize, index: &Tensor) -> Result<Tensor> {
+        if dim >= self.ndim() || index.ndim() != self.ndim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "gather".into(),
+                detail: format!(
+                    "dim {dim}, self rank {}, index rank {}",
+                    self.ndim(),
+                    index.ndim()
+                ),
+            });
+        }
+        for d in 0..self.ndim() {
+            if d != dim && index.shape()[d] > self.shape()[d] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "gather".into(),
+                    detail: format!(
+                        "index shape {:?} exceeds source {:?} at dim {d}",
+                        index.shape(),
+                        self.shape()
+                    ),
+                });
+            }
+        }
+        let bound = self.shape()[dim];
+        let mut out = Tensor::zeros_with(index.shape().to_vec(), self.dtype());
+        let nd = self.ndim();
+        let mut idx = vec![0usize; nd];
+        let mut src = vec![0usize; nd];
+        for flat in 0..index.len() {
+            let mut rem = flat;
+            for d in (0..nd).rev() {
+                idx[d] = rem % index.shape()[d];
+                rem /= index.shape()[d];
+            }
+            let pos = index.at(&idx) as i64;
+            if pos < 0 || pos as usize >= bound {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: pos,
+                    bound,
+                    context: "gather".into(),
+                });
+            }
+            src.copy_from_slice(&idx);
+            src[dim] = pos as usize;
+            out.data_mut()[flat] = self.at(&src);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    fn ix(data: Vec<i64>) -> Tensor {
+        Tensor::from_indices(vec![data.len()], data).unwrap()
+    }
+
+    #[test]
+    fn index_select_rows() {
+        let a = t(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let s = a.index_select(0, &ix(vec![2, 0, 2])).unwrap();
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.data(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn index_select_columns() {
+        let a = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let s = a.index_select(1, &ix(vec![1, 1])).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.data(), &[2., 2., 5., 5.]);
+    }
+
+    #[test]
+    fn index_select_bounds() {
+        let a = t(vec![2, 2], vec![1.; 4]);
+        assert!(matches!(
+            a.index_select(0, &ix(vec![2])),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            a.index_select(0, &ix(vec![-1])),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(a.index_select(2, &ix(vec![0])).is_err());
+    }
+
+    #[test]
+    fn index_add_accumulates_duplicates() {
+        let mut c = Tensor::zeros(vec![3, 2]);
+        let src = t(vec![4, 2], vec![1., 1., 2., 2., 3., 3., 4., 4.]);
+        c.index_add(0, &ix(vec![0, 1, 0, 2]), &src).unwrap();
+        // Row 0 gets rows 0 and 2 of src summed.
+        assert_eq!(c.data(), &[4., 4., 2., 2., 4., 4.]);
+    }
+
+    #[test]
+    fn index_add_validates() {
+        let mut c = Tensor::zeros(vec![3, 2]);
+        let bad_rank = Tensor::zeros(vec![2]);
+        assert!(c.index_add(0, &ix(vec![0, 1]), &bad_rank).is_err());
+        let bad_extent = Tensor::zeros(vec![2, 3]);
+        assert!(c.index_add(0, &ix(vec![0, 1]), &bad_extent).is_err());
+        let src = Tensor::zeros(vec![1, 2]);
+        assert!(c.index_add(0, &ix(vec![5]), &src).is_err());
+    }
+
+    #[test]
+    fn index_add_along_inner_dim() {
+        let mut c = Tensor::zeros(vec![2, 3]);
+        let src = t(vec![2, 2], vec![1., 2., 3., 4.]);
+        c.index_add(1, &ix(vec![2, 2]), &src).unwrap();
+        assert_eq!(c.data(), &[0., 0., 3., 0., 0., 7.]);
+    }
+
+    #[test]
+    fn gather_basic() {
+        let a = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let idx = Tensor::from_indices(vec![2, 2], vec![0, 2, 1, 0]).unwrap();
+        let g = a.gather(1, &idx).unwrap();
+        assert_eq!(g.data(), &[1., 3., 5., 4.]);
+    }
+
+    #[test]
+    fn gather_dim0() {
+        let a = t(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let idx = Tensor::from_indices(vec![1, 2], vec![2, 0]).unwrap();
+        let g = a.gather(0, &idx).unwrap();
+        assert_eq!(g.data(), &[5., 2.]);
+    }
+
+    #[test]
+    fn gather_bounds() {
+        let a = t(vec![2, 2], vec![1.; 4]);
+        let idx = Tensor::from_indices(vec![2, 2], vec![0, 3, 0, 0]).unwrap();
+        assert!(a.gather(1, &idx).is_err());
+    }
+
+    #[test]
+    fn f16_index_add_rounds() {
+        let mut c = Tensor::full(vec![1, 1], 1.0).cast(DType::F16);
+        let src = t(vec![1, 1], vec![1e-4]).cast(DType::F16);
+        c.index_add(0, &ix(vec![0]), &src).unwrap();
+        assert_eq!(c.data()[0], 1.0); // swallowed by f16 rounding
+    }
+
+    #[test]
+    fn index_select_then_index_add_roundtrip() {
+        // Scatter of a gather with a permutation index is a permutation.
+        let a = t(vec![4, 2], vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let perm = ix(vec![3, 1, 0, 2]);
+        let gathered = a.index_select(0, &perm).unwrap();
+        let mut back = Tensor::zeros(vec![4, 2]);
+        back.index_add(0, &perm, &gathered).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,68 @@
+//! Random tensor constructors.
+//!
+//! All randomness flows through caller-provided [`rand::Rng`] instances so
+//! that every experiment in the benchmark harness is reproducible from a
+//! fixed seed.
+
+use crate::tensor::Tensor;
+use crate::DType;
+use rand::Rng;
+
+/// Uniform random tensor in `[lo, hi)`.
+pub fn rand_uniform(shape: Vec<usize>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.gen_range(lo..hi))
+}
+
+/// Standard-normal random tensor (Box–Muller).
+pub fn rand_normal(shape: Vec<usize>, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+/// Random integer tensor in `[0, bound)` with dtype [`DType::I32`].
+pub fn randint(shape: Vec<usize>, bound: usize, rng: &mut impl Rng) -> Tensor {
+    let t = Tensor::from_fn(shape, |_| rng.gen_range(0..bound) as f32);
+    t.cast(DType::I32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = rand_uniform(vec![100], -1.0, 1.0, &mut rng);
+        assert!(t.data().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        assert_eq!(rand_uniform(vec![10], 0.0, 1.0, &mut a), rand_uniform(vec![10], 0.0, 1.0, &mut b));
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = rand_normal(vec![10_000], &mut rng);
+        let mean = t.sum() / t.len() as f32;
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn randint_bounds_and_dtype() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = randint(vec![50], 7, &mut rng);
+        assert_eq!(t.dtype(), DType::I32);
+        assert!(t.data().iter().all(|&v| (0.0..7.0).contains(&v) && v.fract() == 0.0));
+    }
+}

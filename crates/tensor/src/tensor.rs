@@ -1,0 +1,806 @@
+//! The core dense tensor type.
+
+use crate::broadcast::broadcast_shapes;
+use crate::dtype::DType;
+use crate::error::TensorError;
+use crate::f16::f16_round;
+use crate::Result;
+use std::fmt;
+
+/// A dense, row-major, contiguous n-dimensional array of `f32` values with
+/// a simulated [`DType`] tag.
+///
+/// `Tensor` is the common currency of the whole reproduction: the eager
+/// graph interpreter, the sparse format converters, and the GPU simulator
+/// all read and produce `Tensor`s. A scalar is represented as a tensor with
+/// an empty shape (`ndim() == 0`, one element).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f32>,
+    dtype: DType,
+}
+
+fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+fn volume(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Create a tensor of zeros with dtype [`DType::F32`].
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let n = volume(&shape);
+        Tensor { strides: contiguous_strides(&shape), shape, data: vec![0.0; n], dtype: DType::F32 }
+    }
+
+    /// Create a tensor of zeros with the given dtype.
+    pub fn zeros_with(shape: Vec<usize>, dtype: DType) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        t.dtype = dtype;
+        t
+    }
+
+    /// Create a tensor of ones.
+    pub fn ones(shape: Vec<usize>) -> Tensor {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Create a tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Tensor {
+        let n = volume(&shape);
+        Tensor {
+            strides: contiguous_strides(&shape),
+            shape,
+            data: vec![value; n],
+            dtype: DType::F32,
+        }
+    }
+
+    /// Create a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Tensor {
+        Tensor { shape: vec![], strides: vec![], data: vec![value], dtype: DType::F32 }
+    }
+
+    /// Create the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Tensor {
+        let mut t = Tensor::zeros(vec![n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Create a tensor from raw data in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape's volume.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Tensor> {
+        let n = volume(&shape);
+        if data.len() != n {
+            return Err(TensorError::LengthMismatch { expected: n, actual: data.len() });
+        }
+        Ok(Tensor { strides: contiguous_strides(&shape), shape, data, dtype: DType::F32 })
+    }
+
+    /// Create an integer (metadata) tensor from `i64` coordinates.
+    ///
+    /// Values are stored exactly (all coordinates in this reproduction fit
+    /// in the 24-bit exact-integer range of `f32`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] on a shape/data disagreement.
+    pub fn from_indices(shape: Vec<usize>, data: Vec<i64>) -> Result<Tensor> {
+        let mut t = Tensor::from_vec(shape, data.into_iter().map(|v| v as f32).collect())?;
+        t.dtype = DType::I32;
+        Ok(t)
+    }
+
+    /// Build a tensor by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(&[usize]) -> f32) -> Tensor {
+        let n = volume(&shape);
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; shape.len()];
+        for _ in 0..n {
+            data.push(f(&idx));
+            for d in (0..shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Tensor { strides: contiguous_strides(&shape), shape, data, dtype: DType::F32 }
+    }
+
+    /// `[0, 1, ..., n-1]` as an I32 tensor.
+    pub fn arange(n: usize) -> Tensor {
+        let mut t = Tensor::from_fn(vec![n], |i| i[0] as f32);
+        t.dtype = DType::I32;
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape (extent of each dimension).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Row-major element strides.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The simulated element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Bytes this tensor occupies on the simulated device.
+    pub fn device_bytes(&self) -> usize {
+        self.len() * self.dtype.size_bytes()
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw row-major data.
+    ///
+    /// Callers are responsible for preserving the dtype's value invariant
+    /// (use [`Tensor::cast`] to re-round after bulk writes to an F16
+    /// tensor).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its raw data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Flat offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != ndim()` or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.ndim(), "index rank mismatch");
+        let mut off = 0;
+        for (d, (&i, &s)) in index.iter().zip(&self.strides).enumerate() {
+            assert!(i < self.shape[d], "index {i} out of bounds for dim {d} (size {})", self.shape[d]);
+            off += i * s;
+        }
+        off
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Set the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = if self.dtype == DType::F16 { f16_round(value) } else { value };
+    }
+
+    /// Element interpreted as an integer index (for metadata tensors).
+    pub fn at_i64(&self, index: &[usize]) -> i64 {
+        self.at(index) as i64
+    }
+
+    // ------------------------------------------------------------------
+    // DType
+    // ------------------------------------------------------------------
+
+    /// Cast to another dtype.
+    ///
+    /// Casting to F16 rounds every element through binary16; casting to I32
+    /// truncates toward zero.
+    pub fn cast(&self, dtype: DType) -> Tensor {
+        let data = match dtype {
+            DType::F16 => self.data.iter().map(|&v| f16_round(v)).collect(),
+            DType::F32 => self.data.clone(),
+            DType::I32 => self.data.iter().map(|&v| v.trunc()).collect(),
+        };
+        Tensor { shape: self.shape.clone(), strides: self.strides.clone(), data, dtype }
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Reshape to a new shape with the same volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the volumes differ.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor> {
+        if volume(&shape) != self.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "reshape".into(),
+                detail: format!("cannot view {:?} ({} elems) as {:?}", self.shape, self.len(), shape),
+            });
+        }
+        Ok(Tensor {
+            strides: contiguous_strides(&shape),
+            shape,
+            data: self.data.clone(),
+            dtype: self.dtype,
+        })
+    }
+
+    /// Permute dimensions; `perm` must be a permutation of `0..ndim()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `perm` is not a valid
+    /// permutation.
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        let nd = self.ndim();
+        let mut seen = vec![false; nd];
+        if perm.len() != nd || perm.iter().any(|&p| p >= nd || std::mem::replace(&mut seen[p], true)) {
+            return Err(TensorError::ShapeMismatch {
+                op: "permute".into(),
+                detail: format!("{perm:?} is not a permutation of 0..{nd}"),
+            });
+        }
+        let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let mut out = Tensor::zeros_with(new_shape.clone(), self.dtype);
+        let mut idx = vec![0usize; nd];
+        let mut src = vec![0usize; nd];
+        for i in 0..self.len() {
+            for (d, &p) in perm.iter().enumerate() {
+                src[p] = idx[d];
+            }
+            out.data[i] = self.at(&src);
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                if idx[d] < new_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Swap two dimensions (PyTorch `transpose`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if either axis is out of range.
+    pub fn transpose(&self, a: usize, b: usize) -> Result<Tensor> {
+        let nd = self.ndim();
+        if a >= nd || b >= nd {
+            return Err(TensorError::ShapeMismatch {
+                op: "transpose".into(),
+                detail: format!("axes ({a},{b}) out of range for rank {nd}"),
+            });
+        }
+        let mut perm: Vec<usize> = (0..nd).collect();
+        perm.swap(a, b);
+        self.permute(&perm)
+    }
+
+    /// Insert a size-1 dimension at `dim` (PyTorch `unsqueeze`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > ndim()`.
+    pub fn unsqueeze(&self, dim: usize) -> Tensor {
+        assert!(dim <= self.ndim(), "unsqueeze dim out of range");
+        let mut shape = self.shape.clone();
+        shape.insert(dim, 1);
+        self.reshape(shape).expect("unsqueeze preserves volume")
+    }
+
+    /// Broadcast to a larger shape following NumPy rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes are not
+    /// broadcast-compatible.
+    pub fn broadcast_to(&self, shape: &[usize]) -> Result<Tensor> {
+        let joint = broadcast_shapes(&self.shape, shape).ok_or_else(|| TensorError::ShapeMismatch {
+            op: "broadcast_to".into(),
+            detail: format!("{:?} cannot broadcast to {:?}", self.shape, shape),
+        })?;
+        if joint != shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast_to".into(),
+                detail: format!("{:?} broadcasts to {:?}, not requested {:?}", self.shape, joint, shape),
+            });
+        }
+        let nd = shape.len();
+        let pad = nd - self.ndim();
+        let mut out = Tensor::zeros_with(shape.to_vec(), self.dtype);
+        let mut idx = vec![0usize; nd];
+        let mut src = vec![0usize; self.ndim()];
+        for i in 0..out.len() {
+            for d in pad..nd {
+                src[d - pad] = if self.shape[d - pad] == 1 { 0 } else { idx[d] };
+            }
+            out.data[i] = self.at(&src);
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                if idx[d] < shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise and reductions
+    // ------------------------------------------------------------------
+
+    /// Apply `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let round = self.dtype == DType::F16;
+        let data = self
+            .data
+            .iter()
+            .map(|&v| {
+                let r = f(v);
+                if round {
+                    f16_round(r)
+                } else {
+                    r
+                }
+            })
+            .collect();
+        Tensor { shape: self.shape.clone(), strides: self.strides.clone(), data, dtype: self.dtype }
+    }
+
+    /// Combine two tensors elementwise with NumPy broadcasting.
+    ///
+    /// The result dtype is the wider of the two operand dtypes (F32 wins
+    /// over F16; float wins over I32).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes do not broadcast.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        let shape = broadcast_shapes(&self.shape, &other.shape).ok_or_else(|| {
+            TensorError::ShapeMismatch {
+                op: "elementwise".into(),
+                detail: format!("{:?} vs {:?}", self.shape, other.shape),
+            }
+        })?;
+        let dtype = match (self.dtype, other.dtype) {
+            (DType::F32, _) | (_, DType::F32) => DType::F32,
+            (DType::F16, _) | (_, DType::F16) => DType::F16,
+            _ => DType::I32,
+        };
+        let a = self.broadcast_to(&shape)?;
+        let b = other.broadcast_to(&shape)?;
+        let round = dtype == DType::F16;
+        let data = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(&x, &y)| {
+                let r = f(x, y);
+                if round {
+                    f16_round(r)
+                } else {
+                    r
+                }
+            })
+            .collect();
+        Ok(Tensor { strides: contiguous_strides(&shape), shape, data, dtype })
+    }
+
+    /// Elementwise addition with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes do not broadcast.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes do not broadcast.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication with broadcasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes do not broadcast.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Sum over the given axes (kept axes retain their extent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if an axis is out of range.
+    pub fn sum_axes(&self, axes: &[usize]) -> Result<Tensor> {
+        let nd = self.ndim();
+        for &a in axes {
+            if a >= nd {
+                return Err(TensorError::ShapeMismatch {
+                    op: "sum".into(),
+                    detail: format!("axis {a} out of range for rank {nd}"),
+                });
+            }
+        }
+        let keep: Vec<usize> = (0..nd).filter(|d| !axes.contains(d)).collect();
+        let out_shape: Vec<usize> = keep.iter().map(|&d| self.shape[d]).collect();
+        let mut out = Tensor::zeros_with(out_shape.clone(), self.dtype);
+        let mut idx = vec![0usize; nd];
+        for i in 0..self.len() {
+            let mut off = 0usize;
+            let mut stride = 1usize;
+            for &d in keep.iter().rev() {
+                off += idx[d] * stride;
+                stride *= self.shape[d];
+            }
+            out.data[off] += self.data[i];
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        if self.dtype == DType::F16 {
+            out = out.cast(DType::F16);
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum element (NaN-free data assumed). Returns `-inf` when empty.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (NaN-free data assumed). Returns `+inf` when empty.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Mean absolute value; 0 for empty tensors.
+    pub fn mean_abs(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|v| v.abs()).sum::<f32>() / self.data.len() as f32
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// 2-D matrix multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self` is `[m, k]` and
+    /// `other` is `[k, n]`.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.shape[1] != other.shape[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul".into(),
+                detail: format!("{:?} x {:?}", self.shape, other.shape),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = Tensor::zeros(vec![m, n]);
+        for i in 0..m {
+            for l in 0..k {
+                let a = self.data[i * k + l];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += a * other.data[l * n + j];
+                }
+            }
+        }
+        out.dtype = if self.dtype == DType::F16 && other.dtype == DType::F16 {
+            // Tensor-core style: f16 inputs, f32 accumulate, f16 store.
+            return Ok(out.cast(DType::F16));
+        } else {
+            DType::F32
+        };
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Comparison
+    // ------------------------------------------------------------------
+
+    /// True if both tensors have the same shape and all elements satisfy
+    /// `|a - b| <= atol + rtol * |b|`.
+    pub fn allclose(&self, other: &Tensor, rtol: f32, atol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
+    }
+
+    /// Largest absolute elementwise difference; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Option<f32> {
+        if self.shape != other.shape {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0, f32::max),
+        )
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={:?}, dtype={}", self.shape, self.dtype)?;
+        if self.len() <= 16 {
+            write!(f, ", data={:?}", self.data)?;
+        } else {
+            write!(f, ", data=[{} elems]", self.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(vec![2, 3]);
+        assert_eq!(z.shape(), &[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(vec![4]);
+        assert_eq!(o.sum(), 4.0);
+        let f = Tensor::full(vec![2, 2], 2.5);
+        assert_eq!(f.at(&[1, 1]), 2.5);
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(7.0);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.at(&[]), 7.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.strides(), &[12, 4, 1]);
+    }
+
+    #[test]
+    fn at_and_set() {
+        let mut t = Tensor::zeros(vec![2, 3]);
+        t.set(&[1, 2], 9.0);
+        assert_eq!(t.at(&[1, 2]), 9.0);
+        assert_eq!(t.data()[5], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn at_out_of_bounds_panics() {
+        let t = Tensor::zeros(vec![2, 2]);
+        t.at(&[2, 0]);
+    }
+
+    #[test]
+    fn eye_and_matmul() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        let b = Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let t = Tensor::arange(6).cast(DType::F32);
+        let r = t.reshape(vec![2, 3]).unwrap();
+        assert_eq!(r.at(&[1, 0]), 3.0);
+        assert!(t.reshape(vec![4]).is_err());
+    }
+
+    #[test]
+    fn permute_and_transpose() {
+        let t = Tensor::from_vec(vec![2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let p = t.transpose(0, 1).unwrap();
+        assert_eq!(p.shape(), &[3, 2]);
+        assert_eq!(p.at(&[2, 1]), 5.0);
+        assert_eq!(p.at(&[0, 1]), 3.0);
+        // permute validation
+        assert!(t.permute(&[0, 0]).is_err());
+        assert!(t.permute(&[0]).is_err());
+    }
+
+    #[test]
+    fn permute_3d() {
+        let t = Tensor::from_fn(vec![2, 3, 4], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+        let p = t.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[3, 1, 2]), 123.0);
+    }
+
+    #[test]
+    fn unsqueeze_inserts_axis() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert_eq!(t.unsqueeze(0).shape(), &[1, 2, 3]);
+        assert_eq!(t.unsqueeze(2).shape(), &[2, 3, 1]);
+    }
+
+    #[test]
+    fn broadcast_to_expands() {
+        let t = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = t.broadcast_to(&[2, 3]).unwrap();
+        assert_eq!(b.at(&[0, 1]), 2.0);
+        assert_eq!(b.at(&[1, 2]), 3.0);
+        assert!(t.broadcast_to(&[2, 4]).is_err());
+    }
+
+    #[test]
+    fn elementwise_broadcasting() {
+        let a = Tensor::from_vec(vec![2, 1], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![1, 3], vec![10.0, 20.0, 30.0]).unwrap();
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.at(&[1, 2]), 32.0);
+        let d = a.mul(&b).unwrap();
+        assert_eq!(d.at(&[1, 0]), 20.0);
+    }
+
+    #[test]
+    fn sum_axes_keeps_others() {
+        let t = Tensor::from_fn(vec![2, 3, 4], |_| 1.0);
+        let s = t.sum_axes(&[1]).unwrap();
+        assert_eq!(s.shape(), &[2, 4]);
+        assert!(s.data().iter().all(|&v| v == 3.0));
+        let s2 = t.sum_axes(&[0, 2]).unwrap();
+        assert_eq!(s2.shape(), &[3]);
+        assert!(s2.data().iter().all(|&v| v == 8.0));
+        assert!(t.sum_axes(&[3]).is_err());
+    }
+
+    #[test]
+    fn f16_cast_rounds_values() {
+        let t = Tensor::from_vec(vec![2], vec![0.1, 1.0]).unwrap();
+        let h = t.cast(DType::F16);
+        assert_eq!(h.dtype(), DType::F16);
+        assert_ne!(h.data()[0], 0.1);
+        assert_eq!(h.data()[1], 1.0);
+        assert_eq!(h.device_bytes(), 4); // 2 elems * 2 bytes
+    }
+
+    #[test]
+    fn f16_arithmetic_rounds() {
+        let a = Tensor::from_vec(vec![1], vec![1.0]).unwrap().cast(DType::F16);
+        let b = Tensor::from_vec(vec![1], vec![1e-4]).unwrap().cast(DType::F16);
+        // 1.0 + 1e-4 rounds back to 1.0 in f16 (ulp at 1.0 is ~9.8e-4).
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.data()[0], 1.0);
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![1.0 + 1e-7, 2.0]).unwrap();
+        assert!(a.allclose(&b, 1e-5, 1e-6));
+        let c = Tensor::from_vec(vec![2], vec![1.5, 2.0]).unwrap();
+        assert!(!a.allclose(&c, 1e-5, 1e-6));
+        assert!((a.max_abs_diff(&c).unwrap() - 0.5).abs() < 1e-6);
+        assert!(a.max_abs_diff(&Tensor::zeros(vec![3])).is_none());
+    }
+
+    #[test]
+    fn arange_is_i32() {
+        let t = Tensor::arange(5);
+        assert_eq!(t.dtype(), DType::I32);
+        assert_eq!(t.at_i64(&[3]), 3);
+    }
+
+    #[test]
+    fn from_fn_ordering() {
+        let t = Tensor::from_fn(vec![2, 2], |i| (i[0] * 2 + i[1]) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros(vec![2]);
+        let s = format!("{t:?}");
+        assert!(s.contains("shape"));
+        let big = Tensor::zeros(vec![100]);
+        assert!(format!("{big:?}").contains("100 elems"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the tensor substrate invariants.
+
+use insum_tensor::{einsum, f16_round, DType, Tensor};
+use proptest::prelude::*;
+
+fn small_tensor(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(vec![r, c], data).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn f16_roundtrip_is_idempotent(x in -1.0e5f32..1.0e5) {
+        let once = f16_round(x);
+        prop_assert_eq!(f16_round(once), once);
+    }
+
+    #[test]
+    fn f16_round_is_monotone(a in -1.0e4f32..1.0e4, b in -1.0e4f32..1.0e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16_round(lo) <= f16_round(hi));
+    }
+
+    #[test]
+    fn f16_relative_error_bounded(x in 1.0e-3f32..6.0e4) {
+        // Normal-range relative error is at most 2^-11.
+        let r = f16_round(x);
+        prop_assert!(((r - x) / x).abs() <= (2.0f32).powi(-11) + 1e-7);
+    }
+
+    #[test]
+    fn transpose_is_involution(t in small_tensor(6)) {
+        let tt = t.transpose(0, 1).unwrap().transpose(0, 1).unwrap();
+        prop_assert_eq!(tt, t);
+    }
+
+    #[test]
+    fn reshape_preserves_data(t in small_tensor(6)) {
+        let n = t.len();
+        let flat = t.reshape(vec![n]).unwrap();
+        prop_assert_eq!(flat.data(), t.data());
+    }
+
+    #[test]
+    fn einsum_matmul_matches_matmul(
+        a in small_tensor(5),
+        b in small_tensor(5),
+    ) {
+        // Force compatible inner dims by reshaping b.
+        let k = a.shape()[1];
+        let bn = b.len() / k.max(1);
+        prop_assume!(k > 0 && bn > 0 && b.len() >= k);
+        let b = Tensor::from_vec(vec![k, bn], b.data()[..k * bn].to_vec()).unwrap();
+        let via_einsum = einsum("ik,kj->ij", &[&a, &b]).unwrap();
+        let via_matmul = a.matmul(&b).unwrap();
+        prop_assert!(via_einsum.allclose(&via_matmul, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn einsum_sum_matches_sum_axes(t in small_tensor(6)) {
+        let via_einsum = einsum("ij->i", &[&t]).unwrap();
+        let via_sum = t.sum_axes(&[1]).unwrap();
+        prop_assert!(via_einsum.allclose(&via_sum, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn index_select_then_add_is_projection(
+        t in small_tensor(6),
+        seed in proptest::collection::vec(0usize..6, 1..8),
+    ) {
+        // Scatter-add of gathered rows accumulates each selected row once
+        // per occurrence of its index.
+        let rows = t.shape()[0];
+        let idx: Vec<i64> = seed.iter().map(|&i| (i % rows) as i64).collect();
+        let index = Tensor::from_indices(vec![idx.len()], idx.clone()).unwrap();
+        let gathered = t.index_select(0, &index).unwrap();
+        let mut out = Tensor::zeros(t.shape().to_vec());
+        out.index_add(0, &index, &gathered).unwrap();
+        // Row r of out = (count of r in idx) * row r of t.
+        for r in 0..rows {
+            let count = idx.iter().filter(|&&i| i == r as i64).count() as f32;
+            for c in 0..t.shape()[1] {
+                let got = out.at(&[r, c]);
+                let want = count * t.at(&[r, c]);
+                prop_assert!((got - want).abs() <= 1e-4 * (1.0 + want.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_add_commutes(a in small_tensor(5), s in -5.0f32..5.0) {
+        let scalar = Tensor::scalar(s);
+        let left = a.add(&scalar).unwrap();
+        let right = scalar.add(&a).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn cast_f16_then_f32_is_stable(t in small_tensor(6)) {
+        let h = t.cast(DType::F16);
+        let h2 = h.cast(DType::F32).cast(DType::F16);
+        prop_assert_eq!(h.data(), h2.data());
+    }
+}

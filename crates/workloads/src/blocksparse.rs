@@ -1,0 +1,168 @@
+//! Random block-sparse and unstructured sparse matrix generators.
+
+use insum_formats::Coo;
+use insum_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generate a dense matrix with uniform *block* sparsity: each `bm × bk`
+/// block is kept (dense, nonzero) with probability `1 - sparsity`.
+///
+/// Kept blocks are filled with uniform values in `[0.25, 1)` so no kept
+/// element is accidentally zero. At least one block is always kept so
+/// formats never degenerate to empty.
+///
+/// # Panics
+///
+/// Panics if `rows`/`cols` are not divisible by `bm`/`bk`.
+pub fn block_sparse_dense(
+    rows: usize,
+    cols: usize,
+    bm: usize,
+    bk: usize,
+    sparsity: f64,
+    rng: &mut impl Rng,
+) -> Tensor {
+    assert_eq!(rows % bm, 0, "rows must divide by bm");
+    assert_eq!(cols % bk, 0, "cols must divide by bk");
+    let (brows, bcols) = (rows / bm, cols / bk);
+    let mut keep = vec![false; brows * bcols];
+    let mut any = false;
+    for k in keep.iter_mut() {
+        *k = rng.gen_bool(1.0 - sparsity);
+        any |= *k;
+    }
+    if !any {
+        let pick = rng.gen_range(0..keep.len());
+        keep[pick] = true;
+    }
+    let mut t = Tensor::zeros(vec![rows, cols]);
+    for br in 0..brows {
+        for bc in 0..bcols {
+            if !keep[br * bcols + bc] {
+                continue;
+            }
+            for i in 0..bm {
+                for j in 0..bk {
+                    t.set(&[br * bm + i, bc * bk + j], rng.gen_range(0.25..1.0));
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Generate an unstructured sparse matrix in COO form with approximately
+/// `density * rows * cols` nonzeros placed uniformly.
+pub fn unstructured_coo(rows: usize, cols: usize, density: f64, rng: &mut impl Rng) -> Coo {
+    let mut entries = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(density) {
+                entries.push((r, c, rng.gen_range(0.25..1.0f32)));
+            }
+        }
+    }
+    if entries.is_empty() {
+        entries.push((rng.gen_range(0..rows), rng.gen_range(0..cols), 1.0));
+    }
+    Coo::from_triplets(rows, cols, &entries).expect("coordinates are in bounds")
+}
+
+/// Generate a COO matrix from an explicit per-row degree sequence; each
+/// row's columns are sampled without replacement.
+pub fn coo_from_degrees(degrees: &[usize], cols: usize, rng: &mut impl Rng) -> Coo {
+    let rows = degrees.len();
+    let mut entries = Vec::new();
+    let mut all_cols: Vec<usize> = (0..cols).collect();
+    for (r, &deg) in degrees.iter().enumerate() {
+        let deg = deg.min(cols);
+        if deg == 0 {
+            continue;
+        }
+        if deg * 4 >= cols {
+            // Dense-ish row: shuffle and take a prefix.
+            all_cols.shuffle(rng);
+            for &c in all_cols.iter().take(deg) {
+                entries.push((r, c, rng.gen_range(0.25..1.0f32)));
+            }
+        } else {
+            // Sparse row: rejection-sample distinct columns.
+            let mut picked = std::collections::BTreeSet::new();
+            while picked.len() < deg {
+                picked.insert(rng.gen_range(0..cols));
+            }
+            for &c in &picked {
+                entries.push((r, c, rng.gen_range(0.25..1.0f32)));
+            }
+        }
+    }
+    Coo::from_triplets(rows, cols, &entries).expect("coordinates are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_sparse_has_block_structure() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = block_sparse_dense(64, 64, 8, 8, 0.7, &mut rng);
+        // Every 8x8 block is all-zero or all-nonzero.
+        for br in 0..8 {
+            for bc in 0..8 {
+                let mut zeros = 0;
+                for i in 0..8 {
+                    for j in 0..8 {
+                        if t.at(&[br * 8 + i, bc * 8 + j]) == 0.0 {
+                            zeros += 1;
+                        }
+                    }
+                }
+                assert!(zeros == 0 || zeros == 64, "block ({br},{bc}) is mixed");
+            }
+        }
+    }
+
+    #[test]
+    fn block_sparsity_tracks_target() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = block_sparse_dense(256, 256, 16, 16, 0.8, &mut rng);
+        let nnz = t.data().iter().filter(|&&v| v != 0.0).count();
+        let density = nnz as f64 / (256.0 * 256.0);
+        assert!((density - 0.2).abs() < 0.08, "density {density}");
+    }
+
+    #[test]
+    fn never_fully_empty() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = block_sparse_dense(32, 32, 16, 16, 1.0, &mut rng);
+        assert!(t.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn unstructured_density() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let coo = unstructured_coo(128, 128, 0.05, &mut rng);
+        let density = coo.nnz() as f64 / (128.0 * 128.0);
+        assert!((density - 0.05).abs() < 0.02, "density {density}");
+    }
+
+    #[test]
+    fn degrees_respected() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let degrees = vec![3, 0, 10, 1];
+        let coo = coo_from_degrees(&degrees, 64, &mut rng);
+        assert_eq!(coo.occupancy(), degrees);
+        assert_eq!(coo.nnz(), 14);
+    }
+
+    #[test]
+    fn degrees_clamped_to_cols() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let coo = coo_from_degrees(&[100], 8, &mut rng);
+        assert_eq!(coo.nnz(), 8);
+    }
+}

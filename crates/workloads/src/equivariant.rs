@@ -1,0 +1,325 @@
+//! Clebsch–Gordan coefficients and the equivariant tensor-product
+//! workload (paper §6.5, Table 2).
+//!
+//! The paper's uvw-mode fully connected tensor product contracts a sparse
+//! 4-D tensor of real Clebsch–Gordan (CG) coefficients with dense inputs:
+//!
+//! `Z[b,i,w] = CG[i,j,k,l] * X[b,j,u] * Y[b,k] * W[b,l,u,w]`
+//!
+//! where `i/j/k` are flattened `(ℓ, m)` indices over all irreps up to
+//! `ℓmax` and `l` indexes the `(ℓ1, ℓ2, ℓ3)` coupling paths. CG values
+//! are computed exactly with the Racah formula and validated against
+//! orthogonality identities, so the sparsity structure and values match
+//! e3nn's tensors.
+
+use insum_tensor::Tensor;
+
+/// Exact factorial as `f64` (inputs stay ≤ 15 for ℓ ≤ 3).
+fn fact(n: i64) -> f64 {
+    assert!(n >= 0, "factorial of negative number");
+    (1..=n).map(|v| v as f64).product()
+}
+
+/// Clebsch–Gordan coefficient `⟨ℓ1 m1 ℓ2 m2 | ℓ3 m3⟩` for integer ℓ
+/// (Racah's closed form, Condon–Shortley phase).
+///
+/// Returns 0 when selection rules fail (`m3 ≠ m1 + m2`, triangle
+/// inequality, or out-of-range m).
+pub fn clebsch_gordan(l1: i64, m1: i64, l2: i64, m2: i64, l3: i64, m3: i64) -> f64 {
+    if m3 != m1 + m2
+        || l3 < (l1 - l2).abs()
+        || l3 > l1 + l2
+        || m1.abs() > l1
+        || m2.abs() > l2
+        || m3.abs() > l3
+    {
+        return 0.0;
+    }
+    let delta = fact(l1 + l2 - l3) * fact(l1 - l2 + l3) * fact(-l1 + l2 + l3)
+        / fact(l1 + l2 + l3 + 1);
+    let f = fact(l3 + m3)
+        * fact(l3 - m3)
+        * fact(l1 - m1)
+        * fact(l1 + m1)
+        * fact(l2 - m2)
+        * fact(l2 + m2);
+    let prefactor = ((2 * l3 + 1) as f64 * delta * f).sqrt();
+    let k_min = 0i64
+        .max(l2 - l3 - m1) // j3 - j2 + m1 + k >= 0
+        .max(l1 + m2 - l3); // j3 - j1 - m2 + k >= 0
+    let k_max = (l1 + l2 - l3).min(l1 - m1).min(l2 + m2);
+    let mut sum = 0.0;
+    let mut k = k_min;
+    while k <= k_max {
+        let denom = fact(k)
+            * fact(l1 + l2 - l3 - k)
+            * fact(l1 - m1 - k)
+            * fact(l2 + m2 - k)
+            * fact(l3 - l2 + m1 + k)
+            * fact(l3 - l1 - m2 + k);
+        sum += if k % 2 == 0 { 1.0 } else { -1.0 } / denom;
+        k += 1;
+    }
+    prefactor * sum
+}
+
+/// Flattened dimension of all irreps up to `lmax`: `(lmax+1)²`.
+pub fn irrep_dim(lmax: usize) -> usize {
+    (lmax + 1) * (lmax + 1)
+}
+
+/// Offset of irrep `ℓ` in the flattened `(ℓ, m)` index.
+pub fn irrep_offset(l: usize) -> usize {
+    l * l
+}
+
+/// One coupling path `(ℓ1, ℓ2, ℓ3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Path {
+    /// ℓ of the first input irrep.
+    pub l1: usize,
+    /// ℓ of the second input irrep.
+    pub l2: usize,
+    /// ℓ of the output irrep.
+    pub l3: usize,
+}
+
+/// All coupling paths with every ℓ ≤ `lmax` satisfying the triangle rule
+/// (the uvw fully connected tensor product of e3nn).
+pub fn paths(lmax: usize) -> Vec<Path> {
+    let mut out = Vec::new();
+    for l1 in 0..=lmax {
+        for l2 in 0..=lmax {
+            for l3 in l1.abs_diff(l2)..=(l1 + l2).min(lmax) {
+                out.push(Path { l1, l2, l3 });
+            }
+        }
+    }
+    out
+}
+
+/// The sparse CG tensor in grouped-COO layout (grouped by path, the
+/// paper's "grouping by CGL").
+#[derive(Debug, Clone)]
+pub struct CgTensor {
+    /// Output `(ℓ3, m3)` index per (group, slot) (`[groups, g]`, I32).
+    pub cgi: Tensor,
+    /// First-input `(ℓ1, m1)` index (`[groups, g]`, I32).
+    pub cgj: Tensor,
+    /// Second-input `(ℓ2, m2)` index (`[groups, g]`, I32).
+    pub cgk: Tensor,
+    /// Path index per group (`[groups]`, I32).
+    pub cgl: Tensor,
+    /// CG values (`[groups, g]`; 0.0 padding).
+    pub cgv: Tensor,
+    /// The coupling paths, indexable by `cgl` values.
+    pub paths: Vec<Path>,
+    /// Flattened irrep dimension `(lmax+1)²`.
+    pub dim: usize,
+    /// Real (unpadded) nonzero count.
+    pub nnz: usize,
+    /// Group size used.
+    pub group_size: usize,
+}
+
+impl CgTensor {
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.cgl.len()
+    }
+
+    /// Nonzeros of one path, as `(i, j, k, value)` tuples (used by the
+    /// per-path baselines).
+    pub fn path_entries(&self, path_idx: usize) -> Vec<(usize, usize, usize, f32)> {
+        let mut out = Vec::new();
+        for p in 0..self.groups() {
+            if self.cgl.at_i64(&[p]) as usize != path_idx {
+                continue;
+            }
+            for q in 0..self.group_size {
+                let v = self.cgv.at(&[p, q]);
+                if v != 0.0 {
+                    out.push((
+                        self.cgi.at_i64(&[p, q]) as usize,
+                        self.cgj.at_i64(&[p, q]) as usize,
+                        self.cgk.at_i64(&[p, q]) as usize,
+                        v,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Build the grouped sparse CG tensor for all paths up to `lmax`.
+pub fn cg_tensor(lmax: usize, group_size: usize) -> CgTensor {
+    let g = group_size.max(1);
+    let all_paths = paths(lmax);
+    let dim = irrep_dim(lmax);
+    let mut cgi = Vec::new();
+    let mut cgj = Vec::new();
+    let mut cgk = Vec::new();
+    let mut cgl = Vec::new();
+    let mut cgv = Vec::new();
+    let mut nnz = 0usize;
+    for (pidx, path) in all_paths.iter().enumerate() {
+        let (l1, l2, l3) = (path.l1 as i64, path.l2 as i64, path.l3 as i64);
+        let mut entries = Vec::new();
+        for m1 in -l1..=l1 {
+            for m2 in -l2..=l2 {
+                let m3 = m1 + m2;
+                if m3.abs() > l3 {
+                    continue;
+                }
+                let v = clebsch_gordan(l1, m1, l2, m2, l3, m3);
+                if v.abs() > 1e-12 {
+                    let i = irrep_offset(path.l3) + (m3 + l3) as usize;
+                    let j = irrep_offset(path.l1) + (m1 + l1) as usize;
+                    let k = irrep_offset(path.l2) + (m2 + l2) as usize;
+                    entries.push((i, j, k, v as f32));
+                }
+            }
+        }
+        nnz += entries.len();
+        for chunk in entries.chunks(g) {
+            cgl.push(pidx as i64);
+            for slot in 0..g {
+                match chunk.get(slot) {
+                    Some(&(i, j, k, v)) => {
+                        cgi.push(i as i64);
+                        cgj.push(j as i64);
+                        cgk.push(k as i64);
+                        cgv.push(v);
+                    }
+                    None => {
+                        cgi.push(0);
+                        cgj.push(0);
+                        cgk.push(0);
+                        cgv.push(0.0);
+                    }
+                }
+            }
+        }
+    }
+    let groups = cgl.len();
+    CgTensor {
+        cgi: Tensor::from_indices(vec![groups, g], cgi).expect("length matches"),
+        cgj: Tensor::from_indices(vec![groups, g], cgj).expect("length matches"),
+        cgk: Tensor::from_indices(vec![groups, g], cgk).expect("length matches"),
+        cgl: Tensor::from_indices(vec![groups], cgl).expect("length matches"),
+        cgv: Tensor::from_vec(vec![groups, g], cgv).expect("length matches"),
+        paths: all_paths,
+        dim,
+        nnz,
+        group_size: g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // <0 0 0 0 | 0 0> = 1.
+        assert!((clebsch_gordan(0, 0, 0, 0, 0, 0) - 1.0).abs() < 1e-12);
+        // <1 0 1 0 | 2 0> = sqrt(2/3).
+        assert!((clebsch_gordan(1, 0, 1, 0, 2, 0) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // <1 1 1 -1 | 0 0> = 1/sqrt(3).
+        assert!((clebsch_gordan(1, 1, 1, -1, 0, 0) - 1.0 / 3.0f64.sqrt()).abs() < 1e-12);
+        // <1 0 1 0 | 1 0> = 0 (antisymmetric coupling kills m=0).
+        assert!(clebsch_gordan(1, 0, 1, 0, 1, 0).abs() < 1e-12);
+        // <1 1 1 0 | 1 1> = 1/sqrt(2).
+        assert!((clebsch_gordan(1, 1, 1, 0, 1, 1) - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_rules() {
+        assert_eq!(clebsch_gordan(1, 0, 1, 1, 2, 0), 0.0); // m3 != m1+m2
+        assert_eq!(clebsch_gordan(1, 0, 1, 0, 3, 0), 0.0); // triangle
+        assert_eq!(clebsch_gordan(1, 2, 1, -2, 0, 0), 0.0); // |m| > l
+    }
+
+    #[test]
+    fn orthogonality() {
+        // Sum over (m1, m2) of CG(...|l3 m3) CG(...|l3' m3') = delta.
+        for l1 in 0..=2i64 {
+            for l2 in 0..=2i64 {
+                for l3 in (l1 - l2).abs()..=(l1 + l2) {
+                    for l3p in (l1 - l2).abs()..=(l1 + l2) {
+                        for m3 in -l3..=l3 {
+                            for m3p in -l3p..=l3p {
+                                let mut sum = 0.0;
+                                for m1 in -l1..=l1 {
+                                    for m2 in -l2..=l2 {
+                                        sum += clebsch_gordan(l1, m1, l2, m2, l3, m3)
+                                            * clebsch_gordan(l1, m1, l2, m2, l3p, m3p);
+                                    }
+                                }
+                                let expect =
+                                    if l3 == l3p && m3 == m3p { 1.0 } else { 0.0 };
+                                assert!(
+                                    (sum - expect).abs() < 1e-10,
+                                    "l1={l1} l2={l2} l3={l3} m3={m3} l3'={l3p} m3'={m3p}: {sum}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_counts_grow_with_lmax() {
+        assert_eq!(paths(0).len(), 1);
+        // lmax=1: (0,0,0),(0,1,1),(1,0,1),(1,1,0),(1,1,1),(1,1,2->capped)
+        // l3 <= lmax so (1,1,2) is excluded.
+        assert_eq!(paths(1).len(), 5);
+        assert!(paths(2).len() > paths(1).len());
+        assert!(paths(3).len() > paths(2).len());
+    }
+
+    #[test]
+    fn irrep_indexing() {
+        assert_eq!(irrep_dim(3), 16);
+        assert_eq!(irrep_offset(0), 0);
+        assert_eq!(irrep_offset(1), 1);
+        assert_eq!(irrep_offset(2), 4);
+        assert_eq!(irrep_offset(3), 9);
+    }
+
+    #[test]
+    fn cg_tensor_indices_in_range() {
+        for lmax in 1..=3 {
+            let t = cg_tensor(lmax, 8);
+            assert!(t.nnz > 0);
+            for p in 0..t.groups() {
+                assert!((t.cgl.at_i64(&[p]) as usize) < t.paths.len());
+                for q in 0..t.group_size {
+                    assert!((t.cgi.at_i64(&[p, q]) as usize) < t.dim);
+                    assert!((t.cgj.at_i64(&[p, q]) as usize) < t.dim);
+                    assert!((t.cgk.at_i64(&[p, q]) as usize) < t.dim);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_share_one_path() {
+        let t = cg_tensor(2, 4);
+        // Entries in one group must all belong to the group's path (or be
+        // padding): verified via path_entries roundtrip.
+        let total: usize = (0..t.paths.len()).map(|p| t.path_entries(p).len()).sum();
+        assert_eq!(total, t.nnz);
+    }
+
+    #[test]
+    fn nnz_grows_with_lmax() {
+        let n1 = cg_tensor(1, 4).nnz;
+        let n2 = cg_tensor(2, 4).nnz;
+        let n3 = cg_tensor(3, 4).nnz;
+        assert!(n1 < n2 && n2 < n3, "{n1} {n2} {n3}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Models of the TC-GNN graph matrices used in paper Fig. 11.
+//!
+//! Each named dataset is replaced by a synthetic matrix matched on node
+//! count, edge count, and degree-distribution family (see DESIGN.md). The
+//! distribution family is what drives the Fig. 11 story: power-law
+//! degrees (`artist`, `soc-BlogCatalog`) create the load imbalance that
+//! Sputnik's row-swizzling wins on, while near-regular chemistry graphs
+//! (`DD`, `Yeast*`, `OVCAR-8H`) do not.
+
+use crate::blocksparse::coo_from_degrees;
+use insum_formats::Coo;
+use rand::Rng;
+
+/// Degree-distribution family of a graph dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeFamily {
+    /// Narrow distribution around the mean (molecular graphs).
+    Regular,
+    /// Log-normal-ish spread (citation/co-purchase networks).
+    Moderate,
+    /// Heavy power-law tail (social/affiliation networks).
+    PowerLaw,
+}
+
+/// Catalog entry describing one TC-GNN dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Dataset name as it appears in paper Fig. 11.
+    pub name: &'static str,
+    /// Node count of the real dataset.
+    pub nodes: usize,
+    /// Edge (nonzero) count of the real dataset.
+    pub edges: usize,
+    /// Degree-distribution family.
+    pub family: DegreeFamily,
+}
+
+/// The 14 datasets of paper Fig. 11 with their published sizes.
+pub fn catalog() -> Vec<GraphSpec> {
+    use DegreeFamily::*;
+    vec![
+        GraphSpec { name: "amazon0505", nodes: 410_236, edges: 4_878_874, family: Moderate },
+        GraphSpec { name: "amazon0601", nodes: 403_394, edges: 5_478_357, family: Moderate },
+        GraphSpec { name: "artist", nodes: 50_515, edges: 1_638_396, family: PowerLaw },
+        GraphSpec { name: "citeseer", nodes: 3_327, edges: 9_104, family: Moderate },
+        GraphSpec { name: "com-amazon", nodes: 334_863, edges: 1_851_744, family: Moderate },
+        GraphSpec { name: "cora", nodes: 2_708, edges: 10_556, family: Moderate },
+        GraphSpec { name: "DD", nodes: 334_925, edges: 1_686_092, family: Regular },
+        GraphSpec { name: "OVCAR-8H", nodes: 1_889_542, edges: 3_946_402, family: Regular },
+        GraphSpec { name: "ppi", nodes: 56_944, edges: 818_716, family: PowerLaw },
+        GraphSpec { name: "PROTEINS_full", nodes: 43_471, edges: 162_088, family: Regular },
+        GraphSpec { name: "pubmed", nodes: 19_717, edges: 88_648, family: Moderate },
+        GraphSpec { name: "soc-BlogCatalog", nodes: 88_784, edges: 2_093_195, family: PowerLaw },
+        GraphSpec { name: "Yeast", nodes: 1_714_644, edges: 3_636_546, family: Regular },
+        GraphSpec { name: "YeastH", nodes: 3_139_988, edges: 6_487_230, family: Regular },
+    ]
+}
+
+/// Generate the adjacency matrix of a dataset model, scaled down by
+/// `scale` (nodes and edges divided by `scale`; average degree is
+/// preserved, as is the degree-distribution family).
+pub fn generate(spec: &GraphSpec, scale: usize, rng: &mut impl Rng) -> Coo {
+    let nodes = (spec.nodes / scale).max(16);
+    let edges = (spec.edges / scale).max(nodes);
+    let mean = edges as f64 / nodes as f64;
+    let degrees = sample_degrees(nodes, edges, mean, spec.family, rng);
+    coo_from_degrees(&degrees, nodes, rng)
+}
+
+fn sample_degrees(
+    nodes: usize,
+    edges: usize,
+    mean: f64,
+    family: DegreeFamily,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let mut degrees: Vec<usize> = (0..nodes)
+        .map(|_| match family {
+            DegreeFamily::Regular => {
+                // Tight spread: mean +- 30%.
+                let lo = (mean * 0.7).max(1.0);
+                let hi = (mean * 1.3).max(lo + 1.0);
+                rng.gen_range(lo..hi) as usize
+            }
+            DegreeFamily::Moderate => {
+                // Log-normal-ish: exponentiate a uniform spread.
+                let z: f64 = rng.gen_range(-1.0..1.0);
+                (mean * (2.0f64).powf(z * 1.5)).max(1.0) as usize
+            }
+            DegreeFamily::PowerLaw => {
+                // Pareto tail with alpha ~ 1.25 (Gini ~ 0.67): a few hub
+                // rows hold a large share of the nonzeros.
+                let u: f64 = rng.gen_range(1e-5..1.0);
+                let m = mean * 0.2;
+                (m / u.powf(0.8)).clamp(1.0, nodes as f64 * 0.5) as usize
+            }
+        })
+        .collect();
+    // Rescale to hit the target edge budget.
+    let total: usize = degrees.iter().sum();
+    if total > 0 {
+        let ratio = edges as f64 / total as f64;
+        for d in &mut degrees {
+            *d = ((*d as f64 * ratio).round() as usize).max(1);
+        }
+    }
+    degrees
+}
+
+/// Gini coefficient of a degree sequence — a skew measure used by tests
+/// and the benchmark report (0 = perfectly even, → 1 = concentrated).
+pub fn gini(degrees: &[usize]) -> f64 {
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("degrees are finite"));
+    let n = sorted.len() as f64;
+    let sum: f64 = sorted.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalog_has_fourteen_datasets() {
+        let c = catalog();
+        assert_eq!(c.len(), 14);
+        assert!(c.iter().any(|s| s.name == "artist" && s.family == DegreeFamily::PowerLaw));
+    }
+
+    #[test]
+    fn generated_size_matches_scaled_spec() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = &catalog()[3]; // citeseer
+        let coo = generate(spec, 4, &mut rng);
+        assert_eq!(coo.rows, spec.nodes / 4);
+        let target = (spec.edges / 4) as f64;
+        let got = coo.nnz() as f64;
+        assert!((got - target).abs() / target < 0.35, "edges {got} vs target {target}");
+    }
+
+    #[test]
+    fn power_law_is_more_skewed_than_regular() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let c = catalog();
+        let artist = c.iter().find(|s| s.name == "artist").expect("in catalog");
+        let dd = c.iter().find(|s| s.name == "DD").expect("in catalog");
+        let g_artist = gini(&generate(artist, 64, &mut rng).occupancy());
+        let g_dd = gini(&generate(dd, 256, &mut rng).occupancy());
+        assert!(
+            g_artist > g_dd + 0.2,
+            "artist gini {g_artist} should far exceed DD gini {g_dd}"
+        );
+    }
+
+    #[test]
+    fn gini_sanity() {
+        assert!(gini(&[5, 5, 5, 5]) < 0.01);
+        assert!(gini(&[0, 0, 0, 100]) > 0.7);
+        assert_eq!(gini(&[]), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = &catalog()[5];
+        let a = generate(spec, 8, &mut SmallRng::seed_from_u64(7));
+        let b = generate(spec, 8, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Synthetic workload generators for the paper's evaluation datasets.
+//!
+//! The reproduction cannot ship the paper's proprietary or large external
+//! datasets, so each is replaced by a generator matched to the statistics
+//! that drive the performance comparison (see DESIGN.md's substitution
+//! table):
+//!
+//! * [`blocksparse`] — uniform block-sparse and unstructured matrices for
+//!   the structured-SpMM sweeps (Figs. 7, 10, 13);
+//! * [`graphs`] — models of the 14 TC-GNN matrices (Fig. 11), matched on
+//!   row count, nonzero count, and degree-distribution family;
+//! * [`pointcloud`] — synthetic indoor rooms, voxelization and
+//!   kernel-map construction for sparse convolution (Fig. 12, Table 3);
+//! * [`equivariant`] — exact Clebsch–Gordan coefficients (Racah formula)
+//!   and the uvw-mode tensor-product operands (Table 2).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod blocksparse;
+pub mod equivariant;
+pub mod graphs;
+pub mod pointcloud;

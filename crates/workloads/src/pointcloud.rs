@@ -1,0 +1,332 @@
+//! Synthetic indoor point clouds, voxelization, and kernel maps for
+//! sparse convolution (paper §6.4, Fig. 12).
+//!
+//! The paper uses seven S3DIS Area-6 rooms. Each synthetic room is a box
+//! whose floor, ceiling and walls are sampled on a grid, plus a number of
+//! furniture boxes; surface sampling reproduces the thin-shell occupancy
+//! profile of real indoor scans, which is what determines voxel counts
+//! and kernel-map offset occupancy.
+
+use insum_tensor::Tensor;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Description of one synthetic room (dimensions in meters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoomSpec {
+    /// Scene name as it appears in paper Fig. 12.
+    pub name: &'static str,
+    /// Room width (m).
+    pub w: f64,
+    /// Room depth (m).
+    pub d: f64,
+    /// Room height (m).
+    pub h: f64,
+    /// Number of furniture boxes.
+    pub furniture: usize,
+}
+
+/// The seven scenes of paper Fig. 12.
+pub fn rooms() -> Vec<RoomSpec> {
+    vec![
+        RoomSpec { name: "conferenceRoom", w: 8.0, d: 6.0, h: 3.0, furniture: 10 },
+        RoomSpec { name: "copyRoom", w: 4.0, d: 3.5, h: 3.0, furniture: 4 },
+        RoomSpec { name: "hallway", w: 12.0, d: 2.5, h: 3.0, furniture: 2 },
+        RoomSpec { name: "lounge", w: 7.0, d: 7.0, h: 3.0, furniture: 8 },
+        RoomSpec { name: "office", w: 5.0, d: 4.5, h: 3.0, furniture: 6 },
+        RoomSpec { name: "openspace", w: 10.0, d: 9.0, h: 3.0, furniture: 12 },
+        RoomSpec { name: "pantry", w: 3.5, d: 3.0, h: 3.0, furniture: 5 },
+    ]
+}
+
+/// A voxelized scene: the set of occupied voxel coordinates.
+#[derive(Debug, Clone)]
+pub struct VoxelScene {
+    /// Occupied voxel coordinates (deduplicated, sorted).
+    pub voxels: Vec<[i32; 3]>,
+    /// Voxel edge length used for quantization (m).
+    pub voxel_size: f64,
+}
+
+impl VoxelScene {
+    /// Number of occupied voxels.
+    pub fn len(&self) -> usize {
+        self.voxels.len()
+    }
+
+    /// True if the scene is empty.
+    pub fn is_empty(&self) -> bool {
+        self.voxels.is_empty()
+    }
+}
+
+fn sample_plane(
+    points: &mut Vec<[f64; 3]>,
+    origin: [f64; 3],
+    u: [f64; 3],
+    v: [f64; 3],
+    step: f64,
+    jitter: f64,
+    rng: &mut impl Rng,
+) {
+    let ulen = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
+    let vlen = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    let nu = (ulen / step).ceil() as usize;
+    let nv = (vlen / step).ceil() as usize;
+    for i in 0..nu {
+        for j in 0..nv {
+            let fu = i as f64 / nu as f64;
+            let fv = j as f64 / nv as f64;
+            let mut p = [
+                origin[0] + fu * u[0] + fv * v[0],
+                origin[1] + fu * u[1] + fv * v[1],
+                origin[2] + fu * u[2] + fv * v[2],
+            ];
+            for c in &mut p {
+                *c += rng.gen_range(-jitter..jitter);
+            }
+            points.push(p);
+        }
+    }
+}
+
+/// Generate the raw point cloud of a room: walls, floor, ceiling, and
+/// furniture boxes, sampled at roughly `sample_step` meters with jitter.
+pub fn generate_points(spec: &RoomSpec, sample_step: f64, rng: &mut impl Rng) -> Vec<[f64; 3]> {
+    let mut pts = Vec::new();
+    let (w, d, h) = (spec.w, spec.d, spec.h);
+    let jitter = sample_step * 0.3;
+    // Floor and ceiling.
+    sample_plane(&mut pts, [0.0, 0.0, 0.0], [w, 0.0, 0.0], [0.0, d, 0.0], sample_step, jitter, rng);
+    sample_plane(&mut pts, [0.0, 0.0, h], [w, 0.0, 0.0], [0.0, d, 0.0], sample_step, jitter, rng);
+    // Four walls.
+    sample_plane(&mut pts, [0.0, 0.0, 0.0], [w, 0.0, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
+    sample_plane(&mut pts, [0.0, d, 0.0], [w, 0.0, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
+    sample_plane(&mut pts, [0.0, 0.0, 0.0], [0.0, d, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
+    sample_plane(&mut pts, [w, 0.0, 0.0], [0.0, d, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
+    // Furniture boxes (tables/shelves): top surface plus sides.
+    for _ in 0..spec.furniture {
+        let bw = rng.gen_range(0.5..1.8);
+        let bd = rng.gen_range(0.4..1.2);
+        let bh = rng.gen_range(0.4..1.1);
+        let x0 = rng.gen_range(0.2..(w - bw - 0.2).max(0.3));
+        let y0 = rng.gen_range(0.2..(d - bd - 0.2).max(0.3));
+        sample_plane(&mut pts, [x0, y0, bh], [bw, 0.0, 0.0], [0.0, bd, 0.0], sample_step, jitter, rng);
+        sample_plane(&mut pts, [x0, y0, 0.0], [bw, 0.0, 0.0], [0.0, 0.0, bh], sample_step, jitter, rng);
+        sample_plane(&mut pts, [x0, y0, 0.0], [0.0, bd, 0.0], [0.0, 0.0, bh], sample_step, jitter, rng);
+    }
+    pts
+}
+
+/// Quantize points to a voxel grid (the paper uses 5 cm voxels).
+pub fn voxelize(points: &[[f64; 3]], voxel_size: f64) -> VoxelScene {
+    let mut set: Vec<[i32; 3]> = points
+        .iter()
+        .map(|p| {
+            [
+                (p[0] / voxel_size).floor() as i32,
+                (p[1] / voxel_size).floor() as i32,
+                (p[2] / voxel_size).floor() as i32,
+            ]
+        })
+        .collect();
+    set.sort_unstable();
+    set.dedup();
+    VoxelScene { voxels: set, voxel_size }
+}
+
+/// A submanifold 3×3×3 kernel map grouped by weight offset, in the layout
+/// the paper's grouped indirect Einsum consumes:
+/// `Out[MAPX[p,q],m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]`.
+#[derive(Debug, Clone)]
+pub struct KernelMap {
+    /// Output voxel index per (group, slot) (`[groups, g]`, I32).
+    pub mapx: Tensor,
+    /// Input voxel index per (group, slot) (`[groups, g]`, I32).
+    pub mapy: Tensor,
+    /// Weight offset id per group (`[groups]`, I32).
+    pub mapz: Tensor,
+    /// Pair validity per (group, slot): 1.0 real, 0.0 padding
+    /// (`[groups, g]`).
+    pub mapv: Tensor,
+    /// Total real (unpadded) pairs.
+    pub pairs: usize,
+    /// Number of voxels in the scene.
+    pub voxels: usize,
+    /// Group size used.
+    pub group_size: usize,
+}
+
+impl KernelMap {
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.mapz.len()
+    }
+}
+
+/// Build the submanifold kernel map: for every voxel and every 3×3×3
+/// offset, emit a pair when the neighbour voxel exists. Pairs are grouped
+/// by offset (the paper's "grouping by MAPZ") with `group_size` slots per
+/// group, padded with inert entries.
+pub fn kernel_map(scene: &VoxelScene, group_size: usize) -> KernelMap {
+    let index: HashMap<[i32; 3], usize> =
+        scene.voxels.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // pairs_by_offset[z] = list of (out_voxel, in_voxel).
+    let mut pairs_by_offset: Vec<Vec<(usize, usize)>> = vec![Vec::new(); 27];
+    for (out_idx, &v) in scene.voxels.iter().enumerate() {
+        let mut z = 0usize;
+        for dz in -1i32..=1 {
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    let n = [v[0] + dx, v[1] + dy, v[2] + dz];
+                    if let Some(&in_idx) = index.get(&n) {
+                        pairs_by_offset[z].push((out_idx, in_idx));
+                    }
+                    z += 1;
+                }
+            }
+        }
+    }
+    let g = group_size.max(1);
+    let mut mapx = Vec::new();
+    let mut mapy = Vec::new();
+    let mut mapz = Vec::new();
+    let mut mapv = Vec::new();
+    let mut pairs = 0usize;
+    for (z, list) in pairs_by_offset.iter().enumerate() {
+        pairs += list.len();
+        for chunk in list.chunks(g) {
+            mapz.push(z as i64);
+            for slot in 0..g {
+                match chunk.get(slot) {
+                    Some(&(o, i)) => {
+                        mapx.push(o as i64);
+                        mapy.push(i as i64);
+                        mapv.push(1.0f32);
+                    }
+                    None => {
+                        mapx.push(0);
+                        mapy.push(0);
+                        mapv.push(0.0);
+                    }
+                }
+            }
+        }
+    }
+    let groups = mapz.len();
+    KernelMap {
+        mapx: Tensor::from_indices(vec![groups, g], mapx).expect("length matches"),
+        mapy: Tensor::from_indices(vec![groups, g], mapy).expect("length matches"),
+        mapz: Tensor::from_indices(vec![groups], mapz).expect("length matches"),
+        mapv: Tensor::from_vec(vec![groups, g], mapv).expect("length matches"),
+        pairs,
+        voxels: scene.voxels.len(),
+        group_size: g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_scene() -> VoxelScene {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = RoomSpec { name: "test", w: 2.0, d: 2.0, h: 2.0, furniture: 1 };
+        let pts = generate_points(&spec, 0.25, &mut rng);
+        voxelize(&pts, 0.25)
+    }
+
+    #[test]
+    fn seven_rooms() {
+        assert_eq!(rooms().len(), 7);
+    }
+
+    #[test]
+    fn voxelize_dedups() {
+        let scene = voxelize(&[[0.01, 0.01, 0.01], [0.02, 0.02, 0.02], [0.9, 0.0, 0.0]], 0.1);
+        assert_eq!(scene.len(), 2);
+    }
+
+    #[test]
+    fn scene_is_shell_like() {
+        let scene = small_scene();
+        // A 2m cube at 25cm voxels has 9^3 = 729 cells; a shell occupies
+        // far fewer than the volume but more than one face.
+        assert!(scene.len() > 64, "{}", scene.len());
+        assert!(scene.len() < 729, "{}", scene.len());
+    }
+
+    #[test]
+    fn center_offset_is_identity() {
+        let scene = small_scene();
+        let km = kernel_map(&scene, 16);
+        // Offset 13 (dx=dy=dz=0) pairs every voxel with itself.
+        let mut self_pairs = 0;
+        for p in 0..km.groups() {
+            if km.mapz.at_i64(&[p]) == 13 {
+                for q in 0..km.group_size {
+                    if km.mapv.at(&[p, q]) != 0.0 {
+                        assert_eq!(km.mapx.at_i64(&[p, q]), km.mapy.at_i64(&[p, q]));
+                        self_pairs += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(self_pairs, scene.len());
+    }
+
+    #[test]
+    fn pairs_are_symmetric_across_mirror_offsets() {
+        let scene = small_scene();
+        let km = kernel_map(&scene, 8);
+        // Offset z and 26 - z are mirror images: same pair count.
+        let mut count = vec![0usize; 27];
+        for p in 0..km.groups() {
+            let z = km.mapz.at_i64(&[p]) as usize;
+            for q in 0..km.group_size {
+                if km.mapv.at(&[p, q]) != 0.0 {
+                    count[z] += 1;
+                }
+            }
+        }
+        for z in 0..27 {
+            assert_eq!(count[z], count[26 - z], "offset {z}");
+        }
+    }
+
+    #[test]
+    fn padding_is_marked_inert() {
+        let scene = small_scene();
+        let km = kernel_map(&scene, 7);
+        let total_slots = km.groups() * km.group_size;
+        let real: f32 = km.mapv.sum();
+        assert_eq!(real as usize, km.pairs);
+        assert!(total_slots >= km.pairs);
+    }
+
+    #[test]
+    fn all_indices_in_range() {
+        let scene = small_scene();
+        let km = kernel_map(&scene, 4);
+        for p in 0..km.groups() {
+            assert!(km.mapz.at_i64(&[p]) < 27);
+            for q in 0..km.group_size {
+                assert!((km.mapx.at_i64(&[p, q]) as usize) < scene.len());
+                assert!((km.mapy.at_i64(&[p, q]) as usize) < scene.len());
+            }
+        }
+    }
+
+    #[test]
+    fn larger_rooms_have_more_voxels() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let all = rooms();
+        let open = all.iter().find(|r| r.name == "openspace").expect("exists");
+        let pantry = all.iter().find(|r| r.name == "pantry").expect("exists");
+        let v_open = voxelize(&generate_points(open, 0.3, &mut rng), 0.3).len();
+        let v_pantry = voxelize(&generate_points(pantry, 0.3, &mut rng), 0.3).len();
+        assert!(v_open > 2 * v_pantry, "openspace {v_open} vs pantry {v_pantry}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Root crate for the Insum reproduction workspace.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The actual library lives in
+//! the `insum` crate (`crates/core`); see the README for a tour.

@@ -1,0 +1,248 @@
+//! Cross-crate integration tests: every paper application, end to end —
+//! workload generator → sparse format → indirect Einsum → fused kernel →
+//! simulated execution — checked against independent references.
+
+use insum::apps;
+use insum::{eager, InsumOptions, Mode};
+use insum_formats::heuristic::heuristic_group_size;
+use insum_formats::{Bcsr, BlockGroupCoo, Coo, Csr, GroupCoo};
+use insum_gpu::DeviceModel;
+use insum_tensor::{DType, Tensor};
+use insum_workloads::blocksparse::block_sparse_dense;
+use insum_workloads::equivariant::cg_tensor;
+use insum_workloads::graphs::{catalog, generate};
+use insum_workloads::pointcloud::{generate_points, kernel_map, voxelize, RoomSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn option_grid() -> Vec<InsumOptions> {
+    vec![
+        InsumOptions::default(),
+        InsumOptions { lazy_broadcast: false, ..Default::default() },
+        InsumOptions { tensor_cores: false, ..Default::default() },
+        InsumOptions::unfused(),
+        InsumOptions::autotuned(),
+    ]
+}
+
+#[test]
+fn structured_spmm_all_configurations_match_dense() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let a = block_sparse_dense(128, 128, 32, 32, 0.6, &mut rng);
+    let b = insum_tensor::rand_uniform(vec![128, 64], -1.0, 1.0, &mut rng);
+    let want = a.matmul(&b).expect("shapes agree");
+    let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 2).expect("blocked");
+    let app = apps::spmm_block_group(&bgc, &b);
+    for opts in option_grid() {
+        let compiled = app.compile(&opts).expect("compiles");
+        let (c, profile) = compiled.run(&app.tensors).expect("runs");
+        let c2 = apps::unblock_output(&c);
+        assert!(
+            c2.allclose(&want, 1e-3, 1e-3),
+            "configuration {opts:?} diverges (max diff {:?})",
+            c2.max_abs_diff(&want)
+        );
+        assert!(profile.total_time() > 0.0);
+    }
+}
+
+#[test]
+fn unstructured_spmm_matches_baselines_numerically() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let spec = &catalog()[5]; // cora
+    let adj = generate(spec, 8, &mut rng);
+    let b = insum_tensor::rand_uniform(vec![adj.cols, 32], -1.0, 1.0, &mut rng);
+    let g = heuristic_group_size(&adj.occupancy());
+    let gc = GroupCoo::from_coo(&adj, g).expect("valid g");
+    let app = apps::spmm_group(&gc, &b);
+    let (ours, _) = app
+        .compile(&InsumOptions::default())
+        .expect("compiles")
+        .run(&app.tensors)
+        .expect("runs");
+
+    let device = DeviceModel::rtx3090();
+    let csr = Csr::from_coo(&adj);
+    let (sput, _) =
+        insum_baselines::spmm::sputnik_spmm(&csr, &b, &device, Mode::Execute).expect("runs");
+    let (cus, _) =
+        insum_baselines::spmm::cusparse_spmm(&csr, &b, &device, Mode::Execute).expect("runs");
+    let dense_ref = adj.to_dense().matmul(&b).expect("shapes agree");
+    assert!(ours.allclose(&dense_ref, 1e-3, 1e-3));
+    assert!(sput.allclose(&dense_ref, 1e-3, 1e-3));
+    assert!(cus.allclose(&dense_ref, 1e-3, 1e-3));
+}
+
+#[test]
+fn sparse_conv_matches_all_baselines() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let spec = RoomSpec { name: "t", w: 2.0, d: 2.0, h: 2.0, furniture: 2 };
+    let scene = voxelize(&generate_points(&spec, 0.25, &mut rng), 0.25);
+    let c = 16;
+    let input = insum_tensor::rand_uniform(vec![scene.len(), c], -1.0, 1.0, &mut rng);
+    let weight = insum_tensor::rand_uniform(vec![27, c, c], -0.5, 0.5, &mut rng);
+    let km = kernel_map(&scene, 16);
+    let app = apps::sparse_conv(&km, &input, &weight);
+    let (ours, _) = app
+        .compile(&InsumOptions::default())
+        .expect("compiles")
+        .run(&app.tensors)
+        .expect("runs");
+
+    let device = DeviceModel::rtx3090();
+    let (a1, _) =
+        insum_baselines::conv::implicit_gemm_conv(&scene, &input, &weight, &device, Mode::Execute)
+            .expect("runs");
+    let (a2, _) = insum_baselines::conv::fetch_on_demand_conv(
+        &scene, &input, &weight, &device, Mode::Execute,
+    )
+    .expect("runs");
+    let (taco, _) =
+        insum_baselines::conv::taco_conv(&scene, &input, &weight, &device, Mode::Execute)
+            .expect("runs");
+    let (stir, _) =
+        insum_baselines::conv::sparsetir_conv(&scene, &input, &weight, &device, Mode::Execute)
+            .expect("runs");
+    for (name, t) in [("algo1", &a1), ("algo2", &a2), ("taco", &taco), ("sparsetir", &stir)] {
+        assert!(
+            ours.allclose(t, 1e-2, 1e-2),
+            "{name} disagrees with ours (max diff {:?})",
+            ours.max_abs_diff(t)
+        );
+    }
+}
+
+#[test]
+fn equivariant_tp_matches_baselines() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let cg = cg_tensor(2, 4);
+    let (batch, u, w) = (4, 8, 8);
+    let x = insum_tensor::rand_uniform(vec![batch, cg.dim, u], -1.0, 1.0, &mut rng);
+    let y = insum_tensor::rand_uniform(vec![batch, cg.dim], -1.0, 1.0, &mut rng);
+    let wt = insum_tensor::rand_uniform(vec![batch, cg.paths.len(), u, w], -0.5, 0.5, &mut rng);
+    let app = apps::equivariant_tp(&cg, &x, &y, &wt);
+    let (ours, _) = app
+        .compile(&InsumOptions::default())
+        .expect("compiles")
+        .run(&app.tensors)
+        .expect("runs");
+    let device = DeviceModel::rtx3090();
+    let (e3, _) =
+        insum_baselines::tp::e3nn_tp(&cg, &x, &y, &wt, &device, Mode::Execute).expect("runs");
+    let (cueq, _) = insum_baselines::tp::cuequivariance_tp(&cg, &x, &y, &wt, &device, Mode::Execute)
+        .expect("runs");
+    assert!(ours.allclose(&e3, 1e-3, 1e-3), "e3nn diff {:?}", ours.max_abs_diff(&e3));
+    assert!(ours.allclose(&cueq, 1e-3, 1e-3), "cueq diff {:?}", ours.max_abs_diff(&cueq));
+}
+
+#[test]
+fn f16_structured_spmm_is_half_precision_accurate() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let a = block_sparse_dense(64, 64, 32, 32, 0.5, &mut rng).cast(DType::F16);
+    let b = insum_tensor::rand_uniform(vec![64, 32], -1.0, 1.0, &mut rng).cast(DType::F16);
+    let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 2).expect("blocked");
+    let app = apps::spmm_block_group(&bgc, &b);
+    let (c, _) = app
+        .compile(&InsumOptions::default())
+        .expect("compiles")
+        .run(&app.tensors)
+        .expect("runs");
+    let want = a.matmul(&b).expect("shapes agree");
+    // Half precision: tolerate ~1e-2 relative error on the accumulation.
+    assert!(apps::unblock_output(&c).allclose(&want, 2e-2, 2e-2));
+}
+
+#[test]
+fn fused_kernel_is_always_single_launch_and_cheapest() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let a = block_sparse_dense(128, 128, 32, 32, 0.8, &mut rng);
+    let b = insum_tensor::rand_uniform(vec![128, 64], -1.0, 1.0, &mut rng);
+    let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 2).expect("blocked");
+    let app = apps::spmm_block_group(&bgc, &b);
+    let fused = app.compile(&InsumOptions::default()).expect("compiles");
+    let unfused = app.compile(&InsumOptions::unfused()).expect("compiles");
+    assert_eq!(fused.kernel_count(), 1);
+    assert!(unfused.kernel_count() >= 3);
+    let t_f = fused.time(&app.tensors).expect("simulates").total_time();
+    let t_u = unfused.time(&app.tensors).expect("simulates").total_time();
+    assert!(t_f < t_u, "fusion must win: {t_f:.3e} vs {t_u:.3e}");
+}
+
+#[test]
+fn torch_bsr_baseline_agrees_with_insum_numerics() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let a = block_sparse_dense(128, 128, 32, 32, 0.7, &mut rng);
+    let b = insum_tensor::rand_uniform(vec![128, 64], -1.0, 1.0, &mut rng);
+    let bcsr = Bcsr::from_dense(&a, 32, 32).expect("blocked");
+    let (c_bsr, _) =
+        insum_baselines::spmm::torch_bsr_spmm(&bcsr, &b, &DeviceModel::rtx3090(), Mode::Execute)
+            .expect("runs");
+    let want = a.matmul(&b).expect("shapes agree");
+    assert!(c_bsr.allclose(&want, 1e-3, 1e-3));
+}
+
+#[test]
+fn eager_reference_agrees_with_formats_roundtrip() {
+    // The eager interpreter on the COO einsum equals dense matmul for a
+    // random sparse matrix — ties lang/graph/formats/tensor together.
+    let mut rng = SmallRng::seed_from_u64(8);
+    let coo = insum_workloads::blocksparse::unstructured_coo(24, 30, 0.15, &mut rng);
+    let b = insum_tensor::rand_uniform(vec![30, 8], -1.0, 1.0, &mut rng);
+    let tensors: std::collections::BTreeMap<String, Tensor> = [
+        ("C".to_string(), Tensor::zeros(vec![24, 8])),
+        ("AM".to_string(), coo.am.clone()),
+        ("AK".to_string(), coo.ak.clone()),
+        ("AV".to_string(), coo.av.clone()),
+        ("B".to_string(), b.clone()),
+    ]
+    .into_iter()
+    .collect();
+    let got = eager(apps::SPMM_COO_EXPR, &tensors).expect("evaluates");
+    let want = coo.to_dense().matmul(&b).expect("shapes agree");
+    assert!(got.allclose(&want, 1e-4, 1e-4));
+}
+
+#[test]
+fn autotune_never_hurts() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let a = block_sparse_dense(128, 128, 32, 32, 0.5, &mut rng);
+    let b = insum_tensor::rand_uniform(vec![128, 128], -1.0, 1.0, &mut rng);
+    let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 2).expect("blocked");
+    let app = apps::spmm_block_group(&bgc, &b);
+    let plain = app.compile(&InsumOptions::default()).expect("compiles");
+    let tuned = app.compile(&InsumOptions::autotuned()).expect("compiles");
+    let t_plain = plain.time(&app.tensors).expect("simulates").total_time();
+    let t_tuned = tuned.time(&app.tensors).expect("simulates").total_time();
+    assert!(t_tuned <= t_plain * 1.0001, "autotuned {t_tuned:.3e} vs default {t_plain:.3e}");
+}
+
+#[test]
+fn group_size_one_equals_coo_pipeline() {
+    // GroupCOO with g = 1 must produce identical results to plain COO
+    // through the whole compiled pipeline.
+    let mut rng = SmallRng::seed_from_u64(10);
+    let coo_m = insum_workloads::blocksparse::unstructured_coo(32, 40, 0.1, &mut rng);
+    let b = insum_tensor::rand_uniform(vec![40, 16], -1.0, 1.0, &mut rng);
+    let gc = GroupCoo::from_coo(&coo_m, 1).expect("valid g");
+    let app_coo = apps::spmm_coo(&coo_m, &b);
+    let app_gc = apps::spmm_group(&gc, &b);
+    let opts = InsumOptions::default();
+    let (c1, _) = app_coo.compile(&opts).expect("compiles").run(&app_coo.tensors).expect("runs");
+    let (c2, _) = app_gc.compile(&opts).expect("compiles").run(&app_gc.tensors).expect("runs");
+    assert!(c1.allclose(&c2, 1e-5, 1e-5));
+}
+
+#[test]
+fn coo_reference_consistency_under_duplicates() {
+    // Duplicate coordinates accumulate in both the eager reference and
+    // the compiled kernel.
+    let coo = Coo::from_triplets(4, 4, &[(1, 1, 2.0), (1, 1, 3.0)]).expect("in bounds");
+    let b = Tensor::eye(4);
+    let app = apps::spmm_coo(&coo, &b);
+    let (c, _) = app
+        .compile(&InsumOptions::default())
+        .expect("compiles")
+        .run(&app.tensors)
+        .expect("runs");
+    assert_eq!(c.at(&[1, 1]), 5.0);
+}
