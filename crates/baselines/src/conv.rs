@@ -13,8 +13,12 @@ use std::collections::HashMap;
 /// out-voxel `v`'s neighbour at offset `z`, or −1 when absent. This is
 /// the "implicit" structure ImplicitGEMM iterates over.
 pub fn neighbor_table(scene: &VoxelScene) -> Tensor {
-    let index: HashMap<[i32; 3], usize> =
-        scene.voxels.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<[i32; 3], usize> = scene
+        .voxels
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
     let v_count = scene.voxels.len();
     let mut data = vec![-1i64; 27 * v_count];
     for (out_idx, &v) in scene.voxels.iter().enumerate() {
@@ -37,8 +41,12 @@ pub fn neighbor_table(scene: &VoxelScene) -> Tensor {
 /// Unpadded kernel-map pairs grouped by weight offset:
 /// `pairs[z] = [(out_voxel, in_voxel), ...]`.
 pub fn pairs_by_offset(scene: &VoxelScene) -> Vec<Vec<(usize, usize)>> {
-    let index: HashMap<[i32; 3], usize> =
-        scene.voxels.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<[i32; 3], usize> = scene
+        .voxels
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
     let mut out: Vec<Vec<(usize, usize)>> = vec![Vec::new(); 27];
     for (out_idx, &v) in scene.voxels.iter().enumerate() {
         let mut z = 0usize;
@@ -58,7 +66,7 @@ pub fn pairs_by_offset(scene: &VoxelScene) -> Vec<Vec<(usize, usize)>> {
 }
 
 fn check_channels(c: usize, m: usize, tile: usize) -> Result<()> {
-    if c % tile != 0 || m % tile != 0 {
+    if !c.is_multiple_of(tile) || !m.is_multiple_of(tile) {
         return Err(BaselineError::Invalid(format!(
             "channel counts ({c}, {m}) must divide the {tile}-wide tile"
         )));
@@ -196,16 +204,12 @@ pub fn fetch_on_demand_conv(
             continue;
         }
         let len = pairs.len();
-        let in_idx = Tensor::from_indices(
-            vec![len],
-            pairs.iter().map(|&(_, i)| i as i64).collect(),
-        )
-        .expect("length matches");
-        let out_idx = Tensor::from_indices(
-            vec![len],
-            pairs.iter().map(|&(o, _)| o as i64).collect(),
-        )
-        .expect("length matches");
+        let in_idx =
+            Tensor::from_indices(vec![len], pairs.iter().map(|&(_, i)| i as i64).collect())
+                .expect("length matches");
+        let out_idx =
+            Tensor::from_indices(vec![len], pairs.iter().map(|&(o, _)| o as i64).collect())
+                .expect("length matches");
 
         // (1) Gather: G[j, c] = IN[in_idx[j], c].
         let mut g = Tensor::zeros_with(vec![len, c], input.dtype());
@@ -417,7 +421,9 @@ pub fn taco_conv(
     let report = launch(
         &kernel,
         &[pair_count],
-        &mut [&mut oi_t, &mut ii_t, &mut zi_t, &mut in_t, &mut w_t, &mut out_t],
+        &mut [
+            &mut oi_t, &mut ii_t, &mut zi_t, &mut in_t, &mut w_t, &mut out_t,
+        ],
         device,
         mode,
     )?;
@@ -443,16 +449,15 @@ pub fn sparsetir_conv(
     mode: Mode,
 ) -> Result<(Tensor, Profile)> {
     use insum_graph::TensorMeta;
-    use insum_inductor::{compile_fused, build_plan, run_fused, CodegenOptions};
+    use insum_inductor::{build_plan, compile_fused, run_fused, CodegenOptions};
     use std::collections::BTreeMap;
 
     let km = insum_workloads::pointcloud::kernel_map(scene, 16);
     let v_count = scene.voxels.len();
     let m = weight.shape()[2];
-    let stmt = insum_lang::parse(
-        "Out[MAPX[p,q],m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]",
-    )
-    .expect("statement is well-formed");
+    let stmt =
+        insum_lang::parse("Out[MAPX[p,q],m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]")
+            .expect("statement is well-formed");
     let out0 = Tensor::zeros_with(vec![v_count, m], input.dtype());
     let binds: Vec<(&str, Tensor)> = vec![
         ("Out", out0),
@@ -465,7 +470,12 @@ pub fn sparsetir_conv(
     ];
     let metas: BTreeMap<String, TensorMeta> = binds
         .iter()
-        .map(|(n, t)| (n.to_string(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+        .map(|(n, t)| {
+            (
+                n.to_string(),
+                TensorMeta::new(t.shape().to_vec(), t.dtype()),
+            )
+        })
         .collect();
     let inputs: BTreeMap<String, Tensor> =
         binds.into_iter().map(|(n, t)| (n.to_string(), t)).collect();
@@ -497,7 +507,13 @@ mod tests {
 
     fn tiny_scene() -> VoxelScene {
         let mut rng = SmallRng::seed_from_u64(1);
-        let spec = RoomSpec { name: "t", w: 1.5, d: 1.5, h: 1.5, furniture: 1 };
+        let spec = RoomSpec {
+            name: "t",
+            w: 1.5,
+            d: 1.5,
+            h: 1.5,
+            furniture: 1,
+        };
         voxelize(&generate_points(&spec, 0.3, &mut rng), 0.3)
     }
 
@@ -532,29 +548,61 @@ mod tests {
     #[test]
     fn implicit_gemm_matches_reference() {
         let (scene, input, weight, want) = conv_setup();
-        let (got, profile) =
-            implicit_gemm_conv(&scene, &input, &weight, &DeviceModel::rtx3090(), Mode::Execute)
-                .unwrap();
-        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
-        assert_eq!(profile.launches(), 1, "ImplicitGEMM is a single fused kernel");
+        let (got, profile) = implicit_gemm_conv(
+            &scene,
+            &input,
+            &weight,
+            &DeviceModel::rtx3090(),
+            Mode::Execute,
+        )
+        .unwrap();
+        assert!(
+            got.allclose(&want, 1e-3, 1e-3),
+            "diff {:?}",
+            got.max_abs_diff(&want)
+        );
+        assert_eq!(
+            profile.launches(),
+            1,
+            "ImplicitGEMM is a single fused kernel"
+        );
     }
 
     #[test]
     fn fetch_on_demand_matches_reference() {
         let (scene, input, weight, want) = conv_setup();
-        let (got, profile) =
-            fetch_on_demand_conv(&scene, &input, &weight, &DeviceModel::rtx3090(), Mode::Execute)
-                .unwrap();
-        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
+        let (got, profile) = fetch_on_demand_conv(
+            &scene,
+            &input,
+            &weight,
+            &DeviceModel::rtx3090(),
+            Mode::Execute,
+        )
+        .unwrap();
+        assert!(
+            got.allclose(&want, 1e-3, 1e-3),
+            "diff {:?}",
+            got.max_abs_diff(&want)
+        );
         assert!(profile.launches() > 27, "three kernels per nonempty offset");
     }
 
     #[test]
     fn taco_matches_reference_but_no_tensor_cores() {
         let (scene, input, weight, want) = conv_setup();
-        let (got, profile) =
-            taco_conv(&scene, &input, &weight, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
-        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
+        let (got, profile) = taco_conv(
+            &scene,
+            &input,
+            &weight,
+            &DeviceModel::rtx3090(),
+            Mode::Execute,
+        )
+        .unwrap();
+        assert!(
+            got.allclose(&want, 1e-3, 1e-3),
+            "diff {:?}",
+            got.max_abs_diff(&want)
+        );
         let s = profile.total_stats();
         assert_eq!(s.flops_tc_f16 + s.flops_tc_f32, 0, "TACO path is scalar");
         assert!(s.atomics > 0);
@@ -563,12 +611,24 @@ mod tests {
     #[test]
     fn sparsetir_matches_reference() {
         let (scene, input, weight, want) = conv_setup();
-        let (got, profile) =
-            sparsetir_conv(&scene, &input, &weight, &DeviceModel::rtx3090(), Mode::Execute)
-                .unwrap();
-        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
+        let (got, profile) = sparsetir_conv(
+            &scene,
+            &input,
+            &weight,
+            &DeviceModel::rtx3090(),
+            Mode::Execute,
+        )
+        .unwrap();
+        assert!(
+            got.allclose(&want, 1e-3, 1e-3),
+            "diff {:?}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(profile.launches(), 1);
-        assert!(profile.total_stats().smem_bytes > 0, "eager broadcasting pays smem");
+        assert!(
+            profile.total_stats().smem_bytes > 0,
+            "eager broadcasting pays smem"
+        );
     }
 
     #[test]

@@ -7,7 +7,10 @@ use insum_tensor::Tensor;
 
 /// Build the tiled GEMM kernel `C[M,N] = A[M,K] @ B[K,N]`.
 fn gemm_kernel(m: usize, k: usize, n: usize, tile: usize) -> (Kernel, Vec<usize>) {
-    assert!(m % tile == 0 && n % tile == 0 && k % tile == 0, "gemm extents must divide the tile");
+    assert!(
+        m.is_multiple_of(tile) && n.is_multiple_of(tile) && k.is_multiple_of(tile),
+        "gemm extents must divide the tile"
+    );
     let mut b = KernelBuilder::new("dense_gemm");
     let a_p = b.input("A");
     let b_p = b.input("B");
@@ -66,7 +69,13 @@ pub fn dense_matmul(
     let mut a_t = a.clone();
     let mut b_t = b.clone();
     let mut c_t = Tensor::zeros_with(vec![m, n], a.dtype());
-    let report = launch(&kernel, &grid, &mut [&mut a_t, &mut b_t, &mut c_t], device, mode)?;
+    let report = launch(
+        &kernel,
+        &grid,
+        &mut [&mut a_t, &mut b_t, &mut c_t],
+        device,
+        mode,
+    )?;
     let mut profile = Profile::new();
     profile.push(report);
     Ok((c_t, profile))
@@ -84,8 +93,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let a = rand_uniform(vec![64, 32], -1.0, 1.0, &mut rng);
         let b = rand_uniform(vec![32, 64], -1.0, 1.0, &mut rng);
-        let (c, profile) =
-            dense_matmul(&a, &b, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
+        let (c, profile) = dense_matmul(&a, &b, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
         let want = a.matmul(&b).unwrap();
         assert!(c.allclose(&want, 1e-4, 1e-4));
         assert_eq!(profile.launches(), 1);

@@ -119,8 +119,16 @@ pub fn torch_bsr_spmm(
 /// dynamic loop over the row's nonzeros, vector accumulate over columns.
 /// `swizzle` adds an indirection through a row-order tensor.
 fn csr_kernel(n: usize, xb: usize, swizzle: bool) -> Kernel {
-    let mut b = KernelBuilder::new(if swizzle { "sputnik_spmm" } else { "cusparse_spmm" });
-    let order_p = if swizzle { Some(b.input("ORDER")) } else { None };
+    let mut b = KernelBuilder::new(if swizzle {
+        "sputnik_spmm"
+    } else {
+        "cusparse_spmm"
+    });
+    let order_p = if swizzle {
+        Some(b.input("ORDER"))
+    } else {
+        None
+    };
     let ptr_p = b.input("ROWPTR");
     let idx_p = b.input("COLIDX");
     let val_p = b.input("VALS");
@@ -232,9 +240,8 @@ pub fn sputnik_spmm(
 ) -> Result<(Tensor, Profile)> {
     let mut order: Vec<usize> = (0..a.rows).collect();
     order.sort_by_key(|&r| std::cmp::Reverse(a.row_nnz(r)));
-    let order_t =
-        Tensor::from_indices(vec![a.rows], order.into_iter().map(|r| r as i64).collect())
-            .expect("length matches");
+    let order_t = Tensor::from_indices(vec![a.rows], order.into_iter().map(|r| r as i64).collect())
+        .expect("length matches");
     run_csr(a, b, device, mode, Some(order_t))
 }
 
@@ -256,7 +263,10 @@ mod tests {
         let (c, profile) = torch_bsr_spmm(&a, &b, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
         let want = a_dense.matmul(&b).unwrap();
         assert!(c.allclose(&want, 1e-4, 1e-4));
-        assert!(profile.total_stats().flops_tc_f32 > 0, "BCSR path uses tensor cores");
+        assert!(
+            profile.total_stats().flops_tc_f32 > 0,
+            "BCSR path uses tensor cores"
+        );
     }
 
     #[test]
@@ -272,7 +282,7 @@ mod tests {
         let a = Bcsr::from_dense(&dense, 16, 16).unwrap();
         let b = Tensor::ones(vec![64, 32]);
         let (_, profile) = torch_bsr_spmm(&a, &b, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
-        assert_eq!(profile.reports[0].stats.instances, (256 / 16) * 1);
+        assert_eq!(profile.reports[0].stats.instances, (256 / 16));
     }
 
     #[test]

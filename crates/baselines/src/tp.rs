@@ -38,7 +38,11 @@ pub fn e3nn_tp(
 
     for (pidx, path) in cg.paths.iter().enumerate() {
         let (d1, d2, d3) = (2 * path.l1 + 1, 2 * path.l2 + 1, 2 * path.l3 + 1);
-        let (o1, o2, o3) = (irrep_offset(path.l1), irrep_offset(path.l2), irrep_offset(path.l3));
+        let (o1, o2, o3) = (
+            irrep_offset(path.l1),
+            irrep_offset(path.l2),
+            irrep_offset(path.l3),
+        );
         // Dense CG block [d3, d1, d2] including zeros.
         let cgd = Tensor::from_fn(vec![d3, d1, d2], |i| {
             clebsch_gordan(
@@ -220,8 +224,17 @@ pub fn cuequivariance_tp(
     let mut profile = Profile::new();
 
     for (pidx, path) in cg.paths.iter().enumerate() {
-        let (d3, l1, l2, l3) = (2 * path.l3 + 1, path.l1 as i64, path.l2 as i64, path.l3 as i64);
-        let (o1, o2, o3) = (irrep_offset(path.l1), irrep_offset(path.l2), irrep_offset(path.l3));
+        let (d3, l1, l2, l3) = (
+            2 * path.l3 + 1,
+            path.l1 as i64,
+            path.l2 as i64,
+            path.l3 as i64,
+        );
+        let (o1, o2, o3) = (
+            irrep_offset(path.l1),
+            irrep_offset(path.l2),
+            irrep_offset(path.l3),
+        );
         let mut kb = KernelBuilder::new("cueq_path_kernel");
         let x_p = kb.input("X");
         let y_p = kb.input("Y");
@@ -295,8 +308,13 @@ pub fn cuequivariance_tp(
         let mut x_t = x.clone();
         let mut y_t = y.clone();
         let mut w_t = w.clone();
-        let report =
-            launch(&kernel, &[b_sz], &mut [&mut x_t, &mut y_t, &mut w_t, &mut z], device, mode)?;
+        let report = launch(
+            &kernel,
+            &[b_sz],
+            &mut [&mut x_t, &mut y_t, &mut w_t, &mut z],
+            device,
+            mode,
+        )?;
         profile.push(report);
     }
     Ok((z, profile))
@@ -348,7 +366,11 @@ mod tests {
         let (cg, x, y, w, want) = tp_setup(1);
         let (got, profile) =
             e3nn_tp(&cg, &x, &y, &w, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
-        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
+        assert!(
+            got.allclose(&want, 1e-3, 1e-3),
+            "diff {:?}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(profile.launches(), 2 * cg.paths.len());
     }
 
@@ -357,7 +379,11 @@ mod tests {
         let (cg, x, y, w, want) = tp_setup(1);
         let (got, profile) =
             cuequivariance_tp(&cg, &x, &y, &w, &DeviceModel::rtx3090(), Mode::Execute).unwrap();
-        assert!(got.allclose(&want, 1e-3, 1e-3), "diff {:?}", got.max_abs_diff(&want));
+        assert!(
+            got.allclose(&want, 1e-3, 1e-3),
+            "diff {:?}",
+            got.max_abs_diff(&want)
+        );
         assert_eq!(profile.launches(), cg.paths.len());
         let s = profile.total_stats();
         assert_eq!(s.flops_tc_f16 + s.flops_tc_f32, 0, "cueq path is scalar");

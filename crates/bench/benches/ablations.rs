@@ -37,8 +37,12 @@ fn ablation_fusion(c: &mut Criterion) {
     let app = apps::spmm_block_group(&bgc, &b);
     let fused = simulated(&app, &InsumOptions::default());
     let unfused = simulated(&app, &InsumOptions::unfused());
-    eprintln!("[ablation_fusion] simulated: fused={:.2}us unfused={:.2}us ({:.2}x)",
-        fused * 1e6, unfused * 1e6, unfused / fused);
+    eprintln!(
+        "[ablation_fusion] simulated: fused={:.2}us unfused={:.2}us ({:.2}x)",
+        fused * 1e6,
+        unfused * 1e6,
+        unfused / fused
+    );
     assert!(fused < unfused, "fusion must win");
     c.bench_function("ablation/fusion_on", |bch| {
         bch.iter(|| simulated(black_box(&app), &InsumOptions::default()))
@@ -54,9 +58,19 @@ fn ablation_broadcast(c: &mut Criterion) {
     let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 4).expect("blocked");
     let app = apps::spmm_block_group(&bgc, &b);
     let lazy = simulated(&app, &InsumOptions::default());
-    let eager = simulated(&app, &InsumOptions { lazy_broadcast: false, ..Default::default() });
-    eprintln!("[ablation_broadcast] simulated: lazy={:.2}us eager={:.2}us ({:.2}x)",
-        lazy * 1e6, eager * 1e6, eager / lazy);
+    let eager = simulated(
+        &app,
+        &InsumOptions {
+            lazy_broadcast: false,
+            ..Default::default()
+        },
+    );
+    eprintln!(
+        "[ablation_broadcast] simulated: lazy={:.2}us eager={:.2}us ({:.2}x)",
+        lazy * 1e6,
+        eager * 1e6,
+        eager / lazy
+    );
     assert!(lazy < eager, "lazy broadcasting must win");
     c.bench_function("ablation/broadcast_lazy", |bch| {
         bch.iter(|| simulated(black_box(&app), &InsumOptions::default()))
@@ -69,9 +83,19 @@ fn ablation_tensor_cores(c: &mut Criterion) {
     let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 4).expect("blocked");
     let app = apps::spmm_block_group(&bgc, &b);
     let tc = simulated(&app, &InsumOptions::default());
-    let no_tc = simulated(&app, &InsumOptions { tensor_cores: false, ..Default::default() });
-    eprintln!("[ablation_tensor_cores] simulated: tc={:.2}us scalar={:.2}us ({:.2}x)",
-        tc * 1e6, no_tc * 1e6, no_tc / tc);
+    let no_tc = simulated(
+        &app,
+        &InsumOptions {
+            tensor_cores: false,
+            ..Default::default()
+        },
+    );
+    eprintln!(
+        "[ablation_tensor_cores] simulated: tc={:.2}us scalar={:.2}us ({:.2}x)",
+        tc * 1e6,
+        no_tc * 1e6,
+        no_tc / tc
+    );
     assert!(tc < no_tc, "tensor cores must win");
     c.bench_function("ablation/tensor_cores_on", |bch| {
         bch.iter(|| simulated(black_box(&app), &InsumOptions::default()))
@@ -91,8 +115,12 @@ fn ablation_formats(c: &mut Criterion) {
     // ELL is GroupCOO with g = max occupancy and per-row groups.
     let gc_ell = GroupCoo::from_coo(&coo, ell.width.max(1)).expect("valid g");
     let t_ell = simulated(&apps::spmm_group(&gc_ell, &b), &opts);
-    eprintln!("[ablation_formats] simulated: coo={:.2}us group16={:.2}us ell-like={:.2}us",
-        t_coo * 1e6, t_gc * 1e6, t_ell * 1e6);
+    eprintln!(
+        "[ablation_formats] simulated: coo={:.2}us group16={:.2}us ell-like={:.2}us",
+        t_coo * 1e6,
+        t_gc * 1e6,
+        t_ell * 1e6
+    );
     c.bench_function("ablation/format_group_coo", |bch| {
         bch.iter(|| simulated(black_box(&apps::spmm_group(&gc, &b)), &opts))
     });
@@ -107,11 +135,17 @@ fn ablation_group_size(c: &mut Criterion) {
     let g_b = brute_force_group_size(&occ);
     let opts = InsumOptions::default();
     let t_h = simulated(
-        &apps::spmm_block_group(&BlockGroupCoo::from_block_coo(&bcoo, g_h).expect("valid"), &b),
+        &apps::spmm_block_group(
+            &BlockGroupCoo::from_block_coo(&bcoo, g_h).expect("valid"),
+            &b,
+        ),
         &opts,
     );
     let t_b = simulated(
-        &apps::spmm_block_group(&BlockGroupCoo::from_block_coo(&bcoo, g_b).expect("valid"), &b),
+        &apps::spmm_block_group(
+            &BlockGroupCoo::from_block_coo(&bcoo, g_b).expect("valid"),
+            &b,
+        ),
         &opts,
     );
     eprintln!(

@@ -1,0 +1,110 @@
+//! Criterion benchmarks for the simulator execution core added by the
+//! hot-path optimization work: interpreter throughput on representative
+//! kernels, in both modes, plus the seed interpreter as the baseline.
+//! `--bin simbench` is the heavyweight, JSON-emitting version of this
+//! measurement; these benches are the quick regression check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use insum::apps;
+use insum::Tensor;
+use insum_bench::structured_spmm_setup;
+use insum_gpu::reference::launch_reference;
+use insum_gpu::{launch, DeviceModel, Mode};
+use insum_graph::TensorMeta;
+use insum_inductor::{build_plan, compile_fused, CodegenOptions, FusedOp};
+use insum_tensor::DType;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn compile(app: &apps::BoundApp) -> (FusedOp, Vec<Tensor>) {
+    let stmt = insum_lang::parse(app.expr).expect("expression parses");
+    let metas: BTreeMap<String, TensorMeta> = app
+        .tensors
+        .iter()
+        .map(|(n, t)| (n.clone(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+        .collect();
+    let plan = build_plan(&stmt, &metas).expect("plan builds");
+    let op = compile_fused(&plan, &CodegenOptions::default()).expect("kernel compiles");
+    let args = op
+        .plan
+        .param_order
+        .iter()
+        .map(|n| app.tensors.get(n).expect("parameter bound").clone())
+        .collect();
+    (op, args)
+}
+
+/// A small block-group SpMM (256x256) so per-sample cost stays in the
+/// milliseconds for tight criterion loops.
+fn spmm_case() -> (FusedOp, Vec<Tensor>) {
+    let (_, bgc, b) = structured_spmm_setup(256, 64, 0.6, DType::F16, 5);
+    let app = apps::spmm_block_group(&bgc, &b);
+    compile(&app)
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let device = DeviceModel::rtx3090();
+    let (op, args) = spmm_case();
+    c.bench_function("sim/execute_spmm_256", |bch| {
+        bch.iter(|| {
+            let mut owned = args.clone();
+            let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
+            launch(
+                black_box(&op.kernel),
+                &op.grid,
+                &mut refs,
+                &device,
+                Mode::Execute,
+            )
+            .expect("launch succeeds")
+        })
+    });
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let device = DeviceModel::rtx3090();
+    let (op, args) = spmm_case();
+    c.bench_function("sim/analytic_spmm_256", |bch| {
+        bch.iter(|| {
+            let mut owned = args.clone();
+            let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
+            launch(
+                black_box(&op.kernel),
+                &op.grid,
+                &mut refs,
+                &device,
+                Mode::Analytic,
+            )
+            .expect("launch succeeds")
+        })
+    });
+}
+
+fn bench_seed_baseline(c: &mut Criterion) {
+    let device = DeviceModel::rtx3090();
+    let (op, args) = spmm_case();
+    c.bench_function("sim/seed_execute_spmm_256", |bch| {
+        bch.iter(|| {
+            let mut owned = args.clone();
+            let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
+            launch_reference(
+                black_box(&op.kernel),
+                &op.grid,
+                &mut refs,
+                &device,
+                Mode::Execute,
+            )
+            .expect("launch succeeds")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_execute, bench_analytic, bench_seed_baseline
+}
+criterion_main!(benches);

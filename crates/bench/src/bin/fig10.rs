@@ -9,7 +9,7 @@
 //! N = 256, FP16.
 
 use insum::{InsumOptions, Mode};
-use insum_bench::{print_table, structured_spmm_setup, time_app, x};
+use insum_bench::{print_table, structured_spmm_setup, x};
 use insum_formats::Bcsr;
 use insum_gpu::DeviceModel;
 
@@ -29,13 +29,14 @@ fn main() {
     let mut rows = Vec::new();
     let mut crossover_ours = None;
     let mut crossover_bsr = None;
-    for sparsity in [0.10, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99] {
+    for sparsity in [
+        0.10, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99,
+    ] {
         let (a_dense, _, b) = structured_spmm_setup(n, cols_b, sparsity, insum::DType::F16, 7);
         // Group size per §4.2: sqrt(S/n) rounded to nearby powers of two,
         // the winner selected by measured runtime.
         let bcoo = insum_formats::BlockCoo::from_dense(&a_dense, 32, 32).expect("blocked");
-        let (_, t_ours) =
-            insum::tune_block_group_size(&bcoo, &b, &opts).expect("tuning succeeds");
+        let (_, t_ours) = insum::tune_block_group_size(&bcoo, &b, &opts).expect("tuning succeeds");
 
         let bcsr = Bcsr::from_dense(&a_dense, 32, 32).expect("blocked");
         let (_, p_bsr) = insum_baselines::spmm::torch_bsr_spmm(&bcsr, &b, &device, Mode::Analytic)
@@ -59,7 +60,12 @@ fn main() {
     }
     print_table(
         "Fig. 10 — structured SpMM speedup over dense MM (FP16, 1024x1024, 32x32 blocks)",
-        &["sparsity", "ours vs dense", "TorchBSR vs dense", "ours vs TorchBSR"],
+        &[
+            "sparsity",
+            "ours vs dense",
+            "TorchBSR vs dense",
+            "ours vs TorchBSR",
+        ],
         &rows,
     );
     println!(

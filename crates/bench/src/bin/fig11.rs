@@ -11,8 +11,8 @@
 use insum::apps;
 use insum::{InsumOptions, Mode};
 use insum_bench::{geomean, print_table, time_app, x};
-use insum_formats::{Csr, GroupCoo};
 use insum_formats::heuristic::heuristic_group_size;
+use insum_formats::{Csr, GroupCoo};
 use insum_gpu::DeviceModel;
 use insum_workloads::graphs::{catalog, generate, gini};
 use rand::rngs::SmallRng;
@@ -67,7 +67,15 @@ fn main() {
     ]);
     print_table(
         "Fig. 11 — unstructured SpMM speedup over cuSPARSE (FP32, N=128, scale 1/32)",
-        &["dataset", "rows", "nnz", "skew(gini)", "ours", "Sputnik", "cuSPARSE"],
+        &[
+            "dataset",
+            "rows",
+            "nnz",
+            "skew(gini)",
+            "ours",
+            "Sputnik",
+            "cuSPARSE",
+        ],
         &rows,
     );
     println!("\npaper geomeans: ours 1.20x, Sputnik 1.09x; Sputnik wins on skewed sets (artist)");

@@ -28,9 +28,8 @@ fn main() {
         let input =
             insum_tensor::rand_uniform(vec![scene.voxels.len(), channels], -1.0, 1.0, &mut rng)
                 .cast(DType::F16);
-        let weight =
-            insum_tensor::rand_uniform(vec![27, channels, channels], -0.5, 0.5, &mut rng)
-                .cast(DType::F16);
+        let weight = insum_tensor::rand_uniform(vec![27, channels, channels], -0.5, 0.5, &mut rng)
+            .cast(DType::F16);
 
         // Ours: grouped kernel map with the F(g) heuristic over per-offset
         // pair counts.
@@ -44,11 +43,19 @@ fn main() {
         let t_ours = time_app(&app, &opts);
 
         let (_, p1) = insum_baselines::conv::implicit_gemm_conv(
-            &scene, &input, &weight, &device, Mode::Analytic,
+            &scene,
+            &input,
+            &weight,
+            &device,
+            Mode::Analytic,
         )
         .expect("algo1 runs");
         let (_, p2) = insum_baselines::conv::fetch_on_demand_conv(
-            &scene, &input, &weight, &device, Mode::Analytic,
+            &scene,
+            &input,
+            &weight,
+            &device,
+            Mode::Analytic,
         )
         .expect("algo2 runs");
         let (t1, t2) = (p1.total_time(), p2.total_time());
@@ -71,7 +78,13 @@ fn main() {
     ]);
     print_table(
         "Fig. 12 — sparse conv: ours speedup over TorchSparse (FP16, C=32)",
-        &["scene", "voxels", "map pairs", "vs Algo1 (ImplicitGEMM)", "vs Algo2 (Fetch-on-Demand)"],
+        &[
+            "scene",
+            "voxels",
+            "map pairs",
+            "vs Algo1 (ImplicitGEMM)",
+            "vs Algo2 (Fetch-on-Demand)",
+        ],
         &rows,
     );
     println!("\npaper: ours fastest on all scenes; ~1.14x geomean over the best TorchSparse algo");

@@ -32,7 +32,10 @@ fn main() {
     let bgc = BlockGroupCoo::from_block_coo(&bcoo, 4).expect("g=4 as in the paper");
 
     let unfused = InsumOptions::unfused();
-    let fused_eager = InsumOptions { lazy_broadcast: false, ..Default::default() };
+    let fused_eager = InsumOptions {
+        lazy_broadcast: false,
+        ..Default::default()
+    };
     let fused_lazy = InsumOptions::default();
 
     let t_coo = insum_bench::time_app(&apps::spmm_coo(&coo, &b), &unfused);
@@ -57,13 +60,16 @@ fn main() {
         ("TorchBSR (hand-written reference)", t_bsr),
     ]
     .iter()
-    .map(|(name, t)| {
-        vec![name.to_string(), us(*t), x(t_coo / t), x(t_bsr / t)]
-    })
+    .map(|(name, t)| vec![name.to_string(), us(*t), x(t_coo / t), x(t_bsr / t)])
     .collect();
     print_table(
         "Fig. 13 — ablation on structured SpMM (512x512, 90% sparsity, 32x32 blocks, FP16)",
-        &["configuration", "time (us)", "speedup vs COO", "vs TorchBSR"],
+        &[
+            "configuration",
+            "time (us)",
+            "speedup vs COO",
+            "vs TorchBSR",
+        ],
         &rows,
     );
     println!(

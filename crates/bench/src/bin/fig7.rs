@@ -81,5 +81,7 @@ fn main() {
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
         .expect("nonempty sweep")
         .0;
-    println!("heuristic g* = {g_star} (sqrt(S/n) rounded to power of two); empirical best g = {best_g}");
+    println!(
+        "heuristic g* = {g_star} (sqrt(S/n) rounded to power of two); empirical best g = {best_g}"
+    );
 }

@@ -21,13 +21,22 @@ fn main() {
     let variants = [
         (
             "(a) default Inductor: no ops.dot, scalar multiply + tl.sum",
-            InsumOptions { tensor_cores: false, ..Default::default() },
+            InsumOptions {
+                tensor_cores: false,
+                ..Default::default()
+            },
         ),
         (
             "(b) ops.dot with EAGER broadcasting: tl.view / tl.trans before the dot",
-            InsumOptions { lazy_broadcast: false, ..Default::default() },
+            InsumOptions {
+                lazy_broadcast: false,
+                ..Default::default()
+            },
         ),
-        ("(c) ops.dot with LAZY broadcasting (ours)", InsumOptions::default()),
+        (
+            "(c) ops.dot with LAZY broadcasting (ours)",
+            InsumOptions::default(),
+        ),
     ];
     for (title, opts) in variants {
         let op = insum_with(expr, &tensors, &opts).expect("compilation succeeds");

@@ -1,0 +1,264 @@
+//! Simulator-throughput benchmark: the host-side performance of the GPU
+//! interpreter itself (not the simulated device times).
+//!
+//! For each workload the harness compiles the fused kernel once, then
+//! wall-clocks the optimized interpreter (`insum_gpu::launch`) against
+//! the seed implementation (`insum_gpu::reference::launch_reference`) in
+//! both Execute and Analytic modes, verifying that stats, simulated
+//! timing, and (in Execute mode) output tensors are bit-identical. The
+//! headline row is the fig7-scale block-group SpMM in Execute mode.
+//!
+//! Results print as a table and are written to `BENCH_sim.json` so the
+//! perf trajectory is tracked across PRs (see EXPERIMENTS.md).
+
+use insum::apps;
+use insum::Tensor;
+use insum_bench::{print_table, structured_spmm_setup, x};
+use insum_gpu::reference::launch_reference;
+use insum_gpu::{launch, DeviceModel, KernelReport, Mode};
+use insum_graph::TensorMeta;
+use insum_inductor::{build_plan, compile_fused, CodegenOptions, FusedOp};
+use insum_tensor::DType;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A compiled workload plus its bound arguments in parameter order.
+struct Case {
+    name: &'static str,
+    op: FusedOp,
+    tensors: BTreeMap<String, Tensor>,
+}
+
+fn compile(app: &apps::BoundApp) -> FusedOp {
+    let stmt = insum_lang::parse(app.expr).expect("expression parses");
+    let metas: BTreeMap<String, TensorMeta> = app
+        .tensors
+        .iter()
+        .map(|(n, t)| (n.clone(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+        .collect();
+    let plan = build_plan(&stmt, &metas).expect("plan builds");
+    compile_fused(&plan, &CodegenOptions::default()).expect("kernel compiles")
+}
+
+fn cases() -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // Fig. 7 scale: 1024x1024 block-sparse (32x32 blocks, 50% dense), B
+    // with 256 columns — the acceptance benchmark for this harness.
+    let (_, bgc, b) = structured_spmm_setup(1024, 256, 0.5, DType::F16, 77);
+    let app = apps::spmm_block_group(&bgc, &b);
+    out.push(Case {
+        name: "spmm_block_group_fig7",
+        op: compile(&app),
+        tensors: app.tensors,
+    });
+
+    // Scatter-heavy COO SpMM (no Tensor Cores, atomic-dominated).
+    let mut rng = SmallRng::seed_from_u64(7);
+    let dense = insum_workloads::blocksparse::block_sparse_dense(512, 512, 16, 16, 0.7, &mut rng);
+    let coo = insum_formats::Coo::from_dense(&dense).expect("matrix");
+    let bmat = insum_tensor::rand_uniform(vec![512, 64], -1.0, 1.0, &mut rng);
+    let app = apps::spmm_coo(&coo, &bmat);
+    out.push(Case {
+        name: "spmm_coo_scatter",
+        op: compile(&app),
+        tensors: app.tensors,
+    });
+
+    // Point-cloud sparse convolution (gather + dot + scatter per offset).
+    let mut rng = SmallRng::seed_from_u64(11);
+    let pts = insum_workloads::pointcloud::generate_points(
+        &insum_workloads::pointcloud::rooms()[0],
+        0.10,
+        &mut rng,
+    );
+    let scene = insum_workloads::pointcloud::voxelize(&pts, 0.05);
+    let km = insum_workloads::pointcloud::kernel_map(&scene, 3);
+    let input = insum_tensor::rand_normal(vec![scene.len(), 32], &mut rng);
+    let weight = insum_tensor::rand_normal(vec![27, 32, 32], &mut rng);
+    let app = apps::sparse_conv(&km, &input, &weight);
+    out.push(Case {
+        name: "pointcloud_conv",
+        op: compile(&app),
+        tensors: app.tensors,
+    });
+
+    // Equivariant tensor product (the paper's fourth case study).
+    let mut rng = SmallRng::seed_from_u64(13);
+    let cg = insum_workloads::equivariant::cg_tensor(2, 8);
+    let (batch, u, w) = (128, 16, 16);
+    let xt = insum_tensor::rand_uniform(vec![batch, cg.dim, u], -1.0, 1.0, &mut rng);
+    let yt = insum_tensor::rand_uniform(vec![batch, cg.dim], -1.0, 1.0, &mut rng);
+    let wt = insum_tensor::rand_uniform(vec![batch, cg.paths.len(), u, w], -0.5, 0.5, &mut rng);
+    let app = apps::equivariant_tp(&cg, &xt, &yt, &wt);
+    out.push(Case {
+        name: "equivariant_tp",
+        op: compile(&app),
+        tensors: app.tensors,
+    });
+
+    out
+}
+
+/// Clone the case's tensors into launch-order argument storage.
+fn bind(case: &Case) -> Vec<Tensor> {
+    case.op
+        .plan
+        .param_order
+        .iter()
+        .map(|n| case.tensors.get(n).expect("parameter bound").clone())
+        .collect()
+}
+
+fn run_once(
+    case: &Case,
+    device: &DeviceModel,
+    mode: Mode,
+    reference: bool,
+) -> (f64, KernelReport, Vec<Tensor>) {
+    let mut owned = bind(case);
+    let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
+    let start = Instant::now();
+    let report = if reference {
+        launch_reference(&case.op.kernel, &case.op.grid, &mut refs, device, mode)
+    } else {
+        launch(&case.op.kernel, &case.op.grid, &mut refs, device, mode)
+    }
+    .expect("launch succeeds");
+    (start.elapsed().as_secs_f64(), report, owned)
+}
+
+/// Best-of-N wall-clock (N adapted so slow cases stay bounded).
+fn best_wall(case: &Case, device: &DeviceModel, mode: Mode, reference: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    for i in 0..7 {
+        let (t, _, _) = run_once(case, device, mode, reference);
+        best = best.min(t);
+        spent += t;
+        if i >= 1 && spent > 10.0 {
+            break;
+        }
+    }
+    best
+}
+
+struct Row {
+    name: String,
+    mode: &'static str,
+    instances: u64,
+    wall_new: f64,
+    wall_ref: f64,
+    lane_ops: u64,
+    bit_identical: bool,
+}
+
+fn main() {
+    let device = DeviceModel::rtx3090();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for case in cases() {
+        for mode in [Mode::Execute, Mode::Analytic] {
+            // Correctness first: one verified run per mode.
+            let (_, r_new, out_new) = run_once(&case, &device, mode, false);
+            let (_, r_ref, out_ref) = run_once(&case, &device, mode, true);
+            let outputs_equal = out_new
+                .iter()
+                .zip(&out_ref)
+                .all(|(a, b)| a.data() == b.data());
+            let bit_identical =
+                r_new.stats == r_ref.stats && r_new.time == r_ref.time && outputs_equal;
+            assert!(
+                bit_identical,
+                "{}: optimized interpreter diverges from the seed in {mode:?} mode",
+                case.name
+            );
+
+            let wall_new = best_wall(&case, &device, mode, false);
+            let wall_ref = best_wall(&case, &device, mode, true);
+            // Lane-level work per launch: block-arithmetic lanes, atomic
+            // lanes, and memory sector transactions at 8 f32 lanes each.
+            let lane_ops = r_new.stats.flops_scalar
+                + r_new.stats.atomics
+                + 8 * (r_new.stats.l2_read_sectors + r_new.stats.l2_write_sectors);
+            rows.push(Row {
+                name: case.name.to_string(),
+                mode: if mode == Mode::Execute {
+                    "execute"
+                } else {
+                    "analytic"
+                },
+                instances: r_new.stats.instances,
+                wall_new,
+                wall_ref,
+                lane_ops,
+                bit_identical,
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.mode.to_string(),
+                r.instances.to_string(),
+                format!("{:.2}", r.wall_ref * 1e3),
+                format!("{:.2}", r.wall_new * 1e3),
+                x(r.wall_ref / r.wall_new),
+                format!("{:.0}", r.instances as f64 / r.wall_new),
+                format!("{:.2}", r.lane_ops as f64 / r.wall_new / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("simulator throughput (host threads: {threads})"),
+        &[
+            "workload", "mode", "insts", "seed ms", "new ms", "speedup", "insts/s", "Mlanes/s",
+        ],
+        &table,
+    );
+
+    let headline = rows
+        .iter()
+        .find(|r| r.name == "spmm_block_group_fig7" && r.mode == "execute")
+        .expect("headline row present");
+    println!(
+        "\nheadline: fig7-scale SpMM execute-mode speedup {:.2}x (target >= 5x)",
+        headline.wall_ref / headline.wall_new
+    );
+
+    // Machine-readable trajectory record.
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"simbench\",\n");
+    json.push_str("  \"device_model\": \"rtx3090-sim\",\n");
+    json.push_str(&format!("  \"host_threads\": {threads},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"instances\": {}, \
+             \"wall_seconds_seed\": {:.6}, \"wall_seconds_new\": {:.6}, \
+             \"speedup\": {:.3}, \"instances_per_sec\": {:.1}, \
+             \"lanes_per_sec\": {:.1}, \"bit_identical\": {}}}{}\n",
+            r.name,
+            r.mode,
+            r.instances,
+            r.wall_ref,
+            r.wall_new,
+            r.wall_ref / r.wall_new,
+            r.instances as f64 / r.wall_new,
+            r.lane_ops as f64 / r.wall_new,
+            r.bit_identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("wrote BENCH_sim.json");
+}

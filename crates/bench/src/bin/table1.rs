@@ -53,17 +53,22 @@ fn main() {
     let scene = voxelize(&generate_points(room, 0.10, &mut rng), 0.15);
     let input = insum_tensor::rand_uniform(vec![scene.voxels.len(), 32], -1.0, 1.0, &mut rng)
         .cast(DType::F16);
-    let weight =
-        insum_tensor::rand_uniform(vec![27, 32, 32], -0.5, 0.5, &mut rng).cast(DType::F16);
-    let occ: Vec<usize> =
-        insum_baselines::conv::pairs_by_offset(&scene).iter().map(Vec::len).collect();
+    let weight = insum_tensor::rand_uniform(vec![27, 32, 32], -0.5, 0.5, &mut rng).cast(DType::F16);
+    let occ: Vec<usize> = insum_baselines::conv::pairs_by_offset(&scene)
+        .iter()
+        .map(Vec::len)
+        .collect();
     let km = kernel_map(&scene, heuristic_group_size(&occ).clamp(8, 64));
     let t_ours = time_app(&apps::sparse_conv(&km, &input, &weight), &opts);
     let (_, p1) =
         insum_baselines::conv::implicit_gemm_conv(&scene, &input, &weight, &device, Mode::Analytic)
             .expect("algo1 runs");
     let (_, p2) = insum_baselines::conv::fetch_on_demand_conv(
-        &scene, &input, &weight, &device, Mode::Analytic,
+        &scene,
+        &input,
+        &weight,
+        &device,
+        Mode::Analytic,
     )
     .expect("algo2 runs");
     let su_conv = p1.total_time().min(p2.total_time()) / t_ours;
@@ -74,8 +79,7 @@ fn main() {
     let (batch, ch) = (256, 32);
     let x_t = insum_tensor::rand_uniform(vec![batch, cg.dim, ch], -1.0, 1.0, &mut rng);
     let y_t = insum_tensor::rand_uniform(vec![batch, cg.dim], -1.0, 1.0, &mut rng);
-    let w_t =
-        insum_tensor::rand_uniform(vec![batch, cg.paths.len(), ch, ch], -0.5, 0.5, &mut rng);
+    let w_t = insum_tensor::rand_uniform(vec![batch, cg.paths.len(), ch, ch], -0.5, 0.5, &mut rng);
     let t_ours = time_app(&apps::equivariant_tp(&cg, &x_t, &y_t, &w_t), &opts);
     let (_, p) = insum_baselines::tp::e3nn_tp(&cg, &x_t, &y_t, &w_t, &device, Mode::Analytic)
         .expect("e3nn baseline runs");
@@ -117,7 +121,14 @@ fn main() {
     ];
     print_table(
         "Table 1 — applications summary (speedup of Insum over the named baseline)",
-        &["application", "baseline", "baseline LoC (paper)", "ours LoC", "speedup (measured)", "speedup (paper)"],
+        &[
+            "application",
+            "baseline",
+            "baseline LoC (paper)",
+            "ours LoC",
+            "speedup (measured)",
+            "speedup (paper)",
+        ],
         &rows,
     );
     println!("\nexpressions (each exactly one line):");

@@ -25,7 +25,8 @@ fn main() {
         for channels in [16usize, 32, 64] {
             let mut rng = SmallRng::seed_from_u64(2);
             let cg = cg_tensor(lmax, 8);
-            let x_t = insum_tensor::rand_uniform(vec![batch, cg.dim, channels], -1.0, 1.0, &mut rng);
+            let x_t =
+                insum_tensor::rand_uniform(vec![batch, cg.dim, channels], -1.0, 1.0, &mut rng);
             let y_t = insum_tensor::rand_uniform(vec![batch, cg.dim], -1.0, 1.0, &mut rng);
             let w_t = insum_tensor::rand_uniform(
                 vec![batch, cg.paths.len(), channels, channels],
@@ -40,7 +41,12 @@ fn main() {
                 insum_baselines::tp::e3nn_tp(&cg, &x_t, &y_t, &w_t, &device, Mode::Analytic)
                     .expect("e3nn baseline runs");
             let (_, p_cueq) = insum_baselines::tp::cuequivariance_tp(
-                &cg, &x_t, &y_t, &w_t, &device, Mode::Analytic,
+                &cg,
+                &x_t,
+                &y_t,
+                &w_t,
+                &device,
+                Mode::Analytic,
             )
             .expect("cuequivariance baseline runs");
             let t_e3 = p_e3.total_time();

@@ -30,17 +30,23 @@ fn main() {
     let channels = 32;
     let input = insum_tensor::rand_uniform(vec![scene.voxels.len(), channels], -1.0, 1.0, &mut rng)
         .cast(DType::F16);
-    let weight =
-        insum_tensor::rand_uniform(vec![27, channels, channels], -0.5, 0.5, &mut rng)
-            .cast(DType::F16);
+    let weight = insum_tensor::rand_uniform(vec![27, channels, channels], -0.5, 0.5, &mut rng)
+        .cast(DType::F16);
 
     // ---- Ours: compile + autotune (real wall-clock), GPU conversion. ----
-    let occ: Vec<usize> =
-        insum_baselines::conv::pairs_by_offset(&scene).iter().map(Vec::len).collect();
+    let occ: Vec<usize> = insum_baselines::conv::pairs_by_offset(&scene)
+        .iter()
+        .map(Vec::len)
+        .collect();
     let km = kernel_map(&scene, heuristic_group_size(&occ).clamp(8, 64));
     let app = apps::sparse_conv(&km, &input, &weight);
-    let compiled = app.compile(&InsumOptions::autotuned()).expect("compilation succeeds");
-    let t_ours = compiled.time(&app.tensors).expect("simulation succeeds").total_time();
+    let compiled = app
+        .compile(&InsumOptions::autotuned())
+        .expect("compilation succeeds");
+    let t_ours = compiled
+        .time(&app.tensors)
+        .expect("simulation succeeds")
+        .total_time();
     // Conversion: build the grouped kernel map on the GPU — bytes through
     // DRAM twice (scan pairs + write grouped arrays).
     let ours_convert_bytes = (km.mapx.device_bytes()
@@ -72,13 +78,19 @@ fn main() {
     let rows = vec![
         vec![
             "Compile (s)".into(),
-            format!("{:.2}", compiled.compile_seconds - compiled.autotune_seconds),
+            format!(
+                "{:.2}",
+                compiled.compile_seconds - compiled.autotune_seconds
+            ),
             format!("{taco_compile:.2}"),
             format!("{sparsetir_compile:.2}"),
         ],
         vec![
             "Autotune (s)".into(),
-            format!("{:.2} ({} configs)", compiled.autotune_seconds, compiled.autotune_configs),
+            format!(
+                "{:.2} ({} configs)",
+                compiled.autotune_seconds, compiled.autotune_configs
+            ),
             "n/a (10 LoC schedule)".into(),
             "n/a (860 LoC schedule)".into(),
         ],

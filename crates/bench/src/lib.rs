@@ -37,8 +37,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -52,7 +58,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// fail loudly).
 pub fn time_app(app: &BoundApp, opts: &InsumOptions) -> f64 {
     let compiled = app.compile(opts).expect("compilation succeeds");
-    compiled.time(&app.tensors).expect("simulation succeeds").total_time()
+    compiled
+        .time(&app.tensors)
+        .expect("simulation succeeds")
+        .total_time()
 }
 
 /// Build the structured-SpMM workload of Figs. 10/13: a block-sparse

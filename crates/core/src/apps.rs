@@ -51,7 +51,10 @@ impl BoundApp {
 pub fn spmm_coo(a: &Coo, b: &Tensor) -> BoundApp {
     let n = b.shape()[1];
     let tensors: BTreeMap<String, Tensor> = [
-        ("C".to_string(), Tensor::zeros_with(vec![a.rows, n], b.dtype())),
+        (
+            "C".to_string(),
+            Tensor::zeros_with(vec![a.rows, n], b.dtype()),
+        ),
         ("AM".to_string(), a.am.clone()),
         ("AK".to_string(), a.ak.clone()),
         ("AV".to_string(), a.av.clone()),
@@ -59,14 +62,21 @@ pub fn spmm_coo(a: &Coo, b: &Tensor) -> BoundApp {
     ]
     .into_iter()
     .collect();
-    BoundApp { expr: SPMM_COO_EXPR, tensors, out_name: "C" }
+    BoundApp {
+        expr: SPMM_COO_EXPR,
+        tensors,
+        out_name: "C",
+    }
 }
 
 /// Bind GroupCOO SpMM.
 pub fn spmm_group(a: &GroupCoo, b: &Tensor) -> BoundApp {
     let n = b.shape()[1];
     let tensors: BTreeMap<String, Tensor> = [
-        ("C".to_string(), Tensor::zeros_with(vec![a.rows, n], b.dtype())),
+        (
+            "C".to_string(),
+            Tensor::zeros_with(vec![a.rows, n], b.dtype()),
+        ),
         ("AM".to_string(), a.am.clone()),
         ("AK".to_string(), a.ak.clone()),
         ("AV".to_string(), a.av.clone()),
@@ -74,7 +84,11 @@ pub fn spmm_group(a: &GroupCoo, b: &Tensor) -> BoundApp {
     ]
     .into_iter()
     .collect();
-    BoundApp { expr: SPMM_GROUP_EXPR, tensors, out_name: "C" }
+    BoundApp {
+        expr: SPMM_GROUP_EXPR,
+        tensors,
+        out_name: "C",
+    }
 }
 
 /// Bind BlockCOO SpMM; `b` is `[K, N]` and is viewed as
@@ -86,7 +100,9 @@ pub fn spmm_group(a: &GroupCoo, b: &Tensor) -> BoundApp {
 pub fn spmm_block(a: &BlockCoo, b: &Tensor) -> BoundApp {
     assert_eq!(b.shape()[0], a.cols, "B rows must match A columns");
     let n = b.shape()[1];
-    let b3 = b.reshape(vec![a.cols / a.bk, a.bk, n]).expect("layout-preserving view");
+    let b3 = b
+        .reshape(vec![a.cols / a.bk, a.bk, n])
+        .expect("layout-preserving view");
     let tensors: BTreeMap<String, Tensor> = [
         (
             "C".to_string(),
@@ -99,7 +115,11 @@ pub fn spmm_block(a: &BlockCoo, b: &Tensor) -> BoundApp {
     ]
     .into_iter()
     .collect();
-    BoundApp { expr: SPMM_BLOCK_EXPR, tensors, out_name: "C" }
+    BoundApp {
+        expr: SPMM_BLOCK_EXPR,
+        tensors,
+        out_name: "C",
+    }
 }
 
 /// Bind BlockGroupCOO SpMM (the paper's structured-SpMM configuration).
@@ -110,7 +130,9 @@ pub fn spmm_block(a: &BlockCoo, b: &Tensor) -> BoundApp {
 pub fn spmm_block_group(a: &BlockGroupCoo, b: &Tensor) -> BoundApp {
     assert_eq!(b.shape()[0], a.cols, "B rows must match A columns");
     let n = b.shape()[1];
-    let b3 = b.reshape(vec![a.cols / a.bk, a.bk, n]).expect("layout-preserving view");
+    let b3 = b
+        .reshape(vec![a.cols / a.bk, a.bk, n])
+        .expect("layout-preserving view");
     let tensors: BTreeMap<String, Tensor> = [
         (
             "C".to_string(),
@@ -123,14 +145,19 @@ pub fn spmm_block_group(a: &BlockGroupCoo, b: &Tensor) -> BoundApp {
     ]
     .into_iter()
     .collect();
-    BoundApp { expr: SPMM_BLOCK_GROUP_EXPR, tensors, out_name: "C" }
+    BoundApp {
+        expr: SPMM_BLOCK_GROUP_EXPR,
+        tensors,
+        out_name: "C",
+    }
 }
 
 /// Flatten a `[brows, bm, n]` SpMM output back to `[rows, n]` (pure
 /// metadata; the layouts coincide).
 pub fn unblock_output(c: &Tensor) -> Tensor {
     let s = c.shape();
-    c.reshape(vec![s[0] * s[1], s[2]]).expect("layout-preserving view")
+    c.reshape(vec![s[0] * s[1], s[2]])
+        .expect("layout-preserving view")
 }
 
 /// Bind the grouped point-cloud sparse convolution: `input` is
@@ -138,7 +165,10 @@ pub fn unblock_output(c: &Tensor) -> Tensor {
 pub fn sparse_conv(km: &KernelMap, input: &Tensor, weight: &Tensor) -> BoundApp {
     let m = weight.shape()[2];
     let tensors: BTreeMap<String, Tensor> = [
-        ("Out".to_string(), Tensor::zeros_with(vec![km.voxels, m], input.dtype())),
+        (
+            "Out".to_string(),
+            Tensor::zeros_with(vec![km.voxels, m], input.dtype()),
+        ),
         ("MAPX".to_string(), km.mapx.clone()),
         ("MAPY".to_string(), km.mapy.clone()),
         ("MAPZ".to_string(), km.mapz.clone()),
@@ -148,7 +178,11 @@ pub fn sparse_conv(km: &KernelMap, input: &Tensor, weight: &Tensor) -> BoundApp 
     ]
     .into_iter()
     .collect();
-    BoundApp { expr: CONV_EXPR, tensors, out_name: "Out" }
+    BoundApp {
+        expr: CONV_EXPR,
+        tensors,
+        out_name: "Out",
+    }
 }
 
 /// Bind the grouped uvw equivariant tensor product: `x` is
@@ -157,7 +191,10 @@ pub fn equivariant_tp(cg: &CgTensor, x: &Tensor, y: &Tensor, w: &Tensor) -> Boun
     let wc = w.shape()[3];
     let b_sz = x.shape()[0];
     let tensors: BTreeMap<String, Tensor> = [
-        ("Z".to_string(), Tensor::zeros_with(vec![b_sz, cg.dim, wc], x.dtype())),
+        (
+            "Z".to_string(),
+            Tensor::zeros_with(vec![b_sz, cg.dim, wc], x.dtype()),
+        ),
         ("CGI".to_string(), cg.cgi.clone()),
         ("CGJ".to_string(), cg.cgj.clone()),
         ("CGK".to_string(), cg.cgk.clone()),
@@ -169,7 +206,11 @@ pub fn equivariant_tp(cg: &CgTensor, x: &Tensor, y: &Tensor, w: &Tensor) -> Boun
     ]
     .into_iter()
     .collect();
-    BoundApp { expr: TP_EXPR, tensors, out_name: "Z" }
+    BoundApp {
+        expr: TP_EXPR,
+        tensors,
+        out_name: "Z",
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +230,11 @@ mod tests {
         let opts = InsumOptions::default();
 
         let coo = Coo::from_dense(&a_dense).unwrap();
-        let (c1, _) = spmm_coo(&coo, &b).compile(&opts).unwrap().run(&spmm_coo(&coo, &b).tensors).unwrap();
+        let (c1, _) = spmm_coo(&coo, &b)
+            .compile(&opts)
+            .unwrap()
+            .run(&spmm_coo(&coo, &b).tensors)
+            .unwrap();
         assert!(c1.allclose(&want, 1e-3, 1e-3), "coo");
 
         let gc = GroupCoo::from_coo(&coo, 4).unwrap();
@@ -205,7 +250,10 @@ mod tests {
         let bgc = BlockGroupCoo::from_dense(&a_dense, 8, 8, 2).unwrap();
         let app = spmm_block_group(&bgc, &b);
         let (c4, _) = app.compile(&opts).unwrap().run(&app.tensors).unwrap();
-        assert!(unblock_output(&c4).allclose(&want, 1e-3, 1e-3), "block group");
+        assert!(
+            unblock_output(&c4).allclose(&want, 1e-3, 1e-3),
+            "block group"
+        );
     }
 
     #[test]

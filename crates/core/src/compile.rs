@@ -86,15 +86,25 @@ impl Compiled {
     ) -> Result<(Tensor, Profile)> {
         match &self.pipeline {
             Pipeline::Fused(op) => {
-                let (out, report) =
-                    insum_inductor::run_fused(op, tensors, &self.options.device, mode)?;
+                let (out, report) = insum_inductor::run_fused_with(
+                    op,
+                    tensors,
+                    &self.options.device,
+                    mode,
+                    &self.options.launch(),
+                )?;
                 let mut profile = Profile::new();
                 profile.push(report);
                 Ok((out, profile))
             }
             Pipeline::Unfused(op) => {
-                let (out, profile) =
-                    insum_inductor::run_unfused(op, tensors, &self.options.device, mode)?;
+                let (out, profile) = insum_inductor::run_unfused_with(
+                    op,
+                    tensors,
+                    &self.options.device,
+                    mode,
+                    &self.options.launch(),
+                )?;
                 Ok((out, profile))
             }
         }
@@ -187,8 +197,14 @@ mod tests {
             ("C".to_string(), Tensor::zeros(vec![16, 32])),
             ("AM".to_string(), randint(vec![nnz], 16, &mut rng)),
             ("AK".to_string(), randint(vec![nnz], 24, &mut rng)),
-            ("AV".to_string(), rand_uniform(vec![nnz], -1.0, 1.0, &mut rng)),
-            ("B".to_string(), rand_uniform(vec![24, 32], -1.0, 1.0, &mut rng)),
+            (
+                "AV".to_string(),
+                rand_uniform(vec![nnz], -1.0, 1.0, &mut rng),
+            ),
+            (
+                "B".to_string(),
+                rand_uniform(vec![24, 32], -1.0, 1.0, &mut rng),
+            ),
         ]
         .into_iter()
         .collect()
@@ -234,7 +250,11 @@ mod tests {
         let op = insum(SPMM, &tensors).unwrap();
         let p1 = op.time(&tensors).unwrap();
         let (out, p2) = op.run(&tensors).unwrap();
-        assert_eq!(p1.total_time(), p2.total_time(), "analytic and execute agree on cost");
+        assert_eq!(
+            p1.total_time(),
+            p2.total_time(),
+            "analytic and execute agree on cost"
+        );
         assert!(out.sum().abs() > 0.0);
     }
 
@@ -269,6 +289,9 @@ mod tests {
     #[test]
     fn parse_error_surfaces() {
         let tensors = spmm_tensors();
-        assert!(matches!(insum("C[i] ?= A[i]", &tensors), Err(InsumError::Lang(_))));
+        assert!(matches!(
+            insum("C[i] ?= A[i]", &tensors),
+            Err(InsumError::Lang(_))
+        ));
     }
 }

@@ -26,6 +26,11 @@ pub struct InsumOptions {
     pub rblock: Option<usize>,
     /// The simulated device.
     pub device: DeviceModel,
+    /// Host threads for the simulator's grid-instance loop; `None` =
+    /// auto (`INSUM_SIM_THREADS` or the machine's parallelism). Results
+    /// are bit-identical for every setting; see
+    /// [`insum_gpu::LaunchOptions`].
+    pub sim_threads: Option<usize>,
 }
 
 impl Default for InsumOptions {
@@ -39,6 +44,7 @@ impl Default for InsumOptions {
             xblock: None,
             rblock: None,
             device: DeviceModel::rtx3090(),
+            sim_threads: None,
         }
     }
 }
@@ -46,13 +52,26 @@ impl Default for InsumOptions {
 impl InsumOptions {
     /// The full paper configuration plus autotuning (used by Table 3).
     pub fn autotuned() -> InsumOptions {
-        InsumOptions { autotune: true, ..Default::default() }
+        InsumOptions {
+            autotune: true,
+            ..Default::default()
+        }
     }
 
     /// Stock-TorchInductor configuration (ablation rows 1–3 of Fig. 13):
     /// separate gather/matmul/scatter kernels.
     pub fn unfused() -> InsumOptions {
-        InsumOptions { fuse: false, ..Default::default() }
+        InsumOptions {
+            fuse: false,
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn launch(&self) -> insum_gpu::LaunchOptions {
+        insum_gpu::LaunchOptions {
+            threads: self.sim_threads,
+            ..Default::default()
+        }
     }
 
     pub(crate) fn codegen(&self) -> insum_inductor::CodegenOptions {

@@ -114,8 +114,7 @@ mod tests {
         let opts = InsumOptions::default();
         let (g_tuned, t_tuned) = tune_block_group_size(&bcoo, &b, &opts).expect("tunes");
 
-        let g_plain =
-            insum_formats::heuristic::heuristic_group_size(&bcoo.block_occupancy());
+        let g_plain = insum_formats::heuristic::heuristic_group_size(&bcoo.block_occupancy());
         let bgc = BlockGroupCoo::from_block_coo(&bcoo, g_plain).expect("valid");
         let app = apps::spmm_block_group(&bgc, &b);
         let t_plain = app
@@ -124,7 +123,10 @@ mod tests {
             .time(&app.tensors)
             .expect("times")
             .total_time();
-        assert!(t_tuned <= t_plain * 1.0001, "tuned g={g_tuned} {t_tuned:.3e} vs plain g={g_plain} {t_plain:.3e}");
+        assert!(
+            t_tuned <= t_plain * 1.0001,
+            "tuned g={g_tuned} {t_tuned:.3e} vs plain g={g_plain} {t_plain:.3e}"
+        );
     }
 
     #[test]

@@ -27,8 +27,14 @@ fn spmm_case() -> impl Strategy<Value = (Coo, Tensor)> {
 fn configs() -> Vec<InsumOptions> {
     vec![
         InsumOptions::default(),
-        InsumOptions { lazy_broadcast: false, ..Default::default() },
-        InsumOptions { tensor_cores: false, ..Default::default() },
+        InsumOptions {
+            lazy_broadcast: false,
+            ..Default::default()
+        },
+        InsumOptions {
+            tensor_cores: false,
+            ..Default::default()
+        },
         InsumOptions::unfused(),
     ]
 }
@@ -97,15 +103,28 @@ fn random_dense_contractions_match_eager() {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     let mut rng = SmallRng::seed_from_u64(99);
-    let cases: Vec<(&str, Vec<(&str, Vec<usize>)>)> = vec![
-        ("C[i,j] = A[i,k] * B[k,j]", vec![("C", vec![9, 7]), ("A", vec![9, 5]), ("B", vec![5, 7])]),
-        ("C[b,i,j] = A[b,i,k] * B[b,k,j]", vec![
-            ("C", vec![3, 6, 4]),
-            ("A", vec![3, 6, 5]),
-            ("B", vec![3, 5, 4]),
-        ]),
-        ("C[i] += A[i,k] * B[k]", vec![("C", vec![11]), ("A", vec![11, 6]), ("B", vec![6])]),
-        ("C[i,j] = A[i] * B[j]", vec![("C", vec![5, 8]), ("A", vec![5]), ("B", vec![8])]),
+    type Case = (&'static str, Vec<(&'static str, Vec<usize>)>);
+    let cases: Vec<Case> = vec![
+        (
+            "C[i,j] = A[i,k] * B[k,j]",
+            vec![("C", vec![9, 7]), ("A", vec![9, 5]), ("B", vec![5, 7])],
+        ),
+        (
+            "C[b,i,j] = A[b,i,k] * B[b,k,j]",
+            vec![
+                ("C", vec![3, 6, 4]),
+                ("A", vec![3, 6, 5]),
+                ("B", vec![3, 5, 4]),
+            ],
+        ),
+        (
+            "C[i] += A[i,k] * B[k]",
+            vec![("C", vec![11]), ("A", vec![11, 6]), ("B", vec![6])],
+        ),
+        (
+            "C[i,j] = A[i] * B[j]",
+            vec![("C", vec![5, 8]), ("A", vec![5]), ("B", vec![8])],
+        ),
     ];
     for (expr, shapes) in cases {
         let tensors: BTreeMap<String, Tensor> = shapes

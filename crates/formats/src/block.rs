@@ -6,24 +6,31 @@ use insum_tensor::Tensor;
 
 fn check_blocking(rows: usize, cols: usize, bm: usize, bk: usize) -> Result<()> {
     if bm == 0 || bk == 0 {
-        return Err(FormatError::InvalidParameter("block extents must be >= 1".to_string()));
+        return Err(FormatError::InvalidParameter(
+            "block extents must be >= 1".to_string(),
+        ));
     }
-    if rows % bm != 0 {
-        return Err(FormatError::BlockMismatch { extent: rows, block: bm });
+    if !rows.is_multiple_of(bm) {
+        return Err(FormatError::BlockMismatch {
+            extent: rows,
+            block: bm,
+        });
     }
-    if cols % bk != 0 {
-        return Err(FormatError::BlockMismatch { extent: cols, block: bk });
+    if !cols.is_multiple_of(bk) {
+        return Err(FormatError::BlockMismatch {
+            extent: cols,
+            block: bk,
+        });
     }
     Ok(())
 }
 
 /// Locate nonzero blocks of a dense matrix, returning `(brow, bcol)`
 /// coordinates in row-major order plus the packed block values.
-fn collect_blocks(
-    dense: &Tensor,
-    bm: usize,
-    bk: usize,
-) -> Result<(Vec<(usize, usize)>, Vec<f32>)> {
+/// Block coordinates plus their dense values, in scan order.
+type BlocksAndValues = (Vec<(usize, usize)>, Vec<f32>);
+
+fn collect_blocks(dense: &Tensor, bm: usize, bk: usize) -> Result<BlocksAndValues> {
     if dense.ndim() != 2 {
         return Err(FormatError::InvalidParameter(format!(
             "expected a matrix, got shape {:?}",
@@ -117,7 +124,10 @@ impl BlockCoo {
             let bc = self.ak.at_i64(&[p]) as usize;
             for i in 0..self.bm {
                 for j in 0..self.bk {
-                    out.set(&[br * self.bm + i, bc * self.bk + j], self.av.at(&[p, i, j]));
+                    out.set(
+                        &[br * self.bm + i, bc * self.bk + j],
+                        self.av.at(&[p, i, j]),
+                    );
                 }
             }
         }
@@ -208,7 +218,10 @@ impl Bcsr {
                 let bc = self.col_idx.at_i64(&[p]) as usize;
                 for i in 0..self.bm {
                     for j in 0..self.bk {
-                        out.set(&[br * self.bm + i, bc * self.bk + j], self.av.at(&[p, i, j]));
+                        out.set(
+                            &[br * self.bm + i, bc * self.bk + j],
+                            self.av.at(&[p, i, j]),
+                        );
                     }
                 }
             }
@@ -253,7 +266,9 @@ impl BlockGroupCoo {
     /// Returns [`FormatError::InvalidParameter`] if `group_size == 0`.
     pub fn from_block_coo(bcoo: &BlockCoo, group_size: usize) -> Result<BlockGroupCoo> {
         if group_size == 0 {
-            return Err(FormatError::InvalidParameter("group size must be >= 1".to_string()));
+            return Err(FormatError::InvalidParameter(
+                "group size must be >= 1".to_string(),
+            ));
         }
         let g = group_size;
         let (bm, bk) = (bcoo.bm, bcoo.bk);
@@ -302,7 +317,12 @@ impl BlockGroupCoo {
     /// # Errors
     ///
     /// Propagates blocking and parameter errors.
-    pub fn from_dense(dense: &Tensor, bm: usize, bk: usize, group_size: usize) -> Result<BlockGroupCoo> {
+    pub fn from_dense(
+        dense: &Tensor,
+        bm: usize,
+        bk: usize,
+        group_size: usize,
+    ) -> Result<BlockGroupCoo> {
         BlockGroupCoo::from_block_coo(&BlockCoo::from_dense(dense, bm, bk)?, group_size)
     }
 
@@ -407,7 +427,11 @@ mod tests {
     fn block_group_roundtrip_various_g() {
         let d = sample();
         for g in 1..=4 {
-            assert_eq!(BlockGroupCoo::from_dense(&d, 2, 2, g).unwrap().to_dense(), d, "g={g}");
+            assert_eq!(
+                BlockGroupCoo::from_dense(&d, 2, 2, g).unwrap().to_dense(),
+                d,
+                "g={g}"
+            );
         }
     }
 
@@ -416,7 +440,10 @@ mod tests {
         let d = Tensor::zeros(vec![5, 4]);
         assert!(matches!(
             BlockCoo::from_dense(&d, 2, 2),
-            Err(FormatError::BlockMismatch { extent: 5, block: 2 })
+            Err(FormatError::BlockMismatch {
+                extent: 5,
+                block: 2
+            })
         ));
         assert!(BlockCoo::from_dense(&Tensor::zeros(vec![4, 4]), 0, 2).is_err());
     }
@@ -428,7 +455,10 @@ mod tests {
         d.set(&[0, 0], 1.0);
         let bcsr = Bcsr::from_dense(&d, 2, 2).unwrap();
         let bcoo = BlockCoo::from_dense(&d, 2, 2).unwrap();
-        assert!(bcsr.device_bytes() > 3 * bcoo.device_bytes(), "row pointers dominate");
+        assert!(
+            bcsr.device_bytes() > 3 * bcoo.device_bytes(),
+            "row pointers dominate"
+        );
     }
 
     #[test]

@@ -30,14 +30,15 @@ impl Coo {
     ///
     /// Returns [`FormatError::CoordinateOutOfBounds`] for any coordinate
     /// outside `rows × cols`.
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        entries: &[(usize, usize, f32)],
-    ) -> Result<Coo> {
+    pub fn from_triplets(rows: usize, cols: usize, entries: &[(usize, usize, f32)]) -> Result<Coo> {
         for &(r, c, _) in entries {
             if r >= rows || c >= cols {
-                return Err(FormatError::CoordinateOutOfBounds { row: r, col: c, rows, cols });
+                return Err(FormatError::CoordinateOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
         }
         let mut sorted: Vec<(usize, usize, f32)> = entries.to_vec();
@@ -49,7 +50,13 @@ impl Coo {
             .expect("length matches");
         let av = Tensor::from_vec(vec![nnz], sorted.iter().map(|e| e.2).collect())
             .expect("length matches");
-        Ok(Coo { rows, cols, am, ak, av })
+        Ok(Coo {
+            rows,
+            cols,
+            am,
+            ak,
+            av,
+        })
     }
 
     /// Extract the nonzeros of a dense matrix.
@@ -112,7 +119,10 @@ impl Coo {
 
     /// Cast the values to a dtype, returning a new COO.
     pub fn with_dtype(&self, dtype: DType) -> Coo {
-        Coo { av: self.av.cast(dtype), ..self.clone() }
+        Coo {
+            av: self.av.cast(dtype),
+            ..self.clone()
+        }
     }
 }
 

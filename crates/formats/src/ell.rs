@@ -114,7 +114,15 @@ mod tests {
 
     fn sample() -> Tensor {
         let mut t = Tensor::zeros(vec![4, 5]);
-        for (r, c, v) in [(0, 0, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 1, 4.0), (2, 2, 5.0), (3, 2, 6.0), (3, 3, 7.0)] {
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (0, 3, 3.0),
+            (1, 1, 4.0),
+            (2, 2, 5.0),
+            (3, 2, 6.0),
+            (3, 3, 7.0),
+        ] {
             t.set(&[r, c], v);
         }
         t

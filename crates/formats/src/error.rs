@@ -34,11 +34,22 @@ pub enum FormatError {
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormatError::CoordinateOutOfBounds { row, col, rows, cols } => {
-                write!(f, "coordinate ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            FormatError::CoordinateOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => {
+                write!(
+                    f,
+                    "coordinate ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+                )
             }
             FormatError::BlockMismatch { extent, block } => {
-                write!(f, "matrix extent {extent} is not divisible by block extent {block}")
+                write!(
+                    f,
+                    "matrix extent {extent} is not divisible by block extent {block}"
+                )
             }
             FormatError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             FormatError::Tensor(e) => write!(f, "tensor error: {e}"),

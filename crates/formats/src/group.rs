@@ -36,7 +36,9 @@ impl GroupCoo {
     /// Returns [`FormatError::InvalidParameter`] if `group_size == 0`.
     pub fn from_coo(coo: &Coo, group_size: usize) -> Result<GroupCoo> {
         if group_size == 0 {
-            return Err(FormatError::InvalidParameter("group size must be >= 1".to_string()));
+            return Err(FormatError::InvalidParameter(
+                "group size must be >= 1".to_string(),
+            ));
         }
         let g = group_size;
         let occ = coo.occupancy();
@@ -129,7 +131,15 @@ mod tests {
     fn sample() -> Tensor {
         // Paper Fig. 4 matrix: occ = [3, 1, 1, 2].
         let mut t = Tensor::zeros(vec![4, 5]);
-        for (r, c, v) in [(0, 0, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 1, 4.0), (2, 2, 5.0), (3, 2, 6.0), (3, 3, 7.0)] {
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (0, 3, 3.0),
+            (1, 1, 4.0),
+            (2, 2, 5.0),
+            (3, 2, 6.0),
+            (3, 3, 7.0),
+        ] {
             t.set(&[r, c], v);
         }
         t

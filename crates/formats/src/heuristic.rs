@@ -106,7 +106,10 @@ mod tests {
         let b = brute_force_group_size(&occ);
         let ch = indirect_access_cost(&occ, h) as f64;
         let cb = indirect_access_cost(&occ, b) as f64;
-        assert!(ch <= 1.25 * cb, "heuristic {h} cost {ch} vs optimal {b} cost {cb}");
+        assert!(
+            ch <= 1.25 * cb,
+            "heuristic {h} cost {ch} vs optimal {b} cost {cb}"
+        );
     }
 
     #[test]

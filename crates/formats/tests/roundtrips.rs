@@ -10,20 +10,18 @@ fn sparse_matrix() -> impl Strategy<Value = Tensor> {
     (1usize..=4, 1usize..=4, 0.0f64..0.9).prop_flat_map(|(rb, cb, density)| {
         let rows = rb * 4;
         let cols = cb * 4;
-        proptest::collection::vec((0.0f64..1.0, -4.0f32..4.0), rows * cols).prop_map(
-            move |cells| {
-                Tensor::from_fn(vec![rows, cols], |idx| {
-                    let (p, v) = cells[idx[0] * cols + idx[1]];
-                    // Nonzero with probability `density`, never storing
-                    // explicit zeros (v == 0 collides with padding).
-                    if p < density && v != 0.0 {
-                        v
-                    } else {
-                        0.0
-                    }
-                })
-            },
-        )
+        proptest::collection::vec((0.0f64..1.0, -4.0f32..4.0), rows * cols).prop_map(move |cells| {
+            Tensor::from_fn(vec![rows, cols], |idx| {
+                let (p, v) = cells[idx[0] * cols + idx[1]];
+                // Nonzero with probability `density`, never storing
+                // explicit zeros (v == 0 collides with padding).
+                if p < density && v != 0.0 {
+                    v
+                } else {
+                    0.0
+                }
+            })
+        })
     })
 }
 
@@ -73,7 +71,7 @@ proptest! {
         prop_assert!(gc.slots() >= coo.nnz());
         // Slots are bounded by nnz + one partial group per nonempty row.
         let nonempty = coo.occupancy().iter().filter(|&&o| o > 0).count();
-        prop_assert!(gc.slots() <= coo.nnz() + nonempty * (g - 1).max(0));
+        prop_assert!(gc.slots() <= coo.nnz() + nonempty * (g - 1));
     }
 
     #[test]

@@ -1,11 +1,25 @@
 //! The kernel interpreter: functional execution + cost accounting.
+//!
+//! This is the optimized execution core (see `reference.rs` for the seed
+//! implementation it must match bit-for-bit). The speed comes from four
+//! coordinated changes:
+//!
+//! 1. [`Block`] is a strided copy-on-write view, so shape transforms are
+//!    metadata edits and scalars (loop counters!) never allocate.
+//! 2. Register slots are recycled through a buffer pool: steady-state
+//!    loop iterations perform zero heap allocation.
+//! 3. DRAM first-touch tracking uses address-space bitmaps and atomics
+//!    use per-parameter count vectors — no hashing on the hot path; the
+//!    per-warp coalescing walk runs over a stack buffer.
+//! 4. The grid-instance loop can run sharded across threads with a
+//!    deterministic merge (see [`LaunchOptions`]); results are
+//!    bit-identical to the sequential order.
 
-use crate::block::Block;
+use crate::block::{Block, PoolBuf, Shape4};
 use crate::device::DeviceModel;
 use crate::stats::{combine_times, KernelReport, KernelStats};
 use insum_kernel::{Instr, Kernel, KernelError, Reg};
 use insum_tensor::{DType, Tensor};
-use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -55,7 +69,10 @@ impl fmt::Display for GpuError {
                 write!(f, "kernel expects {expected} arguments, got {actual}")
             }
             GpuError::OffsetOutOfBounds { param, offset, len } => {
-                write!(f, "offset {offset} out of bounds for parameter {param:?} ({len} elements)")
+                write!(
+                    f,
+                    "offset {offset} out of bounds for parameter {param:?} ({len} elements)"
+                )
             }
             GpuError::BadGrid(g) => write!(f, "bad launch grid {g:?}"),
             GpuError::Kernel(e) => write!(f, "{e}"),
@@ -79,6 +96,69 @@ impl From<KernelError> for GpuError {
     }
 }
 
+/// Controls how the simulator schedules grid instances on host threads.
+///
+/// Instances are independent except for DRAM first-touch accounting,
+/// atomic-collision accounting, and (in [`Mode::Execute`]) tensor writes.
+/// The first two merge exactly (set unions and counter sums), so analytic
+/// launches always parallelize. Execute-mode launches parallelize only
+/// when every written parameter is write-only within the kernel: shards
+/// then emit ordered write logs that are replayed in instance order,
+/// reproducing the sequential result bit-for-bit. Kernels that read a
+/// parameter they also write (a cross-instance hazard) fall back to the
+/// sequential path.
+#[derive(Debug, Clone)]
+pub struct LaunchOptions {
+    /// Worker threads; `None` resolves `INSUM_SIM_THREADS` or the
+    /// machine's available parallelism.
+    pub threads: Option<usize>,
+    /// Grids smaller than this always run sequentially (per-shard setup
+    /// costs dominate tiny launches).
+    pub min_parallel_instances: usize,
+}
+
+impl Default for LaunchOptions {
+    fn default() -> LaunchOptions {
+        LaunchOptions {
+            threads: None,
+            min_parallel_instances: 64,
+        }
+    }
+}
+
+impl LaunchOptions {
+    /// A strictly sequential configuration.
+    pub fn sequential() -> LaunchOptions {
+        LaunchOptions {
+            threads: Some(1),
+            ..Default::default()
+        }
+    }
+
+    /// A configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> LaunchOptions {
+        LaunchOptions {
+            threads: Some(threads.max(1)),
+            ..Default::default()
+        }
+    }
+
+    fn resolve_threads(&self) -> usize {
+        if let Some(t) = self.threads {
+            return t.max(1);
+        }
+        if let Some(t) = std::env::var("INSUM_SIM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            return t.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
 /// Per-instance cost accumulator.
 #[derive(Default, Clone, Copy)]
 struct InstCost {
@@ -93,88 +173,284 @@ struct InstCost {
     dyn_iters: u64,
 }
 
-struct Machine<'a> {
-    kernel: &'a Kernel,
-    mode: Mode,
-    dot_f16: bool,
+const SECTOR: u64 = 32;
+const WARP: usize = 32;
+
+/// Fixed-size bitmap over the launch's simulated sector space: the
+/// kernel-resident L2 filter (replaces the seed's `HashSet<u64>`).
+#[derive(Clone)]
+struct SectorSet {
+    words: Vec<u64>,
+}
+
+impl SectorSet {
+    fn new(sectors: u64) -> SectorSet {
+        SectorSet {
+            words: vec![0u64; sectors.div_ceil(64) as usize],
+        }
+    }
+
+    /// Insert; returns true when the sector was new.
+    #[inline]
+    fn insert(&mut self, sector: u64) -> bool {
+        let word = &mut self.words[(sector >> 6) as usize];
+        let bit = 1u64 << (sector & 63);
+        let new = *word & bit == 0;
+        *word |= bit;
+        new
+    }
+
+    fn union(&mut self, other: &SectorSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+/// Shared per-launch parameter table (address layout, sizes, dtypes).
+struct ParamTable {
     bases: Vec<u64>,
     esizes: Vec<u64>,
     lens: Vec<usize>,
     dtypes: Vec<DType>,
-    dram_read_seen: HashSet<u64>,
-    dram_write_seen: HashSet<u64>,
-    atomic_counts: HashMap<u64, u64>,
-    stats: KernelStats,
-    inst: InstCost,
+    total_sectors: u64,
 }
 
-const SECTOR: u64 = 32;
-const WARP: usize = 32;
+impl ParamTable {
+    fn new(args: &[&mut Tensor]) -> ParamTable {
+        // Parameter layout in the simulated address space (256-byte
+        // aligned), exactly as the seed interpreter laid it out.
+        let mut bases = Vec::with_capacity(args.len());
+        let mut esizes = Vec::with_capacity(args.len());
+        let mut cursor = 0u64;
+        for t in args.iter() {
+            bases.push(cursor);
+            let esize = t.dtype().size_bytes() as u64;
+            esizes.push(esize);
+            cursor += (t.len() as u64 * esize).div_ceil(256) * 256 + 256;
+        }
+        ParamTable {
+            bases,
+            esizes,
+            lens: args.iter().map(|t| t.len()).collect(),
+            dtypes: args.iter().map(|t| t.dtype()).collect(),
+            total_sectors: cursor.div_ceil(SECTOR),
+        }
+    }
+}
 
-impl Machine<'_> {
+/// Read-only or exclusive access to the launch arguments. Parallel shards
+/// share immutable views; the sequential Execute path owns the tensors.
+enum ArgsView<'a, 'b> {
+    Shared(&'a [&'b Tensor]),
+    Exclusive(&'a mut [&'b mut Tensor]),
+}
+
+impl ArgsView<'_, '_> {
+    #[inline]
+    fn data(&self, param: usize) -> &[f32] {
+        match self {
+            ArgsView::Shared(ts) => ts[param].data(),
+            ArgsView::Exclusive(ts) => ts[param].data(),
+        }
+    }
+
+    #[inline]
+    fn data_mut(&mut self, param: usize) -> &mut [f32] {
+        match self {
+            ArgsView::Shared(_) => unreachable!("parallel shards never mutate tensors directly"),
+            ArgsView::Exclusive(ts) => ts[param].data_mut(),
+        }
+    }
+}
+
+/// One deferred Execute-mode write, replayed in instance order after a
+/// parallel launch.
+struct WriteOp {
+    off: u32,
+    val: f32,
+    param: u16,
+    atomic: bool,
+}
+
+/// Where Execute-mode value writes go.
+enum WriteSink {
+    /// Mutate tensors in place (sequential path).
+    Direct,
+    /// Defer into an ordered log (parallel path).
+    Log(Vec<WriteOp>),
+}
+
+struct Machine<'a> {
+    kernel: &'a Kernel,
+    mode: Mode,
+    dot_f16: bool,
+    params: &'a ParamTable,
+    dram_read_seen: SectorSet,
+    dram_write_seen: SectorSet,
+    /// Per-parameter atomic hit counts, allocated on first use.
+    atomic_counts: Vec<Vec<u64>>,
+    stats: KernelStats,
+    inst: InstCost,
+    sink: WriteSink,
+    /// Recycled heap buffers: registers overwritten by later instructions
+    /// (or cleared between instances) donate their allocations back,
+    /// refcount block included.
+    pool: Vec<PoolBuf>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(
+        kernel: &'a Kernel,
+        mode: Mode,
+        dot_f16: bool,
+        params: &'a ParamTable,
+        sink: WriteSink,
+    ) -> Machine<'a> {
+        Machine {
+            kernel,
+            mode,
+            dot_f16,
+            params,
+            dram_read_seen: SectorSet::new(params.total_sectors),
+            dram_write_seen: SectorSet::new(params.total_sectors),
+            atomic_counts: vec![Vec::new(); params.lens.len()],
+            stats: KernelStats::default(),
+            inst: InstCost::default(),
+            sink,
+            pool: Vec::new(),
+        }
+    }
+
+    /// A buffer from the pool (or a fresh one); contents are stale.
+    #[inline]
+    fn alloc(&mut self) -> PoolBuf {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Overwrite a register, reclaiming the old value's buffer when this
+    /// register was its sole owner.
+    #[inline]
+    fn set_reg(&mut self, regs: &mut [Option<Block>], dst: Reg, val: Block) {
+        if let Some(old) = regs[dst].take() {
+            if let Some(buf) = old.reclaim() {
+                self.pool.push(buf);
+            }
+        }
+        regs[dst] = Some(val);
+    }
+
+    fn clear_regs(&mut self, regs: &mut [Option<Block>]) {
+        for r in regs.iter_mut() {
+            if let Some(old) = r.take() {
+                if let Some(buf) = old.reclaim() {
+                    self.pool.push(buf);
+                }
+            }
+        }
+    }
+
+    fn reg(regs: &[Option<Block>], r: Reg) -> Result<&Block, GpuError> {
+        regs[r].as_ref().ok_or(GpuError::UninitializedRegister(r))
+    }
+
     /// Record a warp-granular memory access over the active lanes of an
-    /// offset block; returns an error on out-of-bounds offsets.
+    /// offset block (in the logical order of `joint`); returns an error
+    /// on the first out-of-bounds active offset.
+    ///
+    /// Matches the seed semantics exactly: lanes chunk into warps of 32
+    /// in logical row-major order, each warp's active sector ids dedup
+    /// into L2 transactions, and the launch-wide bitmap provides the
+    /// DRAM first-touch filter.
     fn record_access(
         &mut self,
         param: usize,
         offsets: &Block,
         mask: Option<&Block>,
+        joint: &[usize],
         is_write: bool,
     ) -> Result<(), GpuError> {
-        let base = self.bases[param];
-        let esize = self.esizes[param];
-        let len = self.lens[param];
-        let mut sectors: Vec<u64> = Vec::with_capacity(WARP);
-        let n = offsets.len();
-        let mut lane = 0;
-        while lane < n {
-            let warp_end = (lane + WARP).min(n);
-            sectors.clear();
-            for l in lane..warp_end {
-                let active = mask.map_or(true, |m| m.data[l] != 0.0);
-                if !active {
-                    continue;
-                }
-                let off = offsets.data[l];
-                let off_i = off as i64;
-                if off_i < 0 || off_i as usize >= len {
-                    return Err(GpuError::OffsetOutOfBounds {
-                        param: self.kernel.params[param].name.clone(),
-                        offset: off_i,
-                        len,
-                    });
-                }
-                let addr = base + off_i as u64 * esize;
-                sectors.push(addr / SECTOR);
-                // A multi-byte element can straddle a sector boundary only
-                // if unaligned; our tensors are element-aligned so one
-                // sector per element access suffices.
+        // Lane values in logical `joint` order. Nearly every access in
+        // compiled kernels hits the contiguous fast paths; strided or
+        // broadcast layouts stage through pooled scratch buffers first so
+        // the warp scan below always runs over plain slices with its
+        // state in registers.
+        let base = self.params.bases[param];
+        let esize = self.params.esizes[param];
+        let len = self.params.lens[param];
+        let off_direct = if offsets.shape() == joint {
+            offsets.as_slice()
+        } else {
+            None
+        };
+        let off_scratch = if off_direct.is_some() {
+            None
+        } else {
+            let mut b = self.alloc();
+            let v = b.vec();
+            v.clear();
+            v.reserve(joint.iter().product());
+            offsets.broadcast_to(joint).walk(|x| v.push(x));
+            Some(b)
+        };
+        let mask_direct = match mask {
+            Some(m) if m.shape() == joint => m.as_slice(),
+            _ => None,
+        };
+        let mut mask_scratch = match mask {
+            Some(m) if mask_direct.is_none() => {
+                let mut b = self.alloc();
+                let v = b.vec();
+                v.clear();
+                v.reserve(joint.iter().product());
+                m.broadcast_to(joint).walk(|x| v.push(x));
+                Some(b)
             }
-            sectors.sort_unstable();
-            sectors.dedup();
-            let uniq = sectors.len() as u64;
-            if is_write {
-                self.inst.l2_write_sectors += uniq;
-                for &s in &sectors {
-                    if self.dram_write_seen.insert(s) {
-                        self.stats.dram_write_sectors += 1;
-                    }
-                }
+            _ => None,
+        };
+        let mut off_scratch_for_read = off_scratch;
+        let (l2, oob) = {
+            let so: &[f64] = match (&mut off_scratch_for_read, off_direct) {
+                (Some(b), _) => b.vec(),
+                (None, Some(s)) => s,
+                (None, None) => unreachable!("offsets staged or direct"),
+            };
+            let sm: Option<&[f64]> = match (mask, &mut mask_scratch, mask_direct) {
+                (None, _, _) => None,
+                (Some(_), Some(b), _) => Some(b.vec()),
+                (Some(_), None, Some(s)) => Some(s),
+                (Some(_), None, None) => unreachable!("mask staged or direct"),
+            };
+            let seen = if is_write {
+                &mut self.dram_write_seen
             } else {
-                self.inst.l2_read_sectors += uniq;
-                for &s in &sectors {
-                    if self.dram_read_seen.insert(s) {
-                        self.stats.dram_read_sectors += 1;
-                    }
-                }
-            }
-            lane = warp_end;
+                &mut self.dram_read_seen
+            };
+            warp_scan(so, sm, base, esize, len, seen)
+        };
+        if let Some(b) = off_scratch_for_read {
+            self.pool.push(b);
+        }
+        if let Some(b) = mask_scratch {
+            self.pool.push(b);
+        }
+        if let Some(offset) = oob {
+            return Err(GpuError::OffsetOutOfBounds {
+                param: self.kernel.params[param].name.clone(),
+                offset,
+                len: self.params.lens[param],
+            });
+        }
+        if is_write {
+            self.inst.l2_write_sectors += l2;
+        } else {
+            self.inst.l2_read_sectors += l2;
         }
         Ok(())
-    }
-
-    fn reg<'b>(regs: &'b [Option<Block>], r: Reg) -> Result<&'b Block, GpuError> {
-        regs[r].as_ref().ok_or(GpuError::UninitializedRegister(r))
     }
 
     fn run_body(
@@ -182,136 +458,131 @@ impl Machine<'_> {
         body: &[Instr],
         regs: &mut Vec<Option<Block>>,
         pid: [usize; 3],
-        args: &mut [&mut Tensor],
+        args: &mut ArgsView<'_, '_>,
     ) -> Result<(), GpuError> {
         for instr in body {
             self.inst.instructions += 1;
             match instr {
                 Instr::ProgramId { dst, axis } => {
-                    regs[*dst] = Some(Block::scalar(pid[*axis] as f64));
+                    self.set_reg(regs, *dst, Block::scalar(pid[*axis] as f64));
                 }
                 Instr::Const { dst, value } => {
-                    regs[*dst] = Some(Block::scalar(*value));
+                    self.set_reg(regs, *dst, Block::scalar(*value));
                 }
                 Instr::Arange { dst, len } => {
-                    regs[*dst] = Some(Block::iota(*len));
+                    let mut buf = self.alloc();
+                    let v = buf.vec();
+                    v.clear();
+                    v.extend((0..*len).map(|i| i as f64));
+                    self.set_reg(regs, *dst, Block::from_pool(vec![*len], buf));
                 }
                 Instr::Full { dst, shape, value } => {
-                    regs[*dst] = Some(Block::full(shape.clone(), *value));
+                    let buf = self.alloc();
+                    self.set_reg(regs, *dst, Block::full_pooled(shape.clone(), *value, buf));
                 }
                 Instr::Binary { dst, op, a, b } => {
+                    // Accumulator fast path (`acc = acc <op> v`): mutate
+                    // the destination's own buffer when it is the sole
+                    // owner — no copy, no register churn.
+                    if dst == a && a != b {
+                        let mut av = regs[*a].take().ok_or(GpuError::UninitializedRegister(*a))?;
+                        let done = {
+                            let bv = Self::reg(regs, *b)?;
+                            Block::binary_assign(*op, &mut av, bv)
+                        };
+                        if done {
+                            self.inst.flops_scalar += av.len() as u64;
+                            regs[*dst] = Some(av);
+                            continue;
+                        }
+                        let buf = self.alloc();
+                        let out = {
+                            let bv = Self::reg(regs, *b)?;
+                            Block::binary_with(*op, &av, bv, buf)
+                        };
+                        self.inst.flops_scalar += out.len() as u64;
+                        if let Some(old) = av.reclaim() {
+                            self.pool.push(old);
+                        }
+                        regs[*dst] = Some(out);
+                        continue;
+                    }
+                    let scalar = {
+                        let av = Self::reg(regs, *a)?;
+                        let bv = Self::reg(regs, *b)?;
+                        Block::try_scalar_binary(*op, av, bv)
+                    };
+                    if let Some(out) = scalar {
+                        self.inst.flops_scalar += 1;
+                        self.set_reg(regs, *dst, out);
+                        continue;
+                    }
+                    let buf = self.alloc();
                     let out = {
                         let av = Self::reg(regs, *a)?;
                         let bv = Self::reg(regs, *b)?;
-                        Block::binary(*op, av, bv)
+                        Block::binary_with(*op, av, bv, buf)
                     };
                     self.inst.flops_scalar += out.len() as u64;
-                    regs[*dst] = Some(out);
+                    self.set_reg(regs, *dst, out);
                 }
                 Instr::ExpandDims { dst, src, axis } => {
-                    regs[*dst] = Some(Self::reg(regs, *src)?.expand_dims(*axis));
+                    let out = Self::reg(regs, *src)?.expand_dims(*axis);
+                    self.set_reg(regs, *dst, out);
                 }
                 Instr::Broadcast { dst, src, shape } => {
                     let out = Self::reg(regs, *src)?.broadcast_to(shape);
                     self.inst.smem_bytes += 4 * out.len() as u64;
-                    regs[*dst] = Some(out);
+                    self.set_reg(regs, *dst, out);
                 }
                 Instr::View { dst, src, shape } => {
                     let out = Self::reg(regs, *src)?.view(shape.clone());
                     self.inst.smem_bytes += 4 * out.len() as u64;
-                    regs[*dst] = Some(out);
+                    self.set_reg(regs, *dst, out);
                 }
                 Instr::Trans { dst, src } => {
                     let out = Self::reg(regs, *src)?.trans();
                     self.inst.smem_bytes += 4 * out.len() as u64;
-                    regs[*dst] = Some(out);
+                    self.set_reg(regs, *dst, out);
                 }
-                Instr::Load { dst, param, offset, mask, other } => {
-                    let (offsets, maskb) = {
-                        let off = Self::reg(regs, *offset)?;
-                        match mask {
-                            Some(m) => {
-                                let mb = Self::reg(regs, *m)?;
-                                let joint = Block::joint_shape(off, mb);
-                                (off.broadcast_to(&joint), Some(mb.broadcast_to(&joint)))
-                            }
-                            None => (off.clone(), None),
-                        }
-                    };
-                    self.record_access(*param, &offsets, maskb.as_ref(), false)?;
-                    let read_values =
-                        self.mode == Mode::Execute || self.dtypes[*param] == DType::I32;
-                    let data: Vec<f64> = offsets
-                        .data
-                        .iter()
-                        .enumerate()
-                        .map(|(l, &off)| {
-                            let active = maskb.as_ref().map_or(true, |m| m.data[l] != 0.0);
-                            if !active {
-                                *other
-                            } else if read_values {
-                                args[*param].data()[off as usize] as f64
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect();
-                    regs[*dst] = Some(Block { shape: offsets.shape.clone(), data });
+                Instr::Load {
+                    dst,
+                    param,
+                    offset,
+                    mask,
+                    other,
+                } => {
+                    let out = self.exec_load(regs, *param, *offset, *mask, *other, args)?;
+                    self.set_reg(regs, *dst, out);
                 }
-                Instr::Store { param, offset, value, mask } => {
-                    let (offsets, values, maskb) =
-                        self.prepare_write(regs, *offset, *value, *mask)?;
-                    self.record_access(*param, &offsets, maskb.as_ref(), true)?;
-                    if self.mode == Mode::Execute {
-                        let round = self.dtypes[*param] == DType::F16;
-                        for (l, &off) in offsets.data.iter().enumerate() {
-                            let active = maskb.as_ref().map_or(true, |m| m.data[l] != 0.0);
-                            if active {
-                                let mut v = values.data[l] as f32;
-                                if round {
-                                    v = insum_tensor::f16_round(v);
-                                }
-                                args[*param].data_mut()[off as usize] = v;
-                            }
-                        }
-                    }
+                Instr::Store {
+                    param,
+                    offset,
+                    value,
+                    mask,
+                } => {
+                    self.exec_store(regs, *param, *offset, *value, *mask, args)?;
                 }
-                Instr::AtomicAdd { param, offset, value, mask } => {
-                    let (offsets, values, maskb) =
-                        self.prepare_write(regs, *offset, *value, *mask)?;
-                    self.record_access(*param, &offsets, maskb.as_ref(), true)?;
-                    let base = self.bases[*param];
-                    let esize = self.esizes[*param];
-                    let round = self.dtypes[*param] == DType::F16;
-                    for (l, &off) in offsets.data.iter().enumerate() {
-                        let active = maskb.as_ref().map_or(true, |m| m.data[l] != 0.0);
-                        if !active {
-                            continue;
-                        }
-                        self.inst.atomics += 1;
-                        let addr = base + off as u64 * esize;
-                        *self.atomic_counts.entry(addr).or_insert(0) += 1;
-                        if self.mode == Mode::Execute {
-                            let slot = &mut args[*param].data_mut()[off as usize];
-                            let mut v = *slot + values.data[l] as f32;
-                            if round {
-                                v = insum_tensor::f16_round(v);
-                            }
-                            *slot = v;
-                        }
-                    }
+                Instr::AtomicAdd {
+                    param,
+                    offset,
+                    value,
+                    mask,
+                } => {
+                    self.exec_atomic_add(regs, *param, *offset, *value, *mask, args)?;
                 }
                 Instr::Dot { dst, a, b } => {
+                    let buf = self.alloc();
                     let (m, k, n, out) = {
                         let av = Self::reg(regs, *a)?;
                         let bv = Self::reg(regs, *b)?;
-                        let (m, k) = (av.shape[0], av.shape[1]);
-                        let n = bv.shape[1];
+                        let (m, k) = (av.shape()[0], av.shape()[1]);
+                        let n = bv.shape()[1];
                         let out = if self.mode == Mode::Execute {
-                            Block::dot(av, bv)
+                            Block::dot_with(av, bv, buf)
                         } else {
-                            debug_assert_eq!(bv.shape[0], k, "dot inner dims");
-                            Block::full(vec![m, n], 0.0)
+                            debug_assert_eq!(bv.shape()[0], k, "dot inner dims");
+                            Block::full_pooled(vec![m, n], 0.0, buf)
                         };
                         (m, k, n, out)
                     };
@@ -321,7 +592,7 @@ impl Machine<'_> {
                     } else {
                         self.inst.flops_tc_f32 += flops;
                     }
-                    regs[*dst] = Some(out);
+                    self.set_reg(regs, *dst, out);
                 }
                 Instr::Sum { dst, src, axis } => {
                     let out = {
@@ -329,23 +600,34 @@ impl Machine<'_> {
                         self.inst.flops_scalar += sv.len() as u64;
                         sv.sum_axis(*axis)
                     };
-                    regs[*dst] = Some(out);
+                    self.set_reg(regs, *dst, out);
                 }
-                Instr::Loop { var, start, end, step, body } => {
+                Instr::Loop {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                } => {
                     let mut v = *start;
                     while v < *end {
-                        regs[*var] = Some(Block::scalar(v as f64));
+                        self.set_reg(regs, *var, Block::scalar(v as f64));
                         self.run_body(body, regs, pid, args)?;
                         v += *step;
                     }
                 }
-                Instr::LoopDyn { var, start, end, body } => {
-                    let lo = Self::reg(regs, *start)?.data[0] as i64;
-                    let hi = Self::reg(regs, *end)?.data[0] as i64;
+                Instr::LoopDyn {
+                    var,
+                    start,
+                    end,
+                    body,
+                } => {
+                    let lo = Self::reg(regs, *start)?.first() as i64;
+                    let hi = Self::reg(regs, *end)?.first() as i64;
                     self.inst.dyn_iters += (hi - lo).max(0) as u64;
                     let mut v = lo;
                     while v < hi {
-                        regs[*var] = Some(Block::scalar(v as f64));
+                        self.set_reg(regs, *var, Block::scalar(v as f64));
                         self.run_body(body, regs, pid, args)?;
                         v += 1;
                     }
@@ -355,30 +637,625 @@ impl Machine<'_> {
         Ok(())
     }
 
-    /// Broadcast offset/value/mask to a joint shape for a write.
-    fn prepare_write(
-        &self,
+    fn exec_load(
+        &mut self,
         regs: &[Option<Block>],
+        param: usize,
+        offset: Reg,
+        mask: Option<Reg>,
+        other: f64,
+        args: &ArgsView<'_, '_>,
+    ) -> Result<Block, GpuError> {
+        let off = Self::reg(regs, offset)?;
+        let mb = match mask {
+            Some(m) => Some(Self::reg(regs, m)?),
+            None => None,
+        };
+        let joint = match mb {
+            Some(m) => Shape4::joint(off.shape(), m.shape()),
+            None => off.shape4(),
+        };
+        let read_values = self.mode == Mode::Execute || self.params.dtypes[param] == DType::I32;
+
+        // Scalar loads (row-pointer reads and the like) need no buffer
+        // at all — the result is an inline scalar.
+        if joint.as_slice().is_empty() {
+            self.record_access(param, off, mb, joint.as_slice(), false)?;
+            let active = match mb {
+                Some(m) => m.first() != 0.0,
+                None => true,
+            };
+            let value = if !active {
+                other
+            } else if read_values {
+                args.data(param)[off.first() as usize] as f64
+            } else {
+                0.0
+            };
+            return Ok(Block::scalar(value));
+        }
+
+        // Fused fast path: unmasked contiguous offsets with real value
+        // reads — one pass does the warp/sector accounting and the
+        // gather together (these dominate Execute-mode launches).
+        if read_values && mb.is_none() {
+            if let Some(offs) = off.as_slice() {
+                let mut buf = self.alloc();
+                let out = buf.vec();
+                out.clear();
+                out.reserve(offs.len());
+                let base = self.params.bases[param];
+                let esize = self.params.esizes[param];
+                let len = self.params.lens[param];
+                let data = args.data(param);
+                let seen = &mut self.dram_read_seen;
+                let mut l2 = 0u64;
+                let mut oob = None;
+                for chunk in offs.chunks(WARP) {
+                    if chunk.len() == WARP && consecutive(chunk) {
+                        match scan_consecutive(chunk, base, esize, len, seen) {
+                            Ok(uniq) => l2 += uniq,
+                            Err(offset) => {
+                                oob = Some(offset);
+                                break;
+                            }
+                        }
+                        let o0 = chunk[0] as usize;
+                        out.extend(data[o0..o0 + WARP].iter().map(|&x| x as f64));
+                    } else {
+                        let (uniq, bad) = scan_chunk(chunk, None, base, esize, len, seen);
+                        l2 += uniq;
+                        if bad.is_some() {
+                            oob = bad;
+                            break;
+                        }
+                        out.extend(chunk.iter().map(|&o| data[o as usize] as f64));
+                    }
+                }
+                if let Some(offset) = oob {
+                    self.pool.push(buf);
+                    return Err(GpuError::OffsetOutOfBounds {
+                        param: self.kernel.params[param].name.clone(),
+                        offset,
+                        len,
+                    });
+                }
+                self.inst.l2_read_sectors += l2;
+                return Ok(Block::from_packed(joint, buf));
+            }
+        }
+
+        // Fused fast path for masked loads with flat layouts.
+        if read_values {
+            if let Some(m) = mb {
+                let off_flat = if off.shape() == joint.as_slice() {
+                    off.as_slice()
+                } else {
+                    None
+                };
+                let mask_flat = if m.shape() == joint.as_slice() {
+                    m.as_slice()
+                } else {
+                    None
+                };
+                if let (Some(offs), Some(ms)) = (off_flat, mask_flat) {
+                    let mut buf = self.alloc();
+                    let out = buf.vec();
+                    out.clear();
+                    out.reserve(offs.len());
+                    let base = self.params.bases[param];
+                    let esize = self.params.esizes[param];
+                    let len = self.params.lens[param];
+                    let data = args.data(param);
+                    let seen = &mut self.dram_read_seen;
+                    let mut l2 = 0u64;
+                    let mut oob = None;
+                    for (chunk, mchunk) in offs.chunks(WARP).zip(ms.chunks(WARP)) {
+                        let (uniq, bad) = scan_chunk(chunk, Some(mchunk), base, esize, len, seen);
+                        l2 += uniq;
+                        if bad.is_some() {
+                            oob = bad;
+                            break;
+                        }
+                        out.extend(chunk.iter().zip(mchunk).map(|(&o, &mk)| {
+                            if mk != 0.0 {
+                                data[o as usize] as f64
+                            } else {
+                                other
+                            }
+                        }));
+                    }
+                    if let Some(offset) = oob {
+                        self.pool.push(buf);
+                        return Err(GpuError::OffsetOutOfBounds {
+                            param: self.kernel.params[param].name.clone(),
+                            offset,
+                            len,
+                        });
+                    }
+                    self.inst.l2_read_sectors += l2;
+                    return Ok(Block::from_packed(joint, buf));
+                }
+            }
+        }
+
+        self.record_access(param, off, mb, joint.as_slice(), false)?;
+        // Analytic fast path: float loads with no mask are all zeros; a
+        // constant block costs one slot instead of a full gather.
+        if !read_values && mb.is_none() {
+            let buf = self.alloc();
+            return Ok(Block::full_packed(joint, 0.0, buf));
+        }
+        let mut buf = self.alloc();
+        let out = buf.vec();
+        out.clear();
+        out.reserve(joint.volume());
+        match (mb, read_values) {
+            (None, _) => {
+                let data = args.data(param);
+                let ob = off.broadcast_to(joint.as_slice());
+                ob.walk(|o| out.push(data[o as usize] as f64));
+            }
+            (Some(m), true) => {
+                let data = args.data(param);
+                Block::walk2(off, m, |o, mk| {
+                    out.push(if mk != 0.0 {
+                        data[o as usize] as f64
+                    } else {
+                        other
+                    });
+                });
+            }
+            (Some(m), false) => {
+                // Analytic values depend only on the mask (0.0 active,
+                // `other` inactive) — walk it alone.
+                let mv = m.broadcast_to(joint.as_slice());
+                mv.walk(|mk| out.push(if mk != 0.0 { 0.0 } else { other }));
+            }
+        }
+        Ok(Block::from_packed(joint, buf))
+    }
+
+    fn exec_store(
+        &mut self,
+        regs: &[Option<Block>],
+        param: usize,
         offset: Reg,
         value: Reg,
         mask: Option<Reg>,
-    ) -> Result<(Block, Block, Option<Block>), GpuError> {
+        args: &mut ArgsView<'_, '_>,
+    ) -> Result<(), GpuError> {
         let off = Self::reg(regs, offset)?;
         let val = Self::reg(regs, value)?;
-        let mut joint = Block::joint_shape(off, val);
-        let maskb = match mask {
-            Some(m) => {
-                let mb = Self::reg(regs, m)?;
-                joint = Block::joint_shape(&Block::full(joint.clone(), 0.0), mb);
-                Some(mb.broadcast_to(&joint))
-            }
+        let mb = match mask {
+            Some(m) => Some(Self::reg(regs, m)?),
             None => None,
         };
-        Ok((off.broadcast_to(&joint), val.broadcast_to(&joint), maskb))
+        let mut joint = Shape4::joint(off.shape(), val.shape());
+        if let Some(m) = mb {
+            joint = Shape4::joint(joint.as_slice(), m.shape());
+        }
+        self.record_access(param, off, mb, joint.as_slice(), true)?;
+        if self.mode != Mode::Execute {
+            return Ok(());
+        }
+        let round = self.params.dtypes[param] == DType::F16;
+        match &mut self.sink {
+            WriteSink::Direct => {
+                let data = args.data_mut(param);
+                // Flat fast path: unmasked, same-shape contiguous offset
+                // and value blocks.
+                if mb.is_none() && off.shape() == val.shape() {
+                    if let (Some(so), Some(sv)) = (off.as_slice(), val.as_slice()) {
+                        for (&o, &v) in so.iter().zip(sv) {
+                            let mut x = v as f32;
+                            if round {
+                                x = insum_tensor::f16_round(x);
+                            }
+                            data[o as usize] = x;
+                        }
+                        return Ok(());
+                    }
+                }
+                match mb {
+                    Some(m) => Block::walk3(off, val, m, |o, v, mk| {
+                        if mk != 0.0 {
+                            let mut x = v as f32;
+                            if round {
+                                x = insum_tensor::f16_round(x);
+                            }
+                            data[o as usize] = x;
+                        }
+                    }),
+                    None => Block::walk2(off, val, |o, v| {
+                        let mut x = v as f32;
+                        if round {
+                            x = insum_tensor::f16_round(x);
+                        }
+                        data[o as usize] = x;
+                    }),
+                }
+            }
+            WriteSink::Log(log) => {
+                let p = param as u16;
+                match mb {
+                    Some(m) => Block::walk3(off, val, m, |o, v, mk| {
+                        if mk != 0.0 {
+                            log.push(WriteOp {
+                                off: o as u32,
+                                val: v as f32,
+                                param: p,
+                                atomic: false,
+                            });
+                        }
+                    }),
+                    None => Block::walk2(off, val, |o, v| {
+                        log.push(WriteOp {
+                            off: o as u32,
+                            val: v as f32,
+                            param: p,
+                            atomic: false,
+                        });
+                    }),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_atomic_add(
+        &mut self,
+        regs: &[Option<Block>],
+        param: usize,
+        offset: Reg,
+        value: Reg,
+        mask: Option<Reg>,
+        args: &mut ArgsView<'_, '_>,
+    ) -> Result<(), GpuError> {
+        let off = Self::reg(regs, offset)?;
+        let val = Self::reg(regs, value)?;
+        let mb = match mask {
+            Some(m) => Some(Self::reg(regs, m)?),
+            None => None,
+        };
+        let mut joint = Shape4::joint(off.shape(), val.shape());
+        if let Some(m) = mb {
+            joint = Shape4::joint(joint.as_slice(), m.shape());
+        }
+        self.record_access(param, off, mb, joint.as_slice(), true)?;
+
+        if self.atomic_counts[param].is_empty() {
+            self.atomic_counts[param] = vec![0u64; self.params.lens[param]];
+        }
+        let round = self.params.dtypes[param] == DType::F16;
+        let execute = self.mode == Mode::Execute;
+        let counts = &mut self.atomic_counts[param];
+        let inst = &mut self.inst;
+        match (&mut self.sink, execute) {
+            (WriteSink::Direct, true) => {
+                let data = args.data_mut(param);
+                // Flat fast path: unmasked, same-shape contiguous offset
+                // and value blocks (the compiled scatter pattern) — a
+                // plain zip with register-resident state.
+                if mb.is_none() && off.shape() == val.shape() {
+                    if let (Some(so), Some(sv)) = (off.as_slice(), val.as_slice()) {
+                        let mut atomics = 0u64;
+                        for (&o, &v) in so.iter().zip(sv) {
+                            let o = o as usize;
+                            counts[o] += 1;
+                            let slot = &mut data[o];
+                            let mut x = *slot + v as f32;
+                            if round {
+                                x = insum_tensor::f16_round(x);
+                            }
+                            *slot = x;
+                            atomics += 1;
+                        }
+                        inst.atomics += atomics;
+                        return Ok(());
+                    }
+                }
+                let mut per_lane = |o: f64, v: f64, active: bool| {
+                    if active {
+                        inst.atomics += 1;
+                        let o = o as usize;
+                        counts[o] += 1;
+                        let slot = &mut data[o];
+                        let mut x = *slot + v as f32;
+                        if round {
+                            x = insum_tensor::f16_round(x);
+                        }
+                        *slot = x;
+                    }
+                };
+                match mb {
+                    Some(m) => Block::walk3(off, val, m, |o, v, mk| per_lane(o, v, mk != 0.0)),
+                    None => Block::walk2(off, val, |o, v| per_lane(o, v, true)),
+                }
+            }
+            (WriteSink::Log(log), true) => {
+                let p = param as u16;
+                let mut per_lane = |o: f64, v: f64, active: bool| {
+                    if active {
+                        inst.atomics += 1;
+                        let o = o as usize;
+                        counts[o] += 1;
+                        log.push(WriteOp {
+                            off: o as u32,
+                            val: v as f32,
+                            param: p,
+                            atomic: true,
+                        });
+                    }
+                };
+                match mb {
+                    Some(m) => Block::walk3(off, val, m, |o, v, mk| per_lane(o, v, mk != 0.0)),
+                    None => Block::walk2(off, val, |o, v| per_lane(o, v, true)),
+                }
+            }
+            // Analytic: count collisions, write nothing.
+            (_, false) => {
+                if mb.is_none() && off.shape() == joint.as_slice() {
+                    if let Some(so) = off.as_slice() {
+                        for &o in so {
+                            counts[o as usize] += 1;
+                        }
+                        inst.atomics += so.len() as u64;
+                        return Ok(());
+                    }
+                }
+                let mut per_lane = |o: f64, active: bool| {
+                    if active {
+                        inst.atomics += 1;
+                        counts[o as usize] += 1;
+                    }
+                };
+                match mb {
+                    Some(m) => Block::walk3(off, val, m, |o, _, mk| per_lane(o, mk != 0.0)),
+                    None => Block::walk2(off, val, |o, _| per_lane(o, true)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one grid instance, returning its simulated time on one SM.
+    fn run_instance(
+        &mut self,
+        regs: &mut Vec<Option<Block>>,
+        pid: [usize; 3],
+        args: &mut ArgsView<'_, '_>,
+        device: &DeviceModel,
+    ) -> Result<f64, GpuError> {
+        self.inst = InstCost::default();
+        self.clear_regs(regs);
+        // `kernel` is a shared reference with the machine's lifetime, so
+        // the body borrow does not conflict with `&mut self` below.
+        let kernel = self.kernel;
+        self.run_body(&kernel.body, regs, pid, args)?;
+        let c = self.inst;
+        self.stats.l2_read_sectors += c.l2_read_sectors;
+        self.stats.l2_write_sectors += c.l2_write_sectors;
+        self.stats.flops_tc_f16 += c.flops_tc_f16;
+        self.stats.flops_tc_f32 += c.flops_tc_f32;
+        self.stats.flops_scalar += c.flops_scalar;
+        self.stats.smem_bytes += c.smem_bytes;
+        self.stats.atomics += c.atomics;
+        self.stats.instructions += c.instructions;
+        Ok(instance_time(device, &c))
     }
 }
 
-/// Launch a kernel on the simulated device.
+/// The warp-coalescing scan over one access's lane stream: chunk lanes
+/// into warps of 32, bounds-check active offsets, dedup each warp's
+/// sector ids into L2 transactions, and feed the launch-wide DRAM
+/// first-touch bitmap. Returns `(l2_sectors, first_oob_offset)`.
+///
+/// All per-warp state lives in locals so the loop stays in registers;
+/// offsets are almost always ascending within a warp (tile base plus
+/// `arange`), so sortedness is tracked while filling and only the rare
+/// crooked warp pays for a sort.
+/// True when the lane offsets are `chunk[0] + [0, 1, 2, ...]` — the tile
+/// pattern `base + arange` that dominates compiled kernels. Offsets are
+/// integers below 2^53, so the f64 comparison is exact.
+#[inline]
+fn consecutive(chunk: &[f64]) -> bool {
+    // Branchless difference fold (no int-to-float conversions) so the
+    // probe vectorizes.
+    let mut ok = true;
+    for t in 1..chunk.len() {
+        ok &= chunk[t] - chunk[t - 1] == 1.0;
+    }
+    ok
+}
+
+/// Sector accounting for one consecutive full warp (`chunk[0] + arange`):
+/// the touched sectors are exactly the arithmetic range [first, last].
+/// Returns the L2 transaction count, or the first offending offset using
+/// the same convention as the lane-order scan (the lowest out-of-range
+/// value, since offsets ascend).
+#[inline]
+fn scan_consecutive(
+    chunk: &[f64],
+    base: u64,
+    esize: u64,
+    len: usize,
+    seen: &mut SectorSet,
+) -> Result<u64, i64> {
+    let o0 = chunk[0] as i64;
+    if o0 as u64 >= len as u64 {
+        return Err(o0);
+    }
+    let o1 = o0 + chunk.len() as i64 - 1;
+    if o1 as u64 >= len as u64 {
+        // First offending lane is the first offset == len.
+        return Err(len as i64);
+    }
+    let sec0 = (base + o0 as u64 * esize) / SECTOR;
+    let sec1 = (base + o1 as u64 * esize) / SECTOR;
+    for sec in sec0..=sec1 {
+        seen.insert(sec);
+    }
+    Ok(sec1 - sec0 + 1)
+}
+
+fn warp_scan(
+    offs: &[f64],
+    mask: Option<&[f64]>,
+    base: u64,
+    esize: u64,
+    len: usize,
+    seen: &mut SectorSet,
+) -> (u64, Option<i64>) {
+    let mut l2 = 0u64;
+    match mask {
+        None => {
+            for chunk in offs.chunks(WARP) {
+                // Consecutive warps resolve arithmetically: the touched
+                // sectors are exactly the range [first, last].
+                if chunk.len() == WARP && consecutive(chunk) {
+                    match scan_consecutive(chunk, base, esize, len, seen) {
+                        Ok(uniq) => l2 += uniq,
+                        Err(offset) => return (l2, Some(offset)),
+                    }
+                    continue;
+                }
+                let (uniq, oob) = scan_chunk(chunk, None, base, esize, len, seen);
+                l2 += uniq;
+                if oob.is_some() {
+                    return (l2, oob);
+                }
+            }
+        }
+        Some(mask) => {
+            for (chunk, mchunk) in offs.chunks(WARP).zip(mask.chunks(WARP)) {
+                let (uniq, oob) = scan_chunk(chunk, Some(mchunk), base, esize, len, seen);
+                l2 += uniq;
+                if oob.is_some() {
+                    return (l2, oob);
+                }
+            }
+        }
+    }
+    (l2, None)
+}
+
+/// One warp's generic sector scan: dedup by adjacent transition while
+/// filling (exact when the warp is sorted — the common case), recount
+/// after a sort otherwise. `seen` inserts are idempotent, so inserting
+/// before sortedness is known is harmless.
+#[inline]
+fn scan_chunk(
+    chunk: &[f64],
+    mask: Option<&[f64]>,
+    base: u64,
+    esize: u64,
+    len: usize,
+    seen: &mut SectorSet,
+) -> (u64, Option<i64>) {
+    let mut sectors = [0u64; WARP];
+    let mut n = 0usize;
+    let mut sorted = true;
+    let mut prev = 0u64;
+    let mut uniq = 0u64;
+    let mut prev_ins = u64::MAX;
+    for (t, &off) in chunk.iter().enumerate() {
+        if let Some(m) = mask {
+            if m[t] == 0.0 {
+                continue;
+            }
+        }
+        let off_i = off as i64;
+        // Unsigned compare covers both negative and too-large.
+        if off_i as u64 >= len as u64 {
+            return (
+                if sorted {
+                    uniq
+                } else {
+                    recount(&mut sectors[..n])
+                },
+                Some(off_i),
+            );
+        }
+        let sec = (base + off_i as u64 * esize) / SECTOR;
+        sorted &= prev <= sec;
+        prev = sec;
+        if sec != prev_ins {
+            uniq += 1;
+            seen.insert(sec);
+            prev_ins = sec;
+        }
+        sectors[n] = sec;
+        n += 1;
+    }
+    if sorted {
+        (uniq, None)
+    } else {
+        (recount(&mut sectors[..n]), None)
+    }
+}
+
+/// Unique-count of an unsorted warp (sorts in place).
+fn recount(sectors: &mut [u64]) -> u64 {
+    sectors.sort_unstable();
+    let mut uniq = 0u64;
+    let mut prev = u64::MAX;
+    for &sec in sectors.iter() {
+        if sec != prev {
+            uniq += 1;
+            prev = sec;
+        }
+    }
+    uniq
+}
+
+/// Grid coordinates of a flat instance id (x fastest, matching the seed
+/// interpreter's `iz`/`iy`/`ix` loop nest).
+#[inline]
+fn pid_of(flat: usize, gdims: [usize; 3]) -> [usize; 3] {
+    [
+        flat % gdims[0],
+        (flat / gdims[0]) % gdims[1],
+        flat / (gdims[0] * gdims[1]),
+    ]
+}
+
+/// Per-instance time on one SM (the seed cost model, verbatim).
+fn instance_time(device: &DeviceModel, c: &InstCost) -> f64 {
+    let mem = 32.0 * (c.l2_read_sectors + c.l2_write_sectors) as f64 / device.per_sm(device.l2_bw);
+    let compute = c.flops_tc_f16 as f64 / device.per_sm(device.tc_f16_flops)
+        + c.flops_tc_f32 as f64 / device.per_sm(device.tc_f32_flops)
+        + c.flops_scalar as f64 / device.per_sm(device.alu_flops)
+        + c.smem_bytes as f64 / device.per_sm(device.smem_bw);
+    device.instr_issue * c.instructions as f64
+        + device.dyn_loop_stall * c.dyn_iters as f64
+        + mem.max(compute)
+}
+
+/// True when every parameter the kernel writes (Store/AtomicAdd) is never
+/// loaded — the condition under which Execute-mode instances can run out
+/// of order with their writes replayed later.
+fn written_params_write_only(body: &[Instr], loads: &mut Vec<bool>, writes: &mut Vec<bool>) {
+    for instr in body {
+        match instr {
+            Instr::Load { param, .. } => loads[*param] = true,
+            Instr::Store { param, .. } | Instr::AtomicAdd { param, .. } => writes[*param] = true,
+            Instr::Loop { body, .. } | Instr::LoopDyn { body, .. } => {
+                written_params_write_only(body, loads, writes)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn kernel_allows_parallel_execute(kernel: &Kernel) -> bool {
+    let n = kernel.params.len();
+    let (mut loads, mut writes) = (vec![false; n], vec![false; n]);
+    written_params_write_only(&kernel.body, &mut loads, &mut writes);
+    loads.iter().zip(&writes).all(|(&l, &w)| !(l && w))
+}
+
+/// Launch a kernel on the simulated device with default scheduling.
 ///
 /// `args` bind positionally to `kernel.params`. In [`Mode::Execute`] the
 /// written parameters are mutated in place; in [`Mode::Analytic`] no
@@ -392,7 +1269,7 @@ impl Machine<'_> {
 ///   errors.
 /// * [`GpuError::OffsetOutOfBounds`] if any active lane addresses outside
 ///   its parameter (this catches codegen bugs; real GPUs would corrupt
-///   memory).
+///   memory). On error, output tensors are in an unspecified state.
 pub fn launch(
     kernel: &Kernel,
     grid: &[usize],
@@ -400,93 +1277,214 @@ pub fn launch(
     device: &DeviceModel,
     mode: Mode,
 ) -> Result<KernelReport, GpuError> {
+    launch_with(kernel, grid, args, device, mode, &LaunchOptions::default())
+}
+
+/// [`launch`] with explicit instance-scheduling options.
+///
+/// Results — output tensors, [`KernelStats`], and timing — are
+/// bit-identical for every thread configuration; see [`LaunchOptions`]
+/// for how that is guaranteed.
+///
+/// # Errors
+///
+/// Same conditions as [`launch`].
+pub fn launch_with(
+    kernel: &Kernel,
+    grid: &[usize],
+    args: &mut [&mut Tensor],
+    device: &DeviceModel,
+    mode: Mode,
+    options: &LaunchOptions,
+) -> Result<KernelReport, GpuError> {
     kernel.validate()?;
     if args.len() != kernel.params.len() {
-        return Err(GpuError::ParamCountMismatch { expected: kernel.params.len(), actual: args.len() });
+        return Err(GpuError::ParamCountMismatch {
+            expected: kernel.params.len(),
+            actual: args.len(),
+        });
     }
-    if grid.is_empty() || grid.len() > 3 || grid.iter().any(|&g| g == 0) {
+    if grid.is_empty() || grid.len() > 3 || grid.contains(&0) {
         return Err(GpuError::BadGrid(grid.to_vec()));
     }
     let mut gdims = [1usize; 3];
     gdims[..grid.len()].copy_from_slice(grid);
-
-    // Parameter layout in the simulated address space (256-byte aligned).
-    let mut bases = Vec::with_capacity(args.len());
-    let mut esizes = Vec::with_capacity(args.len());
-    let mut cursor = 0u64;
-    for t in args.iter() {
-        bases.push(cursor);
-        let esize = t.dtype().size_bytes() as u64;
-        esizes.push(esize);
-        cursor += (t.len() as u64 * esize).div_ceil(256) * 256 + 256;
-    }
-    let dot_f16 = {
-        let floats: Vec<&&mut Tensor> = args.iter().filter(|t| t.dtype().is_float()).collect();
-        !floats.is_empty() && floats.iter().all(|t| t.dtype() == DType::F16)
-    };
-
     let instances = gdims[0] * gdims[1] * gdims[2];
-    let lens: Vec<usize> = args.iter().map(|t| t.len()).collect();
-    let dtypes: Vec<DType> = args.iter().map(|t| t.dtype()).collect();
-    let mut machine = Machine {
-        kernel,
-        mode,
-        dot_f16,
-        bases,
-        esizes,
-        lens,
-        dtypes,
-        dram_read_seen: HashSet::new(),
-        dram_write_seen: HashSet::new(),
-        atomic_counts: HashMap::new(),
-        stats: KernelStats::default(),
-        inst: InstCost::default(),
+
+    let params = ParamTable::new(args);
+    let dot_f16 = {
+        let floats: Vec<DType> = args
+            .iter()
+            .map(|t| t.dtype())
+            .filter(|d| d.is_float())
+            .collect();
+        !floats.is_empty() && floats.iter().all(|&d| d == DType::F16)
     };
 
-    let mut instance_times = Vec::with_capacity(instances);
-    let mut regs: Vec<Option<Block>> = vec![None; kernel.num_regs];
-    for iz in 0..gdims[2] {
-        for iy in 0..gdims[1] {
-            for ix in 0..gdims[0] {
-                machine.inst = InstCost::default();
-                regs.iter_mut().for_each(|r| *r = None);
-                machine.run_body(&kernel.body, &mut regs, [ix, iy, iz], args)?;
-                // Fold instance cost into totals.
-                let c = machine.inst;
-                machine.stats.l2_read_sectors += c.l2_read_sectors;
-                machine.stats.l2_write_sectors += c.l2_write_sectors;
-                machine.stats.flops_tc_f16 += c.flops_tc_f16;
-                machine.stats.flops_tc_f32 += c.flops_tc_f32;
-                machine.stats.flops_scalar += c.flops_scalar;
-                machine.stats.smem_bytes += c.smem_bytes;
-                machine.stats.atomics += c.atomics;
-                machine.stats.instructions += c.instructions;
-                // Per-instance time on one SM.
-                let mem = 32.0 * (c.l2_read_sectors + c.l2_write_sectors) as f64
-                    / device.per_sm(device.l2_bw);
-                let compute = c.flops_tc_f16 as f64 / device.per_sm(device.tc_f16_flops)
-                    + c.flops_tc_f32 as f64 / device.per_sm(device.tc_f32_flops)
-                    + c.flops_scalar as f64 / device.per_sm(device.alu_flops)
-                    + c.smem_bytes as f64 / device.per_sm(device.smem_bw);
-                let t = device.instr_issue * c.instructions as f64
-                    + device.dyn_loop_stall * c.dyn_iters as f64
-                    + mem.max(compute);
-                instance_times.push(t);
+    let threads = options.resolve_threads().min(instances.max(1));
+    let parallel = threads > 1
+        && instances >= options.min_parallel_instances.max(2)
+        && (mode == Mode::Analytic || kernel_allows_parallel_execute(kernel));
+
+    let (stats_sums, read_seen, write_seen, atomic_counts, instance_times) = if !parallel {
+        // Sequential path: one machine, direct writes.
+        let mut machine = Machine::new(kernel, mode, dot_f16, &params, WriteSink::Direct);
+        let mut regs: Vec<Option<Block>> = vec![None; kernel.num_regs];
+        let mut view = ArgsView::Exclusive(&mut *args);
+        let mut instance_times = Vec::with_capacity(instances);
+        for flat in 0..instances {
+            instance_times.push(machine.run_instance(
+                &mut regs,
+                pid_of(flat, gdims),
+                &mut view,
+                device,
+            )?);
+        }
+        (
+            machine.stats,
+            machine.dram_read_seen,
+            machine.dram_write_seen,
+            machine.atomic_counts,
+            instance_times,
+        )
+    } else {
+        // Parallel path: contiguous shards, deterministic merge.
+        let shared: Vec<&Tensor> = args.iter().map(|t| &**t).collect();
+        let nshards = threads.min(instances);
+        let chunk = instances.div_ceil(nshards);
+        struct Shard {
+            stats: KernelStats,
+            read: SectorSet,
+            write: SectorSet,
+            counts: Vec<Vec<u64>>,
+            times: Vec<f64>,
+            log: Vec<WriteOp>,
+        }
+        type ShardResult = Result<Shard, (usize, GpuError)>;
+        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nshards)
+                .map(|si| {
+                    let shared = &shared;
+                    let params = &params;
+                    scope.spawn(move || -> ShardResult {
+                        let sink = match mode {
+                            Mode::Execute => WriteSink::Log(Vec::new()),
+                            Mode::Analytic => WriteSink::Direct, // never writes
+                        };
+                        let mut m = Machine::new(kernel, mode, dot_f16, params, sink);
+                        let mut regs: Vec<Option<Block>> = vec![None; kernel.num_regs];
+                        let mut view = ArgsView::Shared(shared);
+                        let lo = (si * chunk).min(instances);
+                        let hi = ((si + 1) * chunk).min(instances);
+                        let mut times = Vec::with_capacity(hi - lo);
+                        for flat in lo..hi {
+                            match m.run_instance(&mut regs, pid_of(flat, gdims), &mut view, device)
+                            {
+                                Ok(t) => times.push(t),
+                                Err(e) => return Err((flat, e)),
+                            }
+                        }
+                        let log = match m.sink {
+                            WriteSink::Log(log) => log,
+                            WriteSink::Direct => Vec::new(),
+                        };
+                        Ok(Shard {
+                            stats: m.stats,
+                            read: m.dram_read_seen,
+                            write: m.dram_write_seen,
+                            counts: m.atomic_counts,
+                            times,
+                            log,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulator shard panicked"))
+                .collect()
+        });
+
+        // First error in instance order wins (shards cover ordered,
+        // disjoint ranges, so the first erroring shard holds it).
+        let mut shards = Vec::with_capacity(nshards);
+        for r in shard_results {
+            match r {
+                Ok(s) => shards.push(s),
+                Err((_, e)) => return Err(e),
+            }
+        }
+
+        let mut stats = KernelStats::default();
+        let mut read_seen = SectorSet::new(params.total_sectors);
+        let mut write_seen = SectorSet::new(params.total_sectors);
+        let mut counts: Vec<Vec<u64>> = vec![Vec::new(); params.lens.len()];
+        let mut instance_times = Vec::with_capacity(instances);
+        for shard in &shards {
+            stats.l2_read_sectors += shard.stats.l2_read_sectors;
+            stats.l2_write_sectors += shard.stats.l2_write_sectors;
+            stats.flops_tc_f16 += shard.stats.flops_tc_f16;
+            stats.flops_tc_f32 += shard.stats.flops_tc_f32;
+            stats.flops_scalar += shard.stats.flops_scalar;
+            stats.smem_bytes += shard.stats.smem_bytes;
+            stats.atomics += shard.stats.atomics;
+            stats.instructions += shard.stats.instructions;
+            read_seen.union(&shard.read);
+            write_seen.union(&shard.write);
+            for (p, c) in shard.counts.iter().enumerate() {
+                if c.is_empty() {
+                    continue;
+                }
+                if counts[p].is_empty() {
+                    counts[p] = vec![0u64; params.lens[p]];
+                }
+                for (acc, &v) in counts[p].iter_mut().zip(c) {
+                    *acc += v;
+                }
+            }
+            instance_times.extend_from_slice(&shard.times);
+        }
+
+        // Replay Execute-mode writes in instance order: bit-identical to
+        // the sequential interleaving because shards are ordered and
+        // written parameters are never read back by the kernel.
+        if mode == Mode::Execute {
+            for shard in &shards {
+                for w in &shard.log {
+                    let round = params.dtypes[w.param as usize] == DType::F16;
+                    let slot = &mut args[w.param as usize].data_mut()[w.off as usize];
+                    let mut v = if w.atomic { *slot + w.val } else { w.val };
+                    if round {
+                        v = insum_tensor::f16_round(v);
+                    }
+                    *slot = v;
+                }
+            }
+        }
+        (stats, read_seen, write_seen, counts, instance_times)
+    };
+
+    let mut stats = stats_sums;
+    stats.instances = instances as u64;
+    stats.dram_read_sectors = read_seen.count();
+    stats.dram_write_sectors = write_seen.count();
+    let mut conflicts = 0u64;
+    let mut max_chain = 0u64;
+    for counts in &atomic_counts {
+        for &c in counts {
+            if c > 0 {
+                conflicts += c - 1;
+                max_chain = max_chain.max(c - 1);
             }
         }
     }
+    stats.atomic_conflicts = conflicts;
 
-    machine.stats.instances = instances as u64;
-    let conflicts: u64 = machine.atomic_counts.values().map(|&c| c - 1).sum();
-    machine.stats.atomic_conflicts = conflicts;
     // Atomics to distinct addresses pipeline across the L2 slices
     // (throughput term); only the longest same-address chain serializes
     // (latency term).
-    let max_chain: u64 =
-        machine.atomic_counts.values().map(|&c| c - 1).max().unwrap_or(0);
-
-    let dram_time = machine.stats.dram_bytes() as f64 / device.dram_bw
-        + machine.stats.atomics as f64 / device.atomic_rate
+    let dram_time = stats.dram_bytes() as f64 / device.dram_bw
+        + stats.atomics as f64 / device.atomic_rate
         + max_chain as f64 * device.atomic_conflict_penalty;
     let (time, sm_time, dram_time) = combine_times(device, &instance_times, dram_time);
     let max_instance_time = instance_times.iter().copied().fold(0.0, f64::max);
@@ -494,7 +1492,7 @@ pub fn launch(
     Ok(KernelReport {
         name: kernel.name.clone(),
         grid: grid.to_vec(),
-        stats: machine.stats,
+        stats,
         time,
         sm_time,
         dram_time,
@@ -505,6 +1503,7 @@ pub fn launch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::launch_reference;
     use insum_kernel::{BinOp, KernelBuilder};
 
     fn device() -> DeviceModel {
@@ -532,8 +1531,14 @@ mod tests {
     fn execute_computes_values() {
         let mut x = Tensor::from_fn(vec![64], |i| i[0] as f32);
         let mut y = Tensor::zeros(vec![64]);
-        let report =
-            launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y], &device(), Mode::Execute).unwrap();
+        let report = launch(
+            &axpy_kernel(),
+            &[2],
+            &mut [&mut x, &mut y],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(y.at(&[10]), 20.0);
         assert_eq!(y.at(&[63]), 126.0);
         assert_eq!(report.stats.instances, 2);
@@ -545,13 +1550,28 @@ mod tests {
         let mut x = Tensor::from_fn(vec![64], |i| i[0] as f32);
         let mut y1 = Tensor::zeros(vec![64]);
         let mut y2 = Tensor::zeros(vec![64]);
-        let r1 =
-            launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y1], &device(), Mode::Execute).unwrap();
-        let r2 =
-            launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y2], &device(), Mode::Analytic).unwrap();
+        let r1 = launch(
+            &axpy_kernel(),
+            &[2],
+            &mut [&mut x, &mut y1],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
+        let r2 = launch(
+            &axpy_kernel(),
+            &[2],
+            &mut [&mut x, &mut y2],
+            &device(),
+            Mode::Analytic,
+        )
+        .unwrap();
         assert_eq!(r1.stats, r2.stats);
         assert_eq!(r1.time, r2.time);
-        assert!(y2.data().iter().all(|&v| v == 0.0), "analytic mode must not write");
+        assert!(
+            y2.data().iter().all(|&v| v == 0.0),
+            "analytic mode must not write"
+        );
     }
 
     #[test]
@@ -559,7 +1579,14 @@ mod tests {
         // 64 contiguous f32 = 256 bytes = 8 sectors read; same written.
         let mut x = Tensor::zeros(vec![64]);
         let mut y = Tensor::zeros(vec![64]);
-        let r = launch(&axpy_kernel(), &[2], &mut [&mut x, &mut y], &device(), Mode::Execute).unwrap();
+        let r = launch(
+            &axpy_kernel(),
+            &[2],
+            &mut [&mut x, &mut y],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(r.stats.l2_read_sectors, 8);
         assert_eq!(r.stats.dram_read_sectors, 8);
         assert_eq!(r.stats.l2_write_sectors, 8);
@@ -579,7 +1606,14 @@ mod tests {
         let k = b.build();
         let mut x_t = Tensor::zeros(vec![256]);
         let mut y_t = Tensor::zeros(vec![32]);
-        let r = launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        let r = launch(
+            &k,
+            &[1],
+            &mut [&mut x_t, &mut y_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(r.stats.l2_read_sectors, 32, "one sector per strided lane");
     }
 
@@ -599,7 +1633,14 @@ mod tests {
         let k = b.build();
         let mut x_t = Tensor::zeros(vec![32]);
         let mut y_t = Tensor::zeros(vec![64]);
-        let r = launch(&k, &[2], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        let r = launch(
+            &k,
+            &[2],
+            &mut [&mut x_t, &mut y_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(r.stats.l2_read_sectors, 8, "both programs read 4 sectors");
         assert_eq!(r.stats.dram_read_sectors, 4, "DRAM sees the data once");
     }
@@ -617,7 +1658,14 @@ mod tests {
         let k = b.build();
         let mut x_t = Tensor::from_fn(vec![32], |i| i[0] as f32);
         let mut y_t = Tensor::zeros(vec![32]);
-        let r = launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        let r = launch(
+            &k,
+            &[1],
+            &mut [&mut x_t, &mut y_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(r.stats.l2_read_sectors, 1, "8 f32 = 1 sector");
         assert_eq!(y_t.at(&[7]), 7.0);
         assert_eq!(y_t.at(&[8]), 0.0);
@@ -637,7 +1685,14 @@ mod tests {
         let k = b.build();
         let mut x_t = Tensor::zeros(vec![10]);
         let mut y_t = Tensor::zeros(vec![10]);
-        launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        launch(
+            &k,
+            &[1],
+            &mut [&mut x_t, &mut y_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -652,7 +1707,13 @@ mod tests {
         let mut x_t = Tensor::zeros(vec![10]);
         let mut y_t = Tensor::zeros(vec![32]);
         assert!(matches!(
-            launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute),
+            launch(
+                &k,
+                &[1],
+                &mut [&mut x_t, &mut y_t],
+                &device(),
+                Mode::Execute
+            ),
             Err(GpuError::OffsetOutOfBounds { .. })
         ));
     }
@@ -714,8 +1775,14 @@ mod tests {
         let mut a_t = Tensor::ones(vec![16, 8]);
         let mut b_t = Tensor::ones(vec![8, 16]);
         let mut c_t = Tensor::zeros(vec![16, 16]);
-        let r =
-            launch(&k, &[1], &mut [&mut a_t, &mut b_t, &mut c_t], &device(), Mode::Execute).unwrap();
+        let r = launch(
+            &k,
+            &[1],
+            &mut [&mut a_t, &mut b_t, &mut c_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(r.stats.flops_tc_f32, 2 * 16 * 8 * 16);
         assert_eq!(r.stats.flops_tc_f16, 0);
         assert_eq!(c_t.at(&[0, 0]), 8.0);
@@ -724,8 +1791,14 @@ mod tests {
         let mut a_h = Tensor::ones(vec![16, 8]).cast(DType::F16);
         let mut b_h = Tensor::ones(vec![8, 16]).cast(DType::F16);
         let mut c_h = Tensor::zeros(vec![16, 16]).cast(DType::F16);
-        let r2 =
-            launch(&k, &[1], &mut [&mut a_h, &mut b_h, &mut c_h], &device(), Mode::Execute).unwrap();
+        let r2 = launch(
+            &k,
+            &[1],
+            &mut [&mut a_h, &mut b_h, &mut c_h],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(r2.stats.flops_tc_f16, 2 * 16 * 8 * 16);
         assert_eq!(r2.stats.flops_tc_f32, 0);
     }
@@ -734,14 +1807,24 @@ mod tests {
     fn f16_tensors_move_fewer_bytes() {
         let mut x32 = Tensor::zeros(vec![64]);
         let mut y32 = Tensor::zeros(vec![64]);
-        let r32 =
-            launch(&axpy_kernel(), &[2], &mut [&mut x32, &mut y32], &device(), Mode::Execute)
-                .unwrap();
+        let r32 = launch(
+            &axpy_kernel(),
+            &[2],
+            &mut [&mut x32, &mut y32],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         let mut x16 = Tensor::zeros(vec![64]).cast(DType::F16);
         let mut y16 = Tensor::zeros(vec![64]).cast(DType::F16);
-        let r16 =
-            launch(&axpy_kernel(), &[2], &mut [&mut x16, &mut y16], &device(), Mode::Execute)
-                .unwrap();
+        let r16 = launch(
+            &axpy_kernel(),
+            &[2],
+            &mut [&mut x16, &mut y16],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert!(r16.stats.dram_bytes() < r32.stats.dram_bytes());
     }
 
@@ -764,7 +1847,14 @@ mod tests {
         let k = b.build();
         let mut x_t = Tensor::ones(vec![128]);
         let mut y_t = Tensor::zeros(vec![32]);
-        launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        launch(
+            &k,
+            &[1],
+            &mut [&mut x_t, &mut y_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert!(y_t.data().iter().all(|&v| v == 4.0));
     }
 
@@ -772,8 +1862,17 @@ mod tests {
     fn param_count_mismatch_reported() {
         let mut x = Tensor::zeros(vec![64]);
         assert!(matches!(
-            launch(&axpy_kernel(), &[1], &mut [&mut x], &device(), Mode::Execute),
-            Err(GpuError::ParamCountMismatch { expected: 2, actual: 1 })
+            launch(
+                &axpy_kernel(),
+                &[1],
+                &mut [&mut x],
+                &device(),
+                Mode::Execute
+            ),
+            Err(GpuError::ParamCountMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 
@@ -782,11 +1881,23 @@ mod tests {
         let mut x = Tensor::zeros(vec![64]);
         let mut y = Tensor::zeros(vec![64]);
         assert!(matches!(
-            launch(&axpy_kernel(), &[], &mut [&mut x, &mut y], &device(), Mode::Execute),
+            launch(
+                &axpy_kernel(),
+                &[],
+                &mut [&mut x, &mut y],
+                &device(),
+                Mode::Execute
+            ),
             Err(GpuError::BadGrid(_))
         ));
         assert!(matches!(
-            launch(&axpy_kernel(), &[0], &mut [&mut x, &mut y], &device(), Mode::Execute),
+            launch(
+                &axpy_kernel(),
+                &[0],
+                &mut [&mut x, &mut y],
+                &device(),
+                Mode::Execute
+            ),
             Err(GpuError::BadGrid(_))
         ));
     }
@@ -805,7 +1916,14 @@ mod tests {
         let k = b.build();
         let mut x_t = Tensor::from_fn(vec![64], |i| i[0] as f32);
         let mut y_t = Tensor::zeros(vec![64]);
-        let r = launch(&k, &[1], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        let r = launch(
+            &k,
+            &[1],
+            &mut [&mut x_t, &mut y_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         assert_eq!(r.stats.smem_bytes, 3 * 64 * 4);
         // Transposed copy really happened.
         assert_eq!(y_t.at(&[1]), 8.0);
@@ -833,9 +1951,151 @@ mod tests {
         let k = b.build();
         let mut x_t = Tensor::ones(vec![32]);
         let mut y_t = Tensor::zeros(vec![32]);
-        let r = launch(&k, &[64], &mut [&mut x_t, &mut y_t], &device(), Mode::Execute).unwrap();
+        let r = launch(
+            &k,
+            &[64],
+            &mut [&mut x_t, &mut y_t],
+            &device(),
+            Mode::Execute,
+        )
+        .unwrap();
         // The longest instance is far above the mean.
         assert!(r.max_instance_time > 10.0 * r.sm_time / 64.0);
         assert!(r.sm_time >= r.max_instance_time);
+    }
+
+    /// A gather/scale/scatter kernel with a masked tail — exercises loads,
+    /// masks, atomics, and integer metadata in one program.
+    fn scatter_kernel(n: usize) -> Kernel {
+        let mut b = KernelBuilder::new("scatter");
+        let x = b.input("X");
+        let idx = b.input("IDX");
+        let y = b.output("Y");
+        let pid = b.program_id(0);
+        let w = b.constant(32.0);
+        let base = b.binary(BinOp::Mul, pid, w);
+        let lanes = b.arange(32);
+        let flat = b.binary(BinOp::Add, base, lanes);
+        let n_c = b.constant(n as f64);
+        let mask = b.binary(BinOp::Lt, flat, n_c);
+        let v = b.load(x, flat, Some(mask), 0.0);
+        let s = b.constant(1.5);
+        let sv = b.binary(BinOp::Mul, v, s);
+        let j = b.load(idx, flat, Some(mask), 0.0);
+        b.atomic_add(y, j, sv, Some(mask));
+        b.build()
+    }
+
+    #[test]
+    fn matches_reference_interpreter_bit_for_bit() {
+        let n = 300;
+        let kernel = scatter_kernel(n);
+        let grid = [n.div_ceil(32)];
+        let mk = || {
+            (
+                Tensor::from_fn(vec![n], |i| (i[0] % 13) as f32 - 6.0),
+                Tensor::from_indices(vec![n], (0..n as i64).map(|i| i % 17).collect()).unwrap(),
+                Tensor::zeros(vec![17]),
+            )
+        };
+        for mode in [Mode::Execute, Mode::Analytic] {
+            let (mut x1, mut i1, mut y1) = mk();
+            let (mut x2, mut i2, mut y2) = mk();
+            let r_new = launch(
+                &kernel,
+                &grid,
+                &mut [&mut x1, &mut i1, &mut y1],
+                &device(),
+                mode,
+            )
+            .unwrap();
+            let r_ref = launch_reference(
+                &kernel,
+                &grid,
+                &mut [&mut x2, &mut i2, &mut y2],
+                &device(),
+                mode,
+            )
+            .unwrap();
+            assert_eq!(r_new.stats, r_ref.stats, "{mode:?} stats diverge from seed");
+            assert_eq!(r_new.time, r_ref.time, "{mode:?} time diverges from seed");
+            assert_eq!(y1.data(), y2.data(), "{mode:?} outputs diverge from seed");
+        }
+    }
+
+    #[test]
+    fn forced_parallel_matches_sequential_bit_for_bit() {
+        let n = 4096; // 128 instances
+        let kernel = scatter_kernel(n);
+        let grid = [n.div_ceil(32)];
+        let mk = || {
+            (
+                Tensor::from_fn(vec![n], |i| (i[0] % 29) as f32 * 0.25 - 3.0),
+                Tensor::from_indices(vec![n], (0..n as i64).map(|i| (i * 7) % 33).collect())
+                    .unwrap(),
+                Tensor::zeros(vec![33]),
+            )
+        };
+        for mode in [Mode::Execute, Mode::Analytic] {
+            let (mut x1, mut i1, mut y1) = mk();
+            let (mut x2, mut i2, mut y2) = mk();
+            let seq = launch_with(
+                &kernel,
+                &grid,
+                &mut [&mut x1, &mut i1, &mut y1],
+                &device(),
+                mode,
+                &LaunchOptions::sequential(),
+            )
+            .unwrap();
+            let mut par_opts = LaunchOptions::with_threads(5);
+            par_opts.min_parallel_instances = 2;
+            let par = launch_with(
+                &kernel,
+                &grid,
+                &mut [&mut x2, &mut i2, &mut y2],
+                &device(),
+                mode,
+                &par_opts,
+            )
+            .unwrap();
+            assert_eq!(
+                seq.stats, par.stats,
+                "{mode:?} stats diverge under sharding"
+            );
+            assert_eq!(seq.time, par.time, "{mode:?} time diverges under sharding");
+            assert_eq!(
+                y1.data(),
+                y2.data(),
+                "{mode:?} outputs diverge under sharding"
+            );
+        }
+    }
+
+    #[test]
+    fn execute_parallel_gated_on_read_write_params() {
+        // A kernel that reads its own output must run sequentially; one
+        // with a write-only output may parallelize.
+        let mut b = KernelBuilder::new("rmw");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let v = b.load(y, lanes, None, 0.0);
+        let one = b.constant(1.0);
+        let v1 = b.binary(BinOp::Add, v, one);
+        b.store(y, lanes, v1, None);
+        let rmw = b.build();
+        assert!(!kernel_allows_parallel_execute(&rmw));
+        assert!(kernel_allows_parallel_execute(&axpy_kernel()));
+
+        // The gate is behavioral, not just advisory: a read-modify-write
+        // kernel still produces sequential results at high thread counts.
+        let mut y_t = Tensor::zeros(vec![32]);
+        let mut opts = LaunchOptions::with_threads(8);
+        opts.min_parallel_instances = 2;
+        launch_with(&rmw, &[4], &mut [&mut y_t], &device(), Mode::Execute, &opts).unwrap();
+        assert!(
+            y_t.data().iter().all(|&v| v == 4.0),
+            "each instance increments by 1"
+        );
     }
 }

@@ -23,15 +23,51 @@
 //! value math (metadata loads still execute so gather/scatter addresses
 //! are exact); counters are identical to Execute mode. The benchmark
 //! harness uses it for large sweeps.
+//!
+//! # Simulator performance model
+//!
+//! The interpreter is the hot path of every experiment harness, so its
+//! execution core is engineered for host throughput while staying
+//! bit-identical to the straightforward seed implementation (kept in
+//! [`reference`] as an oracle; `insum_bench`'s `simbench` binary tracks
+//! the speedup in `BENCH_sim.json`):
+//!
+//! * **Strided copy-on-write blocks** — [`Block`] is a view
+//!   (`Arc` storage + shape/strides), so `expand_dims`/`view`/
+//!   `broadcast_to`/`trans` are metadata edits and scalars (loop
+//!   counters, constants) live inline without heap storage. The *cost
+//!   model* still charges shared-memory traffic for `view`/`trans`/
+//!   `broadcast_to`: the modeled hardware pays it even though the host
+//!   no longer copies.
+//! * **Register-slot recycling** — overwritten registers donate their
+//!   buffers (refcount block included) to a pool, so steady-state loop
+//!   iterations allocate nothing.
+//! * **Compact access tracking** — the kernel-resident L2 filter is an
+//!   address-space bitmap and atomic collisions are per-parameter count
+//!   vectors; the per-warp coalescing scan runs over stack buffers with
+//!   an arithmetic shortcut for the dominant `base + arange` pattern.
+//! * **Bit-exact SIMD** — elementwise f64 arithmetic and the `tl.dot`
+//!   inner loops dispatch to 4-wide vector code at runtime where the
+//!   host supports it (no fused multiply-add, no reassociation of any
+//!   per-element reduction chain, so results are unchanged).
+//! * **Deterministic parallelism** — [`launch_with`] can shard the
+//!   grid-instance loop across threads ([`LaunchOptions`]); DRAM
+//!   first-touch sets union, collision counters add, and Execute-mode
+//!   writes replay from per-shard logs in instance order, so outputs and
+//!   [`KernelStats`] are bit-for-bit identical to the sequential path at
+//!   every thread count. Kernels that read a parameter they also write
+//!   fall back to sequential execution.
 
 mod block;
 mod device;
 mod interp;
+#[doc(hidden)]
+pub mod reference;
 mod stats;
 
 pub use block::Block;
 pub use device::DeviceModel;
-pub use interp::{launch, GpuError, Mode};
+pub use interp::{launch, launch_with, GpuError, LaunchOptions, Mode};
 pub use stats::{KernelReport, KernelStats, Profile};
 
 /// Crate-wide result alias.

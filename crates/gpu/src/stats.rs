@@ -133,7 +133,12 @@ impl Profile {
 
 impl fmt::Display for Profile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "profile: {} launches, {:.3} us total", self.launches(), self.total_time() * 1e6)?;
+        writeln!(
+            f,
+            "profile: {} launches, {:.3} us total",
+            self.launches(),
+            self.total_time() * 1e6
+        )?;
         for r in &self.reports {
             writeln!(f, "  {r}")?;
         }
@@ -173,7 +178,9 @@ pub(crate) fn combine_times(
         }
         impl Ord for F {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+                self.0
+                    .partial_cmp(&other.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             }
         }
         let mut heap: BinaryHeap<Reverse<F>> = (0..s_used).map(|_| Reverse(F(0.0))).collect();
@@ -197,7 +204,10 @@ mod tests {
         let mk = |t: f64, atomics: u64| KernelReport {
             name: "k".into(),
             grid: vec![1],
-            stats: KernelStats { atomics, ..Default::default() },
+            stats: KernelStats {
+                atomics,
+                ..Default::default()
+            },
             time: t,
             sm_time: t,
             dram_time: 0.0,
@@ -240,7 +250,13 @@ mod tests {
 
     #[test]
     fn stats_byte_helpers() {
-        let s = KernelStats { dram_read_sectors: 2, dram_write_sectors: 1, l2_read_sectors: 4, l2_write_sectors: 0, ..Default::default() };
+        let s = KernelStats {
+            dram_read_sectors: 2,
+            dram_write_sectors: 1,
+            l2_read_sectors: 4,
+            l2_write_sectors: 0,
+            ..Default::default()
+        };
         assert_eq!(s.dram_bytes(), 96);
         assert_eq!(s.l2_bytes(), 128);
     }

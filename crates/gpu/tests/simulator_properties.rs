@@ -1,7 +1,8 @@
 //! Property tests for the GPU simulator: analytic/execute agreement,
 //! determinism, and cost-model monotonicity on randomized kernels.
 
-use insum_gpu::{launch, DeviceModel, Mode};
+use insum_gpu::reference::launch_reference;
+use insum_gpu::{launch, launch_with, DeviceModel, LaunchOptions, Mode};
 use insum_kernel::{BinOp, Kernel, KernelBuilder};
 use insum_tensor::Tensor;
 use proptest::prelude::*;
@@ -142,6 +143,94 @@ proptest! {
                 .time
         };
         prop_assert!(t_big >= t_small, "double work {t_big:.3e} < {t_small:.3e}");
+    }
+
+    #[test]
+    fn parallel_launch_is_bit_identical_to_sequential(
+        n in 65usize..400,
+        out_size in 1usize..32,
+        seed in proptest::collection::vec(0usize..32, 1..200),
+        scale in -4.0f64..4.0,
+        threads in 2usize..9,
+    ) {
+        let lanes = 32;
+        let device = DeviceModel::rtx3090();
+        let kernel = gather_scale_scatter(n, lanes, scale);
+        let grid = [n.div_ceil(lanes)];
+        let x = Tensor::from_fn(vec![n], |i| (i[0] % 11) as f32 * 0.75 - 4.0);
+        let idx_data: Vec<i64> =
+            (0..n).map(|i| (seed[i % seed.len()] % out_size) as i64).collect();
+        let idx = Tensor::from_indices(vec![n], idx_data).expect("length matches");
+
+        for mode in [Mode::Execute, Mode::Analytic] {
+            let mut x1 = x.clone();
+            let mut i1 = idx.clone();
+            let mut y1 = Tensor::zeros(vec![out_size]);
+            let seq = launch_with(
+                &kernel,
+                &grid,
+                &mut [&mut x1, &mut i1, &mut y1],
+                &device,
+                mode,
+                &LaunchOptions::sequential(),
+            )
+            .expect("sequential runs");
+
+            let mut x2 = x.clone();
+            let mut i2 = idx.clone();
+            let mut y2 = Tensor::zeros(vec![out_size]);
+            let mut opts = LaunchOptions::with_threads(threads);
+            opts.min_parallel_instances = 2;
+            let par = launch_with(
+                &kernel,
+                &grid,
+                &mut [&mut x2, &mut i2, &mut y2],
+                &device,
+                mode,
+                &opts,
+            )
+            .expect("parallel runs");
+
+            prop_assert_eq!(seq.stats, par.stats, "{:?} stats diverge", mode);
+            prop_assert_eq!(seq.time, par.time, "{:?} time diverges", mode);
+            prop_assert_eq!(y1.data(), y2.data(), "{:?} outputs diverge", mode);
+        }
+    }
+
+    #[test]
+    fn optimized_interpreter_matches_seed_bit_for_bit(
+        n in 1usize..300,
+        out_size in 1usize..24,
+        seed in proptest::collection::vec(0usize..24, 1..150),
+        scale in -2.0f64..2.0,
+    ) {
+        let lanes = 32;
+        let device = DeviceModel::rtx3090();
+        let kernel = gather_scale_scatter(n, lanes, scale);
+        let grid = [n.div_ceil(lanes)];
+        let x = Tensor::from_fn(vec![n], |i| (i[0] % 7) as f32 - 3.0);
+        let idx_data: Vec<i64> =
+            (0..n).map(|i| (seed[i % seed.len()] % out_size) as i64).collect();
+        let idx = Tensor::from_indices(vec![n], idx_data).expect("length matches");
+
+        for mode in [Mode::Execute, Mode::Analytic] {
+            let mut x1 = x.clone();
+            let mut i1 = idx.clone();
+            let mut y1 = Tensor::zeros(vec![out_size]);
+            let new = launch(&kernel, &grid, &mut [&mut x1, &mut i1, &mut y1], &device, mode)
+                .expect("optimized runs");
+
+            let mut x2 = x.clone();
+            let mut i2 = idx.clone();
+            let mut y2 = Tensor::zeros(vec![out_size]);
+            let old =
+                launch_reference(&kernel, &grid, &mut [&mut x2, &mut i2, &mut y2], &device, mode)
+                    .expect("seed runs");
+
+            prop_assert_eq!(new.stats, old.stats, "{:?} stats diverge from seed", mode);
+            prop_assert_eq!(new.time, old.time, "{:?} time diverges from seed", mode);
+            prop_assert_eq!(y1.data(), y2.data(), "{:?} outputs diverge from seed", mode);
+        }
     }
 
     #[test]

@@ -41,15 +41,23 @@ pub fn execute(graph: &Graph, inputs: &BTreeMap<String, Tensor>) -> Result<Tenso
                 let ix = values[*index].as_ref().expect("topological order");
                 t.index_select(*dim, ix)?
             }
-            Op::Reshape { input, shape } => {
-                values[*input].as_ref().expect("topological order").reshape(shape.clone())?
-            }
+            Op::Reshape { input, shape } => values[*input]
+                .as_ref()
+                .expect("topological order")
+                .reshape(shape.clone())?,
             Op::Einsum { spec, inputs: ins } => {
-                let operands: Vec<&Tensor> =
-                    ins.iter().map(|&i| values[i].as_ref().expect("topological order")).collect();
+                let operands: Vec<&Tensor> = ins
+                    .iter()
+                    .map(|&i| values[i].as_ref().expect("topological order"))
+                    .collect();
                 einsum(spec, &operands)?
             }
-            Op::IndexAdd { dest, dim, index, source } => {
+            Op::IndexAdd {
+                dest,
+                dim,
+                index,
+                source,
+            } => {
                 let mut d = values[*dest].as_ref().expect("topological order").clone();
                 let ix = values[*index].as_ref().expect("topological order");
                 let s = values[*source].as_ref().expect("topological order");
@@ -61,9 +69,10 @@ pub fn execute(graph: &Graph, inputs: &BTreeMap<String, Tensor>) -> Result<Tenso
                 let b = values[*rhs].as_ref().expect("topological order");
                 a.add(b)?
             }
-            Op::Cast { input, dtype } => {
-                values[*input].as_ref().expect("topological order").cast(*dtype)
-            }
+            Op::Cast { input, dtype } => values[*input]
+                .as_ref()
+                .expect("topological order")
+                .cast(*dtype),
         };
         values[node.id] = Some(value);
     }
@@ -83,11 +92,18 @@ mod tests {
         let stmt = parse(expr).unwrap();
         let metas: BTreeMap<String, TensorMeta> = binds
             .iter()
-            .map(|(n, t)| (n.to_string(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .map(|(n, t)| {
+                (
+                    n.to_string(),
+                    TensorMeta::new(t.shape().to_vec(), t.dtype()),
+                )
+            })
             .collect();
         let lowered = lower(&stmt, &metas)?;
-        let inputs: BTreeMap<String, Tensor> =
-            binds.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+        let inputs: BTreeMap<String, Tensor> = binds
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect();
         execute(&lowered.graph, &inputs)
     }
 
@@ -103,7 +119,13 @@ mod tests {
 
         let got = run(
             "C[AM[p],n] += AV[p] * B[AK[p],n]",
-            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b.clone())],
+            &[
+                ("C", c),
+                ("AM", am),
+                ("AK", ak),
+                ("AV", av),
+                ("B", b.clone()),
+            ],
         )
         .unwrap();
 
@@ -159,7 +181,13 @@ mod tests {
         let c = Tensor::zeros(vec![4, 3]);
         let got = run(
             "C[AM[p],n] += AV[p,q] * B[AK[p,q],n]",
-            &[("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b.clone())],
+            &[
+                ("C", c),
+                ("AM", am),
+                ("AK", ak),
+                ("AV", av),
+                ("B", b.clone()),
+            ],
         )
         .unwrap();
         let mut a = Tensor::zeros(vec![4, 5]);
@@ -175,8 +203,11 @@ mod tests {
         let a = Tensor::from_fn(vec![3, 4], |i| (i[0] + 2 * i[1]) as f32);
         let b = Tensor::from_fn(vec![4, 2], |i| (i[0] * i[1] + 1) as f32);
         let c = Tensor::zeros(vec![3, 2]);
-        let got = run("C[y,x] = A[y,r] * B[r,x]", &[("C", c), ("A", a.clone()), ("B", b.clone())])
-            .unwrap();
+        let got = run(
+            "C[y,x] = A[y,r] * B[r,x]",
+            &[("C", c), ("A", a.clone()), ("B", b.clone())],
+        )
+        .unwrap();
         assert!(got.allclose(&a.matmul(&b).unwrap(), 1e-5, 1e-5));
     }
 
@@ -189,7 +220,12 @@ mod tests {
         let c = Tensor::zeros(vec![2, 2]);
         let got = run(
             "C[y,x] = A[y,E[r]] * B[r,x]",
-            &[("C", c), ("A", a.clone()), ("E", e.clone()), ("B", b.clone())],
+            &[
+                ("C", c),
+                ("A", a.clone()),
+                ("E", e.clone()),
+                ("B", b.clone()),
+            ],
         )
         .unwrap();
         let atmp = a.index_select(1, &e).unwrap();
@@ -207,8 +243,9 @@ mod tests {
         .into_iter()
         .collect();
         let lowered = lower(&stmt, &metas).unwrap();
-        let only_c: BTreeMap<String, Tensor> =
-            [("C".to_string(), Tensor::zeros(vec![2]))].into_iter().collect();
+        let only_c: BTreeMap<String, Tensor> = [("C".to_string(), Tensor::zeros(vec![2]))]
+            .into_iter()
+            .collect();
         assert!(matches!(
             execute(&lowered.graph, &only_c),
             Err(GraphError::MissingInput(name)) if name == "A"
@@ -231,7 +268,10 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        assert!(matches!(execute(&lowered.graph, &inputs), Err(GraphError::Malformed(_))));
+        assert!(matches!(
+            execute(&lowered.graph, &inputs),
+            Err(GraphError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -244,9 +284,13 @@ mod tests {
         let cgj = Tensor::from_indices(vec![p_sz], vec![0, 1, 2, 3, 0, 1]).unwrap();
         let cgk = Tensor::from_indices(vec![p_sz], vec![0, 1, 2, 3, 4, 0]).unwrap();
         let cgv = Tensor::from_vec(vec![p_sz], vec![0.5, 1.0, -1.0, 2.0, 0.25, 1.5]).unwrap();
-        let x = Tensor::from_fn(vec![b_sz, j_dim, u_sz], |i| (i[0] + i[1] + i[2]) as f32 * 0.1);
+        let x = Tensor::from_fn(vec![b_sz, j_dim, u_sz], |i| {
+            (i[0] + i[1] + i[2]) as f32 * 0.1
+        });
         let y = Tensor::from_fn(vec![b_sz, k_dim], |i| (i[0] * 2 + i[1]) as f32 * 0.2);
-        let w = Tensor::from_fn(vec![p_sz, u_sz, w_sz], |i| (i[0] + i[1] * i[2]) as f32 * 0.3);
+        let w = Tensor::from_fn(vec![p_sz, u_sz, w_sz], |i| {
+            (i[0] + i[1] * i[2]) as f32 * 0.3
+        });
         let z = Tensor::zeros(vec![b_sz, i_dim, w_sz]);
 
         let got = run(
@@ -274,10 +318,7 @@ mod tests {
                         let j = cgj.at_i64(&[p]) as usize;
                         let k = cgk.at_i64(&[p]) as usize;
                         let v = want.at(&[b, i, wi])
-                            + cgv.at(&[p])
-                                * x.at(&[b, j, u])
-                                * y.at(&[b, k])
-                                * w.at(&[p, u, wi]);
+                            + cgv.at(&[p]) * x.at(&[b, j, u]) * y.at(&[b, k]) * w.at(&[p, u, wi]);
                         want.set(&[b, i, wi], v);
                     }
                 }

@@ -79,7 +79,12 @@ impl Op {
             Op::IndexSelect { input, index, .. } => vec![*input, *index],
             Op::Reshape { input, .. } | Op::Cast { input, .. } => vec![*input],
             Op::Einsum { inputs, .. } => inputs.clone(),
-            Op::IndexAdd { dest, index, source, .. } => vec![*dest, *index, *source],
+            Op::IndexAdd {
+                dest,
+                index,
+                source,
+                ..
+            } => vec![*dest, *index, *source],
             Op::Add { lhs, rhs } => vec![*lhs, *rhs],
         }
     }
@@ -152,21 +157,38 @@ impl Graph {
             }
         }
         let (shape, dtype) = self.infer(&op)?;
-        self.nodes.push(Node { id, op, shape, dtype });
+        self.nodes.push(Node {
+            id,
+            op,
+            shape,
+            dtype,
+        });
         Ok(id)
     }
 
     /// Append a placeholder with an explicit shape and dtype.
     pub fn placeholder(&mut self, name: &str, shape: Vec<usize>, dtype: DType) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(Node { id, op: Op::Placeholder { name: name.to_string() }, shape, dtype });
+        self.nodes.push(Node {
+            id,
+            op: Op::Placeholder {
+                name: name.to_string(),
+            },
+            shape,
+            dtype,
+        });
         id
     }
 
     /// Append a zeros node with an explicit shape and dtype.
     pub fn zeros(&mut self, shape: Vec<usize>, dtype: DType) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(Node { id, op: Op::Zeros, shape, dtype });
+        self.nodes.push(Node {
+            id,
+            op: Op::Zeros,
+            shape,
+            dtype,
+        });
         id
     }
 
@@ -244,7 +266,12 @@ impl Graph {
                 };
                 (shape, dtype)
             }
-            Op::IndexAdd { dest, dim, index, source } => {
+            Op::IndexAdd {
+                dest,
+                dim,
+                index,
+                source,
+            } => {
                 let d = self.node(*dest);
                 let ix = self.node(*index);
                 let s = self.node(*source);
@@ -303,14 +330,30 @@ mod tests {
         let mut g = Graph::new();
         let a = g.placeholder("A", vec![4, 8], DType::F32);
         let idx = g.placeholder("I", vec![3], DType::I32);
-        let sel = g.push(Op::IndexSelect { input: a, dim: 0, index: idx }).unwrap();
+        let sel = g
+            .push(Op::IndexSelect {
+                input: a,
+                dim: 0,
+                index: idx,
+            })
+            .unwrap();
         assert_eq!(g.node(sel).shape, vec![3, 8]);
         let b = g.placeholder("B", vec![8, 5], DType::F32);
-        let mm = g.push(Op::Einsum { spec: "pr,rx->px".into(), inputs: vec![sel, b] }).unwrap();
+        let mm = g
+            .push(Op::Einsum {
+                spec: "pr,rx->px".into(),
+                inputs: vec![sel, b],
+            })
+            .unwrap();
         assert_eq!(g.node(mm).shape, vec![3, 5]);
         let dest = g.zeros(vec![10, 5], DType::F32);
         let out = g
-            .push(Op::IndexAdd { dest, dim: 0, index: idx, source: mm })
+            .push(Op::IndexAdd {
+                dest,
+                dim: 0,
+                index: idx,
+                source: mm,
+            })
             .unwrap();
         g.output = out;
         assert_eq!(g.node(out).shape, vec![10, 5]);
@@ -322,18 +365,37 @@ mod tests {
         let mut g = Graph::new();
         let a = g.placeholder("A", vec![4, 8], DType::F32);
         let idx2d = g.placeholder("I", vec![3, 2], DType::I32);
-        assert!(g.push(Op::IndexSelect { input: a, dim: 0, index: idx2d }).is_err());
-        assert!(g.push(Op::Reshape { input: a, shape: vec![5, 5] }).is_err());
+        assert!(g
+            .push(Op::IndexSelect {
+                input: a,
+                dim: 0,
+                index: idx2d
+            })
+            .is_err());
+        assert!(g
+            .push(Op::Reshape {
+                input: a,
+                shape: vec![5, 5]
+            })
+            .is_err());
         let b = g.placeholder("B", vec![9, 5], DType::F32);
         assert!(g
-            .push(Op::Einsum { spec: "pr,rx->px".into(), inputs: vec![a, b] })
+            .push(Op::Einsum {
+                spec: "pr,rx->px".into(),
+                inputs: vec![a, b]
+            })
             .is_err());
     }
 
     #[test]
     fn dangling_reference_rejected() {
         let mut g = Graph::new();
-        assert!(g.push(Op::Reshape { input: 7, shape: vec![] }).is_err());
+        assert!(g
+            .push(Op::Reshape {
+                input: 7,
+                shape: vec![]
+            })
+            .is_err());
     }
 
     #[test]
@@ -341,10 +403,20 @@ mod tests {
         let mut g = Graph::new();
         let a = g.placeholder("A", vec![2, 2], DType::F16);
         let b = g.placeholder("B", vec![2, 2], DType::F16);
-        let c = g.push(Op::Einsum { spec: "ik,kj->ij".into(), inputs: vec![a, b] }).unwrap();
+        let c = g
+            .push(Op::Einsum {
+                spec: "ik,kj->ij".into(),
+                inputs: vec![a, b],
+            })
+            .unwrap();
         assert_eq!(g.node(c).dtype, DType::F16);
         let d = g.placeholder("D", vec![2, 2], DType::F32);
-        let e = g.push(Op::Einsum { spec: "ik,kj->ij".into(), inputs: vec![a, d] }).unwrap();
+        let e = g
+            .push(Op::Einsum {
+                spec: "ik,kj->ij".into(),
+                inputs: vec![a, d],
+            })
+            .unwrap();
         assert_eq!(g.node(e).dtype, DType::F32);
     }
 

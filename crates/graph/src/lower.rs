@@ -81,7 +81,10 @@ impl LowerCtx<'_> {
             node
         } else {
             let vol: usize = shape.iter().product();
-            self.graph.push(Op::Reshape { input: node, shape: vec![vol] })?
+            self.graph.push(Op::Reshape {
+                input: node,
+                shape: vec![vol],
+            })?
         };
         Ok((flat, vars))
     }
@@ -100,7 +103,11 @@ impl LowerCtx<'_> {
                 IndexExpr::Var(v) => dim_vars.push(vec![v.clone()]),
                 IndexExpr::Indirect(meta) => {
                     let (flat, vars) = self.flat_index(meta)?;
-                    node = self.graph.push(Op::IndexSelect { input: node, dim, index: flat })?;
+                    node = self.graph.push(Op::IndexSelect {
+                        input: node,
+                        dim,
+                        index: flat,
+                    })?;
                     if vars.len() > 1 {
                         needs_expand = true;
                     }
@@ -113,7 +120,10 @@ impl LowerCtx<'_> {
                 .iter()
                 .flat_map(|vars| vars.iter().map(|v| self.extent(v)))
                 .collect();
-            node = self.graph.push(Op::Reshape { input: node, shape: expanded })?;
+            node = self.graph.push(Op::Reshape {
+                input: node,
+                shape: expanded,
+            })?;
         }
         let term: String = dim_vars.iter().flatten().map(|v| self.letter(v)).collect();
         Ok((node, term))
@@ -129,8 +139,10 @@ impl LowerCtx<'_> {
 /// * [`GraphError::Unsupported`] if the output access has more than one
 ///   indirect dimension or repeats an index variable.
 pub fn lower(stmt: &Statement, metas: &BTreeMap<String, TensorMeta>) -> Result<Lowered> {
-    let shapes: BTreeMap<String, Vec<usize>> =
-        metas.iter().map(|(k, v)| (k.clone(), v.shape.clone())).collect();
+    let shapes: BTreeMap<String, Vec<usize>> = metas
+        .iter()
+        .map(|(k, v)| (k.clone(), v.shape.clone()))
+        .collect();
     let analysis = analyze(stmt, &shapes)?;
 
     // Assign einsum letters in first-appearance order.
@@ -144,7 +156,9 @@ pub fn lower(stmt: &Statement, metas: &BTreeMap<String, TensorMeta>) -> Result<L
         })
         .collect();
     if letters.len() > 26 {
-        return Err(GraphError::Unsupported("more than 26 index variables".to_string()));
+        return Err(GraphError::Unsupported(
+            "more than 26 index variables".to_string(),
+        ));
     }
 
     let mut ctx = LowerCtx {
@@ -200,7 +214,10 @@ pub fn lower(stmt: &Statement, metas: &BTreeMap<String, TensorMeta>) -> Result<L
     }
 
     let spec = format!("{}->{}", terms.join(","), out_term);
-    let mut result = ctx.graph.push(Op::Einsum { spec: spec.clone(), inputs: operand_nodes })?;
+    let mut result = ctx.graph.push(Op::Einsum {
+        spec: spec.clone(),
+        inputs: operand_nodes,
+    })?;
 
     match scatter {
         Some((dim, meta)) => {
@@ -218,10 +235,16 @@ pub fn lower(stmt: &Statement, metas: &BTreeMap<String, TensorMeta>) -> Result<L
                         }
                     }
                 }
-                result = ctx.graph.push(Op::Reshape { input: result, shape })?;
+                result = ctx.graph.push(Op::Reshape {
+                    input: result,
+                    shape,
+                })?;
             }
             if ctx.graph.node(result).dtype != out_dtype {
-                result = ctx.graph.push(Op::Cast { input: result, dtype: out_dtype })?;
+                result = ctx.graph.push(Op::Cast {
+                    input: result,
+                    dtype: out_dtype,
+                })?;
             }
             let (flat_index, _) = ctx.flat_index(meta)?;
             let dest = match stmt.op {
@@ -240,17 +263,28 @@ pub fn lower(stmt: &Statement, metas: &BTreeMap<String, TensorMeta>) -> Result<L
         }
         None => {
             if ctx.graph.node(result).dtype != out_dtype {
-                result = ctx.graph.push(Op::Cast { input: result, dtype: out_dtype })?;
+                result = ctx.graph.push(Op::Cast {
+                    input: result,
+                    dtype: out_dtype,
+                })?;
             }
             if stmt.op == AssignOp::Accumulate {
-                result = ctx.graph.push(Op::Add { lhs: out_node, rhs: result })?;
+                result = ctx.graph.push(Op::Add {
+                    lhs: out_node,
+                    rhs: result,
+                })?;
             }
         }
     }
 
     let mut graph = ctx.graph;
     graph.output = result;
-    Ok(Lowered { graph, analysis, spec, output_name: out_name })
+    Ok(Lowered {
+        graph,
+        analysis,
+        spec,
+        output_name: out_name,
+    })
 }
 
 #[cfg(test)]
@@ -340,7 +374,11 @@ mod tests {
         let stmt = parse("C[i] += A[i]").unwrap();
         let m = metas(&[("C", &[4], DType::F32), ("A", &[4], DType::F32)]);
         let lowered = lower(&stmt, &m).unwrap();
-        assert!(lowered.graph.nodes().iter().any(|n| matches!(n.op, Op::Add { .. })));
+        assert!(lowered
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::Add { .. })));
     }
 
     #[test]
@@ -354,7 +392,11 @@ mod tests {
             ("B", &[5, 8], DType::F32),
         ]);
         let lowered = lower(&stmt, &m).unwrap();
-        assert!(lowered.graph.nodes().iter().any(|n| matches!(n.op, Op::Zeros)));
+        assert!(lowered
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::Zeros)));
     }
 
     #[test]
@@ -378,7 +420,10 @@ mod tests {
             .nodes()
             .iter()
             .any(|n| matches!(&n.op, Op::Reshape { shape, .. } if shape == &vec![2, 8, 3])));
-        assert_eq!(lowered.graph.node(lowered.graph.output).shape, vec![2, 5, 3]);
+        assert_eq!(
+            lowered.graph.node(lowered.graph.output).shape,
+            vec![2, 5, 3]
+        );
     }
 
     #[test]
@@ -402,6 +447,10 @@ mod tests {
             ("B", &[2, 2], DType::F32),
         ]);
         let lowered = lower(&stmt, &m).unwrap();
-        assert!(lowered.graph.nodes().iter().any(|n| matches!(n.op, Op::Cast { .. })));
+        assert!(lowered
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::Cast { .. })));
     }
 }

@@ -127,8 +127,7 @@ mod tests {
         let device = DeviceModel::rtx3090();
 
         let default_op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
-        let (_, default_report) =
-            run_fused(&default_op, &inputs, &device, Mode::Analytic).unwrap();
+        let (_, default_report) = run_fused(&default_op, &inputs, &device, Mode::Analytic).unwrap();
 
         let tuned = autotune(&plan, &CodegenOptions::default(), &inputs, &device).unwrap();
         assert!(tuned.configs_tried > 1);

@@ -142,7 +142,10 @@ impl Emitter {
                 reg = self.b.broadcast(reg, shape);
             }
         }
-        Val { reg, roles: target.to_vec() }
+        Val {
+            reg,
+            roles: target.to_vec(),
+        }
     }
 
     /// Combine two values with a binary op, aligning roles lazily.
@@ -150,7 +153,10 @@ impl Emitter {
         let joint = union_roles(&a.roles, &b.roles);
         let aa = self.align(a, &joint);
         let bb = self.align(b, &joint);
-        Val { reg: self.b.binary(op, aa.reg, bb.reg), roles: joint }
+        Val {
+            reg: self.b.binary(op, aa.reg, bb.reg),
+            roles: joint,
+        }
     }
 
     /// The mask covering the given roles, if any role needs one. The
@@ -182,9 +188,11 @@ impl Emitter {
         for (d, dim) in dims.iter().enumerate() {
             let value = match dim {
                 DimDesc::Dense(v) => self.lanes[v].clone(),
-                DimDesc::Gathered { meta, meta_shape, meta_vars } => {
-                    self.load_metadata(meta, meta_shape, meta_vars)
-                }
+                DimDesc::Gathered {
+                    meta,
+                    meta_shape,
+                    meta_vars,
+                } => self.load_metadata(meta, meta_shape, meta_vars),
             };
             let contrib = if strides[d] == 1 {
                 value
@@ -204,12 +212,18 @@ impl Emitter {
     /// Load a metadata tensor's value block (indexed by grid scalars plus
     /// at most one block-role class).
     fn load_metadata(&mut self, meta: &str, meta_shape: &[usize], meta_vars: &[String]) -> Val {
-        let dims: Vec<DimDesc> = meta_vars.iter().map(|v| DimDesc::Dense(v.clone())).collect();
+        let dims: Vec<DimDesc> = meta_vars
+            .iter()
+            .map(|v| DimDesc::Dense(v.clone()))
+            .collect();
         let off = self.offsets(&dims, meta_shape);
         let mask = self.mask_for(&off.roles);
         let param = self.params[meta];
         let reg = self.b.load(param, off.reg, mask.map(|m| m.reg), 0.0);
-        Val { reg, roles: off.roles }
+        Val {
+            reg,
+            roles: off.roles,
+        }
     }
 
     /// Load one factor's block for the current iteration.
@@ -218,12 +232,19 @@ impl Emitter {
         let mask = self.mask_for(&off.roles);
         let param = self.params[&factor.tensor];
         let reg = self.b.load(param, off.reg, mask.map(|m| m.reg), 0.0);
-        Val { reg, roles: off.roles }
+        Val {
+            reg,
+            roles: off.roles,
+        }
     }
 }
 
 /// Pick the default (pre-autotune) tile sizes.
-fn default_blocks(plan: &FusionPlan, uses_dot: bool, opts: &CodegenOptions) -> (usize, usize, usize) {
+fn default_blocks(
+    plan: &FusionPlan,
+    uses_dot: bool,
+    opts: &CodegenOptions,
+) -> (usize, usize, usize) {
     let clamp = |ext: usize, lo: usize, hi: usize| next_pow2(ext).clamp(lo, hi);
     let yb = opts.yblock.unwrap_or_else(|| {
         if plan.y_var.is_none() {
@@ -277,7 +298,11 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
     // Parameter declarations in plan order; the output is written.
     let mut params = BTreeMap::new();
     for name in &plan.param_order {
-        let idx = if name == &plan.output.tensor { b.output(name) } else { b.input(name) };
+        let idx = if name == &plan.output.tensor {
+            b.output(name)
+        } else {
+            b.input(name)
+        };
         params.insert(name.clone(), idx);
     }
 
@@ -306,13 +331,23 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
         let base = e.b.binary(BinOp::Mul, pid0, xb_c);
         let lanes = e.b.arange(xb);
         let x = e.b.binary(BinOp::Add, base, lanes);
-        let xv = Val { reg: x, roles: vec![Role::X] };
-        if x_ext % xb != 0 {
+        let xv = Val {
+            reg: x,
+            roles: vec![Role::X],
+        };
+        if !x_ext.is_multiple_of(xb) {
             let ext = e.b.constant(x_ext as f64);
             let m = e.b.binary(BinOp::Lt, x, ext);
-            e.masks.insert(Role::X, Val { reg: m, roles: vec![Role::X] });
+            e.masks.insert(
+                Role::X,
+                Val {
+                    reg: m,
+                    roles: vec![Role::X],
+                },
+            );
         }
-        e.lanes.insert(plan.x_var.clone().expect("x_var present"), xv);
+        e.lanes
+            .insert(plan.x_var.clone().expect("x_var present"), xv);
     }
 
     // pid1 encodes (grid vars..., y_tile): y_tile fastest.
@@ -338,12 +373,24 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
         let base = e.b.binary(BinOp::Mul, yt, yb_c);
         let lanes = e.b.arange(yb);
         let y = e.b.binary(BinOp::Add, base, lanes);
-        if y_ext % yb != 0 {
+        if !y_ext.is_multiple_of(yb) {
             let ext = e.b.constant(y_ext as f64);
             let m = e.b.binary(BinOp::Lt, y, ext);
-            e.masks.insert(Role::Y, Val { reg: m, roles: vec![Role::Y] });
+            e.masks.insert(
+                Role::Y,
+                Val {
+                    reg: m,
+                    roles: vec![Role::Y],
+                },
+            );
         }
-        e.lanes.insert(y_var, Val { reg: y, roles: vec![Role::Y] });
+        e.lanes.insert(
+            y_var,
+            Val {
+                reg: y,
+                roles: vec![Role::Y],
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -366,7 +413,10 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
 
     let acc = if has_loop {
         let shape: Vec<usize> = acc_roles.iter().map(|&r| e.lane_size(r)).collect();
-        Some(Val { reg: e.b.full(shape, 0.0), roles: acc_roles.clone() })
+        Some(Val {
+            reg: e.b.full(shape, 0.0),
+            roles: acc_roles.clone(),
+        })
     } else {
         None
     };
@@ -396,7 +446,10 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
                     aligned
                 } else {
                     let shape = vec![e.yb, e.rb];
-                    Val { reg: e.b.broadcast(aligned.reg, shape), roles: vec![Role::Y, Role::R] }
+                    Val {
+                        reg: e.b.broadcast(aligned.reg, shape),
+                        roles: vec![Role::Y, Role::R],
+                    }
                 }
             };
             let b_full = {
@@ -408,7 +461,10 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
                     aligned
                 } else {
                     let shape = vec![e.rb, e.xb];
-                    Val { reg: e.b.broadcast(aligned.reg, shape), roles: vec![Role::R, Role::X] }
+                    Val {
+                        reg: e.b.broadcast(aligned.reg, shape),
+                        roles: vec![Role::R, Role::X],
+                    }
                 }
             };
             let (a_reg, b_reg) = if e.lazy {
@@ -422,7 +478,10 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
                 (av, btt)
             };
             let d = e.b.dot(a_reg, b_reg);
-            Ok(Val { reg: d, roles: vec![Role::Y, Role::X] })
+            Ok(Val {
+                reg: d,
+                roles: vec![Role::Y, Role::X],
+            })
         } else {
             // Scalar path: multiply everything, then tl.sum over R.
             let mut prod: Option<Val> = None;
@@ -456,10 +515,16 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
         let base = e.b.binary(BinOp::Mul, i, rb_c);
         let lanes = e.b.arange(rb);
         let r = e.b.binary(BinOp::Add, base, lanes);
-        if r_total % rb != 0 {
+        if !r_total.is_multiple_of(rb) {
             let ext = e.b.constant(r_total as f64);
             let m = e.b.binary(BinOp::Lt, r, ext);
-            e.masks.insert(Role::R, Val { reg: m, roles: vec![Role::R] });
+            e.masks.insert(
+                Role::R,
+                Val {
+                    reg: m,
+                    roles: vec![Role::R],
+                },
+            );
         }
         // Decompose flattened r into its variables.
         let mut suffix = r_total;
@@ -475,7 +540,13 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
                 let e_c = e.b.constant(ext as f64);
                 lane = e.b.binary(BinOp::Mod, lane, e_c);
             }
-            e.lanes.insert(var.clone(), Val { reg: lane, roles: vec![Role::R] });
+            e.lanes.insert(
+                var.clone(),
+                Val {
+                    reg: lane,
+                    roles: vec![Role::R],
+                },
+            );
         }
         let body = emit_body(&mut e)?;
         let aligned = e.align(&body, &acc.roles);
@@ -498,9 +569,19 @@ pub fn compile_fused(plan: &FusionPlan, opts: &CodegenOptions) -> Result<FusedOp
     let mask = e.mask_for(&joint);
     let out_param = e.params[&plan.output.tensor];
     if plan.scatter || plan.accumulate {
-        e.b.atomic_add(out_param, off_aligned.reg, val_aligned.reg, mask.map(|m| m.reg));
+        e.b.atomic_add(
+            out_param,
+            off_aligned.reg,
+            val_aligned.reg,
+            mask.map(|m| m.reg),
+        );
     } else {
-        e.b.store(out_param, off_aligned.reg, val_aligned.reg, mask.map(|m| m.reg));
+        e.b.store(
+            out_param,
+            off_aligned.reg,
+            val_aligned.reg,
+            mask.map(|m| m.reg),
+        );
     }
 
     let kernel = e.b.build();
@@ -555,7 +636,10 @@ mod tests {
         assert!(op.uses_dot);
         op.kernel.validate().unwrap();
         let src = insum_kernel::print_kernel(&op.kernel);
-        assert!(src.contains("tl.dot"), "kernel should use tensor cores:\n{src}");
+        assert!(
+            src.contains("tl.dot"),
+            "kernel should use tensor cores:\n{src}"
+        );
         assert!(src.contains("tl.store"), "dense output is a store");
         assert!(!src.contains("atomic"), "no scatter for dense assign");
     }
@@ -579,7 +663,10 @@ mod tests {
             ("B", &[32, 64], DType::F32),
         ]);
         let plan = build_plan(&stmt, &m).unwrap();
-        let opts = CodegenOptions { tensor_cores: false, ..Default::default() };
+        let opts = CodegenOptions {
+            tensor_cores: false,
+            ..Default::default()
+        };
         let op = compile_fused(&plan, &opts).unwrap();
         assert!(!op.uses_dot);
         let src = insum_kernel::print_kernel(&op.kernel);
@@ -599,13 +686,22 @@ mod tests {
         let lazy = compile_fused(&plan, &CodegenOptions::default()).unwrap();
         let eager = compile_fused(
             &plan,
-            &CodegenOptions { lazy_broadcast: false, ..Default::default() },
+            &CodegenOptions {
+                lazy_broadcast: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let lazy_src = insum_kernel::print_kernel(&lazy.kernel);
         let eager_src = insum_kernel::print_kernel(&eager.kernel);
-        assert!(!lazy_src.contains("tl.trans"), "lazy mode avoids transposes:\n{lazy_src}");
-        assert!(eager_src.contains("tl.trans"), "eager mode transposes:\n{eager_src}");
+        assert!(
+            !lazy_src.contains("tl.trans"),
+            "lazy mode avoids transposes:\n{lazy_src}"
+        );
+        assert!(
+            eager_src.contains("tl.trans"),
+            "eager mode transposes:\n{eager_src}"
+        );
         assert!(eager_src.contains("tl.view"));
     }
 

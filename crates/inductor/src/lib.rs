@@ -38,8 +38,8 @@ pub use autotune::{autotune, AutotuneResult};
 pub use codegen::{compile_fused, CodegenOptions, FusedOp};
 pub use error::InductorError;
 pub use plan::{build_plan, DimDesc, FactorDesc, FusionPlan, Role};
-pub use runner::run_fused;
-pub use unfused::{compile_unfused, run_unfused, UnfusedOp};
+pub use runner::{run_fused, run_fused_with};
+pub use unfused::{compile_unfused, run_unfused, run_unfused_with, UnfusedOp};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, InductorError>;

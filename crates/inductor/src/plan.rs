@@ -170,7 +170,11 @@ fn describe_access(access: &Access, metas: &BTreeMap<String, TensorMeta>) -> Fac
             },
         })
         .collect();
-    FactorDesc { tensor: access.tensor.clone(), shape, dims }
+    FactorDesc {
+        tensor: access.tensor.clone(),
+        shape,
+        dims,
+    }
 }
 
 /// Collect every metadata access (tensor, vars) in the statement.
@@ -181,7 +185,10 @@ fn metadata_accesses(stmt: &Statement) -> Vec<(String, Vec<String>)> {
             if let IndexExpr::Indirect(meta) = idx {
                 out.push((
                     meta.tensor.clone(),
-                    meta.vars().into_iter().map(String::from).collect::<Vec<_>>(),
+                    meta.vars()
+                        .into_iter()
+                        .map(String::from)
+                        .collect::<Vec<_>>(),
                 ));
             }
         }
@@ -209,7 +216,7 @@ fn metadata_ok(accesses: &[(String, Vec<String>)], roles: &BTreeMap<String, Role
                 Role::X => has_x = true,
             }
         }
-        !has_x && !(has_y && has_r)
+        !(has_x || has_y && has_r)
     })
 }
 
@@ -221,14 +228,13 @@ fn metadata_ok(accesses: &[(String, Vec<String>)], roles: &BTreeMap<String, Role
 /// * [`InductorError::Unsupported`] when no legal role assignment exists
 ///   (e.g. a metadata tensor indexed by two entangled block variables, or
 ///   an X-role variable inside a metadata access).
-pub fn build_plan(
-    stmt: &Statement,
-    metas: &BTreeMap<String, TensorMeta>,
-) -> Result<FusionPlan> {
-    let shapes: BTreeMap<String, Vec<usize>> =
-        metas.iter().map(|(k, v)| (k.clone(), v.shape.clone())).collect();
-    let analysis =
-        analyze(stmt, &shapes).map_err(|e| InductorError::Graph(insum_graph::GraphError::Lang(e)))?;
+pub fn build_plan(stmt: &Statement, metas: &BTreeMap<String, TensorMeta>) -> Result<FusionPlan> {
+    let shapes: BTreeMap<String, Vec<usize>> = metas
+        .iter()
+        .map(|(k, v)| (k.clone(), v.shape.clone()))
+        .collect();
+    let analysis = analyze(stmt, &shapes)
+        .map_err(|e| InductorError::Graph(insum_graph::GraphError::Lang(e)))?;
 
     let out_vars: Vec<String> = analysis.output_vars.clone();
     let red_vars: Vec<String> = analysis.reduction_vars.clone();
@@ -236,8 +242,7 @@ pub fn build_plan(
 
     // X is the last output variable, provided it never appears inside a
     // metadata access (it must be a dense lane).
-    let in_metadata =
-        |v: &str| accesses.iter().any(|(_, vars)| vars.iter().any(|m| m == v));
+    let in_metadata = |v: &str| accesses.iter().any(|(_, vars)| vars.iter().any(|m| m == v));
     let x_var = out_vars.last().filter(|v| !in_metadata(v)).cloned();
 
     // Candidate Y: the output variable just before X (or the last one if
@@ -279,12 +284,18 @@ pub fn build_plan(
         }
     }
 
-    let grid_vars: Vec<String> =
-        out_vars.iter().filter(|v| roles[*v] == Role::Grid).cloned().collect();
+    let grid_vars: Vec<String> = out_vars
+        .iter()
+        .filter(|v| roles[*v] == Role::Grid)
+        .cloned()
+        .collect();
     let r_vars: Vec<String> = red_vars.clone();
 
-    let factors: Vec<FactorDesc> =
-        stmt.factors.iter().map(|f| describe_access(f, metas)).collect();
+    let factors: Vec<FactorDesc> = stmt
+        .factors
+        .iter()
+        .map(|f| describe_access(f, metas))
+        .collect();
     let output = describe_access(&stmt.output, metas);
     let scatter = stmt.output.has_indirection();
 
@@ -331,11 +342,13 @@ mod tests {
         pairs
             .iter()
             .map(|(n, s)| {
-                let dtype = if n.starts_with('A') && s.len() <= 2 && (n.ends_with('M') || n.ends_with('K')) {
-                    DType::I32
-                } else {
-                    DType::F32
-                };
+                let dtype =
+                    if n.starts_with('A') && s.len() <= 2 && (n.ends_with('M') || n.ends_with('K'))
+                    {
+                        DType::I32
+                    } else {
+                        DType::F32
+                    };
                 (n.to_string(), TensorMeta::new(s.to_vec(), dtype))
             })
             .collect()

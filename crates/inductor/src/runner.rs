@@ -3,7 +3,7 @@
 use crate::codegen::FusedOp;
 use crate::error::InductorError;
 use crate::Result;
-use insum_gpu::{launch, DeviceModel, KernelReport, Mode};
+use insum_gpu::{launch_with, DeviceModel, KernelReport, LaunchOptions, Mode};
 use insum_tensor::Tensor;
 use std::collections::BTreeMap;
 
@@ -24,6 +24,22 @@ pub fn run_fused(
     device: &DeviceModel,
     mode: Mode,
 ) -> Result<(Tensor, KernelReport)> {
+    run_fused_with(op, inputs, device, mode, &LaunchOptions::default())
+}
+
+/// [`run_fused`] with explicit simulator scheduling options (see
+/// [`LaunchOptions`]); results are identical for every configuration.
+///
+/// # Errors
+///
+/// Same conditions as [`run_fused`].
+pub fn run_fused_with(
+    op: &FusedOp,
+    inputs: &BTreeMap<String, Tensor>,
+    device: &DeviceModel,
+    mode: Mode,
+    launch_options: &LaunchOptions,
+) -> Result<(Tensor, KernelReport)> {
     let mut owned: Vec<Tensor> = Vec::with_capacity(op.plan.param_order.len());
     for name in &op.plan.param_order {
         let t = inputs
@@ -32,7 +48,14 @@ pub fn run_fused(
         owned.push(t.clone());
     }
     let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
-    let report = launch(&op.kernel, &op.grid, &mut refs, device, mode)?;
+    let report = launch_with(
+        &op.kernel,
+        &op.grid,
+        &mut refs,
+        device,
+        mode,
+        launch_options,
+    )?;
     let out_pos = op
         .plan
         .param_order
@@ -59,10 +82,17 @@ mod tests {
         let stmt = parse(expr).unwrap();
         let metas: BTreeMap<String, TensorMeta> = binds
             .iter()
-            .map(|(n, t)| (n.to_string(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .map(|(n, t)| {
+                (
+                    n.to_string(),
+                    TensorMeta::new(t.shape().to_vec(), t.dtype()),
+                )
+            })
             .collect();
-        let inputs: BTreeMap<String, Tensor> =
-            binds.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+        let inputs: BTreeMap<String, Tensor> = binds
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect();
 
         let plan = build_plan(&stmt, &metas).unwrap();
         let op = compile_fused(&plan, opts).unwrap();
@@ -87,8 +117,14 @@ mod tests {
         let c = Tensor::zeros(vec![48, 40]);
         for opts in [
             CodegenOptions::default(),
-            CodegenOptions { tensor_cores: false, ..Default::default() },
-            CodegenOptions { lazy_broadcast: false, ..Default::default() },
+            CodegenOptions {
+                tensor_cores: false,
+                ..Default::default()
+            },
+            CodegenOptions {
+                lazy_broadcast: false,
+                ..Default::default()
+            },
         ] {
             check_against_eager(
                 "C[y,x] = A[y,r] * B[r,x]",
@@ -144,8 +180,14 @@ mod tests {
         let c = Tensor::zeros(vec![brows, bm, n]);
         for opts in [
             CodegenOptions::default(),
-            CodegenOptions { lazy_broadcast: false, ..Default::default() },
-            CodegenOptions { tensor_cores: false, ..Default::default() },
+            CodegenOptions {
+                lazy_broadcast: false,
+                ..Default::default()
+            },
+            CodegenOptions {
+                tensor_cores: false,
+                ..Default::default()
+            },
         ] {
             check_against_eager(
                 "C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]",
@@ -244,8 +286,9 @@ mod tests {
         .collect();
         let plan = build_plan(&stmt, &metas).unwrap();
         let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
-        let inputs: BTreeMap<String, Tensor> =
-            [("C".to_string(), Tensor::zeros(vec![8]))].into_iter().collect();
+        let inputs: BTreeMap<String, Tensor> = [("C".to_string(), Tensor::zeros(vec![8]))]
+            .into_iter()
+            .collect();
         assert!(matches!(
             run_fused(&op, &inputs, &DeviceModel::rtx3090(), Mode::Execute),
             Err(InductorError::Binding(_))

@@ -10,7 +10,7 @@ use crate::codegen::{compile_fused, CodegenOptions, FusedOp};
 use crate::error::InductorError;
 use crate::plan::{DimDesc, FactorDesc, FusionPlan, Role};
 use crate::Result;
-use insum_gpu::{launch, DeviceModel, Mode, Profile};
+use insum_gpu::{launch_with, DeviceModel, LaunchOptions, Mode, Profile};
 use insum_graph::{Graph, Lowered, NodeId, Op};
 use insum_kernel::{BinOp, Kernel, KernelBuilder};
 use insum_tensor::{EinsumSpec, Tensor};
@@ -26,10 +26,18 @@ enum Step {
     /// Materialize a zeros tensor.
     Zeros { node: NodeId },
     /// Host-side reshape (metadata only; no kernel).
-    Reshape { node: NodeId, input: NodeId, shape: Vec<usize> },
+    Reshape {
+        node: NodeId,
+        input: NodeId,
+        shape: Vec<usize>,
+    },
     /// Host-side cast (dtype tag change + rounding; modelled as free—the
     /// real compiler folds casts into neighbouring kernels).
-    Cast { node: NodeId, input: NodeId, dtype: insum_tensor::DType },
+    Cast {
+        node: NodeId,
+        input: NodeId,
+        dtype: insum_tensor::DType,
+    },
     /// Launch a kernel. `args` bind node values positionally; the first
     /// argument is the (fresh or cloned) output.
     Launch {
@@ -60,7 +68,7 @@ fn flat_lanes(b: &mut KernelBuilder, total: usize) -> (usize, Option<usize>) {
     let base = b.binary(BinOp::Mul, pid, width);
     let lanes = b.arange(LANES);
     let flat = b.binary(BinOp::Add, base, lanes);
-    let mask = if total % LANES != 0 {
+    let mask = if !total.is_multiple_of(LANES) {
         let t = b.constant(total as f64);
         Some(b.binary(BinOp::Lt, flat, t))
     } else {
@@ -148,8 +156,11 @@ fn einsum_plan(
         }
     }
     let out_vars: Vec<String> = spec.output.iter().map(|c| c.to_string()).collect();
-    let red_vars: Vec<String> =
-        spec.reduction_indices().iter().map(|c| c.to_string()).collect();
+    let red_vars: Vec<String> = spec
+        .reduction_indices()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
 
     let x_var = out_vars.last().cloned();
     let y_var = out_vars.len().checked_sub(2).map(|i| out_vars[i].clone());
@@ -187,7 +198,11 @@ fn einsum_plan(
     let output = FactorDesc {
         tensor: "OUT".to_string(),
         shape: out_shape.to_vec(),
-        dims: spec.output.iter().map(|c| DimDesc::Dense(c.to_string())).collect(),
+        dims: spec
+            .output
+            .iter()
+            .map(|c| DimDesc::Dense(c.to_string()))
+            .collect(),
     };
     let mut param_order = vec!["OUT".to_string()];
     param_order.extend(factors.iter().map(|f| f.tensor.clone()));
@@ -219,14 +234,25 @@ pub fn compile_unfused(lowered: &Lowered, opts: &CodegenOptions) -> Result<Unfus
     for node in graph.nodes() {
         match &node.op {
             Op::Placeholder { name } => {
-                steps.push(Step::Bind { node: node.id, name: name.clone() });
+                steps.push(Step::Bind {
+                    node: node.id,
+                    name: name.clone(),
+                });
             }
             Op::Zeros => steps.push(Step::Zeros { node: node.id }),
             Op::Reshape { input, shape } => {
-                steps.push(Step::Reshape { node: node.id, input: *input, shape: shape.clone() });
+                steps.push(Step::Reshape {
+                    node: node.id,
+                    input: *input,
+                    shape: shape.clone(),
+                });
             }
             Op::Cast { input, dtype } => {
-                steps.push(Step::Cast { node: node.id, input: *input, dtype: *dtype });
+                steps.push(Step::Cast {
+                    node: node.id,
+                    input: *input,
+                    dtype: *dtype,
+                });
             }
             Op::IndexSelect { input, dim, index } => {
                 let src = graph.node(*input);
@@ -244,7 +270,12 @@ pub fn compile_unfused(lowered: &Lowered, opts: &CodegenOptions) -> Result<Unfus
                     reads: vec![*input, *index],
                 });
             }
-            Op::IndexAdd { dest, dim, index, source } => {
+            Op::IndexAdd {
+                dest,
+                dim,
+                index,
+                source,
+            } => {
                 let d = graph.node(*dest);
                 let k = graph.node(*index).shape[0];
                 let outer: usize = d.shape[..*dim].iter().product();
@@ -273,9 +304,8 @@ pub fn compile_unfused(lowered: &Lowered, opts: &CodegenOptions) -> Result<Unfus
                 });
             }
             Op::Einsum { spec, inputs } => {
-                let parsed = EinsumSpec::parse(spec).map_err(|e| {
-                    InductorError::Graph(insum_graph::GraphError::Tensor(e))
-                })?;
+                let parsed = EinsumSpec::parse(spec)
+                    .map_err(|e| InductorError::Graph(insum_graph::GraphError::Tensor(e)))?;
                 for term in &parsed.inputs {
                     let mut seen = std::collections::HashSet::new();
                     if term.iter().any(|c| !seen.insert(*c)) {
@@ -284,8 +314,10 @@ pub fn compile_unfused(lowered: &Lowered, opts: &CodegenOptions) -> Result<Unfus
                         ));
                     }
                 }
-                let shapes: Vec<Vec<usize>> =
-                    inputs.iter().map(|&i| graph.node(i).shape.clone()).collect();
+                let shapes: Vec<Vec<usize>> = inputs
+                    .iter()
+                    .map(|&i| graph.node(i).shape.clone())
+                    .collect();
                 let plan = einsum_plan(&parsed, &shapes, &node.shape)?;
                 let fused: FusedOp = compile_fused(&plan, opts)?;
                 kernel_count += 1;
@@ -299,7 +331,11 @@ pub fn compile_unfused(lowered: &Lowered, opts: &CodegenOptions) -> Result<Unfus
             }
         }
     }
-    Ok(UnfusedOp { graph: graph.clone(), steps, kernel_count })
+    Ok(UnfusedOp {
+        graph: graph.clone(),
+        steps,
+        kernel_count,
+    })
 }
 
 /// Execute an unfused pipeline, returning the output tensor and the
@@ -314,6 +350,22 @@ pub fn run_unfused(
     inputs: &BTreeMap<String, Tensor>,
     device: &DeviceModel,
     mode: Mode,
+) -> Result<(Tensor, Profile)> {
+    run_unfused_with(op, inputs, device, mode, &LaunchOptions::default())
+}
+
+/// [`run_unfused`] with explicit simulator scheduling options; results
+/// are identical for every configuration.
+///
+/// # Errors
+///
+/// Same conditions as [`run_unfused`].
+pub fn run_unfused_with(
+    op: &UnfusedOp,
+    inputs: &BTreeMap<String, Tensor>,
+    device: &DeviceModel,
+    mode: Mode,
+    launch_options: &LaunchOptions,
 ) -> Result<(Tensor, Profile)> {
     let mut values: Vec<Option<Tensor>> = vec![None; op.graph.len()];
     let mut profile = Profile::new();
@@ -340,18 +392,26 @@ pub fn run_unfused(
                 let t = values[*input].as_ref().expect("topological order");
                 values[*node] = Some(t.cast(*dtype));
             }
-            Step::Launch { node, kernel, grid, seed, reads } => {
+            Step::Launch {
+                node,
+                kernel,
+                grid,
+                seed,
+                reads,
+            } => {
                 let n = op.graph.node(*node);
                 let mut out = match seed {
                     Some(s) => values[*s].as_ref().expect("topological order").clone(),
                     None => Tensor::zeros_with(n.shape.clone(), n.dtype),
                 };
-                let mut read_tensors: Vec<Tensor> =
-                    reads.iter().map(|&r| values[r].as_ref().expect("topological order").clone()).collect();
+                let mut read_tensors: Vec<Tensor> = reads
+                    .iter()
+                    .map(|&r| values[r].as_ref().expect("topological order").clone())
+                    .collect();
                 let mut args: Vec<&mut Tensor> = Vec::with_capacity(1 + read_tensors.len());
                 args.push(&mut out);
                 args.extend(read_tensors.iter_mut());
-                let report = launch(kernel, grid, &mut args, device, mode)?;
+                let report = launch_with(kernel, grid, &mut args, device, mode, launch_options)?;
                 profile.push(report);
                 values[*node] = Some(out);
             }
@@ -376,10 +436,17 @@ mod tests {
         let stmt = parse(expr).unwrap();
         let metas: BTreeMap<String, TensorMeta> = binds
             .iter()
-            .map(|(n, t)| (n.to_string(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .map(|(n, t)| {
+                (
+                    n.to_string(),
+                    TensorMeta::new(t.shape().to_vec(), t.dtype()),
+                )
+            })
             .collect();
-        let inputs: BTreeMap<String, Tensor> =
-            binds.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+        let inputs: BTreeMap<String, Tensor> = binds
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect();
         let lowered = lower(&stmt, &metas).unwrap();
         let op = compile_unfused(&lowered, &CodegenOptions::default()).unwrap();
         let device = DeviceModel::rtx3090();
@@ -416,8 +483,7 @@ mod tests {
         let a = rand_uniform(vec![32, 16], -1.0, 1.0, &mut rng);
         let b = rand_uniform(vec![16, 32], -1.0, 1.0, &mut rng);
         let c = Tensor::zeros(vec![32, 32]);
-        let profile =
-            check_unfused("C[y,x] = A[y,r] * B[r,x]", &[("C", c), ("A", a), ("B", b)]);
+        let profile = check_unfused("C[y,x] = A[y,r] * B[r,x]", &[("C", c), ("A", a), ("B", b)]);
         assert_eq!(profile.launches(), 1);
     }
 
@@ -449,21 +515,23 @@ mod tests {
         let av = rand_uniform(vec![groups, g, bm, bk], -1.0, 1.0, &mut rng);
         let b = rand_uniform(vec![4, bk, n], -1.0, 1.0, &mut rng);
         let c = Tensor::zeros(vec![brows, bm, n]);
-        let binds: Vec<(&str, Tensor)> = vec![
-            ("C", c),
-            ("AM", am),
-            ("AK", ak),
-            ("AV", av),
-            ("B", b),
-        ];
+        let binds: Vec<(&str, Tensor)> =
+            vec![("C", c), ("AM", am), ("AK", ak), ("AV", av), ("B", b)];
         let expr = "C[AM[p],bm,n] += AV[p,q,bm,bk] * B[AK[p,q],bk,n]";
         let stmt = parse(expr).unwrap();
         let metas: BTreeMap<String, TensorMeta> = binds
             .iter()
-            .map(|(nm, t)| (nm.to_string(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .map(|(nm, t)| {
+                (
+                    nm.to_string(),
+                    TensorMeta::new(t.shape().to_vec(), t.dtype()),
+                )
+            })
             .collect();
-        let inputs: BTreeMap<String, Tensor> =
-            binds.iter().map(|(nm, t)| (nm.to_string(), t.clone())).collect();
+        let inputs: BTreeMap<String, Tensor> = binds
+            .iter()
+            .map(|(nm, t)| (nm.to_string(), t.clone()))
+            .collect();
         let device = DeviceModel::rtx3090();
 
         let lowered = lower(&stmt, &metas).unwrap();
@@ -482,6 +550,9 @@ mod tests {
             u.dram_bytes(),
             report_f.stats.dram_bytes()
         );
-        assert!(profile_u.total_time() > report_f.time, "fusion should win end-to-end");
+        assert!(
+            profile_u.total_time() > report_f.time,
+            "fusion should win end-to-end"
+        );
     }
 }

@@ -9,7 +9,10 @@ use insum_tensor::DType;
 use std::collections::BTreeMap;
 
 fn metas(pairs: &[(&str, &[usize], DType)]) -> BTreeMap<String, TensorMeta> {
-    pairs.iter().map(|(n, s, d)| (n.to_string(), TensorMeta::new(s.to_vec(), *d))).collect()
+    pairs
+        .iter()
+        .map(|(n, s, d)| (n.to_string(), TensorMeta::new(s.to_vec(), *d)))
+        .collect()
 }
 
 fn fig9_metas() -> BTreeMap<String, TensorMeta> {
@@ -46,7 +49,10 @@ fn fig9_lazy_kernel_structure() {
     assert!(d_pos > e_pos, "D scatter index loads in the epilogue");
     // Lazy broadcasting: no view/trans anywhere.
     assert!(!src.contains("tl.view"), "lazy mode has no views:\n{src}");
-    assert!(!src.contains("tl.trans"), "lazy mode has no transposes:\n{src}");
+    assert!(
+        !src.contains("tl.trans"),
+        "lazy mode has no transposes:\n{src}"
+    );
 }
 
 #[test]
@@ -55,7 +61,10 @@ fn fig8b_eager_kernel_pays_views_and_transposes() {
     let plan = build_plan(&stmt, &fig9_metas()).unwrap();
     let op = compile_fused(
         &plan,
-        &CodegenOptions { lazy_broadcast: false, ..Default::default() },
+        &CodegenOptions {
+            lazy_broadcast: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let src = print_kernel(&op.kernel);
@@ -70,12 +79,18 @@ fn fig8a_scalar_kernel_has_no_dot() {
     let plan = build_plan(&stmt, &fig9_metas()).unwrap();
     let op = compile_fused(
         &plan,
-        &CodegenOptions { tensor_cores: false, ..Default::default() },
+        &CodegenOptions {
+            tensor_cores: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let src = print_kernel(&op.kernel);
     assert!(!src.contains("tl.dot"));
-    assert!(src.contains("tl.sum"), "scalar path reduces with tl.sum:\n{src}");
+    assert!(
+        src.contains("tl.sum"),
+        "scalar path reduces with tl.sum:\n{src}"
+    );
     assert!(!op.uses_dot);
 }
 
@@ -94,7 +109,10 @@ fn block_group_coo_kernel_decomposes_flattened_reduction() {
     assert_eq!(plan.r_vars, vec!["q", "bk"]);
     let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
     let src = print_kernel(&op.kernel);
-    assert!(src.contains(" // "), "flattened r decomposition uses floor division:\n{src}");
+    assert!(
+        src.contains(" // "),
+        "flattened r decomposition uses floor division:\n{src}"
+    );
     assert!(src.contains("tl.dot"));
     assert!(src.contains("tl.atomic_add"));
 }
@@ -116,7 +134,10 @@ fn masks_appear_only_when_extents_do_not_divide_tiles() {
         ..Default::default()
     };
     let src = print_kernel(&compile_fused(&plan, &opts).unwrap().kernel);
-    assert!(!src.contains("mask="), "divisible extents need no masks:\n{src}");
+    assert!(
+        !src.contains("mask="),
+        "divisible extents need no masks:\n{src}"
+    );
 
     // 72 rows with 16-tiles: the Y dimension must be masked.
     let m2 = metas(&[
@@ -126,13 +147,16 @@ fn masks_appear_only_when_extents_do_not_divide_tiles() {
     ]);
     let plan2 = build_plan(&stmt, &m2).unwrap();
     let src2 = print_kernel(&compile_fused(&plan2, &opts).unwrap().kernel);
-    assert!(src2.contains("mask="), "non-divisible extents are masked:\n{src2}");
+    assert!(
+        src2.contains("mask="),
+        "non-divisible extents are masked:\n{src2}"
+    );
 }
 
 #[test]
 fn grid_encodes_batch_times_tiles() {
-    let stmt = parse("Out[MAPX[p,q],m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]")
-        .unwrap();
+    let stmt =
+        parse("Out[MAPX[p,q],m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]").unwrap();
     let m = metas(&[
         ("Out", &[100, 32], DType::F16),
         ("MAPX", &[40, 16], DType::I32),

@@ -47,8 +47,17 @@ pub struct KernelBuilder {
 
 #[derive(Debug)]
 enum LoopFrame {
-    Static { var: Reg, start: i64, end: i64, step: i64 },
-    Dynamic { var: Reg, start: Reg, end: Reg },
+    Static {
+        var: Reg,
+        start: i64,
+        end: i64,
+        step: i64,
+    },
+    Dynamic {
+        var: Reg,
+        start: Reg,
+        end: Reg,
+    },
 }
 
 impl KernelBuilder {
@@ -84,7 +93,10 @@ impl KernelBuilder {
     }
 
     fn emit(&mut self, instr: Instr) {
-        self.scopes.last_mut().expect("at least the kernel body scope").push(instr);
+        self.scopes
+            .last_mut()
+            .expect("at least the kernel body scope")
+            .push(instr);
     }
 
     /// Emit `program_id(axis)`.
@@ -170,18 +182,34 @@ impl KernelBuilder {
     /// Emit a load.
     pub fn load(&mut self, param: usize, offset: Reg, mask: Option<Reg>, other: f64) -> Reg {
         let dst = self.fresh();
-        self.emit(Instr::Load { dst, param, offset, mask, other });
+        self.emit(Instr::Load {
+            dst,
+            param,
+            offset,
+            mask,
+            other,
+        });
         dst
     }
 
     /// Emit a store.
     pub fn store(&mut self, param: usize, offset: Reg, value: Reg, mask: Option<Reg>) {
-        self.emit(Instr::Store { param, offset, value, mask });
+        self.emit(Instr::Store {
+            param,
+            offset,
+            value,
+            mask,
+        });
     }
 
     /// Emit an atomic add (scatter).
     pub fn atomic_add(&mut self, param: usize, offset: Reg, value: Reg, mask: Option<Reg>) {
-        self.emit(Instr::AtomicAdd { param, offset, value, mask });
+        self.emit(Instr::AtomicAdd {
+            param,
+            offset,
+            value,
+            mask,
+        });
     }
 
     /// Emit `tl.dot`.
@@ -196,7 +224,12 @@ impl KernelBuilder {
     pub fn dot_acc(&mut self, acc: Reg, a: Reg, b: Reg) {
         let dst = self.fresh();
         self.emit(Instr::Dot { dst, a, b });
-        self.emit(Instr::Binary { dst: acc, op: BinOp::Add, a: acc, b: dst });
+        self.emit(Instr::Binary {
+            dst: acc,
+            op: BinOp::Add,
+            a: acc,
+            b: dst,
+        });
     }
 
     /// Emit `tl.sum(src, axis)`.
@@ -210,7 +243,12 @@ impl KernelBuilder {
     /// induction-variable register. Close with [`KernelBuilder::end_loop`].
     pub fn begin_loop(&mut self, start: i64, end: i64, step: i64) -> Reg {
         let var = self.fresh();
-        self.open_loops.push(LoopFrame::Static { var, start, end, step });
+        self.open_loops.push(LoopFrame::Static {
+            var,
+            start,
+            end,
+            step,
+        });
         self.scopes.push(Vec::new());
         var
     }
@@ -233,11 +271,27 @@ impl KernelBuilder {
     pub fn end_loop(&mut self) {
         let body = self.scopes.pop().expect("scope stack underflow");
         match self.open_loops.pop().expect("no open loop") {
-            LoopFrame::Static { var, start, end, step } => {
-                self.emit(Instr::Loop { var, start, end, step, body });
+            LoopFrame::Static {
+                var,
+                start,
+                end,
+                step,
+            } => {
+                self.emit(Instr::Loop {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                });
             }
             LoopFrame::Dynamic { var, start, end } => {
-                self.emit(Instr::LoopDyn { var, start, end, body });
+                self.emit(Instr::LoopDyn {
+                    var,
+                    start,
+                    end,
+                    body,
+                });
             }
         }
     }
@@ -248,9 +302,18 @@ impl KernelBuilder {
     ///
     /// Panics if a loop is still open.
     pub fn build(mut self) -> Kernel {
-        assert!(self.open_loops.is_empty(), "unclosed loop in kernel {:?}", self.name);
+        assert!(
+            self.open_loops.is_empty(),
+            "unclosed loop in kernel {:?}",
+            self.name
+        );
         let body = self.scopes.pop().expect("kernel body scope");
-        Kernel { name: self.name, params: self.params, body, num_regs: self.next_reg }
+        Kernel {
+            name: self.name,
+            params: self.params,
+            body,
+            num_regs: self.next_reg,
+        }
     }
 }
 
@@ -283,8 +346,12 @@ mod tests {
         // The constant hoists to the kernel body; the loops follow.
         assert_eq!(k.body.len(), 2);
         assert!(matches!(k.body[0], Instr::Const { .. }));
-        let Instr::Loop { body, .. } = &k.body[1] else { panic!() };
-        let Instr::Loop { body: inner, .. } = &body[0] else { panic!() };
+        let Instr::Loop { body, .. } = &k.body[1] else {
+            panic!()
+        };
+        let Instr::Loop { body: inner, .. } = &body[0] else {
+            panic!()
+        };
         assert!(matches!(inner[0], Instr::Binary { .. }));
     }
 

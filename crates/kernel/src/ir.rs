@@ -244,12 +244,18 @@ pub struct ParamDecl {
 impl ParamDecl {
     /// A read-only parameter.
     pub fn input(name: &str) -> ParamDecl {
-        ParamDecl { name: name.to_string(), written: false }
+        ParamDecl {
+            name: name.to_string(),
+            written: false,
+        }
     }
 
     /// A written (output) parameter.
     pub fn output(name: &str) -> ParamDecl {
-        ParamDecl { name: name.to_string(), written: true }
+        ParamDecl {
+            name: name.to_string(),
+            written: true,
+        }
     }
 }
 
@@ -289,20 +295,39 @@ impl Kernel {
         fn walk(kernel: &Kernel, body: &[Instr]) -> crate::Result<()> {
             for instr in body {
                 let regs: Vec<Reg> = match instr {
-                    Instr::ProgramId { dst, .. } | Instr::Const { dst, .. } | Instr::Arange { dst, .. } | Instr::Full { dst, .. } => vec![*dst],
+                    Instr::ProgramId { dst, .. }
+                    | Instr::Const { dst, .. }
+                    | Instr::Arange { dst, .. }
+                    | Instr::Full { dst, .. } => vec![*dst],
                     Instr::Binary { dst, a, b, .. } => vec![*dst, *a, *b],
                     Instr::ExpandDims { dst, src, .. }
                     | Instr::Broadcast { dst, src, .. }
                     | Instr::View { dst, src, .. }
                     | Instr::Trans { dst, src } => vec![*dst, *src],
-                    Instr::Load { dst, offset, mask, param, .. } => {
+                    Instr::Load {
+                        dst,
+                        offset,
+                        mask,
+                        param,
+                        ..
+                    } => {
                         check_param(kernel, *param, false)?;
                         let mut v = vec![*dst, *offset];
                         v.extend(mask.iter());
                         v
                     }
-                    Instr::Store { offset, value, mask, param }
-                    | Instr::AtomicAdd { offset, value, mask, param } => {
+                    Instr::Store {
+                        offset,
+                        value,
+                        mask,
+                        param,
+                    }
+                    | Instr::AtomicAdd {
+                        offset,
+                        value,
+                        mask,
+                        param,
+                    } => {
                         check_param(kernel, *param, true)?;
                         let mut v = vec![*offset, *value];
                         v.extend(mask.iter());
@@ -310,14 +335,21 @@ impl Kernel {
                     }
                     Instr::Dot { dst, a, b } => vec![*dst, *a, *b],
                     Instr::Sum { dst, src, .. } => vec![*dst, *src],
-                    Instr::Loop { var, step, body, .. } => {
+                    Instr::Loop {
+                        var, step, body, ..
+                    } => {
                         if *step <= 0 {
                             return Err(KernelError(format!("loop step {step} must be positive")));
                         }
                         walk(kernel, body)?;
                         vec![*var]
                     }
-                    Instr::LoopDyn { var, start, end, body } => {
+                    Instr::LoopDyn {
+                        var,
+                        start,
+                        end,
+                        body,
+                    } => {
                         walk(kernel, body)?;
                         vec![*var, *start, *end]
                     }
@@ -379,8 +411,19 @@ mod tests {
             params: vec![ParamDecl::input("A"), ParamDecl::output("C")],
             body: vec![
                 Instr::ProgramId { dst: 0, axis: 0 },
-                Instr::Load { dst: 1, param: 0, offset: 0, mask: None, other: 0.0 },
-                Instr::Store { param: 1, offset: 0, value: 1, mask: None },
+                Instr::Load {
+                    dst: 1,
+                    param: 0,
+                    offset: 0,
+                    mask: None,
+                    other: 0.0,
+                },
+                Instr::Store {
+                    param: 1,
+                    offset: 0,
+                    value: 1,
+                    mask: None,
+                },
             ],
             num_regs: 2,
         }
@@ -409,14 +452,26 @@ mod tests {
     #[test]
     fn bad_param_index_rejected() {
         let mut k = trivial_kernel();
-        k.body.push(Instr::Load { dst: 1, param: 9, offset: 0, mask: None, other: 0.0 });
+        k.body.push(Instr::Load {
+            dst: 1,
+            param: 9,
+            offset: 0,
+            mask: None,
+            other: 0.0,
+        });
         assert!(k.validate().is_err());
     }
 
     #[test]
     fn nonpositive_loop_step_rejected() {
         let mut k = trivial_kernel();
-        k.body.push(Instr::Loop { var: 0, start: 0, end: 4, step: 0, body: vec![] });
+        k.body.push(Instr::Loop {
+            var: 0,
+            start: 0,
+            end: 4,
+            step: 0,
+            body: vec![],
+        });
         assert!(k.validate().is_err());
     }
 
@@ -428,7 +483,10 @@ mod tests {
             start: 0,
             end: 4,
             step: 1,
-            body: vec![Instr::Const { dst: 99, value: 1.0 }],
+            body: vec![Instr::Const {
+                dst: 99,
+                value: 1.0,
+            }],
         });
         assert!(k.validate().is_err());
     }

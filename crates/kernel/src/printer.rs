@@ -28,11 +28,20 @@ fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}{} = tl.arange(0, {len})", reg(*dst));
         }
         Instr::Full { dst, shape, value } => {
-            let _ = writeln!(out, "{pad}{} = tl.full({}, {value})", reg(*dst), shape_str(shape));
+            let _ = writeln!(
+                out,
+                "{pad}{} = tl.full({}, {value})",
+                reg(*dst),
+                shape_str(shape)
+            );
         }
         Instr::Binary { dst, op, a, b } => match op {
             BinOp::Min | BinOp::Max => {
-                let name = if *op == BinOp::Min { "minimum" } else { "maximum" };
+                let name = if *op == BinOp::Min {
+                    "minimum"
+                } else {
+                    "maximum"
+                };
                 let _ = writeln!(
                     out,
                     "{pad}{} = tl.{name}({}, {})",
@@ -53,7 +62,12 @@ fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
             }
         },
         Instr::ExpandDims { dst, src, axis } => {
-            let _ = writeln!(out, "{pad}{} = tl.expand_dims({}, {axis})", reg(*dst), reg(*src));
+            let _ = writeln!(
+                out,
+                "{pad}{} = tl.expand_dims({}, {axis})",
+                reg(*dst),
+                reg(*src)
+            );
         }
         Instr::Broadcast { dst, src, shape } => {
             let _ = writeln!(
@@ -65,12 +79,24 @@ fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
             );
         }
         Instr::View { dst, src, shape } => {
-            let _ = writeln!(out, "{pad}{} = tl.view({}, {})", reg(*dst), reg(*src), shape_str(shape));
+            let _ = writeln!(
+                out,
+                "{pad}{} = tl.view({}, {})",
+                reg(*dst),
+                reg(*src),
+                shape_str(shape)
+            );
         }
         Instr::Trans { dst, src } => {
             let _ = writeln!(out, "{pad}{} = tl.trans({})", reg(*dst), reg(*src));
         }
-        Instr::Load { dst, param, offset, mask, other } => {
+        Instr::Load {
+            dst,
+            param,
+            offset,
+            mask,
+            other,
+        } => {
             let p = &kernel.params[*param].name;
             match mask {
                 Some(m) => {
@@ -87,7 +113,12 @@ fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
                 }
             }
         }
-        Instr::Store { param, offset, value, mask } => {
+        Instr::Store {
+            param,
+            offset,
+            value,
+            mask,
+        } => {
             let p = &kernel.params[*param].name;
             match mask {
                 Some(m) => {
@@ -100,11 +131,21 @@ fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
                     );
                 }
                 None => {
-                    let _ = writeln!(out, "{pad}tl.store({p} + {}, {})", reg(*offset), reg(*value));
+                    let _ = writeln!(
+                        out,
+                        "{pad}tl.store({p} + {}, {})",
+                        reg(*offset),
+                        reg(*value)
+                    );
                 }
             }
         }
-        Instr::AtomicAdd { param, offset, value, mask } => {
+        Instr::AtomicAdd {
+            param,
+            offset,
+            value,
+            mask,
+        } => {
             let p = &kernel.params[*param].name;
             match mask {
                 Some(m) => {
@@ -132,8 +173,18 @@ fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
         Instr::Sum { dst, src, axis } => {
             let _ = writeln!(out, "{pad}{} = tl.sum({}, {axis})", reg(*dst), reg(*src));
         }
-        Instr::Loop { var, start, end, step, body } => {
-            let _ = writeln!(out, "{pad}for {} in range({start}, {end}, {step}):", reg(*var));
+        Instr::Loop {
+            var,
+            start,
+            end,
+            step,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {} in range({start}, {end}, {step}):",
+                reg(*var)
+            );
             if body.is_empty() {
                 let _ = writeln!(out, "{pad}    pass");
             }
@@ -141,8 +192,19 @@ fn emit(instr: &Instr, kernel: &Kernel, indent: usize, out: &mut String) {
                 emit(i, kernel, indent + 1, out);
             }
         }
-        Instr::LoopDyn { var, start, end, body } => {
-            let _ = writeln!(out, "{pad}for {} in range({}, {}):", reg(*var), reg(*start), reg(*end));
+        Instr::LoopDyn {
+            var,
+            start,
+            end,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}for {} in range({}, {}):",
+                reg(*var),
+                reg(*start),
+                reg(*end)
+            );
             if body.is_empty() {
                 let _ = writeln!(out, "{pad}    pass");
             }

@@ -112,7 +112,11 @@ impl Ctx<'_> {
 /// * [`LangError::Unsupported`] for indirection nested deeper than one
 ///   level.
 pub fn analyze(stmt: &Statement, shapes: &BTreeMap<String, Vec<usize>>) -> Result<Analysis> {
-    let mut ctx = Ctx { shapes, extents: BTreeMap::new(), metadata: Vec::new() };
+    let mut ctx = Ctx {
+        shapes,
+        extents: BTreeMap::new(),
+        metadata: Vec::new(),
+    };
     ctx.visit(&stmt.output, 0)?;
     for factor in &stmt.factors {
         ctx.visit(factor, 0)?;
@@ -143,7 +147,10 @@ mod tests {
     use crate::parse;
 
     fn shapes(pairs: &[(&str, &[usize])]) -> BTreeMap<String, Vec<usize>> {
-        pairs.iter().map(|(n, s)| (n.to_string(), s.to_vec())).collect()
+        pairs
+            .iter()
+            .map(|(n, s)| (n.to_string(), s.to_vec()))
+            .collect()
     }
 
     #[test]
@@ -189,7 +196,11 @@ mod tests {
     #[test]
     fn dense_matmul_reduction() {
         let stmt = parse("C[y,x] = A[y,r] * B[r,x]").unwrap();
-        let info = analyze(&stmt, &shapes(&[("C", &[2, 4]), ("A", &[2, 3]), ("B", &[3, 4])])).unwrap();
+        let info = analyze(
+            &stmt,
+            &shapes(&[("C", &[2, 4]), ("A", &[2, 3]), ("B", &[3, 4])]),
+        )
+        .unwrap();
         assert_eq!(info.output_vars, vec!["y", "x"]);
         assert_eq!(info.reduction_vars, vec!["r"]);
         assert_eq!(info.extent("r"), Some(3));
@@ -212,8 +223,7 @@ mod tests {
     #[test]
     fn extent_conflict_rejected() {
         let stmt = parse("C[i] = A[i] * B[i]").unwrap();
-        let err =
-            analyze(&stmt, &shapes(&[("C", &[4]), ("A", &[4]), ("B", &[5])])).unwrap_err();
+        let err = analyze(&stmt, &shapes(&[("C", &[4]), ("A", &[4]), ("B", &[5])])).unwrap_err();
         assert!(matches!(err, LangError::ExtentConflict { .. }));
     }
 
@@ -248,10 +258,8 @@ mod tests {
 
     #[test]
     fn sparse_conv_analysis() {
-        let stmt = parse(
-            "Out[MAPX[p],q,m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]",
-        )
-        .unwrap();
+        let stmt =
+            parse("Out[MAPX[p],q,m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]").unwrap();
         let info = analyze(
             &stmt,
             &shapes(&[

@@ -50,7 +50,11 @@ impl fmt::Display for LangError {
             LangError::UnexpectedChar { ch, pos } => {
                 write!(f, "unexpected character {ch:?} at byte {pos}")
             }
-            LangError::ParseError { expected, found, pos } => {
+            LangError::ParseError {
+                expected,
+                found,
+                pos,
+            } => {
                 write!(f, "expected {expected} but found {found} at token {pos}")
             }
             LangError::UnboundTensor(name) => {
@@ -59,8 +63,15 @@ impl fmt::Display for LangError {
             LangError::ExtentConflict { var, detail } => {
                 write!(f, "extent conflict for index {var:?}: {detail}")
             }
-            LangError::RankMismatch { tensor, indices, rank } => {
-                write!(f, "tensor {tensor:?} has rank {rank} but is accessed with {indices} indices")
+            LangError::RankMismatch {
+                tensor,
+                indices,
+                rank,
+            } => {
+                write!(
+                    f,
+                    "tensor {tensor:?} has rank {rank} but is accessed with {indices} indices"
+                )
             }
             LangError::Unsupported(msg) => write!(f, "unsupported expression: {msg}"),
         }
@@ -75,7 +86,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LangError::RankMismatch { tensor: "A".into(), indices: 3, rank: 2 };
+        let e = LangError::RankMismatch {
+            tensor: "A".into(),
+            indices: 3,
+            rank: 2,
+        };
         assert!(e.to_string().contains("rank 2"));
         assert!(e.to_string().contains("3 indices"));
     }

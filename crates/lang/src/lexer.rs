@@ -113,13 +113,25 @@ mod tests {
 
     #[test]
     fn lex_rejects_bad_chars() {
-        assert!(matches!(lex("C[i] := A[i]"), Err(LangError::UnexpectedChar { ch: ':', .. })));
-        assert!(matches!(lex("C[i] + A[i]"), Err(LangError::UnexpectedChar { ch: '+', .. })));
-        assert!(matches!(lex("C[0]"), Err(LangError::UnexpectedChar { ch: '0', .. })));
+        assert!(matches!(
+            lex("C[i] := A[i]"),
+            Err(LangError::UnexpectedChar { ch: ':', .. })
+        ));
+        assert!(matches!(
+            lex("C[i] + A[i]"),
+            Err(LangError::UnexpectedChar { ch: '+', .. })
+        ));
+        assert!(matches!(
+            lex("C[0]"),
+            Err(LangError::UnexpectedChar { ch: '0', .. })
+        ));
     }
 
     #[test]
     fn lex_whitespace_insensitive() {
-        assert_eq!(lex("C[i]=A[i]").unwrap(), lex("  C [ i ] \n= A [ i ]  ").unwrap());
+        assert_eq!(
+            lex("C[i]=A[i]").unwrap(),
+            lex("  C [ i ] \n= A [ i ]  ").unwrap()
+        );
     }
 }

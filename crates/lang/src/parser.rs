@@ -124,7 +124,11 @@ pub fn parse(src: &str) -> Result<Statement> {
     if p.peek().is_some() {
         return Err(p.err("end of input"));
     }
-    Ok(Statement { output, op, factors })
+    Ok(Statement {
+        output,
+        op,
+        factors,
+    })
 }
 
 #[cfg(test)]
@@ -161,10 +165,8 @@ mod tests {
 
     #[test]
     fn parse_sparse_conv() {
-        let s = parse(
-            "Out[MAPX[p],q,m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]",
-        )
-        .unwrap();
+        let s =
+            parse("Out[MAPX[p],q,m] += MAPV[p,q] * In[MAPY[p,q],c] * Weight[MAPZ[p],c,m]").unwrap();
         assert_eq!(s.factors.len(), 3);
         assert_eq!(s.all_vars(), vec!["p", "q", "m", "c"]);
     }
@@ -176,7 +178,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.factors.len(), 4);
-        assert_eq!(s.tensor_names(), vec!["Z", "CGI", "CGV", "X", "CGJ", "Y", "CGK", "W", "CGL"]);
+        assert_eq!(
+            s.tensor_names(),
+            vec!["Z", "CGI", "CGV", "X", "CGJ", "Y", "CGK", "W", "CGL"]
+        );
     }
 
     #[test]

@@ -44,13 +44,20 @@ fn access() -> impl Strategy<Value = Access> {
 }
 
 fn statement() -> impl Strategy<Value = Statement> {
-    (access(), proptest::bool::ANY, proptest::collection::vec(access(), 1..4)).prop_map(
-        |(output, acc, factors)| Statement {
-            output,
-            op: if acc { AssignOp::Accumulate } else { AssignOp::Assign },
-            factors,
-        },
+    (
+        access(),
+        proptest::bool::ANY,
+        proptest::collection::vec(access(), 1..4),
     )
+        .prop_map(|(output, acc, factors)| Statement {
+            output,
+            op: if acc {
+                AssignOp::Accumulate
+            } else {
+                AssignOp::Assign
+            },
+            factors,
+        })
 }
 
 proptest! {

@@ -15,8 +15,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let nd = a.len().max(b.len());
     let mut out = vec![0usize; nd];
     for i in 0..nd {
-        let da = if i < nd - a.len() { 1 } else { a[i - (nd - a.len())] };
-        let db = if i < nd - b.len() { 1 } else { b[i - (nd - b.len())] };
+        let da = if i < nd - a.len() {
+            1
+        } else {
+            a[i - (nd - a.len())]
+        };
+        let db = if i < nd - b.len() {
+            1
+        } else {
+            b[i - (nd - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -47,7 +55,10 @@ mod tests {
 
     #[test]
     fn ones_expand() {
-        assert_eq!(broadcast_shapes(&[1, 3, 1], &[2, 1, 4]), Some(vec![2, 3, 4]));
+        assert_eq!(
+            broadcast_shapes(&[1, 3, 1], &[2, 1, 4]),
+            Some(vec![2, 3, 4])
+        );
     }
 
     #[test]

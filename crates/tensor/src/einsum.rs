@@ -31,7 +31,17 @@ impl EinsumSpec {
         let (lhs, rhs) = spec
             .split_once("->")
             .ok_or_else(|| TensorError::InvalidEinsum(format!("missing '->' in {spec:?}")))?;
+        if lhs.trim().is_empty() {
+            return Err(TensorError::InvalidEinsum(format!(
+                "empty operand list in {spec:?}"
+            )));
+        }
         let inputs: Vec<Vec<char>> = lhs.split(',').map(|s| s.trim().chars().collect()).collect();
+        if inputs.iter().any(|t| t.is_empty()) {
+            return Err(TensorError::InvalidEinsum(format!(
+                "empty operand term in {spec:?}"
+            )));
+        }
         let output: Vec<char> = rhs.trim().chars().collect();
         for term in inputs.iter().chain(std::iter::once(&output)) {
             for &c in term {
@@ -74,7 +84,10 @@ impl EinsumSpec {
 
     /// Index letters that are reduced over (appear in inputs only).
     pub fn reduction_indices(&self) -> Vec<char> {
-        self.all_indices().into_iter().filter(|c| !self.output.contains(c)).collect()
+        self.all_indices()
+            .into_iter()
+            .filter(|c| !self.output.contains(c))
+            .collect()
     }
 }
 
@@ -179,7 +192,11 @@ pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
         }
         out.data_mut()[o] = acc as f32;
     }
-    Ok(if out_dtype == DType::F16 { out.cast(DType::F16) } else { out })
+    Ok(if out_dtype == DType::F16 {
+        out.cast(DType::F16)
+    } else {
+        out
+    })
 }
 
 #[cfg(test)]
@@ -204,6 +221,19 @@ mod tests {
         assert!(EinsumSpec::parse("i1->i").is_err()); // digit index
         assert!(EinsumSpec::parse("ij->ii").is_err()); // repeated output
         assert!(EinsumSpec::parse("ij->ik").is_err()); // unbound output
+        assert!(EinsumSpec::parse("ij,,k->i").is_err()); // empty operand term
+        assert!(EinsumSpec::parse(",ij->i").is_err()); // leading empty term
+        assert!(EinsumSpec::parse("ij,->i").is_err()); // trailing empty term
+        assert!(EinsumSpec::parse("->").is_err()); // empty LHS
+        assert!(EinsumSpec::parse("  ->i").is_err()); // whitespace-only LHS
+    }
+
+    #[test]
+    fn parse_allows_empty_output() {
+        // Full reduction to a scalar stays legal: only operand terms and
+        // the LHS as a whole must be nonempty.
+        let s = EinsumSpec::parse("ij->").unwrap();
+        assert!(s.output.is_empty());
     }
 
     #[test]

@@ -47,9 +47,16 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in {op}: {detail}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
-            TensorError::IndexOutOfBounds { index, bound, context } => {
+            TensorError::IndexOutOfBounds {
+                index,
+                bound,
+                context,
+            } => {
                 write!(f, "index {index} out of bounds ({bound}) in {context}")
             }
             TensorError::InvalidEinsum(msg) => write!(f, "invalid einsum: {msg}"),
@@ -68,7 +75,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert_eq!(e.to_string(), "data length 5 does not match shape volume 6");
         let e = TensorError::InvalidEinsum("bad spec".into());
         assert!(e.to_string().contains("bad spec"));

@@ -8,6 +8,7 @@
 /// Convert an `f32` to IEEE binary16 bits, rounding to nearest-even.
 ///
 /// Overflow saturates to infinity; NaN payloads collapse to a quiet NaN.
+#[inline]
 pub fn f32_to_f16_bits(value: f32) -> u16 {
     let bits = value.to_bits();
     let sign = ((bits >> 16) & 0x8000) as u16;
@@ -58,6 +59,7 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
 }
 
 /// Convert IEEE binary16 bits to an `f32`.
+#[inline]
 pub fn f16_bits_to_f32(bits: u16) -> f32 {
     let sign = ((bits & 0x8000) as u32) << 16;
     let exp = ((bits >> 10) & 0x1f) as u32;
@@ -95,13 +97,62 @@ pub fn f16_bits_to_f32(bits: u16) -> f32 {
 /// assert_ne!(f16_round(0.1), 0.1);
 /// assert!((f16_round(0.1) - 0.1).abs() < 1e-4);
 /// ```
+#[inline]
 pub fn f16_round(value: f32) -> f32 {
+    let bits = value.to_bits();
+    let absbits = bits & 0x7fff_ffff;
+    // Fast path: results that land on normal f16 values (|v| in
+    // [2^-14, 65520); 65520 is the smallest magnitude that rounds to
+    // f16 infinity). Rounding the f32 mantissa to 10 bits half-to-even
+    // is one integer add — a carry correctly propagates into the
+    // exponent — so no bit unpacking/repacking round trip is needed.
+    // `tests::fast_path_matches_bit_conversion` checks equivalence
+    // against the full conversion.
+    if (0x3880_0000..0x477f_f000).contains(&absbits) {
+        let round = 0x0fff + ((bits >> 13) & 1);
+        return f32::from_bits(bits.wrapping_add(round) & !0x1fff);
+    }
     f16_bits_to_f32(f32_to_f16_bits(value))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fast_path_matches_bit_conversion() {
+        // Sweep a dense sample of the fast-path range (and its edges)
+        // and compare against the reference double conversion.
+        let probe = |v: f32| {
+            let want = f16_bits_to_f32(f32_to_f16_bits(v));
+            let got = f16_round(v);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "f16_round({v}) = {got} != {want}"
+            );
+        };
+        let mut bits: u32 = 0x3800_0000; // below the normal-f16 cutoff
+        while bits < 0x4790_0000 {
+            // above the overflow cutoff
+            probe(f32::from_bits(bits));
+            probe(-f32::from_bits(bits));
+            bits += 0x101; // dense, misaligned stride hits all rounding cases
+        }
+        for v in [
+            0.0f32,
+            -0.0,
+            1e-8,
+            65504.0,
+            65519.9,
+            65520.0,
+            1e9,
+            f32::INFINITY,
+        ] {
+            probe(v);
+            probe(-v);
+        }
+    }
 
     #[test]
     fn exact_small_integers_roundtrip() {
@@ -171,9 +222,13 @@ mod tests {
 
     #[test]
     fn idempotent() {
-        for &x in &[0.1f32, 3.14159, -2.71828, 1234.5678, 6.1e-5, 4.2e-7] {
+        for &x in &[0.1f32, 3.25159, -2.91828, 1234.5678, 6.1e-5, 4.2e-7] {
             let once = f16_round(x);
-            assert_eq!(f16_round(once), once, "f16_round must be idempotent for {x}");
+            assert_eq!(
+                f16_round(once),
+                once,
+                "f16_round must be idempotent for {x}"
+            );
         }
     }
 }

@@ -97,7 +97,11 @@ impl Tensor {
             });
         }
         for d in 0..self.ndim() {
-            let want = if d == dim { index.len() } else { self.shape()[d] };
+            let want = if d == dim {
+                index.len()
+            } else {
+                self.shape()[d]
+            };
             if source.shape()[d] != want {
                 return Err(TensorError::ShapeMismatch {
                     op: "index_add".into(),

@@ -45,7 +45,10 @@ mod tests {
     fn deterministic_with_seed() {
         let mut a = SmallRng::seed_from_u64(42);
         let mut b = SmallRng::seed_from_u64(42);
-        assert_eq!(rand_uniform(vec![10], 0.0, 1.0, &mut a), rand_uniform(vec![10], 0.0, 1.0, &mut b));
+        assert_eq!(
+            rand_uniform(vec![10], 0.0, 1.0, &mut a),
+            rand_uniform(vec![10], 0.0, 1.0, &mut b)
+        );
     }
 
     #[test]
@@ -53,7 +56,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         let t = rand_normal(vec![10_000], &mut rng);
         let mean = t.sum() / t.len() as f32;
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
@@ -63,6 +71,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let t = randint(vec![50], 7, &mut rng);
         assert_eq!(t.dtype(), DType::I32);
-        assert!(t.data().iter().all(|&v| (0.0..7.0).contains(&v) && v.fract() == 0.0));
+        assert!(t
+            .data()
+            .iter()
+            .all(|&v| (0.0..7.0).contains(&v) && v.fract() == 0.0));
     }
 }

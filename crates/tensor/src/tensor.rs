@@ -44,7 +44,12 @@ impl Tensor {
     /// Create a tensor of zeros with dtype [`DType::F32`].
     pub fn zeros(shape: Vec<usize>) -> Tensor {
         let n = volume(&shape);
-        Tensor { strides: contiguous_strides(&shape), shape, data: vec![0.0; n], dtype: DType::F32 }
+        Tensor {
+            strides: contiguous_strides(&shape),
+            shape,
+            data: vec![0.0; n],
+            dtype: DType::F32,
+        }
     }
 
     /// Create a tensor of zeros with the given dtype.
@@ -72,7 +77,12 @@ impl Tensor {
 
     /// Create a rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Tensor {
-        Tensor { shape: vec![], strides: vec![], data: vec![value], dtype: DType::F32 }
+        Tensor {
+            shape: vec![],
+            strides: vec![],
+            data: vec![value],
+            dtype: DType::F32,
+        }
     }
 
     /// Create the `n`×`n` identity matrix.
@@ -93,9 +103,17 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Tensor> {
         let n = volume(&shape);
         if data.len() != n {
-            return Err(TensorError::LengthMismatch { expected: n, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { strides: contiguous_strides(&shape), shape, data, dtype: DType::F32 })
+        Ok(Tensor {
+            strides: contiguous_strides(&shape),
+            shape,
+            data,
+            dtype: DType::F32,
+        })
     }
 
     /// Create an integer (metadata) tensor from `i64` coordinates.
@@ -127,7 +145,12 @@ impl Tensor {
                 idx[d] = 0;
             }
         }
-        Tensor { strides: contiguous_strides(&shape), shape, data, dtype: DType::F32 }
+        Tensor {
+            strides: contiguous_strides(&shape),
+            shape,
+            data,
+            dtype: DType::F32,
+        }
     }
 
     /// `[0, 1, ..., n-1]` as an I32 tensor.
@@ -204,7 +227,11 @@ impl Tensor {
         assert_eq!(index.len(), self.ndim(), "index rank mismatch");
         let mut off = 0;
         for (d, (&i, &s)) in index.iter().zip(&self.strides).enumerate() {
-            assert!(i < self.shape[d], "index {i} out of bounds for dim {d} (size {})", self.shape[d]);
+            assert!(
+                i < self.shape[d],
+                "index {i} out of bounds for dim {d} (size {})",
+                self.shape[d]
+            );
             off += i * s;
         }
         off
@@ -226,7 +253,11 @@ impl Tensor {
     /// Panics on rank mismatch or out-of-range coordinates.
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.offset(index);
-        self.data[off] = if self.dtype == DType::F16 { f16_round(value) } else { value };
+        self.data[off] = if self.dtype == DType::F16 {
+            f16_round(value)
+        } else {
+            value
+        };
     }
 
     /// Element interpreted as an integer index (for metadata tensors).
@@ -248,7 +279,12 @@ impl Tensor {
             DType::F32 => self.data.clone(),
             DType::I32 => self.data.iter().map(|&v| v.trunc()).collect(),
         };
-        Tensor { shape: self.shape.clone(), strides: self.strides.clone(), data, dtype }
+        Tensor {
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            data,
+            dtype,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -264,7 +300,12 @@ impl Tensor {
         if volume(&shape) != self.len() {
             return Err(TensorError::ShapeMismatch {
                 op: "reshape".into(),
-                detail: format!("cannot view {:?} ({} elems) as {:?}", self.shape, self.len(), shape),
+                detail: format!(
+                    "cannot view {:?} ({} elems) as {:?}",
+                    self.shape,
+                    self.len(),
+                    shape
+                ),
             });
         }
         Ok(Tensor {
@@ -284,7 +325,11 @@ impl Tensor {
     pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
         let nd = self.ndim();
         let mut seen = vec![false; nd];
-        if perm.len() != nd || perm.iter().any(|&p| p >= nd || std::mem::replace(&mut seen[p], true)) {
+        if perm.len() != nd
+            || perm
+                .iter()
+                .any(|&p| p >= nd || std::mem::replace(&mut seen[p], true))
+        {
             return Err(TensorError::ShapeMismatch {
                 op: "permute".into(),
                 detail: format!("{perm:?} is not a permutation of 0..{nd}"),
@@ -347,14 +392,18 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes are not
     /// broadcast-compatible.
     pub fn broadcast_to(&self, shape: &[usize]) -> Result<Tensor> {
-        let joint = broadcast_shapes(&self.shape, shape).ok_or_else(|| TensorError::ShapeMismatch {
-            op: "broadcast_to".into(),
-            detail: format!("{:?} cannot broadcast to {:?}", self.shape, shape),
-        })?;
+        let joint =
+            broadcast_shapes(&self.shape, shape).ok_or_else(|| TensorError::ShapeMismatch {
+                op: "broadcast_to".into(),
+                detail: format!("{:?} cannot broadcast to {:?}", self.shape, shape),
+            })?;
         if joint != shape {
             return Err(TensorError::ShapeMismatch {
                 op: "broadcast_to".into(),
-                detail: format!("{:?} broadcasts to {:?}, not requested {:?}", self.shape, joint, shape),
+                detail: format!(
+                    "{:?} broadcasts to {:?}, not requested {:?}",
+                    self.shape, joint, shape
+                ),
             });
         }
         let nd = shape.len();
@@ -397,7 +446,12 @@ impl Tensor {
                 }
             })
             .collect();
-        Tensor { shape: self.shape.clone(), strides: self.strides.clone(), data, dtype: self.dtype }
+        Tensor {
+            shape: self.shape.clone(),
+            strides: self.strides.clone(),
+            data,
+            dtype: self.dtype,
+        }
     }
 
     /// Combine two tensors elementwise with NumPy broadcasting.
@@ -436,7 +490,12 @@ impl Tensor {
                 }
             })
             .collect();
-        Ok(Tensor { strides: contiguous_strides(&shape), shape, data, dtype })
+        Ok(Tensor {
+            strides: contiguous_strides(&shape),
+            shape,
+            data,
+            dtype,
+        })
     }
 
     /// Elementwise addition with broadcasting.
@@ -764,8 +823,12 @@ mod tests {
 
     #[test]
     fn f16_arithmetic_rounds() {
-        let a = Tensor::from_vec(vec![1], vec![1.0]).unwrap().cast(DType::F16);
-        let b = Tensor::from_vec(vec![1], vec![1e-4]).unwrap().cast(DType::F16);
+        let a = Tensor::from_vec(vec![1], vec![1.0])
+            .unwrap()
+            .cast(DType::F16);
+        let b = Tensor::from_vec(vec![1], vec![1e-4])
+            .unwrap()
+            .cast(DType::F16);
         // 1.0 + 1e-4 rounds back to 1.0 in f16 (ulp at 1.0 is ~9.8e-4).
         let c = a.add(&b).unwrap();
         assert_eq!(c.data()[0], 1.0);

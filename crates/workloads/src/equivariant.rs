@@ -35,8 +35,8 @@ pub fn clebsch_gordan(l1: i64, m1: i64, l2: i64, m2: i64, l3: i64, m3: i64) -> f
     {
         return 0.0;
     }
-    let delta = fact(l1 + l2 - l3) * fact(l1 - l2 + l3) * fact(-l1 + l2 + l3)
-        / fact(l1 + l2 + l3 + 1);
+    let delta =
+        fact(l1 + l2 - l3) * fact(l1 - l2 + l3) * fact(-l1 + l2 + l3) / fact(l1 + l2 + l3 + 1);
     let f = fact(l3 + m3)
         * fact(l3 - m3)
         * fact(l1 - m1)
@@ -257,8 +257,7 @@ mod tests {
                                             * clebsch_gordan(l1, m1, l2, m2, l3p, m3p);
                                     }
                                 }
-                                let expect =
-                                    if l3 == l3p && m3 == m3p { 1.0 } else { 0.0 };
+                                let expect = if l3 == l3p && m3 == m3p { 1.0 } else { 0.0 };
                                 assert!(
                                     (sum - expect).abs() < 1e-10,
                                     "l1={l1} l2={l2} l3={l3} m3={m3} l3'={l3p} m3'={m3p}: {sum}"

@@ -39,20 +39,90 @@ pub struct GraphSpec {
 pub fn catalog() -> Vec<GraphSpec> {
     use DegreeFamily::*;
     vec![
-        GraphSpec { name: "amazon0505", nodes: 410_236, edges: 4_878_874, family: Moderate },
-        GraphSpec { name: "amazon0601", nodes: 403_394, edges: 5_478_357, family: Moderate },
-        GraphSpec { name: "artist", nodes: 50_515, edges: 1_638_396, family: PowerLaw },
-        GraphSpec { name: "citeseer", nodes: 3_327, edges: 9_104, family: Moderate },
-        GraphSpec { name: "com-amazon", nodes: 334_863, edges: 1_851_744, family: Moderate },
-        GraphSpec { name: "cora", nodes: 2_708, edges: 10_556, family: Moderate },
-        GraphSpec { name: "DD", nodes: 334_925, edges: 1_686_092, family: Regular },
-        GraphSpec { name: "OVCAR-8H", nodes: 1_889_542, edges: 3_946_402, family: Regular },
-        GraphSpec { name: "ppi", nodes: 56_944, edges: 818_716, family: PowerLaw },
-        GraphSpec { name: "PROTEINS_full", nodes: 43_471, edges: 162_088, family: Regular },
-        GraphSpec { name: "pubmed", nodes: 19_717, edges: 88_648, family: Moderate },
-        GraphSpec { name: "soc-BlogCatalog", nodes: 88_784, edges: 2_093_195, family: PowerLaw },
-        GraphSpec { name: "Yeast", nodes: 1_714_644, edges: 3_636_546, family: Regular },
-        GraphSpec { name: "YeastH", nodes: 3_139_988, edges: 6_487_230, family: Regular },
+        GraphSpec {
+            name: "amazon0505",
+            nodes: 410_236,
+            edges: 4_878_874,
+            family: Moderate,
+        },
+        GraphSpec {
+            name: "amazon0601",
+            nodes: 403_394,
+            edges: 5_478_357,
+            family: Moderate,
+        },
+        GraphSpec {
+            name: "artist",
+            nodes: 50_515,
+            edges: 1_638_396,
+            family: PowerLaw,
+        },
+        GraphSpec {
+            name: "citeseer",
+            nodes: 3_327,
+            edges: 9_104,
+            family: Moderate,
+        },
+        GraphSpec {
+            name: "com-amazon",
+            nodes: 334_863,
+            edges: 1_851_744,
+            family: Moderate,
+        },
+        GraphSpec {
+            name: "cora",
+            nodes: 2_708,
+            edges: 10_556,
+            family: Moderate,
+        },
+        GraphSpec {
+            name: "DD",
+            nodes: 334_925,
+            edges: 1_686_092,
+            family: Regular,
+        },
+        GraphSpec {
+            name: "OVCAR-8H",
+            nodes: 1_889_542,
+            edges: 3_946_402,
+            family: Regular,
+        },
+        GraphSpec {
+            name: "ppi",
+            nodes: 56_944,
+            edges: 818_716,
+            family: PowerLaw,
+        },
+        GraphSpec {
+            name: "PROTEINS_full",
+            nodes: 43_471,
+            edges: 162_088,
+            family: Regular,
+        },
+        GraphSpec {
+            name: "pubmed",
+            nodes: 19_717,
+            edges: 88_648,
+            family: Moderate,
+        },
+        GraphSpec {
+            name: "soc-BlogCatalog",
+            nodes: 88_784,
+            edges: 2_093_195,
+            family: PowerLaw,
+        },
+        GraphSpec {
+            name: "Yeast",
+            nodes: 1_714_644,
+            edges: 3_636_546,
+            family: Regular,
+        },
+        GraphSpec {
+            name: "YeastH",
+            nodes: 3_139_988,
+            edges: 6_487_230,
+            family: Regular,
+        },
     ]
 }
 
@@ -120,7 +190,11 @@ pub fn gini(degrees: &[usize]) -> f64 {
     if sum == 0.0 {
         return 0.0;
     }
-    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted) / (n * sum) - (n + 1.0) / n
 }
 
@@ -134,7 +208,9 @@ mod tests {
     fn catalog_has_fourteen_datasets() {
         let c = catalog();
         assert_eq!(c.len(), 14);
-        assert!(c.iter().any(|s| s.name == "artist" && s.family == DegreeFamily::PowerLaw));
+        assert!(c
+            .iter()
+            .any(|s| s.name == "artist" && s.family == DegreeFamily::PowerLaw));
     }
 
     #[test]
@@ -145,7 +221,10 @@ mod tests {
         assert_eq!(coo.rows, spec.nodes / 4);
         let target = (spec.edges / 4) as f64;
         let got = coo.nnz() as f64;
-        assert!((got - target).abs() / target < 0.35, "edges {got} vs target {target}");
+        assert!(
+            (got - target).abs() / target < 0.35,
+            "edges {got} vs target {target}"
+        );
     }
 
     #[test]

@@ -29,13 +29,55 @@ pub struct RoomSpec {
 /// The seven scenes of paper Fig. 12.
 pub fn rooms() -> Vec<RoomSpec> {
     vec![
-        RoomSpec { name: "conferenceRoom", w: 8.0, d: 6.0, h: 3.0, furniture: 10 },
-        RoomSpec { name: "copyRoom", w: 4.0, d: 3.5, h: 3.0, furniture: 4 },
-        RoomSpec { name: "hallway", w: 12.0, d: 2.5, h: 3.0, furniture: 2 },
-        RoomSpec { name: "lounge", w: 7.0, d: 7.0, h: 3.0, furniture: 8 },
-        RoomSpec { name: "office", w: 5.0, d: 4.5, h: 3.0, furniture: 6 },
-        RoomSpec { name: "openspace", w: 10.0, d: 9.0, h: 3.0, furniture: 12 },
-        RoomSpec { name: "pantry", w: 3.5, d: 3.0, h: 3.0, furniture: 5 },
+        RoomSpec {
+            name: "conferenceRoom",
+            w: 8.0,
+            d: 6.0,
+            h: 3.0,
+            furniture: 10,
+        },
+        RoomSpec {
+            name: "copyRoom",
+            w: 4.0,
+            d: 3.5,
+            h: 3.0,
+            furniture: 4,
+        },
+        RoomSpec {
+            name: "hallway",
+            w: 12.0,
+            d: 2.5,
+            h: 3.0,
+            furniture: 2,
+        },
+        RoomSpec {
+            name: "lounge",
+            w: 7.0,
+            d: 7.0,
+            h: 3.0,
+            furniture: 8,
+        },
+        RoomSpec {
+            name: "office",
+            w: 5.0,
+            d: 4.5,
+            h: 3.0,
+            furniture: 6,
+        },
+        RoomSpec {
+            name: "openspace",
+            w: 10.0,
+            d: 9.0,
+            h: 3.0,
+            furniture: 12,
+        },
+        RoomSpec {
+            name: "pantry",
+            w: 3.5,
+            d: 3.0,
+            h: 3.0,
+            furniture: 5,
+        },
     ]
 }
 
@@ -97,13 +139,61 @@ pub fn generate_points(spec: &RoomSpec, sample_step: f64, rng: &mut impl Rng) ->
     let (w, d, h) = (spec.w, spec.d, spec.h);
     let jitter = sample_step * 0.3;
     // Floor and ceiling.
-    sample_plane(&mut pts, [0.0, 0.0, 0.0], [w, 0.0, 0.0], [0.0, d, 0.0], sample_step, jitter, rng);
-    sample_plane(&mut pts, [0.0, 0.0, h], [w, 0.0, 0.0], [0.0, d, 0.0], sample_step, jitter, rng);
+    sample_plane(
+        &mut pts,
+        [0.0, 0.0, 0.0],
+        [w, 0.0, 0.0],
+        [0.0, d, 0.0],
+        sample_step,
+        jitter,
+        rng,
+    );
+    sample_plane(
+        &mut pts,
+        [0.0, 0.0, h],
+        [w, 0.0, 0.0],
+        [0.0, d, 0.0],
+        sample_step,
+        jitter,
+        rng,
+    );
     // Four walls.
-    sample_plane(&mut pts, [0.0, 0.0, 0.0], [w, 0.0, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
-    sample_plane(&mut pts, [0.0, d, 0.0], [w, 0.0, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
-    sample_plane(&mut pts, [0.0, 0.0, 0.0], [0.0, d, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
-    sample_plane(&mut pts, [w, 0.0, 0.0], [0.0, d, 0.0], [0.0, 0.0, h], sample_step, jitter, rng);
+    sample_plane(
+        &mut pts,
+        [0.0, 0.0, 0.0],
+        [w, 0.0, 0.0],
+        [0.0, 0.0, h],
+        sample_step,
+        jitter,
+        rng,
+    );
+    sample_plane(
+        &mut pts,
+        [0.0, d, 0.0],
+        [w, 0.0, 0.0],
+        [0.0, 0.0, h],
+        sample_step,
+        jitter,
+        rng,
+    );
+    sample_plane(
+        &mut pts,
+        [0.0, 0.0, 0.0],
+        [0.0, d, 0.0],
+        [0.0, 0.0, h],
+        sample_step,
+        jitter,
+        rng,
+    );
+    sample_plane(
+        &mut pts,
+        [w, 0.0, 0.0],
+        [0.0, d, 0.0],
+        [0.0, 0.0, h],
+        sample_step,
+        jitter,
+        rng,
+    );
     // Furniture boxes (tables/shelves): top surface plus sides.
     for _ in 0..spec.furniture {
         let bw = rng.gen_range(0.5..1.8);
@@ -111,9 +201,33 @@ pub fn generate_points(spec: &RoomSpec, sample_step: f64, rng: &mut impl Rng) ->
         let bh = rng.gen_range(0.4..1.1);
         let x0 = rng.gen_range(0.2..(w - bw - 0.2).max(0.3));
         let y0 = rng.gen_range(0.2..(d - bd - 0.2).max(0.3));
-        sample_plane(&mut pts, [x0, y0, bh], [bw, 0.0, 0.0], [0.0, bd, 0.0], sample_step, jitter, rng);
-        sample_plane(&mut pts, [x0, y0, 0.0], [bw, 0.0, 0.0], [0.0, 0.0, bh], sample_step, jitter, rng);
-        sample_plane(&mut pts, [x0, y0, 0.0], [0.0, bd, 0.0], [0.0, 0.0, bh], sample_step, jitter, rng);
+        sample_plane(
+            &mut pts,
+            [x0, y0, bh],
+            [bw, 0.0, 0.0],
+            [0.0, bd, 0.0],
+            sample_step,
+            jitter,
+            rng,
+        );
+        sample_plane(
+            &mut pts,
+            [x0, y0, 0.0],
+            [bw, 0.0, 0.0],
+            [0.0, 0.0, bh],
+            sample_step,
+            jitter,
+            rng,
+        );
+        sample_plane(
+            &mut pts,
+            [x0, y0, 0.0],
+            [0.0, bd, 0.0],
+            [0.0, 0.0, bh],
+            sample_step,
+            jitter,
+            rng,
+        );
     }
     pts
 }
@@ -132,7 +246,10 @@ pub fn voxelize(points: &[[f64; 3]], voxel_size: f64) -> VoxelScene {
         .collect();
     set.sort_unstable();
     set.dedup();
-    VoxelScene { voxels: set, voxel_size }
+    VoxelScene {
+        voxels: set,
+        voxel_size,
+    }
 }
 
 /// A submanifold 3×3×3 kernel map grouped by weight offset, in the layout
@@ -169,8 +286,12 @@ impl KernelMap {
 /// by offset (the paper's "grouping by MAPZ") with `group_size` slots per
 /// group, padded with inert entries.
 pub fn kernel_map(scene: &VoxelScene, group_size: usize) -> KernelMap {
-    let index: HashMap<[i32; 3], usize> =
-        scene.voxels.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: HashMap<[i32; 3], usize> = scene
+        .voxels
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
     // pairs_by_offset[z] = list of (out_voxel, in_voxel).
     let mut pairs_by_offset: Vec<Vec<(usize, usize)>> = vec![Vec::new(); 27];
     for (out_idx, &v) in scene.voxels.iter().enumerate() {
@@ -233,7 +354,13 @@ mod tests {
 
     fn small_scene() -> VoxelScene {
         let mut rng = SmallRng::seed_from_u64(1);
-        let spec = RoomSpec { name: "test", w: 2.0, d: 2.0, h: 2.0, furniture: 1 };
+        let spec = RoomSpec {
+            name: "test",
+            w: 2.0,
+            d: 2.0,
+            h: 2.0,
+            furniture: 1,
+        };
         let pts = generate_points(&spec, 0.25, &mut rng);
         voxelize(&pts, 0.25)
     }
@@ -245,7 +372,10 @@ mod tests {
 
     #[test]
     fn voxelize_dedups() {
-        let scene = voxelize(&[[0.01, 0.01, 0.01], [0.02, 0.02, 0.02], [0.9, 0.0, 0.0]], 0.1);
+        let scene = voxelize(
+            &[[0.01, 0.01, 0.01], [0.02, 0.02, 0.02], [0.9, 0.0, 0.0]],
+            0.1,
+        );
         assert_eq!(scene.len(), 2);
     }
 
@@ -327,6 +457,9 @@ mod tests {
         let pantry = all.iter().find(|r| r.name == "pantry").expect("exists");
         let v_open = voxelize(&generate_points(open, 0.3, &mut rng), 0.3).len();
         let v_pantry = voxelize(&generate_points(pantry, 0.3, &mut rng), 0.3).len();
-        assert!(v_open > 2 * v_pantry, "openspace {v_open} vs pantry {v_pantry}");
+        assert!(
+            v_open > 2 * v_pantry,
+            "openspace {v_open} vs pantry {v_pantry}"
+        );
     }
 }

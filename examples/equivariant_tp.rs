@@ -32,14 +32,21 @@ fn main() {
     println!("\nexpression: {}", app.expr);
     let compiled = app.compile(&InsumOptions::default()).expect("compiles");
     let (z, profile) = compiled.run(&app.tensors).expect("runs");
-    println!("fused kernels: {}, tensor cores: {}", compiled.kernel_count(), compiled.uses_tensor_cores());
+    println!(
+        "fused kernels: {}, tensor cores: {}",
+        compiled.kernel_count(),
+        compiled.uses_tensor_cores()
+    );
     println!("{profile}");
 
     // Agreement with the per-path e3nn-style baseline (2 launches/path).
     let device = DeviceModel::rtx3090();
     let (z_ref, p_e3) =
         insum_baselines::tp::e3nn_tp(&cg, &x, &y, &wt, &device, Mode::Execute).expect("runs");
-    assert!(z.allclose(&z_ref, 1e-3, 1e-3), "tensor product agrees with e3nn");
+    assert!(
+        z.allclose(&z_ref, 1e-3, 1e-3),
+        "tensor product agrees with e3nn"
+    );
     println!(
         "verified against e3nn ({} launches); simulated speedup {:.2}x",
         p_e3.launches(),

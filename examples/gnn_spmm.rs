@@ -16,7 +16,10 @@ use rand::SeedableRng;
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(7);
-    let spec = catalog().into_iter().find(|s| s.name == "cora").expect("cora is in the catalog");
+    let spec = catalog()
+        .into_iter()
+        .find(|s| s.name == "cora")
+        .expect("cora is in the catalog");
     let adj = generate(&spec, 1, &mut rng); // full-size cora model
     let feats = insum_tensor::rand_uniform(vec![adj.cols, 128], -1.0, 1.0, &mut rng);
     println!(
@@ -29,7 +32,11 @@ fn main() {
     // Ours: GroupCOO with the sqrt(S/n) group size.
     let g = heuristic_group_size(&adj.occupancy());
     let gc = GroupCoo::from_coo(&adj, g).expect("valid group size");
-    println!("GroupCOO: g = {g}, {} groups, {} slots", gc.num_groups(), gc.slots());
+    println!(
+        "GroupCOO: g = {g}, {} groups, {} slots",
+        gc.num_groups(),
+        gc.slots()
+    );
     let app = apps::spmm_group(&gc, &feats);
     let compiled = app.compile(&InsumOptions::default()).expect("compiles");
     let (ours_out, ours_profile) = compiled.run(&app.tensors).expect("runs");
@@ -46,10 +53,21 @@ fn main() {
     assert!(ours_out.allclose(&sput_out, 1e-3, 1e-3));
     assert!(ours_out.allclose(&cus_out, 1e-3, 1e-3));
 
-    let (t_ours, t_sput, t_cus) =
-        (ours_profile.total_time(), p_sput.total_time(), p_cus.total_time());
+    let (t_ours, t_sput, t_cus) = (
+        ours_profile.total_time(),
+        p_sput.total_time(),
+        p_cus.total_time(),
+    );
     println!("\nsimulated aggregation times (one layer, N = 128):");
     println!("  insum (GroupCOO, 1 expression): {:>8.2} us", t_ours * 1e6);
-    println!("  sputnik-style (swizzled CSR)  : {:>8.2} us  ({:.2}x)", t_sput * 1e6, t_sput / t_ours);
-    println!("  cusparse-style (CSR)          : {:>8.2} us  ({:.2}x)", t_cus * 1e6, t_cus / t_ours);
+    println!(
+        "  sputnik-style (swizzled CSR)  : {:>8.2} us  ({:.2}x)",
+        t_sput * 1e6,
+        t_sput / t_ours
+    );
+    println!(
+        "  cusparse-style (CSR)          : {:>8.2} us  ({:.2}x)",
+        t_cus * 1e6,
+        t_cus / t_ours
+    );
 }

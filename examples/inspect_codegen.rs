@@ -23,21 +23,34 @@ fn main() {
     println!("expression: {expr}\n");
 
     for (label, opts) in [
-        ("lazy broadcasting + tl.dot (ours, Fig. 9)", InsumOptions::default()),
+        (
+            "lazy broadcasting + tl.dot (ours, Fig. 9)",
+            InsumOptions::default(),
+        ),
         (
             "eager broadcasting + tl.dot (Fig. 8b)",
-            InsumOptions { lazy_broadcast: false, ..Default::default() },
+            InsumOptions {
+                lazy_broadcast: false,
+                ..Default::default()
+            },
         ),
         (
             "no ops.dot: scalar multiply + tl.sum (Fig. 8a)",
-            InsumOptions { tensor_cores: false, ..Default::default() },
+            InsumOptions {
+                tensor_cores: false,
+                ..Default::default()
+            },
         ),
     ] {
         let op = insum_with(expr, &tensors, &opts).expect("compiles");
         println!("# ==== {label} ====");
         println!("{}", op.triton_source());
         let t = op.time(&tensors).expect("simulates").total_time();
-        println!("# simulated: {:.2} us, tensor cores: {}\n", t * 1e6, op.uses_tensor_cores());
+        println!(
+            "# simulated: {:.2} us, tensor cores: {}\n",
+            t * 1e6,
+            op.uses_tensor_cores()
+        );
     }
 
     let unfused = insum_with(expr, &tensors, &InsumOptions::unfused()).expect("compiles");

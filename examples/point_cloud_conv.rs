@@ -16,19 +16,32 @@ use rand::SeedableRng;
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(3);
-    let room = rooms().into_iter().find(|r| r.name == "office").expect("office exists");
-    println!("scene: {} ({}x{}x{} m, {} furniture pieces)", room.name, room.w, room.d, room.h, room.furniture);
+    let room = rooms()
+        .into_iter()
+        .find(|r| r.name == "office")
+        .expect("office exists");
+    println!(
+        "scene: {} ({}x{}x{} m, {} furniture pieces)",
+        room.name, room.w, room.d, room.h, room.furniture
+    );
 
     let points = generate_points(&room, 0.08, &mut rng);
     let scene = voxelize(&points, 0.12);
-    println!("{} points -> {} occupied voxels at 12 cm", points.len(), scene.len());
+    println!(
+        "{} points -> {} occupied voxels at 12 cm",
+        points.len(),
+        scene.len()
+    );
 
     // Grouped kernel map (grouping by weight offset, §6.4).
-    let occ: Vec<usize> =
-        insum_baselines::conv::pairs_by_offset(&scene).iter().map(Vec::len).collect();
+    let occ: Vec<usize> = insum_baselines::conv::pairs_by_offset(&scene)
+        .iter()
+        .map(Vec::len)
+        .collect();
     let g = heuristic_group_size(&occ).clamp(8, 64);
     let km = kernel_map(&scene, g);
-    println!("kernel map: {} pairs in {} groups of {} (padding {:.1}%)",
+    println!(
+        "kernel map: {} pairs in {} groups of {} (padding {:.1}%)",
         km.pairs,
         km.groups(),
         km.group_size,
@@ -45,7 +58,11 @@ fn main() {
     println!("\nexpression: {}", app.expr);
     let compiled = app.compile(&InsumOptions::default()).expect("compiles");
     let (out, profile) = compiled.run(&app.tensors).expect("runs");
-    println!("fused kernels: {}, tensor cores: {}", compiled.kernel_count(), compiled.uses_tensor_cores());
+    println!(
+        "fused kernels: {}, tensor cores: {}",
+        compiled.kernel_count(),
+        compiled.uses_tensor_cores()
+    );
     println!("{profile}");
 
     // Check against the hand-written ImplicitGEMM baseline.
@@ -53,7 +70,10 @@ fn main() {
     let (ref_out, p_ig) =
         insum_baselines::conv::implicit_gemm_conv(&scene, &input, &weight, &device, Mode::Execute)
             .expect("baseline runs");
-    assert!(out.allclose(&ref_out, 2e-2, 2e-2), "conv agrees with ImplicitGEMM");
+    assert!(
+        out.allclose(&ref_out, 2e-2, 2e-2),
+        "conv agrees with ImplicitGEMM"
+    );
     println!(
         "verified against ImplicitGEMM; simulated speedup {:.2}x (one expression vs a CUDA library)",
         p_ig.total_time() / profile.total_time()

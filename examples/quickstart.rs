@@ -5,14 +5,20 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use insum::{eager, insum, Tensor};
-use std::error::Error;
 use insum_formats::Coo;
 use std::collections::BTreeMap;
+use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // A 6x8 sparse matrix with a handful of nonzeros.
     let mut a = Tensor::zeros(vec![6, 8]);
-    for (r, c, v) in [(0, 1, 2.0), (0, 5, -1.0), (2, 2, 3.0), (4, 7, 0.5), (5, 0, 1.5)] {
+    for (r, c, v) in [
+        (0, 1, 2.0),
+        (0, 5, -1.0),
+        (2, 2, 3.0),
+        (4, 7, 0.5),
+        (5, 0, 1.5),
+    ] {
         a.set(&[r, c], v);
     }
     let coo = Coo::from_dense(&a)?;
@@ -44,8 +50,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Three-way check: compiled kernel == eager graph == dense matmul.
     let reference = a.matmul(&b)?;
     let eager_result = eager(expr, &tensors)?;
-    assert!(c.allclose(&reference, 1e-5, 1e-5), "kernel matches dense matmul");
-    assert!(c.allclose(&eager_result, 1e-5, 1e-5), "kernel matches eager reference");
+    assert!(
+        c.allclose(&reference, 1e-5, 1e-5),
+        "kernel matches dense matmul"
+    );
+    assert!(
+        c.allclose(&eager_result, 1e-5, 1e-5),
+        "kernel matches eager reference"
+    );
     println!("verified: compiled kernel == eager reference == dense matmul");
     Ok(())
 }

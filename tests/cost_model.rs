@@ -13,7 +13,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn sim(app: &apps::BoundApp, opts: &InsumOptions) -> f64 {
-    app.compile(opts).expect("compiles").time(&app.tensors).expect("simulates").total_time()
+    app.compile(opts)
+        .expect("compiles")
+        .time(&app.tensors)
+        .expect("simulates")
+        .total_time()
 }
 
 #[test]
@@ -25,10 +29,22 @@ fn ablation_ladder_is_monotone() {
     let bgc = BlockGroupCoo::from_dense(&a, 32, 32, 2).expect("blocked");
     let app = apps::spmm_block_group(&bgc, &b);
     let t_unfused = sim(&app, &InsumOptions::unfused());
-    let t_eager = sim(&app, &InsumOptions { lazy_broadcast: false, ..Default::default() });
+    let t_eager = sim(
+        &app,
+        &InsumOptions {
+            lazy_broadcast: false,
+            ..Default::default()
+        },
+    );
     let t_lazy = sim(&app, &InsumOptions::default());
-    assert!(t_lazy < t_eager, "lazy {t_lazy:.3e} must beat eager {t_eager:.3e}");
-    assert!(t_eager < t_unfused, "fused {t_eager:.3e} must beat unfused {t_unfused:.3e}");
+    assert!(
+        t_lazy < t_eager,
+        "lazy {t_lazy:.3e} must beat eager {t_eager:.3e}"
+    );
+    assert!(
+        t_eager < t_unfused,
+        "fused {t_eager:.3e} must beat unfused {t_unfused:.3e}"
+    );
 }
 
 #[test]
@@ -59,8 +75,14 @@ fn blocking_enables_tensor_cores_and_wins() {
     let opts = InsumOptions::default();
     let unstructured = apps::spmm_group(&gc, &b);
     let structured = apps::spmm_block_group(&bgc, &b);
-    assert!(!unstructured.compile(&opts).expect("compiles").uses_tensor_cores());
-    assert!(structured.compile(&opts).expect("compiles").uses_tensor_cores());
+    assert!(!unstructured
+        .compile(&opts)
+        .expect("compiles")
+        .uses_tensor_cores());
+    assert!(structured
+        .compile(&opts)
+        .expect("compiles")
+        .uses_tensor_cores());
     assert!(sim(&structured, &opts) < sim(&unstructured, &opts));
 }
 
@@ -99,10 +121,10 @@ fn sputnik_beats_cusparse_only_on_skew() {
     let uniform = coo_from_degrees(&vec![8; 512], 512, &mut rng);
     let b = insum_tensor::rand_uniform(vec![512, 32], -1.0, 1.0, &mut rng);
     let csr_u = Csr::from_coo(&uniform);
-    let (_, pu_s) = insum_baselines::spmm::sputnik_spmm(&csr_u, &b, &device, Mode::Analytic)
-        .expect("runs");
-    let (_, pu_c) = insum_baselines::spmm::cusparse_spmm(&csr_u, &b, &device, Mode::Analytic)
-        .expect("runs");
+    let (_, pu_s) =
+        insum_baselines::spmm::sputnik_spmm(&csr_u, &b, &device, Mode::Analytic).expect("runs");
+    let (_, pu_c) =
+        insum_baselines::spmm::cusparse_spmm(&csr_u, &b, &device, Mode::Analytic).expect("runs");
     let uniform_gain = pu_c.total_time() / pu_s.total_time();
 
     // One giant late row: swizzling helps a lot.
@@ -111,10 +133,10 @@ fn sputnik_beats_cusparse_only_on_skew() {
     let skewed = coo_from_degrees(&degrees, 2048, &mut rng);
     let b2 = insum_tensor::rand_uniform(vec![2048, 32], -1.0, 1.0, &mut rng);
     let csr_s = Csr::from_coo(&skewed);
-    let (_, ps_s) = insum_baselines::spmm::sputnik_spmm(&csr_s, &b2, &device, Mode::Analytic)
-        .expect("runs");
-    let (_, ps_c) = insum_baselines::spmm::cusparse_spmm(&csr_s, &b2, &device, Mode::Analytic)
-        .expect("runs");
+    let (_, ps_s) =
+        insum_baselines::spmm::sputnik_spmm(&csr_s, &b2, &device, Mode::Analytic).expect("runs");
+    let (_, ps_c) =
+        insum_baselines::spmm::cusparse_spmm(&csr_s, &b2, &device, Mode::Analytic).expect("runs");
     let skew_gain = ps_c.total_time() / ps_s.total_time();
     assert!(
         skew_gain > uniform_gain,
@@ -165,8 +187,16 @@ fn f16_halves_memory_traffic() {
     let app32 = apps::spmm_block_group(&bgc32, &b32);
     let app16 = apps::spmm_block_group(&bgc16, &b32.cast(DType::F16));
     let opts = InsumOptions::default();
-    let p32 = app32.compile(&opts).expect("compiles").time(&app32.tensors).expect("simulates");
-    let p16 = app16.compile(&opts).expect("compiles").time(&app16.tensors).expect("simulates");
+    let p32 = app32
+        .compile(&opts)
+        .expect("compiles")
+        .time(&app32.tensors)
+        .expect("simulates");
+    let p16 = app16
+        .compile(&opts)
+        .expect("compiles")
+        .time(&app16.tensors)
+        .expect("simulates");
     let d32 = p32.total_stats().dram_bytes() as f64;
     let d16 = p16.total_stats().dram_bytes() as f64;
     assert!(d16 < 0.7 * d32, "f16 traffic {d16} vs f32 {d32}");

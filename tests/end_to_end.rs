@@ -18,8 +18,14 @@ use rand::SeedableRng;
 fn option_grid() -> Vec<InsumOptions> {
     vec![
         InsumOptions::default(),
-        InsumOptions { lazy_broadcast: false, ..Default::default() },
-        InsumOptions { tensor_cores: false, ..Default::default() },
+        InsumOptions {
+            lazy_broadcast: false,
+            ..Default::default()
+        },
+        InsumOptions {
+            tensor_cores: false,
+            ..Default::default()
+        },
         InsumOptions::unfused(),
         InsumOptions::autotuned(),
     ]
@@ -76,7 +82,13 @@ fn unstructured_spmm_matches_baselines_numerically() {
 #[test]
 fn sparse_conv_matches_all_baselines() {
     let mut rng = SmallRng::seed_from_u64(3);
-    let spec = RoomSpec { name: "t", w: 2.0, d: 2.0, h: 2.0, furniture: 2 };
+    let spec = RoomSpec {
+        name: "t",
+        w: 2.0,
+        d: 2.0,
+        h: 2.0,
+        furniture: 2,
+    };
     let scene = voxelize(&generate_points(&spec, 0.25, &mut rng), 0.25);
     let c = 16;
     let input = insum_tensor::rand_uniform(vec![scene.len(), c], -1.0, 1.0, &mut rng);
@@ -94,7 +106,11 @@ fn sparse_conv_matches_all_baselines() {
         insum_baselines::conv::implicit_gemm_conv(&scene, &input, &weight, &device, Mode::Execute)
             .expect("runs");
     let (a2, _) = insum_baselines::conv::fetch_on_demand_conv(
-        &scene, &input, &weight, &device, Mode::Execute,
+        &scene,
+        &input,
+        &weight,
+        &device,
+        Mode::Execute,
     )
     .expect("runs");
     let (taco, _) =
@@ -103,7 +119,12 @@ fn sparse_conv_matches_all_baselines() {
     let (stir, _) =
         insum_baselines::conv::sparsetir_conv(&scene, &input, &weight, &device, Mode::Execute)
             .expect("runs");
-    for (name, t) in [("algo1", &a1), ("algo2", &a2), ("taco", &taco), ("sparsetir", &stir)] {
+    for (name, t) in [
+        ("algo1", &a1),
+        ("algo2", &a2),
+        ("taco", &taco),
+        ("sparsetir", &stir),
+    ] {
         assert!(
             ours.allclose(t, 1e-2, 1e-2),
             "{name} disagrees with ours (max diff {:?})",
@@ -129,10 +150,19 @@ fn equivariant_tp_matches_baselines() {
     let device = DeviceModel::rtx3090();
     let (e3, _) =
         insum_baselines::tp::e3nn_tp(&cg, &x, &y, &wt, &device, Mode::Execute).expect("runs");
-    let (cueq, _) = insum_baselines::tp::cuequivariance_tp(&cg, &x, &y, &wt, &device, Mode::Execute)
-        .expect("runs");
-    assert!(ours.allclose(&e3, 1e-3, 1e-3), "e3nn diff {:?}", ours.max_abs_diff(&e3));
-    assert!(ours.allclose(&cueq, 1e-3, 1e-3), "cueq diff {:?}", ours.max_abs_diff(&cueq));
+    let (cueq, _) =
+        insum_baselines::tp::cuequivariance_tp(&cg, &x, &y, &wt, &device, Mode::Execute)
+            .expect("runs");
+    assert!(
+        ours.allclose(&e3, 1e-3, 1e-3),
+        "e3nn diff {:?}",
+        ours.max_abs_diff(&e3)
+    );
+    assert!(
+        ours.allclose(&cueq, 1e-3, 1e-3),
+        "cueq diff {:?}",
+        ours.max_abs_diff(&cueq)
+    );
 }
 
 #[test]
@@ -213,7 +243,10 @@ fn autotune_never_hurts() {
     let tuned = app.compile(&InsumOptions::autotuned()).expect("compiles");
     let t_plain = plain.time(&app.tensors).expect("simulates").total_time();
     let t_tuned = tuned.time(&app.tensors).expect("simulates").total_time();
-    assert!(t_tuned <= t_plain * 1.0001, "autotuned {t_tuned:.3e} vs default {t_plain:.3e}");
+    assert!(
+        t_tuned <= t_plain * 1.0001,
+        "autotuned {t_tuned:.3e} vs default {t_plain:.3e}"
+    );
 }
 
 #[test]
@@ -227,8 +260,16 @@ fn group_size_one_equals_coo_pipeline() {
     let app_coo = apps::spmm_coo(&coo_m, &b);
     let app_gc = apps::spmm_group(&gc, &b);
     let opts = InsumOptions::default();
-    let (c1, _) = app_coo.compile(&opts).expect("compiles").run(&app_coo.tensors).expect("runs");
-    let (c2, _) = app_gc.compile(&opts).expect("compiles").run(&app_gc.tensors).expect("runs");
+    let (c1, _) = app_coo
+        .compile(&opts)
+        .expect("compiles")
+        .run(&app_coo.tensors)
+        .expect("runs");
+    let (c2, _) = app_gc
+        .compile(&opts)
+        .expect("compiles")
+        .run(&app_gc.tensors)
+        .expect("runs");
     assert!(c1.allclose(&c2, 1e-5, 1e-5));
 }
 
