@@ -1,23 +1,30 @@
 //! Simulator-throughput benchmark: the host-side performance of the GPU
 //! interpreter itself (not the simulated device times).
 //!
-//! For each workload the harness compiles the fused kernel once, then
-//! wall-clocks the optimized interpreter (`insum_gpu::launch`) against
-//! the seed implementation (`insum_gpu::reference::launch_reference`) in
-//! both Execute and Analytic modes, verifying that stats, simulated
-//! timing, and (in Execute mode) output tensors are bit-identical. The
-//! headline row is the fig7-scale block-group SpMM in Execute mode.
+//! Each workload is lowered **once** into an `insum_gpu::Program` through
+//! the cross-launch `ProgramCache` (the compile/launch split this
+//! benchmark exists to validate), then the launch path is wall-clocked
+//! against the seed implementation
+//! (`insum_gpu::reference::launch_reference`) in both Execute and
+//! Analytic modes and at one and many host threads, verifying that
+//! stats, simulated timing, and (in Execute mode) output tensors are
+//! bit-identical everywhere. An autotuning section sweeps the dense
+//! matmul and fig7 SpMM twice — cold and warm — to demonstrate
+//! cross-trial program reuse. The headline row is the fig7-scale
+//! block-group SpMM in Execute mode.
 //!
-//! Results print as a table and are written to `BENCH_sim.json` so the
+//! Results print as tables and are written to `BENCH_sim.json` so the
 //! perf trajectory is tracked across PRs (see EXPERIMENTS.md).
 
 use insum::apps;
 use insum::Tensor;
 use insum_bench::{print_table, structured_spmm_setup, x};
 use insum_gpu::reference::launch_reference;
-use insum_gpu::{launch, DeviceModel, KernelReport, Mode};
+use insum_gpu::{DeviceModel, KernelReport, LaunchOptions, Mode, Program};
 use insum_graph::TensorMeta;
-use insum_inductor::{build_plan, compile_fused, CodegenOptions, FusedOp};
+use insum_inductor::{
+    autotune_with, build_plan, compile_fused, CodegenOptions, FusedOp, FusionPlan, ProgramCache,
+};
 use insum_tensor::DType;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -28,18 +35,19 @@ use std::time::Instant;
 struct Case {
     name: &'static str,
     op: FusedOp,
+    plan_for_tuning: Option<FusionPlan>,
     tensors: BTreeMap<String, Tensor>,
 }
 
-fn compile(app: &apps::BoundApp) -> FusedOp {
-    let stmt = insum_lang::parse(app.expr).expect("expression parses");
-    let metas: BTreeMap<String, TensorMeta> = app
-        .tensors
+fn compile(app_expr: &str, tensors: &BTreeMap<String, Tensor>) -> (FusedOp, FusionPlan) {
+    let stmt = insum_lang::parse(app_expr).expect("expression parses");
+    let metas: BTreeMap<String, TensorMeta> = tensors
         .iter()
         .map(|(n, t)| (n.clone(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
         .collect();
     let plan = build_plan(&stmt, &metas).expect("plan builds");
-    compile_fused(&plan, &CodegenOptions::default()).expect("kernel compiles")
+    let op = compile_fused(&plan, &CodegenOptions::default()).expect("kernel compiles");
+    (op, plan)
 }
 
 fn cases() -> Vec<Case> {
@@ -49,9 +57,11 @@ fn cases() -> Vec<Case> {
     // with 256 columns — the acceptance benchmark for this harness.
     let (_, bgc, b) = structured_spmm_setup(1024, 256, 0.5, DType::F16, 77);
     let app = apps::spmm_block_group(&bgc, &b);
+    let (op, plan) = compile(app.expr, &app.tensors);
     out.push(Case {
         name: "spmm_block_group_fig7",
-        op: compile(&app),
+        op,
+        plan_for_tuning: Some(plan),
         tensors: app.tensors,
     });
 
@@ -61,9 +71,11 @@ fn cases() -> Vec<Case> {
     let coo = insum_formats::Coo::from_dense(&dense).expect("matrix");
     let bmat = insum_tensor::rand_uniform(vec![512, 64], -1.0, 1.0, &mut rng);
     let app = apps::spmm_coo(&coo, &bmat);
+    let (op, _) = compile(app.expr, &app.tensors);
     out.push(Case {
         name: "spmm_coo_scatter",
-        op: compile(&app),
+        op,
+        plan_for_tuning: None,
         tensors: app.tensors,
     });
 
@@ -79,9 +91,11 @@ fn cases() -> Vec<Case> {
     let input = insum_tensor::rand_normal(vec![scene.len(), 32], &mut rng);
     let weight = insum_tensor::rand_normal(vec![27, 32, 32], &mut rng);
     let app = apps::sparse_conv(&km, &input, &weight);
+    let (op, _) = compile(app.expr, &app.tensors);
     out.push(Case {
         name: "pointcloud_conv",
-        op: compile(&app),
+        op,
+        plan_for_tuning: None,
         tensors: app.tensors,
     });
 
@@ -93,10 +107,35 @@ fn cases() -> Vec<Case> {
     let yt = insum_tensor::rand_uniform(vec![batch, cg.dim], -1.0, 1.0, &mut rng);
     let wt = insum_tensor::rand_uniform(vec![batch, cg.paths.len(), u, w], -0.5, 0.5, &mut rng);
     let app = apps::equivariant_tp(&cg, &xt, &yt, &wt);
+    let (op, _) = compile(app.expr, &app.tensors);
     out.push(Case {
         name: "equivariant_tp",
-        op: compile(&app),
+        op,
+        plan_for_tuning: None,
         tensors: app.tensors,
+    });
+
+    // Dense matmul: the fully affine workload where analytic launches
+    // collapse every row of instances into one costed class (and the
+    // autotuner's inner loop goes O(classes)).
+    let mut rng = SmallRng::seed_from_u64(17);
+    let (m, k, n) = (512, 256, 512);
+    let a = insum_tensor::rand_uniform(vec![m, k], -1.0, 1.0, &mut rng);
+    let bmat = insum_tensor::rand_uniform(vec![k, n], -1.0, 1.0, &mut rng);
+    let c = Tensor::zeros(vec![m, n]);
+    let tensors: BTreeMap<String, Tensor> = [
+        ("C".to_string(), c),
+        ("A".to_string(), a),
+        ("B".to_string(), bmat),
+    ]
+    .into_iter()
+    .collect();
+    let (op, plan) = compile("C[y,x] = A[y,r] * B[r,x]", &tensors);
+    out.push(Case {
+        name: "dense_matmul_512",
+        op,
+        plan_for_tuning: Some(plan),
+        tensors,
     });
 
     out
@@ -112,30 +151,45 @@ fn bind(case: &Case) -> Vec<Tensor> {
         .collect()
 }
 
-fn run_once(
+fn run_program(
+    case: &Case,
+    program: &Program,
+    device: &DeviceModel,
+    mode: Mode,
+    threads: usize,
+) -> (f64, KernelReport, Vec<Tensor>) {
+    let mut owned = bind(case);
+    let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
+    let opts = LaunchOptions {
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let report = program
+        .launch_with(&mut refs, device, mode, &opts)
+        .expect("launch succeeds");
+    (start.elapsed().as_secs_f64(), report, owned)
+}
+
+fn run_reference(
     case: &Case,
     device: &DeviceModel,
     mode: Mode,
-    reference: bool,
 ) -> (f64, KernelReport, Vec<Tensor>) {
     let mut owned = bind(case);
     let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
     let start = Instant::now();
-    let report = if reference {
-        launch_reference(&case.op.kernel, &case.op.grid, &mut refs, device, mode)
-    } else {
-        launch(&case.op.kernel, &case.op.grid, &mut refs, device, mode)
-    }
-    .expect("launch succeeds");
+    let report = launch_reference(&case.op.kernel, &case.op.grid, &mut refs, device, mode)
+        .expect("launch succeeds");
     (start.elapsed().as_secs_f64(), report, owned)
 }
 
 /// Best-of-N wall-clock (N adapted so slow cases stay bounded).
-fn best_wall(case: &Case, device: &DeviceModel, mode: Mode, reference: bool) -> f64 {
+fn best_wall(mut run: impl FnMut() -> f64) -> f64 {
     let mut best = f64::INFINITY;
     let mut spent = 0.0;
     for i in 0..7 {
-        let (t, _, _) = run_once(case, device, mode, reference);
+        let t = run();
         best = best.min(t);
         spent += t;
         if i >= 1 && spent > 10.0 {
@@ -148,58 +202,164 @@ fn best_wall(case: &Case, device: &DeviceModel, mode: Mode, reference: bool) -> 
 struct Row {
     name: String,
     mode: &'static str,
+    host_threads: usize,
     instances: u64,
     wall_new: f64,
     wall_ref: f64,
     lane_ops: u64,
     bit_identical: bool,
+    analytic_classes: bool,
+}
+
+struct TuneRow {
+    name: String,
+    configs_tried: usize,
+    cold_wall: f64,
+    cold_misses: u64,
+    warm_wall: f64,
+    warm_hits: u64,
+    warm_misses: u64,
 }
 
 fn main() {
     let device = DeviceModel::rtx3090();
-    let threads = std::thread::available_parallelism()
+    let max_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Always include a multi-threaded row: even on a single-core host it
+    // exercises (and the asserts below verify) the deterministic shard
+    // merge at >1 worker.
+    let multi = max_threads.max(4);
+    let thread_configs: Vec<usize> = vec![1, multi];
+    let cache = ProgramCache::global();
     let mut rows: Vec<Row> = Vec::new();
+    let mut compile_notes: Vec<(String, f64, bool)> = Vec::new();
+    let all_cases = cases();
 
-    for case in cases() {
+    for case in &all_cases {
+        // Compile once per launch shape through the cross-launch cache;
+        // a second identical lookup must hit (CI smoke for the
+        // compile-once/launch-many contract).
+        let lens: Vec<usize> = case
+            .op
+            .plan
+            .param_order
+            .iter()
+            .map(|n| case.tensors[n].len())
+            .collect();
+        let dtypes: Vec<DType> = case
+            .op
+            .plan
+            .param_order
+            .iter()
+            .map(|n| case.tensors[n].dtype())
+            .collect();
+        let before = cache.stats();
+        let t0 = Instant::now();
+        let program = cache
+            .get_or_compile(&case.op.kernel, &case.op.grid, &lens, &dtypes)
+            .expect("program compiles");
+        let compile_seconds = t0.elapsed().as_secs_f64();
+        let again = cache
+            .get_or_compile(&case.op.kernel, &case.op.grid, &lens, &dtypes)
+            .expect("program compiles");
+        let after = cache.stats();
+        assert!(
+            after.hits == before.hits + 1 && std::sync::Arc::ptr_eq(&program, &again),
+            "{}: second identical launch must hit the ProgramCache",
+            case.name
+        );
+        compile_notes.push((
+            case.name.to_string(),
+            compile_seconds,
+            program.analytic_dedup_available(),
+        ));
+
         for mode in [Mode::Execute, Mode::Analytic] {
-            // Correctness first: one verified run per mode.
-            let (_, r_new, out_new) = run_once(&case, &device, mode, false);
-            let (_, r_ref, out_ref) = run_once(&case, &device, mode, true);
-            let outputs_equal = out_new
-                .iter()
-                .zip(&out_ref)
-                .all(|(a, b)| a.data() == b.data());
-            let bit_identical =
-                r_new.stats == r_ref.stats && r_new.time == r_ref.time && outputs_equal;
-            assert!(
-                bit_identical,
-                "{}: optimized interpreter diverges from the seed in {mode:?} mode",
-                case.name
-            );
+            // Correctness first: one verified run per mode against the
+            // seed interpreter (sequential), plus every thread config.
+            let (_, r_ref, out_ref) = run_reference(case, &device, mode);
+            for &threads in &thread_configs {
+                let (_, r_new, out_new) = run_program(case, &program, &device, mode, threads);
+                let outputs_equal = out_new
+                    .iter()
+                    .zip(&out_ref)
+                    .all(|(a, b)| a.data() == b.data());
+                let bit_identical =
+                    r_new.stats == r_ref.stats && r_new.time == r_ref.time && outputs_equal;
+                assert!(
+                    bit_identical,
+                    "{}: optimized interpreter diverges from the seed in {mode:?} mode \
+                     at {threads} threads",
+                    case.name
+                );
 
-            let wall_new = best_wall(&case, &device, mode, false);
-            let wall_ref = best_wall(&case, &device, mode, true);
-            // Lane-level work per launch: block-arithmetic lanes, atomic
-            // lanes, and memory sector transactions at 8 f32 lanes each.
-            let lane_ops = r_new.stats.flops_scalar
-                + r_new.stats.atomics
-                + 8 * (r_new.stats.l2_read_sectors + r_new.stats.l2_write_sectors);
-            rows.push(Row {
-                name: case.name.to_string(),
-                mode: if mode == Mode::Execute {
-                    "execute"
-                } else {
-                    "analytic"
-                },
-                instances: r_new.stats.instances,
-                wall_new,
-                wall_ref,
-                lane_ops,
-                bit_identical,
-            });
+                let wall_new = best_wall(|| run_program(case, &program, &device, mode, threads).0);
+                let wall_ref = best_wall(|| run_reference(case, &device, mode).0);
+                // Lane-level work per launch: block-arithmetic lanes,
+                // atomic lanes, and memory sector transactions at 8 f32
+                // lanes each.
+                let lane_ops = r_new.stats.flops_scalar
+                    + r_new.stats.atomics
+                    + 8 * (r_new.stats.l2_read_sectors + r_new.stats.l2_write_sectors);
+                rows.push(Row {
+                    name: case.name.to_string(),
+                    mode: if mode == Mode::Execute {
+                        "execute"
+                    } else {
+                        "analytic"
+                    },
+                    host_threads: threads,
+                    instances: r_new.stats.instances,
+                    wall_new,
+                    wall_ref,
+                    lane_ops,
+                    bit_identical,
+                    analytic_classes: mode == Mode::Analytic && program.analytic_dedup_available(),
+                });
+            }
         }
+    }
+
+    // Autotuning: sweep twice per tunable workload — the second sweep
+    // must re-lower nothing (cross-trial ProgramCache reuse).
+    let mut tune_rows: Vec<TuneRow> = Vec::new();
+    for case in &all_cases {
+        let Some(plan) = &case.plan_for_tuning else {
+            continue;
+        };
+        let tune_cache = ProgramCache::new();
+        let cold = autotune_with(
+            plan,
+            &CodegenOptions::default(),
+            &case.tensors,
+            &device,
+            &tune_cache,
+        )
+        .expect("autotune succeeds");
+        let warm = autotune_with(
+            plan,
+            &CodegenOptions::default(),
+            &case.tensors,
+            &device,
+            &tune_cache,
+        )
+        .expect("autotune succeeds");
+        assert_eq!(
+            warm.cache_misses, 0,
+            "{}: warm re-tune must reuse every trial's program",
+            case.name
+        );
+        assert_eq!(cold.best_time, warm.best_time);
+        tune_rows.push(TuneRow {
+            name: case.name.to_string(),
+            configs_tried: cold.configs_tried,
+            cold_wall: cold.tuning_wall_seconds,
+            cold_misses: cold.cache_misses,
+            warm_wall: warm.tuning_wall_seconds,
+            warm_hits: warm.cache_hits,
+            warm_misses: warm.cache_misses,
+        });
     }
 
     let table: Vec<Vec<String>> = rows
@@ -208,6 +368,7 @@ fn main() {
             vec![
                 r.name.clone(),
                 r.mode.to_string(),
+                r.host_threads.to_string(),
                 r.instances.to_string(),
                 format!("{:.2}", r.wall_ref * 1e3),
                 format!("{:.2}", r.wall_new * 1e3),
@@ -218,19 +379,46 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("simulator throughput (host threads: {threads})"),
+        &format!("simulator throughput (max host threads: {max_threads})"),
         &[
-            "workload", "mode", "insts", "seed ms", "new ms", "speedup", "insts/s", "Mlanes/s",
+            "workload", "mode", "thr", "insts", "seed ms", "new ms", "speedup", "insts/s",
+            "Mlanes/s",
         ],
         &table,
     );
 
+    let tune_table: Vec<Vec<String>> = tune_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.configs_tried.to_string(),
+                format!("{:.2}", r.cold_wall * 1e3),
+                r.cold_misses.to_string(),
+                format!("{:.2}", r.warm_wall * 1e3),
+                r.warm_hits.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "autotune (cold vs warm ProgramCache)",
+        &[
+            "workload",
+            "configs",
+            "cold ms",
+            "misses",
+            "warm ms",
+            "warm hits",
+        ],
+        &tune_table,
+    );
+
     let headline = rows
         .iter()
-        .find(|r| r.name == "spmm_block_group_fig7" && r.mode == "execute")
+        .find(|r| r.name == "spmm_block_group_fig7" && r.mode == "execute" && r.host_threads == 1)
         .expect("headline row present");
     println!(
-        "\nheadline: fig7-scale SpMM execute-mode speedup {:.2}x (target >= 5x)",
+        "\nheadline: fig7-scale SpMM execute-mode speedup {:.2}x (single-thread)",
         headline.wall_ref / headline.wall_new
     );
 
@@ -238,24 +426,55 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"simbench\",\n");
     json.push_str("  \"device_model\": \"rtx3090-sim\",\n");
-    json.push_str(&format!("  \"host_threads\": {threads},\n"));
+    json.push_str(&format!("  \"host_threads_max\": {max_threads},\n"));
+    json.push_str("  \"compile\": [\n");
+    for (i, (name, secs, dedup)) in compile_notes.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"program_compile_seconds\": {secs:.6}, \
+             \"analytic_instance_classes\": {dedup}, \"program_cache_hit_on_relaunch\": true}}{}\n",
+            if i + 1 < compile_notes.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"instances\": {}, \
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"host_threads\": {}, \
+             \"instances\": {}, \
              \"wall_seconds_seed\": {:.6}, \"wall_seconds_new\": {:.6}, \
              \"speedup\": {:.3}, \"instances_per_sec\": {:.1}, \
-             \"lanes_per_sec\": {:.1}, \"bit_identical\": {}}}{}\n",
+             \"lanes_per_sec\": {:.1}, \"analytic_instance_classes\": {}, \
+             \"bit_identical\": {}}}{}\n",
             r.name,
             r.mode,
+            r.host_threads,
             r.instances,
             r.wall_ref,
             r.wall_new,
             r.wall_ref / r.wall_new,
             r.instances as f64 / r.wall_new,
             r.lane_ops as f64 / r.wall_new,
+            r.analytic_classes,
             r.bit_identical,
             if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"autotune\": [\n");
+    for (i, r) in tune_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"configs_tried\": {}, \
+             \"tuning_wall_seconds_cold\": {:.6}, \"cache_misses_cold\": {}, \
+             \"tuning_wall_seconds_warm\": {:.6}, \"cache_hits_warm\": {}, \
+             \"cache_misses_warm\": {}}}{}\n",
+            r.name,
+            r.configs_tried,
+            r.cold_wall,
+            r.cold_misses,
+            r.warm_wall,
+            r.warm_hits,
+            r.warm_misses,
+            if i + 1 < tune_rows.len() { "," } else { "" },
         ));
     }
     json.push_str("  ]\n}\n");

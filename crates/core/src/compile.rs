@@ -15,6 +15,12 @@ enum Pipeline {
 }
 
 /// A compiled indirect Einsum, ready to run on the simulated device.
+///
+/// [`Compiled::run`] and [`Compiled::time`] launch through the
+/// process-wide [`insum_inductor::ProgramCache`]: the simulator's
+/// ahead-of-time lowering happens once per distinct (kernel, grid,
+/// argument metadata) — at compile/autotune time for the chosen
+/// configuration — so repeated executions never re-lower.
 pub struct Compiled {
     statement: Statement,
     pipeline: Pipeline,
@@ -25,6 +31,9 @@ pub struct Compiled {
     pub autotune_seconds: f64,
     /// Configurations evaluated by the autotuner.
     pub autotune_configs: usize,
+    /// Program-cache hits observed during the autotuning sweep (repeat
+    /// compilations of an already-tuned workload hit on every trial).
+    pub autotune_cache_hits: u64,
 }
 
 impl Compiled {
@@ -145,12 +154,14 @@ pub fn insum_with(
     let metas = metas_of(tensors);
     let mut autotune_seconds = 0.0;
     let mut autotune_configs = 0;
+    let mut autotune_cache_hits = 0;
     let pipeline = if options.fuse {
         let plan = insum_inductor::build_plan(&statement, &metas)?;
         let op = if options.autotune {
             let result = autotune(&plan, &options.codegen(), tensors, &options.device)?;
             autotune_seconds = result.tuning_wall_seconds;
             autotune_configs = result.configs_tried;
+            autotune_cache_hits = result.cache_hits;
             result.op
         } else {
             compile_fused(&plan, &options.codegen())?
@@ -167,6 +178,7 @@ pub fn insum_with(
         compile_seconds: start.elapsed().as_secs_f64(),
         autotune_seconds,
         autotune_configs,
+        autotune_cache_hits,
     })
 }
 

@@ -47,6 +47,7 @@ pub use tune::{pow2_candidates, tune_block_group_size, tune_group_size};
 
 // Re-exports so downstream users need only this crate.
 pub use insum_gpu::{DeviceModel, Mode, Profile};
+pub use insum_inductor::{ProgramCache, ProgramCacheStats};
 pub use insum_tensor::{DType, Tensor};
 
 /// Crate-wide result alias.

@@ -121,7 +121,7 @@ impl Shape4 {
     ///
     /// # Panics
     ///
-    /// Panics if the rank exceeds [`MAX_RANK`].
+    /// Panics if the rank exceeds `MAX_RANK`.
     pub fn from_slice(shape: &[usize]) -> Shape4 {
         let (rank, dims) = pack_shape(shape);
         Shape4 { rank, dims }
@@ -187,7 +187,7 @@ impl Block {
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the shape volume or the rank
-    /// exceeds [`MAX_RANK`].
+    /// exceeds `MAX_RANK`.
     pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Block {
         Block::from_pool(
             shape,
@@ -202,7 +202,7 @@ impl Block {
     /// # Panics
     ///
     /// Panics if the buffer length differs from the shape volume or the
-    /// rank exceeds [`MAX_RANK`].
+    /// rank exceeds `MAX_RANK`.
     pub fn from_pool(shape: Vec<usize>, buf: PoolBuf) -> Block {
         Block::from_packed(Shape4::from_slice(&shape), buf)
     }
@@ -345,7 +345,7 @@ impl Block {
         out
     }
 
-    /// Shape and strides padded to [`MAX_RANK`] with leading unit dims.
+    /// Shape and strides padded to `MAX_RANK` with leading unit dims.
     /// The walkers iterate these four fixed loops.
     #[inline]
     fn dims4(&self) -> ([usize; MAX_RANK], [usize; MAX_RANK]) {
@@ -493,7 +493,7 @@ impl Block {
     ///
     /// # Panics
     ///
-    /// Panics if `axis > rank` or the result exceeds [`MAX_RANK`].
+    /// Panics if `axis > rank` or the result exceeds `MAX_RANK`.
     pub fn expand_dims(&self, axis: usize) -> Block {
         let rank = self.rank as usize;
         assert!(axis <= rank, "expand_dims axis out of range");
@@ -991,7 +991,7 @@ impl Block {
 
 /// One scalar application of a [`BinOp`].
 #[inline]
-fn apply_binop(op: BinOp, x: f64, y: f64) -> f64 {
+pub(crate) fn apply_binop(op: BinOp, x: f64, y: f64) -> f64 {
     match op {
         BinOp::Add => x + y,
         BinOp::Sub => x - y,

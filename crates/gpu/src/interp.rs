@@ -1,24 +1,32 @@
 //! The kernel interpreter: functional execution + cost accounting.
 //!
 //! This is the optimized execution core (see `reference.rs` for the seed
-//! implementation it must match bit-for-bit). The speed comes from four
-//! coordinated changes:
+//! implementation it must match bit-for-bit). Kernels are first lowered
+//! by [`crate::program`] into a [`Program`] — grid-invariant prologue,
+//! per-row caching, occurrence streams, superinstructions, liveness
+//! release lists, and analytic instance classes — and this module
+//! executes compiled programs. The speed comes from:
 //!
 //! 1. [`Block`] is a strided copy-on-write view, so shape transforms are
 //!    metadata edits and scalars (loop counters!) never allocate.
-//! 2. Register slots are recycled through a buffer pool: steady-state
-//!    loop iterations perform zero heap allocation.
+//! 2. Register slots are recycled through a buffer pool, and last-use
+//!    liveness releases dead buffers eagerly: steady-state loop
+//!    iterations perform zero heap allocation.
 //! 3. DRAM first-touch tracking uses address-space bitmaps and atomics
 //!    use per-parameter count vectors — no hashing on the hot path; the
 //!    per-warp coalescing walk runs over a stack buffer.
-//! 4. The grid-instance loop can run sharded across threads with a
+//! 4. Grid-invariant and row-invariant work executes once and is shared
+//!    (or stream-replayed) across instances; fully affine analytic
+//!    launches cost one representative per row and replay the rest.
+//! 5. The grid-instance loop can run sharded across threads with a
 //!    deterministic merge (see [`LaunchOptions`]); results are
 //!    bit-identical to the sequential order.
 
 use crate::block::{Block, PoolBuf, Shape4};
 use crate::device::DeviceModel;
+use crate::program::{CInstr, CNode, Program, UnitMode};
 use crate::stats::{combine_times, KernelReport, KernelStats};
-use insum_kernel::{Instr, Kernel, KernelError, Reg};
+use insum_kernel::{Kernel, KernelError, Reg};
 use insum_tensor::{DType, Tensor};
 use std::error::Error;
 use std::fmt;
@@ -115,6 +123,11 @@ pub struct LaunchOptions {
     /// Grids smaller than this always run sequentially (per-shard setup
     /// costs dominate tiny launches).
     pub min_parallel_instances: usize,
+    /// Allow [`Mode::Analytic`] launches of fully affine programs to
+    /// dedup each row of instances into one costed representative (see
+    /// [`Program::analytic_dedup_available`]). Results are bit-identical
+    /// either way; disabling is useful for equivalence testing.
+    pub analytic_dedup: bool,
 }
 
 impl Default for LaunchOptions {
@@ -122,6 +135,7 @@ impl Default for LaunchOptions {
         LaunchOptions {
             threads: None,
             min_parallel_instances: 64,
+            analytic_dedup: true,
         }
     }
 }
@@ -161,7 +175,7 @@ impl LaunchOptions {
 
 /// Per-instance cost accumulator.
 #[derive(Default, Clone, Copy)]
-struct InstCost {
+pub(crate) struct InstCost {
     l2_read_sectors: u64,
     l2_write_sectors: u64,
     flops_tc_f16: u64,
@@ -173,7 +187,37 @@ struct InstCost {
     dyn_iters: u64,
 }
 
-const SECTOR: u64 = 32;
+impl InstCost {
+    #[inline]
+    fn add(&mut self, o: &InstCost) {
+        self.l2_read_sectors += o.l2_read_sectors;
+        self.l2_write_sectors += o.l2_write_sectors;
+        self.flops_tc_f16 += o.flops_tc_f16;
+        self.flops_tc_f32 += o.flops_tc_f32;
+        self.flops_scalar += o.flops_scalar;
+        self.smem_bytes += o.smem_bytes;
+        self.atomics += o.atomics;
+        self.instructions += o.instructions;
+        self.dyn_iters += o.dyn_iters;
+    }
+
+    #[inline]
+    fn minus(&self, o: &InstCost) -> InstCost {
+        InstCost {
+            l2_read_sectors: self.l2_read_sectors - o.l2_read_sectors,
+            l2_write_sectors: self.l2_write_sectors - o.l2_write_sectors,
+            flops_tc_f16: self.flops_tc_f16 - o.flops_tc_f16,
+            flops_tc_f32: self.flops_tc_f32 - o.flops_tc_f32,
+            flops_scalar: self.flops_scalar - o.flops_scalar,
+            smem_bytes: self.smem_bytes - o.smem_bytes,
+            atomics: self.atomics - o.atomics,
+            instructions: self.instructions - o.instructions,
+            dyn_iters: self.dyn_iters - o.dyn_iters,
+        }
+    }
+}
+
+pub(crate) const SECTOR: u64 = 32;
 const WARP: usize = 32;
 
 /// Fixed-size bitmap over the launch's simulated sector space: the
@@ -208,38 +252,6 @@ impl SectorSet {
 
     fn count(&self) -> u64 {
         self.words.iter().map(|w| w.count_ones() as u64).sum()
-    }
-}
-
-/// Shared per-launch parameter table (address layout, sizes, dtypes).
-struct ParamTable {
-    bases: Vec<u64>,
-    esizes: Vec<u64>,
-    lens: Vec<usize>,
-    dtypes: Vec<DType>,
-    total_sectors: u64,
-}
-
-impl ParamTable {
-    fn new(args: &[&mut Tensor]) -> ParamTable {
-        // Parameter layout in the simulated address space (256-byte
-        // aligned), exactly as the seed interpreter laid it out.
-        let mut bases = Vec::with_capacity(args.len());
-        let mut esizes = Vec::with_capacity(args.len());
-        let mut cursor = 0u64;
-        for t in args.iter() {
-            bases.push(cursor);
-            let esize = t.dtype().size_bytes() as u64;
-            esizes.push(esize);
-            cursor += (t.len() as u64 * esize).div_ceil(256) * 256 + 256;
-        }
-        ParamTable {
-            bases,
-            esizes,
-            lens: args.iter().map(|t| t.len()).collect(),
-            dtypes: args.iter().map(|t| t.dtype()).collect(),
-            total_sectors: cursor.div_ceil(SECTOR),
-        }
     }
 }
 
@@ -285,11 +297,87 @@ enum WriteSink {
     Log(Vec<WriteOp>),
 }
 
+/// One recorded occurrence of an invariant instruction inside a
+/// per-instance region: later instances replay the value (a cheap
+/// copy-on-write clone) and charge the recorded cost.
+struct CacheEntry {
+    dst: Reg,
+    block: Block,
+    cost: InstCost,
+}
+
+/// Per-shard stream-cache state: aggregate costs of the once/per-row
+/// units, and occurrence streams for invariant instructions trapped in
+/// per-instance loops (level 0 = grid-invariant, level 1 = row-invariant).
+#[derive(Default)]
+struct CacheState {
+    agg0: InstCost,
+    agg1: InstCost,
+    stream0: Vec<CacheEntry>,
+    stream1: Vec<CacheEntry>,
+    cur0: usize,
+    cur1: usize,
+    record0: bool,
+    record1: bool,
+}
+
+impl CacheState {
+    fn new() -> CacheState {
+        CacheState {
+            stream0: Vec::new(),
+            stream1: Vec::new(),
+            ..Default::default()
+        }
+    }
+}
+
+/// One access-site execution recorded by a row representative for
+/// instance-class replay: the touched sectors (as inclusive runs), the
+/// atomic address stream, and the active-offset bounds used to prove
+/// members in-range.
+struct TraceEntry {
+    site: u32,
+    runs: Vec<(u64, u64)>,
+    /// Atomic hits as `(start_addr, run_len, hits)`: `run_len`
+    /// consecutive addresses each hit `hits` times (scatter tiles are
+    /// row-major, so this compresses ~32:1).
+    counts: Vec<(i64, u32, u32)>,
+    min_off: i64,
+    max_off: i64,
+}
+
+/// Instance-class state for the current row (see `program.rs` docs):
+/// the representative's cost, simulated time, and per-site traces.
+struct TraceState {
+    active: bool,
+    valid: bool,
+    entries: Vec<TraceEntry>,
+    rep_cost: InstCost,
+    rep_time: f64,
+    rep_p0: usize,
+    /// Scratch lane buffers reused across sites (representatives only).
+    scratch: Vec<i64>,
+    scratch_pairs: Vec<(i64, u32)>,
+}
+
+impl TraceState {
+    fn new() -> TraceState {
+        TraceState {
+            active: false,
+            valid: false,
+            entries: Vec::new(),
+            rep_cost: InstCost::default(),
+            rep_time: 0.0,
+            rep_p0: 0,
+            scratch: Vec::new(),
+            scratch_pairs: Vec::new(),
+        }
+    }
+}
+
 struct Machine<'a> {
-    kernel: &'a Kernel,
+    program: &'a Program,
     mode: Mode,
-    dot_f16: bool,
-    params: &'a ParamTable,
     dram_read_seen: SectorSet,
     dram_write_seen: SectorSet,
     /// Per-parameter atomic hit counts, allocated on first use.
@@ -298,31 +386,27 @@ struct Machine<'a> {
     inst: InstCost,
     sink: WriteSink,
     /// Recycled heap buffers: registers overwritten by later instructions
-    /// (or cleared between instances) donate their allocations back,
-    /// refcount block included.
+    /// (or released by liveness) donate their allocations back, refcount
+    /// block included.
     pool: Vec<PoolBuf>,
+    cs: CacheState,
+    trace: TraceState,
 }
 
 impl<'a> Machine<'a> {
-    fn new(
-        kernel: &'a Kernel,
-        mode: Mode,
-        dot_f16: bool,
-        params: &'a ParamTable,
-        sink: WriteSink,
-    ) -> Machine<'a> {
+    fn new(program: &'a Program, mode: Mode, sink: WriteSink) -> Machine<'a> {
         Machine {
-            kernel,
+            program,
             mode,
-            dot_f16,
-            params,
-            dram_read_seen: SectorSet::new(params.total_sectors),
-            dram_write_seen: SectorSet::new(params.total_sectors),
-            atomic_counts: vec![Vec::new(); params.lens.len()],
+            dram_read_seen: SectorSet::new(program.params.total_sectors),
+            dram_write_seen: SectorSet::new(program.params.total_sectors),
+            atomic_counts: vec![Vec::new(); program.params.lens.len()],
             stats: KernelStats::default(),
             inst: InstCost::default(),
             sink,
             pool: Vec::new(),
+            cs: CacheState::new(),
+            trace: TraceState::new(),
         }
     }
 
@@ -344,18 +428,30 @@ impl<'a> Machine<'a> {
         regs[dst] = Some(val);
     }
 
-    fn clear_regs(&mut self, regs: &mut [Option<Block>]) {
-        for r in regs.iter_mut() {
-            if let Some(old) = r.take() {
-                if let Some(buf) = old.reclaim() {
-                    self.pool.push(buf);
-                }
+    /// Release a register's buffer back to the pool.
+    #[inline]
+    fn drop_reg(&mut self, regs: &mut [Option<Block>], r: Reg) {
+        if let Some(old) = regs[r].take() {
+            if let Some(buf) = old.reclaim() {
+                self.pool.push(buf);
             }
         }
     }
 
     fn reg(regs: &[Option<Block>], r: Reg) -> Result<&Block, GpuError> {
         regs[r].as_ref().ok_or(GpuError::UninitializedRegister(r))
+    }
+
+    /// Accumulate one instance's cost into the launch totals.
+    fn charge(&mut self, c: &InstCost) {
+        self.stats.l2_read_sectors += c.l2_read_sectors;
+        self.stats.l2_write_sectors += c.l2_write_sectors;
+        self.stats.flops_tc_f16 += c.flops_tc_f16;
+        self.stats.flops_tc_f32 += c.flops_tc_f32;
+        self.stats.flops_scalar += c.flops_scalar;
+        self.stats.smem_bytes += c.smem_bytes;
+        self.stats.atomics += c.atomics;
+        self.stats.instructions += c.instructions;
     }
 
     /// Record a warp-granular memory access over the active lanes of an
@@ -379,9 +475,9 @@ impl<'a> Machine<'a> {
         // broadcast layouts stage through pooled scratch buffers first so
         // the warp scan below always runs over plain slices with its
         // state in registers.
-        let base = self.params.bases[param];
-        let esize = self.params.esizes[param];
-        let len = self.params.lens[param];
+        let base = self.program.params.bases[param];
+        let esize = self.program.params.esizes[param];
+        let len = self.program.params.lens[param];
         let off_direct = if offsets.shape() == joint {
             offsets.as_slice()
         } else {
@@ -440,9 +536,9 @@ impl<'a> Machine<'a> {
         }
         if let Some(offset) = oob {
             return Err(GpuError::OffsetOutOfBounds {
-                param: self.kernel.params[param].name.clone(),
+                param: self.program.param_names[param].clone(),
                 offset,
-                len: self.params.lens[param],
+                len: self.program.params.lens[param],
             });
         }
         if is_write {
@@ -453,183 +549,344 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn run_body(
+    /// Record one access-site execution for instance-class replay: the
+    /// set of touched sectors (compressed to runs), the atomic address
+    /// stream, and the active-offset bounds. Runs on row representatives
+    /// only; costs nothing on the replay path.
+    fn trace_site(&mut self, site: u32, off: &Block, mask: Option<&Block>, joint: &[usize]) {
+        let info = &self.program.sites[site as usize];
+        if !info.traced {
+            return;
+        }
+        let base = self.program.params.bases[info.param];
+        let esize = self.program.params.esizes[info.param];
+        let mut offs = std::mem::take(&mut self.trace.scratch);
+        offs.clear();
+        let mut exact = true;
+        let mut sorted = true;
+        let mut prev = i64::MIN;
+        let mut push = |o: f64, exact: &mut bool, sorted: &mut bool, prev: &mut i64| {
+            *exact &= o.fract() == 0.0 && o.abs() < 9.0e15;
+            let oi = o as i64;
+            *sorted &= *prev <= oi;
+            *prev = oi;
+            offs.push(oi);
+        };
+        let ob = off.broadcast_to(joint);
+        match mask {
+            None => ob.walk(|o| push(o, &mut exact, &mut sorted, &mut prev)),
+            Some(m) => {
+                let mb = m.broadcast_to(joint);
+                Block::walk2(&ob, &mb, |o, mk| {
+                    if mk != 0.0 {
+                        push(o, &mut exact, &mut sorted, &mut prev);
+                    }
+                });
+            }
+        }
+        if !exact {
+            // Non-integer offsets: the affine-shift argument does not
+            // hold, so the whole row falls back to full execution.
+            self.trace.valid = false;
+            self.trace.scratch = offs;
+            return;
+        }
+        let mut entry = TraceEntry {
+            site,
+            runs: Vec::new(),
+            counts: Vec::new(),
+            min_off: 0,
+            max_off: -1,
+        };
+        if !offs.is_empty() {
+            if !sorted {
+                offs.sort_unstable();
+            }
+            entry.min_off = offs[0];
+            entry.max_off = *offs.last().expect("nonempty");
+            if entry.min_off < 0
+                || entry.max_off as u64 >= self.program.params.lens[info.param] as u64
+            {
+                // The representative itself is out of bounds; execution
+                // will report the error — no replay for this row.
+                self.trace.valid = false;
+                self.trace.scratch = offs;
+                return;
+            }
+            if info.is_atomic {
+                // Collapse the sorted address stream to (addr, hits)
+                // pairs, then pairs with consecutive addresses and equal
+                // hit counts to runs.
+                let mut pairs = std::mem::take(&mut self.trace.scratch_pairs);
+                pairs.clear();
+                let mut i = 0;
+                while i < offs.len() {
+                    let addr = offs[i];
+                    let mut n = 1u32;
+                    while i + (n as usize) < offs.len() && offs[i + n as usize] == addr {
+                        n += 1;
+                    }
+                    pairs.push((addr, n));
+                    i += n as usize;
+                }
+                let mut k = 0;
+                while k < pairs.len() {
+                    let (start, c) = pairs[k];
+                    let mut len = 1usize;
+                    while k + len < pairs.len()
+                        && pairs[k + len].0 == start + len as i64
+                        && pairs[k + len].1 == c
+                    {
+                        len += 1;
+                    }
+                    entry.counts.push((start, len as u32, c));
+                    k += len;
+                }
+                self.trace.scratch_pairs = pairs;
+            }
+            // Sector runs straight off the sorted offsets.
+            let mut run_start = (base + offs[0] as u64 * esize) / SECTOR;
+            let mut prev_sec = run_start;
+            for &o in &offs[1..] {
+                let sec = (base + o as u64 * esize) / SECTOR;
+                if sec == prev_sec || sec == prev_sec + 1 {
+                    prev_sec = sec;
+                    continue;
+                }
+                entry.runs.push((run_start, prev_sec));
+                run_start = sec;
+                prev_sec = sec;
+            }
+            entry.runs.push((run_start, prev_sec));
+        }
+        self.trace.scratch = offs;
+        self.trace.entries.push(entry);
+    }
+
+    /// Replay one row member from the representative's trace: shift the
+    /// recorded sector runs and atomic streams by the member's axis-0
+    /// delta, charge the representative's cost, and return its (equal)
+    /// simulated time. `None` when the trace is unusable or the member
+    /// would go out of bounds — the caller then executes it in full.
+    fn replay_member(&mut self, p0: usize) -> Option<f64> {
+        if !self.trace.valid {
+            return None;
+        }
+        let program = self.program;
+        let delta = p0 as i64 - self.trace.rep_p0 as i64;
+        for e in &self.trace.entries {
+            if e.min_off > e.max_off {
+                continue;
+            }
+            let site = &program.sites[e.site as usize];
+            let shift = delta * site.coeff as i64;
+            let len = program.params.lens[site.param] as i64;
+            if e.min_off + shift < 0 || e.max_off + shift >= len {
+                return None;
+            }
+        }
+        for e in &self.trace.entries {
+            let site = &program.sites[e.site as usize];
+            let esize = program.params.esizes[site.param] as i64;
+            let shift_elems = delta * site.coeff as i64;
+            // Exact by construction: `coeff · esize` is a whole number
+            // of sectors.
+            let shift_secs = shift_elems * esize / SECTOR as i64;
+            let seen = if site.is_write {
+                &mut self.dram_write_seen
+            } else {
+                &mut self.dram_read_seen
+            };
+            for &(lo, hi) in &e.runs {
+                for sec in lo..=hi {
+                    seen.insert((sec as i64 + shift_secs) as u64);
+                }
+            }
+            if site.is_atomic && !e.counts.is_empty() {
+                let p = site.param;
+                if self.atomic_counts[p].is_empty() {
+                    self.atomic_counts[p] = vec![0u64; program.params.lens[p]];
+                }
+                let counts = &mut self.atomic_counts[p];
+                for &(start, len, n) in &e.counts {
+                    let s = (start + shift_elems) as usize;
+                    for slot in &mut counts[s..s + len as usize] {
+                        *slot += n as u64;
+                    }
+                }
+            }
+        }
+        let c = self.trace.rep_cost;
+        self.charge(&c);
+        Some(self.trace.rep_time)
+    }
+
+    /// Execute the instance range `[lo, hi)` with row-change tracking,
+    /// stream caching, and (when `dedup`) analytic instance-class replay.
+    /// Pushes one simulated time per instance; errors carry the flat
+    /// instance id for first-error-wins ordering.
+    #[allow(clippy::too_many_arguments)]
+    fn run_range(
         &mut self,
-        body: &[Instr],
+        lo: usize,
+        hi: usize,
+        gdims: [usize; 3],
+        regs: &mut Vec<Option<Block>>,
+        args: &mut ArgsView<'_, '_>,
+        device: &DeviceModel,
+        dedup: bool,
+        times: &mut Vec<f64>,
+    ) -> Result<(), (usize, GpuError)> {
+        let mut started = false;
+        let mut row = (usize::MAX, usize::MAX);
+        for flat in lo..hi {
+            let pid = pid_of(flat, gdims);
+            let new_shard = !started;
+            let new_row = new_shard || (pid[1], pid[2]) != row;
+            if dedup && !new_row {
+                if let Some(t) = self.replay_member(pid[0]) {
+                    times.push(t);
+                    continue;
+                }
+            }
+            let record = dedup && new_row;
+            match self.run_instance(regs, pid, args, device, new_shard, new_row, record) {
+                Ok(t) => times.push(t),
+                Err(e) => return Err((flat, e)),
+            }
+            started = true;
+            row = (pid[1], pid[2]);
+        }
+        Ok(())
+    }
+
+    /// Run one grid instance, returning its simulated time on one SM.
+    #[allow(clippy::too_many_arguments)]
+    fn run_instance(
+        &mut self,
+        regs: &mut Vec<Option<Block>>,
+        pid: [usize; 3],
+        args: &mut ArgsView<'_, '_>,
+        device: &DeviceModel,
+        new_shard: bool,
+        new_row: bool,
+        record_trace: bool,
+    ) -> Result<f64, GpuError> {
+        let program = self.program;
+        self.inst = InstCost::default();
+        for &r in &program.level2_regs {
+            self.drop_reg(regs, r);
+        }
+        self.cs.record0 = new_shard;
+        self.cs.record1 = new_row;
+        self.cs.cur0 = 0;
+        self.cs.cur1 = 0;
+        if new_shard {
+            self.cs.stream0.clear();
+            self.cs.agg0 = InstCost::default();
+        }
+        if new_row {
+            self.cs.stream1.clear();
+            self.cs.agg1 = InstCost::default();
+        }
+        self.trace.active = record_trace;
+        if record_trace {
+            self.trace.entries.clear();
+            self.trace.valid = true;
+            self.trace.rep_p0 = pid[0];
+        }
+        for unit in &program.units {
+            match unit.mode {
+                UnitMode::Once => {
+                    if new_shard {
+                        let before = self.inst;
+                        self.exec_cinstr(&unit.instr, regs, pid, args)?;
+                        let delta = self.inst.minus(&before);
+                        self.cs.agg0.add(&delta);
+                    }
+                }
+                UnitMode::PerRow => {
+                    if new_row {
+                        let before = self.inst;
+                        self.exec_cinstr(&unit.instr, regs, pid, args)?;
+                        let delta = self.inst.minus(&before);
+                        self.cs.agg1.add(&delta);
+                    }
+                }
+                UnitMode::PerInstance => {
+                    self.exec_cinstr(&unit.instr, regs, pid, args)?;
+                    for &r in &unit.release {
+                        self.drop_reg(regs, r);
+                    }
+                }
+            }
+        }
+        if !new_shard {
+            let a = self.cs.agg0;
+            self.inst.add(&a);
+        }
+        if !new_row {
+            let a = self.cs.agg1;
+            self.inst.add(&a);
+        }
+        let c = self.inst;
+        self.charge(&c);
+        let t = instance_time(device, &c);
+        if record_trace {
+            self.trace.rep_cost = c;
+            self.trace.rep_time = t;
+            self.trace.active = false;
+        }
+        Ok(t)
+    }
+
+    /// Execute a per-instance body with stream-cache dispatch: invariant
+    /// nodes record their value/cost on the representative and replay a
+    /// copy-on-write clone afterwards.
+    fn run_nodes(
+        &mut self,
+        nodes: &[CNode],
         regs: &mut Vec<Option<Block>>,
         pid: [usize; 3],
         args: &mut ArgsView<'_, '_>,
     ) -> Result<(), GpuError> {
-        for instr in body {
-            self.inst.instructions += 1;
-            match instr {
-                Instr::ProgramId { dst, axis } => {
-                    self.set_reg(regs, *dst, Block::scalar(pid[*axis] as f64));
-                }
-                Instr::Const { dst, value } => {
-                    self.set_reg(regs, *dst, Block::scalar(*value));
-                }
-                Instr::Arange { dst, len } => {
-                    let mut buf = self.alloc();
-                    let v = buf.vec();
-                    v.clear();
-                    v.extend((0..*len).map(|i| i as f64));
-                    self.set_reg(regs, *dst, Block::from_pool(vec![*len], buf));
-                }
-                Instr::Full { dst, shape, value } => {
-                    let buf = self.alloc();
-                    self.set_reg(regs, *dst, Block::full_pooled(shape.clone(), *value, buf));
-                }
-                Instr::Binary { dst, op, a, b } => {
-                    // Accumulator fast path (`acc = acc <op> v`): mutate
-                    // the destination's own buffer when it is the sole
-                    // owner — no copy, no register churn.
-                    if dst == a && a != b {
-                        let mut av = regs[*a].take().ok_or(GpuError::UninitializedRegister(*a))?;
-                        let done = {
-                            let bv = Self::reg(regs, *b)?;
-                            Block::binary_assign(*op, &mut av, bv)
-                        };
-                        if done {
-                            self.inst.flops_scalar += av.len() as u64;
-                            regs[*dst] = Some(av);
-                            continue;
-                        }
-                        let buf = self.alloc();
-                        let out = {
-                            let bv = Self::reg(regs, *b)?;
-                            Block::binary_with(*op, &av, bv, buf)
-                        };
-                        self.inst.flops_scalar += out.len() as u64;
-                        if let Some(old) = av.reclaim() {
-                            self.pool.push(old);
-                        }
-                        regs[*dst] = Some(out);
-                        continue;
-                    }
-                    let scalar = {
-                        let av = Self::reg(regs, *a)?;
-                        let bv = Self::reg(regs, *b)?;
-                        Block::try_scalar_binary(*op, av, bv)
-                    };
-                    if let Some(out) = scalar {
-                        self.inst.flops_scalar += 1;
-                        self.set_reg(regs, *dst, out);
-                        continue;
-                    }
-                    let buf = self.alloc();
-                    let out = {
-                        let av = Self::reg(regs, *a)?;
-                        let bv = Self::reg(regs, *b)?;
-                        Block::binary_with(*op, av, bv, buf)
-                    };
-                    self.inst.flops_scalar += out.len() as u64;
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::ExpandDims { dst, src, axis } => {
-                    let out = Self::reg(regs, *src)?.expand_dims(*axis);
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::Broadcast { dst, src, shape } => {
-                    let out = Self::reg(regs, *src)?.broadcast_to(shape);
-                    self.inst.smem_bytes += 4 * out.len() as u64;
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::View { dst, src, shape } => {
-                    let out = Self::reg(regs, *src)?.view(shape.clone());
-                    self.inst.smem_bytes += 4 * out.len() as u64;
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::Trans { dst, src } => {
-                    let out = Self::reg(regs, *src)?.trans();
-                    self.inst.smem_bytes += 4 * out.len() as u64;
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::Load {
-                    dst,
-                    param,
-                    offset,
-                    mask,
-                    other,
-                } => {
-                    let out = self.exec_load(regs, *param, *offset, *mask, *other, args)?;
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::Store {
-                    param,
-                    offset,
-                    value,
-                    mask,
-                } => {
-                    self.exec_store(regs, *param, *offset, *value, *mask, args)?;
-                }
-                Instr::AtomicAdd {
-                    param,
-                    offset,
-                    value,
-                    mask,
-                } => {
-                    self.exec_atomic_add(regs, *param, *offset, *value, *mask, args)?;
-                }
-                Instr::Dot { dst, a, b } => {
-                    let buf = self.alloc();
-                    let (m, k, n, out) = {
-                        let av = Self::reg(regs, *a)?;
-                        let bv = Self::reg(regs, *b)?;
-                        let (m, k) = (av.shape()[0], av.shape()[1]);
-                        let n = bv.shape()[1];
-                        let out = if self.mode == Mode::Execute {
-                            Block::dot_with(av, bv, buf)
-                        } else {
-                            debug_assert_eq!(bv.shape()[0], k, "dot inner dims");
-                            Block::full_pooled(vec![m, n], 0.0, buf)
-                        };
-                        (m, k, n, out)
-                    };
-                    let flops = 2 * (m * k * n) as u64;
-                    if self.dot_f16 {
-                        self.inst.flops_tc_f16 += flops;
+        for node in nodes {
+            match node.cached {
+                None => self.exec_cinstr(&node.instr, regs, pid, args)?,
+                Some(level) => {
+                    let record = if level == 0 {
+                        self.cs.record0
                     } else {
-                        self.inst.flops_tc_f32 += flops;
-                    }
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::Sum { dst, src, axis } => {
-                    let out = {
-                        let sv = Self::reg(regs, *src)?;
-                        self.inst.flops_scalar += sv.len() as u64;
-                        sv.sum_axis(*axis)
+                        self.cs.record1
                     };
-                    self.set_reg(regs, *dst, out);
-                }
-                Instr::Loop {
-                    var,
-                    start,
-                    end,
-                    step,
-                    body,
-                } => {
-                    let mut v = *start;
-                    while v < *end {
-                        self.set_reg(regs, *var, Block::scalar(v as f64));
-                        self.run_body(body, regs, pid, args)?;
-                        v += *step;
-                    }
-                }
-                Instr::LoopDyn {
-                    var,
-                    start,
-                    end,
-                    body,
-                } => {
-                    let lo = Self::reg(regs, *start)?.first() as i64;
-                    let hi = Self::reg(regs, *end)?.first() as i64;
-                    self.inst.dyn_iters += (hi - lo).max(0) as u64;
-                    let mut v = lo;
-                    while v < hi {
-                        self.set_reg(regs, *var, Block::scalar(v as f64));
-                        self.run_body(body, regs, pid, args)?;
-                        v += 1;
+                    if record {
+                        let before = self.inst;
+                        self.exec_cinstr(&node.instr, regs, pid, args)?;
+                        let cost = self.inst.minus(&before);
+                        let dst = cached_dst(&node.instr);
+                        let block = regs[dst]
+                            .as_ref()
+                            .expect("cached instruction writes its destination")
+                            .clone();
+                        let stream = if level == 0 {
+                            &mut self.cs.stream0
+                        } else {
+                            &mut self.cs.stream1
+                        };
+                        stream.push(CacheEntry { dst, block, cost });
+                    } else {
+                        let (dst, block, cost) = {
+                            let (stream, cur) = if level == 0 {
+                                (&self.cs.stream0, &mut self.cs.cur0)
+                            } else {
+                                (&self.cs.stream1, &mut self.cs.cur1)
+                            };
+                            let e = &stream[*cur];
+                            *cur += 1;
+                            (e.dst, e.block.clone(), e.cost)
+                        };
+                        self.inst.add(&cost);
+                        self.set_reg(regs, dst, block);
                     }
                 }
             }
@@ -637,6 +894,265 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
+    fn exec_cinstr(
+        &mut self,
+        instr: &CInstr,
+        regs: &mut Vec<Option<Block>>,
+        pid: [usize; 3],
+        args: &mut ArgsView<'_, '_>,
+    ) -> Result<(), GpuError> {
+        self.inst.instructions += 1;
+        match instr {
+            CInstr::ProgramId { dst, axis } => {
+                self.set_reg(regs, *dst, Block::scalar(pid[*axis] as f64));
+            }
+            CInstr::Const { dst, value } => {
+                self.set_reg(regs, *dst, Block::scalar(*value));
+            }
+            CInstr::Arange { dst, len } => {
+                let mut buf = self.alloc();
+                let v = buf.vec();
+                v.clear();
+                v.extend((0..*len).map(|i| i as f64));
+                self.set_reg(regs, *dst, Block::from_pool(vec![*len], buf));
+            }
+            CInstr::Full { dst, shape, value } => {
+                let buf = self.alloc();
+                self.set_reg(regs, *dst, Block::full_pooled(shape.clone(), *value, buf));
+            }
+            CInstr::Binary { dst, op, a, b } => {
+                self.exec_binary(regs, *dst, *op, *a, *b)?;
+            }
+            CInstr::FusedBinary {
+                dst,
+                op1,
+                a,
+                b,
+                op2,
+                c,
+                swapped,
+            } => {
+                // Superinstruction: `tmp = a op1 b; dst = tmp op2 c`
+                // without parking `tmp` in a register. Both instructions'
+                // counters are charged and each element is rounded twice,
+                // exactly as the unfused pair.
+                self.inst.instructions += 1;
+                let tmp = {
+                    let av = Self::reg(regs, *a)?;
+                    let bv = Self::reg(regs, *b)?;
+                    Block::try_scalar_binary(*op1, av, bv)
+                };
+                let tmp = match tmp {
+                    Some(t) => {
+                        self.inst.flops_scalar += 1;
+                        t
+                    }
+                    None => {
+                        let buf = self.alloc();
+                        let t = {
+                            let av = Self::reg(regs, *a)?;
+                            let bv = Self::reg(regs, *b)?;
+                            Block::binary_with(*op1, av, bv, buf)
+                        };
+                        self.inst.flops_scalar += t.len() as u64;
+                        t
+                    }
+                };
+                let scalar = {
+                    let cv = Self::reg(regs, *c)?;
+                    let (l, r) = if *swapped { (cv, &tmp) } else { (&tmp, cv) };
+                    Block::try_scalar_binary(*op2, l, r)
+                };
+                let out = match scalar {
+                    Some(o) => {
+                        self.inst.flops_scalar += 1;
+                        o
+                    }
+                    None => {
+                        let buf = self.alloc();
+                        let o = {
+                            let cv = Self::reg(regs, *c)?;
+                            let (l, r) = if *swapped { (cv, &tmp) } else { (&tmp, cv) };
+                            Block::binary_with(*op2, l, r, buf)
+                        };
+                        self.inst.flops_scalar += o.len() as u64;
+                        o
+                    }
+                };
+                if let Some(buf) = tmp.reclaim() {
+                    self.pool.push(buf);
+                }
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::ExpandDims { dst, src, axis } => {
+                let out = Self::reg(regs, *src)?.expand_dims(*axis);
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::Broadcast { dst, src, shape } => {
+                let out = Self::reg(regs, *src)?.broadcast_to(shape);
+                self.inst.smem_bytes += 4 * out.len() as u64;
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::View { dst, src, shape } => {
+                let out = Self::reg(regs, *src)?.view(shape.clone());
+                self.inst.smem_bytes += 4 * out.len() as u64;
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::Trans { dst, src } => {
+                let out = Self::reg(regs, *src)?.trans();
+                self.inst.smem_bytes += 4 * out.len() as u64;
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::Load {
+                dst,
+                param,
+                offset,
+                mask,
+                other,
+                site,
+            } => {
+                let out = self.exec_load(regs, *param, *offset, *mask, *other, *site, args)?;
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::Store {
+                param,
+                offset,
+                value,
+                mask,
+                site,
+            } => {
+                self.exec_store(regs, *param, *offset, *value, *mask, *site, args)?;
+            }
+            CInstr::AtomicAdd {
+                param,
+                offset,
+                value,
+                mask,
+                site,
+            } => {
+                self.exec_atomic_add(regs, *param, *offset, *value, *mask, *site, args)?;
+            }
+            CInstr::Dot { dst, a, b } => {
+                let buf = self.alloc();
+                let (m, k, n, out) = {
+                    let av = Self::reg(regs, *a)?;
+                    let bv = Self::reg(regs, *b)?;
+                    let (m, k) = (av.shape()[0], av.shape()[1]);
+                    let n = bv.shape()[1];
+                    let out = if self.mode == Mode::Execute {
+                        Block::dot_with(av, bv, buf)
+                    } else {
+                        debug_assert_eq!(bv.shape()[0], k, "dot inner dims");
+                        Block::full_pooled(vec![m, n], 0.0, buf)
+                    };
+                    (m, k, n, out)
+                };
+                let flops = 2 * (m * k * n) as u64;
+                if self.program.dot_f16 {
+                    self.inst.flops_tc_f16 += flops;
+                } else {
+                    self.inst.flops_tc_f32 += flops;
+                }
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::Sum { dst, src, axis } => {
+                let out = {
+                    let sv = Self::reg(regs, *src)?;
+                    self.inst.flops_scalar += sv.len() as u64;
+                    sv.sum_axis(*axis)
+                };
+                self.set_reg(regs, *dst, out);
+            }
+            CInstr::Loop {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let mut v = *start;
+                while v < *end {
+                    self.set_reg(regs, *var, Block::scalar(v as f64));
+                    self.run_nodes(body, regs, pid, args)?;
+                    v += *step;
+                }
+            }
+            CInstr::LoopDyn {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let lo = Self::reg(regs, *start)?.first() as i64;
+                let hi = Self::reg(regs, *end)?.first() as i64;
+                self.inst.dyn_iters += (hi - lo).max(0) as u64;
+                let mut v = lo;
+                while v < hi {
+                    self.set_reg(regs, *var, Block::scalar(v as f64));
+                    self.run_nodes(body, regs, pid, args)?;
+                    v += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_binary(
+        &mut self,
+        regs: &mut [Option<Block>],
+        dst: Reg,
+        op: insum_kernel::BinOp,
+        a: Reg,
+        b: Reg,
+    ) -> Result<(), GpuError> {
+        // Accumulator fast path (`acc = acc <op> v`): mutate the
+        // destination's own buffer when it is the sole owner — no copy,
+        // no register churn.
+        if dst == a && a != b {
+            let mut av = regs[a].take().ok_or(GpuError::UninitializedRegister(a))?;
+            let done = {
+                let bv = Self::reg(regs, b)?;
+                Block::binary_assign(op, &mut av, bv)
+            };
+            if done {
+                self.inst.flops_scalar += av.len() as u64;
+                regs[dst] = Some(av);
+                return Ok(());
+            }
+            let buf = self.alloc();
+            let out = {
+                let bv = Self::reg(regs, b)?;
+                Block::binary_with(op, &av, bv, buf)
+            };
+            self.inst.flops_scalar += out.len() as u64;
+            if let Some(old) = av.reclaim() {
+                self.pool.push(old);
+            }
+            regs[dst] = Some(out);
+            return Ok(());
+        }
+        let scalar = {
+            let av = Self::reg(regs, a)?;
+            let bv = Self::reg(regs, b)?;
+            Block::try_scalar_binary(op, av, bv)
+        };
+        if let Some(out) = scalar {
+            self.inst.flops_scalar += 1;
+            self.set_reg(regs, dst, out);
+            return Ok(());
+        }
+        let buf = self.alloc();
+        let out = {
+            let av = Self::reg(regs, a)?;
+            let bv = Self::reg(regs, b)?;
+            Block::binary_with(op, av, bv, buf)
+        };
+        self.inst.flops_scalar += out.len() as u64;
+        self.set_reg(regs, dst, out);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn exec_load(
         &mut self,
         regs: &[Option<Block>],
@@ -644,6 +1160,7 @@ impl<'a> Machine<'a> {
         offset: Reg,
         mask: Option<Reg>,
         other: f64,
+        site: u32,
         args: &ArgsView<'_, '_>,
     ) -> Result<Block, GpuError> {
         let off = Self::reg(regs, offset)?;
@@ -655,7 +1172,11 @@ impl<'a> Machine<'a> {
             Some(m) => Shape4::joint(off.shape(), m.shape()),
             None => off.shape4(),
         };
-        let read_values = self.mode == Mode::Execute || self.params.dtypes[param] == DType::I32;
+        if self.trace.active {
+            self.trace_site(site, off, mb, joint.as_slice());
+        }
+        let read_values =
+            self.mode == Mode::Execute || self.program.params.dtypes[param] == DType::I32;
 
         // Scalar loads (row-pointer reads and the like) need no buffer
         // at all — the result is an inline scalar.
@@ -684,9 +1205,9 @@ impl<'a> Machine<'a> {
                 let out = buf.vec();
                 out.clear();
                 out.reserve(offs.len());
-                let base = self.params.bases[param];
-                let esize = self.params.esizes[param];
-                let len = self.params.lens[param];
+                let base = self.program.params.bases[param];
+                let esize = self.program.params.esizes[param];
+                let len = self.program.params.lens[param];
                 let data = args.data(param);
                 let seen = &mut self.dram_read_seen;
                 let mut l2 = 0u64;
@@ -715,7 +1236,7 @@ impl<'a> Machine<'a> {
                 if let Some(offset) = oob {
                     self.pool.push(buf);
                     return Err(GpuError::OffsetOutOfBounds {
-                        param: self.kernel.params[param].name.clone(),
+                        param: self.program.param_names[param].clone(),
                         offset,
                         len,
                     });
@@ -743,9 +1264,9 @@ impl<'a> Machine<'a> {
                     let out = buf.vec();
                     out.clear();
                     out.reserve(offs.len());
-                    let base = self.params.bases[param];
-                    let esize = self.params.esizes[param];
-                    let len = self.params.lens[param];
+                    let base = self.program.params.bases[param];
+                    let esize = self.program.params.esizes[param];
+                    let len = self.program.params.lens[param];
                     let data = args.data(param);
                     let seen = &mut self.dram_read_seen;
                     let mut l2 = 0u64;
@@ -768,7 +1289,7 @@ impl<'a> Machine<'a> {
                     if let Some(offset) = oob {
                         self.pool.push(buf);
                         return Err(GpuError::OffsetOutOfBounds {
-                            param: self.kernel.params[param].name.clone(),
+                            param: self.program.param_names[param].clone(),
                             offset,
                             len,
                         });
@@ -816,6 +1337,7 @@ impl<'a> Machine<'a> {
         Ok(Block::from_packed(joint, buf))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_store(
         &mut self,
         regs: &[Option<Block>],
@@ -823,6 +1345,7 @@ impl<'a> Machine<'a> {
         offset: Reg,
         value: Reg,
         mask: Option<Reg>,
+        site: u32,
         args: &mut ArgsView<'_, '_>,
     ) -> Result<(), GpuError> {
         let off = Self::reg(regs, offset)?;
@@ -835,11 +1358,14 @@ impl<'a> Machine<'a> {
         if let Some(m) = mb {
             joint = Shape4::joint(joint.as_slice(), m.shape());
         }
+        if self.trace.active {
+            self.trace_site(site, off, mb, joint.as_slice());
+        }
         self.record_access(param, off, mb, joint.as_slice(), true)?;
         if self.mode != Mode::Execute {
             return Ok(());
         }
-        let round = self.params.dtypes[param] == DType::F16;
+        let round = self.program.params.dtypes[param] == DType::F16;
         match &mut self.sink {
             WriteSink::Direct => {
                 let data = args.data_mut(param);
@@ -903,6 +1429,7 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_atomic_add(
         &mut self,
         regs: &[Option<Block>],
@@ -910,6 +1437,7 @@ impl<'a> Machine<'a> {
         offset: Reg,
         value: Reg,
         mask: Option<Reg>,
+        site: u32,
         args: &mut ArgsView<'_, '_>,
     ) -> Result<(), GpuError> {
         let off = Self::reg(regs, offset)?;
@@ -922,12 +1450,15 @@ impl<'a> Machine<'a> {
         if let Some(m) = mb {
             joint = Shape4::joint(joint.as_slice(), m.shape());
         }
+        if self.trace.active {
+            self.trace_site(site, off, mb, joint.as_slice());
+        }
         self.record_access(param, off, mb, joint.as_slice(), true)?;
 
         if self.atomic_counts[param].is_empty() {
-            self.atomic_counts[param] = vec![0u64; self.params.lens[param]];
+            self.atomic_counts[param] = vec![0u64; self.program.params.lens[param]];
         }
-        let round = self.params.dtypes[param] == DType::F16;
+        let round = self.program.params.dtypes[param] == DType::F16;
         let execute = self.mode == Mode::Execute;
         let counts = &mut self.atomic_counts[param];
         let inst = &mut self.inst;
@@ -1018,31 +1549,30 @@ impl<'a> Machine<'a> {
         }
         Ok(())
     }
+}
 
-    /// Run one grid instance, returning its simulated time on one SM.
-    fn run_instance(
-        &mut self,
-        regs: &mut Vec<Option<Block>>,
-        pid: [usize; 3],
-        args: &mut ArgsView<'_, '_>,
-        device: &DeviceModel,
-    ) -> Result<f64, GpuError> {
-        self.inst = InstCost::default();
-        self.clear_regs(regs);
-        // `kernel` is a shared reference with the machine's lifetime, so
-        // the body borrow does not conflict with `&mut self` below.
-        let kernel = self.kernel;
-        self.run_body(&kernel.body, regs, pid, args)?;
-        let c = self.inst;
-        self.stats.l2_read_sectors += c.l2_read_sectors;
-        self.stats.l2_write_sectors += c.l2_write_sectors;
-        self.stats.flops_tc_f16 += c.flops_tc_f16;
-        self.stats.flops_tc_f32 += c.flops_tc_f32;
-        self.stats.flops_scalar += c.flops_scalar;
-        self.stats.smem_bytes += c.smem_bytes;
-        self.stats.atomics += c.atomics;
-        self.stats.instructions += c.instructions;
-        Ok(instance_time(device, &c))
+/// The destination register of a cached (value-producing) instruction.
+fn cached_dst(instr: &CInstr) -> Reg {
+    match instr {
+        CInstr::ProgramId { dst, .. }
+        | CInstr::Const { dst, .. }
+        | CInstr::Arange { dst, .. }
+        | CInstr::Full { dst, .. }
+        | CInstr::Binary { dst, .. }
+        | CInstr::FusedBinary { dst, .. }
+        | CInstr::ExpandDims { dst, .. }
+        | CInstr::Broadcast { dst, .. }
+        | CInstr::View { dst, .. }
+        | CInstr::Trans { dst, .. }
+        | CInstr::Load { dst, .. }
+        | CInstr::Dot { dst, .. }
+        | CInstr::Sum { dst, .. } => *dst,
+        CInstr::Store { .. }
+        | CInstr::AtomicAdd { .. }
+        | CInstr::Loop { .. }
+        | CInstr::LoopDyn { .. } => {
+            unreachable!("stores and loops are never stream-cached")
+        }
     }
 }
 
@@ -1235,24 +1765,9 @@ fn instance_time(device: &DeviceModel, c: &InstCost) -> f64 {
 /// True when every parameter the kernel writes (Store/AtomicAdd) is never
 /// loaded — the condition under which Execute-mode instances can run out
 /// of order with their writes replayed later.
-fn written_params_write_only(body: &[Instr], loads: &mut Vec<bool>, writes: &mut Vec<bool>) {
-    for instr in body {
-        match instr {
-            Instr::Load { param, .. } => loads[*param] = true,
-            Instr::Store { param, .. } | Instr::AtomicAdd { param, .. } => writes[*param] = true,
-            Instr::Loop { body, .. } | Instr::LoopDyn { body, .. } => {
-                written_params_write_only(body, loads, writes)
-            }
-            _ => {}
-        }
-    }
-}
-
+#[cfg(test)]
 fn kernel_allows_parallel_execute(kernel: &Kernel) -> bool {
-    let n = kernel.params.len();
-    let (mut loads, mut writes) = (vec![false; n], vec![false; n]);
-    written_params_write_only(&kernel.body, &mut loads, &mut writes);
-    loads.iter().zip(&writes).all(|(&l, &w)| !(l && w))
+    insum_kernel::param_usage(kernel).no_read_write_params()
 }
 
 /// Launch a kernel on the simulated device with default scheduling.
@@ -1286,6 +1801,11 @@ pub fn launch(
 /// bit-identical for every thread configuration; see [`LaunchOptions`]
 /// for how that is guaranteed.
 ///
+/// Internally this compiles the kernel into a [`Program`] and launches
+/// it; callers that re-launch the same kernel and shapes should compile
+/// once with [`Program::compile`] (or use `insum_inductor`'s program
+/// cache) and call [`Program::launch_with`] directly.
+///
 /// # Errors
 ///
 /// Same conditions as [`launch`].
@@ -1304,202 +1824,247 @@ pub fn launch_with(
             actual: args.len(),
         });
     }
-    if grid.is_empty() || grid.len() > 3 || grid.contains(&0) {
-        return Err(GpuError::BadGrid(grid.to_vec()));
-    }
-    let mut gdims = [1usize; 3];
-    gdims[..grid.len()].copy_from_slice(grid);
-    let instances = gdims[0] * gdims[1] * gdims[2];
-
-    let params = ParamTable::new(args);
-    let dot_f16 = {
-        let floats: Vec<DType> = args
-            .iter()
-            .map(|t| t.dtype())
-            .filter(|d| d.is_float())
-            .collect();
-        !floats.is_empty() && floats.iter().all(|&d| d == DType::F16)
-    };
-
-    let threads = options.resolve_threads().min(instances.max(1));
-    let parallel = threads > 1
-        && instances >= options.min_parallel_instances.max(2)
-        && (mode == Mode::Analytic || kernel_allows_parallel_execute(kernel));
-
-    let (stats_sums, read_seen, write_seen, atomic_counts, instance_times) = if !parallel {
-        // Sequential path: one machine, direct writes.
-        let mut machine = Machine::new(kernel, mode, dot_f16, &params, WriteSink::Direct);
-        let mut regs: Vec<Option<Block>> = vec![None; kernel.num_regs];
-        let mut view = ArgsView::Exclusive(&mut *args);
-        let mut instance_times = Vec::with_capacity(instances);
-        for flat in 0..instances {
-            instance_times.push(machine.run_instance(
-                &mut regs,
-                pid_of(flat, gdims),
-                &mut view,
-                device,
-            )?);
-        }
-        (
-            machine.stats,
-            machine.dram_read_seen,
-            machine.dram_write_seen,
-            machine.atomic_counts,
-            instance_times,
-        )
-    } else {
-        // Parallel path: contiguous shards, deterministic merge.
-        let shared: Vec<&Tensor> = args.iter().map(|t| &**t).collect();
-        let nshards = threads.min(instances);
-        let chunk = instances.div_ceil(nshards);
-        struct Shard {
-            stats: KernelStats,
-            read: SectorSet,
-            write: SectorSet,
-            counts: Vec<Vec<u64>>,
-            times: Vec<f64>,
-            log: Vec<WriteOp>,
-        }
-        type ShardResult = Result<Shard, (usize, GpuError)>;
-        let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..nshards)
-                .map(|si| {
-                    let shared = &shared;
-                    let params = &params;
-                    scope.spawn(move || -> ShardResult {
-                        let sink = match mode {
-                            Mode::Execute => WriteSink::Log(Vec::new()),
-                            Mode::Analytic => WriteSink::Direct, // never writes
-                        };
-                        let mut m = Machine::new(kernel, mode, dot_f16, params, sink);
-                        let mut regs: Vec<Option<Block>> = vec![None; kernel.num_regs];
-                        let mut view = ArgsView::Shared(shared);
-                        let lo = (si * chunk).min(instances);
-                        let hi = ((si + 1) * chunk).min(instances);
-                        let mut times = Vec::with_capacity(hi - lo);
-                        for flat in lo..hi {
-                            match m.run_instance(&mut regs, pid_of(flat, gdims), &mut view, device)
-                            {
-                                Ok(t) => times.push(t),
-                                Err(e) => return Err((flat, e)),
-                            }
-                        }
-                        let log = match m.sink {
-                            WriteSink::Log(log) => log,
-                            WriteSink::Direct => Vec::new(),
-                        };
-                        Ok(Shard {
-                            stats: m.stats,
-                            read: m.dram_read_seen,
-                            write: m.dram_write_seen,
-                            counts: m.atomic_counts,
-                            times,
-                            log,
-                        })
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("simulator shard panicked"))
-                .collect()
-        });
-
-        // First error in instance order wins (shards cover ordered,
-        // disjoint ranges, so the first erroring shard holds it).
-        let mut shards = Vec::with_capacity(nshards);
-        for r in shard_results {
-            match r {
-                Ok(s) => shards.push(s),
-                Err((_, e)) => return Err(e),
-            }
-        }
-
-        let mut stats = KernelStats::default();
-        let mut read_seen = SectorSet::new(params.total_sectors);
-        let mut write_seen = SectorSet::new(params.total_sectors);
-        let mut counts: Vec<Vec<u64>> = vec![Vec::new(); params.lens.len()];
-        let mut instance_times = Vec::with_capacity(instances);
-        for shard in &shards {
-            stats.l2_read_sectors += shard.stats.l2_read_sectors;
-            stats.l2_write_sectors += shard.stats.l2_write_sectors;
-            stats.flops_tc_f16 += shard.stats.flops_tc_f16;
-            stats.flops_tc_f32 += shard.stats.flops_tc_f32;
-            stats.flops_scalar += shard.stats.flops_scalar;
-            stats.smem_bytes += shard.stats.smem_bytes;
-            stats.atomics += shard.stats.atomics;
-            stats.instructions += shard.stats.instructions;
-            read_seen.union(&shard.read);
-            write_seen.union(&shard.write);
-            for (p, c) in shard.counts.iter().enumerate() {
-                if c.is_empty() {
-                    continue;
-                }
-                if counts[p].is_empty() {
-                    counts[p] = vec![0u64; params.lens[p]];
-                }
-                for (acc, &v) in counts[p].iter_mut().zip(c) {
-                    *acc += v;
-                }
-            }
-            instance_times.extend_from_slice(&shard.times);
-        }
-
-        // Replay Execute-mode writes in instance order: bit-identical to
-        // the sequential interleaving because shards are ordered and
-        // written parameters are never read back by the kernel.
-        if mode == Mode::Execute {
-            for shard in &shards {
-                for w in &shard.log {
-                    let round = params.dtypes[w.param as usize] == DType::F16;
-                    let slot = &mut args[w.param as usize].data_mut()[w.off as usize];
-                    let mut v = if w.atomic { *slot + w.val } else { w.val };
-                    if round {
-                        v = insum_tensor::f16_round(v);
-                    }
-                    *slot = v;
-                }
-            }
-        }
-        (stats, read_seen, write_seen, counts, instance_times)
-    };
-
-    let mut stats = stats_sums;
-    stats.instances = instances as u64;
-    stats.dram_read_sectors = read_seen.count();
-    stats.dram_write_sectors = write_seen.count();
-    let mut conflicts = 0u64;
-    let mut max_chain = 0u64;
-    for counts in &atomic_counts {
-        for &c in counts {
-            if c > 0 {
-                conflicts += c - 1;
-                max_chain = max_chain.max(c - 1);
-            }
-        }
-    }
-    stats.atomic_conflicts = conflicts;
-
-    // Atomics to distinct addresses pipeline across the L2 slices
-    // (throughput term); only the longest same-address chain serializes
-    // (latency term).
-    let dram_time = stats.dram_bytes() as f64 / device.dram_bw
-        + stats.atomics as f64 / device.atomic_rate
-        + max_chain as f64 * device.atomic_conflict_penalty;
-    let (time, sm_time, dram_time) = combine_times(device, &instance_times, dram_time);
-    let max_instance_time = instance_times.iter().copied().fold(0.0, f64::max);
-
-    Ok(KernelReport {
-        name: kernel.name.clone(),
-        grid: grid.to_vec(),
-        stats,
-        time,
-        sm_time,
-        dram_time,
-        max_instance_time,
-    })
+    let lens: Vec<usize> = args.iter().map(|t| t.len()).collect();
+    let dtypes: Vec<DType> = args.iter().map(|t| t.dtype()).collect();
+    let program = Program::compile(kernel, grid, &lens, &dtypes)?;
+    program.launch_with(args, device, mode, options)
 }
 
+impl Program {
+    /// Launch this compiled program with default scheduling. See
+    /// [`launch`] for semantics; results are bit-identical to launching
+    /// the original kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`launch`] (validation and grid errors are
+    /// caught at compile time instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an argument's length or dtype differs from the metadata
+    /// the program was compiled with.
+    pub fn launch(
+        &self,
+        args: &mut [&mut Tensor],
+        device: &DeviceModel,
+        mode: Mode,
+    ) -> Result<KernelReport, GpuError> {
+        self.launch_with(args, device, mode, &LaunchOptions::default())
+    }
+
+    /// [`Program::launch`] with explicit instance-scheduling options.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Program::launch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an argument's length or dtype differs from the metadata
+    /// the program was compiled with.
+    pub fn launch_with(
+        &self,
+        args: &mut [&mut Tensor],
+        device: &DeviceModel,
+        mode: Mode,
+        options: &LaunchOptions,
+    ) -> Result<KernelReport, GpuError> {
+        if args.len() != self.param_names.len() {
+            return Err(GpuError::ParamCountMismatch {
+                expected: self.param_names.len(),
+                actual: args.len(),
+            });
+        }
+        for (i, t) in args.iter().enumerate() {
+            assert!(
+                t.len() == self.params.lens[i] && t.dtype() == self.params.dtypes[i],
+                "argument {i} does not match the metadata this program was compiled with"
+            );
+        }
+        let gdims = self.gdims;
+        let instances = self.instances;
+
+        let threads = options.resolve_threads().min(instances.max(1));
+        let parallel = threads > 1
+            && instances >= options.min_parallel_instances.max(2)
+            && (mode == Mode::Analytic || self.parallel_execute_ok);
+        let dedup =
+            mode == Mode::Analytic && options.analytic_dedup && self.dedup_ok && gdims[0] > 1;
+
+        let (stats_sums, read_seen, write_seen, atomic_counts, instance_times) = if !parallel {
+            // Sequential path: one machine, direct writes.
+            let mut machine = Machine::new(self, mode, WriteSink::Direct);
+            let mut regs: Vec<Option<Block>> = vec![None; self.num_regs];
+            let mut view = ArgsView::Exclusive(&mut *args);
+            let mut instance_times = Vec::with_capacity(instances);
+            machine
+                .run_range(
+                    0,
+                    instances,
+                    gdims,
+                    &mut regs,
+                    &mut view,
+                    device,
+                    dedup,
+                    &mut instance_times,
+                )
+                .map_err(|(_, e)| e)?;
+            (
+                machine.stats,
+                machine.dram_read_seen,
+                machine.dram_write_seen,
+                machine.atomic_counts,
+                instance_times,
+            )
+        } else {
+            // Parallel path: contiguous shards, deterministic merge.
+            let shared: Vec<&Tensor> = args.iter().map(|t| &**t).collect();
+            let nshards = threads.min(instances);
+            let chunk = instances.div_ceil(nshards);
+            struct Shard {
+                stats: KernelStats,
+                read: SectorSet,
+                write: SectorSet,
+                counts: Vec<Vec<u64>>,
+                times: Vec<f64>,
+                log: Vec<WriteOp>,
+            }
+            type ShardResult = Result<Shard, (usize, GpuError)>;
+            let shard_results: Vec<ShardResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nshards)
+                    .map(|si| {
+                        let shared = &shared;
+                        scope.spawn(move || -> ShardResult {
+                            let sink = match mode {
+                                Mode::Execute => WriteSink::Log(Vec::new()),
+                                Mode::Analytic => WriteSink::Direct, // never writes
+                            };
+                            let mut m = Machine::new(self, mode, sink);
+                            let mut regs: Vec<Option<Block>> = vec![None; self.num_regs];
+                            let mut view = ArgsView::Shared(shared);
+                            let lo = (si * chunk).min(instances);
+                            let hi = ((si + 1) * chunk).min(instances);
+                            let mut times = Vec::with_capacity(hi - lo);
+                            m.run_range(
+                                lo, hi, gdims, &mut regs, &mut view, device, dedup, &mut times,
+                            )?;
+                            let log = match m.sink {
+                                WriteSink::Log(log) => log,
+                                WriteSink::Direct => Vec::new(),
+                            };
+                            Ok(Shard {
+                                stats: m.stats,
+                                read: m.dram_read_seen,
+                                write: m.dram_write_seen,
+                                counts: m.atomic_counts,
+                                times,
+                                log,
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulator shard panicked"))
+                    .collect()
+            });
+
+            // First error in instance order wins (shards cover ordered,
+            // disjoint ranges, so the first erroring shard holds it).
+            let mut shards = Vec::with_capacity(nshards);
+            for r in shard_results {
+                match r {
+                    Ok(s) => shards.push(s),
+                    Err((_, e)) => return Err(e),
+                }
+            }
+
+            let mut stats = KernelStats::default();
+            let mut read_seen = SectorSet::new(self.params.total_sectors);
+            let mut write_seen = SectorSet::new(self.params.total_sectors);
+            let mut counts: Vec<Vec<u64>> = vec![Vec::new(); self.params.lens.len()];
+            let mut instance_times = Vec::with_capacity(instances);
+            for shard in &shards {
+                stats.l2_read_sectors += shard.stats.l2_read_sectors;
+                stats.l2_write_sectors += shard.stats.l2_write_sectors;
+                stats.flops_tc_f16 += shard.stats.flops_tc_f16;
+                stats.flops_tc_f32 += shard.stats.flops_tc_f32;
+                stats.flops_scalar += shard.stats.flops_scalar;
+                stats.smem_bytes += shard.stats.smem_bytes;
+                stats.atomics += shard.stats.atomics;
+                stats.instructions += shard.stats.instructions;
+                read_seen.union(&shard.read);
+                write_seen.union(&shard.write);
+                for (p, c) in shard.counts.iter().enumerate() {
+                    if c.is_empty() {
+                        continue;
+                    }
+                    if counts[p].is_empty() {
+                        counts[p] = vec![0u64; self.params.lens[p]];
+                    }
+                    for (acc, &v) in counts[p].iter_mut().zip(c) {
+                        *acc += v;
+                    }
+                }
+                instance_times.extend_from_slice(&shard.times);
+            }
+
+            // Replay Execute-mode writes in instance order: bit-identical
+            // to the sequential interleaving because shards are ordered
+            // and written parameters are never read back by the kernel.
+            if mode == Mode::Execute {
+                for shard in &shards {
+                    for w in &shard.log {
+                        let round = self.params.dtypes[w.param as usize] == DType::F16;
+                        let slot = &mut args[w.param as usize].data_mut()[w.off as usize];
+                        let mut v = if w.atomic { *slot + w.val } else { w.val };
+                        if round {
+                            v = insum_tensor::f16_round(v);
+                        }
+                        *slot = v;
+                    }
+                }
+            }
+            (stats, read_seen, write_seen, counts, instance_times)
+        };
+
+        let mut stats = stats_sums;
+        stats.instances = instances as u64;
+        stats.dram_read_sectors = read_seen.count();
+        stats.dram_write_sectors = write_seen.count();
+        let mut conflicts = 0u64;
+        let mut max_chain = 0u64;
+        for counts in &atomic_counts {
+            for &c in counts {
+                if c > 0 {
+                    conflicts += c - 1;
+                    max_chain = max_chain.max(c - 1);
+                }
+            }
+        }
+        stats.atomic_conflicts = conflicts;
+
+        // Atomics to distinct addresses pipeline across the L2 slices
+        // (throughput term); only the longest same-address chain
+        // serializes (latency term).
+        let dram_time = stats.dram_bytes() as f64 / device.dram_bw
+            + stats.atomics as f64 / device.atomic_rate
+            + max_chain as f64 * device.atomic_conflict_penalty;
+        let (time, sm_time, dram_time) = combine_times(device, &instance_times, dram_time);
+        let max_instance_time = instance_times.iter().copied().fold(0.0, f64::max);
+
+        Ok(KernelReport {
+            name: self.name.clone(),
+            grid: self.grid.clone(),
+            stats,
+            time,
+            sm_time,
+            dram_time,
+            max_instance_time,
+        })
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;

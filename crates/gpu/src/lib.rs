@@ -29,7 +29,7 @@
 //! The interpreter is the hot path of every experiment harness, so its
 //! execution core is engineered for host throughput while staying
 //! bit-identical to the straightforward seed implementation (kept in
-//! [`reference`] as an oracle; `insum_bench`'s `simbench` binary tracks
+//! the `reference` module as an oracle; `insum_bench`'s `simbench` binary tracks
 //! the speedup in `BENCH_sim.json`):
 //!
 //! * **Strided copy-on-write blocks** — [`Block`] is a view
@@ -57,10 +57,52 @@
 //!   [`KernelStats`] are bit-for-bit identical to the sequential path at
 //!   every thread count. Kernels that read a parameter they also write
 //!   fall back to sequential execution.
+//!
+//! # Compile pipeline
+//!
+//! Since the "compile-once, launch-many" rework, every launch executes a
+//! [`Program`]: the kernel IR is lowered ahead of time (once per launch
+//! shape; [`launch`]/[`launch_with`] compile on the fly, while
+//! `insum_inductor`'s `ProgramCache` memoizes programs across launches
+//! and autotuning trials). Lowering runs four analyses, all with
+//! conservative fallbacks so results stay bit-identical to the seed:
+//!
+//! * **Grid-invariant prologue** — registers are classified by the grid
+//!   axes their values transitively depend on. Level-0 (grid-invariant)
+//!   instructions — `arange`, constants, `full`, and any arithmetic or
+//!   read-only loads closed over them — execute once per launch/shard
+//!   and persist in their registers; level-1 (row-invariant, grid axis 0
+//!   free) instructions execute once per row of instances. Invariant
+//!   instructions trapped inside per-instance loops are recorded as
+//!   *occurrence streams* by the row representative and replayed (a
+//!   copy-on-write clone plus the recorded cost) by every other
+//!   instance. Costs are deterministic, so each instance is still
+//!   charged exactly what re-execution would have charged.
+//! * **Last-use liveness** — per-unit release lists return dead
+//!   register buffers to the allocation pool immediately, and the
+//!   between-instance sweep touches only per-instance registers.
+//! * **Superinstructions** — adjacent `Binary` pairs whose intermediate
+//!   register dies immediately fuse into one dispatch with both
+//!   instructions' counters and unchanged per-element rounding.
+//! * **Analytic instance classes** — each memory site's offset stream is
+//!   classified as grid-invariant or *affine* in the axis-0 coordinate
+//!   with a sector-aligned stride. When every site qualifies (masks,
+//!   trip counts, and metadata loads axis-0-invariant), an analytic
+//!   launch costs one representative per row and replays the members by
+//!   shifting the recorded sector runs and atomic address streams —
+//!   O(instance classes) interpretation instead of O(instances), with
+//!   identical stats, DRAM first-touch sets, collision counts, and
+//!   per-instance times. [`LaunchOptions::analytic_dedup`] disables the
+//!   replay for equivalence testing.
+//!
+//! See `crates/gpu/src/program.rs` for the analysis details and
+//! `crates/gpu/tests/program_properties.rs` for the equivalence
+//! properties that pin the pipeline to the reference interpreter.
 
 mod block;
 mod device;
 mod interp;
+mod program;
 #[doc(hidden)]
 pub mod reference;
 mod stats;
@@ -68,6 +110,7 @@ mod stats;
 pub use block::Block;
 pub use device::DeviceModel;
 pub use interp::{launch, launch_with, GpuError, LaunchOptions, Mode};
+pub use program::Program;
 pub use stats::{KernelReport, KernelStats, Profile};
 
 /// Crate-wide result alias.

@@ -1,0 +1,1279 @@
+//! Ahead-of-time program compilation: lower a [`Kernel`] once per launch
+//! shape into a [`Program`] that thousands of grid instances execute.
+//!
+//! The seed interpreter re-walked the kernel IR tree for every grid
+//! instance, re-materializing `arange`/constant blocks and re-deriving
+//! every schedule-invariant offset each time. Compilation hoists that
+//! work with four coordinated analyses:
+//!
+//! 1. **pid-dependence levels** — every register is classified by the
+//!    grid axes its value (transitively) depends on: level 0 values are
+//!    *grid-invariant* (computed once per launch/shard and shared
+//!    read-only by every instance), level 1 values are invariant along
+//!    grid axis 0 (computed once per *row* of instances — axis 0
+//!    iterates fastest), and level 2 values are re-computed per
+//!    instance. Invariant instructions trapped inside per-instance loops
+//!    are cached as *occurrence streams*: the row representative records
+//!    one value per dynamic execution, later instances replay the
+//!    stream. Costs are still charged to every instance (they are
+//!    deterministic), so [`crate::KernelStats`] and timing stay
+//!    bit-identical to the reference interpreter.
+//! 2. **last-use liveness** — per-unit release lists return dead
+//!    register buffers to the allocation pool immediately instead of
+//!    waiting for the end-of-instance sweep, and the sweep itself only
+//!    touches the per-instance registers.
+//! 3. **superinstructions** — adjacent `Binary` pairs whose intermediate
+//!    register is used exactly once fuse into one dispatch
+//!    ([`CInstr::FusedBinary`]), skipping the intermediate's register
+//!    traffic while preserving both instructions' counters and the
+//!    two-rounding floating-point semantics.
+//! 4. **address-stream classification** — every memory-access site's
+//!    offset stream is classified as grid-invariant, affine in the
+//!    axis-0 coordinate (`offsets = base + pid0 · c` with a compile-time
+//!    integer constant `c` whose byte stride is sector-aligned), or
+//!    opaque. When every site is invariant/affine (and masks, loop trip
+//!    counts, and metadata loads are axis-0-invariant), all instances of
+//!    a row form one *instance class*: [`Mode::Analytic`](crate::Mode)
+//!    launches execute the row representative once and replay the
+//!    remaining members by shifting the recorded sector runs and atomic
+//!    address streams — O(classes) interpretation instead of
+//!    O(instances), with identical stats, DRAM first-touch sets, atomic
+//!    collision counts, and per-instance times.
+//!
+//! Compilation is cheap (one pass per analysis over the instruction
+//! tree), but `insum_inductor`'s `ProgramCache` still memoizes programs
+//! across launches keyed by kernel fingerprint + grid + argument
+//! metadata, so repeated executions and autotuning sweeps never re-lower.
+
+use crate::block::apply_binop;
+use crate::interp::{GpuError, SECTOR};
+use insum_kernel::{param_usage, BinOp, Instr, Kernel, Reg};
+use insum_tensor::DType;
+
+/// How often a top-level unit executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnitMode {
+    /// Once per launch (per shard); values persist in their registers.
+    Once,
+    /// Once per row of instances sharing grid coordinates (y, z).
+    PerRow,
+    /// Every instance.
+    PerInstance,
+}
+
+/// A compiled instruction. Mirrors [`Instr`] with loop bodies lowered to
+/// [`CNode`]s, memory accesses annotated with site ids, and fused
+/// superinstructions.
+#[derive(Debug, Clone)]
+pub(crate) enum CInstr {
+    ProgramId {
+        dst: Reg,
+        axis: usize,
+    },
+    Const {
+        dst: Reg,
+        value: f64,
+    },
+    Arange {
+        dst: Reg,
+        len: usize,
+    },
+    Full {
+        dst: Reg,
+        shape: Vec<usize>,
+        value: f64,
+    },
+    Binary {
+        dst: Reg,
+        op: BinOp,
+        a: Reg,
+        b: Reg,
+    },
+    /// `tmp = a op1 b; dst = tmp op2 c` (or `c op2 tmp` when `swapped`),
+    /// with `tmp` dead afterwards: one dispatch, two instructions'
+    /// counters, and the same two per-element roundings as the unfused
+    /// pair.
+    FusedBinary {
+        dst: Reg,
+        op1: BinOp,
+        a: Reg,
+        b: Reg,
+        op2: BinOp,
+        c: Reg,
+        swapped: bool,
+    },
+    ExpandDims {
+        dst: Reg,
+        src: Reg,
+        axis: usize,
+    },
+    Broadcast {
+        dst: Reg,
+        src: Reg,
+        shape: Vec<usize>,
+    },
+    View {
+        dst: Reg,
+        src: Reg,
+        shape: Vec<usize>,
+    },
+    Trans {
+        dst: Reg,
+        src: Reg,
+    },
+    Load {
+        dst: Reg,
+        param: usize,
+        offset: Reg,
+        mask: Option<Reg>,
+        other: f64,
+        site: u32,
+    },
+    Store {
+        param: usize,
+        offset: Reg,
+        value: Reg,
+        mask: Option<Reg>,
+        site: u32,
+    },
+    AtomicAdd {
+        param: usize,
+        offset: Reg,
+        value: Reg,
+        mask: Option<Reg>,
+        site: u32,
+    },
+    Dot {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Sum {
+        dst: Reg,
+        src: Reg,
+        axis: usize,
+    },
+    Loop {
+        var: Reg,
+        start: i64,
+        end: i64,
+        step: i64,
+        body: Vec<CNode>,
+    },
+    LoopDyn {
+        var: Reg,
+        start: Reg,
+        end: Reg,
+        body: Vec<CNode>,
+    },
+}
+
+/// One instruction inside a per-instance region. `cached` is the
+/// invariance level (0 grid-invariant, 1 row-invariant) of instructions
+/// whose per-occurrence values the representative records and later
+/// instances replay; `None` executes every time.
+#[derive(Debug, Clone)]
+pub(crate) struct CNode {
+    pub(crate) cached: Option<u8>,
+    pub(crate) instr: CInstr,
+}
+
+/// A top-level unit: one instruction (possibly a whole loop) plus its
+/// execution frequency and the per-instance registers that die with it.
+#[derive(Debug, Clone)]
+pub(crate) struct CUnit {
+    pub(crate) mode: UnitMode,
+    pub(crate) instr: CInstr,
+    /// Level-2 registers whose last use is inside this unit: released to
+    /// the buffer pool right after it executes.
+    pub(crate) release: Vec<Reg>,
+}
+
+/// Per-site address-stream classification.
+#[derive(Debug, Clone)]
+pub(crate) struct SiteInfo {
+    pub(crate) param: usize,
+    pub(crate) is_atomic: bool,
+    pub(crate) is_write: bool,
+    /// Along grid axis 0, the site's element offsets shift by
+    /// `pid0 · coeff`, with `coeff · esize` a whole number of sectors
+    /// (0 for axis-0-invariant streams). Meaningless when the program's
+    /// `dedup_ok` is false.
+    pub(crate) coeff: f64,
+    /// Whether the row representative must record this site's streams
+    /// for member replay (all atomics, plus shifted loads/stores).
+    pub(crate) traced: bool,
+}
+
+/// Shared per-launch parameter table (address layout, sizes, dtypes) —
+/// identical to the seed interpreter's layout.
+pub(crate) struct ParamTable {
+    pub(crate) bases: Vec<u64>,
+    pub(crate) esizes: Vec<u64>,
+    pub(crate) lens: Vec<usize>,
+    pub(crate) dtypes: Vec<DType>,
+    pub(crate) total_sectors: u64,
+}
+
+impl ParamTable {
+    pub(crate) fn new(lens: &[usize], dtypes: &[DType]) -> ParamTable {
+        // Parameter layout in the simulated address space (256-byte
+        // aligned), exactly as the seed interpreter laid it out.
+        let mut bases = Vec::with_capacity(lens.len());
+        let mut esizes = Vec::with_capacity(lens.len());
+        let mut cursor = 0u64;
+        for (&len, &dt) in lens.iter().zip(dtypes) {
+            bases.push(cursor);
+            let esize = dt.size_bytes() as u64;
+            esizes.push(esize);
+            cursor += (len as u64 * esize).div_ceil(256) * 256 + 256;
+        }
+        ParamTable {
+            bases,
+            esizes,
+            lens: lens.to_vec(),
+            dtypes: dtypes.to_vec(),
+            total_sectors: cursor.div_ceil(SECTOR),
+        }
+    }
+}
+
+/// A kernel lowered for one launch shape: grid dimensions and argument
+/// metadata are baked in. Compile once with [`Program::compile`], then
+/// launch any number of times with [`Program::launch`] /
+/// [`Program::launch_with`] — results are bit-identical to
+/// [`crate::launch`] on the same kernel and inputs.
+pub struct Program {
+    /// Kernel name (for reports).
+    pub(crate) name: String,
+    /// Parameter names (for out-of-bounds diagnostics); execution runs
+    /// the lowered units, so the original instruction tree is not kept.
+    pub(crate) param_names: Vec<String>,
+    pub(crate) num_regs: usize,
+    pub(crate) grid: Vec<usize>,
+    pub(crate) gdims: [usize; 3],
+    pub(crate) instances: usize,
+    pub(crate) units: Vec<CUnit>,
+    /// Registers written by per-instance code: the only ones cleared
+    /// between instances (level-0/1 registers persist by construction).
+    pub(crate) level2_regs: Vec<Reg>,
+    pub(crate) sites: Vec<SiteInfo>,
+    /// True when every access site is invariant/affine along axis 0 —
+    /// analytic launches may dedup each row into one instance class.
+    pub(crate) dedup_ok: bool,
+    pub(crate) params: ParamTable,
+    pub(crate) dot_f16: bool,
+    /// No parameter is both loaded and written: Execute-mode instances
+    /// may run out of order across host threads.
+    pub(crate) parallel_execute_ok: bool,
+}
+
+impl Program {
+    /// The launch grid this program was compiled for.
+    pub fn grid(&self) -> &[usize] {
+        &self.grid
+    }
+
+    /// Total grid instances per launch.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// True when analytic launches can dedup each row of instances into
+    /// one costed representative (see the module docs).
+    pub fn analytic_dedup_available(&self) -> bool {
+        self.dedup_ok
+    }
+
+    /// Classification summary for diagnostics and benchmarks:
+    /// `(once_units, per_row_units, per_instance_units, cached_nodes)`.
+    pub fn classification(&self) -> (usize, usize, usize, usize) {
+        let mut once = 0;
+        let mut row = 0;
+        let mut inst = 0;
+        let mut cached = 0;
+        fn count_cached(i: &CInstr, cached: &mut usize) {
+            if let CInstr::Loop { body, .. } | CInstr::LoopDyn { body, .. } = i {
+                for n in body {
+                    if n.cached.is_some() {
+                        *cached += 1;
+                    }
+                    count_cached(&n.instr, cached);
+                }
+            }
+        }
+        for u in &self.units {
+            match u.mode {
+                UnitMode::Once => once += 1,
+                UnitMode::PerRow => row += 1,
+                UnitMode::PerInstance => inst += 1,
+            }
+            count_cached(&u.instr, &mut cached);
+        }
+        (once, row, inst, cached)
+    }
+
+    /// Compile a kernel for a launch shape. `lens`/`dtypes` describe the
+    /// argument tensors positionally (element counts and dtypes — the
+    /// values are bound later, at launch time).
+    ///
+    /// # Errors
+    ///
+    /// * [`GpuError::Kernel`] if the kernel fails validation.
+    /// * [`GpuError::ParamCountMismatch`] if `lens`/`dtypes` do not match
+    ///   the kernel's parameter list.
+    /// * [`GpuError::BadGrid`] if the grid is empty, has more than three
+    ///   dimensions, or contains a zero.
+    pub fn compile(
+        kernel: &Kernel,
+        grid: &[usize],
+        lens: &[usize],
+        dtypes: &[DType],
+    ) -> Result<Program, GpuError> {
+        kernel.validate()?;
+        if lens.len() != kernel.params.len() || dtypes.len() != kernel.params.len() {
+            return Err(GpuError::ParamCountMismatch {
+                expected: kernel.params.len(),
+                actual: lens.len(),
+            });
+        }
+        if grid.is_empty() || grid.len() > 3 || grid.contains(&0) {
+            return Err(GpuError::BadGrid(grid.to_vec()));
+        }
+        let mut gdims = [1usize; 3];
+        gdims[..grid.len()].copy_from_slice(grid);
+        let instances = gdims[0] * gdims[1] * gdims[2];
+
+        let usage = param_usage(kernel);
+        let mut levels = compute_levels(kernel, &usage.written);
+        if gdims[0] == 1 {
+            // Rows are singletons: per-row caching would record streams
+            // every instance and replay them never. Folding level 1 into
+            // level 2 keeps only the profitable grid-invariant tier.
+            for l in &mut levels.reg {
+                if *l == 1 {
+                    *l = 2;
+                }
+            }
+        }
+        let uses = reg_use_counts(kernel);
+        let avals = compute_avals(kernel, dtypes, &usage.written);
+        let params = ParamTable::new(lens, dtypes);
+
+        let mut ctx = Lowering {
+            levels: &levels,
+            uses: &uses,
+            avals: &avals,
+            params: &params,
+            sites: Vec::new(),
+            dedup_ok: avals.loops_ok,
+        };
+        let mut units = Vec::new();
+        for chunk in fuse_body(&kernel.body, &levels, &uses) {
+            // A unit's frequency covers its whole subtree *and* every
+            // register it writes: a prologue `full(...)` that a
+            // per-instance loop also writes (the accumulator pattern)
+            // must re-execute per instance to reset the register.
+            let lvl = chunk_unit_level(&chunk, &levels);
+            let instr = ctx.lower_chunk(&chunk, lvl >= 2, 0);
+            units.push(CUnit {
+                mode: match lvl {
+                    0 => UnitMode::Once,
+                    1 => UnitMode::PerRow,
+                    _ => UnitMode::PerInstance,
+                },
+                instr,
+                release: Vec::new(),
+            });
+        }
+
+        // Last-use liveness at top-level granularity: after the final
+        // unit that reads a per-instance register, its buffer is dead.
+        let mut last_use: Vec<Option<usize>> = vec![None; kernel.num_regs];
+        for (i, unit) in units.iter().enumerate() {
+            for_each_read_ci(&unit.instr, &mut |r| last_use[r] = Some(i));
+        }
+        for (i, unit) in units.iter_mut().enumerate() {
+            unit.release = last_use
+                .iter()
+                .enumerate()
+                .filter(|&(r, lu)| *lu == Some(i) && levels.reg[r] >= 2)
+                .map(|(r, _)| r)
+                .collect();
+        }
+
+        let level2_regs: Vec<Reg> = (0..kernel.num_regs)
+            .filter(|&r| levels.reg[r] >= 2)
+            .collect();
+
+        let dot_f16 = {
+            let floats: Vec<DType> = dtypes.iter().copied().filter(|d| d.is_float()).collect();
+            !floats.is_empty() && floats.iter().all(|&d| d == DType::F16)
+        };
+
+        Ok(Program {
+            name: kernel.name.clone(),
+            param_names: kernel.params.iter().map(|p| p.name.clone()).collect(),
+            num_regs: kernel.num_regs,
+            grid: grid.to_vec(),
+            gdims,
+            instances,
+            units,
+            level2_regs,
+            sites: ctx.sites,
+            dedup_ok: ctx.dedup_ok,
+            params,
+            dot_f16,
+            parallel_execute_ok: usage.no_read_write_params(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// pid-dependence levels
+// ---------------------------------------------------------------------
+
+pub(crate) struct Levels {
+    /// Invariance level per register: 0 grid-invariant, 1 row-invariant
+    /// (axis 0 free), 2 per-instance.
+    pub(crate) reg: Vec<u8>,
+}
+
+/// Fixpoint over the instruction tree: an instruction's level is the max
+/// of its intrinsic level (`program_id` axes, loads from written
+/// parameters) and its operands' register levels; a register's level is
+/// the max over its writers. Loop-carried dependences converge in a few
+/// passes.
+fn compute_levels(kernel: &Kernel, written: &[bool]) -> Levels {
+    let mut reg = vec![0u8; kernel.num_regs];
+    loop {
+        let before = reg.clone();
+        levels_pass(&kernel.body, written, &mut reg);
+        if reg == before {
+            break;
+        }
+    }
+    Levels { reg }
+}
+
+fn levels_pass(body: &[Instr], written: &[bool], reg: &mut [u8]) {
+    for instr in body {
+        match instr {
+            Instr::ProgramId { dst, axis } => {
+                let lvl = if *axis == 0 { 2 } else { 1 };
+                reg[*dst] = reg[*dst].max(lvl);
+            }
+            Instr::Const { dst, .. } | Instr::Arange { dst, .. } | Instr::Full { dst, .. } => {
+                // Intrinsically invariant; level raised only by other
+                // writers of the same register.
+                let _ = dst;
+            }
+            Instr::Binary { dst, a, b, .. } => {
+                let lvl = reg[*a].max(reg[*b]);
+                reg[*dst] = reg[*dst].max(lvl);
+            }
+            Instr::ExpandDims { dst, src, .. }
+            | Instr::Broadcast { dst, src, .. }
+            | Instr::View { dst, src, .. }
+            | Instr::Trans { dst, src }
+            | Instr::Sum { dst, src, .. } => {
+                let lvl = reg[*src];
+                reg[*dst] = reg[*dst].max(lvl);
+            }
+            Instr::Load {
+                dst,
+                param,
+                offset,
+                mask,
+                ..
+            } => {
+                // Loads from parameters the kernel also writes see
+                // evolving data: never cacheable across instances.
+                let base = if written[*param] { 2 } else { 0 };
+                let lvl = base.max(reg[*offset]).max(mask.map_or(0, |m| reg[m]));
+                reg[*dst] = reg[*dst].max(lvl);
+            }
+            Instr::Store { .. } | Instr::AtomicAdd { .. } => {}
+            Instr::Dot { dst, a, b } => {
+                let lvl = reg[*a].max(reg[*b]);
+                reg[*dst] = reg[*dst].max(lvl);
+            }
+            Instr::Loop { body, .. } => levels_pass(body, written, reg),
+            Instr::LoopDyn {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                let bounds = reg[*start].max(reg[*end]);
+                reg[*var] = reg[*var].max(bounds);
+                levels_pass(body, written, reg);
+            }
+        }
+    }
+}
+
+/// The level at which a top-level chunk must execute: the max level of
+/// every register it writes, plus 2 for memory writes (their effects
+/// accumulate or must stay ordered against other instances) and the
+/// levels of dynamic loop bounds (they control trip counts).
+fn chunk_unit_level(chunk: &Chunk<'_>, levels: &Levels) -> u8 {
+    let mut lvl = 0u8;
+    let mut visit = |instr: &Instr| {
+        let walk = |i: &Instr, lvl: &mut u8| match i {
+            Instr::Store { .. } | Instr::AtomicAdd { .. } => *lvl = 2,
+            Instr::LoopDyn { start, end, .. } => {
+                *lvl = (*lvl).max(levels.reg[*start]).max(levels.reg[*end]);
+            }
+            _ => {}
+        };
+        visit_tree(instr, &mut |i| walk(i, &mut lvl));
+        for_each_write(instr, &mut |r| lvl = lvl.max(levels.reg[r]));
+    };
+    match chunk {
+        Chunk::One(i) => visit(i),
+        Chunk::Pair(a, b) => {
+            visit(a);
+            visit(b);
+        }
+    }
+    lvl
+}
+
+fn visit_tree(instr: &Instr, f: &mut impl FnMut(&Instr)) {
+    f(instr);
+    if let Instr::Loop { body, .. } | Instr::LoopDyn { body, .. } = instr {
+        for i in body {
+            visit_tree(i, f);
+        }
+    }
+}
+
+fn for_each_write(instr: &Instr, f: &mut impl FnMut(Reg)) {
+    match instr {
+        Instr::ProgramId { dst, .. }
+        | Instr::Const { dst, .. }
+        | Instr::Arange { dst, .. }
+        | Instr::Full { dst, .. }
+        | Instr::Binary { dst, .. }
+        | Instr::ExpandDims { dst, .. }
+        | Instr::Broadcast { dst, .. }
+        | Instr::View { dst, .. }
+        | Instr::Trans { dst, .. }
+        | Instr::Load { dst, .. }
+        | Instr::Dot { dst, .. }
+        | Instr::Sum { dst, .. } => f(*dst),
+        Instr::Store { .. } | Instr::AtomicAdd { .. } => {}
+        Instr::Loop { var, body, .. } | Instr::LoopDyn { var, body, .. } => {
+            f(*var);
+            for i in body {
+                for_each_write(i, f);
+            }
+        }
+    }
+}
+
+/// Visit every register `instr` reads, recursing into loop bodies.
+fn for_each_read(instr: &Instr, f: &mut impl FnMut(Reg)) {
+    match instr {
+        Instr::ProgramId { .. }
+        | Instr::Const { .. }
+        | Instr::Arange { .. }
+        | Instr::Full { .. } => {}
+        Instr::Binary { a, b, .. } | Instr::Dot { a, b, .. } => {
+            f(*a);
+            f(*b);
+        }
+        Instr::ExpandDims { src, .. }
+        | Instr::Broadcast { src, .. }
+        | Instr::View { src, .. }
+        | Instr::Trans { src, .. }
+        | Instr::Sum { src, .. } => f(*src),
+        Instr::Load { offset, mask, .. } => {
+            f(*offset);
+            if let Some(m) = mask {
+                f(*m);
+            }
+        }
+        Instr::Store {
+            offset,
+            value,
+            mask,
+            ..
+        }
+        | Instr::AtomicAdd {
+            offset,
+            value,
+            mask,
+            ..
+        } => {
+            f(*offset);
+            f(*value);
+            if let Some(m) = mask {
+                f(*m);
+            }
+        }
+        Instr::Loop { body, .. } => {
+            for i in body {
+                for_each_read(i, f);
+            }
+        }
+        Instr::LoopDyn {
+            start, end, body, ..
+        } => {
+            f(*start);
+            f(*end);
+            for i in body {
+                for_each_read(i, f);
+            }
+        }
+    }
+}
+
+fn for_each_read_ci(instr: &CInstr, f: &mut impl FnMut(Reg)) {
+    match instr {
+        CInstr::ProgramId { .. }
+        | CInstr::Const { .. }
+        | CInstr::Arange { .. }
+        | CInstr::Full { .. } => {}
+        CInstr::Binary { a, b, .. } | CInstr::Dot { a, b, .. } => {
+            f(*a);
+            f(*b);
+        }
+        CInstr::FusedBinary { a, b, c, .. } => {
+            f(*a);
+            f(*b);
+            f(*c);
+        }
+        CInstr::ExpandDims { src, .. }
+        | CInstr::Broadcast { src, .. }
+        | CInstr::View { src, .. }
+        | CInstr::Trans { src, .. }
+        | CInstr::Sum { src, .. } => f(*src),
+        CInstr::Load { offset, mask, .. } => {
+            f(*offset);
+            if let Some(m) = mask {
+                f(*m);
+            }
+        }
+        CInstr::Store {
+            offset,
+            value,
+            mask,
+            ..
+        }
+        | CInstr::AtomicAdd {
+            offset,
+            value,
+            mask,
+            ..
+        } => {
+            f(*offset);
+            f(*value);
+            if let Some(m) = mask {
+                f(*m);
+            }
+        }
+        CInstr::Loop { body, .. } => {
+            for n in body {
+                for_each_read_ci(&n.instr, f);
+            }
+        }
+        CInstr::LoopDyn {
+            start, end, body, ..
+        } => {
+            f(*start);
+            f(*end);
+            for n in body {
+                for_each_read_ci(&n.instr, f);
+            }
+        }
+    }
+}
+
+fn reg_use_counts(kernel: &Kernel) -> Vec<u32> {
+    let mut uses = vec![0u32; kernel.num_regs];
+    // `for_each_read` recurses into loop bodies, so one pass over the top
+    // level counts every read in the program.
+    for instr in &kernel.body {
+        for_each_read(instr, &mut |r| uses[r] += 1);
+    }
+    uses
+}
+
+// ---------------------------------------------------------------------
+// Superinstruction fusion
+// ---------------------------------------------------------------------
+
+/// A view of a body with adjacent fusable `Binary` pairs merged.
+enum Chunk<'a> {
+    One(&'a Instr),
+    /// `(first, second)` — `first.dst` feeds `second` and dies there.
+    Pair(&'a Instr, &'a Instr),
+}
+
+fn fuse_body<'a>(body: &'a [Instr], levels: &Levels, uses: &[u32]) -> Vec<Chunk<'a>> {
+    let mut out = Vec::with_capacity(body.len());
+    let mut i = 0;
+    while i < body.len() {
+        if i + 1 < body.len() {
+            if let (
+                Instr::Binary { dst: d1, .. },
+                Instr::Binary {
+                    dst: d2,
+                    a: a2,
+                    b: b2,
+                    ..
+                },
+            ) = (&body[i], &body[i + 1])
+            {
+                // Exactly one operand of the second instruction is the
+                // intermediate, the intermediate is read nowhere else in
+                // the whole program, and both registers are per-instance
+                // (cached instructions keep one stream entry each).
+                let feeds = (a2 == d1) ^ (b2 == d1);
+                let hot = levels.reg[*d1] >= 2 && levels.reg[*d2] >= 2;
+                if feeds && hot && uses[*d1] == 1 && d2 != d1 {
+                    out.push(Chunk::Pair(&body[i], &body[i + 1]));
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        out.push(Chunk::One(&body[i]));
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+struct Lowering<'a> {
+    levels: &'a Levels,
+    uses: &'a [u32],
+    avals: &'a Avals,
+    params: &'a ParamTable,
+    sites: Vec<SiteInfo>,
+    dedup_ok: bool,
+}
+
+impl Lowering<'_> {
+    fn lower_chunk(&mut self, chunk: &Chunk<'_>, per_instance: bool, trip_level: u8) -> CInstr {
+        match chunk {
+            Chunk::Pair(first, second) => {
+                let (
+                    Instr::Binary {
+                        dst: d1,
+                        op: op1,
+                        a,
+                        b,
+                    },
+                    Instr::Binary {
+                        dst: d2,
+                        op: op2,
+                        a: a2,
+                        b: b2,
+                    },
+                ) = (*first, *second)
+                else {
+                    unreachable!("pairs are built from adjacent Binary instrs")
+                };
+                let swapped = b2 == d1;
+                let c = if swapped { *a2 } else { *b2 };
+                CInstr::FusedBinary {
+                    dst: *d2,
+                    op1: *op1,
+                    a: *a,
+                    b: *b,
+                    op2: *op2,
+                    c,
+                    swapped,
+                }
+            }
+            Chunk::One(instr) => self.lower_one(instr, per_instance, trip_level),
+        }
+    }
+
+    /// Lower a loop body. `trip_level` is the invariance level of every
+    /// enclosing loop's trip count: a node's occurrence stream is only
+    /// aligned across instances when both its value *and* the number of
+    /// times control reaches it are invariant, so the effective cache
+    /// level is the max of the two.
+    fn lower_body(&mut self, body: &[Instr], per_instance: bool, trip_level: u8) -> Vec<CNode> {
+        let mut nodes = Vec::with_capacity(body.len());
+        for chunk in fuse_body(body, self.levels, self.uses) {
+            let lvl = chunk_unit_level(&chunk, self.levels).max(trip_level);
+            let instr = self.lower_chunk(&chunk, per_instance, trip_level);
+            let cacheable = per_instance
+                && lvl <= 1
+                && !matches!(
+                    instr,
+                    CInstr::Loop { .. }
+                        | CInstr::LoopDyn { .. }
+                        | CInstr::Store { .. }
+                        | CInstr::AtomicAdd { .. }
+                );
+            nodes.push(CNode {
+                cached: if cacheable { Some(lvl) } else { None },
+                instr,
+            });
+        }
+        nodes
+    }
+
+    fn lower_one(&mut self, instr: &Instr, per_instance: bool, trip_level: u8) -> CInstr {
+        match instr {
+            Instr::ProgramId { dst, axis } => CInstr::ProgramId {
+                dst: *dst,
+                axis: *axis,
+            },
+            Instr::Const { dst, value } => CInstr::Const {
+                dst: *dst,
+                value: *value,
+            },
+            Instr::Arange { dst, len } => CInstr::Arange {
+                dst: *dst,
+                len: *len,
+            },
+            Instr::Full { dst, shape, value } => CInstr::Full {
+                dst: *dst,
+                shape: shape.clone(),
+                value: *value,
+            },
+            Instr::Binary { dst, op, a, b } => CInstr::Binary {
+                dst: *dst,
+                op: *op,
+                a: *a,
+                b: *b,
+            },
+            Instr::ExpandDims { dst, src, axis } => CInstr::ExpandDims {
+                dst: *dst,
+                src: *src,
+                axis: *axis,
+            },
+            Instr::Broadcast { dst, src, shape } => CInstr::Broadcast {
+                dst: *dst,
+                src: *src,
+                shape: shape.clone(),
+            },
+            Instr::View { dst, src, shape } => CInstr::View {
+                dst: *dst,
+                src: *src,
+                shape: shape.clone(),
+            },
+            Instr::Trans { dst, src } => CInstr::Trans {
+                dst: *dst,
+                src: *src,
+            },
+            Instr::Load {
+                dst,
+                param,
+                offset,
+                mask,
+                other,
+            } => {
+                let site = self.push_site(*param, *offset, *mask, false, false);
+                CInstr::Load {
+                    dst: *dst,
+                    param: *param,
+                    offset: *offset,
+                    mask: *mask,
+                    other: *other,
+                    site,
+                }
+            }
+            Instr::Store {
+                param,
+                offset,
+                value,
+                mask,
+            } => {
+                let site = self.push_site(*param, *offset, *mask, true, false);
+                CInstr::Store {
+                    param: *param,
+                    offset: *offset,
+                    value: *value,
+                    mask: *mask,
+                    site,
+                }
+            }
+            Instr::AtomicAdd {
+                param,
+                offset,
+                value,
+                mask,
+            } => {
+                let site = self.push_site(*param, *offset, *mask, true, true);
+                CInstr::AtomicAdd {
+                    param: *param,
+                    offset: *offset,
+                    value: *value,
+                    mask: *mask,
+                    site,
+                }
+            }
+            Instr::Dot { dst, a, b } => CInstr::Dot {
+                dst: *dst,
+                a: *a,
+                b: *b,
+            },
+            Instr::Sum { dst, src, axis } => CInstr::Sum {
+                dst: *dst,
+                src: *src,
+                axis: *axis,
+            },
+            Instr::Loop {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => CInstr::Loop {
+                var: *var,
+                start: *start,
+                end: *end,
+                step: *step,
+                body: self.lower_body(body, per_instance, trip_level),
+            },
+            Instr::LoopDyn {
+                var,
+                start,
+                end,
+                body,
+            } => CInstr::LoopDyn {
+                var: *var,
+                start: *start,
+                end: *end,
+                body: self.lower_body(
+                    body,
+                    per_instance,
+                    trip_level
+                        .max(self.levels.reg[*start])
+                        .max(self.levels.reg[*end]),
+                ),
+            },
+        }
+    }
+
+    fn push_site(
+        &mut self,
+        param: usize,
+        offset: Reg,
+        mask: Option<Reg>,
+        is_write: bool,
+        is_atomic: bool,
+    ) -> u32 {
+        let esize = self.params.esizes[param];
+        let coeff = match self.avals.reg[offset] {
+            AV::Known { .. } | AV::NX { .. } => Some(0.0),
+            AV::Aff(c) if ((c.abs() as u64) * esize).is_multiple_of(SECTOR) => Some(c),
+            _ => None,
+        };
+        let mask_ok = match mask {
+            None => true,
+            Some(m) => !matches!(self.avals.reg[m], AV::Aff(_) | AV::Bad),
+        };
+        if coeff.is_none() || !mask_ok {
+            self.dedup_ok = false;
+        }
+        let coeff = coeff.unwrap_or(0.0);
+        let id = self.sites.len() as u32;
+        self.sites.push(SiteInfo {
+            param,
+            is_atomic,
+            is_write,
+            coeff,
+            traced: is_atomic || coeff != 0.0,
+        });
+        id
+    }
+}
+
+// ---------------------------------------------------------------------
+// Affine address-stream analysis (analytic instance classes)
+// ---------------------------------------------------------------------
+
+/// Abstract value of a register along grid axis 0, under *analytic*
+/// execution semantics (float loads produce zeros). `int` tracks
+/// provably-integer values: affine shifts are exact in `f64` only along
+/// all-integer chains, so `Aff` is produced and propagated only through
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum AV {
+    /// Scalar compile-time constant (axis-0-invariant; usable as a
+    /// multiplication coefficient when integral).
+    Known { value: f64 },
+    /// Axis-0-invariant, not a known constant.
+    NX { int: bool },
+    /// `value = base + pid0 · c` elementwise, with integer values and a
+    /// compile-time integer constant `c != 0`.
+    Aff(f64),
+    /// Unknown axis-0 dependence.
+    Bad,
+}
+
+impl AV {
+    fn invariant(self) -> bool {
+        matches!(self, AV::Known { .. } | AV::NX { .. })
+    }
+
+    fn integral(self) -> bool {
+        match self {
+            AV::Known { value } => value.fract() == 0.0,
+            AV::NX { int } => int,
+            AV::Aff(_) => true,
+            AV::Bad => false,
+        }
+    }
+
+    fn join(self, other: AV) -> AV {
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (AV::Known { .. } | AV::NX { .. }, AV::Known { .. } | AV::NX { .. }) => AV::NX {
+                int: self.integral() && other.integral(),
+            },
+            _ => AV::Bad,
+        }
+    }
+}
+
+pub(crate) struct Avals {
+    pub(crate) reg: Vec<AV>,
+    /// No dynamic loop has axis-0-varying trip counts.
+    pub(crate) loops_ok: bool,
+}
+
+fn compute_avals(kernel: &Kernel, dtypes: &[DType], written: &[bool]) -> Avals {
+    let mut reg = vec![AV::NX { int: true }; kernel.num_regs];
+    let mut initialized = vec![false; kernel.num_regs];
+    let mut loops_ok = true;
+    // Fixpoint with join-on-rewrite: loop-carried values that change
+    // across iterations widen until stable (or to Bad). Joins are
+    // monotone on a 3-level lattice, so convergence takes at most
+    // ~3 · num_regs passes; if the safety cap is somehow hit anyway,
+    // degrade every register to Bad rather than ship an
+    // under-approximation (a stale "invariant" classification would
+    // silently break the bit-identity of instance-class replay).
+    let cap = 3 * kernel.num_regs + 8;
+    let mut converged = false;
+    for _ in 0..cap {
+        let before = reg.clone();
+        avals_pass(
+            &kernel.body,
+            dtypes,
+            written,
+            &mut reg,
+            &mut initialized,
+            &mut loops_ok,
+        );
+        if reg == before {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        reg.fill(AV::Bad);
+        loops_ok = false;
+    }
+    Avals { reg, loops_ok }
+}
+
+fn set_aval(reg: &mut [AV], initialized: &mut [bool], r: Reg, v: AV) {
+    if initialized[r] {
+        reg[r] = reg[r].join(v);
+    } else {
+        reg[r] = v;
+        initialized[r] = true;
+    }
+}
+
+fn avals_pass(
+    body: &[Instr],
+    dtypes: &[DType],
+    written: &[bool],
+    reg: &mut [AV],
+    initialized: &mut [bool],
+    loops_ok: &mut bool,
+) {
+    for instr in body {
+        match instr {
+            Instr::ProgramId { dst, axis } => {
+                let v = if *axis == 0 {
+                    AV::Aff(1.0)
+                } else {
+                    AV::NX { int: true }
+                };
+                set_aval(reg, initialized, *dst, v);
+            }
+            Instr::Const { dst, value } => {
+                set_aval(reg, initialized, *dst, AV::Known { value: *value })
+            }
+            Instr::Arange { dst, .. } => set_aval(reg, initialized, *dst, AV::NX { int: true }),
+            Instr::Full { dst, value, .. } => set_aval(
+                reg,
+                initialized,
+                *dst,
+                AV::NX {
+                    int: value.fract() == 0.0,
+                },
+            ),
+            Instr::Binary { dst, op, a, b } => {
+                let v = binary_aval(*op, reg[*a], reg[*b]);
+                set_aval(reg, initialized, *dst, v);
+            }
+            Instr::ExpandDims { dst, src, .. }
+            | Instr::Broadcast { dst, src, .. }
+            | Instr::View { dst, src, .. }
+            | Instr::Trans { dst, src } => {
+                let v = reg[*src];
+                set_aval(reg, initialized, *dst, v);
+            }
+            Instr::Sum { dst, src, .. } => {
+                // Sums of invariant blocks are invariant; affine blocks
+                // would need the (runtime) axis length as a coefficient.
+                let v = match reg[*src] {
+                    AV::Known { .. } | AV::NX { .. } => AV::NX {
+                        int: reg[*src].integral(),
+                    },
+                    _ => AV::Bad,
+                };
+                set_aval(reg, initialized, *dst, v);
+            }
+            Instr::Dot { dst, .. } => {
+                // Analytic `tl.dot` yields a zeros block whatever the
+                // inputs; only the (invariant) shapes matter.
+                set_aval(reg, initialized, *dst, AV::NX { int: true });
+            }
+            Instr::Load {
+                dst,
+                param,
+                offset,
+                mask,
+                other,
+            } => {
+                let mask_av = mask.map_or(AV::NX { int: true }, |m| reg[m]);
+                let v = if written[*param] {
+                    // Conservative: data under a written parameter may
+                    // change between launches of the same program.
+                    AV::Bad
+                } else if dtypes[*param] == DType::I32 {
+                    // Metadata loads read real values in analytic mode.
+                    if reg[*offset].invariant() && mask_av.invariant() {
+                        AV::NX { int: true }
+                    } else {
+                        AV::Bad
+                    }
+                } else {
+                    // Float loads are zeros/`other` in analytic mode: the
+                    // value depends only on the mask.
+                    if mask_av.invariant() {
+                        AV::NX {
+                            int: other.fract() == 0.0,
+                        }
+                    } else {
+                        AV::Bad
+                    }
+                };
+                set_aval(reg, initialized, *dst, v);
+            }
+            Instr::Store { .. } | Instr::AtomicAdd { .. } => {}
+            Instr::Loop { var, body, .. } => {
+                set_aval(reg, initialized, *var, AV::NX { int: true });
+                avals_pass(body, dtypes, written, reg, initialized, loops_ok);
+            }
+            Instr::LoopDyn {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                if !(reg[*start].invariant() && reg[*end].invariant()) {
+                    // Axis-0-varying trip counts: per-instance costs
+                    // genuinely differ, no class dedup.
+                    *loops_ok = false;
+                }
+                set_aval(reg, initialized, *var, AV::NX { int: true });
+                avals_pass(body, dtypes, written, reg, initialized, loops_ok);
+            }
+        }
+    }
+}
+
+fn binary_aval(op: BinOp, a: AV, b: AV) -> AV {
+    use BinOp::*;
+    if a == AV::Bad || b == AV::Bad {
+        return AV::Bad;
+    }
+    if let (AV::Known { value: x }, AV::Known { value: y }) = (a, b) {
+        return AV::Known {
+            value: apply_binop(op, x, y),
+        };
+    }
+    let coeff = |v: AV| match v {
+        AV::Aff(c) => c,
+        _ => 0.0,
+    };
+    let both_int = a.integral() && b.integral();
+    match op {
+        Add | Sub => {
+            let c = if op == Add {
+                coeff(a) + coeff(b)
+            } else {
+                coeff(a) - coeff(b)
+            };
+            if matches!(a, AV::Aff(_)) || matches!(b, AV::Aff(_)) {
+                // Affine shifts are exact only along all-integer chains.
+                if !both_int {
+                    return AV::Bad;
+                }
+                if c == 0.0 {
+                    // Cancelling coefficients: exact integer arithmetic
+                    // means the value is axis-0-invariant again.
+                    AV::NX { int: true }
+                } else {
+                    AV::Aff(c)
+                }
+            } else {
+                AV::NX { int: both_int }
+            }
+        }
+        Mul => match (a, b) {
+            (AV::Known { value: k }, AV::Aff(c)) | (AV::Aff(c), AV::Known { value: k }) => {
+                if k.fract() != 0.0 {
+                    AV::Bad
+                } else if c * k == 0.0 {
+                    AV::NX { int: true }
+                } else {
+                    AV::Aff(c * k)
+                }
+            }
+            _ if a.invariant() && b.invariant() => AV::NX { int: both_int },
+            _ => AV::Bad,
+        },
+        Div => {
+            if a.invariant() && b.invariant() {
+                AV::NX { int: false }
+            } else {
+                AV::Bad
+            }
+        }
+        FloorDiv | Lt | Le | Eq | Ge | And => {
+            if a.invariant() && b.invariant() {
+                AV::NX { int: true }
+            } else {
+                AV::Bad
+            }
+        }
+        Mod | Min | Max => {
+            if a.invariant() && b.invariant() {
+                AV::NX { int: both_int }
+            } else {
+                AV::Bad
+            }
+        }
+    }
+}

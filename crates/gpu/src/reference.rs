@@ -4,7 +4,7 @@
 //! This module is the seed implementation of the simulator: materialized
 //! `Vec<f64>` blocks, per-sector `HashSet` DRAM tracking, a `HashMap`
 //! atomic ledger, and a strictly sequential grid loop. The optimized
-//! interpreter in [`crate::interp`] must produce **bit-identical**
+//! interpreter behind [`crate::launch`] must produce **bit-identical**
 //! [`KernelStats`], timing, and output tensors; the equivalence tests in
 //! `tests/simulator_properties.rs` and the `simbench` harness in
 //! `insum_bench` compare against this module. It is `#[doc(hidden)]`

@@ -5,10 +5,20 @@
 //! Table 3. This module reproduces that: it sweeps power-of-two tile
 //! candidates, launches each candidate in [`Mode::Analytic`] on the real
 //! inputs, and keeps the fastest.
+//!
+//! Two costs are amortized across the sweep. Analytic launches of fully
+//! affine kernels dedup each row of grid instances into one costed
+//! representative (see `insum_gpu`'s compile pipeline), turning the inner
+//! loop from O(instances) to O(instance classes). And every trial's
+//! lowering goes through the process-wide [`crate::ProgramCache`], so the
+//! winning configuration's compiled program is already resident when the
+//! caller launches it for real — and re-tuning the same workload performs
+//! no lowering at all.
 
+use crate::cache::ProgramCache;
 use crate::codegen::{compile_fused, next_pow2, CodegenOptions, FusedOp};
 use crate::plan::FusionPlan;
-use crate::runner::run_fused;
+use crate::runner::run_fused_with_cache;
 use crate::Result;
 use insum_gpu::{DeviceModel, Mode};
 use insum_tensor::Tensor;
@@ -21,10 +31,16 @@ pub struct AutotuneResult {
     pub op: FusedOp,
     /// Simulated time of the best configuration, seconds.
     pub best_time: f64,
-    /// Number of configurations evaluated.
+    /// Number of configurations evaluated (the heuristic probe plus the
+    /// sweep, minus sweep points identical to the probe).
     pub configs_tried: usize,
     /// Host wall-clock spent tuning, seconds.
     pub tuning_wall_seconds: f64,
+    /// Program-cache hits observed during the sweep (repeat sweeps of
+    /// the same workload hit on every configuration).
+    pub cache_hits: u64,
+    /// Program-cache misses (fresh lowerings) during the sweep.
+    pub cache_misses: u64,
 }
 
 fn candidates(extent: usize, dot: bool, has_role: bool) -> Vec<usize> {
@@ -46,6 +62,10 @@ fn candidates(extent: usize, dot: bool, has_role: bool) -> Vec<usize> {
 
 /// Sweep tile configurations and return the fastest.
 ///
+/// The heuristic (probe) configuration is measured first and seeds the
+/// best-so-far, so `best_time` is never worse than the default
+/// configuration's analytic time — by construction, not by luck.
+///
 /// # Errors
 ///
 /// Propagates codegen and simulator errors; at least one configuration is
@@ -56,18 +76,45 @@ pub fn autotune(
     inputs: &BTreeMap<String, Tensor>,
     device: &DeviceModel,
 ) -> Result<AutotuneResult> {
+    autotune_with(plan, base, inputs, device, ProgramCache::global())
+}
+
+/// [`autotune`] against an explicit [`ProgramCache`] (useful for
+/// isolation in tests and benchmarks; cache counters in the result are
+/// then exact rather than shared with concurrent launches).
+///
+/// # Errors
+///
+/// Same conditions as [`autotune`].
+pub fn autotune_with(
+    plan: &FusionPlan,
+    base: &CodegenOptions,
+    inputs: &BTreeMap<String, Tensor>,
+    device: &DeviceModel,
+    cache: &ProgramCache,
+) -> Result<AutotuneResult> {
     let start = std::time::Instant::now();
+    let cache_before = cache.stats();
+    let launch_opts = insum_gpu::LaunchOptions::default();
+
+    // The probe is a real measurement, not a throwaway: it seeds `best`.
     let probe = compile_fused(plan, base)?;
     let dot = probe.uses_dot;
+    let probe_blocks = (probe.yblock, probe.xblock, probe.rblock);
+    let (_, probe_report) =
+        run_fused_with_cache(&probe, inputs, device, Mode::Analytic, &launch_opts, cache)?;
+    let mut best: (FusedOp, f64) = (probe, probe_report.time);
+    let mut tried = 1;
+
     let ys = candidates(plan.y_extent(), dot, plan.y_var.is_some());
     let xs = candidates(plan.x_extent(), dot, plan.x_var.is_some());
     let rs = candidates(plan.r_extent(), dot, !plan.r_vars.is_empty());
-
-    let mut best: Option<(FusedOp, f64)> = None;
-    let mut tried = 0;
     for &y in &ys {
         for &x in &xs {
             for &r in &rs {
+                if (y, x, r) == probe_blocks {
+                    continue; // already measured as the probe
+                }
                 let opts = CodegenOptions {
                     yblock: Some(y),
                     xblock: Some(x),
@@ -75,20 +122,24 @@ pub fn autotune(
                     ..base.clone()
                 };
                 let op = compile_fused(plan, &opts)?;
-                let (_, report) = run_fused(&op, inputs, device, Mode::Analytic)?;
+                let (_, report) =
+                    run_fused_with_cache(&op, inputs, device, Mode::Analytic, &launch_opts, cache)?;
                 tried += 1;
-                if best.as_ref().is_none_or(|(_, t)| report.time < *t) {
-                    best = Some((op, report.time));
+                if report.time < best.1 {
+                    best = (op, report.time);
                 }
             }
         }
     }
-    let (op, best_time) = best.expect("at least one configuration is evaluated");
+    let (op, best_time) = best;
+    let cache_after = cache.stats();
     Ok(AutotuneResult {
         op,
         best_time,
         configs_tried: tried,
         tuning_wall_seconds: start.elapsed().as_secs_f64(),
+        cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+        cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
     })
 }
 
@@ -96,14 +147,14 @@ pub fn autotune(
 mod tests {
     use super::*;
     use crate::plan::build_plan;
+    use crate::runner::run_fused;
     use insum_graph::TensorMeta;
     use insum_lang::parse;
     use insum_tensor::{rand_uniform, DType};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
-    #[test]
-    fn autotune_finds_no_worse_than_default() {
+    fn matmul_setup() -> (FusionPlan, BTreeMap<String, Tensor>) {
         let stmt = parse("C[y,x] = A[y,r] * B[r,x]").unwrap();
         let mut rng = SmallRng::seed_from_u64(9);
         let a = rand_uniform(vec![128, 64], -1.0, 1.0, &mut rng);
@@ -124,6 +175,12 @@ mod tests {
         .into_iter()
         .collect();
         let plan = build_plan(&stmt, &metas).unwrap();
+        (plan, inputs)
+    }
+
+    #[test]
+    fn autotune_finds_no_worse_than_default() {
+        let (plan, inputs) = matmul_setup();
         let device = DeviceModel::rtx3090();
 
         let default_op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
@@ -131,8 +188,28 @@ mod tests {
 
         let tuned = autotune(&plan, &CodegenOptions::default(), &inputs, &device).unwrap();
         assert!(tuned.configs_tried > 1);
-        assert!(tuned.best_time <= default_report.time * 1.0001);
+        // The probe seeds `best`, so this holds structurally — no
+        // floating-point fudge factor needed.
+        assert!(tuned.best_time <= default_report.time);
         assert!(tuned.tuning_wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn autotune_reuses_programs_across_trials() {
+        let (plan, inputs) = matmul_setup();
+        let device = DeviceModel::rtx3090();
+        let cache = ProgramCache::new();
+        let first =
+            autotune_with(&plan, &CodegenOptions::default(), &inputs, &device, &cache).unwrap();
+        let second =
+            autotune_with(&plan, &CodegenOptions::default(), &inputs, &device, &cache).unwrap();
+        assert_eq!(first.configs_tried, second.configs_tried);
+        // Re-tuning the same workload lowers nothing: every trial's
+        // program is already resident in the cross-launch cache.
+        assert_eq!(first.cache_misses, first.configs_tried as u64);
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.cache_hits, first.configs_tried as u64);
+        assert_eq!(first.best_time, second.best_time);
     }
 
     #[test]

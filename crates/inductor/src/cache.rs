@@ -1,0 +1,264 @@
+//! Cross-launch program cache: compile once, launch many.
+//!
+//! The simulator's ahead-of-time lowering ([`insum_gpu::Program`]) is
+//! cheap but not free, and the paper's workflow launches the same kernel
+//! thousands of times — repeated [`crate::run_fused`] executions, every
+//! configuration of an autotuning sweep re-launched by the final run,
+//! and the per-node kernels of the unfused pipeline. [`ProgramCache`]
+//! memoizes compiled programs keyed by the kernel's structural
+//! fingerprint ([`insum_kernel::fingerprint`]), the launch grid, and the
+//! positional argument metadata (element counts + dtypes) — everything a
+//! [`insum_gpu::Program`] bakes in. Entries are shared (`Arc`), so
+//! concurrent launches reuse one lowering.
+//!
+//! A process-wide cache ([`ProgramCache::global`]) backs the default
+//! runner entry points; hit/miss counters are exposed for benchmarks and
+//! CI smoke tests.
+
+use crate::Result;
+use insum_gpu::{GpuError, Program};
+use insum_kernel::{fingerprint, Kernel};
+use insum_tensor::DType;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum resident programs; oldest entries are evicted first. Programs
+/// are a few KB each, so this comfortably covers an autotune sweep plus
+/// every workload of a benchmark run.
+const CAPACITY: usize = 512;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: u64,
+    grid: Vec<usize>,
+    lens: Vec<usize>,
+    dtypes: Vec<DType>,
+}
+
+struct CacheEntry {
+    /// The exact kernel this program was compiled from: verified
+    /// structurally on every hit, so a 64-bit fingerprint collision
+    /// degrades to a miss instead of silently returning another
+    /// kernel's program.
+    kernel: Kernel,
+    program: Arc<Program>,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, CacheEntry>,
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Counters describing a cache's effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a new program.
+    pub misses: u64,
+    /// Programs currently resident.
+    pub entries: usize,
+}
+
+/// A memoized mapping from (kernel fingerprint, grid, argument metadata)
+/// to compiled simulator programs. See the module docs.
+pub struct ProgramCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for ProgramCache {
+    fn default() -> ProgramCache {
+        ProgramCache::new()
+    }
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The process-wide cache used by [`crate::run_fused`] /
+    /// [`crate::run_unfused`] and the autotuner.
+    pub fn global() -> &'static ProgramCache {
+        static GLOBAL: OnceLock<ProgramCache> = OnceLock::new();
+        GLOBAL.get_or_init(ProgramCache::new)
+    }
+
+    /// Fetch the program for `(kernel, grid, lens, dtypes)`, compiling
+    /// and inserting it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Program::compile`] errors (invalid kernel, bad grid,
+    /// metadata/parameter mismatch); failures are not cached.
+    pub fn get_or_compile(
+        &self,
+        kernel: &Kernel,
+        grid: &[usize],
+        lens: &[usize],
+        dtypes: &[DType],
+    ) -> std::result::Result<Arc<Program>, GpuError> {
+        let key = CacheKey {
+            fingerprint: fingerprint(kernel),
+            grid: grid.to_vec(),
+            lens: lens.to_vec(),
+            dtypes: dtypes.to_vec(),
+        };
+        {
+            let mut inner = self.inner.lock().expect("program cache poisoned");
+            if let Some(e) = inner.map.get(&key) {
+                if e.kernel == *kernel {
+                    let p = Arc::clone(&e.program);
+                    inner.hits += 1;
+                    return Ok(p);
+                }
+                // Fingerprint collision: treat as a miss (the colliding
+                // entry is replaced below).
+            }
+            inner.misses += 1;
+        }
+        // Compile outside the lock: misses are rare and lowering must not
+        // serialize concurrent launches.
+        let program = Arc::new(Program::compile(kernel, grid, lens, dtypes)?);
+        let mut inner = self.inner.lock().expect("program cache poisoned");
+        let resident = inner.map.get(&key).is_some_and(|e| e.kernel == *kernel);
+        if !resident {
+            if !inner.map.contains_key(&key) {
+                if inner.map.len() >= CAPACITY {
+                    if let Some(old) = inner.order.pop_front() {
+                        inner.map.remove(&old);
+                    }
+                }
+                inner.order.push_back(key.clone());
+            }
+            inner.map.insert(
+                key,
+                CacheEntry {
+                    kernel: kernel.clone(),
+                    program: Arc::clone(&program),
+                },
+            );
+        }
+        Ok(program)
+    }
+
+    /// Current hit/miss/occupancy counters.
+    pub fn stats(&self) -> ProgramCacheStats {
+        let inner = self.inner.lock().expect("program cache poisoned");
+        ProgramCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Reset the hit/miss counters (entries stay resident).
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock().expect("program cache poisoned");
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+
+    /// Drop every cached program and reset counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("program cache poisoned");
+        inner.map.clear();
+        inner.order.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+/// Look up (or compile) the cached program for a kernel launch bound to
+/// `args`-shaped tensors.
+///
+/// # Errors
+///
+/// Propagates compilation errors.
+pub(crate) fn cached_program(
+    cache: &ProgramCache,
+    kernel: &Kernel,
+    grid: &[usize],
+    lens: &[usize],
+    dtypes: &[DType],
+) -> Result<Arc<Program>> {
+    Ok(cache.get_or_compile(kernel, grid, lens, dtypes)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insum_kernel::{BinOp, KernelBuilder};
+
+    fn kernel(scale: f64) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let s = b.constant(scale);
+        let v = b.load(x, lanes, None, 0.0);
+        let sv = b.binary(BinOp::Mul, v, s);
+        b.store(y, lanes, sv, None);
+        b.build()
+    }
+
+    #[test]
+    fn second_identical_lookup_hits() {
+        let cache = ProgramCache::new();
+        let k = kernel(2.0);
+        let lens = [32usize, 32];
+        let dts = [DType::F32, DType::F32];
+        let a = cache.get_or_compile(&k, &[4], &lens, &dts).unwrap();
+        let b = cache.get_or_compile(&k, &[4], &lens, &dts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_kernels_grids_and_metadata_miss() {
+        let cache = ProgramCache::new();
+        let lens = [32usize, 32];
+        let dts = [DType::F32, DType::F32];
+        cache
+            .get_or_compile(&kernel(2.0), &[4], &lens, &dts)
+            .unwrap();
+        cache
+            .get_or_compile(&kernel(3.0), &[4], &lens, &dts)
+            .unwrap();
+        cache
+            .get_or_compile(&kernel(2.0), &[8], &lens, &dts)
+            .unwrap();
+        let dts16 = [DType::F16, DType::F16];
+        cache
+            .get_or_compile(&kernel(2.0), &[4], &lens, &dts16)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 4, 4));
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let cache = ProgramCache::new();
+        let lens = [32usize, 32];
+        let dts = [DType::F32, DType::F32];
+        cache
+            .get_or_compile(&kernel(2.0), &[4], &lens, &dts)
+            .unwrap();
+        cache.reset_stats();
+        assert_eq!(cache.stats().misses, 0);
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

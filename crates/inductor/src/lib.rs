@@ -28,18 +28,22 @@
 //!   charges against Insum.
 
 mod autotune;
+mod cache;
 mod codegen;
 mod error;
 mod plan;
 mod runner;
 mod unfused;
 
-pub use autotune::{autotune, AutotuneResult};
+pub use autotune::{autotune, autotune_with, AutotuneResult};
+pub use cache::{ProgramCache, ProgramCacheStats};
 pub use codegen::{compile_fused, CodegenOptions, FusedOp};
 pub use error::InductorError;
 pub use plan::{build_plan, DimDesc, FactorDesc, FusionPlan, Role};
-pub use runner::{run_fused, run_fused_with};
-pub use unfused::{compile_unfused, run_unfused, run_unfused_with, UnfusedOp};
+pub use runner::{run_fused, run_fused_with, run_fused_with_cache};
+pub use unfused::{
+    compile_unfused, run_unfused, run_unfused_with, run_unfused_with_cache, UnfusedOp,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, InductorError>;

@@ -1,10 +1,16 @@
 //! Executing compiled fused operations on the simulator.
+//!
+//! Launches go through the process-wide [`ProgramCache`], so the
+//! ahead-of-time lowering of a kernel happens once per distinct
+//! (kernel, grid, argument metadata) across repeated runs and all
+//! autotuning trials.
 
+use crate::cache::{cached_program, ProgramCache};
 use crate::codegen::FusedOp;
 use crate::error::InductorError;
 use crate::Result;
-use insum_gpu::{launch_with, DeviceModel, KernelReport, LaunchOptions, Mode};
-use insum_tensor::Tensor;
+use insum_gpu::{DeviceModel, KernelReport, LaunchOptions, Mode};
+use insum_tensor::{DType, Tensor};
 use std::collections::BTreeMap;
 
 /// Run a fused operation over named tensors.
@@ -40,6 +46,30 @@ pub fn run_fused_with(
     mode: Mode,
     launch_options: &LaunchOptions,
 ) -> Result<(Tensor, KernelReport)> {
+    run_fused_with_cache(
+        op,
+        inputs,
+        device,
+        mode,
+        launch_options,
+        ProgramCache::global(),
+    )
+}
+
+/// [`run_fused_with`] against an explicit [`ProgramCache`] instead of the
+/// process-wide one (useful for isolation in tests and benchmarks).
+///
+/// # Errors
+///
+/// Same conditions as [`run_fused`].
+pub fn run_fused_with_cache(
+    op: &FusedOp,
+    inputs: &BTreeMap<String, Tensor>,
+    device: &DeviceModel,
+    mode: Mode,
+    launch_options: &LaunchOptions,
+    cache: &ProgramCache,
+) -> Result<(Tensor, KernelReport)> {
     let mut owned: Vec<Tensor> = Vec::with_capacity(op.plan.param_order.len());
     for name in &op.plan.param_order {
         let t = inputs
@@ -48,14 +78,10 @@ pub fn run_fused_with(
         owned.push(t.clone());
     }
     let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
-    let report = launch_with(
-        &op.kernel,
-        &op.grid,
-        &mut refs,
-        device,
-        mode,
-        launch_options,
-    )?;
+    let lens: Vec<usize> = refs.iter().map(|t| t.len()).collect();
+    let dtypes: Vec<DType> = refs.iter().map(|t| t.dtype()).collect();
+    let program = cached_program(cache, &op.kernel, &op.grid, &lens, &dtypes)?;
+    let report = program.launch_with(&mut refs, device, mode, launch_options)?;
     let out_pos = op
         .plan
         .param_order

@@ -6,11 +6,12 @@
 //! measures in Fig. 13 rows 1–3 ("PyTorch compiler separately launches
 //! gather, matrix multiplication, and scatter operations").
 
+use crate::cache::{cached_program, ProgramCache};
 use crate::codegen::{compile_fused, CodegenOptions, FusedOp};
 use crate::error::InductorError;
 use crate::plan::{DimDesc, FactorDesc, FusionPlan, Role};
 use crate::Result;
-use insum_gpu::{launch_with, DeviceModel, LaunchOptions, Mode, Profile};
+use insum_gpu::{DeviceModel, LaunchOptions, Mode, Profile};
 use insum_graph::{Graph, Lowered, NodeId, Op};
 use insum_kernel::{BinOp, Kernel, KernelBuilder};
 use insum_tensor::{EinsumSpec, Tensor};
@@ -367,6 +368,32 @@ pub fn run_unfused_with(
     mode: Mode,
     launch_options: &LaunchOptions,
 ) -> Result<(Tensor, Profile)> {
+    run_unfused_with_cache(
+        op,
+        inputs,
+        device,
+        mode,
+        launch_options,
+        ProgramCache::global(),
+    )
+}
+
+/// [`run_unfused_with`] against an explicit [`ProgramCache`] instead of
+/// the process-wide one (mirrors [`crate::run_fused_with_cache`], so
+/// tests and benchmarks can observe isolated hit/miss counters for the
+/// unfused pipeline too).
+///
+/// # Errors
+///
+/// Same conditions as [`run_unfused`].
+pub fn run_unfused_with_cache(
+    op: &UnfusedOp,
+    inputs: &BTreeMap<String, Tensor>,
+    device: &DeviceModel,
+    mode: Mode,
+    launch_options: &LaunchOptions,
+    cache: &ProgramCache,
+) -> Result<(Tensor, Profile)> {
     let mut values: Vec<Option<Tensor>> = vec![None; op.graph.len()];
     let mut profile = Profile::new();
     for step in &op.steps {
@@ -411,7 +438,10 @@ pub fn run_unfused_with(
                 let mut args: Vec<&mut Tensor> = Vec::with_capacity(1 + read_tensors.len());
                 args.push(&mut out);
                 args.extend(read_tensors.iter_mut());
-                let report = launch_with(kernel, grid, &mut args, device, mode, launch_options)?;
+                let lens: Vec<usize> = args.iter().map(|t| t.len()).collect();
+                let dtypes: Vec<insum_tensor::DType> = args.iter().map(|t| t.dtype()).collect();
+                let program = cached_program(cache, kernel, grid, &lens, &dtypes)?;
+                let report = program.launch_with(&mut args, device, mode, launch_options)?;
                 profile.push(report);
                 values[*node] = Some(out);
             }

@@ -148,7 +148,7 @@ impl Tensor {
     /// # Errors
     ///
     /// * [`TensorError::ShapeMismatch`] on rank/extent disagreements.
-    /// * [`TensorError::IndexOutOfBounDs`] for invalid positions.
+    /// * [`TensorError::IndexOutOfBounds`] for invalid positions.
     pub fn gather(&self, dim: usize, index: &Tensor) -> Result<Tensor> {
         if dim >= self.ndim() || index.ndim() != self.ndim() {
             return Err(TensorError::ShapeMismatch {

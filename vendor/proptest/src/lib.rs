@@ -236,6 +236,9 @@ pub mod strategy {
         (A 0, B 1, C 2)
         (A 0, B 1, C 2, D 3)
         (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+        (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
     }
 
     /// `&str` strategies: character-class patterns like `"[a-h]"` or
@@ -331,7 +334,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](crate::collection::vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
