@@ -1,0 +1,461 @@
+//! Serving-engine throughput benchmark: request throughput of the
+//! `insum_serve` engine versus today's entry point — a synchronous
+//! one-shot `insum_with(...)` + `run(...)` per request — over the fig7
+//! SpMM, COO scatter, and point-cloud workloads at client concurrency
+//! 1/4/8/16.
+//!
+//! Every request carries its own activation tensor against shared static
+//! operands (the sparse structure / weights), the serving reality the
+//! engine exists for. Three measurements per workload:
+//!
+//! * **serial one-shot** — for each request, compile (with the
+//!   workload's serving options, autotuned where the paper's deployment
+//!   config says so) and run. This is what an application does today
+//!   without the engine; PR 3's `ProgramCache` only dedups the simulator
+//!   lowering, not the per-request parse/plan/codegen/autotune.
+//! * **serial precompiled** — compile once, run every request
+//!   back-to-back on one thread: the engine-free floor for pure
+//!   execution.
+//! * **engine** — clients submit concurrently; the engine's registry
+//!   compiles once per distinct program, the scheduler batches
+//!   launch-compatible requests, and the shared simulator pool executes
+//!   them. Engines are warmed with one out-of-measurement request (the
+//!   cold-start cost is reported separately).
+//!
+//! Every engine response is verified **bit-identical** — output tensor
+//! and profile — to the serial one-shot result for the same request;
+//! `bit_identical` lands in `BENCH_serve.json` per row and the process
+//! aborts on any divergence. `--smoke` runs a deterministic small-scale
+//! check (concurrency 4, preloaded queue so batching is exercised) for
+//! CI.
+
+use insum::apps::BoundApp;
+use insum::{insum_with, InsumOptions, Profile, Tensor};
+use insum_bench::{print_table, structured_spmm_setup, x};
+use insum_serve::{ServeConfig, ServeEngine};
+use insum_tensor::DType;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One serving workload: a fixed expression plus per-request tensor
+/// bindings (shared static operands, per-request activations).
+struct Workload {
+    name: &'static str,
+    expr: &'static str,
+    options: InsumOptions,
+    options_label: &'static str,
+    requests: Vec<BTreeMap<String, Tensor>>,
+}
+
+fn fig7_requests(n_requests: usize) -> Workload {
+    let (_, bgc, _) = structured_spmm_setup(1024, 256, 0.5, DType::F16, 77);
+    let mut rng = SmallRng::seed_from_u64(770);
+    let mut requests = Vec::with_capacity(n_requests);
+    let mut expr = "";
+    for _ in 0..n_requests {
+        let b = insum_tensor::rand_uniform(vec![1024, 256], -1.0, 1.0, &mut rng).cast(DType::F16);
+        let app: BoundApp = insum::apps::spmm_block_group(&bgc, &b);
+        expr = app.expr;
+        requests.push(app.tensors);
+    }
+    Workload {
+        name: "spmm_block_group_fig7",
+        expr,
+        // The paper's deployment configuration (Table 3): autotuned
+        // tiles. Without the engine every request pays the sweep.
+        options: InsumOptions::autotuned(),
+        options_label: "autotuned",
+        requests,
+    }
+}
+
+fn coo_requests(n_requests: usize) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let dense = insum_workloads::blocksparse::block_sparse_dense(512, 512, 16, 16, 0.7, &mut rng);
+    let coo = insum_formats::Coo::from_dense(&dense).expect("matrix");
+    let mut requests = Vec::with_capacity(n_requests);
+    let mut expr = "";
+    for _ in 0..n_requests {
+        let b = insum_tensor::rand_uniform(vec![512, 64], -1.0, 1.0, &mut rng);
+        let app = insum::apps::spmm_coo(&coo, &b);
+        expr = app.expr;
+        requests.push(app.tensors);
+    }
+    Workload {
+        name: "spmm_coo_scatter",
+        expr,
+        options: InsumOptions::default(),
+        options_label: "default",
+        requests,
+    }
+}
+
+fn pointcloud_requests(n_requests: usize) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let pts = insum_workloads::pointcloud::generate_points(
+        &insum_workloads::pointcloud::rooms()[0],
+        0.12,
+        &mut rng,
+    );
+    let scene = insum_workloads::pointcloud::voxelize(&pts, 0.06);
+    let km = insum_workloads::pointcloud::kernel_map(&scene, 3);
+    let weight = insum_tensor::rand_normal(vec![27, 16, 16], &mut rng);
+    let mut requests = Vec::with_capacity(n_requests);
+    let mut expr = "";
+    for _ in 0..n_requests {
+        let input = insum_tensor::rand_normal(vec![scene.len(), 16], &mut rng);
+        let app = insum::apps::sparse_conv(&km, &input, &weight);
+        expr = app.expr;
+        requests.push(app.tensors);
+    }
+    Workload {
+        name: "pointcloud_conv",
+        expr,
+        options: InsumOptions::default(),
+        options_label: "default",
+        requests,
+    }
+}
+
+fn smoke_requests(n_requests: usize) -> Workload {
+    let (_, bgc, _) = structured_spmm_setup(128, 64, 0.8, DType::F16, 5);
+    let mut rng = SmallRng::seed_from_u64(50);
+    let mut requests = Vec::with_capacity(n_requests);
+    let mut expr = "";
+    for _ in 0..n_requests {
+        let b = insum_tensor::rand_uniform(vec![128, 64], -1.0, 1.0, &mut rng).cast(DType::F16);
+        let app = insum::apps::spmm_block_group(&bgc, &b);
+        expr = app.expr;
+        requests.push(app.tensors);
+    }
+    Workload {
+        name: "spmm_smoke_128",
+        expr,
+        options: InsumOptions::default(),
+        options_label: "default",
+        requests,
+    }
+}
+
+/// Serial one-shot baseline: compile + run per request, returning the
+/// expected response bits for the bit-identity checks.
+fn serial_oneshot(w: &Workload) -> (f64, Vec<(Tensor, Profile)>) {
+    let start = Instant::now();
+    let results: Vec<(Tensor, Profile)> = w
+        .requests
+        .iter()
+        .map(|tensors| {
+            insum_with(w.expr, tensors, &w.options)
+                .expect("compilation succeeds")
+                .run(tensors)
+                .expect("execution succeeds")
+        })
+        .collect();
+    (start.elapsed().as_secs_f64(), results)
+}
+
+/// Serial precompiled baseline: compile once, run back-to-back.
+fn serial_precompiled(w: &Workload) -> f64 {
+    let op = insum_with(w.expr, &w.requests[0], &w.options).expect("compilation succeeds");
+    let start = Instant::now();
+    for tensors in &w.requests {
+        op.run(tensors).expect("execution succeeds");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+struct EngineRow {
+    concurrency: usize,
+    wall_seconds: f64,
+    cold_start_seconds: f64,
+    batches: u64,
+    largest_batch: usize,
+    registry_hits: u64,
+    registry_misses: u64,
+    wait_mean_seconds: f64,
+    wait_max_seconds: f64,
+    bit_identical: bool,
+}
+
+/// Drive one engine at the given client concurrency and verify every
+/// response against the serial one-shot bits.
+fn engine_run(
+    w: &Workload,
+    concurrency: usize,
+    expected: &[(Tensor, Profile)],
+    preload: bool,
+) -> EngineRow {
+    let engine = ServeEngine::new(
+        ServeConfig::default()
+            .with_queue_capacity(16.max(if preload { w.requests.len() } else { 16 }))
+            .with_max_batch(8)
+            .with_options(w.options.clone()),
+    )
+    .expect("engine starts");
+
+    // Warm the registry (and the process-wide ProgramCache) with one
+    // request outside the measurement: steady-state serving is the
+    // regime of interest, the cold start is reported on its own.
+    let cold = Instant::now();
+    engine
+        .session("warmup")
+        .submit(w.expr, &w.requests[0])
+        .expect("admission succeeds")
+        .wait()
+        .expect("warmup succeeds");
+    let cold_start_seconds = cold.elapsed().as_secs_f64();
+
+    if preload {
+        engine.pause();
+    }
+    // Preload mode: a barrier guarantees every submission is queued
+    // before the scheduler resumes, so batch formation is deterministic
+    // (the live mode intentionally races clients against the scheduler).
+    let submitted = preload.then(|| std::sync::Barrier::new(concurrency + 1));
+    let start = Instant::now();
+    let responses: Vec<(usize, insum_serve::Response)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..concurrency)
+            .map(|c| {
+                let session = engine.session(&format!("tenant-{c}"));
+                let w = &w;
+                let submitted = &submitted;
+                scope.spawn(move || {
+                    let handles: Vec<_> = (0..w.requests.len())
+                        .skip(c)
+                        .step_by(concurrency)
+                        .map(|i| {
+                            (
+                                i,
+                                session
+                                    .submit(w.expr, &w.requests[i])
+                                    .expect("admission succeeds"),
+                            )
+                        })
+                        .collect();
+                    if let Some(barrier) = submitted {
+                        barrier.wait();
+                    }
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| (i, h.wait().expect("request succeeds")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        if let Some(barrier) = &submitted {
+            barrier.wait();
+            engine.resume();
+        }
+        workers
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let mut bit_identical = true;
+    let mut wait_sum = 0.0;
+    let mut wait_max = 0.0f64;
+    for (i, response) in &responses {
+        let (want_out, want_profile) = &expected[*i];
+        if response.output.data() != want_out.data() || &response.profile != want_profile {
+            bit_identical = false;
+        }
+        wait_sum += response.queue_seconds;
+        wait_max = wait_max.max(response.queue_seconds);
+    }
+    assert!(
+        bit_identical,
+        "{} @{}: engine responses diverge from serial one-shot execution",
+        w.name, concurrency
+    );
+    assert_eq!(responses.len(), w.requests.len());
+
+    let m = engine.metrics();
+    EngineRow {
+        concurrency,
+        wall_seconds,
+        cold_start_seconds,
+        batches: m.batches,
+        largest_batch: m.largest_batch,
+        registry_hits: m.registry.hits,
+        registry_misses: m.registry.misses,
+        wait_mean_seconds: wait_sum / responses.len() as f64,
+        wait_max_seconds: wait_max,
+        bit_identical,
+    }
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    options_label: &'static str,
+    requests: usize,
+    wall_serial_oneshot: f64,
+    wall_serial_precompiled: f64,
+    rows: Vec<EngineRow>,
+}
+
+fn run_workload(w: &Workload, concurrencies: &[usize], preload: bool) -> WorkloadResult {
+    let (wall_serial_oneshot, expected) = serial_oneshot(w);
+    let wall_serial_precompiled = serial_precompiled(w);
+    let rows = concurrencies
+        .iter()
+        .map(|&c| engine_run(w, c, &expected, preload))
+        .collect();
+    WorkloadResult {
+        name: w.name,
+        options_label: w.options_label,
+        requests: w.requests.len(),
+        wall_serial_oneshot,
+        wall_serial_precompiled,
+        rows,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    if smoke {
+        // Deterministic small-scale check for CI: preload the queue so
+        // the batching path is exercised regardless of host speed.
+        let w = smoke_requests(8);
+        let result = run_workload(&w, &[4], true);
+        let row = &result.rows[0];
+        assert!(row.bit_identical);
+        assert_eq!(row.registry_misses, 1, "only the warmup compiles");
+        assert_eq!(row.registry_hits as usize, w.requests.len());
+        assert!(
+            row.largest_batch > 1,
+            "preloaded queue must form multi-request batches"
+        );
+        println!(
+            "servebench smoke ok: {} requests, concurrency 4, largest batch {}, \
+             {:.1} req/s (serial one-shot {:.1} req/s), bit_identical",
+            w.requests.len(),
+            row.largest_batch,
+            w.requests.len() as f64 / row.wall_seconds,
+            w.requests.len() as f64 / result.wall_serial_oneshot,
+        );
+        return;
+    }
+
+    let concurrencies = [1usize, 4, 8, 16];
+    let workloads = [fig7_requests(24), coo_requests(24), pointcloud_requests(8)];
+    let results: Vec<WorkloadResult> = workloads
+        .iter()
+        .map(|w| run_workload(w, &concurrencies, false))
+        .collect();
+
+    let table: Vec<Vec<String>> = results
+        .iter()
+        .flat_map(|r| {
+            r.rows.iter().map(move |row| {
+                vec![
+                    r.name.to_string(),
+                    row.concurrency.to_string(),
+                    r.requests.to_string(),
+                    format!("{:.1}", r.requests as f64 / r.wall_serial_oneshot),
+                    format!("{:.1}", r.requests as f64 / row.wall_seconds),
+                    x(r.wall_serial_oneshot / row.wall_seconds),
+                    x(r.wall_serial_precompiled / row.wall_seconds),
+                    format!("{}/{}", row.batches, row.largest_batch),
+                    format!("{:.1}", row.wait_mean_seconds * 1e3),
+                    row.bit_identical.to_string(),
+                ]
+            })
+        })
+        .collect();
+    print_table(
+        &format!("serving throughput (host threads: {max_threads})"),
+        &[
+            "workload",
+            "conc",
+            "reqs",
+            "serial r/s",
+            "engine r/s",
+            "vs oneshot",
+            "vs precomp",
+            "batches/max",
+            "wait ms",
+            "bit_id",
+        ],
+        &table,
+    );
+
+    // Acceptance gate: fig7 SpMM at concurrency 8 must serve at least
+    // 3x the one-shot request throughput, bit-identically.
+    let fig7 = &results[0];
+    let row8 = fig7
+        .rows
+        .iter()
+        .find(|r| r.concurrency == 8)
+        .expect("concurrency-8 row present");
+    let speedup = fig7.wall_serial_oneshot / row8.wall_seconds;
+    assert!(
+        row8.bit_identical && speedup >= 3.0,
+        "fig7 SpMM at concurrency 8: need >= 3x one-shot throughput \
+         bit-identically, got {speedup:.2}x"
+    );
+    println!(
+        "\nheadline: fig7 SpMM at concurrency 8 serves {speedup:.2}x the one-shot \
+         request throughput (bit-identical)"
+    );
+
+    // Machine-readable trajectory record.
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"servebench\",\n");
+    json.push_str("  \"device_model\": \"rtx3090-sim\",\n");
+    json.push_str(&format!("  \"host_threads_max\": {max_threads},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (wi, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"options\": \"{}\",\n",
+            r.name, r.requests, r.options_label
+        ));
+        json.push_str(&format!(
+            "     \"wall_seconds_serial_oneshot\": {:.6}, \
+             \"wall_seconds_serial_precompiled\": {:.6},\n",
+            r.wall_serial_oneshot, r.wall_serial_precompiled
+        ));
+        json.push_str("     \"rows\": [\n");
+        for (i, row) in r.rows.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"concurrency\": {}, \"wall_seconds_engine\": {:.6}, \
+                 \"requests_per_sec_engine\": {:.2}, \"requests_per_sec_serial\": {:.2}, \
+                 \"throughput_vs_serial\": {:.3}, \"throughput_vs_precompiled\": {:.3}, \
+                 \"cold_start_seconds\": {:.6}, \"batches\": {}, \"largest_batch\": {}, \
+                 \"registry_hits\": {}, \"registry_misses\": {}, \
+                 \"queue_wait_mean_seconds\": {:.6}, \"queue_wait_max_seconds\": {:.6}, \
+                 \"bit_identical\": {}}}{}\n",
+                row.concurrency,
+                row.wall_seconds,
+                r.requests as f64 / row.wall_seconds,
+                r.requests as f64 / r.wall_serial_oneshot,
+                r.wall_serial_oneshot / row.wall_seconds,
+                r.wall_serial_precompiled / row.wall_seconds,
+                row.cold_start_seconds,
+                row.batches,
+                row.largest_batch,
+                row.registry_hits,
+                row.registry_misses,
+                row.wait_mean_seconds,
+                row.wait_max_seconds,
+                row.bit_identical,
+                if i + 1 < r.rows.len() { "," } else { "" },
+            ));
+        }
+        json.push_str("     ]\n");
+        json.push_str(&format!(
+            "    }}{}\n",
+            if wi + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

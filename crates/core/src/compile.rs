@@ -2,7 +2,7 @@
 
 use crate::options::InsumOptions;
 use crate::Result;
-use insum_gpu::{Mode, Profile};
+use insum_gpu::{LaunchOptions, Mode, Profile};
 use insum_graph::TensorMeta;
 use insum_inductor::{autotune, compile_fused, compile_unfused, FusedOp, UnfusedOp};
 use insum_lang::Statement;
@@ -36,10 +36,45 @@ pub struct Compiled {
     pub autotune_cache_hits: u64,
 }
 
+/// The identity of a compiled operation's simulator launch: the kernel's
+/// structural fingerprint plus the launch grid (and the parameter order
+/// the launch binds). Two [`Compiled`] handles with equal signatures and
+/// equal argument metadata execute the same [`insum_gpu::Program`], so a
+/// serving scheduler can batch their launches together.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LaunchSignature {
+    /// Structural fingerprint of the fused kernel
+    /// ([`insum_kernel::fingerprint`]).
+    pub kernel_fingerprint: u64,
+    /// The launch grid.
+    pub grid: Vec<usize>,
+    /// Tensor names in launch-argument order.
+    pub params: Vec<String>,
+}
+
 impl Compiled {
     /// The parsed statement.
     pub fn statement(&self) -> &Statement {
         &self.statement
+    }
+
+    /// The options this operation was compiled with.
+    pub fn options(&self) -> &InsumOptions {
+        &self.options
+    }
+
+    /// The launch identity of the fused kernel, or `None` for the
+    /// unfused pipeline (one launch per graph node — nothing a batching
+    /// scheduler can group).
+    pub fn launch_signature(&self) -> Option<LaunchSignature> {
+        match &self.pipeline {
+            Pipeline::Fused(op) => Some(LaunchSignature {
+                kernel_fingerprint: insum_kernel::fingerprint(&op.kernel),
+                grid: op.grid.clone(),
+                params: op.plan.param_order.clone(),
+            }),
+            Pipeline::Unfused(_) => None,
+        }
     }
 
     /// Number of kernels launched per run (1 when fused).
@@ -86,6 +121,75 @@ impl Compiled {
     /// Propagates binding and simulator errors.
     pub fn time(&self, tensors: &BTreeMap<String, Tensor>) -> Result<Profile> {
         Ok(self.dispatch(tensors, Mode::Analytic)?.1)
+    }
+
+    /// Execute one launch per request of a batch, sharing a single pool
+    /// of simulator threads across the whole batch (the serving engine's
+    /// entry point; see [`insum_inductor::run_fused_batch_with`]).
+    ///
+    /// Every request must bind tensors with the same shapes and dtypes
+    /// this operation was compiled for. Each request's result is
+    /// bit-identical — output tensor and [`Profile`] — to a serial
+    /// per-request [`Compiled::run`], regardless of batch composition or
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates binding and simulator errors (first failing request
+    /// wins).
+    pub fn run_batch(&self, batch: &[&BTreeMap<String, Tensor>]) -> Result<Vec<(Tensor, Profile)>> {
+        self.run_batch_mode(batch, Mode::Execute, &self.options.launch())
+    }
+
+    /// [`Compiled::run_batch`] with an explicit interpreter mode and
+    /// simulator scheduling options (the thread budget in `launch` is
+    /// shared across the batch). [`Mode::Analytic`] skips value math and
+    /// returns each request's unmodified output binding, exactly like
+    /// [`Compiled::time`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Compiled::run_batch`].
+    pub fn run_batch_mode(
+        &self,
+        batch: &[&BTreeMap<String, Tensor>],
+        mode: Mode,
+        launch: &LaunchOptions,
+    ) -> Result<Vec<(Tensor, Profile)>> {
+        match &self.pipeline {
+            Pipeline::Fused(op) => {
+                let results = insum_inductor::run_fused_batch_with(
+                    op,
+                    batch,
+                    &self.options.device,
+                    mode,
+                    launch,
+                )?;
+                Ok(results
+                    .into_iter()
+                    .map(|(out, report)| {
+                        let mut profile = Profile::new();
+                        profile.push(report);
+                        (out, profile)
+                    })
+                    .collect())
+            }
+            // The unfused pipeline launches one kernel per graph node
+            // with materialized intermediates; requests run back-to-back
+            // (trivially identical to serial execution).
+            Pipeline::Unfused(op) => batch
+                .iter()
+                .map(|tensors| {
+                    Ok(insum_inductor::run_unfused_with(
+                        op,
+                        tensors,
+                        &self.options.device,
+                        mode,
+                        launch,
+                    )?)
+                })
+                .collect(),
+        }
     }
 
     fn dispatch(
@@ -149,6 +253,7 @@ pub fn insum_with(
     tensors: &BTreeMap<String, Tensor>,
     options: &InsumOptions,
 ) -> Result<Compiled> {
+    options.validate()?;
     let start = std::time::Instant::now();
     let statement = insum_lang::parse(expression)?;
     let metas = metas_of(tensors);
@@ -280,6 +385,66 @@ mod tests {
         let (got, _) = op.run(&tensors).unwrap();
         let want = eager(SPMM, &tensors).unwrap();
         assert!(got.allclose(&want, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn run_batch_matches_serial_runs_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let base = spmm_tensors();
+        let requests: Vec<BTreeMap<String, Tensor>> = (0..4)
+            .map(|_| {
+                let mut t = base.clone();
+                t.insert(
+                    "B".to_string(),
+                    rand_uniform(vec![24, 32], -1.0, 1.0, &mut rng),
+                );
+                t
+            })
+            .collect();
+        let op = insum(SPMM, &requests[0]).unwrap();
+        let serial: Vec<(Tensor, Profile)> = requests.iter().map(|r| op.run(r).unwrap()).collect();
+        let refs: Vec<&BTreeMap<String, Tensor>> = requests.iter().collect();
+        let batched = op.run_batch(&refs).unwrap();
+        assert_eq!(batched.len(), serial.len());
+        for ((got_t, got_p), (want_t, want_p)) in batched.iter().zip(&serial) {
+            assert_eq!(got_t.data(), want_t.data());
+            assert_eq!(got_p, want_p);
+        }
+        // Unfused pipeline: batch loops per request, identical results.
+        let op_u = insum_with(SPMM, &requests[0], &InsumOptions::unfused()).unwrap();
+        assert!(op_u.launch_signature().is_none());
+        let batched_u = op_u.run_batch(&refs).unwrap();
+        for ((got_t, got_p), r) in batched_u.iter().zip(&requests) {
+            let (want_t, want_p) = op_u.run(r).unwrap();
+            assert_eq!(got_t.data(), want_t.data());
+            assert_eq!(*got_p, want_p);
+        }
+    }
+
+    #[test]
+    fn launch_signature_identifies_the_fused_launch() {
+        let tensors = spmm_tensors();
+        let a = insum(SPMM, &tensors).unwrap();
+        let b = insum(SPMM, &tensors).unwrap();
+        let sig_a = a.launch_signature().unwrap();
+        let sig_b = b.launch_signature().unwrap();
+        assert_eq!(sig_a, sig_b, "same expression + shapes, same launch");
+        assert!(!sig_a.grid.is_empty());
+        assert!(sig_a.params.contains(&"C".to_string()));
+        assert!(a.options().fuse);
+    }
+
+    #[test]
+    fn zero_sim_threads_rejected_at_compile() {
+        let tensors = spmm_tensors();
+        let opts = InsumOptions {
+            sim_threads: Some(0),
+            ..Default::default()
+        };
+        assert!(matches!(
+            insum_with(SPMM, &tensors, &opts),
+            Err(InsumError::Config(_))
+        ));
     }
 
     #[test]

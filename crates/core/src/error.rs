@@ -16,6 +16,9 @@ pub enum InsumError {
     Tensor(insum_tensor::TensorError),
     /// A named tensor binding is missing.
     MissingTensor(String),
+    /// An [`crate::InsumOptions`] (or serving-layer) configuration value
+    /// is invalid.
+    Config(String),
 }
 
 impl fmt::Display for InsumError {
@@ -26,6 +29,7 @@ impl fmt::Display for InsumError {
             InsumError::Inductor(e) => write!(f, "{e}"),
             InsumError::Tensor(e) => write!(f, "{e}"),
             InsumError::MissingTensor(name) => write!(f, "tensor {name:?} was not provided"),
+            InsumError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -37,7 +41,7 @@ impl Error for InsumError {
             InsumError::Graph(e) => Some(e),
             InsumError::Inductor(e) => Some(e),
             InsumError::Tensor(e) => Some(e),
-            InsumError::MissingTensor(_) => None,
+            InsumError::MissingTensor(_) | InsumError::Config(_) => None,
         }
     }
 }

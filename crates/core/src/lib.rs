@@ -40,13 +40,13 @@ mod error;
 mod options;
 mod tune;
 
-pub use compile::{eager, insum, insum_with, Compiled};
+pub use compile::{eager, insum, insum_with, Compiled, LaunchSignature};
 pub use error::InsumError;
 pub use options::InsumOptions;
 pub use tune::{pow2_candidates, tune_block_group_size, tune_group_size};
 
 // Re-exports so downstream users need only this crate.
-pub use insum_gpu::{DeviceModel, Mode, Profile};
+pub use insum_gpu::{DeviceModel, KernelReport, LaunchOptions, Mode, Profile};
 pub use insum_inductor::{ProgramCache, ProgramCacheStats};
 pub use insum_tensor::{DType, Tensor};
 

@@ -1,5 +1,6 @@
 //! Compilation options — the ablation axes of paper Fig. 13.
 
+use crate::error::InsumError;
 use insum_gpu::DeviceModel;
 
 /// Options controlling how an indirect Einsum is compiled and executed.
@@ -67,11 +68,41 @@ impl InsumOptions {
         }
     }
 
-    pub(crate) fn launch(&self) -> insum_gpu::LaunchOptions {
+    /// Check the options for configurations that would otherwise degrade
+    /// silently. Called by [`crate::insum_with`] before compiling (and by
+    /// the serving engine on admission), so a misconfiguration surfaces
+    /// as a clear error instead of an implicit fallback.
+    ///
+    /// # Errors
+    ///
+    /// [`InsumError::Config`] if `sim_threads` is `Some(0)`: the
+    /// simulator's host-thread count must be at least 1 (`None` selects
+    /// the automatic resolution described on
+    /// [`insum_gpu::LaunchOptions`]).
+    pub fn validate(&self) -> Result<(), InsumError> {
+        if self.sim_threads == Some(0) {
+            return Err(InsumError::Config(
+                "sim_threads = Some(0): the simulator needs at least one host \
+                 thread; use None for automatic resolution"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The simulator scheduling options these compilation options imply.
+    /// This is the conversion point guarded by
+    /// [`InsumOptions::validate`]; a `sim_threads` of `Some(0)` is
+    /// rejected there rather than silently clamped here.
+    pub fn launch_options(&self) -> insum_gpu::LaunchOptions {
         insum_gpu::LaunchOptions {
             threads: self.sim_threads,
             ..Default::default()
         }
+    }
+
+    pub(crate) fn launch(&self) -> insum_gpu::LaunchOptions {
+        self.launch_options()
     }
 
     pub(crate) fn codegen(&self) -> insum_inductor::CodegenOptions {
@@ -100,5 +131,21 @@ mod tests {
     fn presets() {
         assert!(InsumOptions::autotuned().autotune);
         assert!(!InsumOptions::unfused().fuse);
+    }
+
+    #[test]
+    fn zero_sim_threads_is_a_config_error() {
+        let opts = InsumOptions {
+            sim_threads: Some(0),
+            ..Default::default()
+        };
+        assert!(matches!(opts.validate(), Err(InsumError::Config(_))));
+        assert!(InsumOptions::default().validate().is_ok());
+        let one = InsumOptions {
+            sim_threads: Some(1),
+            ..Default::default()
+        };
+        assert!(one.validate().is_ok());
+        assert_eq!(one.launch_options().threads, Some(1));
     }
 }

@@ -2064,6 +2064,121 @@ impl Program {
             max_instance_time,
         })
     }
+
+    /// Launch this program once per request of a batch, sharing one pool
+    /// of host threads across the whole batch instead of scheduling each
+    /// request separately.
+    ///
+    /// Each element of `batch` is one request's argument list (same
+    /// layout as [`Program::launch_with`]); all requests must match the
+    /// metadata this program was compiled with. The thread budget in
+    /// `options` is split across the batch: requests are distributed over
+    /// the workers in contiguous chunks, and any leftover budget shards
+    /// the grid-instance loop *inside* each request exactly as
+    /// [`Program::launch_with`] would.
+    ///
+    /// Requests are independent — each owns its tensors — so
+    /// request-level parallelism needs no write-log merge and is safe
+    /// even for Execute-mode kernels whose cross-instance hazards force
+    /// the intra-request loop sequential. Every request's output tensors
+    /// and [`KernelReport`] are bit-identical to a serial per-request
+    /// [`Program::launch_with`] call, regardless of batch composition or
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Program::launch_with`]; if several requests
+    /// fail, the error of the smallest request index is returned (and the
+    /// whole batch's outputs are in an unspecified state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request's argument lengths or dtypes differ from the
+    /// metadata this program was compiled with.
+    pub fn launch_batch_with(
+        &self,
+        batch: &mut [&mut [&mut Tensor]],
+        device: &DeviceModel,
+        mode: Mode,
+        options: &LaunchOptions,
+    ) -> Result<Vec<KernelReport>, GpuError> {
+        let n = batch.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if n == 1 {
+            return Ok(vec![self.launch_with(
+                &mut *batch[0],
+                device,
+                mode,
+                options,
+            )?]);
+        }
+        let total = options.resolve_threads();
+        if total <= 1 {
+            let seq = LaunchOptions {
+                threads: Some(1),
+                ..options.clone()
+            };
+            let mut out = Vec::with_capacity(n);
+            for args in batch.iter_mut() {
+                out.push(self.launch_with(args, device, mode, &seq)?);
+            }
+            return Ok(out);
+        }
+        // Contiguous request chunks, one worker each; the remaining
+        // thread budget is spread over the workers (first `rem` workers
+        // get one extra) and shards the grid-instance loop *inside*
+        // their requests, so the whole budget is used. The split only
+        // affects scheduling — per-request results are bit-identical at
+        // every configuration.
+        let chunk = n.div_ceil(total.min(n));
+        let workers = n.div_ceil(chunk);
+        let (base, rem) = (total / workers, total % workers);
+        type ChunkResult = Result<Vec<KernelReport>, (usize, GpuError)>;
+        let chunk_results: Vec<ChunkResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = batch
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, requests)| {
+                    let inner = LaunchOptions {
+                        threads: Some((base + usize::from(ci < rem)).max(1)),
+                        ..options.clone()
+                    };
+                    scope.spawn(move || -> ChunkResult {
+                        let mut reports = Vec::with_capacity(requests.len());
+                        for (ri, args) in requests.iter_mut().enumerate() {
+                            reports.push(
+                                self.launch_with(args, device, mode, &inner)
+                                    .map_err(|e| (ci * chunk + ri, e))?,
+                            );
+                        }
+                        Ok(reports)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        });
+        let mut first_err: Option<(usize, GpuError)> = None;
+        let mut out = Vec::with_capacity(n);
+        for r in chunk_results {
+            match r {
+                Ok(reports) => out.extend(reports),
+                Err((i, e)) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
 }
 #[cfg(test)]
 mod tests {
@@ -2635,6 +2750,119 @@ mod tests {
                 "{mode:?} outputs diverge under sharding"
             );
         }
+    }
+
+    #[test]
+    fn batched_launch_matches_serial_per_request_bit_for_bit() {
+        let n = 2048; // 64 instances per request
+        let kernel = scatter_kernel(n);
+        let grid = [n.div_ceil(32)];
+        let mk = |seed: usize| {
+            (
+                Tensor::from_fn(vec![n], |i| ((i[0] + 3 * seed) % 23) as f32 * 0.5 - 4.0),
+                Tensor::from_indices(
+                    vec![n],
+                    (0..n as i64).map(|i| (i * 5 + seed as i64) % 29).collect(),
+                )
+                .unwrap(),
+                Tensor::zeros(vec![29]),
+            )
+        };
+        let lens = [n, n, 29];
+        let dtypes = [DType::F32, DType::I32, DType::F32];
+        let program = Program::compile(&kernel, &grid, &lens, &dtypes).unwrap();
+        let nreq = 7;
+        for mode in [Mode::Execute, Mode::Analytic] {
+            // Serial reference: one request at a time, sequential.
+            let mut serial: Vec<(Tensor, Tensor, Tensor)> = (0..nreq).map(mk).collect();
+            let serial_reports: Vec<KernelReport> = serial
+                .iter_mut()
+                .map(|(x, i, y)| {
+                    program
+                        .launch_with(
+                            &mut [x, i, y],
+                            &device(),
+                            mode,
+                            &LaunchOptions::sequential(),
+                        )
+                        .unwrap()
+                })
+                .collect();
+            // Batched, at several thread budgets (1 = sequential path,
+            // 3 = requests split unevenly, 16 = leftover budget shards
+            // inside each request).
+            for threads in [1usize, 3, 16] {
+                let mut tensors: Vec<(Tensor, Tensor, Tensor)> = (0..nreq).map(mk).collect();
+                let mut views: Vec<[&mut Tensor; 3]> = tensors
+                    .iter_mut()
+                    .map(|(x, i, y)| [&mut *x, &mut *i, &mut *y])
+                    .collect();
+                let mut reqs: Vec<&mut [&mut Tensor]> =
+                    views.iter_mut().map(|v| v.as_mut_slice()).collect();
+                let mut opts = LaunchOptions::with_threads(threads);
+                opts.min_parallel_instances = 2;
+                let reports = program
+                    .launch_batch_with(&mut reqs, &device(), mode, &opts)
+                    .unwrap();
+                assert_eq!(reports, serial_reports, "{mode:?} @{threads} threads");
+                for (got, want) in tensors.iter().zip(&serial) {
+                    assert_eq!(got.2.data(), want.2.data(), "{mode:?} @{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_launch_reports_first_erroring_request() {
+        // Request 1 scatters out of bounds; the batch must surface its
+        // error even when later requests are fine.
+        let n = 64;
+        let kernel = scatter_kernel(n);
+        let grid = [n.div_ceil(32)];
+        let lens = [n, n, 17];
+        let dtypes = [DType::F32, DType::I32, DType::F32];
+        let program = Program::compile(&kernel, &grid, &lens, &dtypes).unwrap();
+        let mk = |bad: bool| {
+            let idx = if bad {
+                Tensor::from_indices(vec![n], (0..n as i64).map(|_| 99).collect()).unwrap()
+            } else {
+                Tensor::from_indices(vec![n], (0..n as i64).map(|i| i % 17).collect()).unwrap()
+            };
+            (Tensor::ones(vec![n]), idx, Tensor::zeros(vec![17]))
+        };
+        let mut tensors = [mk(false), mk(true), mk(false)];
+        let mut views: Vec<[&mut Tensor; 3]> = tensors
+            .iter_mut()
+            .map(|(x, i, y)| [&mut *x, &mut *i, &mut *y])
+            .collect();
+        let mut reqs: Vec<&mut [&mut Tensor]> =
+            views.iter_mut().map(|v| v.as_mut_slice()).collect();
+        let err = program
+            .launch_batch_with(
+                &mut reqs,
+                &device(),
+                Mode::Execute,
+                &LaunchOptions::with_threads(3),
+            )
+            .unwrap_err();
+        assert!(matches!(err, GpuError::OffsetOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let kernel = axpy_kernel();
+        let program =
+            Program::compile(&kernel, &[2], &[64, 64], &[DType::F32, DType::F32]).unwrap();
+        let mut reqs: Vec<&mut [&mut Tensor]> = Vec::new();
+        let reports = program
+            .launch_batch_with(
+                &mut reqs,
+                &device(),
+                Mode::Execute,
+                &LaunchOptions::default(),
+            )
+            .unwrap();
+        assert!(reports.is_empty());
     }
 
     #[test]

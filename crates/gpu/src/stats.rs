@@ -83,7 +83,7 @@ impl fmt::Display for KernelReport {
 }
 
 /// A sequence of kernel launches forming one measured operation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Profile {
     /// Per-launch reports, in execution order.
     pub reports: Vec<KernelReport>,

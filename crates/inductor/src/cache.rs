@@ -11,21 +11,29 @@
 //! [`insum_gpu::Program`] bakes in. Entries are shared (`Arc`), so
 //! concurrent launches reuse one lowering.
 //!
+//! The cache is **bounded**: a long-lived server sees an open-ended
+//! stream of distinct (kernel, grid, metadata) keys — every new tensor
+//! shape is a new key — so residency is capped ([`ProgramCache::new`]
+//! defaults to 512 programs, [`ProgramCache::with_capacity`] overrides)
+//! and the least-recently-used entry is evicted on overflow. Eviction
+//! only drops the cache's reference; in-flight launches keep their
+//! `Arc<Program>` alive.
+//!
 //! A process-wide cache ([`ProgramCache::global`]) backs the default
-//! runner entry points; hit/miss counters are exposed for benchmarks and
-//! CI smoke tests.
+//! runner entry points; hit/miss/eviction counters are exposed for
+//! benchmarks, the serving engine's metrics, and CI smoke tests.
 
 use crate::Result;
 use insum_gpu::{GpuError, Program};
 use insum_kernel::{fingerprint, Kernel};
 use insum_tensor::DType;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Maximum resident programs; oldest entries are evicted first. Programs
-/// are a few KB each, so this comfortably covers an autotune sweep plus
-/// every workload of a benchmark run.
-const CAPACITY: usize = 512;
+/// Default maximum resident programs; the least-recently-used entry is
+/// evicted first. Programs are a few KB each, so this comfortably covers
+/// an autotune sweep plus every workload of a benchmark run.
+const DEFAULT_CAPACITY: usize = 512;
 
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
@@ -42,13 +50,39 @@ struct CacheEntry {
     /// kernel's program.
     kernel: Kernel,
     program: Arc<Program>,
+    /// Recency stamp for LRU eviction (monotone per-cache counter).
+    last_used: u64,
 }
 
 struct CacheInner {
     map: HashMap<CacheKey, CacheEntry>,
-    order: VecDeque<CacheKey>,
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict least-recently-used entries until `capacity` fits one more.
+    fn make_room(&mut self, capacity: usize) {
+        while self.map.len() >= capacity {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
 }
 
 /// Counters describing a cache's effectiveness.
@@ -58,14 +92,18 @@ pub struct ProgramCacheStats {
     pub hits: u64,
     /// Lookups that compiled a new program.
     pub misses: u64,
+    /// Entries dropped to respect the capacity bound (LRU order).
+    pub evictions: u64,
     /// Programs currently resident.
     pub entries: usize,
 }
 
-/// A memoized mapping from (kernel fingerprint, grid, argument metadata)
-/// to compiled simulator programs. See the module docs.
+/// A bounded, LRU-evicting memoized mapping from (kernel fingerprint,
+/// grid, argument metadata) to compiled simulator programs. See the
+/// module docs.
 pub struct ProgramCache {
     inner: Mutex<CacheInner>,
+    capacity: usize,
 }
 
 impl Default for ProgramCache {
@@ -75,16 +113,29 @@ impl Default for ProgramCache {
 }
 
 impl ProgramCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity (512 programs).
     pub fn new() -> ProgramCache {
+        ProgramCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` programs (clamped to at
+    /// least 1); the least-recently-used entry is evicted on overflow.
+    pub fn with_capacity(capacity: usize) -> ProgramCache {
         ProgramCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
-                order: VecDeque::new(),
+                tick: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
+            capacity: capacity.max(1),
         }
+    }
+
+    /// Maximum resident programs before LRU eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The process-wide cache used by [`crate::run_fused`] /
@@ -116,8 +167,10 @@ impl ProgramCache {
         };
         {
             let mut inner = self.inner.lock().expect("program cache poisoned");
-            if let Some(e) = inner.map.get(&key) {
+            let stamp = inner.touch();
+            if let Some(e) = inner.map.get_mut(&key) {
                 if e.kernel == *kernel {
+                    e.last_used = stamp;
                     let p = Arc::clone(&e.program);
                     inner.hits += 1;
                     return Ok(p);
@@ -131,51 +184,64 @@ impl ProgramCache {
         // serialize concurrent launches.
         let program = Arc::new(Program::compile(kernel, grid, lens, dtypes)?);
         let mut inner = self.inner.lock().expect("program cache poisoned");
-        let resident = inner.map.get(&key).is_some_and(|e| e.kernel == *kernel);
-        if !resident {
-            if !inner.map.contains_key(&key) {
-                if inner.map.len() >= CAPACITY {
-                    if let Some(old) = inner.order.pop_front() {
-                        inner.map.remove(&old);
-                    }
-                }
-                inner.order.push_back(key.clone());
+        let stamp = inner.touch();
+        match inner.map.get_mut(&key) {
+            // Another thread inserted the same kernel while we compiled:
+            // keep the resident program, ours is dropped.
+            Some(e) if e.kernel == *kernel => {
+                e.last_used = stamp;
+                return Ok(Arc::clone(&e.program));
             }
-            inner.map.insert(
-                key,
-                CacheEntry {
+            // Fingerprint collision with a different resident kernel:
+            // replace in place (no occupancy change, no eviction).
+            Some(e) => {
+                *e = CacheEntry {
                     kernel: kernel.clone(),
                     program: Arc::clone(&program),
-                },
-            );
+                    last_used: stamp,
+                };
+            }
+            None => {
+                inner.make_room(self.capacity);
+                inner.map.insert(
+                    key,
+                    CacheEntry {
+                        kernel: kernel.clone(),
+                        program: Arc::clone(&program),
+                        last_used: stamp,
+                    },
+                );
+            }
         }
         Ok(program)
     }
 
-    /// Current hit/miss/occupancy counters.
+    /// Current hit/miss/eviction/occupancy counters.
     pub fn stats(&self) -> ProgramCacheStats {
         let inner = self.inner.lock().expect("program cache poisoned");
         ProgramCacheStats {
             hits: inner.hits,
             misses: inner.misses,
+            evictions: inner.evictions,
             entries: inner.map.len(),
         }
     }
 
-    /// Reset the hit/miss counters (entries stay resident).
+    /// Reset the hit/miss/eviction counters (entries stay resident).
     pub fn reset_stats(&self) {
         let mut inner = self.inner.lock().expect("program cache poisoned");
         inner.hits = 0;
         inner.misses = 0;
+        inner.evictions = 0;
     }
 
     /// Drop every cached program and reset counters.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("program cache poisoned");
         inner.map.clear();
-        inner.order.clear();
         inner.hits = 0;
         inner.misses = 0;
+        inner.evictions = 0;
     }
 }
 
@@ -212,14 +278,15 @@ mod tests {
         b.build()
     }
 
+    const LENS: [usize; 2] = [32, 32];
+    const DTS: [DType; 2] = [DType::F32, DType::F32];
+
     #[test]
     fn second_identical_lookup_hits() {
         let cache = ProgramCache::new();
         let k = kernel(2.0);
-        let lens = [32usize, 32];
-        let dts = [DType::F32, DType::F32];
-        let a = cache.get_or_compile(&k, &[4], &lens, &dts).unwrap();
-        let b = cache.get_or_compile(&k, &[4], &lens, &dts).unwrap();
+        let a = cache.get_or_compile(&k, &[4], &LENS, &DTS).unwrap();
+        let b = cache.get_or_compile(&k, &[4], &LENS, &DTS).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
@@ -228,20 +295,18 @@ mod tests {
     #[test]
     fn distinct_kernels_grids_and_metadata_miss() {
         let cache = ProgramCache::new();
-        let lens = [32usize, 32];
-        let dts = [DType::F32, DType::F32];
         cache
-            .get_or_compile(&kernel(2.0), &[4], &lens, &dts)
+            .get_or_compile(&kernel(2.0), &[4], &LENS, &DTS)
             .unwrap();
         cache
-            .get_or_compile(&kernel(3.0), &[4], &lens, &dts)
+            .get_or_compile(&kernel(3.0), &[4], &LENS, &DTS)
             .unwrap();
         cache
-            .get_or_compile(&kernel(2.0), &[8], &lens, &dts)
+            .get_or_compile(&kernel(2.0), &[8], &LENS, &DTS)
             .unwrap();
         let dts16 = [DType::F16, DType::F16];
         cache
-            .get_or_compile(&kernel(2.0), &[4], &lens, &dts16)
+            .get_or_compile(&kernel(2.0), &[4], &LENS, &dts16)
             .unwrap();
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 4, 4));
@@ -250,15 +315,60 @@ mod tests {
     #[test]
     fn clear_and_reset() {
         let cache = ProgramCache::new();
-        let lens = [32usize, 32];
-        let dts = [DType::F32, DType::F32];
         cache
-            .get_or_compile(&kernel(2.0), &[4], &lens, &dts)
+            .get_or_compile(&kernel(2.0), &[4], &LENS, &DTS)
             .unwrap();
         cache.reset_stats();
         assert_eq!(cache.stats().misses, 0);
         assert_eq!(cache.stats().entries, 1);
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = ProgramCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache
+            .get_or_compile(&kernel(1.0), &[4], &LENS, &DTS)
+            .unwrap();
+        cache
+            .get_or_compile(&kernel(2.0), &[4], &LENS, &DTS)
+            .unwrap();
+        // Touch kernel(1.0) so kernel(2.0) becomes the LRU victim.
+        cache
+            .get_or_compile(&kernel(1.0), &[4], &LENS, &DTS)
+            .unwrap();
+        cache
+            .get_or_compile(&kernel(3.0), &[4], &LENS, &DTS)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.entries), (1, 3, 1, 2));
+        // kernel(1.0) survived (hit), kernel(2.0) was evicted (miss).
+        cache
+            .get_or_compile(&kernel(1.0), &[4], &LENS, &DTS)
+            .unwrap();
+        cache
+            .get_or_compile(&kernel(2.0), &[4], &LENS, &DTS)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let cache = ProgramCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache
+            .get_or_compile(&kernel(1.0), &[4], &LENS, &DTS)
+            .unwrap();
+        cache
+            .get_or_compile(&kernel(2.0), &[4], &LENS, &DTS)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.entries), (1, 1));
     }
 }

@@ -91,6 +91,101 @@ pub fn run_fused_with_cache(
     Ok((owned.swap_remove(out_pos), report))
 }
 
+/// Run one fused operation for every request of a batch, sharing one
+/// pool of simulator threads across the whole batch (see
+/// [`insum_gpu::Program::launch_batch_with`]).
+///
+/// All requests must bind tensors with identical lengths and dtypes (the
+/// batch shares one compiled program); a mismatch is reported as a
+/// binding error naming the offending request. Each request's output
+/// tensor and [`KernelReport`] are bit-identical to a serial per-request
+/// [`run_fused_with`] call, regardless of batch composition, request
+/// order, or thread count.
+///
+/// # Errors
+///
+/// * [`InductorError::Binding`] if a parameter tensor is missing or a
+///   request's argument metadata differs from the first request's.
+/// * Simulator errors are propagated (first failing request wins).
+pub fn run_fused_batch_with_cache(
+    op: &FusedOp,
+    batch: &[&BTreeMap<String, Tensor>],
+    device: &DeviceModel,
+    mode: Mode,
+    launch_options: &LaunchOptions,
+    cache: &ProgramCache,
+) -> Result<Vec<(Tensor, KernelReport)>> {
+    if batch.is_empty() {
+        return Ok(Vec::new());
+    }
+    let params = &op.plan.param_order;
+    let mut owned: Vec<Vec<Tensor>> = Vec::with_capacity(batch.len());
+    for (req, inputs) in batch.iter().enumerate() {
+        let mut args: Vec<Tensor> = Vec::with_capacity(params.len());
+        for name in params {
+            let t = inputs.get(name).ok_or_else(|| {
+                InductorError::Binding(format!("request {req}: missing tensor {name:?}"))
+            })?;
+            args.push(t.clone());
+        }
+        owned.push(args);
+    }
+    let lens: Vec<usize> = owned[0].iter().map(|t| t.len()).collect();
+    let dtypes: Vec<DType> = owned[0].iter().map(|t| t.dtype()).collect();
+    for (req, args) in owned.iter().enumerate().skip(1) {
+        let ok = args
+            .iter()
+            .zip(lens.iter().zip(&dtypes))
+            .all(|(t, (&l, &d))| t.len() == l && t.dtype() == d);
+        if !ok {
+            return Err(InductorError::Binding(format!(
+                "request {req}: argument metadata differs from the batch's \
+                 (batched launches share one compiled program)"
+            )));
+        }
+    }
+    let program = cached_program(cache, &op.kernel, &op.grid, &lens, &dtypes)?;
+    let mut views: Vec<Vec<&mut Tensor>> = owned
+        .iter_mut()
+        .map(|args| args.iter_mut().collect())
+        .collect();
+    let mut requests: Vec<&mut [&mut Tensor]> =
+        views.iter_mut().map(|v| v.as_mut_slice()).collect();
+    let reports = program.launch_batch_with(&mut requests, device, mode, launch_options)?;
+    let out_pos = params
+        .iter()
+        .position(|n| n == &op.plan.output.tensor)
+        .expect("output is always a parameter");
+    Ok(owned
+        .into_iter()
+        .zip(reports)
+        .map(|(mut args, report)| (args.swap_remove(out_pos), report))
+        .collect())
+}
+
+/// [`run_fused_batch_with_cache`] against the process-wide
+/// [`ProgramCache`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_fused_batch_with_cache`].
+pub fn run_fused_batch_with(
+    op: &FusedOp,
+    batch: &[&BTreeMap<String, Tensor>],
+    device: &DeviceModel,
+    mode: Mode,
+    launch_options: &LaunchOptions,
+) -> Result<Vec<(Tensor, KernelReport)>> {
+    run_fused_batch_with_cache(
+        op,
+        batch,
+        device,
+        mode,
+        launch_options,
+        ProgramCache::global(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +394,94 @@ mod tests {
             &[("C", c), ("A", a), ("B", b)],
             &CodegenOptions::default(),
         );
+    }
+
+    #[test]
+    fn batched_requests_match_serial_runs_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let nnz = 37;
+        let am = randint(vec![nnz], 16, &mut rng);
+        let ak = randint(vec![nnz], 20, &mut rng);
+        let av = rand_uniform(vec![nnz], -1.0, 1.0, &mut rng);
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        let mk_request = |rng: &mut SmallRng| -> BTreeMap<String, Tensor> {
+            [
+                ("C".to_string(), Tensor::zeros(vec![16, 24])),
+                ("AM".to_string(), am.clone()),
+                ("AK".to_string(), ak.clone()),
+                ("AV".to_string(), av.clone()),
+                ("B".to_string(), rand_uniform(vec![20, 24], -1.0, 1.0, rng)),
+            ]
+            .into_iter()
+            .collect()
+        };
+        let requests: Vec<BTreeMap<String, Tensor>> =
+            (0..5).map(|_| mk_request(&mut rng)).collect();
+        let metas: BTreeMap<String, TensorMeta> = requests[0]
+            .iter()
+            .map(|(n, t)| (n.clone(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .collect();
+        let plan = build_plan(&stmt, &metas).unwrap();
+        let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+        let device = DeviceModel::rtx3090();
+        for mode in [Mode::Execute, Mode::Analytic] {
+            let serial: Vec<(Tensor, KernelReport)> = requests
+                .iter()
+                .map(|r| {
+                    run_fused_with(&op, r, &device, mode, &LaunchOptions::sequential()).unwrap()
+                })
+                .collect();
+            let refs: Vec<&BTreeMap<String, Tensor>> = requests.iter().collect();
+            let batched = run_fused_batch_with_cache(
+                &op,
+                &refs,
+                &device,
+                mode,
+                &LaunchOptions::with_threads(3),
+                &ProgramCache::new(),
+            )
+            .unwrap();
+            assert_eq!(batched.len(), serial.len());
+            for ((got_t, got_r), (want_t, want_r)) in batched.iter().zip(&serial) {
+                assert_eq!(got_t.data(), want_t.data(), "{mode:?} outputs diverge");
+                assert_eq!(got_r, want_r, "{mode:?} reports diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_metadata_mismatch_is_reported() {
+        let stmt = parse("C[i] = A[i]").unwrap();
+        let metas: BTreeMap<String, TensorMeta> = [
+            ("C".to_string(), TensorMeta::new(vec![8], DType::F32)),
+            ("A".to_string(), TensorMeta::new(vec![8], DType::F32)),
+        ]
+        .into_iter()
+        .collect();
+        let plan = build_plan(&stmt, &metas).unwrap();
+        let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+        let ok: BTreeMap<String, Tensor> = [
+            ("C".to_string(), Tensor::zeros(vec![8])),
+            ("A".to_string(), Tensor::ones(vec![8])),
+        ]
+        .into_iter()
+        .collect();
+        let bad: BTreeMap<String, Tensor> = [
+            ("C".to_string(), Tensor::zeros(vec![8])),
+            ("A".to_string(), Tensor::ones(vec![16])),
+        ]
+        .into_iter()
+        .collect();
+        let err = run_fused_batch_with_cache(
+            &op,
+            &[&ok, &bad],
+            &DeviceModel::rtx3090(),
+            Mode::Execute,
+            &LaunchOptions::default(),
+            &ProgramCache::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, InductorError::Binding(_)));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Concurrency properties of the cross-launch [`ProgramCache`]: many
+//! threads hammering `get_or_compile` on overlapping keys must keep the
+//! hit/miss/eviction counters consistent, respect the capacity bound,
+//! and hand every caller a program that is structurally identical to a
+//! fresh compilation of its kernel (observable behavior: identical
+//! outputs and launch reports).
+
+use insum_gpu::{DeviceModel, LaunchOptions, Mode, Program};
+use insum_inductor::ProgramCache;
+use insum_kernel::{BinOp, Kernel, KernelBuilder};
+use insum_tensor::{DType, Tensor};
+use std::sync::Arc;
+
+/// `Y[i] = scale * X[i] + bias` over 64 elements, 32 lanes per program.
+fn kernel(scale: f64, bias: f64) -> Kernel {
+    let mut b = KernelBuilder::new("cc");
+    let x = b.input("X");
+    let y = b.output("Y");
+    let pid = b.program_id(0);
+    let lanes = b.arange(32);
+    let width = b.constant(32.0);
+    let base = b.binary(BinOp::Mul, pid, width);
+    let offs = b.binary(BinOp::Add, base, lanes);
+    let v = b.load(x, offs, None, 0.0);
+    let s = b.constant(scale);
+    let sv = b.binary(BinOp::Mul, v, s);
+    let c = b.constant(bias);
+    let sb = b.binary(BinOp::Add, sv, c);
+    b.store(y, offs, sb, None);
+    b.build()
+}
+
+const LENS: [usize; 2] = [64, 64];
+const DTS: [DType; 2] = [DType::F32, DType::F32];
+
+/// Launch `program` on a fixed input and return the output bits plus the
+/// report — the structural identity oracle.
+fn observe(program: &Program) -> (Vec<f32>, insum_gpu::KernelReport) {
+    let mut x = Tensor::from_fn(vec![64], |i| i[0] as f32 * 0.5 - 7.0);
+    let mut y = Tensor::zeros(vec![64]);
+    let report = program
+        .launch_with(
+            &mut [&mut x, &mut y],
+            &DeviceModel::rtx3090(),
+            Mode::Execute,
+            &LaunchOptions::sequential(),
+        )
+        .expect("launch succeeds");
+    (y.data().to_vec(), report)
+}
+
+#[test]
+fn concurrent_get_or_compile_is_consistent_and_structurally_identical() {
+    // More distinct keys than capacity, so the LRU bound is exercised
+    // while threads race on overlapping keys.
+    const THREADS: usize = 8;
+    const ITERS: usize = 60;
+    const KEYS: usize = 6;
+    const CAPACITY: usize = 4;
+
+    let variants: Vec<Kernel> = (0..KEYS)
+        .map(|i| kernel(1.0 + i as f64, 0.25 * i as f64))
+        .collect();
+    let expected: Vec<(Vec<f32>, insum_gpu::KernelReport)> = variants
+        .iter()
+        .map(|k| {
+            let p = Program::compile(k, &[2], &LENS, &DTS).expect("reference compile");
+            observe(&p)
+        })
+        .collect();
+
+    let cache = ProgramCache::with_capacity(CAPACITY);
+    let collected: Vec<Vec<(usize, Arc<Program>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = &cache;
+                let variants = &variants;
+                scope.spawn(move || {
+                    let mut got = Vec::with_capacity(ITERS);
+                    for i in 0..ITERS {
+                        // Each thread walks the key space at its own
+                        // stride so hits, misses, and evictions overlap.
+                        let k = (i * (t + 1) + t) % KEYS;
+                        let p = cache
+                            .get_or_compile(&variants[k], &[2], &LENS, &DTS)
+                            .expect("compile succeeds");
+                        got.push((k, p));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Counter consistency: every lookup is exactly one hit or one miss,
+    // occupancy respects the bound, and evictions never exceed what the
+    // misses could have inserted.
+    let stats = cache.stats();
+    let lookups = (THREADS * ITERS) as u64;
+    assert_eq!(stats.hits + stats.misses, lookups);
+    assert!(stats.misses >= KEYS as u64, "each key misses at least once");
+    assert!(stats.entries <= CAPACITY);
+    assert!(
+        stats.entries as u64 + stats.evictions <= stats.misses,
+        "every resident or evicted entry came from a miss \
+         (entries={}, evictions={}, misses={})",
+        stats.entries,
+        stats.evictions,
+        stats.misses
+    );
+    assert!(stats.evictions > 0, "key space exceeds capacity");
+
+    // Structural identity: every returned program behaves exactly like a
+    // fresh compilation of its kernel. Deduplicate by Arc pointer so the
+    // launch-based check stays cheap.
+    let mut seen: Vec<(usize, *const Program)> = Vec::new();
+    for thread_results in &collected {
+        for (k, p) in thread_results {
+            let ptr = Arc::as_ptr(p);
+            if seen.contains(&(*k, ptr)) {
+                continue;
+            }
+            seen.push((*k, ptr));
+            let (out, report) = observe(p);
+            assert_eq!(out, expected[*k].0, "key {k}: outputs diverge");
+            assert_eq!(report, expected[*k].1, "key {k}: reports diverge");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Engine and per-submit configuration.
+
+use crate::error::ServeError;
+use insum::{InsumOptions, Mode};
+
+/// What [`crate::Session::submit`] does when the admission queue is at
+/// capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until a slot frees up (or the engine
+    /// shuts down). This propagates backpressure into the caller.
+    #[default]
+    Block,
+    /// Fail fast with [`ServeError::Saturated`] so the caller can shed
+    /// load or retry with its own policy.
+    Reject,
+}
+
+/// Engine-wide configuration. Construct with [`ServeConfig::default`]
+/// and refine with the builder-style setters:
+///
+/// ```
+/// use insum_serve::{AdmissionPolicy, ServeConfig};
+/// let config = ServeConfig::default()
+///     .with_queue_capacity(32)
+///     .with_max_batch(16)
+///     .with_admission(AdmissionPolicy::Reject);
+/// assert_eq!(config.queue_capacity, 32);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum requests admitted but not yet scheduled; submissions
+    /// beyond it block or reject per [`ServeConfig::admission`].
+    pub queue_capacity: usize,
+    /// Maximum requests executed as one batched launch.
+    pub max_batch: usize,
+    /// Behavior at capacity.
+    pub admission: AdmissionPolicy,
+    /// Host threads the scheduler's shared simulator pool may use per
+    /// batch; `None` resolves automatically (see
+    /// [`insum::LaunchOptions`]). The engine owns host scheduling:
+    /// per-request `sim_threads` never changes results or profiles, so
+    /// it is ignored at execution time.
+    pub sim_threads: Option<usize>,
+    /// Default compilation options for requests that don't override them
+    /// at submit time.
+    pub options: InsumOptions,
+    /// Maximum resident compiled artifacts in the engine's registry;
+    /// the least-recently-used artifact is evicted on overflow (a
+    /// revisited key recompiles).
+    pub registry_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            admission: AdmissionPolicy::default(),
+            sim_threads: None,
+            options: InsumOptions::default(),
+            registry_capacity: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Set the admission-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the maximum batched-launch size.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> ServeConfig {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Set the at-capacity behavior.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> ServeConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// Set the shared simulator thread budget.
+    #[must_use]
+    pub fn with_sim_threads(mut self, threads: Option<usize>) -> ServeConfig {
+        self.sim_threads = threads;
+        self
+    }
+
+    /// Set the default compilation options.
+    #[must_use]
+    pub fn with_options(mut self, options: InsumOptions) -> ServeConfig {
+        self.options = options;
+        self
+    }
+
+    /// Set the artifact-registry capacity.
+    #[must_use]
+    pub fn with_registry_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.registry_capacity = capacity;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config(
+                "queue_capacity must be at least 1".to_string(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::Config(
+                "max_batch must be at least 1".to_string(),
+            ));
+        }
+        if self.registry_capacity == 0 {
+            return Err(ServeError::Config(
+                "registry_capacity must be at least 1".to_string(),
+            ));
+        }
+        if self.sim_threads == Some(0) {
+            return Err(ServeError::Config(
+                "sim_threads = Some(0): the shared simulator pool needs at \
+                 least one host thread; use None for automatic resolution"
+                    .to_string(),
+            ));
+        }
+        self.options.validate()?;
+        Ok(())
+    }
+}
+
+/// Per-submit overrides. Construct with [`SubmitOptions::default`]
+/// (engine-default options, [`Mode::Execute`]) and refine with the
+/// builder-style setters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubmitOptions {
+    /// Compilation options for this request; `None` uses the engine's
+    /// [`ServeConfig::options`].
+    pub options: Option<InsumOptions>,
+    /// Interpreter mode; `None` means [`Mode::Execute`]. Analytic
+    /// requests return counters and simulated timing without computing
+    /// values (the output binding comes back unmodified).
+    pub mode: Option<Mode>,
+}
+
+impl SubmitOptions {
+    /// Override the compilation options.
+    #[must_use]
+    pub fn with_options(mut self, options: InsumOptions) -> SubmitOptions {
+        self.options = Some(options);
+        self
+    }
+
+    /// Override the interpreter mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: Mode) -> SubmitOptions {
+        self.mode = Some(mode);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_defaults() {
+        let c = ServeConfig::default();
+        assert_eq!(c.admission, AdmissionPolicy::Block);
+        assert!(c.validate().is_ok());
+        let c = c
+            .with_queue_capacity(3)
+            .with_max_batch(5)
+            .with_admission(AdmissionPolicy::Reject)
+            .with_sim_threads(Some(2));
+        assert_eq!(
+            (c.queue_capacity, c.max_batch, c.sim_threads),
+            (3, 5, Some(2))
+        );
+        assert_eq!(c.admission, AdmissionPolicy::Reject);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(matches!(
+            ServeConfig::default().with_queue_capacity(0).validate(),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            ServeConfig::default().with_max_batch(0).validate(),
+            Err(ServeError::Config(_))
+        ));
+        assert!(matches!(
+            ServeConfig::default().with_sim_threads(Some(0)).validate(),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,267 @@
+//! The serving engine: admission, lifecycle, and observability.
+
+use crate::config::{AdmissionPolicy, ServeConfig, SubmitOptions};
+use crate::error::ServeError;
+use crate::metrics::{MetricsInner, MetricsSnapshot};
+use crate::registry::ArtifactRegistry;
+use crate::scheduler;
+use crate::session::{RequestId, ResponseHandle, Session, TicketInner};
+use insum::{InsumOptions, Mode, Tensor};
+use insum_inductor::ProgramCache;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One admitted, not-yet-executed request.
+pub(crate) struct Pending {
+    pub(crate) id: u64,
+    pub(crate) tenant: Arc<str>,
+    pub(crate) expr: String,
+    pub(crate) tensors: BTreeMap<String, Tensor>,
+    pub(crate) options: InsumOptions,
+    pub(crate) mode: Mode,
+    pub(crate) submitted_at: Instant,
+    pub(crate) ticket: Arc<TicketInner>,
+}
+
+pub(crate) struct QueueState {
+    pub(crate) queue: VecDeque<Pending>,
+    pub(crate) closed: bool,
+    pub(crate) paused: bool,
+}
+
+/// State shared between sessions, the engine handle, and the scheduler
+/// thread.
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) state: Mutex<QueueState>,
+    pub(crate) not_empty: Condvar,
+    pub(crate) not_full: Condvar,
+    pub(crate) registry: ArtifactRegistry,
+    pub(crate) metrics: Mutex<MetricsInner>,
+    next_id: AtomicU64,
+}
+
+/// The async multi-tenant serving engine. See the crate docs for the
+/// execution model, the determinism guarantee, and the backpressure
+/// contract.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Start an engine (spawns the scheduler thread).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for an invalid configuration.
+    pub fn new(config: ServeConfig) -> Result<ServeEngine, ServeError> {
+        config.validate()?;
+        let registry = ArtifactRegistry::with_capacity(config.registry_capacity);
+        let shared = Arc::new(Shared {
+            config,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                closed: false,
+                paused: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            registry,
+            metrics: Mutex::new(MetricsInner::default()),
+            next_id: AtomicU64::new(0),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("insum-serve-scheduler".to_string())
+                .spawn(move || scheduler::run(&shared))
+                .expect("spawn scheduler thread")
+        };
+        Ok(ServeEngine {
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// An engine with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (the default configuration is valid);
+    /// kept fallible for signature symmetry with [`ServeEngine::new`].
+    pub fn with_defaults() -> Result<ServeEngine, ServeError> {
+        ServeEngine::new(ServeConfig::default())
+    }
+
+    /// Open a session for `tenant` (sessions namespace the per-tenant
+    /// metrics; any number may exist concurrently).
+    pub fn session(&self, tenant: &str) -> Session {
+        Session {
+            tenant: Arc::from(tenant),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stop scheduling new batches; admitted requests stay queued (and
+    /// admission keeps filling the queue up to capacity, exercising the
+    /// backpressure path). Used for drain control and deterministic
+    /// tests.
+    pub fn pause(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state poisoned")
+            .paused = true;
+        self.shared.not_empty.notify_all();
+    }
+
+    /// Resume scheduling after [`ServeEngine::pause`].
+    pub fn resume(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("engine state poisoned")
+            .paused = false;
+        self.shared.not_empty.notify_all();
+    }
+
+    /// A point-in-time snapshot of the engine's counters (queue depths
+    /// are read live; the program-cache section reflects the
+    /// process-wide [`ProgramCache::global`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        // Lock order state → metrics, matching admission: every queued
+        // request's submission (and tenant entry) is visible in the
+        // counters, so a snapshot never shows completed > submitted or
+        // misses a queued tenant's depth.
+        let state = self.shared.state.lock().expect("engine state poisoned");
+        let inner = self.shared.metrics.lock().expect("metrics poisoned");
+        let mut snap = MetricsSnapshot {
+            submitted: inner.submitted,
+            completed: inner.completed,
+            failed: inner.failed,
+            rejected: inner.rejected,
+            queue_depth: state.queue.len(),
+            queue_depth_max: inner.queue_depth_max,
+            batches: inner.batches,
+            batched_requests: inner.batched_requests,
+            largest_batch: inner.largest_batch,
+            registry: self.shared.registry.stats(),
+            program_cache: ProgramCache::global().stats(),
+            tenants: inner.tenants.clone(),
+            kernels: inner.kernels.clone(),
+        };
+        drop(inner);
+        for t in snap.tenants.values_mut() {
+            t.queue_depth = 0;
+        }
+        for p in &state.queue {
+            if let Some(t) = snap.tenants.get_mut(p.tenant.as_ref()) {
+                t.queue_depth += 1;
+            }
+        }
+        snap
+    }
+
+    /// Shut down: admission closes immediately (blocked submitters fail
+    /// with [`ServeError::Closed`]), already-admitted requests are still
+    /// served, and the scheduler thread is joined. Idempotent; also runs
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("engine state poisoned");
+            state.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("scheduler thread panicked");
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Admission: validate, apply backpressure, enqueue, hand out a ticket.
+pub(crate) fn submit(
+    session: &Session,
+    expression: &str,
+    tensors: &BTreeMap<String, Tensor>,
+    submit_options: &SubmitOptions,
+) -> Result<ResponseHandle, ServeError> {
+    let shared = &session.shared;
+    let options = submit_options
+        .options
+        .clone()
+        .unwrap_or_else(|| shared.config.options.clone());
+    options.validate()?;
+    let mode = submit_options.mode.unwrap_or(Mode::Execute);
+
+    let mut state = shared.state.lock().expect("engine state poisoned");
+    loop {
+        if state.closed {
+            drop(state);
+            note_rejection(shared, &session.tenant);
+            return Err(ServeError::Closed);
+        }
+        if state.queue.len() < shared.config.queue_capacity {
+            break;
+        }
+        match shared.config.admission {
+            AdmissionPolicy::Reject => {
+                drop(state);
+                note_rejection(shared, &session.tenant);
+                return Err(ServeError::Saturated {
+                    capacity: shared.config.queue_capacity,
+                });
+            }
+            AdmissionPolicy::Block => {
+                state = shared.not_full.wait(state).expect("engine state poisoned");
+            }
+        }
+    }
+
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let ticket = Arc::new(TicketInner::default());
+    state.queue.push_back(Pending {
+        id,
+        tenant: Arc::clone(&session.tenant),
+        expr: expression.to_string(),
+        tensors: tensors.clone(),
+        options,
+        mode,
+        submitted_at: Instant::now(),
+        ticket: Arc::clone(&ticket),
+    });
+    let depth = state.queue.len();
+    // Record the submission while still holding the queue lock (lock
+    // order: state → metrics, matching [`ServeEngine::metrics`]) so a
+    // snapshot can never observe a completed request before its
+    // submission was counted.
+    {
+        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        metrics.submitted += 1;
+        metrics.queue_depth_max = metrics.queue_depth_max.max(depth);
+        metrics.tenant(&session.tenant).submitted += 1;
+    }
+    drop(state);
+    shared.not_empty.notify_all();
+
+    Ok(ResponseHandle {
+        id: RequestId(id),
+        ticket,
+    })
+}
+
+fn note_rejection(shared: &Shared, tenant: &str) {
+    let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+    metrics.rejected += 1;
+    metrics.tenant(tenant).rejected += 1;
+}

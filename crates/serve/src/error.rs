@@ -1,0 +1,56 @@
+//! Serving-layer errors.
+
+use insum::InsumError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error the serving engine can hand back to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue is full and the engine is configured to
+    /// reject rather than block ([`crate::AdmissionPolicy::Reject`]).
+    Saturated {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The engine is shut down (or shut down while the request waited
+    /// for admission).
+    Closed,
+    /// Compilation or execution failed; carries the pipeline error.
+    Insum(InsumError),
+    /// The engine or submit configuration is invalid.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Saturated { capacity } => {
+                write!(f, "admission queue saturated ({capacity} requests)")
+            }
+            ServeError::Closed => write!(f, "serving engine is shut down"),
+            ServeError::Insum(e) => write!(f, "{e}"),
+            ServeError::Config(msg) => write!(f, "invalid serving configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Insum(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InsumError> for ServeError {
+    fn from(e: InsumError) -> Self {
+        // A bad per-request option set is a configuration error at the
+        // serving layer too, with a clearer category for clients.
+        match e {
+            InsumError::Config(msg) => ServeError::Config(msg),
+            other => ServeError::Insum(other),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! # Insum-serve — async multi-tenant einsum serving
+//!
+//! Real deployments of sparse GPU kernels (sparse DL inference in the
+//! style of Gale et al., *Sparse GPU Kernels for Deep Learning*) are
+//! driven by many concurrent requests, not single launches. This crate
+//! puts an asynchronous, multi-tenant serving engine in front of the
+//! Insum compile/run stack:
+//!
+//! * **Sessions** ([`ServeEngine::session`]) submit requests as plain
+//!   `(expression, tensors)` pairs and get back awaitable
+//!   [`ResponseHandle`]s ([`Session::submit`] returns at admission; the
+//!   handle implements [`std::future::Future`] and also offers blocking
+//!   [`ResponseHandle::wait`]).
+//! * **A bounded admission queue** applies backpressure (see below).
+//! * **A batching scheduler** groups launch-compatible pending requests
+//!   — same kernel fingerprint, grid, parameter metadata, mode, and
+//!   device — and executes each group as one batched launch, so the
+//!   simulator's host threads are shared by the batch instead of being
+//!   scheduled per request
+//!   ([`insum_gpu::Program::launch_batch_with`]).
+//! * **A compiled-artifact registry** shares `Arc<`[`insum::Compiled`]`>`
+//!   handles across tenants with single-flight compilation, layered on
+//!   the process-wide [`insum_inductor::ProgramCache`] — concurrent
+//!   tenants never re-lower (or re-autotune) the same program.
+//! * **Per-tenant and per-kernel metrics** ([`ServeEngine::metrics`]):
+//!   queue depths, wait times, registry/program-cache hits, batch sizes,
+//!   and simulated instance counts.
+//!
+//! ## Determinism guarantee
+//!
+//! **Batching never changes bits.** For every admitted request the
+//! response's output tensor and [`insum::Profile`] are bit-identical to
+//! a synchronous one-shot `insum_with(expr, &tensors, &options)?.run(&tensors)`
+//! of that same request, regardless of arrival order, queue state, batch
+//! composition, or the engine's thread budget. This holds because (a)
+//! compilation is deterministic, so the registry's shared artifact is
+//! the one the request would have compiled itself; (b) a batched launch
+//! executes each request with exactly the per-request interpreter
+//! semantics — requests own their tensors, so request-level parallelism
+//! needs no merge — and (c) the simulator's intra-request sharding is
+//! itself bit-deterministic at every thread count (PR 1's write-log
+//! replay). The engine only decides *when* work runs, never *what* it
+//! computes.
+//!
+//! ## Backpressure model
+//!
+//! Admission is bounded by [`ServeConfig::queue_capacity`], counting
+//! requests that are admitted but not yet picked up by the scheduler.
+//! At capacity, [`AdmissionPolicy::Block`] (default) parks the
+//! submitting thread until the scheduler drains the queue — pushing the
+//! slowdown into producers — while [`AdmissionPolicy::Reject`] fails
+//! fast with [`ServeError::Saturated`] so callers can shed load.
+//! Shutdown closes admission immediately (blocked submitters observe
+//! [`ServeError::Closed`]) but still serves everything already
+//! admitted.
+//!
+//! ## Example
+//!
+//! ```
+//! use insum_serve::{block_on, ServeConfig, ServeEngine};
+//! use insum_tensor::Tensor;
+//! use std::collections::BTreeMap;
+//!
+//! # fn main() -> Result<(), insum_serve::ServeError> {
+//! let engine = ServeEngine::new(ServeConfig::default())?;
+//! let session = engine.session("tenant-a");
+//!
+//! let mut tensors = BTreeMap::new();
+//! tensors.insert("C".into(), Tensor::zeros(vec![4, 32]));
+//! tensors.insert("AM".into(), Tensor::from_indices(vec![3], vec![0, 2, 3]).unwrap());
+//! tensors.insert("AK".into(), Tensor::from_indices(vec![3], vec![1, 0, 7]).unwrap());
+//! tensors.insert("AV".into(), Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap());
+//! tensors.insert("B".into(), Tensor::ones(vec![8, 32]));
+//!
+//! let handle = session.submit("C[AM[p],n] += AV[p] * B[AK[p],n]", &tensors)?;
+//! let response = block_on(handle)?; // or handle.wait()
+//! assert_eq!(response.output.at(&[2, 0]), 2.0);
+//! assert_eq!(response.profile.launches(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+mod engine;
+mod error;
+mod metrics;
+mod registry;
+mod scheduler;
+mod session;
+
+pub use config::{AdmissionPolicy, ServeConfig, SubmitOptions};
+pub use engine::ServeEngine;
+pub use error::ServeError;
+pub use metrics::{KernelMetrics, MetricsSnapshot, RegistryStats, TenantMetrics};
+pub use session::{RequestId, Response, ResponseHandle, Session};
+
+use std::future::Future;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+struct ThreadWaker(std::thread::Thread);
+
+impl std::task::Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drive a future to completion on the calling thread — a minimal,
+/// dependency-free executor for awaiting [`ResponseHandle`]s outside an
+/// async runtime.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = std::pin::pin!(future);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}

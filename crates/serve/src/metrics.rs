@@ -1,0 +1,125 @@
+//! Engine observability: per-tenant and per-kernel counters.
+
+use insum_inductor::ProgramCacheStats;
+use std::collections::BTreeMap;
+
+/// Counters for one tenant (session namespace).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantMetrics {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error.
+    pub failed: u64,
+    /// Submissions rejected at admission (saturated or closed).
+    pub rejected: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Total queue wait (admission to execution start), seconds.
+    pub wait_seconds_total: f64,
+    /// Worst single-request queue wait, seconds.
+    pub wait_seconds_max: f64,
+    /// Artifact-registry hits attributed to this tenant's requests.
+    pub registry_hits: u64,
+    /// Artifact-registry misses (compilations) this tenant triggered.
+    pub registry_misses: u64,
+    /// Simulated grid instances executed for this tenant.
+    pub instances_simulated: u64,
+}
+
+/// Counters for one kernel identity (fingerprint + grid).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelMetrics {
+    /// Requests served by this kernel.
+    pub requests: u64,
+    /// Batched launches issued.
+    pub batches: u64,
+    /// Largest batch executed.
+    pub largest_batch: usize,
+    /// Simulated grid instances executed.
+    pub instances_simulated: u64,
+    /// Total simulated device time, seconds.
+    pub simulated_seconds_total: f64,
+    /// Total queue wait of the requests served, seconds.
+    pub wait_seconds_total: f64,
+}
+
+/// Artifact-registry effectiveness (compiled [`insum::Compiled`]
+/// handles shared across tenants).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Lookups that reused (or waited on) an existing artifact.
+    pub hits: u64,
+    /// Lookups that compiled a new artifact.
+    pub misses: u64,
+    /// Artifacts dropped to respect the capacity bound (LRU order).
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+}
+
+/// A point-in-time view of the engine's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests admitted across all tenants.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error.
+    pub failed: u64,
+    /// Submissions rejected at admission.
+    pub rejected: u64,
+    /// Requests currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// High-water mark of the admission queue.
+    pub queue_depth_max: usize,
+    /// Batched launches issued.
+    pub batches: u64,
+    /// Requests executed through batched launches.
+    pub batched_requests: u64,
+    /// Largest batch executed.
+    pub largest_batch: usize,
+    /// Artifact-registry counters.
+    pub registry: RegistryStats,
+    /// Process-wide program-cache counters (lowered simulator programs).
+    pub program_cache: ProgramCacheStats,
+    /// Per-tenant breakdown.
+    pub tenants: BTreeMap<String, TenantMetrics>,
+    /// Per-kernel breakdown, keyed `"<fingerprint>@<grid>"` (or
+    /// `"unfused:<statement>"` for unbatchable pipelines).
+    pub kernels: BTreeMap<String, KernelMetrics>,
+}
+
+/// Mutable interior of the snapshot, owned by the engine.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsInner {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub rejected: u64,
+    pub queue_depth_max: usize,
+    pub batches: u64,
+    pub batched_requests: u64,
+    pub largest_batch: usize,
+    pub tenants: BTreeMap<String, TenantMetrics>,
+    pub kernels: BTreeMap<String, KernelMetrics>,
+}
+
+impl MetricsInner {
+    pub(crate) fn tenant(&mut self, tenant: &str) -> &mut TenantMetrics {
+        if !self.tenants.contains_key(tenant) {
+            self.tenants
+                .insert(tenant.to_string(), TenantMetrics::default());
+        }
+        self.tenants.get_mut(tenant).expect("just inserted")
+    }
+
+    pub(crate) fn kernel(&mut self, key: &str) -> &mut KernelMetrics {
+        if !self.kernels.contains_key(key) {
+            self.kernels
+                .insert(key.to_string(), KernelMetrics::default());
+        }
+        self.kernels.get_mut(key).expect("just inserted")
+    }
+}

@@ -1,0 +1,243 @@
+//! The batching scheduler.
+//!
+//! The scheduler thread drains the admission queue, resolves every
+//! request to a compiled artifact through the registry, groups
+//! launch-compatible requests — same shared artifact with equal kernel
+//! fingerprint, grid, parameter order, argument metadata, interpreter
+//! mode, and device — and executes
+//! each group as one batched launch over the shared simulator thread
+//! pool ([`insum::Compiled::run_batch_mode`]). Grouping only ever
+//! changes *scheduling*: each request inside a batch is executed with
+//! exactly the per-request interpreter semantics, so its response is
+//! bit-identical to a serial [`insum::Compiled::run`] no matter the
+//! arrival order or batch composition.
+
+use crate::engine::{Pending, Shared};
+use crate::error::ServeError;
+use crate::session::{RequestId, Response};
+use insum::{Compiled, LaunchOptions, Mode, Tensor};
+use insum_tensor::DType;
+use std::sync::Arc;
+
+/// Launch-compatibility key: requests with equal keys may share one
+/// batched launch.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    Batched {
+        /// Identity of the shared registry artifact
+        /// (`Arc::as_ptr`-derived). The 64-bit fingerprint alone could
+        /// collide across distinct kernels — `ProgramCache` guards the
+        /// same case with full kernel equality — so batches only ever
+        /// form within one compiled artifact, which the registry already
+        /// dedups across tenants.
+        artifact: usize,
+        kernel_fingerprint: u64,
+        grid: Vec<usize>,
+        params: Vec<String>,
+        lens: Vec<usize>,
+        dtypes: Vec<DType>,
+        analytic: bool,
+        device: String,
+    },
+    /// Unbatchable (unfused pipeline or unresolvable binding): executes
+    /// alone, keyed by request id.
+    Single(u64),
+}
+
+struct Resolved {
+    pending: Pending,
+    artifact: Arc<Compiled>,
+    registry_hit: bool,
+}
+
+/// Scheduler main loop: wait for work, drain, process; exit once the
+/// engine is closed and the queue is empty.
+pub(crate) fn run(shared: &Shared) {
+    loop {
+        let drained: Vec<Pending> = {
+            let mut state = shared.state.lock().expect("engine state poisoned");
+            loop {
+                if state.closed && state.queue.is_empty() {
+                    return;
+                }
+                // Paused engines hold work until resume (unless shutting
+                // down, which always drains).
+                if !state.queue.is_empty() && (!state.paused || state.closed) {
+                    break;
+                }
+                state = shared.not_empty.wait(state).expect("engine state poisoned");
+            }
+            state.queue.drain(..).collect()
+        };
+        shared.not_full.notify_all();
+        process(shared, drained);
+    }
+}
+
+/// Resolve, group, and execute one drained window of requests.
+fn process(shared: &Shared, drained: Vec<Pending>) {
+    // Grouping preserves arrival order: groups are ordered by their
+    // earliest request, and requests stay in arrival order inside each
+    // group.
+    let mut groups: Vec<(GroupKey, Vec<Resolved>)> = Vec::new();
+    for pending in drained {
+        let (result, registry_hit) =
+            shared
+                .registry
+                .get_or_compile(&pending.expr, &pending.tensors, &pending.options);
+        {
+            let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+            let tenant = metrics.tenant(&pending.tenant);
+            if registry_hit {
+                tenant.registry_hits += 1;
+            } else {
+                tenant.registry_misses += 1;
+            }
+        }
+        match result {
+            Err(e) => {
+                let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+                metrics.failed += 1;
+                metrics.tenant(&pending.tenant).failed += 1;
+                drop(metrics);
+                pending.ticket.complete(Err(ServeError::from(e)));
+            }
+            Ok(artifact) => {
+                let key = group_key(&artifact, &pending);
+                let resolved = Resolved {
+                    pending,
+                    artifact,
+                    registry_hit,
+                };
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, members)) => members.push(resolved),
+                    None => groups.push((key, vec![resolved])),
+                }
+            }
+        }
+    }
+    for (_, mut members) in groups {
+        while !members.is_empty() {
+            let take = members.len().min(shared.config.max_batch);
+            let batch: Vec<Resolved> = members.drain(..take).collect();
+            execute_batch(shared, batch);
+        }
+    }
+}
+
+fn group_key(artifact: &Arc<Compiled>, pending: &Pending) -> GroupKey {
+    let Some(sig) = artifact.launch_signature() else {
+        return GroupKey::Single(pending.id);
+    };
+    let mut lens = Vec::with_capacity(sig.params.len());
+    let mut dtypes = Vec::with_capacity(sig.params.len());
+    for name in &sig.params {
+        let Some(t) = pending.tensors.get(name) else {
+            // Missing binding: let the execution path report it for this
+            // request alone.
+            return GroupKey::Single(pending.id);
+        };
+        lens.push(t.len());
+        dtypes.push(t.dtype());
+    }
+    GroupKey::Batched {
+        artifact: Arc::as_ptr(artifact) as usize,
+        kernel_fingerprint: sig.kernel_fingerprint,
+        grid: sig.grid,
+        params: sig.params,
+        lens,
+        dtypes,
+        analytic: pending.mode == Mode::Analytic,
+        device: format!("{:?}", artifact.options().device),
+    }
+}
+
+fn kernel_key(artifact: &Compiled) -> String {
+    match artifact.launch_signature() {
+        Some(sig) => format!("{:016x}@{:?}", sig.kernel_fingerprint, sig.grid),
+        None => format!("unfused:{}", artifact.statement()),
+    }
+}
+
+/// Execute one launch-compatible batch and complete its tickets.
+fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
+    let artifact = Arc::clone(&batch[0].artifact);
+    let mode = batch[0].pending.mode;
+    let launch = LaunchOptions {
+        threads: shared.config.sim_threads,
+        ..Default::default()
+    };
+    let batch_size = batch.len();
+    let waits: Vec<f64> = batch
+        .iter()
+        .map(|r| r.pending.submitted_at.elapsed().as_secs_f64())
+        .collect();
+    let inputs: Vec<&std::collections::BTreeMap<String, Tensor>> =
+        batch.iter().map(|r| &r.pending.tensors).collect();
+    let result = artifact.run_batch_mode(&inputs, mode, &launch);
+    let kkey = kernel_key(&artifact);
+
+    match result {
+        Ok(results) => {
+            debug_assert_eq!(results.len(), batch_size);
+            let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+            metrics.batches += 1;
+            metrics.batched_requests += batch_size as u64;
+            metrics.largest_batch = metrics.largest_batch.max(batch_size);
+            {
+                let km = metrics.kernel(&kkey);
+                km.requests += batch_size as u64;
+                km.batches += 1;
+                km.largest_batch = km.largest_batch.max(batch_size);
+            }
+            for ((resolved, (output, profile)), wait) in batch.into_iter().zip(results).zip(waits) {
+                let instances = profile.total_stats().instances;
+                metrics.completed += 1;
+                {
+                    let km = metrics.kernel(&kkey);
+                    km.instances_simulated += instances;
+                    km.simulated_seconds_total += profile.total_time();
+                    km.wait_seconds_total += wait;
+                }
+                {
+                    let tm = metrics.tenant(&resolved.pending.tenant);
+                    tm.completed += 1;
+                    tm.wait_seconds_total += wait;
+                    tm.wait_seconds_max = tm.wait_seconds_max.max(wait);
+                    tm.instances_simulated += instances;
+                }
+                resolved.pending.ticket.complete(Ok(Response {
+                    id: RequestId(resolved.pending.id),
+                    tenant: resolved.pending.tenant.to_string(),
+                    output,
+                    profile,
+                    queue_seconds: wait,
+                    batch_size,
+                    registry_hit: resolved.registry_hit,
+                }));
+            }
+        }
+        Err(_) if batch_size > 1 => {
+            // Isolate the failure: the batched launch reports only the
+            // first failing request, and the determinism guarantee is
+            // per request — a bad tenant must not fail its batch-mates.
+            // Re-run each request alone (single-request batches take
+            // the arm below on error).
+            for resolved in batch {
+                execute_batch(shared, vec![resolved]);
+            }
+        }
+        Err(e) => {
+            let err = ServeError::from(e);
+            let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+            metrics.failed += batch_size as u64;
+            for resolved in &batch {
+                metrics.tenant(&resolved.pending.tenant).failed += 1;
+            }
+            drop(metrics);
+            for resolved in batch {
+                resolved.pending.ticket.complete(Err(err.clone()));
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Tenant session handles and awaitable responses.
+
+use crate::config::SubmitOptions;
+use crate::engine::{self, Shared};
+use crate::error::ServeError;
+use insum::{Profile, Tensor};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Identifier of an admitted request (unique per engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// A completed request: the output tensor and execution profile are
+/// bit-identical to a serial [`insum::Compiled::run`] of the same
+/// request, regardless of how the engine queued or batched it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request this response answers.
+    pub id: RequestId,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The output tensor (the unmodified output binding for analytic
+    /// requests).
+    pub output: Tensor,
+    /// Simulated launch reports.
+    pub profile: Profile,
+    /// Wall-clock the request waited from admission to execution start,
+    /// seconds (includes any artifact compilation it had to wait on).
+    pub queue_seconds: f64,
+    /// Size of the batched launch this request executed in (1 when it
+    /// ran alone).
+    pub batch_size: usize,
+    /// Whether the compiled artifact was served from the registry.
+    pub registry_hit: bool,
+}
+
+#[derive(Default)]
+struct TicketState {
+    result: Option<Result<Response, ServeError>>,
+    waker: Option<Waker>,
+}
+
+/// Completion cell shared between the engine and one [`ResponseHandle`].
+#[derive(Default)]
+pub(crate) struct TicketInner {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+impl TicketInner {
+    pub(crate) fn complete(&self, result: Result<Response, ServeError>) {
+        let mut state = self.state.lock().expect("ticket poisoned");
+        if state.result.is_none() {
+            state.result = Some(result);
+        }
+        let waker = state.waker.take();
+        drop(state);
+        self.done.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// An in-flight request. Await it (it implements [`Future`]; see
+/// [`crate::block_on`] for a dependency-free executor) or block with
+/// [`ResponseHandle::wait`].
+pub struct ResponseHandle {
+    pub(crate) id: RequestId,
+    pub(crate) ticket: Arc<TicketInner>,
+}
+
+impl fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResponseHandle")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl ResponseHandle {
+    /// The admitted request's identifier.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Block the calling thread until the response is ready.
+    ///
+    /// # Errors
+    ///
+    /// Whatever error the engine completed the request with
+    /// (compilation, execution, or shutdown).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut state = self.ticket.state.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = state.result.take() {
+                return result;
+            }
+            state = self.ticket.done.wait(state).expect("ticket poisoned");
+        }
+    }
+
+    /// Non-blocking poll: `Some` once the response is ready (taking it),
+    /// `None` while the request is still in flight.
+    pub fn try_take(&self) -> Option<Result<Response, ServeError>> {
+        self.ticket
+            .state
+            .lock()
+            .expect("ticket poisoned")
+            .result
+            .take()
+    }
+}
+
+impl Future for ResponseHandle {
+    type Output = Result<Response, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.ticket.state.lock().expect("ticket poisoned");
+        if let Some(result) = state.result.take() {
+            Poll::Ready(result)
+        } else {
+            state.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A tenant's handle onto the engine. Sessions are cheap to clone and
+/// may submit from any thread; the tenant name namespaces the engine's
+/// per-tenant metrics.
+#[derive(Clone)]
+pub struct Session {
+    pub(crate) tenant: Arc<str>,
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Session {
+    /// The tenant this session submits as.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Submit an indirect-Einsum request with the engine's default
+    /// options in [`insum::Mode::Execute`]. Returns as soon as the
+    /// request is admitted; the returned handle resolves when the
+    /// scheduler has executed it.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Saturated`] under the reject admission policy
+    ///   when the queue is full (the blocking policy waits instead).
+    /// * [`ServeError::Closed`] if the engine is shut down.
+    /// * [`ServeError::Config`] for invalid per-request options.
+    pub fn submit(
+        &self,
+        expression: &str,
+        tensors: &BTreeMap<String, Tensor>,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.submit_with(expression, tensors, &SubmitOptions::default())
+    }
+
+    /// [`Session::submit`] with per-request overrides.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::submit`].
+    pub fn submit_with(
+        &self,
+        expression: &str,
+        tensors: &BTreeMap<String, Tensor>,
+        options: &SubmitOptions,
+    ) -> Result<ResponseHandle, ServeError> {
+        engine::submit(self, expression, tensors, options)
+    }
+}

@@ -1,0 +1,422 @@
+//! End-to-end engine behavior: the determinism guarantee under shuffled
+//! arrival orders and varying batch compositions, the backpressure
+//! model, metrics accounting, and the async handle surface.
+
+use insum::{insum_with, InsumOptions, Mode, Profile, Tensor};
+use insum_serve::{block_on, AdmissionPolicy, ServeConfig, ServeEngine, ServeError, SubmitOptions};
+use insum_tensor::{rand_uniform, randint};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+const SPMM: &str = "C[AM[p],n] += AV[p] * B[AK[p],n]";
+const MATMUL: &str = "C[y,x] = A[y,r] * B[r,x]";
+
+fn spmm_request(seed: u64) -> BTreeMap<String, Tensor> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nnz = 29;
+    [
+        ("C".to_string(), Tensor::zeros(vec![16, 32])),
+        ("AM".to_string(), randint(vec![nnz], 16, &mut rng)),
+        ("AK".to_string(), randint(vec![nnz], 24, &mut rng)),
+        (
+            "AV".to_string(),
+            rand_uniform(vec![nnz], -1.0, 1.0, &mut rng),
+        ),
+        (
+            "B".to_string(),
+            rand_uniform(vec![24, 32], -1.0, 1.0, &mut rng),
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn matmul_request(seed: u64) -> BTreeMap<String, Tensor> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    [
+        ("C".to_string(), Tensor::zeros(vec![24, 20])),
+        (
+            "A".to_string(),
+            rand_uniform(vec![24, 16], -1.0, 1.0, &mut rng),
+        ),
+        (
+            "B".to_string(),
+            rand_uniform(vec![16, 20], -1.0, 1.0, &mut rng),
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// One request plus its serially computed expected response bits.
+struct Case {
+    expr: &'static str,
+    tensors: BTreeMap<String, Tensor>,
+    mode: Mode,
+    want_output: Tensor,
+    want_profile: Profile,
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = Vec::new();
+    let opts = InsumOptions::default();
+    for seed in 0..5u64 {
+        let tensors = spmm_request(seed);
+        let op = insum_with(SPMM, &tensors, &opts).unwrap();
+        let (out, profile) = op.run(&tensors).unwrap();
+        cases.push(Case {
+            expr: SPMM,
+            tensors,
+            mode: Mode::Execute,
+            want_output: out,
+            want_profile: profile,
+        });
+    }
+    for seed in 0..3u64 {
+        let tensors = matmul_request(seed);
+        let op = insum_with(MATMUL, &tensors, &opts).unwrap();
+        let (out, profile) = op.run(&tensors).unwrap();
+        cases.push(Case {
+            expr: MATMUL,
+            tensors,
+            mode: Mode::Execute,
+            want_output: out,
+            want_profile: profile,
+        });
+    }
+    // Analytic requests: counters identical to execute, output binding
+    // returned unmodified.
+    for seed in [1u64, 3] {
+        let tensors = spmm_request(seed);
+        let op = insum_with(SPMM, &tensors, &opts).unwrap();
+        let profile = op.time(&tensors).unwrap();
+        cases.push(Case {
+            expr: SPMM,
+            tensors: tensors.clone(),
+            mode: Mode::Analytic,
+            want_output: tensors["C"].clone(),
+            want_profile: profile,
+        });
+    }
+    cases
+}
+
+/// The acceptance property: outputs and per-request profiles are
+/// independent of arrival order, batch composition, thread budget, and
+/// client concurrency.
+#[test]
+fn shuffled_arrival_order_never_changes_bits() {
+    let cases = cases();
+    let mut batched_somewhere = 0usize;
+    for scenario in 0..6u64 {
+        let mut rng = SmallRng::seed_from_u64(scenario * 101 + 7);
+        let preload = rng.gen_bool(0.5);
+        // A paused (preloading) engine never drains, so its queue must
+        // hold every request or blocking admission would deadlock.
+        let capacity = if preload {
+            64
+        } else {
+            [4, 64][rng.gen_range(0..2usize)]
+        };
+        let config = ServeConfig::default()
+            .with_max_batch([1, 2, 4, 8][rng.gen_range(0..4usize)])
+            .with_queue_capacity(capacity)
+            .with_sim_threads([None, Some(1), Some(3)][rng.gen_range(0..3usize)]);
+        let clients = rng.gen_range(1..=3usize);
+        let engine = ServeEngine::new(config).unwrap();
+
+        let mut order: Vec<usize> = (0..cases.len()).collect();
+        order.shuffle(&mut rng);
+
+        if preload {
+            // Queue everything before the scheduler may run: batches
+            // form from the full shuffled window.
+            engine.pause();
+        }
+        let handles: Vec<(usize, insum_serve::ResponseHandle)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let session = engine.session(&format!("tenant-{c}"));
+                    let mine: Vec<usize> = order.iter().copied().skip(c).step_by(clients).collect();
+                    let cases = &cases;
+                    scope.spawn(move || {
+                        mine.into_iter()
+                            .map(|i| {
+                                let case = &cases[i];
+                                let opts = SubmitOptions::default().with_mode(case.mode);
+                                let h = session
+                                    .submit_with(case.expr, &case.tensors, &opts)
+                                    .expect("admission succeeds");
+                                (i, h)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .flat_map(|w| w.join().unwrap())
+                .collect()
+        });
+        if preload {
+            engine.resume();
+        }
+
+        for (i, handle) in handles {
+            let response = handle.wait().expect("request succeeds");
+            let case = &cases[i];
+            assert_eq!(
+                response.output.data(),
+                case.want_output.data(),
+                "scenario {scenario}: request {i} output bits changed"
+            );
+            assert_eq!(
+                response.profile, case.want_profile,
+                "scenario {scenario}: request {i} profile changed"
+            );
+        }
+        let metrics = engine.metrics();
+        assert_eq!(metrics.completed, cases.len() as u64);
+        assert_eq!(metrics.failed, 0);
+        batched_somewhere = batched_somewhere.max(metrics.largest_batch);
+    }
+    assert!(
+        batched_somewhere > 1,
+        "at least one scenario must actually form multi-request batches"
+    );
+}
+
+#[test]
+fn reject_policy_saturates_and_block_policy_waits() {
+    let tensors = spmm_request(11);
+    // Reject: pause the scheduler so the queue genuinely fills.
+    let engine = ServeEngine::new(
+        ServeConfig::default()
+            .with_queue_capacity(2)
+            .with_admission(AdmissionPolicy::Reject),
+    )
+    .unwrap();
+    engine.pause();
+    let session = engine.session("t");
+    let h1 = session.submit(SPMM, &tensors).unwrap();
+    let h2 = session.submit(SPMM, &tensors).unwrap();
+    let err = session.submit(SPMM, &tensors).unwrap_err();
+    assert_eq!(err, ServeError::Saturated { capacity: 2 });
+    let metrics = engine.metrics();
+    assert_eq!(metrics.rejected, 1);
+    assert_eq!(metrics.queue_depth, 2);
+    assert_eq!(metrics.tenants["t"].queue_depth, 2);
+    engine.resume();
+    assert!(h1.wait().is_ok());
+    assert!(h2.wait().is_ok());
+
+    // Block: a third submission parks until the scheduler drains.
+    let engine = ServeEngine::new(ServeConfig::default().with_queue_capacity(2)).unwrap();
+    engine.pause();
+    let session = engine.session("t");
+    let mut handles = vec![
+        session.submit(SPMM, &tensors).unwrap(),
+        session.submit(SPMM, &tensors).unwrap(),
+    ];
+    std::thread::scope(|scope| {
+        let blocked = scope.spawn(|| session.submit(SPMM, &tensors).unwrap());
+        // The blocked submitter can only complete once the engine
+        // resumes and drains; resume from here.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        engine.resume();
+        handles.push(blocked.join().unwrap());
+    });
+    for h in handles {
+        assert!(h.wait().is_ok());
+    }
+    assert_eq!(engine.metrics().rejected, 0);
+}
+
+#[test]
+fn responses_are_awaitable_futures() {
+    let engine = ServeEngine::with_defaults().unwrap();
+    let session = engine.session("async");
+    let tensors = spmm_request(13);
+    let want = insum_with(SPMM, &tensors, &InsumOptions::default())
+        .unwrap()
+        .run(&tensors)
+        .unwrap();
+    let h1 = session.submit(SPMM, &tensors).unwrap();
+    let h2 = session.submit(SPMM, &tensors).unwrap();
+    let (r1, r2) = block_on(async move {
+        let r1 = h1.await.expect("first request succeeds");
+        let r2 = h2.await.expect("second request succeeds");
+        (r1, r2)
+    });
+    assert_eq!(r1.output.data(), want.0.data());
+    assert_eq!(r2.output.data(), want.0.data());
+    assert_eq!(r1.profile, want.1);
+    assert!(r1.id < r2.id);
+}
+
+#[test]
+fn shutdown_closes_admission_but_serves_admitted_requests() {
+    let tensors = spmm_request(17);
+    let mut engine = ServeEngine::with_defaults().unwrap();
+    engine.pause();
+    let session = engine.session("t");
+    let admitted = session.submit(SPMM, &tensors).unwrap();
+    engine.shutdown(); // drains the queue even while paused
+    assert!(admitted.wait().is_ok());
+    assert_eq!(
+        session.submit(SPMM, &tensors).unwrap_err(),
+        ServeError::Closed
+    );
+}
+
+#[test]
+fn compile_errors_complete_the_ticket_and_count_as_failed() {
+    let engine = ServeEngine::with_defaults().unwrap();
+    let session = engine.session("t");
+    let tensors = spmm_request(19);
+    let h = session.submit("C[i] ?= A[i]", &tensors).unwrap();
+    assert!(matches!(h.wait(), Err(ServeError::Insum(_))));
+    // The same broken request again: served from the registry's cached
+    // error, still a clean failure.
+    let h = session.submit("C[i] ?= A[i]", &tensors).unwrap();
+    assert!(matches!(h.wait(), Err(ServeError::Insum(_))));
+    let metrics = engine.metrics();
+    assert_eq!(metrics.failed, 2);
+    assert_eq!(metrics.tenants["t"].failed, 2);
+    assert_eq!(metrics.registry.misses, 1, "error compiled once");
+}
+
+#[test]
+fn metrics_attribute_tenants_kernels_and_registry_sharing() {
+    let engine = ServeEngine::new(ServeConfig::default().with_max_batch(8)).unwrap();
+    engine.pause();
+    let tensors = spmm_request(23);
+    let a = engine.session("alice");
+    let b = engine.session("bob");
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        handles.push(a.submit(SPMM, &tensors).unwrap());
+    }
+    for _ in 0..2 {
+        handles.push(b.submit(SPMM, &tensors).unwrap());
+    }
+    engine.resume();
+    let mut batch_sizes = Vec::new();
+    for h in handles {
+        let r = h.wait().unwrap();
+        assert!(r.queue_seconds >= 0.0);
+        batch_sizes.push(r.batch_size);
+    }
+    assert!(
+        batch_sizes.iter().any(|&s| s > 1),
+        "identical preloaded requests must batch (sizes: {batch_sizes:?})"
+    );
+    let m = engine.metrics();
+    assert_eq!(m.submitted, 5);
+    assert_eq!(m.completed, 5);
+    assert_eq!(m.queue_depth, 0);
+    assert!(m.queue_depth_max >= 5);
+    assert_eq!(m.batched_requests, 5);
+    assert!(m.largest_batch >= 2);
+    assert_eq!(m.tenants["alice"].submitted, 3);
+    assert_eq!(m.tenants["bob"].submitted, 2);
+    assert_eq!(m.tenants["alice"].completed, 3);
+    assert!(m.tenants["alice"].instances_simulated > 0);
+    // One artifact compilation total; everyone else shared it.
+    assert_eq!(m.registry.misses, 1);
+    assert_eq!(m.registry.hits, 4);
+    assert_eq!(m.registry.entries, 1);
+    // Exactly one kernel identity served every request.
+    assert_eq!(m.kernels.len(), 1);
+    let km = m.kernels.values().next().unwrap();
+    assert_eq!(km.requests, 5);
+    assert!(km.largest_batch >= 2);
+    assert!(km.instances_simulated > 0);
+    assert!(km.simulated_seconds_total > 0.0);
+}
+
+#[test]
+fn failing_request_does_not_poison_its_batch_mates() {
+    // Three launch-compatible requests land in one batch; the middle one
+    // scatters out of bounds at execution time. Its batch-mates must
+    // still succeed with bit-identical results, and only it may fail.
+    let good_a = spmm_request(31);
+    let good_b = spmm_request(37);
+    let mut poisoned = spmm_request(41);
+    // Same shapes (same kernel + grid), but row indices far outside C.
+    poisoned.insert(
+        "AM".to_string(),
+        Tensor::from_indices(vec![29], (0..29).map(|_| 1000).collect()).unwrap(),
+    );
+    let opts = InsumOptions::default();
+    let want_a = insum_with(SPMM, &good_a, &opts)
+        .unwrap()
+        .run(&good_a)
+        .unwrap();
+    let want_b = insum_with(SPMM, &good_b, &opts)
+        .unwrap()
+        .run(&good_b)
+        .unwrap();
+    assert!(insum_with(SPMM, &poisoned, &opts)
+        .unwrap()
+        .run(&poisoned)
+        .is_err());
+
+    let engine = ServeEngine::new(ServeConfig::default().with_max_batch(8)).unwrap();
+    engine.pause();
+    let session = engine.session("t");
+    let ha = session.submit(SPMM, &good_a).unwrap();
+    let hp = session.submit(SPMM, &poisoned).unwrap();
+    let hb = session.submit(SPMM, &good_b).unwrap();
+    engine.resume();
+
+    let ra = ha.wait().expect("good request A succeeds");
+    assert_eq!(ra.output.data(), want_a.0.data());
+    assert_eq!(ra.profile, want_a.1);
+    assert!(matches!(hp.wait(), Err(ServeError::Insum(_))));
+    let rb = hb.wait().expect("good request B succeeds");
+    assert_eq!(rb.output.data(), want_b.0.data());
+    assert_eq!(rb.profile, want_b.1);
+
+    let m = engine.metrics();
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.failed, 1);
+}
+
+#[test]
+fn per_request_options_and_unfused_pipeline_are_served() {
+    let engine = ServeEngine::with_defaults().unwrap();
+    let session = engine.session("t");
+    let tensors = spmm_request(29);
+    let unfused = InsumOptions::unfused();
+    let want = insum_with(SPMM, &tensors, &unfused)
+        .unwrap()
+        .run(&tensors)
+        .unwrap();
+    let h = session
+        .submit_with(
+            SPMM,
+            &tensors,
+            &SubmitOptions::default().with_options(unfused),
+        )
+        .unwrap();
+    let r = h.wait().unwrap();
+    assert_eq!(r.output.data(), want.0.data());
+    assert_eq!(r.profile, want.1);
+    assert!(
+        r.profile.launches() >= 3,
+        "unfused pipeline launches per node"
+    );
+
+    // Invalid per-request options are rejected at admission.
+    let bad = InsumOptions {
+        sim_threads: Some(0),
+        ..Default::default()
+    };
+    assert!(matches!(
+        session.submit_with(SPMM, &tensors, &SubmitOptions::default().with_options(bad)),
+        Err(ServeError::Config(_))
+    ));
+}
