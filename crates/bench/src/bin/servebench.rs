@@ -30,9 +30,9 @@
 //! CI.
 
 use insum::apps::BoundApp;
-use insum::{insum_with, InsumOptions, Profile, Tensor};
+use insum::{insum_with, InsumOptions, Mode, Profile, Tensor};
 use insum_bench::{print_table, structured_spmm_setup, x};
-use insum_serve::{ServeConfig, ServeEngine};
+use insum_serve::{ServeConfig, ServeEngine, SubmitOptions};
 use insum_tensor::DType;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -154,6 +154,40 @@ fn serial_oneshot(w: &Workload) -> (f64, Vec<(Tensor, Profile)>) {
         })
         .collect();
     (start.elapsed().as_secs_f64(), results)
+}
+
+/// Mean wall-clock of `Session::submit` itself — admission plus
+/// argument capture — measured against a warm, paused engine,
+/// nanoseconds per request. With Arc-backed copy-on-write tensors the
+/// submit-time `tensors.clone()` is O(params) pointer bumps; this row
+/// records the elimination of the former per-submit deep copies.
+fn submit_overhead_ns(w: &Workload) -> f64 {
+    let engine = ServeEngine::new(
+        ServeConfig::default()
+            .with_queue_capacity(w.requests.len().max(16))
+            .with_options(w.options.clone()),
+    )
+    .expect("engine starts");
+    engine
+        .session("warmup")
+        .submit(w.expr, &w.requests[0])
+        .expect("admission succeeds")
+        .wait()
+        .expect("warmup succeeds");
+    engine.pause();
+    let session = engine.session("overhead");
+    let start = Instant::now();
+    let handles: Vec<_> = w
+        .requests
+        .iter()
+        .map(|tensors| session.submit(w.expr, tensors).expect("admission succeeds"))
+        .collect();
+    let per_submit = start.elapsed().as_nanos() as f64 / w.requests.len() as f64;
+    engine.resume();
+    for handle in handles {
+        handle.wait().expect("request succeeds");
+    }
+    per_submit
 }
 
 /// Serial precompiled baseline: compile once, run back-to-back.
@@ -294,12 +328,14 @@ struct WorkloadResult {
     requests: usize,
     wall_serial_oneshot: f64,
     wall_serial_precompiled: f64,
+    submit_overhead_ns_mean: f64,
     rows: Vec<EngineRow>,
 }
 
 fn run_workload(w: &Workload, concurrencies: &[usize], preload: bool) -> WorkloadResult {
     let (wall_serial_oneshot, expected) = serial_oneshot(w);
     let wall_serial_precompiled = serial_precompiled(w);
+    let submit_overhead_ns_mean = submit_overhead_ns(w);
     let rows = concurrencies
         .iter()
         .map(|&c| engine_run(w, c, &expected, preload))
@@ -310,6 +346,7 @@ fn run_workload(w: &Workload, concurrencies: &[usize], preload: bool) -> Workloa
         requests: w.requests.len(),
         wall_serial_oneshot,
         wall_serial_precompiled,
+        submit_overhead_ns_mean,
         rows,
     }
 }
@@ -333,9 +370,95 @@ fn main() {
             row.largest_batch > 1,
             "preloaded queue must form multi-request batches"
         );
+        // Clone accounting: shared-argument requests on a warm engine
+        // must perform no deep tensor copies beyond the outputs the
+        // kernel actually writes. `Tensor::deep_copy_count` counts only
+        // real buffer materializations, so these asserts pin the
+        // submit-time and bind-time clone elimination.
+        let engine = ServeEngine::new(
+            ServeConfig::default()
+                .with_queue_capacity(32)
+                .with_max_batch(8)
+                .with_options(w.options.clone()),
+        )
+        .expect("engine starts");
+        let shared_req = &w.requests[0];
+        let warm = engine
+            .session("warm")
+            .submit(w.expr, shared_req)
+            .expect("admission succeeds")
+            .wait()
+            .expect("warmup succeeds");
+        let fanout = 6usize;
+
+        // Analytic fan-out: nothing is written, so the whole path —
+        // submit, scheduling, bind, launch, response — is zero-copy.
+        engine.pause();
+        let before = Tensor::deep_copy_count();
+        let handles: Vec<_> = (0..fanout)
+            .map(|i| {
+                engine
+                    .session(&format!("analytic-{i}"))
+                    .submit_with(
+                        w.expr,
+                        shared_req,
+                        &SubmitOptions::default().with_mode(Mode::Analytic),
+                    )
+                    .expect("admission succeeds")
+            })
+            .collect();
+        engine.resume();
+        let responses: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.wait().expect("request succeeds"))
+            .collect();
+        let analytic_copies = Tensor::deep_copy_count() - before;
+        assert!(
+            responses.iter().all(|r| r.batch_size == fanout),
+            "shared-argument fan-out must form one batch"
+        );
+        assert_eq!(
+            analytic_copies, 0,
+            "warm batched analytic launch of shared-argument requests \
+             must perform zero deep tensor copies"
+        );
+
+        // Execute fan-out: exactly one materialization per request — the
+        // written output — and nothing else.
+        engine.pause();
+        let before = Tensor::deep_copy_count();
+        let handles: Vec<_> = (0..fanout)
+            .map(|i| {
+                engine
+                    .session(&format!("execute-{i}"))
+                    .submit(w.expr, shared_req)
+                    .expect("admission succeeds")
+            })
+            .collect();
+        engine.resume();
+        let responses: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.wait().expect("request succeeds"))
+            .collect();
+        let execute_copies = Tensor::deep_copy_count() - before;
+        assert_eq!(
+            execute_copies, fanout as u64,
+            "warm batched execute launch must materialize exactly each \
+             request's written output"
+        );
+        for r in &responses {
+            assert_eq!(
+                r.output.data(),
+                warm.output.data(),
+                "shared-argument responses stay bit-identical"
+            );
+        }
+
         println!(
             "servebench smoke ok: {} requests, concurrency 4, largest batch {}, \
-             {:.1} req/s (serial one-shot {:.1} req/s), bit_identical",
+             {:.1} req/s (serial one-shot {:.1} req/s), bit_identical; \
+             clone accounting: analytic fan-out {analytic_copies} deep copies, \
+             execute fan-out {execute_copies} (outputs only)",
             w.requests.len(),
             row.largest_batch,
             w.requests.len() as f64 / row.wall_seconds,
@@ -419,8 +542,9 @@ fn main() {
         ));
         json.push_str(&format!(
             "     \"wall_seconds_serial_oneshot\": {:.6}, \
-             \"wall_seconds_serial_precompiled\": {:.6},\n",
-            r.wall_serial_oneshot, r.wall_serial_precompiled
+             \"wall_seconds_serial_precompiled\": {:.6}, \
+             \"submit_overhead_ns_mean\": {:.1},\n",
+            r.wall_serial_oneshot, r.wall_serial_precompiled, r.submit_overhead_ns_mean
         ));
         json.push_str("     \"rows\": [\n");
         for (i, row) in r.rows.iter().enumerate() {

@@ -233,7 +233,7 @@ fn main() {
     let thread_configs: Vec<usize> = vec![1, multi];
     let cache = ProgramCache::global();
     let mut rows: Vec<Row> = Vec::new();
-    let mut compile_notes: Vec<(String, f64, bool)> = Vec::new();
+    let mut compile_notes: Vec<(String, f64, bool, f64)> = Vec::new();
     let all_cases = cases();
 
     for case in &all_cases {
@@ -269,10 +269,21 @@ fn main() {
             "{}: second identical launch must hit the ProgramCache",
             case.name
         );
+        // Bind cost: cloning the case's tensors into launch-order
+        // argument storage. With Arc-backed copy-on-write tensors this
+        // is O(params) pointer bumps, not a deep copy of every buffer —
+        // the `bind_ns` field records the elimination.
+        let bind_reps = 200u32;
+        let t_bind = Instant::now();
+        for _ in 0..bind_reps {
+            std::hint::black_box(bind(case));
+        }
+        let bind_ns = t_bind.elapsed().as_nanos() as f64 / f64::from(bind_reps);
         compile_notes.push((
             case.name.to_string(),
             compile_seconds,
             program.analytic_dedup_available(),
+            bind_ns,
         ));
 
         for mode in [Mode::Execute, Mode::Analytic] {
@@ -428,10 +439,11 @@ fn main() {
     json.push_str("  \"device_model\": \"rtx3090-sim\",\n");
     json.push_str(&format!("  \"host_threads_max\": {max_threads},\n"));
     json.push_str("  \"compile\": [\n");
-    for (i, (name, secs, dedup)) in compile_notes.iter().enumerate() {
+    for (i, (name, secs, dedup, bind_ns)) in compile_notes.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{name}\", \"program_compile_seconds\": {secs:.6}, \
-             \"analytic_instance_classes\": {dedup}, \"program_cache_hit_on_relaunch\": true}}{}\n",
+             \"analytic_instance_classes\": {dedup}, \"program_cache_hit_on_relaunch\": true, \
+             \"bind_ns\": {bind_ns:.1}}}{}\n",
             if i + 1 < compile_notes.len() { "," } else { "" },
         ));
     }

@@ -27,6 +27,10 @@ pub const TP_EXPR: &str =
     "Z[b,CGI[p,q],w] += CGV[p,q] * X[b,CGJ[p,q],u] * Y[b,CGK[p,q]] * W[b,CGL[p],u,w]";
 
 /// A bound application: the expression plus its tensor bindings.
+///
+/// Binding is zero-copy: the tensor map holds O(1) clones sharing the
+/// format's / caller's storage (copy-on-write `Tensor`), so building a
+/// `BoundApp` per request costs no memory traffic.
 pub struct BoundApp {
     /// The indirect Einsum expression.
     pub expr: &'static str,

@@ -105,6 +105,10 @@ impl Compiled {
 
     /// Execute functionally: returns the output tensor and the profile.
     ///
+    /// Argument capture is zero-copy (`Tensor` clones share storage);
+    /// `tensors` is never mutated — the returned output tensor
+    /// materializes its own buffer on the kernel's first write.
+    ///
     /// # Errors
     ///
     /// Propagates binding and simulator errors.

@@ -2013,16 +2013,34 @@ impl Program {
             // Replay Execute-mode writes in instance order: bit-identical
             // to the sequential interleaving because shards are ordered
             // and written parameters are never read back by the kernel.
+            // Replay runs per written parameter — distinct parameters
+            // never alias, so their relative write order is immaterial —
+            // which binds each output's copy-on-write storage exactly
+            // once instead of re-checking uniqueness on every write op.
+            // The marking pass costs one sequential scan of the logs and
+            // keeps materialization exact (only params with logged
+            // writes are bound); kernels write one or two params, so the
+            // per-param filtered replay stays within a small constant of
+            // the old single interleaved pass.
             if mode == Mode::Execute {
+                let mut touched = vec![false; self.params.lens.len()];
                 for shard in &shards {
                     for w in &shard.log {
-                        let round = self.params.dtypes[w.param as usize] == DType::F16;
-                        let slot = &mut args[w.param as usize].data_mut()[w.off as usize];
-                        let mut v = if w.atomic { *slot + w.val } else { w.val };
-                        if round {
-                            v = insum_tensor::f16_round(v);
+                        touched[w.param as usize] = true;
+                    }
+                }
+                for (p, _) in touched.iter().enumerate().filter(|&(_, &t)| t) {
+                    let round = self.params.dtypes[p] == DType::F16;
+                    let data = args[p].data_mut();
+                    for shard in &shards {
+                        for w in shard.log.iter().filter(|w| w.param as usize == p) {
+                            let slot = &mut data[w.off as usize];
+                            let mut v = if w.atomic { *slot + w.val } else { w.val };
+                            if round {
+                                v = insum_tensor::f16_round(v);
+                            }
+                            *slot = v;
                         }
-                        *slot = v;
                     }
                 }
             }
@@ -2077,10 +2095,13 @@ impl Program {
     /// the grid-instance loop *inside* each request exactly as
     /// [`Program::launch_with`] would.
     ///
-    /// Requests are independent — each owns its tensors — so
+    /// Requests are independent — each owns its tensor handles — so
     /// request-level parallelism needs no write-log merge and is safe
     /// even for Execute-mode kernels whose cross-instance hazards force
-    /// the intra-request loop sequential. Every request's output tensors
+    /// the intra-request loop sequential. Handles across requests may
+    /// share copy-on-write storage (batched serving binds one buffer for
+    /// operands shared by every request); a request's first write
+    /// materializes its own private output, so workers never race. Every request's output tensors
     /// and [`KernelReport`] are bit-identical to a serial per-request
     /// [`Program::launch_with`] call, regardless of batch composition or
     /// thread count.

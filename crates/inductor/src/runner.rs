@@ -20,6 +20,12 @@ use std::collections::BTreeMap;
 /// launch report. In [`Mode::Analytic`] the returned tensor is the
 /// unmodified output binding.
 ///
+/// Argument capture binds shared storage, not copies: `Tensor` clones
+/// are O(1) Arc bumps, and only the parameters the kernel actually
+/// writes materialize a private buffer (copy-on-write at first write),
+/// so the caller's bindings are never mutated and read-only inputs are
+/// never copied.
+///
 /// # Errors
 ///
 /// * [`InductorError::Binding`] if a parameter tensor is missing.
@@ -70,6 +76,8 @@ pub fn run_fused_with_cache(
     launch_options: &LaunchOptions,
     cache: &ProgramCache,
 ) -> Result<(Tensor, KernelReport)> {
+    // Cheap Arc clones: the launch binds the caller's storage and only
+    // written parameters copy-on-write.
     let mut owned: Vec<Tensor> = Vec::with_capacity(op.plan.param_order.len());
     for name in &op.plan.param_order {
         let t = inputs
@@ -100,7 +108,10 @@ pub fn run_fused_with_cache(
 /// binding error naming the offending request. Each request's output
 /// tensor and [`KernelReport`] are bit-identical to a serial per-request
 /// [`run_fused_with`] call, regardless of batch composition, request
-/// order, or thread count.
+/// order, or thread count. Like [`run_fused_with`], per-request argument
+/// capture is zero-copy: requests sharing operand tensors (weights,
+/// sparse structure) share one buffer across the whole batch, and only
+/// each request's written output materializes.
 ///
 /// # Errors
 ///
@@ -447,6 +458,65 @@ mod tests {
                 assert_eq!(got_r, want_r, "{mode:?} reports diverge");
             }
         }
+    }
+
+    #[test]
+    fn batched_shared_handles_never_leak_writes() {
+        // Every request binds the *same* copy-on-write tensor handles —
+        // including the output. Each request must still produce the
+        // serial result, and the caller's bindings must stay untouched.
+        let mut rng = SmallRng::seed_from_u64(33);
+        let nnz = 23;
+        let base: BTreeMap<String, Tensor> = [
+            ("C".to_string(), Tensor::zeros(vec![12, 16])),
+            ("AM".to_string(), randint(vec![nnz], 12, &mut rng)),
+            ("AK".to_string(), randint(vec![nnz], 10, &mut rng)),
+            (
+                "AV".to_string(),
+                rand_uniform(vec![nnz], -1.0, 1.0, &mut rng),
+            ),
+            (
+                "B".to_string(),
+                rand_uniform(vec![10, 16], -1.0, 1.0, &mut rng),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        let stmt = parse("C[AM[p],n] += AV[p] * B[AK[p],n]").unwrap();
+        let metas: BTreeMap<String, TensorMeta> = base
+            .iter()
+            .map(|(n, t)| (n.clone(), TensorMeta::new(t.shape().to_vec(), t.dtype())))
+            .collect();
+        let plan = build_plan(&stmt, &metas).unwrap();
+        let op = compile_fused(&plan, &CodegenOptions::default()).unwrap();
+        let device = DeviceModel::rtx3090();
+        let (want, _) = run_fused_with(
+            &op,
+            &base,
+            &device,
+            Mode::Execute,
+            &LaunchOptions::sequential(),
+        )
+        .unwrap();
+        let requests: Vec<BTreeMap<String, Tensor>> = (0..4).map(|_| base.clone()).collect();
+        let refs: Vec<&BTreeMap<String, Tensor>> = requests.iter().collect();
+        let batched = run_fused_batch_with_cache(
+            &op,
+            &refs,
+            &device,
+            Mode::Execute,
+            &LaunchOptions::with_threads(3),
+            &ProgramCache::new(),
+        )
+        .unwrap();
+        assert!(want.data().iter().any(|&v| v != 0.0));
+        for (got, _) in &batched {
+            assert_eq!(got.data(), want.data(), "shared-handle batch diverges");
+        }
+        assert!(
+            base["C"].data().iter().all(|&v| v == 0.0),
+            "the callers' output binding must never be mutated"
+        );
     }
 
     #[test]

@@ -10,9 +10,26 @@ use insum::{InsumOptions, Mode, Tensor};
 use insum_inductor::ProgramCache;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Acquire a lock, recovering the guard if a previous holder panicked.
+///
+/// Every engine panic site is isolated (`scheduler::execute_batch`
+/// catches unwinds at the execution boundary), and the guarded state —
+/// queues and counters — is kept consistent at every point a panic can
+/// unwind through, so a poisoned guard is safe to reuse. Recovering here
+/// means one panicking request can never take down unrelated tenants via
+/// cascading `PoisonError` panics in `submit`/`metrics`/`shutdown`.
+pub(crate) fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`relock`].
+pub(crate) fn rewait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One admitted, not-yet-executed request.
 pub(crate) struct Pending {
@@ -24,6 +41,27 @@ pub(crate) struct Pending {
     pub(crate) mode: Mode,
     pub(crate) submitted_at: Instant,
     pub(crate) ticket: Arc<TicketInner>,
+}
+
+/// Safety net for the ticket contract: every admitted request's handle
+/// must resolve. If a `Pending` is ever dropped without its ticket
+/// having been completed — e.g. an unforeseen panic unwinding through
+/// the scheduler's drained window into the last-resort catch — the
+/// waiter gets an [`ServeError::Engine`] instead of blocking forever.
+/// (`TicketInner::complete` is first-wins, so the normal completion
+/// paths are unaffected.)
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // Normal completions take only this relaxed-cost flag check; the
+        // error is built solely on the abnormal path.
+        if !self.ticket.is_complete() {
+            self.ticket.complete(Err(ServeError::Engine(
+                "request dropped by the engine without a response (internal \
+                 panic while it was in flight)"
+                    .to_string(),
+            )));
+        }
+    }
 }
 
 pub(crate) struct QueueState {
@@ -111,21 +149,13 @@ impl ServeEngine {
     /// backpressure path). Used for drain control and deterministic
     /// tests.
     pub fn pause(&self) {
-        self.shared
-            .state
-            .lock()
-            .expect("engine state poisoned")
-            .paused = true;
+        relock(&self.shared.state).paused = true;
         self.shared.not_empty.notify_all();
     }
 
     /// Resume scheduling after [`ServeEngine::pause`].
     pub fn resume(&self) {
-        self.shared
-            .state
-            .lock()
-            .expect("engine state poisoned")
-            .paused = false;
+        relock(&self.shared.state).paused = false;
         self.shared.not_empty.notify_all();
     }
 
@@ -137,8 +167,8 @@ impl ServeEngine {
         // request's submission (and tenant entry) is visible in the
         // counters, so a snapshot never shows completed > submitted or
         // misses a queued tenant's depth.
-        let state = self.shared.state.lock().expect("engine state poisoned");
-        let inner = self.shared.metrics.lock().expect("metrics poisoned");
+        let state = relock(&self.shared.state);
+        let inner = relock(&self.shared.metrics);
         let mut snap = MetricsSnapshot {
             submitted: inner.submitted,
             completed: inner.completed,
@@ -172,13 +202,15 @@ impl ServeEngine {
     /// on drop.
     pub fn shutdown(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("engine state poisoned");
-            state.closed = true;
+            relock(&self.shared.state).closed = true;
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
         if let Some(worker) = self.worker.take() {
-            worker.join().expect("scheduler thread panicked");
+            // The scheduler contains panics at the execution boundary; if
+            // one still escapes, a panicking join inside Drop would abort
+            // the process — swallow it and finish the shutdown.
+            let _ = worker.join();
         }
     }
 }
@@ -204,7 +236,7 @@ pub(crate) fn submit(
     options.validate()?;
     let mode = submit_options.mode.unwrap_or(Mode::Execute);
 
-    let mut state = shared.state.lock().expect("engine state poisoned");
+    let mut state = relock(&shared.state);
     loop {
         if state.closed {
             drop(state);
@@ -223,7 +255,7 @@ pub(crate) fn submit(
                 });
             }
             AdmissionPolicy::Block => {
-                state = shared.not_full.wait(state).expect("engine state poisoned");
+                state = rewait(&shared.not_full, state);
             }
         }
     }
@@ -246,7 +278,7 @@ pub(crate) fn submit(
     // snapshot can never observe a completed request before its
     // submission was counted.
     {
-        let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+        let mut metrics = relock(&shared.metrics);
         metrics.submitted += 1;
         metrics.queue_depth_max = metrics.queue_depth_max.max(depth);
         metrics.tenant(&session.tenant).submitted += 1;
@@ -261,7 +293,59 @@ pub(crate) fn submit(
 }
 
 fn note_rejection(shared: &Shared, tenant: &str) {
-    let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+    let mut metrics = relock(&shared.metrics);
     metrics.rejected += 1;
     metrics.tenant(tenant).rejected += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insum_tensor::Tensor as T;
+
+    fn tensors() -> BTreeMap<String, Tensor> {
+        [
+            ("C".to_string(), T::zeros(vec![8])),
+            ("A".to_string(), T::ones(vec![8])),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// A panic while holding the engine locks must not cascade: after a
+    /// deliberate poisoning, `submit`, `metrics`, `pause`/`resume`, and
+    /// `shutdown` all recover the guards and keep serving.
+    #[test]
+    fn poisoned_engine_locks_are_recovered() {
+        let mut engine = ServeEngine::with_defaults().unwrap();
+        for lock in [true, false] {
+            let shared = Arc::clone(&engine.shared);
+            let _ = std::thread::spawn(move || {
+                if lock {
+                    let _guard = shared.state.lock().unwrap();
+                    panic!("deliberate state poisoning");
+                } else {
+                    let _guard = shared.metrics.lock().unwrap();
+                    panic!("deliberate metrics poisoning");
+                }
+            })
+            .join();
+        }
+        assert!(engine.shared.state.is_poisoned());
+        assert!(engine.shared.metrics.is_poisoned());
+
+        engine.pause();
+        engine.resume();
+        let response = engine
+            .session("tenant-after-poison")
+            .submit("C[i] = A[i]", &tensors())
+            .expect("admission recovers the poisoned lock")
+            .wait()
+            .expect("execution succeeds");
+        assert!(response.output.data().iter().all(|&v| v == 1.0));
+        let m = engine.metrics();
+        assert_eq!(m.submitted, 1);
+        assert_eq!(m.completed, 1);
+        engine.shutdown();
+    }
 }

@@ -20,6 +20,10 @@ pub enum ServeError {
     Insum(InsumError),
     /// The engine or submit configuration is invalid.
     Config(String),
+    /// Execution of the request panicked inside the engine (a simulator
+    /// or scheduler bug). The panic is contained: the scheduler thread
+    /// survives and unrelated tenants keep being served.
+    Engine(String),
 }
 
 impl fmt::Display for ServeError {
@@ -31,6 +35,7 @@ impl fmt::Display for ServeError {
             ServeError::Closed => write!(f, "serving engine is shut down"),
             ServeError::Insum(e) => write!(f, "{e}"),
             ServeError::Config(msg) => write!(f, "invalid serving configuration: {msg}"),
+            ServeError::Engine(msg) => write!(f, "engine execution panicked: {msg}"),
         }
     }
 }

@@ -42,6 +42,28 @@
 //! replay). The engine only decides *when* work runs, never *what* it
 //! computes.
 //!
+//! ## Fault isolation
+//!
+//! Failures are contained per request. A request that fails inside a
+//! batched launch is re-run alone so it cannot fail its batch-mates; a
+//! request that *panics* the simulator is caught at the execution
+//! boundary and completed with [`ServeError::Engine`] while the
+//! scheduler thread keeps running; and every engine lock recovers from
+//! poisoning, so one bad request can never take down unrelated tenants'
+//! `submit`/`metrics`/`shutdown` calls.
+//!
+//! ## Zero-copy request path
+//!
+//! `Tensor` storage is Arc-backed copy-on-write, so admission
+//! (`Session::submit` captures the tensor map), scheduling, and launch
+//! binding all share the caller's buffers — an admitted request holds
+//! references, not copies, and only its written output materializes.
+//! The scheduler exploits this with a [`insum_tensor::Tensor::ptr_eq`]
+//! first pass: fan-out requests binding pointer-identical tensors prove
+//! launch compatibility without metadata extraction. The CI smoke
+//! (`servebench --smoke`) asserts the warm shared-argument batched path
+//! performs zero deep tensor copies in analytic mode.
+//!
 //! ## Backpressure model
 //!
 //! Admission is bounded by [`ServeConfig::queue_capacity`], counting
@@ -93,6 +115,10 @@ pub use engine::ServeEngine;
 pub use error::ServeError;
 pub use metrics::{KernelMetrics, MetricsSnapshot, RegistryStats, TenantMetrics};
 pub use session::{RequestId, Response, ResponseHandle, Session};
+
+#[cfg(feature = "fault-injection")]
+#[doc(hidden)]
+pub use scheduler::faults;
 
 use std::future::Future;
 use std::sync::Arc;

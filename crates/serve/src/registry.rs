@@ -11,7 +11,11 @@
 //!
 //! Compilation is deterministic, so errors are cached alongside
 //! successes: a second request with the same broken key fails fast
-//! without re-running the pipeline.
+//! without re-running the pipeline. That containment extends to
+//! *panics*: a compilation that panics is caught at this boundary, the
+//! slot is filled with [`ServeError::Engine`] (so concurrent waiters
+//! wake instead of blocking on a forever-empty slot), and the failure is
+//! cached like any other compile error.
 //!
 //! Like the [`insum_inductor::ProgramCache`] beneath it, the registry is
 //! **bounded**: a long-lived server sees an open-ended stream of
@@ -21,10 +25,14 @@
 //! keep their `Arc<Compiled>` (or slot) alive — and a revisited key
 //! simply recompiles.
 
+use crate::engine::{relock, rewait};
+use crate::error::ServeError;
 use crate::metrics::RegistryStats;
-use insum::{insum_with, Compiled, InsumError, InsumOptions, Tensor};
+use crate::scheduler::panic_message;
+use insum::{insum_with, Compiled, InsumOptions, Tensor};
 use insum_tensor::DType;
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -63,21 +71,21 @@ impl ArtifactKey {
 /// caller of the same key.
 #[derive(Default)]
 struct Slot {
-    state: Mutex<Option<Result<Arc<Compiled>, InsumError>>>,
+    state: Mutex<Option<Result<Arc<Compiled>, ServeError>>>,
     ready: Condvar,
 }
 
 impl Slot {
-    fn fill(&self, value: Result<Arc<Compiled>, InsumError>) {
-        let mut state = self.state.lock().expect("artifact slot poisoned");
+    fn fill(&self, value: Result<Arc<Compiled>, ServeError>) {
+        let mut state = relock(&self.state);
         *state = Some(value);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<Arc<Compiled>, InsumError> {
-        let mut state = self.state.lock().expect("artifact slot poisoned");
+    fn wait(&self) -> Result<Arc<Compiled>, ServeError> {
+        let mut state = relock(&self.state);
         while state.is_none() {
-            state = self.ready.wait(state).expect("artifact slot poisoned");
+            state = rewait(&self.ready, state);
         }
         state.as_ref().expect("slot filled").clone()
     }
@@ -131,10 +139,10 @@ impl ArtifactRegistry {
         expr: &str,
         tensors: &BTreeMap<String, Tensor>,
         options: &InsumOptions,
-    ) -> (Result<Arc<Compiled>, InsumError>, bool) {
+    ) -> (Result<Arc<Compiled>, ServeError>, bool) {
         let key = ArtifactKey::new(expr, tensors, options);
         let (slot, owner) = {
-            let mut inner = self.inner.lock().expect("artifact registry poisoned");
+            let mut inner = relock(&self.inner);
             inner.tick += 1;
             let stamp = inner.tick;
             match inner.map.get_mut(&key) {
@@ -173,8 +181,23 @@ impl ArtifactRegistry {
         if owner {
             self.misses.fetch_add(1, Ordering::Relaxed);
             // Compile outside every lock; waiters block on the slot, not
-            // the registry, so other keys proceed concurrently.
-            let compiled = insum_with(expr, tensors, options).map(Arc::new);
+            // the registry, so other keys proceed concurrently. A panic
+            // inside the compiler must be contained *here*: letting it
+            // unwind would leave the slot forever unfilled — the next
+            // same-key request would block the scheduler thread in
+            // `Slot::wait`, wedging the whole engine — and would strand
+            // the tickets of every other request in the drained window.
+            let compiled = match catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                crate::faults::maybe_panic_compile(expr);
+                insum_with(expr, tensors, options).map(Arc::new)
+            })) {
+                Ok(result) => result.map_err(ServeError::from),
+                Err(payload) => Err(ServeError::Engine(format!(
+                    "compilation panicked: {}",
+                    panic_message(payload)
+                ))),
+            };
             slot.fill(compiled.clone());
             (compiled, false)
         } else {
@@ -188,12 +211,7 @@ impl ArtifactRegistry {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self
-                .inner
-                .lock()
-                .expect("artifact registry poisoned")
-                .map
-                .len(),
+            entries: relock(&self.inner).map.len(),
         }
     }
 }

@@ -12,12 +12,76 @@
 //! bit-identical to a serial [`insum::Compiled::run`] no matter the
 //! arrival order or batch composition.
 
-use crate::engine::{Pending, Shared};
+use crate::engine::{relock, rewait, Pending, Shared};
 use crate::error::ServeError;
 use crate::session::{RequestId, Response};
 use insum::{Compiled, LaunchOptions, Mode, Tensor};
 use insum_tensor::DType;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Test-only fault injection: panic a named tenant's batches at the
+/// execution boundary, or a named expression inside the compile
+/// boundary, simulating simulator/compiler bugs so the panic-isolation
+/// and lock-recovery paths can be exercised end to end. Compiled only
+/// under the `fault-injection` feature (enabled by this crate's own
+/// tests through a self dev-dependency), so release builds carry
+/// neither the hooks nor their per-batch check.
+#[cfg(feature = "fault-injection")]
+#[doc(hidden)]
+pub mod faults {
+    use crate::engine::relock;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static PANIC_TENANT: Mutex<Option<String>> = Mutex::new(None);
+    static PANIC_COMPILE_EXPR: Mutex<Option<String>> = Mutex::new(None);
+
+    /// Arm (or with `None` disarm) the execution-boundary fault: any
+    /// batch containing a request from this tenant panics.
+    pub fn set_panic_tenant(tenant: Option<&str>) {
+        *relock(&PANIC_TENANT) = tenant.map(str::to_string);
+        rearm();
+    }
+
+    /// Arm (or with `None` disarm) the compile-boundary fault: compiling
+    /// this exact expression panics.
+    pub fn set_panic_compile_expr(expr: Option<&str>) {
+        *relock(&PANIC_COMPILE_EXPR) = expr.map(str::to_string);
+        rearm();
+    }
+
+    fn rearm() {
+        let armed = relock(&PANIC_TENANT).is_some() || relock(&PANIC_COMPILE_EXPR).is_some();
+        ACTIVE.store(armed, Ordering::Relaxed);
+    }
+
+    pub(crate) fn panic_tenant() -> Option<String> {
+        if ACTIVE.load(Ordering::Relaxed) {
+            relock(&PANIC_TENANT).clone()
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn maybe_panic_compile(expr: &str) {
+        if ACTIVE.load(Ordering::Relaxed) && relock(&PANIC_COMPILE_EXPR).as_deref() == Some(expr) {
+            panic!("injected compile fault for expression {expr:?}");
+        }
+    }
+}
+
+/// Render a caught panic payload for [`ServeError::Engine`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
 
 /// Launch-compatibility key: requests with equal keys may share one
 /// batched launch.
@@ -55,7 +119,7 @@ struct Resolved {
 pub(crate) fn run(shared: &Shared) {
     loop {
         let drained: Vec<Pending> = {
-            let mut state = shared.state.lock().expect("engine state poisoned");
+            let mut state = relock(&shared.state);
             loop {
                 if state.closed && state.queue.is_empty() {
                     return;
@@ -65,12 +129,16 @@ pub(crate) fn run(shared: &Shared) {
                 if !state.queue.is_empty() && (!state.paused || state.closed) {
                     break;
                 }
-                state = shared.not_empty.wait(state).expect("engine state poisoned");
+                state = rewait(&shared.not_empty, state);
             }
             state.queue.drain(..).collect()
         };
         shared.not_full.notify_all();
-        process(shared, drained);
+        // Last-resort containment: `process` isolates panics at the
+        // compilation and execution boundaries itself, but if one ever
+        // escapes, the scheduler thread must survive — a dead scheduler
+        // strands every queued and future request of every tenant.
+        let _ = catch_unwind(AssertUnwindSafe(|| process(shared, drained)));
     }
 }
 
@@ -86,7 +154,7 @@ fn process(shared: &Shared, drained: Vec<Pending>) {
                 .registry
                 .get_or_compile(&pending.expr, &pending.tensors, &pending.options);
         {
-            let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+            let mut metrics = relock(&shared.metrics);
             let tenant = metrics.tenant(&pending.tenant);
             if registry_hit {
                 tenant.registry_hits += 1;
@@ -96,22 +164,37 @@ fn process(shared: &Shared, drained: Vec<Pending>) {
         }
         match result {
             Err(e) => {
-                let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+                let mut metrics = relock(&shared.metrics);
                 metrics.failed += 1;
                 metrics.tenant(&pending.tenant).failed += 1;
                 drop(metrics);
-                pending.ticket.complete(Err(ServeError::from(e)));
+                pending.ticket.complete(Err(e));
             }
             Ok(artifact) => {
-                let key = group_key(&artifact, &pending);
                 let resolved = Resolved {
                     pending,
                     artifact,
                     registry_hit,
                 };
-                match groups.iter_mut().find(|(k, _)| *k == key) {
+                // Cheap first pass: if every tensor handle is pointer-
+                // identical to a batched group representative's (same
+                // shared artifact, same mode), launch compatibility is
+                // proved without re-extracting argument metadata — the
+                // common case for retry storms and fan-out, where
+                // requests share copy-on-write storage. `ptr_eq` implies
+                // equal lengths and dtypes, so the fast path can only
+                // join groups the full key would also join.
+                match groups.iter_mut().find(|(k, members)| {
+                    matches!(k, GroupKey::Batched { .. }) && ptr_identical(&resolved, &members[0])
+                }) {
                     Some((_, members)) => members.push(resolved),
-                    None => groups.push((key, vec![resolved])),
+                    None => {
+                        let key = group_key(&resolved.artifact, &resolved.pending);
+                        match groups.iter_mut().find(|(k, _)| *k == key) {
+                            Some((_, members)) => members.push(resolved),
+                            None => groups.push((key, vec![resolved])),
+                        }
+                    }
                 }
             }
         }
@@ -123,6 +206,23 @@ fn process(shared: &Shared, drained: Vec<Pending>) {
             execute_batch(shared, batch);
         }
     }
+}
+
+/// The `ptr_eq` first pass of launch-compatibility grouping: same
+/// registry artifact, same interpreter mode, and pointer-identical
+/// tensor bindings. This is the hook the content-identity response dedup
+/// (ROADMAP) builds on: `ptr_eq` proves the arguments bit-identical
+/// without reading them.
+fn ptr_identical(candidate: &Resolved, rep: &Resolved) -> bool {
+    Arc::ptr_eq(&candidate.artifact, &rep.artifact)
+        && candidate.pending.mode == rep.pending.mode
+        && candidate.pending.tensors.len() == rep.pending.tensors.len()
+        && candidate
+            .pending
+            .tensors
+            .iter()
+            .zip(rep.pending.tensors.iter())
+            .all(|((an, at), (bn, bt))| an == bn && at.ptr_eq(bt))
 }
 
 fn group_key(artifact: &Arc<Compiled>, pending: &Pending) -> GroupKey {
@@ -174,13 +274,55 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
         .collect();
     let inputs: Vec<&std::collections::BTreeMap<String, Tensor>> =
         batch.iter().map(|r| &r.pending.tensors).collect();
-    let result = artifact.run_batch_mode(&inputs, mode, &launch);
+    // Contain panics at the execution boundary: a request that panics the
+    // simulator must fail alone — completing its ticket with
+    // [`ServeError::Engine`] — instead of killing the scheduler thread
+    // (which would strand every other tenant) or poisoning the engine
+    // locks. The engine state is consistent here: no engine lock is held
+    // across this call.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-injection")]
+        if let Some(t) = faults::panic_tenant() {
+            if batch.iter().any(|r| r.pending.tenant.as_ref() == t) {
+                panic!("injected fault for tenant {t:?}");
+            }
+        }
+        artifact.run_batch_mode(&inputs, mode, &launch)
+    }));
     let kkey = kernel_key(&artifact);
+    let result = match caught {
+        Ok(result) => result,
+        Err(payload) if batch_size > 1 => {
+            // Same isolation as a batched error below: re-run each
+            // request alone so one panicking tenant cannot fail (or
+            // hang) its batch-mates.
+            drop(payload);
+            drop(inputs);
+            for resolved in batch {
+                execute_batch(shared, vec![resolved]);
+            }
+            return;
+        }
+        Err(payload) => {
+            let err = ServeError::Engine(panic_message(payload));
+            let mut metrics = relock(&shared.metrics);
+            metrics.failed += 1;
+            for resolved in &batch {
+                metrics.tenant(&resolved.pending.tenant).failed += 1;
+            }
+            drop(metrics);
+            drop(inputs);
+            for resolved in batch {
+                resolved.pending.ticket.complete(Err(err.clone()));
+            }
+            return;
+        }
+    };
 
     match result {
         Ok(results) => {
             debug_assert_eq!(results.len(), batch_size);
-            let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+            let mut metrics = relock(&shared.metrics);
             metrics.batches += 1;
             metrics.batched_requests += batch_size as u64;
             metrics.largest_batch = metrics.largest_batch.max(batch_size);
@@ -229,7 +371,7 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
         }
         Err(e) => {
             let err = ServeError::from(e);
-            let mut metrics = shared.metrics.lock().expect("metrics poisoned");
+            let mut metrics = relock(&shared.metrics);
             metrics.failed += batch_size as u64;
             for resolved in &batch {
                 metrics.tenant(&resolved.pending.tenant).failed += 1;

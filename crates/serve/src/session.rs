@@ -2,12 +2,14 @@
 
 use crate::config::SubmitOptions;
 use crate::engine::{self, Shared};
+use crate::engine::{relock, rewait};
 use crate::error::ServeError;
 use insum::{Profile, Tensor};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
 
@@ -56,14 +58,26 @@ struct TicketState {
 pub(crate) struct TicketInner {
     state: Mutex<TicketState>,
     done: Condvar,
+    /// First-wins completion latch, independent of whether a waiter has
+    /// already taken the result (so a late safety-net completion — see
+    /// `Pending`'s `Drop` — can never overwrite a delivered response).
+    completed: AtomicBool,
 }
 
 impl TicketInner {
+    /// True once a completion has been latched (cheap; used by the
+    /// `Pending` drop safety net to skip building an error that would
+    /// only be discarded).
+    pub(crate) fn is_complete(&self) -> bool {
+        self.completed.load(Ordering::Acquire)
+    }
+
     pub(crate) fn complete(&self, result: Result<Response, ServeError>) {
-        let mut state = self.state.lock().expect("ticket poisoned");
-        if state.result.is_none() {
-            state.result = Some(result);
+        if self.completed.swap(true, Ordering::AcqRel) {
+            return;
         }
+        let mut state = relock(&self.state);
+        state.result = Some(result);
         let waker = state.waker.take();
         drop(state);
         self.done.notify_all();
@@ -102,24 +116,19 @@ impl ResponseHandle {
     /// Whatever error the engine completed the request with
     /// (compilation, execution, or shutdown).
     pub fn wait(self) -> Result<Response, ServeError> {
-        let mut state = self.ticket.state.lock().expect("ticket poisoned");
+        let mut state = relock(&self.ticket.state);
         loop {
             if let Some(result) = state.result.take() {
                 return result;
             }
-            state = self.ticket.done.wait(state).expect("ticket poisoned");
+            state = rewait(&self.ticket.done, state);
         }
     }
 
     /// Non-blocking poll: `Some` once the response is ready (taking it),
     /// `None` while the request is still in flight.
     pub fn try_take(&self) -> Option<Result<Response, ServeError>> {
-        self.ticket
-            .state
-            .lock()
-            .expect("ticket poisoned")
-            .result
-            .take()
+        relock(&self.ticket.state).result.take()
     }
 }
 
@@ -127,7 +136,7 @@ impl Future for ResponseHandle {
     type Output = Result<Response, ServeError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut state = self.ticket.state.lock().expect("ticket poisoned");
+        let mut state = relock(&self.ticket.state);
         if let Some(result) = state.result.take() {
             Poll::Ready(result)
         } else {

@@ -420,3 +420,123 @@ fn per_request_options_and_unfused_pipeline_are_served() {
         Err(ServeError::Config(_))
     ));
 }
+
+#[test]
+fn panicking_batch_member_fails_alone_and_engine_survives() {
+    // Inject a panic for one tenant at the execution boundary (the
+    // simulator-bug stand-in). The panic must be contained: batch-mates
+    // still succeed bit-identically, the panicking request fails with
+    // ServeError::Engine, and the engine keeps serving afterwards.
+    insum_serve::faults::set_panic_tenant(Some("evil"));
+    let engine = ServeEngine::new(ServeConfig::default().with_max_batch(8)).unwrap();
+    engine.pause();
+    let tensors = spmm_request(41);
+    let good: Vec<_> = (0..3)
+        .map(|i| {
+            engine
+                .session(&format!("good-{i}"))
+                .submit(SPMM, &tensors)
+                .unwrap()
+        })
+        .collect();
+    let evil = engine.session("evil").submit(SPMM, &tensors).unwrap();
+    engine.resume();
+
+    let want = insum_with(SPMM, &tensors, &InsumOptions::default())
+        .unwrap()
+        .run(&tensors)
+        .unwrap();
+    for handle in good {
+        let response = handle
+            .wait()
+            .expect("batch-mates of a panicking request succeed");
+        assert_eq!(response.output.data(), want.0.data());
+        assert_eq!(response.profile, want.1);
+    }
+    match evil.wait() {
+        Err(ServeError::Engine(msg)) => assert!(msg.contains("injected fault")),
+        other => panic!("expected ServeError::Engine, got {other:?}"),
+    }
+    insum_serve::faults::set_panic_tenant(None);
+
+    // Unrelated tenants (and the formerly panicking one) are still served.
+    let after = engine
+        .session("evil")
+        .submit(SPMM, &tensors)
+        .unwrap()
+        .wait()
+        .expect("engine survives a contained panic");
+    assert_eq!(after.output.data(), want.0.data());
+    let m = engine.metrics();
+    assert_eq!(m.failed, 1);
+    assert_eq!(m.completed, 4);
+}
+
+#[test]
+fn ptr_identical_requests_group_without_metadata_extraction() {
+    // Fan-out: many tenants submit the *same* tensor map (shared
+    // copy-on-write handles). The ptr_eq first pass must put them in one
+    // batch, and results stay bit-identical to serial runs.
+    let engine = ServeEngine::new(ServeConfig::default().with_max_batch(16)).unwrap();
+    let tensors = spmm_request(57);
+    let want = insum_with(SPMM, &tensors, &InsumOptions::default())
+        .unwrap()
+        .run(&tensors)
+        .unwrap();
+    engine.pause();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            engine
+                .session(&format!("fan-{i}"))
+                .submit(SPMM, &tensors)
+                .unwrap()
+        })
+        .collect();
+    engine.resume();
+    for handle in handles {
+        let response = handle.wait().unwrap();
+        assert_eq!(response.output.data(), want.0.data());
+        assert_eq!(response.profile, want.1);
+        assert!(response.batch_size > 1, "fan-out must batch");
+    }
+    let m = engine.metrics();
+    assert_eq!(m.completed, 6);
+}
+
+#[test]
+fn panicking_compilation_is_contained_and_cached() {
+    // A compiler panic must fill the registry slot (so no waiter or
+    // future same-key request can block forever), complete the ticket
+    // with ServeError::Engine, and leave the engine serving.
+    let expr = "C[i] = A[i] * A[i]";
+    insum_serve::faults::set_panic_compile_expr(Some(expr));
+    let engine = ServeEngine::with_defaults().unwrap();
+    let tensors: BTreeMap<String, Tensor> = [
+        ("C".to_string(), Tensor::zeros(vec![8])),
+        ("A".to_string(), Tensor::ones(vec![8])),
+    ]
+    .into_iter()
+    .collect();
+    let session = engine.session("compile-panic");
+    match session.submit(expr, &tensors).unwrap().wait() {
+        Err(ServeError::Engine(msg)) => assert!(msg.contains("compilation panicked")),
+        other => panic!("expected ServeError::Engine, got {other:?}"),
+    }
+    // The panic is cached like any compile error: the retry fails fast
+    // (registry hit) instead of panicking again, even after disarming.
+    insum_serve::faults::set_panic_compile_expr(None);
+    match session.submit(expr, &tensors).unwrap().wait() {
+        Err(ServeError::Engine(_)) => {}
+        other => panic!("expected cached ServeError::Engine, got {other:?}"),
+    }
+    // Unrelated keys still compile and serve.
+    let ok = session
+        .submit("C[i] = A[i]", &tensors)
+        .unwrap()
+        .wait()
+        .expect("engine survives a contained compile panic");
+    assert!(ok.output.data().iter().all(|&v| v == 1.0));
+    let m = engine.metrics();
+    assert_eq!(m.failed, 2);
+    assert_eq!(m.completed, 1);
+}

@@ -160,10 +160,11 @@ pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
 
     let mut out = Tensor::zeros(out_shape.clone());
     let out_vol: usize = out_shape.iter().product();
+    let od = out.data_mut();
 
     let mut assignment: BTreeMap<char, usize> = BTreeMap::new();
     let mut out_idx = vec![0usize; out_shape.len()];
-    for o in 0..out_vol {
+    for (o, slot) in od.iter_mut().enumerate().take(out_vol) {
         // Decode output multi-index.
         let mut rem = o;
         for d in (0..out_shape.len()).rev() {
@@ -190,7 +191,7 @@ pub fn einsum(spec: &str, operands: &[&Tensor]) -> Result<Tensor> {
             }
             acc += prod;
         }
-        out.data_mut()[o] = acc as f32;
+        *slot = acc as f32;
     }
     Ok(if out_dtype == DType::F16 {
         out.cast(DType::F16)

@@ -43,6 +43,7 @@ impl Tensor {
         let mut out_shape = self.shape().to_vec();
         out_shape[dim] = k;
         let mut out = Tensor::zeros_with(out_shape, self.dtype());
+        let od = out.data_mut();
         let src = self.data();
         for o in 0..outer {
             for (j, pos) in (0..k).map(|j| (j, index.data()[j] as i64)) {
@@ -55,8 +56,7 @@ impl Tensor {
                 }
                 let src_off = (o * bound + pos as usize) * inner;
                 let dst_off = (o * k + j) * inner;
-                out.data_mut()[dst_off..dst_off + inner]
-                    .copy_from_slice(&src[src_off..src_off + inner]);
+                od[dst_off..dst_off + inner].copy_from_slice(&src[src_off..src_off + inner]);
             }
         }
         Ok(out)
@@ -118,6 +118,8 @@ impl Tensor {
         let inner: usize = self.shape()[dim + 1..].iter().product();
         let k = index.len();
         let round = self.dtype() == DType::F16;
+        let data = self.data_mut();
+        let src = source.data();
         for o in 0..outer {
             for j in 0..k {
                 let pos = index.data()[j] as i64;
@@ -131,8 +133,8 @@ impl Tensor {
                 let dst_off = (o * bound + pos as usize) * inner;
                 let src_off = (o * k + j) * inner;
                 for i in 0..inner {
-                    let v = self.data()[dst_off + i] + source.data()[src_off + i];
-                    self.data_mut()[dst_off + i] = if round { f16_round(v) } else { v };
+                    let v = data[dst_off + i] + src[src_off + i];
+                    data[dst_off + i] = if round { f16_round(v) } else { v };
                 }
             }
         }
@@ -174,10 +176,11 @@ impl Tensor {
         }
         let bound = self.shape()[dim];
         let mut out = Tensor::zeros_with(index.shape().to_vec(), self.dtype());
+        let od = out.data_mut();
         let nd = self.ndim();
         let mut idx = vec![0usize; nd];
         let mut src = vec![0usize; nd];
-        for flat in 0..index.len() {
+        for (flat, slot) in od.iter_mut().enumerate() {
             let mut rem = flat;
             for d in (0..nd).rev() {
                 idx[d] = rem % index.shape()[d];
@@ -193,7 +196,7 @@ impl Tensor {
             }
             src.copy_from_slice(&idx);
             src[dim] = pos as usize;
-            out.data_mut()[flat] = self.at(&src);
+            *slot = self.at(&src);
         }
         Ok(out)
     }

@@ -13,6 +13,22 @@
 //! the GPU memory model reads the tag to account bytes and decide
 //! Tensor-Core eligibility.
 //!
+//! # Copy-on-write storage
+//!
+//! The backing buffer is shared ([`std::sync::Arc`]) with copy-on-write
+//! mutation: `clone`, [`Tensor::reshape`], [`Tensor::view`], and
+//! [`Tensor::unsqueeze`] are O(1) handle operations, and the first write
+//! through a handle whose buffer is shared materializes a private copy —
+//! so every handle still behaves exactly like an independent deep-copy
+//! value. This is what makes per-request tensor capture free across the
+//! compile/launch/serve stack: read-only operands (sparse structure,
+//! weights, activations) are bound by reference everywhere, and only the
+//! output a kernel writes ever allocates. [`Tensor::ptr_eq`] tests
+//! storage identity (a cheap proof of bit-identity), and
+//! [`Tensor::deep_copy_count`] counts real buffer materializations for
+//! clone-accounting checks. Equality (`==`) is logical — shape, dtype,
+//! and element values — independent of sharing.
+//!
 //! # Example
 //!
 //! ```

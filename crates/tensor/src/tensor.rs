@@ -6,6 +6,14 @@ use crate::error::TensorError;
 use crate::f16::f16_round;
 use crate::Result;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of buffer materializations (see
+/// [`Tensor::deep_copy_count`]). Incremented only when shared storage is
+/// actually copied, so the relaxed atomic add is amortized by the O(n)
+/// copy it accounts for.
+static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
 
 /// A dense, row-major, contiguous n-dimensional array of `f32` values with
 /// a simulated [`DType`] tag.
@@ -14,12 +22,44 @@ use std::fmt;
 /// graph interpreter, the sparse format converters, and the GPU simulator
 /// all read and produce `Tensor`s. A scalar is represented as a tensor with
 /// an empty shape (`ndim() == 0`, one element).
-#[derive(Clone, PartialEq)]
+///
+/// # Storage model: shared, copy-on-write
+///
+/// Element storage is an [`Arc`]-backed buffer. `Clone` is O(1) — the
+/// clone shares the same buffer — as are [`Tensor::reshape`],
+/// [`Tensor::view`], and [`Tensor::unsqueeze`] (the layout is always
+/// row-major contiguous, so a reshape is pure metadata). The first
+/// mutation through a handle whose buffer is shared
+/// ([`Tensor::data_mut`], [`Tensor::set`], [`Tensor::index_add`])
+/// materializes a private copy of the buffer, so writes are never
+/// observable through any other handle: every `Tensor` behaves exactly
+/// like the deep-copy value type it replaced, it just defers the copy
+/// until (and unless) a write happens. [`Tensor::deep_copy_count`]
+/// counts the materializations process-wide for clone-accounting checks.
+///
+/// Two handles can be tested for storage identity with
+/// [`Tensor::ptr_eq`]: a `true` result proves them bit-identical without
+/// reading the data.
+#[derive(Clone)]
 pub struct Tensor {
     shape: Vec<usize>,
     strides: Vec<usize>,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     dtype: DType,
+}
+
+/// Logical equality: shape, dtype, and element values (IEEE float
+/// semantics, exactly as the old deep-copy type's derived impl compared
+/// its data vector — so `NaN != NaN` regardless of storage sharing).
+/// The internal strides vector is deliberately excluded — it is derived
+/// metadata (always row-major for the shape), and comparing it made
+/// logically identical tensors that reached their shape through
+/// different construction paths compare unequal. Use [`Tensor::ptr_eq`]
+/// when a cheap storage-identity check is wanted instead.
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape && self.dtype == other.dtype && self.data == other.data
+    }
 }
 
 fn contiguous_strides(shape: &[usize]) -> Vec<usize> {
@@ -47,7 +87,7 @@ impl Tensor {
         Tensor {
             strides: contiguous_strides(&shape),
             shape,
-            data: vec![0.0; n],
+            data: Arc::new(vec![0.0; n]),
             dtype: DType::F32,
         }
     }
@@ -70,7 +110,7 @@ impl Tensor {
         Tensor {
             strides: contiguous_strides(&shape),
             shape,
-            data: vec![value; n],
+            data: Arc::new(vec![value; n]),
             dtype: DType::F32,
         }
     }
@@ -80,7 +120,7 @@ impl Tensor {
         Tensor {
             shape: vec![],
             strides: vec![],
-            data: vec![value],
+            data: Arc::new(vec![value]),
             dtype: DType::F32,
         }
     }
@@ -88,8 +128,9 @@ impl Tensor {
     /// Create the `n`×`n` identity matrix.
     pub fn eye(n: usize) -> Tensor {
         let mut t = Tensor::zeros(vec![n, n]);
+        let d = t.buf_mut();
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            d[i * n + i] = 1.0;
         }
         t
     }
@@ -111,7 +152,7 @@ impl Tensor {
         Ok(Tensor {
             strides: contiguous_strides(&shape),
             shape,
-            data,
+            data: Arc::new(data),
             dtype: DType::F32,
         })
     }
@@ -148,7 +189,7 @@ impl Tensor {
         Tensor {
             strides: contiguous_strides(&shape),
             shape,
-            data,
+            data: Arc::new(data),
             dtype: DType::F32,
         }
     }
@@ -204,18 +245,59 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable access to the raw row-major data.
-    ///
-    /// Callers are responsible for preserving the dtype's value invariant
-    /// (use [`Tensor::cast`] to re-round after bulk writes to an F16
-    /// tensor).
-    pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+    /// Copy-on-write access to the backing buffer: materializes a private
+    /// copy (and counts it) when the storage is shared, then hands out
+    /// the uniquely owned vector.
+    fn buf_mut(&mut self) -> &mut Vec<f32> {
+        if Arc::get_mut(&mut self.data).is_none() {
+            DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+            self.data = Arc::new(self.data.as_ref().clone());
+        }
+        Arc::get_mut(&mut self.data).expect("storage is unique after copy-on-write")
     }
 
-    /// Consume the tensor and return its raw data.
+    /// Mutable access to the raw row-major data.
+    ///
+    /// If the storage is shared with other handles (clones, views), this
+    /// first materializes a private copy — writes are never observable
+    /// through any other `Tensor`. Callers are responsible for preserving
+    /// the dtype's value invariant (use [`Tensor::cast`] to re-round
+    /// after bulk writes to an F16 tensor).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        self.buf_mut()
+    }
+
+    /// Consume the tensor and return its raw data (copying only if the
+    /// storage is still shared with another handle).
     pub fn into_data(self) -> Vec<f32> {
-        self.data
+        match Arc::try_unwrap(self.data) {
+            Ok(data) => data,
+            Err(shared) => {
+                DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+                shared.as_ref().clone()
+            }
+        }
+    }
+
+    /// True if `self` and `other` share the same backing buffer *and*
+    /// interpret it identically (equal shape and dtype) — a cheap proof
+    /// of bit-identity that never reads the data. `false` says nothing:
+    /// separately built tensors with equal contents are not `ptr_eq`.
+    pub fn ptr_eq(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+            && self.shape == other.shape
+            && self.dtype == other.dtype
+    }
+
+    /// Process-wide count of storage materializations: the number of
+    /// times a shared buffer had to be deep-copied (first write through a
+    /// sharing handle, or [`Tensor::into_data`] on shared storage).
+    /// Cheap clones, views, and fresh allocations do not count. Intended
+    /// for clone-accounting smoke checks (`servebench --smoke` asserts a
+    /// warm batched launch of shared-argument analytic requests performs
+    /// zero deep copies).
+    pub fn deep_copy_count() -> u64 {
+        DEEP_COPIES.load(Ordering::Relaxed)
     }
 
     /// Flat offset of a multi-index.
@@ -253,11 +335,12 @@ impl Tensor {
     /// Panics on rank mismatch or out-of-range coordinates.
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.offset(index);
-        self.data[off] = if self.dtype == DType::F16 {
+        let v = if self.dtype == DType::F16 {
             f16_round(value)
         } else {
             value
         };
+        self.buf_mut()[off] = v;
     }
 
     /// Element interpreted as an integer index (for metadata tensors).
@@ -275,9 +358,11 @@ impl Tensor {
     /// truncates toward zero.
     pub fn cast(&self, dtype: DType) -> Tensor {
         let data = match dtype {
-            DType::F16 => self.data.iter().map(|&v| f16_round(v)).collect(),
-            DType::F32 => self.data.clone(),
-            DType::I32 => self.data.iter().map(|&v| v.trunc()).collect(),
+            DType::F16 => Arc::new(self.data.iter().map(|&v| f16_round(v)).collect()),
+            // Storage is always f32, so retagging to F32 transforms no
+            // values: the cast shares the buffer instead of copying it.
+            DType::F32 => Arc::clone(&self.data),
+            DType::I32 => Arc::new(self.data.iter().map(|&v| v.trunc()).collect()),
         };
         Tensor {
             shape: self.shape.clone(),
@@ -292,6 +377,10 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Reshape to a new shape with the same volume.
+    ///
+    /// Zero-copy: the layout is always row-major contiguous, so the
+    /// result is a new handle onto the same shared storage (copy-on-write
+    /// like any clone).
     ///
     /// # Errors
     ///
@@ -311,9 +400,20 @@ impl Tensor {
         Ok(Tensor {
             strides: contiguous_strides(&shape),
             shape,
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
             dtype: self.dtype,
         })
+    }
+
+    /// A zero-copy view of the same storage under a new shape (PyTorch
+    /// `view`); identical to [`Tensor::reshape`], which never copies
+    /// because tensors are always row-major contiguous.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the volumes differ.
+    pub fn view(&self, shape: Vec<usize>) -> Result<Tensor> {
+        self.reshape(shape)
     }
 
     /// Permute dimensions; `perm` must be a permutation of `0..ndim()`.
@@ -337,13 +437,14 @@ impl Tensor {
         }
         let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         let mut out = Tensor::zeros_with(new_shape.clone(), self.dtype);
+        let od = out.buf_mut();
         let mut idx = vec![0usize; nd];
         let mut src = vec![0usize; nd];
-        for i in 0..self.len() {
+        for slot in od.iter_mut() {
             for (d, &p) in perm.iter().enumerate() {
                 src[p] = idx[d];
             }
-            out.data[i] = self.at(&src);
+            *slot = self.at(&src);
             for d in (0..nd).rev() {
                 idx[d] += 1;
                 if idx[d] < new_shape[d] {
@@ -409,13 +510,14 @@ impl Tensor {
         let nd = shape.len();
         let pad = nd - self.ndim();
         let mut out = Tensor::zeros_with(shape.to_vec(), self.dtype);
+        let od = out.buf_mut();
         let mut idx = vec![0usize; nd];
         let mut src = vec![0usize; self.ndim()];
-        for i in 0..out.len() {
+        for slot in od.iter_mut() {
             for d in pad..nd {
                 src[d - pad] = if self.shape[d - pad] == 1 { 0 } else { idx[d] };
             }
-            out.data[i] = self.at(&src);
+            *slot = self.at(&src);
             for d in (0..nd).rev() {
                 idx[d] += 1;
                 if idx[d] < shape[d] {
@@ -449,7 +551,7 @@ impl Tensor {
         Tensor {
             shape: self.shape.clone(),
             strides: self.strides.clone(),
-            data,
+            data: Arc::new(data),
             dtype: self.dtype,
         }
     }
@@ -480,7 +582,7 @@ impl Tensor {
         let data = a
             .data
             .iter()
-            .zip(&b.data)
+            .zip(b.data.iter())
             .map(|(&x, &y)| {
                 let r = f(x, y);
                 if round {
@@ -493,7 +595,7 @@ impl Tensor {
         Ok(Tensor {
             strides: contiguous_strides(&shape),
             shape,
-            data,
+            data: Arc::new(data),
             dtype,
         })
     }
@@ -548,6 +650,7 @@ impl Tensor {
         let keep: Vec<usize> = (0..nd).filter(|d| !axes.contains(d)).collect();
         let out_shape: Vec<usize> = keep.iter().map(|&d| self.shape[d]).collect();
         let mut out = Tensor::zeros_with(out_shape.clone(), self.dtype);
+        let od = out.buf_mut();
         let mut idx = vec![0usize; nd];
         for i in 0..self.len() {
             let mut off = 0usize;
@@ -556,7 +659,7 @@ impl Tensor {
                 off += idx[d] * stride;
                 stride *= self.shape[d];
             }
-            out.data[off] += self.data[i];
+            od[off] += self.data[i];
             for d in (0..nd).rev() {
                 idx[d] += 1;
                 if idx[d] < self.shape[d] {
@@ -614,6 +717,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = Tensor::zeros(vec![m, n]);
+        let od = out.buf_mut();
         for i in 0..m {
             for l in 0..k {
                 let a = self.data[i * k + l];
@@ -621,7 +725,7 @@ impl Tensor {
                     continue;
                 }
                 for j in 0..n {
-                    out.data[i * n + j] += a * other.data[l * n + j];
+                    od[i * n + j] += a * other.data[l * n + j];
                 }
             }
         }
@@ -645,7 +749,7 @@ impl Tensor {
             && self
                 .data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
     }
 
@@ -657,7 +761,7 @@ impl Tensor {
         Some(
             self.data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .map(|(&a, &b)| (a - b).abs())
                 .fold(0.0, f32::max),
         )
@@ -679,6 +783,10 @@ impl fmt::Debug for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes the tests that assert exact `deep_copy_count` deltas
+    /// (the counter is process-wide and tests run concurrently).
+    static COUNT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn zeros_ones_full() {
@@ -856,6 +964,123 @@ mod tests {
     fn from_fn_ordering() {
         let t = Tensor::from_fn(vec![2, 2], |i| (i[0] * 2 + i[1]) as f32);
         assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clone_shares_storage_and_copies_on_write() {
+        let _serial = COUNT_LOCK.lock().unwrap();
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut b = a.clone();
+        assert!(a.ptr_eq(&b), "clone shares the buffer");
+        b.set(&[0, 0], 9.0);
+        assert!(!a.ptr_eq(&b), "first write materializes a private copy");
+        assert_eq!(a.at(&[0, 0]), 1.0, "writes never leak to the source");
+        assert_eq!(b.at(&[0, 0]), 9.0);
+        // Once unique, further writes stay in place.
+        let before = Tensor::deep_copy_count();
+        b.set(&[0, 1], 8.0);
+        b.data_mut()[2] = 7.0;
+        assert_eq!(Tensor::deep_copy_count(), before, "unique writes are free");
+    }
+
+    #[test]
+    fn reshape_and_view_are_zero_copy() {
+        // Takes the lock because the write below materializes shared
+        // storage, which would race the exact counter asserts.
+        let _serial = COUNT_LOCK.lock().unwrap();
+        let a = Tensor::from_vec(vec![2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let r = a.reshape(vec![3, 2]).unwrap();
+        let v = a.view(vec![6]).unwrap();
+        assert!(
+            !a.ptr_eq(&r),
+            "different shape: not the same tensor identity"
+        );
+        assert_eq!(r.at(&[2, 1]), 5.0);
+        assert_eq!(v.at(&[4]), 4.0);
+        // Writing through the view must not leak into the original.
+        let mut v = v;
+        v.set(&[0], 99.0);
+        assert_eq!(a.at(&[0, 0]), 0.0);
+        assert_eq!(v.at(&[0]), 99.0);
+    }
+
+    #[test]
+    fn ptr_eq_requires_identical_interpretation() {
+        let a = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        // Same storage, different shape or dtype: not ptr_eq.
+        assert!(!a.ptr_eq(&a.reshape(vec![2, 2]).unwrap()));
+        assert!(!a.ptr_eq(&a.cast(DType::F16)));
+        // Equal contents, separate storage: not ptr_eq, but ==.
+        let c = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(!a.ptr_eq(&c));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cast_to_f32_shares_storage() {
+        let a = Tensor::arange(8);
+        let f = a.cast(DType::F32);
+        assert_eq!(f.dtype(), DType::F32);
+        assert!(
+            Arc::ptr_eq(&a.data, &f.data),
+            "retagging transforms no values"
+        );
+        let h = Tensor::from_vec(vec![2], vec![0.1, 0.2])
+            .unwrap()
+            .cast(DType::F16);
+        assert!(!Arc::ptr_eq(&a.data, &h.data));
+    }
+
+    #[test]
+    fn partial_eq_ignores_strides() {
+        // Regression for the derived PartialEq comparing the internal
+        // strides vector: logically identical tensors must compare equal
+        // whatever metadata path produced them.
+        let canonical = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let odd_strides = Tensor {
+            shape: vec![2, 2],
+            strides: vec![0, 0], // deliberately non-canonical
+            data: Arc::new(vec![1.0, 2.0, 3.0, 4.0]),
+            dtype: DType::F32,
+        };
+        assert_eq!(canonical, odd_strides);
+        // Shape and dtype still distinguish.
+        assert_ne!(canonical, canonical.reshape(vec![4]).unwrap());
+        assert_ne!(
+            Tensor::zeros(vec![2]),
+            Tensor::zeros_with(vec![2], DType::I32)
+        );
+        // And through different construction paths.
+        let rebuilt = canonical
+            .reshape(vec![4])
+            .unwrap()
+            .reshape(vec![2, 2])
+            .unwrap();
+        assert_eq!(canonical, rebuilt);
+        assert_eq!(
+            canonical,
+            canonical.transpose(0, 1).unwrap().transpose(0, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn into_data_avoids_copy_when_unique() {
+        let _serial = COUNT_LOCK.lock().unwrap();
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let keep = a.clone();
+        // Shared: into_data must copy so `keep` stays intact.
+        let before = Tensor::deep_copy_count();
+        let v = a.into_data();
+        assert!(Tensor::deep_copy_count() > before);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        assert_eq!(keep.data(), &[1.0, 2.0, 3.0]);
+        // Unique: no copy.
+        let before = Tensor::deep_copy_count();
+        let v2 = keep.into_data();
+        assert_eq!(Tensor::deep_copy_count(), before);
+        assert_eq!(v2, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

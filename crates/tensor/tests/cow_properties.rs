@@ -1,0 +1,152 @@
+//! Property tests pinning the Arc-backed copy-on-write `Tensor` to the
+//! observable semantics of the deep-copy value type it replaced: under
+//! random interleavings of clone / view / mutate / drop across many
+//! handles, no write is ever visible through any other handle, and every
+//! handle's contents always equal an independently maintained deep-copy
+//! oracle.
+
+use insum_tensor::{DType, Tensor};
+use proptest::prelude::*;
+
+/// One handle under test plus its deep-copy oracle (what the old
+/// `data: Vec<f32>` type would hold after the same operation sequence).
+struct Handle {
+    tensor: Tensor,
+    oracle: Vec<f32>,
+}
+
+fn check(handles: &[Handle], step: usize) {
+    for (i, h) in handles.iter().enumerate() {
+        assert_eq!(
+            h.tensor.data(),
+            h.oracle.as_slice(),
+            "handle {i} diverged from the deep-copy oracle after step {step}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random op interleavings: writes through one handle must never
+    /// leak into any other, exactly as if every clone had been a deep
+    /// copy.
+    #[test]
+    fn cow_handles_are_observationally_deep_copies(
+        n in 1usize..48,
+        ops in proptest::collection::vec(
+            (0usize..5, 0usize..64, -8.0f64..8.0),
+            1..80,
+        ),
+    ) {
+        let root = Tensor::from_fn(vec![n], |i| i[0] as f32 * 0.5 - 1.0);
+        let mut handles = vec![Handle {
+            oracle: root.data().to_vec(),
+            tensor: root,
+        }];
+        for (step, &(op, pick, val)) in ops.iter().enumerate() {
+            let h = pick % handles.len();
+            match op {
+                // Clone: new handle, same observable contents.
+                0 => {
+                    let t = handles[h].tensor.clone();
+                    let o = handles[h].oracle.clone();
+                    handles.push(Handle { tensor: t, oracle: o });
+                }
+                // Zero-copy view/reshape: new handle over the same data.
+                1 => {
+                    let t = if pick % 2 == 0 {
+                        handles[h].tensor.view(vec![n]).unwrap()
+                    } else {
+                        handles[h].tensor.reshape(vec![1, n]).unwrap()
+                            .reshape(vec![n]).unwrap()
+                    };
+                    let o = handles[h].oracle.clone();
+                    handles.push(Handle { tensor: t, oracle: o });
+                }
+                // Point write through set().
+                2 => {
+                    let at = pick % n;
+                    let hh = &mut handles[h];
+                    // set() is applied against the handle's own shape,
+                    // which may be [n] or a view; index by flat data.
+                    hh.tensor.data_mut()[at] = val as f32;
+                    hh.oracle[at] = val as f32;
+                }
+                // Bulk write through data_mut().
+                3 => {
+                    let hh = &mut handles[h];
+                    for v in hh.tensor.data_mut().iter_mut() {
+                        *v += val as f32;
+                    }
+                    for v in hh.oracle.iter_mut() {
+                        *v += val as f32;
+                    }
+                }
+                // Drop a handle (never the last): releasing one sharer
+                // must not disturb the others.
+                _ => {
+                    if handles.len() > 1 {
+                        handles.swap_remove(h);
+                    }
+                }
+            }
+            check(&handles, step);
+        }
+    }
+
+    /// `index_add` (the scatter primitive the rewriter lowers to) through
+    /// a sharing handle copies before accumulating.
+    #[test]
+    fn index_add_through_shared_handle_does_not_leak(
+        n in 2usize..24,
+        idx in proptest::collection::vec(0usize..24, 1..16),
+        vals in proptest::collection::vec(-4.0f64..4.0, 1..16),
+    ) {
+        let base = Tensor::from_fn(vec![n, 2], |i| (i[0] * 2 + i[1]) as f32);
+        let mut writer = base.clone();
+        let k = idx.len().min(vals.len());
+        let index = Tensor::from_indices(
+            vec![k],
+            idx[..k].iter().map(|&i| (i % n) as i64).collect(),
+        ).unwrap();
+        let source = Tensor::from_fn(vec![k, 2], |i| vals[i[0]] as f32);
+        writer.index_add(0, &index, &source).unwrap();
+        // The sharing handle still sees the original values.
+        for i in 0..n {
+            for j in 0..2 {
+                prop_assert_eq!(base.at(&[i, j]), (i * 2 + j) as f32);
+            }
+        }
+        // And the writer accumulated exactly the oracle's result.
+        let mut oracle: Vec<f32> = base.data().to_vec();
+        for (t, &i) in idx[..k].iter().enumerate() {
+            for j in 0..2 {
+                oracle[(i % n) * 2 + j] += vals[t] as f32;
+            }
+        }
+        prop_assert_eq!(writer.data(), oracle.as_slice());
+    }
+
+    /// Equality is over logical contents only: clones, views-of-views,
+    /// and F32 retags of the same data all compare equal, and dtype or
+    /// shape changes compare unequal.
+    #[test]
+    fn equality_is_logical(
+        n in 1usize..32,
+        seed in -4.0f64..4.0,
+    ) {
+        let a = Tensor::from_fn(vec![n], |i| i[0] as f32 + seed as f32);
+        prop_assert_eq!(&a, &a.clone());
+        prop_assert_eq!(&a, &a.view(vec![n]).unwrap());
+        prop_assert_eq!(&a, &a.cast(DType::F32));
+        prop_assert_eq!(
+            &a,
+            &Tensor::from_vec(vec![n], a.data().to_vec()).unwrap()
+        );
+        if n > 1 {
+            prop_assert!(a != a.reshape(vec![1, n]).unwrap());
+        }
+        prop_assert!(a != a.cast(DType::I32));
+    }
+}
