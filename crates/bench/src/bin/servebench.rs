@@ -454,11 +454,81 @@ fn main() {
             );
         }
 
+        // Chain compile-once smoke: a 4-operand contraction chain
+        // submitted twice must compile (and lower) each pairwise step
+        // exactly once — the second submission is a registry hit and
+        // every step's launch hits the process-wide ProgramCache.
+        // servebench runs serially, so exact global-cache deltas are
+        // race-free here.
+        let chain_expr = "O[i,m] = A[i,j] * B[j,k] * C[k,l] * D[l,m]";
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut int = |shape: Vec<usize>| {
+            insum_tensor::rand_uniform(shape, -2.49, 2.49, &mut rng).map(f32::round)
+        };
+        let chain_tensors: BTreeMap<String, Tensor> = [
+            ("A".to_string(), int(vec![64, 64])),
+            ("B".to_string(), int(vec![64, 4])),
+            ("C".to_string(), int(vec![4, 64])),
+            ("D".to_string(), int(vec![64, 64])),
+        ]
+        .into_iter()
+        .collect();
+        let opts = InsumOptions::default();
+        let local_plan = insum::plan(chain_expr, &chain_tensors, &opts).expect("chain plans");
+        let device_steps = local_plan.device_step_count() as u64;
+        let reference = insum::chain_reference(chain_expr, &chain_tensors).expect("reference");
+
+        let chain_engine = ServeEngine::new(ServeConfig::default().with_options(opts.clone()))
+            .expect("engine starts");
+        let session = chain_engine.session("chain");
+        let cache = insum::ProgramCache::global();
+        let before = cache.stats();
+        let first = session
+            .submit(chain_expr, &chain_tensors)
+            .expect("admission succeeds")
+            .wait()
+            .expect("first chain request succeeds");
+        let mid = cache.stats();
+        assert_eq!(
+            mid.misses - before.misses,
+            device_steps,
+            "first chain run must lower exactly one program per device step"
+        );
+        let second = session
+            .submit(chain_expr, &chain_tensors)
+            .expect("admission succeeds")
+            .wait()
+            .expect("second chain request succeeds");
+        let after = cache.stats();
+        assert_eq!(
+            after.misses, mid.misses,
+            "second identical chain request must re-lower nothing"
+        );
+        assert!(
+            after.hits >= mid.hits + device_steps,
+            "every device step of the second chain request must hit the ProgramCache"
+        );
+        assert!(!first.registry_hit, "first chain request compiles the plan");
+        assert!(
+            second.registry_hit,
+            "second chain request must reuse the registry's plan artifact"
+        );
+        for r in [&first, &second] {
+            assert_eq!(
+                r.output.data(),
+                reference.data(),
+                "served chain output must match the naive reference bit-for-bit"
+            );
+        }
+        let cm = chain_engine.metrics();
+        assert_eq!((cm.registry.misses, cm.registry.hits), (1, 1));
+
         println!(
             "servebench smoke ok: {} requests, concurrency 4, largest batch {}, \
              {:.1} req/s (serial one-shot {:.1} req/s), bit_identical; \
              clone accounting: analytic fan-out {analytic_copies} deep copies, \
-             execute fan-out {execute_copies} (outputs only)",
+             execute fan-out {execute_copies} (outputs only); \
+             chain smoke: {device_steps} device steps compiled once across two submissions",
             w.requests.len(),
             row.largest_batch,
             w.requests.len() as f64 / row.wall_seconds,

@@ -17,7 +17,7 @@
 //! perf trajectory is tracked across PRs (see EXPERIMENTS.md).
 
 use insum::apps;
-use insum::Tensor;
+use insum::{chain_reference, plan_with_strategy, InsumOptions, OrderStrategy, Tensor};
 use insum_bench::{print_table, structured_spmm_setup, x};
 use insum_gpu::reference::launch_reference;
 use insum_gpu::{DeviceModel, KernelReport, LaunchOptions, Mode, Program};
@@ -221,6 +221,83 @@ struct TuneRow {
     warm_misses: u64,
 }
 
+/// One multi-operand contraction chain: naive left-to-right vs the
+/// planner's searched order, executed end to end.
+struct ChainCase {
+    name: &'static str,
+    expr: &'static str,
+    tensors: BTreeMap<String, Tensor>,
+}
+
+struct ChainRow {
+    name: String,
+    operands: usize,
+    steps: usize,
+    strategy: String,
+    flops_naive: u128,
+    flops_planned: u128,
+    ws_naive_bytes: usize,
+    ws_planned_bytes: usize,
+    wall_naive: f64,
+    wall_planned: f64,
+    bit_identical: bool,
+}
+
+/// Integer-valued operand in {-2, …, 2}: on this domain every
+/// contraction order is bit-exact (see the `insum_planner` crate docs),
+/// so the naive/planned comparison can assert equality, not closeness.
+fn int_tensor(shape: Vec<usize>, rng: &mut SmallRng) -> Tensor {
+    insum_tensor::rand_uniform(shape, -2.49, 2.49, rng).map(f32::round)
+}
+
+fn chain_cases() -> Vec<ChainCase> {
+    let mut rng = SmallRng::seed_from_u64(23);
+    vec![
+        // Three-operand skew: the middle extents are tiny, so contracting
+        // right-to-left shrinks the problem immediately while left-to-right
+        // materializes a 256x256 intermediate.
+        ChainCase {
+            name: "chain3_skew",
+            expr: "O[i,l] = A[i,j] * B[j,k] * C[k,l]",
+            tensors: [
+                ("A".to_string(), int_tensor(vec![256, 4], &mut rng)),
+                ("B".to_string(), int_tensor(vec![4, 256], &mut rng)),
+                ("C".to_string(), int_tensor(vec![256, 4], &mut rng)),
+            ]
+            .into_iter()
+            .collect(),
+        },
+        // Four-operand skew (the acceptance chain): only `k` is tiny, so the
+        // optimal tree is (AB)(CD) meeting at the 4-wide waist — ~32x fewer
+        // FLOPs than left-to-right, whose last merge is a full dense matmul.
+        ChainCase {
+            name: "chain4_skew",
+            expr: "O[i,m] = A[i,j] * B[j,k] * C[k,l] * D[l,m]",
+            tensors: [
+                ("A".to_string(), int_tensor(vec![384, 384], &mut rng)),
+                ("B".to_string(), int_tensor(vec![384, 4], &mut rng)),
+                ("C".to_string(), int_tensor(vec![4, 384], &mut rng)),
+                ("D".to_string(), int_tensor(vec![384, 384], &mut rng)),
+            ]
+            .into_iter()
+            .collect(),
+        },
+        // Attention-shaped QK/AV chain (scores and values in one spec; the
+        // softmax between them lives in `examples/attention.rs`).
+        ChainCase {
+            name: "attention_qkv",
+            expr: "O[b,h,q,d] = Q[b,h,q,e] * K[b,h,k,e] * V[b,h,k,d]",
+            tensors: [
+                ("Q".to_string(), int_tensor(vec![2, 4, 64, 32], &mut rng)),
+                ("K".to_string(), int_tensor(vec![2, 4, 64, 32], &mut rng)),
+                ("V".to_string(), int_tensor(vec![2, 4, 64, 32], &mut rng)),
+            ]
+            .into_iter()
+            .collect(),
+        },
+    ]
+}
+
 fn main() {
     let device = DeviceModel::rtx3090();
     let max_threads = std::thread::available_parallelism()
@@ -373,6 +450,81 @@ fn main() {
         });
     }
 
+    // Contraction chains: naive left-to-right vs the planner's searched
+    // order, executed end to end through the same compile/launch path.
+    let mut chain_rows: Vec<ChainRow> = Vec::new();
+    for case in chain_cases() {
+        let opts = InsumOptions::default();
+        let naive = plan_with_strategy(case.expr, &case.tensors, &opts, OrderStrategy::LeftToRight)
+            .expect("naive plan compiles");
+        let planned = plan_with_strategy(case.expr, &case.tensors, &opts, OrderStrategy::Auto)
+            .expect("planned chain compiles");
+        let reference = chain_reference(case.expr, &case.tensors).expect("reference evaluates");
+        let (out_naive, _) = naive.run(&case.tensors).expect("naive chain runs");
+        let (out_planned, _) = planned.run(&case.tensors).expect("planned chain runs");
+        let bit_identical =
+            out_naive.data() == reference.data() && out_planned.data() == reference.data();
+        assert!(
+            bit_identical,
+            "{}: planned and naive orders must match the reference bit-for-bit \
+             on integer-valued data",
+            case.name
+        );
+        // Compile-once smoke: re-planning the identical chain must find
+        // every device step's program already resident in the
+        // cross-launch ProgramCache (simbench runs serially, so exact
+        // global-cache deltas are race-free here).
+        let before = cache.stats();
+        let replanned = plan_with_strategy(case.expr, &case.tensors, &opts, OrderStrategy::Auto)
+            .expect("replan compiles");
+        replanned.run(&case.tensors).expect("replanned chain runs");
+        let after = cache.stats();
+        assert_eq!(
+            after.misses, before.misses,
+            "{}: re-planning an identical chain must re-lower nothing",
+            case.name
+        );
+        assert!(
+            after.hits >= before.hits + replanned.device_step_count() as u64,
+            "{}: every device step of the replanned chain must hit the ProgramCache",
+            case.name
+        );
+        let wall_naive = best_wall(|| {
+            let t = Instant::now();
+            naive.run(&case.tensors).expect("naive chain runs");
+            t.elapsed().as_secs_f64()
+        });
+        let wall_planned = best_wall(|| {
+            let t = Instant::now();
+            planned.run(&case.tensors).expect("planned chain runs");
+            t.elapsed().as_secs_f64()
+        });
+        chain_rows.push(ChainRow {
+            name: case.name.to_string(),
+            operands: planned.plan().spec.operands.len(),
+            steps: planned.step_count(),
+            strategy: format!("{:?}", planned.plan().strategy),
+            flops_naive: naive.plan().total_flops,
+            flops_planned: planned.plan().total_flops,
+            ws_naive_bytes: naive.plan().workspace_bytes(),
+            ws_planned_bytes: planned.plan().workspace_bytes(),
+            wall_naive,
+            wall_planned,
+            bit_identical,
+        });
+    }
+    let skew4 = chain_rows
+        .iter()
+        .find(|r| r.name == "chain4_skew")
+        .expect("skew4 chain row present");
+    assert!(
+        skew4.wall_naive / skew4.wall_planned >= 2.0,
+        "skewed 4-operand chain: planned order must run >=2x faster than naive \
+         left-to-right (naive {:.2} ms, planned {:.2} ms)",
+        skew4.wall_naive * 1e3,
+        skew4.wall_planned * 1e3
+    );
+
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -424,6 +576,42 @@ fn main() {
         &tune_table,
     );
 
+    let chain_table: Vec<Vec<String>> = chain_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.operands.to_string(),
+                r.strategy.clone(),
+                format!("{:.3}", r.flops_naive as f64 / 1e6),
+                format!("{:.3}", r.flops_planned as f64 / 1e6),
+                format!("{:.1}", r.ws_naive_bytes as f64 / 1024.0),
+                format!("{:.1}", r.ws_planned_bytes as f64 / 1024.0),
+                format!("{:.2}", r.wall_naive * 1e3),
+                format!("{:.2}", r.wall_planned * 1e3),
+                x(r.wall_naive / r.wall_planned),
+                r.bit_identical.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "contraction chains (naive left-to-right vs planned order)",
+        &[
+            "chain",
+            "ops",
+            "strategy",
+            "naive Mflop",
+            "plan Mflop",
+            "naive wsKB",
+            "plan wsKB",
+            "naive ms",
+            "plan ms",
+            "speedup",
+            "bits ok",
+        ],
+        &chain_table,
+    );
+
     let headline = rows
         .iter()
         .find(|r| r.name == "spmm_block_group_fig7" && r.mode == "execute" && r.host_threads == 1)
@@ -469,6 +657,31 @@ fn main() {
             r.analytic_classes,
             r.bit_identical,
             if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"chains\": [\n");
+    for (i, r) in chain_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"operands\": {}, \"steps\": {}, \
+             \"strategy\": \"{}\", \"flops_naive\": {}, \"flops_planned\": {}, \
+             \"workspace_bytes_naive\": {}, \"workspace_bytes_planned\": {}, \
+             \"wall_seconds_naive\": {:.6}, \"wall_seconds_planned\": {:.6}, \
+             \"speedup\": {:.3}, \"program_cache_hit_on_replan\": true, \
+             \"bit_identical\": {}}}{}\n",
+            r.name,
+            r.operands,
+            r.steps,
+            r.strategy,
+            r.flops_naive,
+            r.flops_planned,
+            r.ws_naive_bytes,
+            r.ws_planned_bytes,
+            r.wall_naive,
+            r.wall_planned,
+            r.wall_naive / r.wall_planned,
+            r.bit_identical,
+            if i + 1 < chain_rows.len() { "," } else { "" },
         ));
     }
     json.push_str("  ],\n");

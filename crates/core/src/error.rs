@@ -14,6 +14,8 @@ pub enum InsumError {
     Inductor(insum_inductor::InductorError),
     /// Tensor-level error.
     Tensor(insum_tensor::TensorError),
+    /// Contraction planning of a multi-operand chain failed.
+    Planner(insum_planner::PlannerError),
     /// A named tensor binding is missing.
     MissingTensor(String),
     /// An [`crate::InsumOptions`] (or serving-layer) configuration value
@@ -28,6 +30,7 @@ impl fmt::Display for InsumError {
             InsumError::Graph(e) => write!(f, "{e}"),
             InsumError::Inductor(e) => write!(f, "{e}"),
             InsumError::Tensor(e) => write!(f, "{e}"),
+            InsumError::Planner(e) => write!(f, "{e}"),
             InsumError::MissingTensor(name) => write!(f, "tensor {name:?} was not provided"),
             InsumError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -41,6 +44,7 @@ impl Error for InsumError {
             InsumError::Graph(e) => Some(e),
             InsumError::Inductor(e) => Some(e),
             InsumError::Tensor(e) => Some(e),
+            InsumError::Planner(e) => Some(e),
             InsumError::MissingTensor(_) | InsumError::Config(_) => None,
         }
     }
@@ -67,5 +71,11 @@ impl From<insum_inductor::InductorError> for InsumError {
 impl From<insum_tensor::TensorError> for InsumError {
     fn from(e: insum_tensor::TensorError) -> Self {
         InsumError::Tensor(e)
+    }
+}
+
+impl From<insum_planner::PlannerError> for InsumError {
+    fn from(e: insum_planner::PlannerError) -> Self {
+        InsumError::Planner(e)
     }
 }

@@ -35,11 +35,15 @@
 //! calls.
 
 pub mod apps;
+mod chain;
 mod compile;
 mod error;
 mod options;
 mod tune;
 
+pub use chain::{
+    chain_reference, is_chain_expression, plan, plan_with_strategy, run_chain, CompiledChain,
+};
 pub use compile::{eager, insum, insum_with, Compiled, LaunchSignature};
 pub use error::InsumError;
 pub use options::InsumOptions;
@@ -48,6 +52,7 @@ pub use tune::{pow2_candidates, tune_block_group_size, tune_group_size};
 // Re-exports so downstream users need only this crate.
 pub use insum_gpu::{DeviceModel, KernelReport, LaunchOptions, Mode, Profile};
 pub use insum_inductor::{ProgramCache, ProgramCacheStats};
+pub use insum_planner::{ChainSpec, ContractionPlan, OrderStrategy, PlanStep, PlannerError};
 pub use insum_tensor::{DType, Tensor};
 
 /// Crate-wide result alias.

@@ -1,0 +1,32 @@
+//! Planner error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error the contraction planner can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannerError {
+    /// The chain spec itself is malformed: unparseable, an output index
+    /// bound by no operand, a repeated output index, an empty term.
+    Spec(String),
+    /// The spec is well-formed but outside the planner's supported
+    /// fragment: indirect indexing, diagonal (repeated-index) access,
+    /// non-F32 operands, or more than [`crate::MAX_OPERANDS`] operands /
+    /// [`crate::MAX_INDICES`] distinct indices.
+    Unsupported(String),
+    /// Operand shapes disagree with the spec: rank mismatch or
+    /// conflicting extents for one index.
+    Shape(String),
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerError::Spec(msg) => write!(f, "invalid chain spec: {msg}"),
+            PlannerError::Unsupported(msg) => write!(f, "unsupported chain: {msg}"),
+            PlannerError::Shape(msg) => write!(f, "chain shape error: {msg}"),
+        }
+    }
+}
+
+impl Error for PlannerError {}

@@ -1,0 +1,82 @@
+//! # Contraction planning for multi-operand Einsum chains
+//!
+//! The compile/serve stack executes one *pairwise* einsum at a time; the
+//! workloads the paper targets — attention (QK → AV), multi-hop GNN
+//! propagation — are contraction **chains**. This crate turns an
+//! `ij,jk,kl->il`-style spec (or a dense multi-factor indirect-Einsum
+//! statement) into a [`ContractionPlan`]: a sequence of pairwise steps
+//! materializing intermediates into *workspace temporaries*, each step
+//! lowerable through the existing compile/autotune pipeline.
+//!
+//! This crate is purely symbolic (shapes in, plan out); lowering and
+//! execution live in `insum` (`insum::plan` / `insum::run_chain`), which
+//! keeps the dependency graph acyclic.
+//!
+//! ## Cost model
+//!
+//! Contraction order is searched over binary merge trees of the operand
+//! set, costed from shapes alone:
+//!
+//! * **FLOPs** of merging two subtrees = the product of the extents of
+//!   the *union* of the two sides' index terms (one multiply-add per
+//!   point of the joint iteration space — exactly the simulator's dense
+//!   loop-nest volume for that pairwise step).
+//! * **Intermediate size** of a subtree `S` = the product of the extents
+//!   of `term(S) = indices(S) ∩ (indices(outside S) ∪ output)`: an index
+//!   survives a merge only while something outside the subtree (or the
+//!   final output) still needs it. `term(S)` depends only on the operand
+//!   *set*, not the merge order inside it — the property that makes the
+//!   subset DP below exact.
+//!
+//! Plans are compared by total FLOPs first, total intermediate elements
+//! second (a deterministic tie-break that prefers smaller workspaces).
+//!
+//! ## Search strategies and the DP/greedy switchover
+//!
+//! * [`OrderStrategy::LeftToRight`] — the naive baseline (and the
+//!   reference evaluator's order): fold operands left to right.
+//! * [`OrderStrategy::Greedy`] — repeatedly merge the cheapest pair,
+//!   then keep whichever of {greedy result, left-to-right} costs less,
+//!   so greedy is never worse than the naive order *by construction*.
+//! * [`OrderStrategy::Dp`] — exact bitmask dynamic programming over
+//!   operand subsets (`O(3^n)` subset splits). Optimal, but only
+//!   practical up to [`DP_MAX_OPERANDS`] (= 12) operands.
+//! * [`OrderStrategy::Auto`] — DP up to 12 operands, greedy beyond: the
+//!   switchover point where `3^n` (~531k splits at n=12) stops being
+//!   negligible next to kernel compilation itself.
+//!
+//! ## Workspace lifetime rules
+//!
+//! Every non-final step writes a fresh zero-initialized F32 workspace
+//! temporary (`__t0`, `__t1`, … — renamed if a user tensor collides). A
+//! temporary is *live* from the step that produces it until the step
+//! consuming it completes; each [`PlanStep::frees`] lists the
+//! temporaries dead after that step, and the executor drops them there
+//! (copy-on-write storage frees the buffer with the last handle).
+//! [`ContractionPlan::workspace_peak_elems`] is the resulting high-water
+//! mark, with a step's output and both inputs counted live together.
+//!
+//! ## Bit-identity domain
+//!
+//! Different contraction orders re-associate floating-point reductions,
+//! so "planned ≡ naive" can only be promised *bit-exactly* where f32
+//! arithmetic is exact: integer-valued data whose intermediate
+//! magnitudes stay below 2^24. Benchmarks and property tests draw values
+//! from small integer sets for this reason; on general real data the
+//! orders agree only to rounding. The planner itself is deterministic:
+//! same spec, shapes, and strategy always produce the same plan.
+
+mod error;
+mod order;
+mod plan;
+mod reference;
+mod spec;
+
+pub use error::PlannerError;
+pub use order::{OrderStrategy, DP_MAX_OPERANDS};
+pub use plan::{ContractionPlan, PlanStep, Source};
+pub use reference::{eval_pairwise, reference_chain};
+pub use spec::{ChainSpec, Operand, MAX_INDICES, MAX_OPERANDS};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PlannerError>;

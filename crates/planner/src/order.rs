@@ -1,0 +1,364 @@
+//! Contraction-order search over binary merge trees.
+//!
+//! See the crate docs for the cost model. All three searches work on a
+//! [`ChainGraph`] — operand index terms packed into 64-bit sets — and
+//! return a *merge list*: slots `0..n` are the operand leaves, and the
+//! `k`-th merge `(a, b)` combines slots `a` and `b` into slot `n + k`.
+//! The last merge produces the chain output.
+
+use crate::Result;
+use crate::{PlannerError, MAX_OPERANDS};
+
+/// Exact DP is used up to this operand count ([`OrderStrategy::Auto`]
+/// falls back to greedy beyond it): the `O(3^n)` subset-split
+/// enumeration is ~531k splits at n = 12 — still negligible next to one
+/// kernel compilation — and grows 3× per extra operand.
+pub const DP_MAX_OPERANDS: usize = 12;
+
+/// Which contraction-order search to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderStrategy {
+    /// Naive left-to-right fold — the reference evaluator's order.
+    LeftToRight,
+    /// Cheapest-pair-first heuristic, never worse than left-to-right.
+    Greedy,
+    /// Exact bitmask DP over operand subsets (≤ [`DP_MAX_OPERANDS`]).
+    Dp,
+    /// [`OrderStrategy::Dp`] when exact search is practical, otherwise
+    /// [`OrderStrategy::Greedy`].
+    #[default]
+    Auto,
+}
+
+/// A merge of two slots; slots `0..n` are leaves, merge `k` yields slot
+/// `n + k`.
+pub(crate) type Merge = (usize, usize);
+
+/// Total plan cost: FLOPs first, then intermediate elements (the
+/// deterministic tie-break preferring smaller workspaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct TreeCost {
+    pub flops: u128,
+    pub temp_elems: u128,
+}
+
+/// The operand index terms of one chain, packed into bit sets.
+pub(crate) struct ChainGraph {
+    /// Extent of each interned index id.
+    pub extents: Vec<usize>,
+    /// Index-set mask of each operand leaf.
+    pub leaf_masks: Vec<u64>,
+    /// Index-set mask of the output term.
+    pub out_mask: u64,
+}
+
+impl ChainGraph {
+    /// Product of the extents selected by `mask`.
+    pub fn volume(&self, mask: u64) -> u128 {
+        let mut v: u128 = 1;
+        for (id, &e) in self.extents.iter().enumerate() {
+            if mask >> id & 1 == 1 {
+                v = v.saturating_mul(e as u128);
+            }
+        }
+        v
+    }
+
+    fn n(&self) -> usize {
+        self.leaf_masks.len()
+    }
+
+    /// Union of the leaf index masks selected by the operand-set mask.
+    fn ops_indices(&self, ops: u64) -> u64 {
+        let mut m = 0;
+        for (i, &leaf) in self.leaf_masks.iter().enumerate() {
+            if ops >> i & 1 == 1 {
+                m |= leaf;
+            }
+        }
+        m
+    }
+
+    /// The materialized index term of the operand subset `ops`: indices
+    /// the subset touches that are still needed outside it (or by the
+    /// output). Order-independent — see the crate docs.
+    fn term(&self, ops: u64) -> u64 {
+        let full = self.full();
+        self.ops_indices(ops) & (self.ops_indices(full & !ops) | self.out_mask)
+    }
+
+    /// The index term a subset *contributes to a merge*: a leaf is read
+    /// whole (nothing is pre-reduced), a merged subtree was materialized
+    /// down to `term`.
+    fn side_term(&self, ops: u64) -> u64 {
+        if ops.count_ones() == 1 {
+            self.ops_indices(ops)
+        } else {
+            self.term(ops)
+        }
+    }
+
+    fn full(&self) -> u64 {
+        if self.n() == MAX_OPERANDS {
+            u64::MAX
+        } else {
+            (1u64 << self.n()) - 1
+        }
+    }
+
+    /// Cost a merge list (the same arithmetic every search optimizes).
+    pub fn cost(&self, merges: &[Merge]) -> TreeCost {
+        let n = self.n();
+        let mut ops: Vec<u64> = (0..n).map(|i| 1u64 << i).collect();
+        let mut cost = TreeCost {
+            flops: 0,
+            temp_elems: 0,
+        };
+        for (k, &(a, b)) in merges.iter().enumerate() {
+            let joint = self.side_term(ops[a]) | self.side_term(ops[b]);
+            cost.flops = cost.flops.saturating_add(self.volume(joint));
+            let merged = ops[a] | ops[b];
+            if k + 1 < merges.len() {
+                cost.temp_elems = cost
+                    .temp_elems
+                    .saturating_add(self.volume(self.term(merged)));
+            }
+            ops.push(merged);
+        }
+        cost
+    }
+
+    /// Per-merge slot metadata needed by the plan builder: for each slot,
+    /// its operand set and the index term it holds.
+    pub fn slot_terms(&self, merges: &[Merge]) -> Vec<(u64, u64)> {
+        let n = self.n();
+        let mut slots: Vec<(u64, u64)> = (0..n).map(|i| (1u64 << i, self.leaf_masks[i])).collect();
+        for &(a, b) in merges {
+            let merged = slots[a].0 | slots[b].0;
+            slots.push((merged, self.term(merged)));
+        }
+        slots
+    }
+
+    /// FLOPs of the single merge `(a, b)` given current slot terms.
+    fn merge_flops(&self, term_a: u64, term_b: u64) -> u128 {
+        self.volume(term_a | term_b)
+    }
+}
+
+/// Left-to-right fold: `(((op0 · op1) · op2) · …)`.
+pub(crate) fn left_to_right(n: usize) -> Vec<Merge> {
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut acc = 0;
+    for (k, leaf) in (1..n).enumerate() {
+        merges.push((acc, leaf));
+        acc = n + k;
+    }
+    merges
+}
+
+/// Cheapest-pair-first heuristic, then best-of against left-to-right so
+/// the result is never worse than the naive order.
+pub(crate) fn greedy(graph: &ChainGraph) -> Vec<Merge> {
+    let n = graph.leaf_masks.len();
+    // (slot id, operand set, current side term).
+    let mut active: Vec<(usize, u64, u64)> = (0..n)
+        .map(|i| (i, 1u64 << i, graph.leaf_masks[i]))
+        .collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    while active.len() > 1 {
+        let mut best: Option<(u128, u128, usize, usize)> = None;
+        for i in 0..active.len() {
+            for j in i + 1..active.len() {
+                let flops = graph.merge_flops(active[i].2, active[j].2);
+                let merged = active[i].1 | active[j].1;
+                let elems = graph.volume(graph.term(merged));
+                let cand = (flops, elems, i, j);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, _, i, j) = best.expect("at least one pair");
+        let (slot_j, ops_j, _) = active.remove(j);
+        let (slot_i, ops_i, _) = active.remove(i);
+        merges.push((slot_i, slot_j));
+        let merged = ops_i | ops_j;
+        active.push((n + merges.len() - 1, merged, graph.term(merged)));
+    }
+    let ltr = left_to_right(n);
+    if graph.cost(&ltr) < graph.cost(&merges) {
+        ltr
+    } else {
+        merges
+    }
+}
+
+/// Exact bitmask DP over operand subsets.
+///
+/// `dp[S]` is the cheapest cost of computing subset `S`'s term; splits
+/// enumerate submasks containing `S`'s lowest bit (each bipartition
+/// once). Because [`ChainGraph::term`] is order-independent, child
+/// results compose exactly.
+pub(crate) fn dp(graph: &ChainGraph) -> Result<Vec<Merge>> {
+    let n = graph.leaf_masks.len();
+    if n > DP_MAX_OPERANDS {
+        return Err(PlannerError::Unsupported(format!(
+            "exact DP is limited to {DP_MAX_OPERANDS} operands (got {n}); \
+             use the greedy or auto strategy"
+        )));
+    }
+    let full: u64 = (1u64 << n) - 1;
+    let size = 1usize << n;
+    let mut best: Vec<Option<(TreeCost, u64)>> = vec![None; size];
+    // Precompute side terms (leaf masks for singletons, `term` above).
+    let side: Vec<u64> = (0..size as u64).map(|s| graph.side_term(s)).collect();
+    let zero = TreeCost {
+        flops: 0,
+        temp_elems: 0,
+    };
+    for s in 1..=full {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        let low = s & s.wrapping_neg();
+        let materialized = if s == full {
+            0
+        } else {
+            graph.volume(graph.term(s))
+        };
+        let mut t = (s - 1) & s;
+        while t > 0 {
+            if t & low != 0 {
+                let u = s & !t;
+                let (ct, cu) = (
+                    best[t as usize].map_or(zero, |(c, _)| c),
+                    best[u as usize].map_or(zero, |(c, _)| c),
+                );
+                let cand = TreeCost {
+                    flops: ct
+                        .flops
+                        .saturating_add(cu.flops)
+                        .saturating_add(graph.volume(side[t as usize] | side[u as usize])),
+                    temp_elems: ct
+                        .temp_elems
+                        .saturating_add(cu.temp_elems)
+                        .saturating_add(materialized),
+                };
+                if best[s as usize].is_none_or(|(c, _)| cand < c) {
+                    best[s as usize] = Some((cand, t));
+                }
+            }
+            t = (t - 1) & s;
+        }
+    }
+    // Reconstruct the merge list in post-order.
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    fn build(s: u64, n: usize, best: &[Option<(TreeCost, u64)>], merges: &mut Vec<Merge>) -> usize {
+        if s.count_ones() == 1 {
+            return s.trailing_zeros() as usize;
+        }
+        let (_, t) = best[s as usize].expect("dp filled every multi-operand subset");
+        let a = build(t, n, best, merges);
+        let b = build(s & !t, n, best, merges);
+        merges.push((a, b));
+        n + merges.len() - 1
+    }
+    build(full, n, &best, &mut merges);
+    Ok(merges)
+}
+
+/// Run the requested search, resolving [`OrderStrategy::Auto`]. Returns
+/// the merge list and the concrete strategy that produced it.
+pub(crate) fn search(
+    graph: &ChainGraph,
+    strategy: OrderStrategy,
+) -> Result<(Vec<Merge>, OrderStrategy)> {
+    let n = graph.leaf_masks.len();
+    Ok(match strategy {
+        OrderStrategy::LeftToRight => (left_to_right(n), OrderStrategy::LeftToRight),
+        OrderStrategy::Greedy => (greedy(graph), OrderStrategy::Greedy),
+        OrderStrategy::Dp => (dp(graph)?, OrderStrategy::Dp),
+        OrderStrategy::Auto => {
+            if n <= DP_MAX_OPERANDS {
+                (dp(graph)?, OrderStrategy::Dp)
+            } else {
+                (greedy(graph), OrderStrategy::Greedy)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `ij,jk,kl,lm->im` with k tiny: the optimal tree is the
+    /// non-left-deep `(op0·op1)·(op2·op3)`, meeting at the tiny k.
+    fn skew4() -> ChainGraph {
+        // indices: i=0, j=1, k=2, l=3, m=4
+        ChainGraph {
+            extents: vec![256, 256, 4, 256, 256],
+            leaf_masks: vec![0b00011, 0b00110, 0b01100, 0b11000],
+            out_mask: 0b10001,
+        }
+    }
+
+    #[test]
+    fn left_to_right_is_a_left_deep_fold() {
+        assert_eq!(left_to_right(4), vec![(0, 1), (4, 2), (5, 3)]);
+        assert_eq!(left_to_right(1), vec![]);
+    }
+
+    #[test]
+    fn term_is_order_independent_and_tracks_consumers() {
+        let g = skew4();
+        // {op0, op1} materializes i,k (j is internal, m/l outside).
+        assert_eq!(g.term(0b0011), 0b00101);
+        // {op0, op1, op2} materializes i,l.
+        assert_eq!(g.term(0b0111), 0b01001);
+        // Full set materializes exactly the output.
+        assert_eq!(g.term(0b1111), g.out_mask);
+    }
+
+    #[test]
+    fn dp_beats_left_to_right_by_10x_on_the_skewed_chain() {
+        let g = skew4();
+        let ltr = g.cost(&left_to_right(4));
+        let best = g.cost(&dp(&g).unwrap());
+        assert!(
+            ltr.flops >= 10 * best.flops,
+            "ltr {} vs dp {}",
+            ltr.flops,
+            best.flops
+        );
+        // Optimal: (op0·op1) and (op2·op3) each 256·4·256, then a tiny
+        // 256·256 outer-ish contraction over j…l terms.
+        assert!(best.flops < 2_000_000);
+    }
+
+    #[test]
+    fn greedy_never_worse_than_left_to_right() {
+        let g = skew4();
+        assert!(g.cost(&greedy(&g)) <= g.cost(&left_to_right(4)));
+    }
+
+    #[test]
+    fn dp_never_worse_than_greedy() {
+        let g = skew4();
+        assert!(g.cost(&dp(&g).unwrap()) <= g.cost(&greedy(&g)));
+    }
+
+    #[test]
+    fn dp_rejects_oversized_chains() {
+        let n = DP_MAX_OPERANDS + 1;
+        let g = ChainGraph {
+            extents: vec![2; n + 1],
+            leaf_masks: (0..n).map(|i| 0b11u64 << i).collect(),
+            out_mask: 1 | (1u64 << n),
+        };
+        assert!(matches!(dp(&g), Err(PlannerError::Unsupported(_))));
+        let (_, resolved) = search(&g, OrderStrategy::Auto).unwrap();
+        assert_eq!(resolved, OrderStrategy::Greedy);
+    }
+}

@@ -1,0 +1,482 @@
+//! Plan construction: merge tree → pairwise steps with workspace
+//! temporaries.
+
+use crate::order::{self, ChainGraph, OrderStrategy};
+use crate::spec::ChainSpec;
+use crate::Result;
+use insum_lang::AssignOp;
+
+/// Where one side of a pairwise step comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The `i`-th chain operand (bound by its [`crate::Operand::name`]).
+    Input(usize),
+    /// The `k`-th workspace temporary, produced by an earlier step.
+    Temp(usize),
+}
+
+/// One pairwise contraction step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Left operand of the step.
+    pub lhs: Source,
+    /// Right operand (`None` for a single-operand chain's copy /
+    /// transpose / reduce step).
+    pub rhs: Option<Source>,
+    /// Which workspace temporary this step writes; `None` for the final
+    /// step, which writes the chain output.
+    pub out_temp: Option<usize>,
+    /// Name the step's output binds (`__t0`, …, or the chain output).
+    pub out_name: String,
+    /// Ordered index term of the output.
+    pub out_indices: Vec<String>,
+    /// Shape of the output.
+    pub out_shape: Vec<usize>,
+    /// Ordered index term the left side is read with.
+    pub lhs_indices: Vec<String>,
+    /// Ordered index term of the right side.
+    pub rhs_indices: Option<Vec<String>>,
+    /// The pairwise statement to lower through the device pipeline
+    /// (empty for host-evaluated steps).
+    pub expression: String,
+    /// Single-letter einsum spec of this step, for the host/reference
+    /// evaluation path.
+    pub einsum_spec: String,
+    /// True when the step must run on the host: its output is rank-0, or
+    /// it consumes a rank-0 temporary — shapes the statement language
+    /// cannot express (`T[]` is not a legal access).
+    pub host: bool,
+    /// Multiply-add volume of the step (the cost model's FLOPs).
+    pub flops: u128,
+    /// Temporaries dead once this step completes; the executor drops
+    /// them here (the workspace lifetime rule — see the crate docs).
+    pub frees: Vec<usize>,
+}
+
+/// An ordered sequence of pairwise steps computing a [`ChainSpec`] over
+/// concrete shapes. Deterministic: same spec + shapes + strategy, same
+/// plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractionPlan {
+    /// The chain being computed.
+    pub spec: ChainSpec,
+    /// The concrete strategy that produced the order (never
+    /// [`OrderStrategy::Auto`]).
+    pub strategy: OrderStrategy,
+    /// The pairwise steps, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// Total multiply-add volume across steps.
+    pub total_flops: u128,
+    /// Number of workspace temporaries.
+    pub temp_count: usize,
+    /// Total elements across all workspace temporaries.
+    pub workspace_elems: usize,
+    /// High-water mark of concurrently live workspace elements (a step's
+    /// inputs and output count as live together).
+    pub workspace_peak_elems: usize,
+    /// Shape of the chain output.
+    pub output_shape: Vec<usize>,
+}
+
+/// Letter pool for the per-step einsum specs ([`crate::MAX_INDICES`]
+/// distinct indices fit by construction).
+const LETTERS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+impl ContractionPlan {
+    /// Search a contraction order for `spec` over positional operand
+    /// `shapes` and lay out the pairwise steps.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::PlannerError::Shape`] for shape/spec disagreements;
+    /// [`crate::PlannerError::Unsupported`] if [`OrderStrategy::Dp`] is
+    /// forced beyond [`crate::DP_MAX_OPERANDS`] operands.
+    pub fn new(
+        spec: ChainSpec,
+        shapes: &[Vec<usize>],
+        strategy: OrderStrategy,
+    ) -> Result<ContractionPlan> {
+        let extents_by_name = spec.bind_shapes(shapes)?;
+        let index_names = spec.index_names();
+        let id_of = |name: &str| -> usize {
+            index_names
+                .iter()
+                .position(|n| n == name)
+                .expect("validated: every index interned")
+        };
+        let mask_of =
+            |term: &[String]| -> u64 { term.iter().fold(0u64, |m, v| m | 1u64 << id_of(v)) };
+        let graph = ChainGraph {
+            extents: index_names.iter().map(|n| extents_by_name[n]).collect(),
+            leaf_masks: spec
+                .operands
+                .iter()
+                .map(|op| mask_of(&op.indices))
+                .collect(),
+            out_mask: mask_of(&spec.output),
+        };
+        let (merges, strategy) = order::search(&graph, strategy)?;
+        let slots = graph.slot_terms(&merges);
+        let output_shape = spec.output_shape(&extents_by_name);
+
+        // Per-slot presentation: ordered index term, source, and name.
+        let n = spec.operands.len();
+        let forbidden: Vec<&str> = spec
+            .operands
+            .iter()
+            .map(|op| op.name.as_str())
+            .chain(std::iter::once(spec.output_name.as_str()))
+            .collect();
+        let mut slot_indices: Vec<Vec<String>> =
+            spec.operands.iter().map(|op| op.indices.clone()).collect();
+        let mut slot_source: Vec<Source> = (0..n).map(Source::Input).collect();
+        let name_of = |src: Source, temps: &[String]| -> String {
+            match src {
+                Source::Input(i) => spec.operands[i].name.clone(),
+                Source::Temp(k) => temps[k].clone(),
+            }
+        };
+        let mut temp_names: Vec<String> = Vec::new();
+        let mut temp_elems: Vec<usize> = Vec::new();
+        let mut steps: Vec<PlanStep> = Vec::new();
+        let mut total_flops: u128 = 0;
+
+        let shape_of =
+            |term: &[String]| -> Vec<usize> { term.iter().map(|v| extents_by_name[v]).collect() };
+        let letter_term = |term: &[String]| -> String {
+            term.iter()
+                .map(|v| LETTERS[id_of(v)] as char)
+                .collect::<String>()
+        };
+
+        let emit = |steps: &mut Vec<PlanStep>,
+                    temp_names: &mut Vec<String>,
+                    temp_elems: &mut Vec<usize>,
+                    total_flops: &mut u128,
+                    lhs: Source,
+                    rhs: Option<Source>,
+                    lhs_indices: Vec<String>,
+                    rhs_indices: Option<Vec<String>>,
+                    out_indices: Vec<String>,
+                    flops: u128,
+                    is_final: bool|
+         -> Source {
+            let out_shape = shape_of(&out_indices);
+            let (out_temp, out_name) = if is_final {
+                (None, spec.output_name.clone())
+            } else {
+                let k = temp_names.len();
+                let mut name = format!("__t{k}");
+                while forbidden.contains(&name.as_str()) {
+                    name.insert(0, '_');
+                }
+                temp_names.push(name.clone());
+                temp_elems.push(out_shape.iter().product::<usize>().max(1));
+                (Some(k), name)
+            };
+            let rank0_input = matches!(lhs, Source::Temp(_)) && lhs_indices.is_empty()
+                || rhs.is_some()
+                    && matches!(rhs, Some(Source::Temp(_)))
+                    && rhs_indices.as_ref().is_some_and(Vec::is_empty);
+            let host = out_indices.is_empty() || rank0_input;
+            let op_str = if is_final && spec.op == AssignOp::Accumulate {
+                "+="
+            } else {
+                "="
+            };
+            let expression = if host {
+                String::new()
+            } else {
+                let lhs_txt = format!("{}[{}]", name_of(lhs, temp_names), lhs_indices.join(","));
+                let rhs_txt = match (&rhs, &rhs_indices) {
+                    (Some(r), Some(ri)) => {
+                        format!(" * {}[{}]", name_of(*r, temp_names), ri.join(","))
+                    }
+                    _ => String::new(),
+                };
+                format!(
+                    "{}[{}] {} {}{}",
+                    out_name,
+                    out_indices.join(","),
+                    op_str,
+                    lhs_txt,
+                    rhs_txt
+                )
+            };
+            let einsum_spec = match &rhs_indices {
+                Some(ri) => format!(
+                    "{},{}->{}",
+                    letter_term(&lhs_indices),
+                    letter_term(ri),
+                    letter_term(&out_indices)
+                ),
+                None => format!(
+                    "{}->{}",
+                    letter_term(&lhs_indices),
+                    letter_term(&out_indices)
+                ),
+            };
+            *total_flops = total_flops.saturating_add(flops);
+            steps.push(PlanStep {
+                lhs,
+                rhs,
+                out_temp,
+                out_name,
+                out_indices,
+                out_shape,
+                lhs_indices,
+                rhs_indices,
+                expression,
+                einsum_spec,
+                host,
+                flops,
+                frees: Vec::new(),
+            });
+            match out_temp {
+                Some(k) => Source::Temp(k),
+                None => Source::Input(usize::MAX), // never read: final step
+            }
+        };
+
+        if n == 1 {
+            // Single operand: one copy / transpose / reduce step.
+            let flops = graph.volume(graph.leaf_masks[0]);
+            emit(
+                &mut steps,
+                &mut temp_names,
+                &mut temp_elems,
+                &mut total_flops,
+                Source::Input(0),
+                None,
+                spec.operands[0].indices.clone(),
+                None,
+                spec.output.clone(),
+                flops,
+                true,
+            );
+        } else {
+            for (k, &(a, b)) in merges.iter().enumerate() {
+                let is_final = k + 1 == merges.len();
+                let (lhs, rhs) = (slot_source[a], slot_source[b]);
+                let (lhs_indices, rhs_indices) = (slot_indices[a].clone(), slot_indices[b].clone());
+                let flops = {
+                    let lhs_mask = mask_of(&lhs_indices);
+                    let rhs_mask = mask_of(&rhs_indices);
+                    graph.volume(lhs_mask | rhs_mask)
+                };
+                let out_indices = if is_final {
+                    spec.output.clone()
+                } else {
+                    // First-appearance order over the merged sides,
+                    // filtered by the slot's materialized term.
+                    let (_, term) = slots[n + k];
+                    let mut out: Vec<String> = Vec::new();
+                    for v in lhs_indices.iter().chain(rhs_indices.iter()) {
+                        if term >> id_of(v) & 1 == 1 && !out.contains(v) {
+                            out.push(v.clone());
+                        }
+                    }
+                    out
+                };
+                let src = emit(
+                    &mut steps,
+                    &mut temp_names,
+                    &mut temp_elems,
+                    &mut total_flops,
+                    lhs,
+                    Some(rhs),
+                    lhs_indices,
+                    Some(rhs_indices),
+                    out_indices,
+                    flops,
+                    is_final,
+                );
+                slot_source.push(src);
+                slot_indices.push(match &steps.last().expect("just pushed").out_temp {
+                    Some(_) => steps.last().expect("just pushed").out_indices.clone(),
+                    None => Vec::new(),
+                });
+            }
+        }
+
+        // Host-ness propagates: a step consuming a rank-0 temp is marked
+        // host inside `emit` already (rank-0 temps only arise from host
+        // steps, and `T[]` is inexpressible in the statement language).
+
+        // Workspace lifetimes: free each temp after its last consumer.
+        let mut last_use: Vec<Option<usize>> = vec![None; temp_names.len()];
+        for (i, step) in steps.iter().enumerate() {
+            for src in std::iter::once(&step.lhs).chain(step.rhs.iter()) {
+                if let Source::Temp(k) = src {
+                    last_use[*k] = Some(i);
+                }
+            }
+        }
+        for (k, last) in last_use.iter().enumerate() {
+            let i = last.expect("every temporary is consumed by a later step");
+            steps[i].frees.push(k);
+        }
+        let mut live: usize = 0;
+        let mut peak: usize = 0;
+        for step in &steps {
+            if let Some(k) = step.out_temp {
+                live += temp_elems[k];
+            }
+            peak = peak.max(live);
+            for &k in &step.frees {
+                live -= temp_elems[k];
+            }
+        }
+
+        Ok(ContractionPlan {
+            strategy,
+            total_flops,
+            temp_count: temp_names.len(),
+            workspace_elems: temp_elems.iter().sum(),
+            workspace_peak_elems: peak,
+            output_shape,
+            steps,
+            spec,
+        })
+    }
+
+    /// [`ContractionPlan::new`] with the naive left-to-right order (the
+    /// reference evaluator's structure).
+    pub fn naive(spec: ChainSpec, shapes: &[Vec<usize>]) -> Result<ContractionPlan> {
+        ContractionPlan::new(spec, shapes, OrderStrategy::LeftToRight)
+    }
+
+    /// Total workspace bytes (temporaries are always F32).
+    pub fn workspace_bytes(&self) -> usize {
+        self.workspace_elems * 4
+    }
+
+    /// Steps that lower to device kernels (the rest run on the host —
+    /// rank-0 corners only; see [`PlanStep::host`]).
+    pub fn device_step_count(&self) -> usize {
+        self.steps.iter().filter(|s| !s.host).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skew4_spec() -> (ChainSpec, Vec<Vec<usize>>) {
+        (
+            ChainSpec::parse("ij,jk,kl,lm->im").unwrap(),
+            vec![vec![256, 256], vec![256, 4], vec![4, 256], vec![256, 256]],
+        )
+    }
+
+    #[test]
+    fn left_to_right_plan_is_left_deep() {
+        let (spec, shapes) = skew4_spec();
+        let plan = ContractionPlan::naive(spec, &shapes).unwrap();
+        assert_eq!(plan.steps.len(), 3);
+        assert_eq!(plan.steps[0].lhs, Source::Input(0));
+        assert_eq!(plan.steps[0].rhs, Some(Source::Input(1)));
+        assert_eq!(plan.steps[1].lhs, Source::Temp(0));
+        assert_eq!(plan.steps[2].out_temp, None);
+        assert_eq!(plan.steps[2].out_name, "out");
+        assert_eq!(plan.output_shape, vec![256, 256]);
+        assert_eq!(plan.steps[0].expression, "__t0[i,k] = op0[i,j] * op1[j,k]");
+        assert_eq!(plan.steps[0].einsum_spec, "ab,bc->ac");
+        assert!(plan.steps.iter().all(|s| !s.host));
+    }
+
+    #[test]
+    fn dp_plan_cuts_flops_and_workspace_on_the_skewed_chain() {
+        let (spec, shapes) = skew4_spec();
+        let naive = ContractionPlan::naive(spec.clone(), &shapes).unwrap();
+        let planned = ContractionPlan::new(spec, &shapes, OrderStrategy::Auto).unwrap();
+        assert_eq!(planned.strategy, OrderStrategy::Dp);
+        assert!(naive.total_flops >= 10 * planned.total_flops);
+        assert!(planned.workspace_elems < naive.workspace_elems);
+    }
+
+    #[test]
+    fn workspace_lifetimes_free_temps_after_last_use() {
+        let (spec, shapes) = skew4_spec();
+        let plan = ContractionPlan::naive(spec, &shapes).unwrap();
+        // Left-deep chain: each temp dies feeding the next step.
+        assert_eq!(plan.steps[1].frees, vec![0]);
+        assert_eq!(plan.steps[2].frees, vec![1]);
+        // Peak: __t0 (256·4) live while __t1 (256·256) is produced.
+        assert_eq!(plan.temp_count, 2);
+        assert_eq!(plan.workspace_elems, 256 * 4 + 256 * 256);
+        assert_eq!(plan.workspace_peak_elems, 256 * 4 + 256 * 256);
+    }
+
+    #[test]
+    fn scalar_output_routes_through_host_steps() {
+        let spec = ChainSpec::parse("ij,ij->").unwrap();
+        let plan =
+            ContractionPlan::new(spec, &[vec![3, 4], vec![3, 4]], OrderStrategy::Auto).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.steps[0].host);
+        assert!(plan.steps[0].expression.is_empty());
+        assert_eq!(plan.steps[0].einsum_spec, "ab,ab->");
+        assert_eq!(plan.device_step_count(), 0);
+        assert!(plan.output_shape.is_empty());
+    }
+
+    #[test]
+    fn rank0_temp_consumers_are_host_steps() {
+        // Optimal order for i,i,j->j contracts the two vectors into a
+        // scalar first; the scalar-consuming step must also be host.
+        let spec = ChainSpec::parse("i,i,j->j").unwrap();
+        let plan =
+            ContractionPlan::new(spec, &[vec![64], vec![64], vec![8]], OrderStrategy::Dp).unwrap();
+        assert!(plan.steps.iter().any(|s| s.host));
+        let scalar_consumer = plan
+            .steps
+            .iter()
+            .find(|s| {
+                matches!(s.lhs, Source::Temp(_)) && s.lhs_indices.is_empty()
+                    || matches!(s.rhs, Some(Source::Temp(_)))
+                        && s.rhs_indices.as_ref().is_some_and(Vec::is_empty)
+            })
+            .expect("a step consumes the scalar temp");
+        assert!(scalar_consumer.host);
+    }
+
+    #[test]
+    fn single_operand_chain_is_one_step() {
+        let spec = ChainSpec::parse("ij->ji").unwrap();
+        let plan = ContractionPlan::new(spec, &[vec![2, 3]], OrderStrategy::Auto).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.steps[0].expression, "out[j,i] = op0[i,j]");
+        assert_eq!(plan.output_shape, vec![3, 2]);
+        assert_eq!(plan.temp_count, 0);
+    }
+
+    #[test]
+    fn temp_names_avoid_user_collisions() {
+        let stmt = insum_lang::parse("O[i,l] = __t0[i,j] * B[j,k] * C[k,l]").unwrap();
+        let spec = ChainSpec::from_statement(&stmt).unwrap();
+        let plan = ContractionPlan::new(
+            spec,
+            &[vec![2, 3], vec![3, 4], vec![4, 5]],
+            OrderStrategy::LeftToRight,
+        )
+        .unwrap();
+        assert!(plan.steps[0].out_name.starts_with('_'));
+        assert_ne!(plan.steps[0].out_name, "__t0");
+    }
+
+    #[test]
+    fn accumulate_final_step_uses_plus_equals() {
+        let stmt = insum_lang::parse("O[i,l] += A[i,j] * B[j,k] * C[k,l]").unwrap();
+        let spec = ChainSpec::from_statement(&stmt).unwrap();
+        let plan = ContractionPlan::new(
+            spec,
+            &[vec![2, 3], vec![3, 4], vec![4, 5]],
+            OrderStrategy::LeftToRight,
+        )
+        .unwrap();
+        let last = plan.steps.last().unwrap();
+        assert!(last.expression.contains("+="), "{}", last.expression);
+        assert!(!plan.steps[0].expression.contains("+="));
+    }
+}

@@ -1,0 +1,151 @@
+//! The bit-identity oracle: naive left-to-right pairwise evaluation.
+//!
+//! [`reference_chain`] folds the operands left to right, evaluating each
+//! pairwise step with the [`insum_tensor::einsum`] reference — the same
+//! step structure [`crate::OrderStrategy::LeftToRight`] compiles, so a
+//! planned execution can be compared against it step shape by step
+//! shape. On integer-valued data (see the crate docs) every contraction
+//! order is exact, and planned output must equal this reference bit for
+//! bit.
+
+use crate::plan::{ContractionPlan, Source};
+use crate::spec::ChainSpec;
+use crate::{PlannerError, Result};
+use insum_tensor::{einsum, Tensor};
+
+/// Evaluate one pairwise step given its single-letter spec
+/// ([`crate::PlanStep::einsum_spec`]).
+///
+/// This is both the oracle's step evaluator and the executor's host
+/// fallback for the rank-0 corners the statement language cannot
+/// express — sharing one implementation is what makes host-evaluated
+/// steps bit-identical to the reference by construction. A rank-0
+/// (empty-term) side, which the einsum spec grammar also cannot parse,
+/// multiplies as a scalar into the other side's contraction; exact on
+/// the integer-valued domain, since scaling distributes exactly there.
+///
+/// # Errors
+///
+/// [`PlannerError::Shape`] when the operands disagree with the spec.
+pub fn eval_pairwise(spec: &str, lhs: &Tensor, rhs: Option<&Tensor>) -> Result<Tensor> {
+    let (input_part, out_term) = spec
+        .split_once("->")
+        .ok_or_else(|| PlannerError::Spec(format!("missing '->' in step spec {spec:?}")))?;
+    let terms: Vec<&str> = input_part.split(',').collect();
+    let wrap = |e: insum_tensor::TensorError| PlannerError::Shape(e.to_string());
+    match (&terms[..], rhs) {
+        // No rank-0 side: the plain reference einsum.
+        ([l, r], Some(rhs)) if !l.is_empty() && !r.is_empty() => {
+            einsum(spec, &[lhs, rhs]).map_err(wrap)
+        }
+        ([l], None) if !l.is_empty() => einsum(spec, &[lhs]).map_err(wrap),
+        // A scalar side scales the other side's (possibly trivial)
+        // contraction.
+        ([l, r], Some(rhs)) => {
+            let (scalar, dense, dense_term) = if l.is_empty() {
+                (lhs, rhs, r)
+            } else {
+                (rhs, lhs, l)
+            };
+            let s = scalar.data()[0];
+            let base = if dense_term.is_empty() {
+                dense.clone()
+            } else {
+                einsum(&format!("{dense_term}->{out_term}"), &[dense]).map_err(wrap)?
+            };
+            Ok(base.map(|v| v * s))
+        }
+        ([_], None) => Ok(lhs.clone()),
+        _ => Err(PlannerError::Spec(format!(
+            "step spec {spec:?} does not match its operand count"
+        ))),
+    }
+}
+
+/// Evaluate a chain with the naive left-to-right pairwise order,
+/// returning the pure chain value (`+=` accumulation into an existing
+/// output is the executor's concern, not the oracle's).
+///
+/// `operands` are positional, matching [`ChainSpec::operands`].
+///
+/// # Errors
+///
+/// [`PlannerError::Shape`] when operand shapes disagree with the spec.
+pub fn reference_chain(spec: &ChainSpec, operands: &[&Tensor]) -> Result<Tensor> {
+    let shapes: Vec<Vec<usize>> = operands.iter().map(|t| t.shape().to_vec()).collect();
+    let plan = ContractionPlan::naive(spec.clone(), &shapes)?;
+    let mut temps: Vec<Option<Tensor>> = vec![None; plan.temp_count];
+    let mut result = None;
+    for step in &plan.steps {
+        let fetch = |src: Source, temps: &[Option<Tensor>]| -> Tensor {
+            match src {
+                Source::Input(i) => operands[i].clone(),
+                Source::Temp(k) => temps[k].clone().expect("produced by an earlier step"),
+            }
+        };
+        let lhs = fetch(step.lhs, &temps);
+        let rhs = step.rhs.map(|src| fetch(src, &temps));
+        let out = eval_pairwise(&step.einsum_spec, &lhs, rhs.as_ref())?;
+        for &k in &step.frees {
+            temps[k] = None;
+        }
+        match step.out_temp {
+            Some(k) => temps[k] = Some(out),
+            None => result = Some(out),
+        }
+    }
+    Ok(result.expect("plans always end with the output step"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use insum_tensor::DType;
+
+    fn int_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+        let mut state = seed;
+        Tensor::from_fn(shape, |_| {
+            // xorshift; values in {-2, -1, 0, 1, 2}.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 5) as f32 - 2.0
+        })
+    }
+
+    #[test]
+    fn reference_matches_direct_einsum() {
+        let spec = ChainSpec::parse("ij,jk,kl->il").unwrap();
+        let a = int_tensor(vec![4, 5], 1);
+        let b = int_tensor(vec![5, 3], 2);
+        let c = int_tensor(vec![3, 6], 3);
+        let chained = reference_chain(&spec, &[&a, &b, &c]).unwrap();
+        let direct = einsum("ij,jk,kl->il", &[&a, &b, &c]).unwrap();
+        assert_eq!(chained.data(), direct.data());
+        assert_eq!(chained.shape(), direct.shape());
+        assert_eq!(chained.dtype(), DType::F32);
+    }
+
+    #[test]
+    fn reference_handles_scalar_intermediates() {
+        // Left-to-right on i,i,j->j goes through a rank-0 intermediate.
+        let spec = ChainSpec::parse("i,i,j->j").unwrap();
+        let a = int_tensor(vec![8], 4);
+        let b = int_tensor(vec![8], 5);
+        let c = int_tensor(vec![3], 6);
+        let got = reference_chain(&spec, &[&a, &b, &c]).unwrap();
+        let want = einsum("i,i,j->j", &[&a, &b, &c]).unwrap();
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn reference_handles_scalar_output() {
+        let spec = ChainSpec::parse("ij,ij->").unwrap();
+        let a = int_tensor(vec![3, 4], 7);
+        let b = int_tensor(vec![3, 4], 8);
+        let got = reference_chain(&spec, &[&a, &b]).unwrap();
+        let want = einsum("ij,ij->", &[&a, &b]).unwrap();
+        assert_eq!(got.data(), want.data());
+        assert!(got.shape().is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! The chain specification: operands, index terms, and the output term.
+
+use crate::error::PlannerError;
+use crate::Result;
+use insum_lang::{AssignOp, IndexExpr, Statement};
+use insum_tensor::EinsumSpec;
+use std::collections::BTreeMap;
+
+/// Maximum distinct index names per chain (the pairwise reference path
+/// maps indices onto single letters, and the order search packs them
+/// into a 64-bit set; 52 keeps both honest).
+pub const MAX_INDICES: usize = 52;
+
+/// Maximum operands per chain (the order search packs the operand set
+/// into a 64-bit mask).
+pub const MAX_OPERANDS: usize = 64;
+
+/// One chain operand: a tensor name and its ordered index term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operand {
+    /// Tensor name the executor binds (auto-generated `op0`, `op1`, …
+    /// for spec-form chains).
+    pub name: String,
+    /// Index names, one per dimension, no repeats.
+    pub indices: Vec<String>,
+}
+
+/// A validated multi-operand contraction spec — the index graph the
+/// planner searches over.
+///
+/// Built from an `ij,jk,kl->il`-style string ([`ChainSpec::parse`]) or
+/// from a dense multi-factor statement ([`ChainSpec::from_statement`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSpec {
+    /// The operands, in source order.
+    pub operands: Vec<Operand>,
+    /// The output index term (may be empty: a full reduction to a
+    /// scalar, expressible only in spec form).
+    pub output: Vec<String>,
+    /// Tensor name of the chain output (`out` for spec-form chains).
+    pub output_name: String,
+    /// How the final step combines into the output binding.
+    pub op: AssignOp,
+}
+
+impl ChainSpec {
+    /// Parse an `ij,jk,kl->il`-style spec with any number of operands.
+    /// Operands are named `op0`, `op1`, …; the output is named `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::Spec`] for malformed specs (missing `->`, empty
+    /// terms, non-alphabetic letters, repeated or unbound output
+    /// letters); [`PlannerError::Unsupported`] for diagonal terms
+    /// (an index repeated within one operand).
+    pub fn parse(spec: &str) -> Result<ChainSpec> {
+        let parsed = EinsumSpec::parse(spec).map_err(|e| PlannerError::Spec(e.to_string()))?;
+        let operands = parsed
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, term)| Operand {
+                name: format!("op{i}"),
+                indices: term.iter().map(|c| c.to_string()).collect(),
+            })
+            .collect();
+        let chain = ChainSpec {
+            operands,
+            output: parsed.output.iter().map(|c| c.to_string()).collect(),
+            output_name: "out".to_string(),
+            op: AssignOp::Assign,
+        };
+        chain.validate()?;
+        Ok(chain)
+    }
+
+    /// Build a chain spec from a parsed dense statement such as
+    /// `O[i,m] = A[i,j] * B[j,k] * C[k,m]`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::Unsupported`] if any access is indirect, repeats
+    /// an index, or is rank-0; [`PlannerError::Spec`] if an output index
+    /// is bound by no factor.
+    pub fn from_statement(stmt: &Statement) -> Result<ChainSpec> {
+        let term_of = |access: &insum_lang::Access| -> Result<Vec<String>> {
+            if access.has_indirection() {
+                return Err(PlannerError::Unsupported(format!(
+                    "indirect access {access} cannot be chain-planned"
+                )));
+            }
+            let vars: Vec<String> = access
+                .indices
+                .iter()
+                .map(|idx| match idx {
+                    IndexExpr::Var(v) => v.clone(),
+                    IndexExpr::Indirect(_) => unreachable!("checked above"),
+                })
+                .collect();
+            for (i, v) in vars.iter().enumerate() {
+                if vars[..i].contains(v) {
+                    return Err(PlannerError::Unsupported(format!(
+                        "diagonal access {access} (index {v:?} repeated) cannot be chain-planned"
+                    )));
+                }
+            }
+            Ok(vars)
+        };
+        let output = term_of(&stmt.output)?;
+        let mut operands = Vec::with_capacity(stmt.factors.len());
+        for factor in &stmt.factors {
+            let indices = term_of(factor)?;
+            if indices.is_empty() {
+                return Err(PlannerError::Unsupported(format!(
+                    "rank-0 operand {} cannot be chain-planned",
+                    factor.tensor
+                )));
+            }
+            operands.push(Operand {
+                name: factor.tensor.clone(),
+                indices,
+            });
+        }
+        let chain = ChainSpec {
+            operands,
+            output,
+            output_name: stmt.output.tensor.clone(),
+            op: stmt.op,
+        };
+        chain.validate()?;
+        Ok(chain)
+    }
+
+    /// Shared structural validation for both construction paths.
+    fn validate(&self) -> Result<()> {
+        if self.operands.is_empty() {
+            return Err(PlannerError::Spec("no operands".to_string()));
+        }
+        if self.operands.len() > MAX_OPERANDS {
+            return Err(PlannerError::Unsupported(format!(
+                "{} operands exceed the {MAX_OPERANDS}-operand limit",
+                self.operands.len()
+            )));
+        }
+        for op in &self.operands {
+            if op.indices.is_empty() {
+                return Err(PlannerError::Unsupported(format!(
+                    "rank-0 operand {:?} cannot be chain-planned",
+                    op.name
+                )));
+            }
+            for (i, v) in op.indices.iter().enumerate() {
+                if op.indices[..i].contains(v) {
+                    return Err(PlannerError::Unsupported(format!(
+                        "index {v:?} repeated within operand {:?} (diagonal access)",
+                        op.name
+                    )));
+                }
+            }
+        }
+        for (i, v) in self.output.iter().enumerate() {
+            if self.output[..i].contains(v) {
+                return Err(PlannerError::Spec(format!("output index {v:?} repeated")));
+            }
+            if !self.operands.iter().any(|op| op.indices.contains(v)) {
+                return Err(PlannerError::Spec(format!(
+                    "output index {v:?} appears in no operand"
+                )));
+            }
+        }
+        if self.index_names().len() > MAX_INDICES {
+            return Err(PlannerError::Unsupported(format!(
+                "more than {MAX_INDICES} distinct indices"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Distinct index names in first-appearance order (operands first;
+    /// every output index also appears in some operand).
+    pub fn index_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for op in &self.operands {
+            for v in &op.indices {
+                if !names.contains(v) {
+                    names.push(v.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Bind positional operand shapes to index extents.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::Shape`] on operand-count or rank mismatch, on
+    /// conflicting extents for one index, or when two operands share a
+    /// tensor name but were given different shapes.
+    pub fn bind_shapes(&self, shapes: &[Vec<usize>]) -> Result<BTreeMap<String, usize>> {
+        if shapes.len() != self.operands.len() {
+            return Err(PlannerError::Shape(format!(
+                "{} shapes for {} operands",
+                shapes.len(),
+                self.operands.len()
+            )));
+        }
+        let mut extents: BTreeMap<String, usize> = BTreeMap::new();
+        for (op, shape) in self.operands.iter().zip(shapes) {
+            if shape.len() != op.indices.len() {
+                return Err(PlannerError::Shape(format!(
+                    "operand {:?} is rank {} but was given a rank-{} shape",
+                    op.name,
+                    op.indices.len(),
+                    shape.len()
+                )));
+            }
+            for (v, &e) in op.indices.iter().zip(shape) {
+                match extents.get(v) {
+                    Some(&prev) if prev != e => {
+                        return Err(PlannerError::Shape(format!(
+                            "index {v:?} bound to extent {prev} and {e}"
+                        )));
+                    }
+                    _ => {
+                        extents.insert(v.clone(), e);
+                    }
+                }
+            }
+        }
+        // Same tensor name appearing twice must mean the same tensor.
+        for (i, a) in self.operands.iter().enumerate() {
+            for (b, shape_b) in self.operands.iter().zip(shapes).skip(i + 1) {
+                if a.name == b.name && shapes[i] != *shape_b {
+                    return Err(PlannerError::Shape(format!(
+                        "operand {:?} appears twice with different shapes",
+                        a.name
+                    )));
+                }
+            }
+        }
+        Ok(extents)
+    }
+
+    /// The output shape implied by bound extents.
+    pub(crate) fn output_shape(&self, extents: &BTreeMap<String, usize>) -> Vec<usize> {
+        self.output.iter().map(|v| extents[v]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names_operands_positionally() {
+        let spec = ChainSpec::parse("ij,jk,kl->il").unwrap();
+        assert_eq!(spec.operands.len(), 3);
+        assert_eq!(spec.operands[1].name, "op1");
+        assert_eq!(spec.operands[1].indices, vec!["j", "k"]);
+        assert_eq!(spec.output, vec!["i", "l"]);
+        assert_eq!(spec.output_name, "out");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in ["ij,jk", "ij,jk->ii", "ij,jk->im", "ij,->i", "->i", "i1->i"] {
+            assert!(
+                matches!(ChainSpec::parse(bad), Err(PlannerError::Spec(_))),
+                "{bad:?} should be a spec error"
+            );
+        }
+        assert!(matches!(
+            ChainSpec::parse("ii,ij->j"),
+            Err(PlannerError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn parse_accepts_scalar_output() {
+        let spec = ChainSpec::parse("ij,ij->").unwrap();
+        assert!(spec.output.is_empty());
+    }
+
+    #[test]
+    fn from_statement_accepts_dense_chains() {
+        let stmt = insum_lang::parse("O[i,m] += A[i,j] * B[j,k] * C[k,m]").unwrap();
+        let spec = ChainSpec::from_statement(&stmt).unwrap();
+        assert_eq!(spec.operands.len(), 3);
+        assert_eq!(spec.operands[0].name, "A");
+        assert_eq!(spec.output_name, "O");
+        assert_eq!(spec.op, AssignOp::Accumulate);
+    }
+
+    #[test]
+    fn from_statement_rejects_indirection_diagonals_and_unbound_outputs() {
+        let indirect = insum_lang::parse("C[M[p],n] = V[p] * B[K[p],n] * W[n]").unwrap();
+        assert!(matches!(
+            ChainSpec::from_statement(&indirect),
+            Err(PlannerError::Unsupported(_))
+        ));
+        let diagonal = insum_lang::parse("O[i] = A[i,i] * B[i] * C[i]").unwrap();
+        assert!(matches!(
+            ChainSpec::from_statement(&diagonal),
+            Err(PlannerError::Unsupported(_))
+        ));
+        let unbound = insum_lang::parse("O[i,z] = A[i,j] * B[j,k] * C[k]").unwrap();
+        assert!(matches!(
+            ChainSpec::from_statement(&unbound),
+            Err(PlannerError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn bind_shapes_checks_ranks_and_extents() {
+        let spec = ChainSpec::parse("ij,jk->ik").unwrap();
+        let extents = spec.bind_shapes(&[vec![2, 3], vec![3, 4]]).unwrap();
+        assert_eq!(extents["j"], 3);
+        assert!(spec.bind_shapes(&[vec![2, 3]]).is_err());
+        assert!(spec.bind_shapes(&[vec![2, 3], vec![5, 4]]).is_err());
+        assert!(spec.bind_shapes(&[vec![2], vec![3, 4]]).is_err());
+    }
+}

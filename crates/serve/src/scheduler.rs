@@ -14,8 +14,9 @@
 
 use crate::engine::{relock, rewait, Pending, Shared};
 use crate::error::ServeError;
+use crate::registry::ServeArtifact;
 use crate::session::{RequestId, Response};
-use insum::{Compiled, LaunchOptions, Mode, Tensor};
+use insum::{LaunchOptions, Mode, Tensor};
 use insum_tensor::DType;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -103,6 +104,13 @@ enum GroupKey {
         analytic: bool,
         device: String,
     },
+    /// A planned contraction chain. Two requests resolve to the same
+    /// chain `Arc` only through the same registry key — equal
+    /// expression, argument metadata (names, shapes, dtypes), and
+    /// normalized options — so artifact identity plus interpreter mode
+    /// already proves per-step launch compatibility; no per-step
+    /// signature needs to appear in the key.
+    Chain { artifact: usize, analytic: bool },
     /// Unbatchable (unfused pipeline or unresolvable binding): executes
     /// alone, keyed by request id.
     Single(u64),
@@ -110,7 +118,7 @@ enum GroupKey {
 
 struct Resolved {
     pending: Pending,
-    artifact: Arc<Compiled>,
+    artifact: ServeArtifact,
     registry_hit: bool,
 }
 
@@ -185,7 +193,7 @@ fn process(shared: &Shared, drained: Vec<Pending>) {
                 // equal lengths and dtypes, so the fast path can only
                 // join groups the full key would also join.
                 match groups.iter_mut().find(|(k, members)| {
-                    matches!(k, GroupKey::Batched { .. }) && ptr_identical(&resolved, &members[0])
+                    !matches!(k, GroupKey::Single(_)) && ptr_identical(&resolved, &members[0])
                 }) {
                     Some((_, members)) => members.push(resolved),
                     None => {
@@ -214,7 +222,7 @@ fn process(shared: &Shared, drained: Vec<Pending>) {
 /// (ROADMAP) builds on: `ptr_eq` proves the arguments bit-identical
 /// without reading them.
 fn ptr_identical(candidate: &Resolved, rep: &Resolved) -> bool {
-    Arc::ptr_eq(&candidate.artifact, &rep.artifact)
+    candidate.artifact.ptr_eq(&rep.artifact)
         && candidate.pending.mode == rep.pending.mode
         && candidate.pending.tensors.len() == rep.pending.tensors.len()
         && candidate
@@ -225,7 +233,18 @@ fn ptr_identical(candidate: &Resolved, rep: &Resolved) -> bool {
             .all(|((an, at), (bn, bt))| an == bn && at.ptr_eq(bt))
 }
 
-fn group_key(artifact: &Arc<Compiled>, pending: &Pending) -> GroupKey {
+fn group_key(artifact: &ServeArtifact, pending: &Pending) -> GroupKey {
+    let artifact = match artifact {
+        ServeArtifact::Single(compiled) => compiled,
+        // See the variant docs: chain-artifact identity subsumes every
+        // per-step compatibility condition.
+        ServeArtifact::Chain(chain) => {
+            return GroupKey::Chain {
+                artifact: Arc::as_ptr(chain) as usize,
+                analytic: pending.mode == Mode::Analytic,
+            };
+        }
+    };
     let Some(sig) = artifact.launch_signature() else {
         return GroupKey::Single(pending.id);
     };
@@ -252,16 +271,21 @@ fn group_key(artifact: &Arc<Compiled>, pending: &Pending) -> GroupKey {
     }
 }
 
-fn kernel_key(artifact: &Compiled) -> String {
-    match artifact.launch_signature() {
-        Some(sig) => format!("{:016x}@{:?}", sig.kernel_fingerprint, sig.grid),
-        None => format!("unfused:{}", artifact.statement()),
+fn kernel_key(artifact: &ServeArtifact) -> String {
+    match artifact {
+        ServeArtifact::Single(compiled) => match compiled.launch_signature() {
+            Some(sig) => format!("{:016x}@{:?}", sig.kernel_fingerprint, sig.grid),
+            None => format!("unfused:{}", compiled.statement()),
+        },
+        ServeArtifact::Chain(chain) => {
+            format!("chain[{} steps]:{}", chain.step_count(), chain.expression())
+        }
     }
 }
 
 /// Execute one launch-compatible batch and complete its tickets.
 fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
-    let artifact = Arc::clone(&batch[0].artifact);
+    let artifact = batch[0].artifact.clone();
     let mode = batch[0].pending.mode;
     let launch = LaunchOptions {
         threads: shared.config.sim_threads,
@@ -287,7 +311,12 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
                 panic!("injected fault for tenant {t:?}");
             }
         }
-        artifact.run_batch_mode(&inputs, mode, &launch)
+        match &artifact {
+            ServeArtifact::Single(compiled) => compiled.run_batch_mode(&inputs, mode, &launch),
+            // Chains batch per step: every request's instance of step k
+            // shares one batched launch before any request advances.
+            ServeArtifact::Chain(chain) => chain.run_batch_mode(&inputs, mode, &launch),
+        }
     }));
     let kkey = kernel_key(&artifact);
     let result = match caught {

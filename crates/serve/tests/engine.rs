@@ -540,3 +540,106 @@ fn panicking_compilation_is_contained_and_cached() {
     assert_eq!(m.failed, 2);
     assert_eq!(m.completed, 1);
 }
+
+const CHAIN4: &str = "O[i,m] = A[i,j] * B[j,k] * C[k,l] * D[l,m]";
+
+/// Integer-valued chain operands (values in {-2..2}) so every
+/// contraction order is bit-exact; see the planner crate docs.
+fn chain_request(seed: u64) -> BTreeMap<String, Tensor> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut int = |shape: Vec<usize>| rand_uniform(shape, -2.49, 2.49, &mut rng).map(f32::round);
+    [
+        ("A".to_string(), int(vec![24, 16])),
+        ("B".to_string(), int(vec![16, 3])),
+        ("C".to_string(), int(vec![3, 16])),
+        ("D".to_string(), int(vec![16, 20])),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn chain_requests_share_one_planned_artifact_and_batch_per_step() {
+    // Two tenants submit the same 4-operand chain: the registry compiles
+    // the plan (every pairwise step) exactly once, the scheduler batches
+    // the requests through each step, and both responses are
+    // bit-identical to a serial `CompiledChain::run` and the naive
+    // left-to-right reference.
+    let tensors = chain_request(61);
+    let opts = InsumOptions::default();
+    let chain = insum::plan(CHAIN4, &tensors, &opts).unwrap();
+    let (want_out, want_profile) = chain.run(&tensors).unwrap();
+    let reference = insum::chain_reference(CHAIN4, &tensors).unwrap();
+    assert_eq!(want_out.data(), reference.data(), "planned == naive bits");
+
+    let engine = ServeEngine::new(ServeConfig::default().with_max_batch(8)).unwrap();
+    engine.pause();
+    let ha = engine.session("alice").submit(CHAIN4, &tensors).unwrap();
+    let hb = engine.session("bob").submit(CHAIN4, &tensors).unwrap();
+    engine.resume();
+    let ra = ha.wait().unwrap();
+    let rb = hb.wait().unwrap();
+    for r in [&ra, &rb] {
+        assert_eq!(r.output.data(), want_out.data());
+        assert_eq!(r.profile, want_profile);
+        assert_eq!(r.batch_size, 2, "chain requests batch per step");
+    }
+    assert!(!ra.registry_hit || !rb.registry_hit);
+    assert!(ra.registry_hit || rb.registry_hit);
+
+    let m = engine.metrics();
+    assert_eq!(m.completed, 2);
+    assert_eq!(m.registry.misses, 1, "the plan compiled once");
+    assert_eq!(m.registry.hits, 1);
+    // The chain is one kernel identity in the metrics.
+    assert_eq!(m.kernels.len(), 1);
+    let (key, km) = m.kernels.iter().next().unwrap();
+    assert!(key.starts_with("chain["), "chain kernel key: {key}");
+    assert_eq!(km.requests, 2);
+}
+
+#[test]
+fn chain_analytic_mode_skips_values_but_keeps_the_profile() {
+    let tensors = chain_request(67);
+    let opts = InsumOptions::default();
+    let chain = insum::plan(CHAIN4, &tensors, &opts).unwrap();
+    let (_, want_profile) = chain.run(&tensors).unwrap();
+
+    let engine = ServeEngine::with_defaults().unwrap();
+    let session = engine.session("t");
+    let r = session
+        .submit_with(
+            CHAIN4,
+            &tensors,
+            &SubmitOptions::default().with_mode(Mode::Analytic),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(r.profile, want_profile, "analytic profile matches execute");
+}
+
+#[test]
+fn chain_spec_form_and_statement_form_are_distinct_artifacts() {
+    // Spec form binds positional names; statement form binds user names.
+    // Different expressions → different registry keys, both served.
+    let tensors = chain_request(71);
+    let spec_tensors: BTreeMap<String, Tensor> = [
+        ("op0".to_string(), tensors["A"].clone()),
+        ("op1".to_string(), tensors["B"].clone()),
+        ("op2".to_string(), tensors["C"].clone()),
+        ("op3".to_string(), tensors["D"].clone()),
+    ]
+    .into_iter()
+    .collect();
+    let engine = ServeEngine::with_defaults().unwrap();
+    let session = engine.session("t");
+    let r1 = session.submit(CHAIN4, &tensors).unwrap().wait().unwrap();
+    let r2 = session
+        .submit("ij,jk,kl,lm->im", &spec_tensors)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(r1.output.data(), r2.output.data());
+    assert_eq!(engine.metrics().registry.misses, 2);
+}

@@ -1,0 +1,132 @@
+//! Two-einsum attention served through `insum_serve`: scores (`QKᵀ`)
+//! and values (`P·V`) are each a spec-form contraction routed through
+//! the planner, with the softmax (the only non-einsum stage) on the
+//! host between them. Two tenants run the same attention shapes on
+//! their own data — the registry keys artifacts by expression, shapes,
+//! and options, so both tenants share one plan artifact per einsum and
+//! every pairwise step compiles exactly once process-wide.
+//!
+//! Run with: `cargo run --release --example attention`
+
+use insum::{run_chain, Tensor};
+use insum_serve::{ServeEngine, ServeError};
+use insum_tensor::rand_uniform;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Scores einsum: `S[b,h,q,k] = Q[b,h,q,e] * K[b,h,k,e]` in spec form
+/// (operands bind positionally as `op0`, `op1`).
+const SCORES: &str = "bhqe,bhke->bhqk";
+/// Values einsum: `O[b,h,q,d] = P[b,h,q,k] * V[b,h,k,d]`.
+const VALUES: &str = "bhqk,bhkd->bhqd";
+
+const BATCH: usize = 2;
+const HEADS: usize = 4;
+const SEQ: usize = 64;
+const DIM: usize = 32;
+
+/// Row-wise scaled softmax over the last (key) axis.
+fn softmax(scores: &Tensor, dim: usize) -> Tensor {
+    let shape = scores.shape().to_vec();
+    let keys = *shape.last().expect("scores have a key axis");
+    let scale = 1.0 / (dim as f32).sqrt();
+    let mut data = scores.data().to_vec();
+    for row in data.chunks_mut(keys) {
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v * scale));
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v * scale - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Tensor::from_vec(shape, data).expect("softmax preserves the shape")
+}
+
+/// Integer-valued Q/K/V in {-2, …, 2}: the scores reduction is then
+/// exact in f32, so the served scores can be checked bit-for-bit
+/// against the dense einsum oracle (see the `insum_planner` docs for
+/// the exactness domain).
+fn qkv(seed: u64) -> (Tensor, Tensor, Tensor) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t =
+        || rand_uniform(vec![BATCH, HEADS, SEQ, DIM], -2.49, 2.49, &mut rng).map(f32::round);
+    (t(), t(), t())
+}
+
+fn bind(a: &Tensor, b: &Tensor) -> BTreeMap<String, Tensor> {
+    [
+        ("op0".to_string(), a.clone()),
+        ("op1".to_string(), b.clone()),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn main() -> Result<(), ServeError> {
+    let engine = ServeEngine::with_defaults()?;
+
+    for (tenant, seed) in [("alice", 3u64), ("bob", 4u64)] {
+        let session = engine.session(tenant);
+        let (q, k, v) = qkv(seed);
+
+        // Stage 1 (served): attention scores.
+        let scores_in = bind(&q, &k);
+        let scores = session.submit(SCORES, &scores_in)?.wait()?;
+        // Integer data → the device reduction is exact: served scores
+        // match the dense f64-accumulating oracle bit-for-bit.
+        let want_scores = insum_tensor::einsum(SCORES, &[&q, &k]).expect("scores einsum");
+        assert_eq!(scores.output.data(), want_scores.data(), "{tenant}: scores");
+
+        // Stage 2 (host): scaled softmax over keys.
+        let probs = softmax(&scores.output, DIM);
+
+        // Stage 3 (served): weighted values. The probabilities are
+        // generic floats now, so the check is the serving guarantee —
+        // bit-identity with a standalone planned run of the same
+        // request — plus closeness to the dense oracle.
+        let values_in = bind(&probs, &v);
+        let out = session.submit(VALUES, &values_in)?.wait()?;
+        let (want_out, _) = run_chain(VALUES, &values_in).map_err(ServeError::from)?;
+        assert_eq!(
+            out.output.data(),
+            want_out.data(),
+            "{tenant}: served values must equal a standalone planned run"
+        );
+        let dense = insum_tensor::einsum(VALUES, &[&probs, &v]).expect("values einsum");
+        let max_err = out
+            .output
+            .data()
+            .iter()
+            .zip(dense.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_err < 1e-4,
+            "{tenant}: values drifted {max_err} from dense"
+        );
+
+        println!(
+            "{tenant}: attention output {:?} verified (scores registry hit: {}, \
+             values registry hit: {})",
+            out.output.shape(),
+            scores.registry_hit,
+            out.registry_hit
+        );
+    }
+
+    // Both tenants shared one plan artifact per einsum: two compilations
+    // total, and the second tenant hit the registry on both stages.
+    let m = engine.metrics();
+    assert_eq!(m.registry.misses, 2, "one plan artifact per einsum");
+    assert_eq!(m.registry.hits, 2, "the second tenant reused both");
+    println!(
+        "served {} attention stages for 2 tenants with {} plan compilations \
+         ({} registry hits)",
+        m.completed, m.registry.misses, m.registry.hits
+    );
+    Ok(())
+}
