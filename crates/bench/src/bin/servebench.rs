@@ -32,9 +32,11 @@
 use insum::apps::BoundApp;
 use insum::{insum_with, InsumOptions, Mode, Profile, Tensor};
 use insum_bench::{print_table, structured_spmm_setup, x};
-use insum_serve::{ServeConfig, ServeEngine, SubmitOptions};
+use insum_serve::{CostBudget, ServeConfig, ServeEngine, ServeError, SubmitOptions};
 use insum_tensor::DType;
 use rand::rngs::SmallRng;
+#[cfg(feature = "fault-injection")]
+use rand::Rng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -137,6 +139,299 @@ fn smoke_requests(n_requests: usize) -> Workload {
         options_label: "default",
         requests,
     }
+}
+
+const FAIR_TENANTS: usize = 3;
+
+struct FairnessResult {
+    requests_per_fair_tenant: usize,
+    greedy_requests: usize,
+    probe_cost_units: u64,
+    wall_solo: f64,
+    wall_mixed_fair: f64,
+    fair_completed_min: u64,
+    fair_completed_max: u64,
+    greedy_completed: u64,
+    greedy_budget_rejected: u64,
+}
+
+/// Weighted-fair serving under a greedy flood: three fair tenants run
+/// their workload alone (solo baseline), then again while one greedy
+/// tenant floods 3x the work against a [`CostBudget`] sized at two
+/// requests' deterministic cost. The budget must contain the flood —
+/// in-budget wall time within 2x of solo, every fair tenant fully
+/// served — or the phase aborts.
+fn fairness_phase() -> FairnessResult {
+    let per_fair = 12usize;
+    let greedy_n = FAIR_TENANTS * per_fair;
+    let w = smoke_requests(per_fair);
+
+    // Probe the deterministic per-request cost to size the budget.
+    let probe = ServeEngine::new(ServeConfig::default().with_options(w.options.clone()))
+        .expect("engine starts");
+    probe
+        .session("probe")
+        .submit(w.expr, &w.requests[0])
+        .expect("admission succeeds")
+        .wait()
+        .expect("probe succeeds");
+    let unit = probe.metrics().tenants["probe"].cost_units;
+    assert!(unit > 0, "simulated launches must report nonzero cost");
+    drop(probe);
+
+    let engine_with = |budget: Option<CostBudget>| {
+        let mut config = ServeConfig::default()
+            .with_queue_capacity(256)
+            .with_max_batch(8)
+            .with_options(w.options.clone());
+        if let Some(b) = budget {
+            config = config.with_budget("greedy", b);
+        }
+        let engine = ServeEngine::new(config).expect("engine starts");
+        engine
+            .session("warmup")
+            .submit(w.expr, &w.requests[0])
+            .expect("admission succeeds")
+            .wait()
+            .expect("warmup succeeds");
+        engine
+    };
+    let run_fair = |engine: &ServeEngine| -> f64 {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let fair: Vec<_> = (0..FAIR_TENANTS)
+                .map(|t| {
+                    let session = engine.session(&format!("fair-{t}"));
+                    let w = &w;
+                    scope.spawn(move || {
+                        let handles: Vec<_> = w
+                            .requests
+                            .iter()
+                            .map(|r| session.submit(w.expr, r).expect("admission succeeds"))
+                            .collect();
+                        for h in handles {
+                            h.wait().expect("fair request succeeds");
+                        }
+                    })
+                })
+                .collect();
+            for f in fair {
+                f.join().expect("fair client panicked");
+            }
+        });
+        start.elapsed().as_secs_f64()
+    };
+
+    let solo = engine_with(None);
+    let wall_solo = run_fair(&solo);
+    drop(solo);
+
+    let mixed = engine_with(Some(CostBudget {
+        capacity: 2 * unit,
+        refill_per_second: unit,
+    }));
+    let (wall_mixed_fair, (greedy_completed, greedy_budget_rejected)) =
+        std::thread::scope(|scope| {
+            let engine = &mixed;
+            let w = &w;
+            let greedy = scope.spawn(move || {
+                let session = engine.session("greedy");
+                let handles: Vec<_> = (0..greedy_n)
+                    .map(|i| {
+                        session
+                            .submit(w.expr, &w.requests[i % w.requests.len()])
+                            .expect("admission succeeds")
+                    })
+                    .collect();
+                let mut ok = 0u64;
+                let mut rejected = 0u64;
+                for h in handles {
+                    match h.wait() {
+                        Ok(_) => ok += 1,
+                        Err(ServeError::BudgetExhausted { .. }) => rejected += 1,
+                        Err(e) => panic!("unexpected greedy outcome: {e:?}"),
+                    }
+                }
+                (ok, rejected)
+            });
+            let wall = run_fair(&mixed);
+            (wall, greedy.join().expect("greedy client panicked"))
+        });
+
+    let m = mixed.metrics();
+    let completed: Vec<u64> = (0..FAIR_TENANTS)
+        .map(|t| m.tenants[&format!("fair-{t}")].completed)
+        .collect();
+    let fair_completed_min = *completed.iter().min().expect("fair tenants present");
+    let fair_completed_max = *completed.iter().max().expect("fair tenants present");
+    assert_eq!(
+        fair_completed_min, per_fair as u64,
+        "every fair tenant must be fully served under the greedy flood"
+    );
+    assert!(
+        fair_completed_max <= 2 * fair_completed_min,
+        "per-tenant completion ratio must stay within 2x"
+    );
+    assert!(
+        greedy_budget_rejected >= 1,
+        "the flood must actually hit the budget"
+    );
+    assert!(greedy_completed >= 1, "in-budget greedy work still serves");
+    assert!(
+        wall_mixed_fair <= 2.0 * wall_solo,
+        "fair tenants slowed {:.2}x by the greedy flood; budget must hold it under 2x",
+        wall_mixed_fair / wall_solo
+    );
+
+    FairnessResult {
+        requests_per_fair_tenant: per_fair,
+        greedy_requests: greedy_n,
+        probe_cost_units: unit,
+        wall_solo,
+        wall_mixed_fair,
+        fair_completed_min,
+        fair_completed_max,
+        greedy_completed,
+        greedy_budget_rejected,
+    }
+}
+
+/// Chaos smoke: a seeded fault plan (compile/execute panics, latency,
+/// budget spikes) over a randomized request mix with deadlines, cancels,
+/// and retries. Asserts zero wedged handles, bit-identical survivors,
+/// an allowed failure set, and reconciled books.
+#[cfg(feature = "fault-injection")]
+fn chaos_phase() {
+    use insum_serve::faults::FaultPlan;
+    use std::time::Duration;
+
+    let n = 48usize;
+    let w = smoke_requests(n);
+    let expected: Vec<Tensor> = w
+        .requests
+        .iter()
+        .map(|tensors| {
+            insum_with(w.expr, tensors, &w.options)
+                .expect("compilation succeeds")
+                .run(tensors)
+                .expect("execution succeeds")
+                .0
+        })
+        .collect();
+
+    insum_serve::faults::set_plan(Some(FaultPlan {
+        seed: 0xc4a05,
+        exec_panic_per_mille: 150,
+        compile_panic_per_mille: 100,
+        latency_per_mille: 100,
+        latency: Duration::from_millis(1),
+        budget_spike_per_mille: 50,
+        budget_spike_units: 1_000,
+    }));
+    let engine = ServeEngine::new(
+        ServeConfig::default()
+            .with_queue_capacity(n)
+            .with_max_batch(8)
+            .with_options(w.options.clone())
+            .with_retry_backoff(Duration::from_millis(1), Duration::from_millis(20))
+            .with_breaker(5, Duration::from_millis(50)),
+    )
+    .expect("engine starts");
+    let mut rng = SmallRng::seed_from_u64(0xfeed);
+    let mut handles = Vec::with_capacity(n);
+    for (i, tensors) in w.requests.iter().enumerate() {
+        let deadline = match rng.gen_range(0..4) {
+            0 => Some(Duration::ZERO),
+            1 => Some(Duration::from_secs(60)),
+            _ => None,
+        };
+        let mut opts = SubmitOptions::default()
+            .with_max_retries(rng.gen_range(0..=3u32))
+            .with_priority(rng.gen_range(-1..=1));
+        if let Some(d) = deadline {
+            opts = opts.with_deadline(d);
+        }
+        let handle = engine
+            .session(&format!("tenant-{}", i % 4))
+            .submit_with(w.expr, tensors, &opts)
+            .expect("admission succeeds");
+        let cancelled = rng.gen_range(0..8) == 0 && handle.cancel();
+        handles.push((i, handle, deadline, cancelled));
+    }
+
+    // Wedge detection: every handle must resolve within the bound.
+    let bound = Instant::now() + Duration::from_secs(60);
+    let mut outcomes: Vec<Option<Result<insum_serve::Response, ServeError>>> =
+        (0..n).map(|_| None).collect();
+    while outcomes.iter().any(Option::is_none) {
+        for (i, handle, _, _) in &handles {
+            if outcomes[*i].is_none() {
+                outcomes[*i] = handle.try_take();
+            }
+        }
+        assert!(
+            Instant::now() < bound,
+            "wedged handles under chaos: {} of {n} never resolved",
+            outcomes.iter().filter(|o| o.is_none()).count()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let (mut ok, mut failed, mut cancelled, mut expired, mut quarantined) = (0, 0, 0, 0, 0);
+    for (i, _, deadline, cancelled_by_us) in &handles {
+        match outcomes[*i].take().expect("resolved above") {
+            Ok(response) => {
+                assert!(!cancelled_by_us, "a won cancel cannot also deliver");
+                assert_eq!(
+                    response.output.data(),
+                    expected[*i].data(),
+                    "chaos survivor diverged from its serial oracle"
+                );
+                ok += 1;
+            }
+            Err(ServeError::Cancelled) => {
+                assert!(cancelled_by_us, "only explicit cancels may cancel");
+                cancelled += 1;
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => {
+                assert!(deadline.is_some(), "expiry needs a deadline");
+                expired += 1;
+            }
+            Err(ServeError::Engine(_)) => failed += 1,
+            Err(ServeError::Quarantined { .. }) => quarantined += 1,
+            Err(other) => panic!("forbidden failure under chaos: {other:?}"),
+        }
+    }
+    assert!(ok > 0, "chaos must not starve every request");
+
+    let m = engine.metrics();
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(
+        m.submitted,
+        m.completed
+            + m.failed
+            + m.cancelled
+            + m.deadline_expired
+            + m.budget_rejected
+            + m.quarantined,
+        "chaos books must reconcile: {m:?}"
+    );
+    insum_serve::faults::set_plan(None);
+    println!(
+        "chaos ok: {n} requests — {ok} completed ({} retries), {failed} failed, \
+         {cancelled} cancelled, {expired} expired, {quarantined} quarantined; \
+         zero wedged handles, survivors bit-identical, books reconcile",
+        m.retries
+    );
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn chaos_phase() {
+    eprintln!(
+        "servebench --chaos needs the fault-injection feature: \
+         cargo run -p insum_bench --features fault-injection --bin servebench -- --chaos"
+    );
+    std::process::exit(2);
 }
 
 /// Serial one-shot baseline: compile + run per request, returning the
@@ -353,9 +648,29 @@ fn run_workload(w: &Workload, concurrencies: &[usize], preload: bool) -> Workloa
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let chaos = std::env::args().any(|a| a == "--chaos");
     let max_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    if chaos {
+        // CI lifecycle smoke: the chaos harness plus the fairness gate.
+        chaos_phase();
+        let f = fairness_phase();
+        println!(
+            "fairness ok: {} fair tenants x {} requests vs greedy flood of {} — \
+             solo {:.3}s, mixed {:.3}s ({:.2}x), greedy {} served / {} budget-rejected",
+            FAIR_TENANTS,
+            f.requests_per_fair_tenant,
+            f.greedy_requests,
+            f.wall_solo,
+            f.wall_mixed_fair,
+            f.wall_mixed_fair / f.wall_solo,
+            f.greedy_completed,
+            f.greedy_budget_rejected,
+        );
+        return;
+    }
 
     if smoke {
         // Deterministic small-scale check for CI: preload the queue so
@@ -543,6 +858,7 @@ fn main() {
         .iter()
         .map(|w| run_workload(w, &concurrencies, false))
         .collect();
+    let fairness = fairness_phase();
 
     let table: Vec<Vec<String>> = results
         .iter()
@@ -598,12 +914,38 @@ fn main() {
         "\nheadline: fig7 SpMM at concurrency 8 serves {speedup:.2}x the one-shot \
          request throughput (bit-identical)"
     );
+    println!(
+        "fairness: greedy flood held to {:.2}x fair-tenant slowdown \
+         ({} greedy served, {} budget-rejected)",
+        fairness.wall_mixed_fair / fairness.wall_solo,
+        fairness.greedy_completed,
+        fairness.greedy_budget_rejected,
+    );
 
     // Machine-readable trajectory record.
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"servebench\",\n");
     json.push_str("  \"device_model\": \"rtx3090-sim\",\n");
     json.push_str(&format!("  \"host_threads_max\": {max_threads},\n"));
+    json.push_str(&format!(
+        "  \"fairness\": {{\"fair_tenants\": {}, \"requests_per_fair_tenant\": {}, \
+         \"greedy_requests\": {}, \"probe_cost_units\": {}, \
+         \"wall_seconds_fair_solo\": {:.6}, \"wall_seconds_fair_mixed\": {:.6}, \
+         \"fair_slowdown_under_flood\": {:.3}, \"fair_completed_min\": {}, \
+         \"fair_completed_max\": {}, \"greedy_completed\": {}, \
+         \"greedy_budget_rejected\": {}}},\n",
+        FAIR_TENANTS,
+        fairness.requests_per_fair_tenant,
+        fairness.greedy_requests,
+        fairness.probe_cost_units,
+        fairness.wall_solo,
+        fairness.wall_mixed_fair,
+        fairness.wall_mixed_fair / fairness.wall_solo,
+        fairness.fair_completed_min,
+        fairness.fair_completed_max,
+        fairness.greedy_completed,
+        fairness.greedy_budget_rejected,
+    ));
     json.push_str("  \"workloads\": [\n");
     for (wi, r) in results.iter().enumerate() {
         json.push_str(&format!(

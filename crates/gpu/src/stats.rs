@@ -42,6 +42,18 @@ impl KernelStats {
     pub fn l2_bytes(&self) -> u64 {
         32 * (self.l2_read_sectors + self.l2_write_sectors)
     }
+
+    /// Deterministic abstract cost of this launch, in dimensionless
+    /// "cost units": dynamic instructions plus an 8× weight on DRAM
+    /// sector traffic plus atomics. The counters are bit-exact outputs
+    /// of the simulator, so the same launch always costs the same —
+    /// which is what lets serving-layer accounting (per-tenant budgets,
+    /// fair scheduling) be replayable instead of probabilistic.
+    pub fn cost_units(&self) -> u64 {
+        self.instructions
+            .saturating_add(8 * (self.dram_read_sectors + self.dram_write_sectors))
+            .saturating_add(self.atomics)
+    }
 }
 
 /// Timing and counters for one kernel launch.
@@ -128,6 +140,13 @@ impl Profile {
             out.instructions += r.stats.instructions;
         }
         out
+    }
+
+    /// Total [`KernelStats::cost_units`] across all launches.
+    pub fn total_cost_units(&self) -> u64 {
+        self.reports
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.stats.cost_units()))
     }
 }
 
@@ -259,5 +278,31 @@ mod tests {
         };
         assert_eq!(s.dram_bytes(), 96);
         assert_eq!(s.l2_bytes(), 128);
+    }
+
+    #[test]
+    fn cost_units_weight_instructions_dram_and_atomics() {
+        let s = KernelStats {
+            instructions: 100,
+            dram_read_sectors: 3,
+            dram_write_sectors: 2,
+            atomics: 7,
+            ..Default::default()
+        };
+        assert_eq!(s.cost_units(), 100 + 8 * 5 + 7);
+
+        let mut p = Profile::new();
+        for _ in 0..2 {
+            p.push(KernelReport {
+                name: "k".into(),
+                grid: vec![1],
+                stats: s,
+                time: 1e-6,
+                sm_time: 1e-6,
+                dram_time: 0.0,
+                max_instance_time: 1e-6,
+            });
+        }
+        assert_eq!(p.total_cost_units(), 2 * s.cost_units());
     }
 }

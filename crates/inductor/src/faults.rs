@@ -1,0 +1,47 @@
+//! Test-only fault injection inside the batched runner.
+//!
+//! The serving layer's `fault-injection` hooks sit at its own compile
+//! and execute boundaries — *outside* the fused-batch runner — so a
+//! fault there can never fire mid-plan, between the steps of a planned
+//! contraction chain. This module closes that gap: a test marks one
+//! tensor ([`set_panic_binding`]), and any batched launch that binds a
+//! pointer-identical handle panics before touching the simulator. A
+//! chain binds each step's workspace and operand tensors per step, so
+//! marking a step-k operand faults exactly that step's batched launch,
+//! which is how serve's isolation (re-run each batch member alone) gets
+//! exercised mid-chain.
+//!
+//! Compiled only under the `fault-injection` feature; release builds
+//! carry neither the hook nor its per-launch check.
+
+use insum_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PANIC_BINDING: Mutex<Option<Tensor>> = Mutex::new(None);
+
+/// Arm (or with `None` disarm) the binding fault: any batched launch
+/// binding a tensor that is [`Tensor::ptr_eq`] to `marker` panics.
+pub fn set_panic_binding(marker: Option<&Tensor>) {
+    let mut slot = PANIC_BINDING.lock().unwrap_or_else(PoisonError::into_inner);
+    *slot = marker.cloned();
+    ARMED.store(slot.is_some(), Ordering::Relaxed);
+}
+
+/// Hook called by the batched runner with every request's captured
+/// arguments, before the launch.
+pub(crate) fn maybe_panic_batch(owned: &[Vec<Tensor>]) {
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let slot = PANIC_BINDING.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(marked) = slot.as_ref() {
+        if owned
+            .iter()
+            .any(|args| args.iter().any(|t| t.ptr_eq(marked)))
+        {
+            panic!("injected batch fault: marked operand bound in this launch");
+        }
+    }
+}

@@ -31,6 +31,9 @@ mod autotune;
 mod cache;
 mod codegen;
 mod error;
+#[cfg(feature = "fault-injection")]
+#[doc(hidden)]
+pub mod faults;
 mod plan;
 mod runner;
 mod unfused;

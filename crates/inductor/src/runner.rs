@@ -141,6 +141,8 @@ pub fn run_fused_batch_with_cache(
         }
         owned.push(args);
     }
+    #[cfg(feature = "fault-injection")]
+    crate::faults::maybe_panic_batch(&owned);
     let lens: Vec<usize> = owned[0].iter().map(|t| t.len()).collect();
     let dtypes: Vec<DType> = owned[0].iter().map(|t| t.dtype()).collect();
     for (req, args) in owned.iter().enumerate().skip(1) {

@@ -2,6 +2,26 @@
 
 use crate::error::ServeError;
 use insum::{InsumOptions, Mode};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A per-tenant cost budget: a token bucket of the simulator's
+/// deterministic cost units (see [`insum_gpu::KernelStats::cost_units`]).
+///
+/// The bucket starts full at `capacity`, drains by each request's
+/// simulated cost, and refills continuously at `refill_per_second` up to
+/// `capacity`. A tenant whose balance goes negative is deprioritized
+/// (served after every in-budget tenant); once the balance is overdrawn
+/// past a full `capacity`, requests are rejected with
+/// [`ServeError::BudgetExhausted`] until the refill catches up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostBudget {
+    /// Maximum banked cost units (also the overdraft allowance before
+    /// hard rejection).
+    pub capacity: u64,
+    /// Cost units restored per second.
+    pub refill_per_second: u64,
+}
 
 /// What [`crate::Session::submit`] does when the admission queue is at
 /// capacity.
@@ -49,6 +69,25 @@ pub struct ServeConfig {
     /// the least-recently-used artifact is evicted on overflow (a
     /// revisited key recompiles).
     pub registry_capacity: usize,
+    /// Base delay before the first retry of a transiently failed request
+    /// (doubles per attempt, capped at [`ServeConfig::retry_backoff_max`]).
+    pub retry_backoff: Duration,
+    /// Upper bound on the exponential retry backoff.
+    pub retry_backoff_max: Duration,
+    /// Per-tenant cost budgets, keyed by tenant name. Tenants not listed
+    /// here fall back to [`ServeConfig::default_budget`].
+    pub budgets: BTreeMap<String, CostBudget>,
+    /// Budget applied to tenants without an explicit entry in
+    /// [`ServeConfig::budgets`]; `None` leaves them unbudgeted
+    /// (unlimited, but still cost-metered for fair ordering).
+    pub default_budget: Option<CostBudget>,
+    /// Consecutive breaker-relevant failures (contained panics, deadline
+    /// expiries) that quarantine a tenant. `0` disables the circuit
+    /// breaker.
+    pub breaker_threshold: u32,
+    /// How long a quarantined tenant waits before the breaker admits a
+    /// half-open probe request.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +99,12 @@ impl Default for ServeConfig {
             sim_threads: None,
             options: InsumOptions::default(),
             registry_capacity: 256,
+            retry_backoff: Duration::from_millis(20),
+            retry_backoff_max: Duration::from_secs(1),
+            budgets: BTreeMap::new(),
+            default_budget: None,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_secs(5),
         }
     }
 }
@@ -107,6 +152,37 @@ impl ServeConfig {
         self
     }
 
+    /// Set the retry backoff base and cap.
+    #[must_use]
+    pub fn with_retry_backoff(mut self, base: Duration, max: Duration) -> ServeConfig {
+        self.retry_backoff = base;
+        self.retry_backoff_max = max;
+        self
+    }
+
+    /// Give `tenant` an explicit cost budget.
+    #[must_use]
+    pub fn with_budget(mut self, tenant: &str, budget: CostBudget) -> ServeConfig {
+        self.budgets.insert(tenant.to_string(), budget);
+        self
+    }
+
+    /// Set the budget for tenants without an explicit entry.
+    #[must_use]
+    pub fn with_default_budget(mut self, budget: Option<CostBudget>) -> ServeConfig {
+        self.default_budget = budget;
+        self
+    }
+
+    /// Enable the per-tenant circuit breaker: `threshold` consecutive
+    /// failures quarantine a tenant for `cooldown`.
+    #[must_use]
+    pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> ServeConfig {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), ServeError> {
         if self.queue_capacity == 0 {
             return Err(ServeError::Config(
@@ -130,6 +206,23 @@ impl ServeConfig {
                     .to_string(),
             ));
         }
+        if self.retry_backoff_max < self.retry_backoff {
+            return Err(ServeError::Config(
+                "retry_backoff_max must be at least retry_backoff".to_string(),
+            ));
+        }
+        for (tenant, budget) in self
+            .budgets
+            .iter()
+            .map(|(t, b)| (t.as_str(), b))
+            .chain(self.default_budget.iter().map(|b| ("<default>", b)))
+        {
+            if budget.capacity == 0 {
+                return Err(ServeError::Config(format!(
+                    "budget for tenant {tenant:?}: capacity must be at least 1"
+                )));
+            }
+        }
         self.options.validate()?;
         Ok(())
     }
@@ -147,6 +240,21 @@ pub struct SubmitOptions {
     /// requests return counters and simulated timing without computing
     /// values (the output binding comes back unmodified).
     pub mode: Option<Mode>,
+    /// Relative deadline measured from admission; once it elapses the
+    /// scheduler expires the request with
+    /// [`ServeError::DeadlineExceeded`] instead of executing it (expiry
+    /// is enforced even while the engine is paused). `None` means no
+    /// deadline.
+    pub deadline: Option<Duration>,
+    /// Transient-failure retries allowed after the first attempt
+    /// (contained panics and injected faults retry with bounded
+    /// exponential backoff; deterministic errors never retry). `0`
+    /// keeps the pre-retry behavior: the first failure is final.
+    pub max_retries: u32,
+    /// Scheduling priority inside a drained window: higher runs earlier
+    /// among requests of equal budget standing. Ties (the default `0`)
+    /// preserve arrival order.
+    pub priority: i32,
 }
 
 impl SubmitOptions {
@@ -161,6 +269,27 @@ impl SubmitOptions {
     #[must_use]
     pub fn with_mode(mut self, mode: Mode) -> SubmitOptions {
         self.mode = Some(mode);
+        self
+    }
+
+    /// Set a relative deadline (measured from admission).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Allow up to `retries` transient-failure re-attempts.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> SubmitOptions {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Set the scheduling priority (higher runs earlier).
+    #[must_use]
+    pub fn with_priority(mut self, priority: i32) -> SubmitOptions {
+        self.priority = priority;
         self
     }
 }

@@ -1,5 +1,6 @@
 //! The serving engine: admission, lifecycle, and observability.
 
+use crate::clock::{Clock, SystemClock};
 use crate::config::{AdmissionPolicy, ServeConfig, SubmitOptions};
 use crate::error::ServeError;
 use crate::metrics::{MetricsInner, MetricsSnapshot};
@@ -12,7 +13,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Acquire a lock, recovering the guard if a previous holder panicked.
 ///
@@ -31,6 +32,19 @@ pub(crate) fn rewait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuar
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
+/// [`Condvar::wait_timeout`] with the same poison recovery as
+/// [`relock`] (the timeout flag is dropped: callers re-check their
+/// predicates either way).
+pub(crate) fn rewait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> MutexGuard<'a, T> {
+    cv.wait_timeout(guard, dur)
+        .map(|(g, _)| g)
+        .unwrap_or_else(|e| e.into_inner().0)
+}
+
 /// One admitted, not-yet-executed request.
 pub(crate) struct Pending {
     pub(crate) id: u64,
@@ -39,7 +53,19 @@ pub(crate) struct Pending {
     pub(crate) tensors: BTreeMap<String, Tensor>,
     pub(crate) options: InsumOptions,
     pub(crate) mode: Mode,
-    pub(crate) submitted_at: Instant,
+    /// Admission stamp on the engine clock.
+    pub(crate) submitted_at: Duration,
+    /// Absolute expiry on the engine clock (admission + the relative
+    /// deadline from [`SubmitOptions::deadline`]); `None` never expires.
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) max_retries: u32,
+    pub(crate) priority: i32,
+    /// Zero-based attempt counter; incremented each time a transient
+    /// failure requeues the request.
+    pub(crate) attempt: u32,
+    /// Backoff gate: the scheduler leaves the request queued until this
+    /// clock stamp (ignored when the engine is draining for shutdown).
+    pub(crate) not_before: Option<Duration>,
     pub(crate) ticket: Arc<TicketInner>,
 }
 
@@ -74,6 +100,7 @@ pub(crate) struct QueueState {
 /// thread.
 pub(crate) struct Shared {
     pub(crate) config: ServeConfig,
+    pub(crate) clock: Arc<dyn Clock>,
     pub(crate) state: Mutex<QueueState>,
     pub(crate) not_empty: Condvar,
     pub(crate) not_full: Condvar,
@@ -97,10 +124,25 @@ impl ServeEngine {
     ///
     /// [`ServeError::Config`] for an invalid configuration.
     pub fn new(config: ServeConfig) -> Result<ServeEngine, ServeError> {
+        ServeEngine::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// Start an engine on an explicit [`Clock`] (deterministic tests
+    /// inject a [`crate::TestClock`]; production uses
+    /// [`ServeEngine::new`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for an invalid configuration.
+    pub fn with_clock(
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<ServeEngine, ServeError> {
         config.validate()?;
         let registry = ArtifactRegistry::with_capacity(config.registry_capacity);
         let shared = Arc::new(Shared {
             config,
+            clock,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 closed: false,
@@ -112,6 +154,15 @@ impl ServeEngine {
             metrics: Mutex::new(MetricsInner::default()),
             next_id: AtomicU64::new(0),
         });
+        // Clock jumps (a TestClock advance) must re-check every timed
+        // scheduler wait; weak so the subscription never keeps a dropped
+        // engine alive.
+        let waker = Arc::downgrade(&shared);
+        shared.clock.subscribe(Box::new(move || {
+            if let Some(shared) = waker.upgrade() {
+                shared.not_empty.notify_all();
+            }
+        }));
         let worker = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -174,6 +225,11 @@ impl ServeEngine {
             completed: inner.completed,
             failed: inner.failed,
             rejected: inner.rejected,
+            retries: inner.retries,
+            deadline_expired: inner.deadline_expired,
+            cancelled: inner.cancelled,
+            budget_rejected: inner.budget_rejected,
+            quarantined: inner.quarantined,
             queue_depth: state.queue.len(),
             queue_depth_max: inner.queue_depth_max,
             batches: inner.batches,
@@ -262,6 +318,7 @@ pub(crate) fn submit(
 
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let ticket = Arc::new(TicketInner::default());
+    let now = shared.clock.now();
     state.queue.push_back(Pending {
         id,
         tenant: Arc::clone(&session.tenant),
@@ -269,7 +326,12 @@ pub(crate) fn submit(
         tensors: tensors.clone(),
         options,
         mode,
-        submitted_at: Instant::now(),
+        submitted_at: now,
+        deadline: submit_options.deadline.map(|d| now + d),
+        max_retries: submit_options.max_retries,
+        priority: submit_options.priority,
+        attempt: 0,
+        not_before: None,
         ticket: Arc::clone(&ticket),
     });
     let depth = state.queue.len();
@@ -288,7 +350,9 @@ pub(crate) fn submit(
 
     Ok(ResponseHandle {
         id: RequestId(id),
+        tenant: Arc::clone(&session.tenant),
         ticket,
+        shared: Arc::downgrade(shared),
     })
 }
 

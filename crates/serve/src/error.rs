@@ -24,6 +24,29 @@ pub enum ServeError {
     /// or scheduler bug). The panic is contained: the scheduler thread
     /// survives and unrelated tenants keep being served.
     Engine(String),
+    /// The request's deadline elapsed before it finished executing; the
+    /// scheduler expired it instead of spending a batch slot on it.
+    DeadlineExceeded {
+        /// The relative deadline the request was submitted with.
+        deadline: std::time::Duration,
+    },
+    /// The request was cancelled through [`crate::ResponseHandle::cancel`]
+    /// before it completed.
+    Cancelled,
+    /// The tenant's cost budget is exhausted (overdrawn past a full
+    /// bucket); the request was rejected at scheduling time. Resubmit
+    /// after the budget refills.
+    BudgetExhausted {
+        /// The over-budget tenant.
+        tenant: String,
+    },
+    /// The tenant is quarantined by its circuit breaker after repeated
+    /// panics or deadline expiries; requests are rejected until the
+    /// cooldown elapses and a probe succeeds.
+    Quarantined {
+        /// The quarantined tenant.
+        tenant: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -36,6 +59,16 @@ impl fmt::Display for ServeError {
             ServeError::Insum(e) => write!(f, "{e}"),
             ServeError::Config(msg) => write!(f, "invalid serving configuration: {msg}"),
             ServeError::Engine(msg) => write!(f, "engine execution panicked: {msg}"),
+            ServeError::DeadlineExceeded { deadline } => {
+                write!(f, "request deadline exceeded ({deadline:?})")
+            }
+            ServeError::Cancelled => write!(f, "request cancelled by the client"),
+            ServeError::BudgetExhausted { tenant } => {
+                write!(f, "cost budget exhausted for tenant {tenant:?}")
+            }
+            ServeError::Quarantined { tenant } => {
+                write!(f, "tenant {tenant:?} is quarantined by its circuit breaker")
+            }
         }
     }
 }

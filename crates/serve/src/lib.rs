@@ -42,15 +42,79 @@
 //! replay). The engine only decides *when* work runs, never *what* it
 //! computes.
 //!
+//! ## Request lifecycle
+//!
+//! Every admitted request moves through a small state machine, and
+//! every path out of it resolves the client's [`ResponseHandle`]:
+//!
+//! ```text
+//!              submit()
+//!                 │
+//!                 ▼
+//!  ┌─────────► queued ──────────────┬────────────► cancelled
+//!  │              │                 │              (ResponseHandle::cancel;
+//!  │   drained by the scheduler     │               frees the queue slot)
+//!  │              ▼                 │
+//!  │          scheduled ────────────┼────────────► expired
+//!  │         │    │     │          deadline        (ServeError::DeadlineExceeded,
+//!  │  breaker│    │     │budget     elapses         enforced even while paused)
+//!  │    open │    │     │exhausted
+//!  │         ▼    │     ▼
+//!  │  quarantined │   budget-rejected
+//!  │              ▼
+//!  │          executing ──────────────────────────► done (Ok / deterministic Err)
+//!  │              │
+//!  │     transient failure (contained panic, injected fault)
+//!  │              │
+//!  │   attempt < max_retries?
+//!  └──── yes: retrying ──── no: failed (ServeError::Engine)
+//!        (exponential backoff:
+//!         retry_backoff × 2^(attempt−1), capped)
+//! ```
+//!
+//! Deadlines ([`SubmitOptions::with_deadline`]) are relative to
+//! admission and enforced scheduler-side, so a timed-out request never
+//! occupies a batch slot. Cancellation
+//! ([`ResponseHandle::cancel`]) removes queued requests immediately and
+//! marks in-flight ones abandoned (the engine discards their results).
+//! Retries re-enter the same scheduling path and **never change bits**:
+//! a response that eventually succeeds is byte-for-byte the one the
+//! first attempt would have produced ([`Response::attempts`] records
+//! how many tries it took). All timing runs on an injectable [`Clock`]
+//! — production uses the monotonic [`SystemClock`], tests drive a
+//! [`TestClock`] so deadline/backoff/breaker behavior is deterministic.
+//!
+//! ## Budget model and fairness
+//!
+//! The simulator's per-launch counters are bit-deterministic, so cost
+//! accounting can be exact: every completed request is charged
+//! [`insum::Profile::total_cost_units`] (instructions + weighted DRAM
+//! sectors + atomics) against its tenant's [`CostBudget`] — a token
+//! bucket of `capacity` units refilling at `refill_per_second`
+//! ([`ServeConfig::with_budget`], [`ServeConfig::with_default_budget`]).
+//! A tenant whose balance goes negative is *deprioritized* (scheduled
+//! after every in-budget tenant); overdrawn past a full `capacity`, its
+//! requests are rejected with [`ServeError::BudgetExhausted`] until the
+//! refill catches up. When the scheduler assembles launch-compatible
+//! batches it orders requests by deficit-weighted fairness — in-budget
+//! first, then higher [`SubmitOptions::with_priority`], then least
+//! lifetime cost consumed — so no tenant starves behind a greedy one.
+//! Ordering only changes *when* work runs, never what it computes, so
+//! the determinism guarantee is untouched. A per-tenant circuit breaker
+//! ([`ServeConfig::with_breaker`]) quarantines tenants whose requests
+//! repeatedly panic or expire ([`ServeError::Quarantined`]), with a
+//! half-open probe after the cooldown to recover.
+//!
 //! ## Fault isolation
 //!
 //! Failures are contained per request. A request that fails inside a
 //! batched launch is re-run alone so it cannot fail its batch-mates; a
 //! request that *panics* the simulator is caught at the execution
-//! boundary and completed with [`ServeError::Engine`] while the
-//! scheduler thread keeps running; and every engine lock recovers from
-//! poisoning, so one bad request can never take down unrelated tenants'
-//! `submit`/`metrics`/`shutdown` calls.
+//! boundary and — once its retries are exhausted — completed with
+//! [`ServeError::Engine`] while the scheduler thread keeps running; and
+//! every engine lock recovers from poisoning, so one bad request can
+//! never take down unrelated tenants' `submit`/`metrics`/`shutdown`
+//! calls.
 //!
 //! ## Zero-copy request path
 //!
@@ -102,15 +166,18 @@
 //! # }
 //! ```
 
+mod clock;
 mod config;
 mod engine;
 mod error;
+mod lifecycle;
 mod metrics;
 mod registry;
 mod scheduler;
 mod session;
 
-pub use config::{AdmissionPolicy, ServeConfig, SubmitOptions};
+pub use clock::{Clock, SystemClock, TestClock};
+pub use config::{AdmissionPolicy, CostBudget, ServeConfig, SubmitOptions};
 pub use engine::ServeEngine;
 pub use error::ServeError;
 pub use metrics::{KernelMetrics, MetricsSnapshot, RegistryStats, TenantMetrics};

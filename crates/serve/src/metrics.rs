@@ -14,6 +14,22 @@ pub struct TenantMetrics {
     pub failed: u64,
     /// Submissions rejected at admission (saturated or closed).
     pub rejected: u64,
+    /// Transient-failure re-attempts scheduled (a request retried twice
+    /// counts twice).
+    pub retries: u64,
+    /// Requests expired by the scheduler past their deadline.
+    pub deadline_expired: u64,
+    /// Requests cancelled through [`crate::ResponseHandle::cancel`].
+    pub cancelled: u64,
+    /// Requests rejected because the tenant's cost budget was exhausted.
+    pub budget_rejected: u64,
+    /// Requests rejected while the tenant's circuit breaker was open.
+    pub quarantined: u64,
+    /// Times this tenant's circuit breaker transitioned to open.
+    pub breaker_open_transitions: u64,
+    /// Deterministic simulated cost units charged to this tenant (see
+    /// [`insum::Profile::total_cost_units`]).
+    pub cost_units: u64,
     /// Requests currently waiting in the admission queue.
     pub queue_depth: usize,
     /// Total queue wait (admission to execution start), seconds.
@@ -60,6 +76,13 @@ pub struct RegistryStats {
 }
 
 /// A point-in-time view of the engine's counters.
+///
+/// Every admitted request ends in exactly one terminal counter, so at
+/// quiescence (empty queue, no in-flight work) the books reconcile:
+/// `submitted == completed + failed + cancelled + deadline_expired +
+/// budget_rejected + quarantined + queue_depth`. (`rejected` counts
+/// submissions that were never admitted and `retries` counts extra
+/// attempts of admitted requests; neither appears in the identity.)
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests admitted across all tenants.
@@ -70,6 +93,16 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Submissions rejected at admission.
     pub rejected: u64,
+    /// Transient-failure re-attempts scheduled across all tenants.
+    pub retries: u64,
+    /// Requests expired past their deadline.
+    pub deadline_expired: u64,
+    /// Requests cancelled by their clients.
+    pub cancelled: u64,
+    /// Requests rejected on exhausted cost budgets.
+    pub budget_rejected: u64,
+    /// Requests rejected by open circuit breakers.
+    pub quarantined: u64,
     /// Requests currently waiting in the admission queue.
     pub queue_depth: usize,
     /// High-water mark of the admission queue.
@@ -98,6 +131,11 @@ pub(crate) struct MetricsInner {
     pub completed: u64,
     pub failed: u64,
     pub rejected: u64,
+    pub retries: u64,
+    pub deadline_expired: u64,
+    pub cancelled: u64,
+    pub budget_rejected: u64,
+    pub quarantined: u64,
     pub queue_depth_max: usize,
     pub batches: u64,
     pub batched_requests: u64,

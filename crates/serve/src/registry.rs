@@ -16,10 +16,14 @@
 //! Compilation is deterministic, so errors are cached alongside
 //! successes: a second request with the same broken key fails fast
 //! without re-running the pipeline. That containment extends to
-//! *panics*: a compilation that panics is caught at this boundary, the
-//! slot is filled with [`ServeError::Engine`] (so concurrent waiters
-//! wake instead of blocking on a forever-empty slot), and the failure is
-//! cached like any other compile error.
+//! *panics*: a compilation that panics is caught at this boundary and
+//! the slot is filled with [`ServeError::Engine`] so concurrent waiters
+//! wake instead of blocking on a forever-empty slot. Unlike
+//! deterministic errors, though, a panic is treated as *transient* (an
+//! injected fault or a compiler bug hit mid-flight): its entry is
+//! evicted immediately after the slot fills, so a later attempt — in
+//! particular a scheduler retry — recompiles instead of replaying the
+//! cached panic forever.
 //!
 //! Like the [`insum_inductor::ProgramCache`] beneath it, the registry is
 //! **bounded**: a long-lived server sees an open-ended stream of
@@ -195,7 +199,7 @@ impl ArtifactRegistry {
                     }
                     let slot = Arc::new(Slot::default());
                     inner.map.insert(
-                        key,
+                        key.clone(),
                         Entry {
                             slot: Arc::clone(&slot),
                             last_used: stamp,
@@ -232,6 +236,13 @@ impl ArtifactRegistry {
                 ))),
             };
             slot.fill(compiled.clone());
+            // A compile *panic* is transient: evict its entry (after the
+            // fill, so every current waiter still wakes with the shared
+            // error) and let the next attempt recompile. Deterministic
+            // compile errors stay cached and keep failing fast.
+            if matches!(compiled, Err(ServeError::Engine(_))) {
+                relock(&self.inner).map.remove(&key);
+            }
             (compiled, false)
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);

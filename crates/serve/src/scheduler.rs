@@ -11,33 +11,84 @@
 //! exactly the per-request interpreter semantics, so its response is
 //! bit-identical to a serial [`insum::Compiled::run`] no matter the
 //! arrival order or batch composition.
+//!
+//! Layered on top is the request lifecycle (see the crate docs for the
+//! full state machine): before executing anything from a drained
+//! window the scheduler expires past-deadline requests, rejects
+//! quarantined tenants (circuit breaker) and exhausted budgets, and
+//! orders the surviving launch-compatible groups by deficit-weighted
+//! fairness — tenants that have consumed the least simulated cost go
+//! first, over-budget tenants go last — before chunking them into
+//! batches. Transient failures (contained panics, injected faults)
+//! requeue with bounded exponential backoff up to the request's
+//! `max_retries`; retried attempts re-enter this same path.
 
-use crate::engine::{relock, rewait, Pending, Shared};
+use crate::engine::{relock, rewait, rewait_timeout, Pending, Shared};
 use crate::error::ServeError;
+use crate::lifecycle::{BreakerDecision, BreakerPanel, BudgetStatus, CostMeter};
 use crate::registry::ServeArtifact;
 use crate::session::{RequestId, Response};
 use insum::{LaunchOptions, Mode, Tensor};
 use insum_tensor::DType;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Test-only fault injection: panic a named tenant's batches at the
-/// execution boundary, or a named expression inside the compile
-/// boundary, simulating simulator/compiler bugs so the panic-isolation
-/// and lock-recovery paths can be exercised end to end. Compiled only
-/// under the `fault-injection` feature (enabled by this crate's own
-/// tests through a self dev-dependency), so release builds carry
-/// neither the hooks nor their per-batch check.
+/// Test-only fault injection, compiled only under the `fault-injection`
+/// feature (enabled by this crate's own tests through a self
+/// dev-dependency), so release builds carry neither the hooks nor their
+/// per-batch checks.
+///
+/// Two layers coexist:
+///
+/// * **Targeted faults** — panic a named tenant's batches at the
+///   execution boundary ([`set_panic_tenant`]) or a named expression
+///   inside the compile boundary ([`set_panic_compile_expr`]),
+///   simulating simulator/compiler bugs so the panic-isolation and
+///   lock-recovery paths can be exercised end to end.
+/// * **A seeded chaos plan** ([`FaultPlan`], installed with
+///   [`set_plan`]) — deterministic pseudo-random execute panics,
+///   compile panics, injected latency, and budget spikes. Execute-side
+///   decisions are pure functions of `(seed, request id, attempt)`, so
+///   a faulted attempt faults on every replay while its retry can
+///   deterministically succeed; compile-side decisions key on a global
+///   compile-attempt counter so a recompile after an evicted panic
+///   entry rolls fresh.
 #[cfg(feature = "fault-injection")]
 #[doc(hidden)]
 pub mod faults {
     use crate::engine::relock;
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Mutex;
+    use std::time::Duration;
 
     static ACTIVE: AtomicBool = AtomicBool::new(false);
     static PANIC_TENANT: Mutex<Option<String>> = Mutex::new(None);
     static PANIC_COMPILE_EXPR: Mutex<Option<String>> = Mutex::new(None);
+    static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+    static COMPILE_ATTEMPTS: AtomicU64 = AtomicU64::new(0);
+
+    /// A seeded, deterministic chaos plan. Every rate is per-mille
+    /// (`0..=1000`); a zeroed plan injects nothing.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct FaultPlan {
+        /// Seed for every fault decision.
+        pub seed: u64,
+        /// Per-mille chance an execution attempt panics.
+        pub exec_panic_per_mille: u16,
+        /// Per-mille chance a compile attempt panics (keyed by a global
+        /// compile-attempt counter, so retries recompile cleanly).
+        pub compile_panic_per_mille: u16,
+        /// Per-mille chance a request's launch sees injected latency.
+        pub latency_per_mille: u16,
+        /// The injected latency, in engine-clock time.
+        pub latency: Duration,
+        /// Per-mille chance a request's charged cost spikes.
+        pub budget_spike_per_mille: u16,
+        /// Extra cost units charged on a spike.
+        pub budget_spike_units: u64,
+    }
 
     /// Arm (or with `None` disarm) the execution-boundary fault: any
     /// batch containing a request from this tenant panics.
@@ -53,9 +104,42 @@ pub mod faults {
         rearm();
     }
 
+    /// Install (or with `None` clear) the chaos plan. Resets the
+    /// compile-attempt counter so runs replay from a clean slate.
+    pub fn set_plan(plan: Option<FaultPlan>) {
+        *relock(&PLAN) = plan;
+        COMPILE_ATTEMPTS.store(0, Ordering::Relaxed);
+        rearm();
+    }
+
     fn rearm() {
-        let armed = relock(&PANIC_TENANT).is_some() || relock(&PANIC_COMPILE_EXPR).is_some();
+        let armed = relock(&PANIC_TENANT).is_some()
+            || relock(&PANIC_COMPILE_EXPR).is_some()
+            || relock(&PLAN).is_some();
         ACTIVE.store(armed, Ordering::Relaxed);
+    }
+
+    fn plan() -> Option<FaultPlan> {
+        if ACTIVE.load(Ordering::Relaxed) {
+            *relock(&PLAN)
+        } else {
+            None
+        }
+    }
+
+    /// SplitMix64-style mix of the seed and decision coordinates.
+    fn decision(seed: u64, a: u64, b: u64, salt: u64) -> u64 {
+        let mut z = seed
+            ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ salt.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn roll(plan: &FaultPlan, per_mille: u16, a: u64, b: u64, salt: u64) -> bool {
+        per_mille > 0 && decision(plan.seed, a, b, salt) % 1000 < u64::from(per_mille)
     }
 
     pub(crate) fn panic_tenant() -> Option<String> {
@@ -66,9 +150,41 @@ pub mod faults {
         }
     }
 
+    pub(crate) fn exec_panic(id: u64, attempt: u32) -> bool {
+        plan().is_some_and(|p| roll(&p, p.exec_panic_per_mille, id, u64::from(attempt), 1))
+    }
+
+    pub(crate) fn exec_latency(id: u64, attempt: u32) -> Option<Duration> {
+        let p = plan()?;
+        if roll(&p, p.latency_per_mille, id, u64::from(attempt), 2) {
+            Some(p.latency)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn budget_spike(id: u64) -> u64 {
+        plan().map_or(0, |p| {
+            if roll(&p, p.budget_spike_per_mille, id, 0, 3) {
+                p.budget_spike_units
+            } else {
+                0
+            }
+        })
+    }
+
     pub(crate) fn maybe_panic_compile(expr: &str) {
-        if ACTIVE.load(Ordering::Relaxed) && relock(&PANIC_COMPILE_EXPR).as_deref() == Some(expr) {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return;
+        }
+        if relock(&PANIC_COMPILE_EXPR).as_deref() == Some(expr) {
             panic!("injected compile fault for expression {expr:?}");
+        }
+        if let Some(p) = *relock(&PLAN) {
+            let n = COMPILE_ATTEMPTS.fetch_add(1, Ordering::Relaxed);
+            if roll(&p, p.compile_panic_per_mille, n, 0, 4) {
+                panic!("injected chaos compile fault (compile attempt {n})");
+            }
         }
     }
 }
@@ -122,41 +238,171 @@ struct Resolved {
     registry_hit: bool,
 }
 
-/// Scheduler main loop: wait for work, drain, process; exit once the
-/// engine is closed and the queue is empty.
+/// Scheduler main loop: wait for eligible work, drain, process; exit
+/// once the engine is closed and the queue is empty. The cost meter and
+/// circuit breaker live here — they are scheduler-thread-local, so every
+/// budget and quarantine decision happens at a deterministic point in
+/// the scheduling order, without locks.
 pub(crate) fn run(shared: &Shared) {
-    loop {
-        let drained: Vec<Pending> = {
-            let mut state = relock(&shared.state);
-            loop {
-                if state.closed && state.queue.is_empty() {
-                    return;
-                }
-                // Paused engines hold work until resume (unless shutting
-                // down, which always drains).
-                if !state.queue.is_empty() && (!state.paused || state.closed) {
-                    break;
-                }
-                state = rewait(&shared.not_empty, state);
-            }
-            state.queue.drain(..).collect()
-        };
+    let mut meter = CostMeter::new(shared.config.budgets.clone(), shared.config.default_budget);
+    let mut breaker = BreakerPanel::new(
+        shared.config.breaker_threshold,
+        shared.config.breaker_cooldown,
+    );
+    while let Some(drained) = wait_for_work(shared) {
         shared.not_full.notify_all();
         // Last-resort containment: `process` isolates panics at the
         // compilation and execution boundaries itself, but if one ever
         // escapes, the scheduler thread must survive — a dead scheduler
         // strands every queued and future request of every tenant.
-        let _ = catch_unwind(AssertUnwindSafe(|| process(shared, drained)));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            process(shared, drained, &mut meter, &mut breaker);
+        }));
     }
 }
 
-/// Resolve, group, and execute one drained window of requests.
-fn process(shared: &Shared, drained: Vec<Pending>) {
+/// Block until at least one queued request is *eligible* and drain the
+/// eligible subset (preserving arrival order among them; the rest stay
+/// queued). Returns `None` once the engine is closed and empty.
+///
+/// Eligibility: a past-deadline request is always eligible (expiry is
+/// enforced even while the engine is paused); otherwise the engine must
+/// be runnable (not paused, or draining for shutdown) and the request's
+/// retry-backoff gate must have passed (the gate is waived at shutdown
+/// so draining never stalls). Cancelled requests are purged here, which
+/// frees their admission slots.
+fn wait_for_work(shared: &Shared) -> Option<Vec<Pending>> {
+    let mut state = relock(&shared.state);
+    loop {
+        if state.closed && state.queue.is_empty() {
+            return None;
+        }
+        let before = state.queue.len();
+        state.queue.retain(|p| !p.ticket.is_complete());
+        if state.queue.len() < before {
+            shared.not_full.notify_all();
+        }
+        let now = shared.clock.now();
+        let closed = state.closed;
+        let runnable = !state.paused || closed;
+        let is_eligible = |p: &Pending| {
+            if p.deadline.is_some_and(|d| now >= d) {
+                return true;
+            }
+            if !runnable {
+                return false;
+            }
+            match p.not_before {
+                None => true,
+                Some(gate) => closed || now >= gate,
+            }
+        };
+        if state.queue.iter().any(is_eligible) {
+            let mut drained = Vec::new();
+            let mut kept = VecDeque::new();
+            for p in state.queue.drain(..) {
+                if is_eligible(&p) {
+                    drained.push(p);
+                } else {
+                    kept.push_back(p);
+                }
+            }
+            state.queue = kept;
+            return Some(drained);
+        }
+        if closed && state.queue.is_empty() {
+            return None;
+        }
+        // Nothing eligible: park until notified (submit, cancel, pause
+        // toggles, clock jumps) or until the earliest timed obligation —
+        // a pending deadline, or a backoff gate if we could run it.
+        let mut next_due: Option<Duration> = None;
+        for p in &state.queue {
+            let mut consider = |t: Duration| {
+                next_due = Some(next_due.map_or(t, |d| d.min(t)));
+            };
+            if let Some(d) = p.deadline {
+                if d > now {
+                    consider(d);
+                }
+            }
+            if runnable {
+                if let Some(gate) = p.not_before {
+                    if gate > now {
+                        consider(gate);
+                    }
+                }
+            }
+        }
+        state = match next_due.and_then(|due| shared.clock.wait_budget(due)) {
+            // A virtual clock (`None` budget) or no timed obligation:
+            // park until notified.
+            None => rewait(&shared.not_empty, state),
+            Some(budget) if budget.is_zero() => state, // due now: re-check
+            Some(budget) => rewait_timeout(&shared.not_empty, state, budget),
+        };
+    }
+}
+
+/// Expire, admit, resolve, order, and execute one drained window.
+fn process(
+    shared: &Shared,
+    drained: Vec<Pending>,
+    meter: &mut CostMeter,
+    breaker: &mut BreakerPanel,
+) {
+    let now = shared.clock.now();
+
+    // Lifecycle gate: deadline expiry, circuit breaker, budget — in that
+    // order, so an expired request never counts against its tenant's
+    // budget and a quarantined tenant's requests don't drain its bucket.
+    let mut survivors: Vec<Pending> = Vec::with_capacity(drained.len());
+    for pending in drained {
+        // Cancelled between drain and processing: drop silently (the
+        // cancel path already counted it and completed the ticket).
+        if pending.ticket.is_complete() {
+            continue;
+        }
+        if let Some(deadline) = pending.deadline {
+            if now >= deadline {
+                // Timeouts are breaker-relevant: a tenant whose requests
+                // keep expiring is burning queue slots.
+                let opened = breaker.record_failure(&pending.tenant, now);
+                let mut metrics = relock(&shared.metrics);
+                if pending.ticket.complete(Err(ServeError::DeadlineExceeded {
+                    deadline: deadline.saturating_sub(pending.submitted_at),
+                })) {
+                    metrics.deadline_expired += 1;
+                    metrics.tenant(&pending.tenant).deadline_expired += 1;
+                }
+                if opened {
+                    metrics.tenant(&pending.tenant).breaker_open_transitions += 1;
+                }
+                continue;
+            }
+        }
+        if breaker.admit(&pending.tenant, now) == BreakerDecision::Reject {
+            let mut metrics = relock(&shared.metrics);
+            if pending.ticket.complete(Err(ServeError::Quarantined {
+                tenant: pending.tenant.to_string(),
+            })) {
+                metrics.quarantined += 1;
+                metrics.tenant(&pending.tenant).quarantined += 1;
+            }
+            continue;
+        }
+        if meter.status(&pending.tenant, now) == BudgetStatus::Exhausted {
+            reject_exhausted(shared, &pending);
+            continue;
+        }
+        survivors.push(pending);
+    }
+
     // Grouping preserves arrival order: groups are ordered by their
     // earliest request, and requests stay in arrival order inside each
-    // group.
+    // group (fair ordering below only reorders on unequal keys).
     let mut groups: Vec<(GroupKey, Vec<Resolved>)> = Vec::new();
-    for pending in drained {
+    for pending in survivors {
         let (result, registry_hit) =
             shared
                 .registry
@@ -172,11 +418,24 @@ fn process(shared: &Shared, drained: Vec<Pending>) {
         }
         match result {
             Err(e) => {
-                let mut metrics = relock(&shared.metrics);
-                metrics.failed += 1;
-                metrics.tenant(&pending.tenant).failed += 1;
-                drop(metrics);
-                pending.ticket.complete(Err(e));
+                // A compile *panic* (ServeError::Engine) is transient —
+                // the registry evicts it, so a retry recompiles.
+                // Deterministic compile errors would fail identically
+                // and never retry.
+                let transient = matches!(e, ServeError::Engine(_));
+                if transient && pending.attempt < pending.max_retries {
+                    schedule_retry(shared, pending, now);
+                } else {
+                    let opened = transient && breaker.record_failure(&pending.tenant, now);
+                    let mut metrics = relock(&shared.metrics);
+                    if pending.ticket.complete(Err(e)) {
+                        metrics.failed += 1;
+                        metrics.tenant(&pending.tenant).failed += 1;
+                    }
+                    if opened {
+                        metrics.tenant(&pending.tenant).breaker_open_transitions += 1;
+                    }
+                }
             }
             Ok(artifact) => {
                 let resolved = Resolved {
@@ -207,12 +466,129 @@ fn process(shared: &Shared, drained: Vec<Pending>) {
             }
         }
     }
+
+    // Deficit-weighted fair ordering. Each request's key is
+    // (over-budget?, -priority, tenant's lifetime charged cost, id):
+    // in-budget tenants run before deprioritized ones, higher priority
+    // runs earlier, and among equals the tenant that has consumed the
+    // least simulated cost goes first. The sorts are stable and the
+    // final id component reproduces arrival order on full ties, so an
+    // unbudgeted equal-priority workload is scheduled exactly as it
+    // arrived — and the ordering never changes *what* executes, only
+    // when, so responses stay bit-identical.
+    let mut rank: BTreeMap<String, (bool, u64)> = BTreeMap::new();
+    for (_, members) in &groups {
+        for r in members {
+            let tenant = r.pending.tenant.as_ref();
+            if !rank.contains_key(tenant) {
+                let deprioritized = meter.status(tenant, now) == BudgetStatus::Deprioritized;
+                rank.insert(tenant.to_string(), (deprioritized, meter.charged(tenant)));
+            }
+        }
+    }
+    let key_of = |r: &Resolved| {
+        let (deprioritized, charged) = rank
+            .get(r.pending.tenant.as_ref())
+            .copied()
+            .unwrap_or((false, 0));
+        (
+            deprioritized,
+            std::cmp::Reverse(r.pending.priority),
+            charged,
+            r.pending.id,
+        )
+    };
+    for (_, members) in &mut groups {
+        members.sort_by_key(&key_of);
+    }
+    groups.sort_by_key(|(_, members)| key_of(&members[0]));
+
     for (_, mut members) in groups {
         while !members.is_empty() {
             let take = members.len().min(shared.config.max_batch);
-            let batch: Vec<Resolved> = members.drain(..take).collect();
-            execute_batch(shared, batch);
+            // Re-gate budgets at launch time: charges land as earlier
+            // batches of this window execute, so a tenant that floods a
+            // single drain window cannot outrun its bucket — by the time
+            // its later batches launch, the balance reflects what the
+            // earlier ones actually cost.
+            let launch_now = shared.clock.now();
+            let batch: Vec<Resolved> = members
+                .drain(..take)
+                .filter(|r| {
+                    let exhausted =
+                        meter.status(&r.pending.tenant, launch_now) == BudgetStatus::Exhausted;
+                    if exhausted {
+                        reject_exhausted(shared, &r.pending);
+                    }
+                    !exhausted
+                })
+                .collect();
+            if !batch.is_empty() {
+                execute_batch(shared, batch, meter, breaker);
+            }
         }
+    }
+}
+
+/// Complete a request with [`ServeError::BudgetExhausted`], counting it
+/// only if the completion won against a concurrent cancel.
+fn reject_exhausted(shared: &Shared, pending: &Pending) {
+    let mut metrics = relock(&shared.metrics);
+    if pending.ticket.complete(Err(ServeError::BudgetExhausted {
+        tenant: pending.tenant.to_string(),
+    })) {
+        metrics.budget_rejected += 1;
+        metrics.tenant(&pending.tenant).budget_rejected += 1;
+    }
+}
+
+/// Requeue a transiently failed request with bounded exponential
+/// backoff (`retry_backoff × 2^(attempt-1)`, capped at
+/// `retry_backoff_max`). Retries bypass the admission capacity check —
+/// the request was already admitted once, and re-admission against a
+/// full queue could deadlock the scheduler behind blocked submitters.
+fn schedule_retry(shared: &Shared, mut pending: Pending, now: Duration) {
+    pending.attempt += 1;
+    let shift = (pending.attempt - 1).min(20);
+    let backoff = shared
+        .config
+        .retry_backoff
+        .saturating_mul(1u32 << shift)
+        .min(shared.config.retry_backoff_max);
+    pending.not_before = Some(now + backoff);
+    let mut state = relock(&shared.state);
+    {
+        let mut metrics = relock(&shared.metrics);
+        metrics.retries += 1;
+        metrics.tenant(&pending.tenant).retries += 1;
+    }
+    state.queue.push_back(pending);
+    drop(state);
+    shared.not_empty.notify_all();
+}
+
+/// Terminal or retryable handling of a single request's transient
+/// failure (a contained panic): requeue if attempts remain, otherwise
+/// record the breaker failure and complete the ticket.
+fn transient_failure(
+    shared: &Shared,
+    pending: Pending,
+    err: ServeError,
+    breaker: &mut BreakerPanel,
+    now: Duration,
+) {
+    if pending.attempt < pending.max_retries && !pending.ticket.is_complete() {
+        schedule_retry(shared, pending, now);
+        return;
+    }
+    let opened = breaker.record_failure(&pending.tenant, now);
+    let mut metrics = relock(&shared.metrics);
+    if pending.ticket.complete(Err(err)) {
+        metrics.failed += 1;
+        metrics.tenant(&pending.tenant).failed += 1;
+    }
+    if opened {
+        metrics.tenant(&pending.tenant).breaker_open_transitions += 1;
     }
 }
 
@@ -284,7 +660,12 @@ fn kernel_key(artifact: &ServeArtifact) -> String {
 }
 
 /// Execute one launch-compatible batch and complete its tickets.
-fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
+fn execute_batch(
+    shared: &Shared,
+    batch: Vec<Resolved>,
+    meter: &mut CostMeter,
+    breaker: &mut BreakerPanel,
+) {
     let artifact = batch[0].artifact.clone();
     let mode = batch[0].pending.mode;
     let launch = LaunchOptions {
@@ -292,23 +673,40 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
         ..Default::default()
     };
     let batch_size = batch.len();
+    let start = shared.clock.now();
     let waits: Vec<f64> = batch
         .iter()
-        .map(|r| r.pending.submitted_at.elapsed().as_secs_f64())
+        .map(|r| start.saturating_sub(r.pending.submitted_at).as_secs_f64())
         .collect();
     let inputs: Vec<&std::collections::BTreeMap<String, Tensor>> =
         batch.iter().map(|r| &r.pending.tensors).collect();
     // Contain panics at the execution boundary: a request that panics the
-    // simulator must fail alone — completing its ticket with
-    // [`ServeError::Engine`] — instead of killing the scheduler thread
-    // (which would strand every other tenant) or poisoning the engine
-    // locks. The engine state is consistent here: no engine lock is held
-    // across this call.
+    // simulator must fail alone — retrying if attempts remain, else
+    // completing its ticket with [`ServeError::Engine`] — instead of
+    // killing the scheduler thread (which would strand every other
+    // tenant) or poisoning the engine locks. The engine state is
+    // consistent here: no engine lock is held across this call.
     let caught = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "fault-injection")]
-        if let Some(t) = faults::panic_tenant() {
-            if batch.iter().any(|r| r.pending.tenant.as_ref() == t) {
-                panic!("injected fault for tenant {t:?}");
+        {
+            if let Some(t) = faults::panic_tenant() {
+                if batch.iter().any(|r| r.pending.tenant.as_ref() == t) {
+                    panic!("injected fault for tenant {t:?}");
+                }
+            }
+            for r in &batch {
+                if let Some(d) = faults::exec_latency(r.pending.id, r.pending.attempt) {
+                    shared.clock.delay(d);
+                }
+            }
+            if let Some(r) = batch
+                .iter()
+                .find(|r| faults::exec_panic(r.pending.id, r.pending.attempt))
+            {
+                panic!(
+                    "injected chaos execution fault for request {} (attempt {})",
+                    r.pending.id, r.pending.attempt
+                );
             }
         }
         match &artifact {
@@ -328,21 +726,16 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
             drop(payload);
             drop(inputs);
             for resolved in batch {
-                execute_batch(shared, vec![resolved]);
+                execute_batch(shared, vec![resolved], meter, breaker);
             }
             return;
         }
         Err(payload) => {
             let err = ServeError::Engine(panic_message(payload));
-            let mut metrics = relock(&shared.metrics);
-            metrics.failed += 1;
-            for resolved in &batch {
-                metrics.tenant(&resolved.pending.tenant).failed += 1;
-            }
-            drop(metrics);
             drop(inputs);
+            let now = shared.clock.now();
             for resolved in batch {
-                resolved.pending.ticket.complete(Err(err.clone()));
+                transient_failure(shared, resolved.pending, err.clone(), breaker, now);
             }
             return;
         }
@@ -351,6 +744,7 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
     match result {
         Ok(results) => {
             debug_assert_eq!(results.len(), batch_size);
+            let end = shared.clock.now();
             let mut metrics = relock(&shared.metrics);
             metrics.batches += 1;
             metrics.batched_requests += batch_size as u64;
@@ -363,21 +757,23 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
             }
             for ((resolved, (output, profile)), wait) in batch.into_iter().zip(results).zip(waits) {
                 let instances = profile.total_stats().instances;
-                metrics.completed += 1;
+                #[cfg(feature = "fault-injection")]
+                let spike = faults::budget_spike(resolved.pending.id);
+                #[cfg(not(feature = "fault-injection"))]
+                let spike = 0u64;
+                let units = profile.total_cost_units().saturating_add(spike);
                 {
                     let km = metrics.kernel(&kkey);
                     km.instances_simulated += instances;
                     km.simulated_seconds_total += profile.total_time();
                     km.wait_seconds_total += wait;
                 }
-                {
-                    let tm = metrics.tenant(&resolved.pending.tenant);
-                    tm.completed += 1;
-                    tm.wait_seconds_total += wait;
-                    tm.wait_seconds_max = tm.wait_seconds_max.max(wait);
-                    tm.instances_simulated += instances;
-                }
-                resolved.pending.ticket.complete(Ok(Response {
+                // The work executed whether or not the client still
+                // wants the result: charge the budget and credit the
+                // breaker unconditionally.
+                meter.charge(&resolved.pending.tenant, units, end);
+                breaker.record_success(&resolved.pending.tenant);
+                let response = Response {
                     id: RequestId(resolved.pending.id),
                     tenant: resolved.pending.tenant.to_string(),
                     output,
@@ -385,7 +781,22 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
                     queue_seconds: wait,
                     batch_size,
                     registry_hit: resolved.registry_hit,
-                }));
+                    attempts: resolved.pending.attempt + 1,
+                };
+                // First-wins against a racing cancel: count the outcome
+                // only if this completion actually delivered (the
+                // metrics lock is held across the completion, so a
+                // waiter can never observe the response before its
+                // counters).
+                if resolved.pending.ticket.complete(Ok(response)) {
+                    metrics.completed += 1;
+                    let tm = metrics.tenant(&resolved.pending.tenant);
+                    tm.completed += 1;
+                    tm.wait_seconds_total += wait;
+                    tm.wait_seconds_max = tm.wait_seconds_max.max(wait);
+                    tm.instances_simulated += instances;
+                    tm.cost_units += units;
+                }
             }
         }
         Err(_) if batch_size > 1 => {
@@ -395,19 +806,20 @@ fn execute_batch(shared: &Shared, batch: Vec<Resolved>) {
             // Re-run each request alone (single-request batches take
             // the arm below on error).
             for resolved in batch {
-                execute_batch(shared, vec![resolved]);
+                execute_batch(shared, vec![resolved], meter, breaker);
             }
         }
         Err(e) => {
+            // Deterministic execution error: retrying would fail
+            // identically, so complete immediately (no breaker — this is
+            // the request's own error, not an engine fault).
             let err = ServeError::from(e);
             let mut metrics = relock(&shared.metrics);
-            metrics.failed += batch_size as u64;
-            for resolved in &batch {
-                metrics.tenant(&resolved.pending.tenant).failed += 1;
-            }
-            drop(metrics);
             for resolved in batch {
-                resolved.pending.ticket.complete(Err(err.clone()));
+                if resolved.pending.ticket.complete(Err(err.clone())) {
+                    metrics.failed += 1;
+                    metrics.tenant(&resolved.pending.tenant).failed += 1;
+                }
             }
         }
     }

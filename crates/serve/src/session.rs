@@ -10,7 +10,7 @@ use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::task::{Context, Poll, Waker};
 
 /// Identifier of an admitted request (unique per engine).
@@ -45,6 +45,11 @@ pub struct Response {
     pub batch_size: usize,
     /// Whether the compiled artifact was served from the registry.
     pub registry_hit: bool,
+    /// Execution attempts this response took (`1` when the first attempt
+    /// succeeded; retries after transient failures increment it).
+    /// Retries never change bits: the output and profile are identical
+    /// no matter which attempt finally succeeded.
+    pub attempts: u32,
 }
 
 #[derive(Default)]
@@ -72,9 +77,12 @@ impl TicketInner {
         self.completed.load(Ordering::Acquire)
     }
 
-    pub(crate) fn complete(&self, result: Result<Response, ServeError>) {
+    /// Latch `result` into the ticket. Returns `true` when this call won
+    /// the first-wins race (so callers can count the outcome exactly
+    /// once — e.g. cancellation racing normal completion).
+    pub(crate) fn complete(&self, result: Result<Response, ServeError>) -> bool {
         if self.completed.swap(true, Ordering::AcqRel) {
-            return;
+            return false;
         }
         let mut state = relock(&self.state);
         state.result = Some(result);
@@ -84,6 +92,7 @@ impl TicketInner {
         if let Some(w) = waker {
             w.wake();
         }
+        true
     }
 }
 
@@ -92,7 +101,10 @@ impl TicketInner {
 /// [`ResponseHandle::wait`].
 pub struct ResponseHandle {
     pub(crate) id: RequestId,
+    pub(crate) tenant: Arc<str>,
     pub(crate) ticket: Arc<TicketInner>,
+    /// Weak so an abandoned handle never keeps a shut-down engine alive.
+    pub(crate) shared: Weak<Shared>,
 }
 
 impl fmt::Debug for ResponseHandle {
@@ -129,6 +141,38 @@ impl ResponseHandle {
     /// `None` while the request is still in flight.
     pub fn try_take(&self) -> Option<Result<Response, ServeError>> {
         relock(&self.ticket.state).result.take()
+    }
+
+    /// Cancel the request: the handle resolves with
+    /// [`ServeError::Cancelled`] and, if the request was still queued,
+    /// its slot is freed immediately (unblocking a waiting submitter).
+    /// A request already mid-execution is marked abandoned — the
+    /// scheduler discards its result instead of delivering it — but its
+    /// in-flight launch is not interrupted.
+    ///
+    /// Returns `true` if this call cancelled the request, `false` if it
+    /// had already completed (the existing result stands).
+    pub fn cancel(&self) -> bool {
+        if !self.ticket.complete(Err(ServeError::Cancelled)) {
+            return false;
+        }
+        if let Some(shared) = self.shared.upgrade() {
+            // Lock order state → metrics, matching admission and
+            // `ServeEngine::metrics`.
+            let mut state = relock(&shared.state);
+            let was_queued = state.queue.iter().any(|p| p.id == self.id.0);
+            if was_queued {
+                state.queue.retain(|p| p.id != self.id.0);
+                shared.not_full.notify_all();
+            }
+            {
+                let mut metrics = relock(&shared.metrics);
+                metrics.cancelled += 1;
+                metrics.tenant(&self.tenant).cancelled += 1;
+            }
+            drop(state);
+        }
+        true
     }
 }
 
