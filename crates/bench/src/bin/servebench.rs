@@ -434,6 +434,115 @@ fn chaos_phase() {
     std::process::exit(2);
 }
 
+struct RestartResult {
+    requests: usize,
+    snapshot_bytes: u64,
+    snapshot_writes: u64,
+    cold_first_response_seconds: f64,
+    cold_wall_seconds: f64,
+    cold_programs_compiled: u64,
+    warm_first_response_seconds: f64,
+    warm_wall_seconds: f64,
+    warm_programs_compiled: u64,
+    warm_start_hits: u64,
+    snapshot_rejected: u64,
+}
+
+/// Boot an engine on `config` and serve the whole workload serially,
+/// returning (time-to-first-response, total wall, per-request output
+/// bits, engine). The clock starts before the engine boots, so the first
+/// figure includes snapshot loading and the first request's compile.
+fn restart_boot(w: &Workload, config: &ServeConfig) -> (f64, f64, Vec<Vec<u32>>, ServeEngine) {
+    let start = Instant::now();
+    let engine = ServeEngine::new(config.clone()).expect("engine starts");
+    let session = engine.session("restart");
+    let mut first = None;
+    let outputs = w
+        .requests
+        .iter()
+        .map(|tensors| {
+            let response = session
+                .submit(w.expr, tensors)
+                .expect("admission succeeds")
+                .wait()
+                .expect("request succeeds");
+            first.get_or_insert_with(|| start.elapsed().as_secs_f64());
+            response.output.data().iter().map(|v| v.to_bits()).collect()
+        })
+        .collect();
+    (
+        first.expect("workload is nonempty"),
+        start.elapsed().as_secs_f64(),
+        outputs,
+        engine,
+    )
+}
+
+/// Crash-safe persistence: a cold fig7 engine compiles, serves, and
+/// persists through [`ServeConfig::with_snapshot`]; a rebooted engine
+/// (process-wide caches cleared, as a fresh process would see) must
+/// warm-start from the file — zero programs lowered, bit-identical
+/// responses, `warm_start_hits` counting the seeded serves — or the
+/// phase aborts.
+fn restart_phase() -> RestartResult {
+    let w = fig7_requests(8);
+    let dir = std::env::temp_dir().join(format!("insum_servebench_restart_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("serve.snap");
+    let _ = std::fs::remove_file(&path);
+    let config = ServeConfig::default()
+        .with_queue_capacity(w.requests.len().max(16))
+        .with_options(w.options.clone())
+        .with_snapshot(&path);
+    let cache = insum::ProgramCache::global();
+
+    cache.clear();
+    insum_inductor::AutotuneCache::global().clear();
+    let (cold_first, cold_wall, cold_outputs, mut cold_engine) = restart_boot(&w, &config);
+    let cold_programs_compiled = cache.stats().compiles;
+    assert!(cold_programs_compiled > 0, "cold boot must lower programs");
+    cold_engine.shutdown();
+    let snapshot_writes = cold_engine.metrics().snapshot_writes;
+    assert!(snapshot_writes >= 1, "shutdown must persist a snapshot");
+    let snapshot_bytes = std::fs::metadata(&path).expect("snapshot written").len();
+    drop(cold_engine);
+
+    cache.clear();
+    insum_inductor::AutotuneCache::global().clear();
+    let (warm_first, warm_wall, warm_outputs, mut warm_engine) = restart_boot(&w, &config);
+    let warm_programs_compiled = cache.stats().compiles;
+    let m = warm_engine.metrics();
+    assert_eq!(
+        warm_programs_compiled, 0,
+        "warm restart must serve with zero programs lowered"
+    );
+    assert_eq!(
+        warm_outputs, cold_outputs,
+        "warm restart must serve bit-identical responses"
+    );
+    assert!(
+        m.warm_start_hits > 0,
+        "seeded programs must serve the replay"
+    );
+    assert_eq!(m.snapshot_rejected, 0, "pristine snapshot, no rejections");
+    warm_engine.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    RestartResult {
+        requests: w.requests.len(),
+        snapshot_bytes,
+        snapshot_writes,
+        cold_first_response_seconds: cold_first,
+        cold_wall_seconds: cold_wall,
+        cold_programs_compiled,
+        warm_first_response_seconds: warm_first,
+        warm_wall_seconds: warm_wall,
+        warm_programs_compiled,
+        warm_start_hits: m.warm_start_hits,
+        snapshot_rejected: m.snapshot_rejected,
+    }
+}
+
 /// Serial one-shot baseline: compile + run per request, returning the
 /// expected response bits for the bit-identity checks.
 fn serial_oneshot(w: &Workload) -> (f64, Vec<(Tensor, Profile)>) {
@@ -837,13 +946,72 @@ fn main() {
         }
         let cm = chain_engine.metrics();
         assert_eq!((cm.registry.misses, cm.registry.hits), (1, 1));
+        drop(chain_engine);
+
+        // Snapshot/restore smoke: a cold engine persists its programs,
+        // a corrupted snapshot degrades to recompile (counted, bits
+        // unchanged), and the restored pristine file warm-starts with
+        // zero lowerings. servebench is serial, so clearing the
+        // process-wide caches between boots is race-free.
+        let snap_dir =
+            std::env::temp_dir().join(format!("insum_servebench_smoke_{}", std::process::id()));
+        std::fs::create_dir_all(&snap_dir).expect("temp dir");
+        let snap_path = snap_dir.join("smoke.snap");
+        let _ = std::fs::remove_file(&snap_path);
+        let snap_config = ServeConfig::default()
+            .with_options(w.options.clone())
+            .with_snapshot(&snap_path);
+
+        cache.clear();
+        insum_inductor::AutotuneCache::global().clear();
+        let (_, _, cold_outputs, mut snap_engine) = restart_boot(&w, &snap_config);
+        snap_engine.shutdown();
+        assert!(snap_engine.metrics().snapshot_writes >= 1);
+        drop(snap_engine);
+        let pristine = std::fs::read(&snap_path).expect("snapshot written");
+
+        let mut damaged = pristine.clone();
+        damaged[pristine.len() / 2] ^= 0xff;
+        std::fs::write(&snap_path, &damaged).expect("write damaged snapshot");
+        cache.clear();
+        insum_inductor::AutotuneCache::global().clear();
+        let (_, _, corrupt_outputs, mut snap_engine) = restart_boot(&w, &snap_config);
+        let snapshot_rejected = snap_engine.metrics().snapshot_rejected;
+        assert!(
+            snapshot_rejected >= 1,
+            "corruption must be detected and counted"
+        );
+        assert_eq!(
+            corrupt_outputs, cold_outputs,
+            "a corrupted snapshot must degrade to recompile, never wrong bits"
+        );
+        snap_engine.shutdown();
+        drop(snap_engine);
+
+        std::fs::write(&snap_path, &pristine).expect("restore pristine snapshot");
+        cache.clear();
+        insum_inductor::AutotuneCache::global().clear();
+        let (_, _, warm_outputs, mut snap_engine) = restart_boot(&w, &snap_config);
+        assert_eq!(
+            cache.stats().compiles,
+            0,
+            "restored snapshot must warm-start with zero programs lowered"
+        );
+        assert_eq!(warm_outputs, cold_outputs);
+        let warm_start_hits = snap_engine.metrics().warm_start_hits;
+        assert!(warm_start_hits > 0);
+        snap_engine.shutdown();
+        drop(snap_engine);
+        std::fs::remove_dir_all(&snap_dir).ok();
 
         println!(
             "servebench smoke ok: {} requests, concurrency 4, largest batch {}, \
              {:.1} req/s (serial one-shot {:.1} req/s), bit_identical; \
              clone accounting: analytic fan-out {analytic_copies} deep copies, \
              execute fan-out {execute_copies} (outputs only); \
-             chain smoke: {device_steps} device steps compiled once across two submissions",
+             chain smoke: {device_steps} device steps compiled once across two submissions; \
+             snapshot smoke: corrupt rejected ({snapshot_rejected}), restored file \
+             warm-started ({warm_start_hits} warm hits, 0 lowered)",
             w.requests.len(),
             row.largest_batch,
             w.requests.len() as f64 / row.wall_seconds,
@@ -859,6 +1027,7 @@ fn main() {
         .map(|w| run_workload(w, &concurrencies, false))
         .collect();
     let fairness = fairness_phase();
+    let restart = restart_phase();
 
     let table: Vec<Vec<String>> = results
         .iter()
@@ -921,6 +1090,17 @@ fn main() {
         fairness.greedy_completed,
         fairness.greedy_budget_rejected,
     );
+    println!(
+        "restart: warm boot served first response in {:.3}s vs {:.3}s cold \
+         ({} programs lowered warm vs {} cold, {} warm-start hits, \
+         snapshot {} bytes)",
+        restart.warm_first_response_seconds,
+        restart.cold_first_response_seconds,
+        restart.warm_programs_compiled,
+        restart.cold_programs_compiled,
+        restart.warm_start_hits,
+        restart.snapshot_bytes,
+    );
 
     // Machine-readable trajectory record.
     let mut json = String::from("{\n");
@@ -945,6 +1125,26 @@ fn main() {
         fairness.fair_completed_max,
         fairness.greedy_completed,
         fairness.greedy_budget_rejected,
+    ));
+    json.push_str(&format!(
+        "  \"restart\": {{\"workload\": \"spmm_block_group_fig7\", \"requests\": {}, \
+         \"snapshot_bytes\": {}, \"snapshot_writes\": {}, \
+         \"cold_first_response_seconds\": {:.6}, \"cold_wall_seconds\": {:.6}, \
+         \"cold_programs_compiled\": {}, \
+         \"warm_first_response_seconds\": {:.6}, \"warm_wall_seconds\": {:.6}, \
+         \"warm_programs_compiled\": {}, \"warm_start_hits\": {}, \
+         \"snapshot_rejected\": {}}},\n",
+        restart.requests,
+        restart.snapshot_bytes,
+        restart.snapshot_writes,
+        restart.cold_first_response_seconds,
+        restart.cold_wall_seconds,
+        restart.cold_programs_compiled,
+        restart.warm_first_response_seconds,
+        restart.warm_wall_seconds,
+        restart.warm_programs_compiled,
+        restart.warm_start_hits,
+        restart.snapshot_rejected,
     ));
     json.push_str("  \"workloads\": [\n");
     for (wi, r) in results.iter().enumerate() {

@@ -102,6 +102,7 @@
 mod block;
 mod device;
 mod interp;
+mod persist;
 mod program;
 #[doc(hidden)]
 pub mod reference;

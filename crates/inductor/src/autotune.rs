@@ -19,6 +19,7 @@ use crate::cache::ProgramCache;
 use crate::codegen::{compile_fused, next_pow2, CodegenOptions, FusedOp};
 use crate::plan::FusionPlan;
 use crate::runner::run_fused_with_cache;
+use crate::winners::{workload_signature, AutotuneCache, TileConfig};
 use crate::Result;
 use insum_gpu::{DeviceModel, Mode};
 use insum_tensor::Tensor;
@@ -32,7 +33,8 @@ pub struct AutotuneResult {
     /// Simulated time of the best configuration, seconds.
     pub best_time: f64,
     /// Number of configurations evaluated (the heuristic probe plus the
-    /// sweep, minus sweep points identical to the probe).
+    /// sweep, minus sweep points identical to the probe; 1 on a warm
+    /// start).
     pub configs_tried: usize,
     /// Host wall-clock spent tuning, seconds.
     pub tuning_wall_seconds: f64,
@@ -41,6 +43,9 @@ pub struct AutotuneResult {
     pub cache_hits: u64,
     /// Program-cache misses (fresh lowerings) during the sweep.
     pub cache_misses: u64,
+    /// True when a persisted [`AutotuneCache`] winner skipped the sweep
+    /// (the winner was still re-verified by one analytic launch).
+    pub warm_start: bool,
 }
 
 fn candidates(extent: usize, dot: bool, has_role: bool) -> Vec<usize> {
@@ -76,12 +81,20 @@ pub fn autotune(
     inputs: &BTreeMap<String, Tensor>,
     device: &DeviceModel,
 ) -> Result<AutotuneResult> {
-    autotune_with(plan, base, inputs, device, ProgramCache::global())
+    autotune_impl(
+        plan,
+        base,
+        inputs,
+        device,
+        ProgramCache::global(),
+        Some(AutotuneCache::global()),
+    )
 }
 
 /// [`autotune`] against an explicit [`ProgramCache`] (useful for
 /// isolation in tests and benchmarks; cache counters in the result are
-/// then exact rather than shared with concurrent launches).
+/// then exact rather than shared with concurrent launches). Does not
+/// consult persisted winners: every call sweeps.
 ///
 /// # Errors
 ///
@@ -93,6 +106,17 @@ pub fn autotune_with(
     device: &DeviceModel,
     cache: &ProgramCache,
 ) -> Result<AutotuneResult> {
+    autotune_impl(plan, base, inputs, device, cache, None)
+}
+
+fn autotune_impl(
+    plan: &FusionPlan,
+    base: &CodegenOptions,
+    inputs: &BTreeMap<String, Tensor>,
+    device: &DeviceModel,
+    cache: &ProgramCache,
+    winners: Option<&AutotuneCache>,
+) -> Result<AutotuneResult> {
     let start = std::time::Instant::now();
     let cache_before = cache.stats();
     let launch_opts = insum_gpu::LaunchOptions::default();
@@ -101,6 +125,56 @@ pub fn autotune_with(
     let probe = compile_fused(plan, base)?;
     let dot = probe.uses_dot;
     let probe_blocks = (probe.yblock, probe.xblock, probe.rblock);
+
+    // The workload signature keys persisted winners. It hashes the
+    // *probe* kernel (compiled from `base`, so deterministic for the
+    // workload), not the winner's, so re-tuning after a restart finds
+    // the same key regardless of which configuration won.
+    let keyed = winners.map(|w| {
+        (
+            w,
+            workload_signature(
+                insum_kernel::fingerprint(&probe.kernel),
+                &probe.grid,
+                inputs,
+                device,
+            ),
+        )
+    });
+
+    // Warm path: a snapshot-seeded winner skips the sweep entirely, but
+    // is never trusted blindly — it must recompile and survive one
+    // analytic verify launch. Any failure falls through to the full
+    // sweep. Winners stored by earlier sweeps in *this* process don't
+    // take this path (re-tuning them is already cheap via the program
+    // cache, and skipping would distort cold-path measurements).
+    if let Some((w, signature)) = keyed {
+        if let Some(cfg) = w.lookup_seeded(signature) {
+            let opts = CodegenOptions {
+                yblock: Some(cfg.yblock),
+                xblock: Some(cfg.xblock),
+                rblock: Some(cfg.rblock),
+                ..base.clone()
+            };
+            if let Ok(op) = compile_fused(plan, &opts) {
+                if let Ok((_, report)) =
+                    run_fused_with_cache(&op, inputs, device, Mode::Analytic, &launch_opts, cache)
+                {
+                    let cache_after = cache.stats();
+                    return Ok(AutotuneResult {
+                        op,
+                        best_time: report.time,
+                        configs_tried: 1,
+                        tuning_wall_seconds: start.elapsed().as_secs_f64(),
+                        cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+                        cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+                        warm_start: true,
+                    });
+                }
+            }
+        }
+    }
+
     let (_, probe_report) =
         run_fused_with_cache(&probe, inputs, device, Mode::Analytic, &launch_opts, cache)?;
     let mut best: (FusedOp, f64) = (probe, probe_report.time);
@@ -132,6 +206,16 @@ pub fn autotune_with(
         }
     }
     let (op, best_time) = best;
+    if let Some((w, signature)) = keyed {
+        w.store(
+            signature,
+            TileConfig {
+                yblock: op.yblock,
+                xblock: op.xblock,
+                rblock: op.rblock,
+            },
+        );
+    }
     let cache_after = cache.stats();
     Ok(AutotuneResult {
         op,
@@ -140,6 +224,7 @@ pub fn autotune_with(
         tuning_wall_seconds: start.elapsed().as_secs_f64(),
         cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
         cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+        warm_start: false,
     })
 }
 
@@ -210,6 +295,69 @@ mod tests {
         assert_eq!(second.cache_misses, 0);
         assert_eq!(second.cache_hits, first.configs_tried as u64);
         assert_eq!(first.best_time, second.best_time);
+    }
+
+    #[test]
+    fn persisted_winner_skips_sweep_but_is_verified() {
+        let (plan, inputs) = matmul_setup();
+        let device = DeviceModel::rtx3090();
+        let cache = ProgramCache::new();
+        let winners = AutotuneCache::new();
+
+        let cold = autotune_impl(
+            &plan,
+            &CodegenOptions::default(),
+            &inputs,
+            &device,
+            &cache,
+            Some(&winners),
+        )
+        .unwrap();
+        assert!(!cold.warm_start);
+        assert!(cold.configs_tried > 1);
+        assert_eq!(winners.len(), 1);
+
+        // The in-process winner alone never warm-starts: re-tuning in
+        // the same process sweeps again (hitting the program cache).
+        let retune = autotune_impl(
+            &plan,
+            &CodegenOptions::default(),
+            &inputs,
+            &device,
+            &cache,
+            Some(&winners),
+        )
+        .unwrap();
+        assert!(!retune.warm_start);
+        assert_eq!(retune.configs_tried, cold.configs_tried);
+        assert_eq!(retune.cache_misses, 0, "sweep programs are resident");
+
+        // Round-trip the winner through snapshot records, as a restart
+        // would: a *seeded* winner is what skips the sweep.
+        let seeded = AutotuneCache::new();
+        for record in winners.snapshot_records() {
+            seeded.load_record(&record).unwrap();
+        }
+        let warm = autotune_impl(
+            &plan,
+            &CodegenOptions::default(),
+            &inputs,
+            &device,
+            &cache,
+            Some(&seeded),
+        )
+        .unwrap();
+        assert!(warm.warm_start);
+        assert_eq!(warm.configs_tried, 1);
+        // The verify launch measured the same winning configuration the
+        // sweep found: analytic times are deterministic, so they agree.
+        assert_eq!(warm.best_time, cold.best_time);
+        assert_eq!(
+            (warm.op.yblock, warm.op.xblock, warm.op.rblock),
+            (cold.op.yblock, cold.op.xblock, cold.op.rblock)
+        );
+        // The winner's program was already resident from the sweep.
+        assert_eq!(warm.cache_misses, 0);
     }
 
     #[test]

@@ -52,14 +52,21 @@ struct CacheEntry {
     program: Arc<Program>,
     /// Recency stamp for LRU eviction (monotone per-cache counter).
     last_used: u64,
+    /// True when this entry was decoded from a snapshot rather than
+    /// lowered in-process (drives the `warm_hits` counter).
+    from_snapshot: bool,
 }
 
 struct CacheInner {
     map: HashMap<CacheKey, CacheEntry>,
     tick: u64,
     hits: u64,
+    warm_hits: u64,
     misses: u64,
+    compiles: u64,
     evictions: u64,
+    snapshot_seeded: u64,
+    snapshot_rejected: u64,
 }
 
 impl CacheInner {
@@ -86,14 +93,35 @@ impl CacheInner {
 }
 
 /// Counters describing a cache's effectiveness.
+///
+/// The counters distinguish a *miss-then-compile* from a
+/// *miss-then-snapshot-hit*: `misses` counts lookups that found no
+/// usable entry, `compiles` counts the subset that actually ran the
+/// lowering pipeline, and `snapshot_seeded` counts entries that arrived
+/// pre-compiled from a snapshot (their later lookups are `hits`, with
+/// `warm_hits` tracking the first hit on each). A warm restart that
+/// lowers nothing therefore shows a zero `compiles` delta — the exact
+/// assertion servebench's restart phase makes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProgramCacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
-    /// Lookups that compiled a new program.
+    /// Hits served by an entry that was seeded from a snapshot and had
+    /// not been hit before — each snapshot record can contribute at
+    /// most one (the serve layer surfaces this as `warm_start_hits`).
+    pub warm_hits: u64,
+    /// Lookups that found no usable entry.
     pub misses: u64,
+    /// Fresh lowerings actually run ([`insum_gpu::Program::compile`]);
+    /// always equal to `misses` unless entries arrive via snapshot.
+    pub compiles: u64,
     /// Entries dropped to respect the capacity bound (LRU order).
     pub evictions: u64,
+    /// Entries inserted pre-compiled from a snapshot.
+    pub snapshot_seeded: u64,
+    /// Snapshot records dropped at load time (bad CRC, stale
+    /// fingerprint, failed decode, truncation).
+    pub snapshot_rejected: u64,
     /// Programs currently resident.
     pub entries: usize,
 }
@@ -126,8 +154,12 @@ impl ProgramCache {
                 map: HashMap::new(),
                 tick: 0,
                 hits: 0,
+                warm_hits: 0,
                 misses: 0,
+                compiles: 0,
                 evictions: 0,
+                snapshot_seeded: 0,
+                snapshot_rejected: 0,
             }),
             capacity: capacity.max(1),
         }
@@ -171,7 +203,11 @@ impl ProgramCache {
             if let Some(e) = inner.map.get_mut(&key) {
                 if e.kernel == *kernel {
                     e.last_used = stamp;
+                    // First hit on a snapshot-seeded entry is the
+                    // warm-start event; later hits are ordinary.
+                    let warm = std::mem::take(&mut e.from_snapshot);
                     let p = Arc::clone(&e.program);
+                    inner.warm_hits += u64::from(warm);
                     inner.hits += 1;
                     return Ok(p);
                 }
@@ -179,6 +215,7 @@ impl ProgramCache {
                 // entry is replaced below).
             }
             inner.misses += 1;
+            inner.compiles += 1;
         }
         // Compile outside the lock: misses are rare and lowering must not
         // serialize concurrent launches.
@@ -199,6 +236,7 @@ impl ProgramCache {
                     kernel: kernel.clone(),
                     program: Arc::clone(&program),
                     last_used: stamp,
+                    from_snapshot: false,
                 };
             }
             None => {
@@ -209,6 +247,7 @@ impl ProgramCache {
                         kernel: kernel.clone(),
                         program: Arc::clone(&program),
                         last_used: stamp,
+                        from_snapshot: false,
                     },
                 );
             }
@@ -216,23 +255,117 @@ impl ProgramCache {
         Ok(program)
     }
 
+    /// Insert a pre-compiled program decoded from a snapshot. Loading is
+    /// merge-not-replace: if the key is already resident (whatever its
+    /// origin), the resident entry wins and `false` is returned. The
+    /// caller is responsible for having verified `program` against the
+    /// freshly-fingerprinted key.
+    pub(crate) fn seed_from_snapshot(
+        &self,
+        kernel: Kernel,
+        grid: &[usize],
+        lens: &[usize],
+        dtypes: &[DType],
+        program: Program,
+    ) -> bool {
+        let key = CacheKey {
+            fingerprint: fingerprint(&kernel),
+            grid: grid.to_vec(),
+            lens: lens.to_vec(),
+            dtypes: dtypes.to_vec(),
+        };
+        let mut inner = self.inner.lock().expect("program cache poisoned");
+        let stamp = inner.touch();
+        if inner.map.contains_key(&key) {
+            return false;
+        }
+        inner.make_room(self.capacity);
+        inner.map.insert(
+            key,
+            CacheEntry {
+                kernel,
+                program: Arc::new(program),
+                last_used: stamp,
+                from_snapshot: true,
+            },
+        );
+        inner.snapshot_seeded += 1;
+        true
+    }
+
+    /// Count `n` snapshot records as rejected (dropped at load time).
+    pub(crate) fn note_snapshot_rejected(&self, n: u64) {
+        let mut inner = self.inner.lock().expect("program cache poisoned");
+        inner.snapshot_rejected += n;
+    }
+
+    /// Encode every resident entry as a snapshot record (see
+    /// [`crate::snapshot`] for the record layout).
+    pub(crate) fn snapshot_records(&self) -> Vec<Vec<u8>> {
+        let inner = self.inner.lock().expect("program cache poisoned");
+        let mut entries: Vec<(&CacheKey, &CacheEntry)> = inner.map.iter().collect();
+        // Deterministic record order: stable across runs of the same
+        // workload, so snapshot bytes are reproducible.
+        entries.sort_by(|(a, _), (b, _)| {
+            (a.fingerprint, &a.grid, &a.lens)
+                .cmp(&(b.fingerprint, &b.grid, &b.lens))
+                .then_with(|| {
+                    let da: Vec<u8> = a
+                        .dtypes
+                        .iter()
+                        .copied()
+                        .map(insum_snapshot::dtype_tag)
+                        .collect();
+                    let db: Vec<u8> = b
+                        .dtypes
+                        .iter()
+                        .copied()
+                        .map(insum_snapshot::dtype_tag)
+                        .collect();
+                    da.cmp(&db)
+                })
+        });
+        entries
+            .iter()
+            .map(|(key, entry)| {
+                crate::snapshot::encode_program_record(
+                    key.fingerprint,
+                    &key.grid,
+                    &key.lens,
+                    &key.dtypes,
+                    &entry.kernel,
+                    &entry.program,
+                )
+            })
+            .collect()
+    }
+
     /// Current hit/miss/eviction/occupancy counters.
     pub fn stats(&self) -> ProgramCacheStats {
         let inner = self.inner.lock().expect("program cache poisoned");
         ProgramCacheStats {
             hits: inner.hits,
+            warm_hits: inner.warm_hits,
             misses: inner.misses,
+            compiles: inner.compiles,
             evictions: inner.evictions,
+            snapshot_seeded: inner.snapshot_seeded,
+            snapshot_rejected: inner.snapshot_rejected,
             entries: inner.map.len(),
         }
     }
 
-    /// Reset the hit/miss/eviction counters (entries stay resident).
+    /// Reset every counter (entries stay resident; seeded entries keep
+    /// their pending warm-hit credit).
     pub fn reset_stats(&self) {
         let mut inner = self.inner.lock().expect("program cache poisoned");
         inner.hits = 0;
+        inner.warm_hits = 0;
         inner.misses = 0;
+        inner.compiles = 0;
         inner.evictions = 0;
+        inner.snapshot_seeded = 0;
+        inner.snapshot_rejected = 0;
     }
 
     /// Drop every cached program and reset counters.
@@ -240,8 +373,36 @@ impl ProgramCache {
         let mut inner = self.inner.lock().expect("program cache poisoned");
         inner.map.clear();
         inner.hits = 0;
+        inner.warm_hits = 0;
         inner.misses = 0;
+        inner.compiles = 0;
         inner.evictions = 0;
+        inner.snapshot_seeded = 0;
+        inner.snapshot_rejected = 0;
+    }
+
+    /// Write this cache's programs — plus the global
+    /// [`crate::AutotuneCache`]'s winners — to `path` as a checksummed
+    /// snapshot (atomically: temp file + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`insum_snapshot::SnapshotError::Io`] on filesystem failure.
+    pub fn save_snapshot(
+        &self,
+        path: &std::path::Path,
+    ) -> std::result::Result<u64, insum_snapshot::SnapshotError> {
+        crate::snapshot::save_snapshot_with(path, self, crate::AutotuneCache::global())
+    }
+
+    /// Merge the snapshot at `path` into this cache and the global
+    /// [`crate::AutotuneCache`]. Infallible by design: a missing,
+    /// truncated, corrupt, or version-skewed snapshot degrades to an
+    /// empty (or partial) load with the damage counted in the returned
+    /// report and in [`ProgramCacheStats::snapshot_rejected`] — the
+    /// next lookup simply recompiles.
+    pub fn load_snapshot(&self, path: &std::path::Path) -> crate::snapshot::SnapshotLoadReport {
+        crate::snapshot::load_snapshot_with(path, self, crate::AutotuneCache::global())
     }
 }
 

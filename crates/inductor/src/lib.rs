@@ -36,7 +36,9 @@ mod error;
 pub mod faults;
 mod plan;
 mod runner;
+mod snapshot;
 mod unfused;
+mod winners;
 
 pub use autotune::{autotune, autotune_with, AutotuneResult};
 pub use cache::{ProgramCache, ProgramCacheStats};
@@ -47,9 +49,11 @@ pub use runner::{
     run_fused, run_fused_batch_with, run_fused_batch_with_cache, run_fused_with,
     run_fused_with_cache,
 };
+pub use snapshot::{load_snapshot_with, save_snapshot_with, SnapshotLoadReport};
 pub use unfused::{
     compile_unfused, run_unfused, run_unfused_with, run_unfused_with_cache, UnfusedOp,
 };
+pub use winners::{AutotuneCache, TileConfig};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, InductorError>;

@@ -1,0 +1,388 @@
+//! Compiler-cache persistence: program + autotune-winner snapshots.
+//!
+//! This module binds the generic container in [`insum_snapshot`] to the
+//! compiler's two caches: [`crate::ProgramCache`] (compiled
+//! [`insum_gpu::Program`]s) and [`crate::AutotuneCache`] (winning tile
+//! configurations). A snapshot written at shutdown lets the next process
+//! skip the entire lowering pipeline and autotune sweep for every
+//! workload it already served.
+//!
+//! ## Program record layout
+//!
+//! ```text
+//! fingerprint:u64 grid:seq(u64) lens:seq(u64) dtypes:seq(u8)
+//! kernel:<kernel_wire> program:<gpu persist codec>
+//! ```
+//!
+//! The leading fields are exactly the cache key. On load every record is
+//! verified structurally before it may seed a cache: the kernel must
+//! pass [`insum_kernel::Kernel::validate`], its **freshly computed**
+//! [`insum_kernel::fingerprint`] must equal the stored one (so a record
+//! written by an incompatible build of the fingerprint or IR is dropped,
+//! not served), and the program body must decode against the key with
+//! every register/parameter/site index in range. Any failure rejects
+//! that record — counted in [`SnapshotLoadReport::rejected`] and
+//! [`crate::ProgramCacheStats::snapshot_rejected`] — and the workload
+//! degrades to an ordinary recompile.
+
+use crate::cache::ProgramCache;
+use crate::winners::AutotuneCache;
+use insum_gpu::Program;
+use insum_kernel::{fingerprint, Kernel};
+use insum_snapshot::{
+    clean_stragglers, read_snapshot, write_atomic, Reader, SnapshotBuilder, SnapshotError, Writer,
+    SECTION_AUTOTUNE, SECTION_PROGRAMS,
+};
+use insum_tensor::DType;
+use std::path::Path;
+
+/// What a snapshot load found on disk and what it did about it. The
+/// load itself is infallible — every field here is information, not an
+/// error to handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotLoadReport {
+    /// Program records that passed verification and seeded the cache.
+    pub programs_loaded: u64,
+    /// Autotune winners that passed validation and seeded the cache.
+    pub winners_loaded: u64,
+    /// Valid records skipped because an equivalent entry was already
+    /// resident (merge-not-replace).
+    pub skipped_resident: u64,
+    /// Records dropped: container-level damage (CRC, truncation),
+    /// unknown section tags, failed verification, or an unreadable
+    /// header counted as one.
+    pub rejected: u64,
+    /// Leftover temp files from a torn [`write_atomic`] that were swept.
+    pub stragglers_removed: u64,
+    /// True when no snapshot file existed (a normal cold start).
+    pub missing: bool,
+}
+
+/// Encode one program-cache entry as a snapshot record.
+pub(crate) fn encode_program_record(
+    fingerprint: u64,
+    grid: &[usize],
+    lens: &[usize],
+    dtypes: &[DType],
+    kernel: &Kernel,
+    program: &Program,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(fingerprint);
+    w.usize(grid.len());
+    for &g in grid {
+        w.usize(g);
+    }
+    w.usize(lens.len());
+    for &l in lens {
+        w.usize(l);
+    }
+    w.usize(dtypes.len());
+    for &d in dtypes {
+        w.u8(insum_snapshot::dtype_tag(d));
+    }
+    insum_snapshot::encode_kernel_into(kernel, &mut w);
+    program.encode_snapshot(&mut w);
+    w.into_bytes()
+}
+
+struct LoadedProgram {
+    kernel: Kernel,
+    grid: Vec<usize>,
+    lens: Vec<usize>,
+    dtypes: Vec<DType>,
+    program: Program,
+}
+
+fn decode_program_record(bytes: &[u8]) -> Result<LoadedProgram, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let stored_fp = r.u64("program record fingerprint")?;
+    let grid_len = r.seq_len(8, "program record grid")?;
+    let mut grid = Vec::with_capacity(grid_len);
+    for _ in 0..grid_len {
+        grid.push(r.usize("grid extent")?);
+    }
+    let lens_len = r.seq_len(8, "program record lens")?;
+    let mut lens = Vec::with_capacity(lens_len);
+    for _ in 0..lens_len {
+        lens.push(r.usize("param len")?);
+    }
+    let dt_len = r.seq_len(1, "program record dtypes")?;
+    let mut dtypes = Vec::with_capacity(dt_len);
+    for _ in 0..dt_len {
+        dtypes.push(insum_snapshot::tag_dtype(r.u8("param dtype")?)?);
+    }
+    let kernel = insum_snapshot::decode_kernel_from(&mut r)?;
+    kernel.validate().map_err(|e| SnapshotError::Invalid {
+        context: format!("snapshot kernel failed validation: {e}"),
+    })?;
+    // The load-bearing staleness check: a record from an incompatible
+    // build (different IR, different fingerprint function) cannot match
+    // a freshly computed fingerprint of the kernel it carries.
+    if fingerprint(&kernel) != stored_fp {
+        return Err(SnapshotError::Invalid {
+            context: "stored fingerprint does not match re-fingerprinted kernel".to_string(),
+        });
+    }
+    let program = Program::decode_snapshot(&kernel, &grid, &lens, &dtypes, &mut r)?;
+    if !r.is_exhausted() {
+        return Err(SnapshotError::Corrupt {
+            context: "trailing bytes after program record",
+        });
+    }
+    Ok(LoadedProgram {
+        kernel,
+        grid,
+        lens,
+        dtypes,
+        program,
+    })
+}
+
+/// Write `programs` and `winners` to `path` atomically. Returns the
+/// number of records written.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] on filesystem failure (encoding is infallible).
+pub fn save_snapshot_with(
+    path: &Path,
+    programs: &ProgramCache,
+    winners: &AutotuneCache,
+) -> Result<u64, SnapshotError> {
+    let mut b = SnapshotBuilder::new();
+    for rec in programs.snapshot_records() {
+        b.record(SECTION_PROGRAMS, rec);
+    }
+    for rec in winners.snapshot_records() {
+        b.record(SECTION_AUTOTUNE, rec);
+    }
+    let count = b.record_count() as u64;
+    write_atomic(path, &b.finish())?;
+    Ok(count)
+}
+
+/// Merge the snapshot at `path` into `programs` and `winners`,
+/// degrading — never failing — on damage. Sweeps torn-write stragglers
+/// first, so a crash mid-save never accumulates junk next to the
+/// durable snapshot. See [`SnapshotLoadReport`] for the accounting;
+/// everything counted `rejected` is also added to
+/// [`crate::ProgramCacheStats::snapshot_rejected`].
+pub fn load_snapshot_with(
+    path: &Path,
+    programs: &ProgramCache,
+    winners: &AutotuneCache,
+) -> SnapshotLoadReport {
+    let mut report = SnapshotLoadReport {
+        stragglers_removed: clean_stragglers(path),
+        ..SnapshotLoadReport::default()
+    };
+    if !path.exists() {
+        report.missing = true;
+        return report;
+    }
+    let snap = match read_snapshot(path) {
+        Ok(snap) => snap,
+        Err(_) => {
+            // Unreadable header (bad magic, version skew, truncation
+            // inside the header, IO error): the whole file is one
+            // rejected artifact.
+            report.rejected = 1;
+            programs.note_snapshot_rejected(1);
+            return report;
+        }
+    };
+    report.rejected += snap.rejected;
+    for section in &snap.sections {
+        if section.tag != SECTION_PROGRAMS && section.tag != SECTION_AUTOTUNE {
+            report.rejected += section.records.len() as u64;
+        }
+    }
+    for rec in snap.records(SECTION_PROGRAMS) {
+        match decode_program_record(rec) {
+            Ok(p) => {
+                if programs.seed_from_snapshot(p.kernel, &p.grid, &p.lens, &p.dtypes, p.program) {
+                    report.programs_loaded += 1;
+                } else {
+                    report.skipped_resident += 1;
+                }
+            }
+            Err(_) => report.rejected += 1,
+        }
+    }
+    for rec in snap.records(SECTION_AUTOTUNE) {
+        let before = winners.len();
+        match winners.load_record(rec) {
+            Ok(()) => {
+                if winners.len() > before {
+                    report.winners_loaded += 1;
+                } else {
+                    report.skipped_resident += 1;
+                }
+            }
+            Err(_) => report.rejected += 1,
+        }
+    }
+    programs.note_snapshot_rejected(report.rejected);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::winners::TileConfig;
+    use insum_kernel::{BinOp, KernelBuilder};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scale_kernel(scale: f64) -> Kernel {
+        let mut b = KernelBuilder::new("scale");
+        let x = b.input("X");
+        let y = b.output("Y");
+        let lanes = b.arange(32);
+        let s = b.constant(scale);
+        let v = b.load(x, lanes, None, 0.0);
+        let sv = b.binary(BinOp::Mul, v, s);
+        b.store(y, lanes, sv, None);
+        b.build()
+    }
+
+    const LENS: [usize; 2] = [32, 32];
+    const DTS: [DType; 2] = [DType::F32, DType::F32];
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "insum_inductor_snapshot_{tag}_{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip_seeds_without_compiling() {
+        let dir = tmp_dir("round_trip");
+        let path = dir.join("cache.snap");
+
+        let hot = ProgramCache::new();
+        hot.get_or_compile(&scale_kernel(2.0), &[4], &LENS, &DTS)
+            .unwrap();
+        hot.get_or_compile(&scale_kernel(3.0), &[4], &LENS, &DTS)
+            .unwrap();
+        let winners = AutotuneCache::new();
+        winners.store(
+            11,
+            TileConfig {
+                yblock: 16,
+                xblock: 32,
+                rblock: 16,
+            },
+        );
+        assert_eq!(save_snapshot_with(&path, &hot, &winners).unwrap(), 3);
+
+        let cold = ProgramCache::new();
+        let cold_winners = AutotuneCache::new();
+        let report = load_snapshot_with(&path, &cold, &cold_winners);
+        assert_eq!(report.programs_loaded, 2);
+        assert_eq!(report.winners_loaded, 1);
+        assert_eq!(report.rejected, 0);
+        assert!(!report.missing);
+        let s = cold.stats();
+        assert_eq!((s.snapshot_seeded, s.entries), (2, 2));
+
+        // The warm lookups hit without lowering anything.
+        cold.get_or_compile(&scale_kernel(2.0), &[4], &LENS, &DTS)
+            .unwrap();
+        cold.get_or_compile(&scale_kernel(3.0), &[4], &LENS, &DTS)
+            .unwrap();
+        let s = cold.stats();
+        assert_eq!((s.hits, s.warm_hits, s.compiles), (2, 2, 0));
+        assert_eq!(
+            cold_winners.lookup(11),
+            Some(TileConfig {
+                yblock: 16,
+                xblock: 32,
+                rblock: 16
+            })
+        );
+
+        // Loading again is merge-not-replace: nothing double-seeds.
+        let again = cold.load_snapshot(&path);
+        assert_eq!(again.programs_loaded, 0);
+        assert_eq!(again.skipped_resident, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_cold_start_not_an_error() {
+        let dir = tmp_dir("missing");
+        let report = load_snapshot_with(
+            &dir.join("never_written.snap"),
+            &ProgramCache::new(),
+            &AutotuneCache::new(),
+        );
+        assert!(report.missing);
+        assert_eq!(report.rejected, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_straggler_is_ignored_and_swept() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("cache.snap");
+
+        let hot = ProgramCache::new();
+        hot.get_or_compile(&scale_kernel(2.0), &[4], &LENS, &DTS)
+            .unwrap();
+        hot.save_snapshot(&path).unwrap();
+
+        // Crash mid-save: a half-written temp file next to the durable
+        // snapshot. The next boot must load the durable one and sweep
+        // the straggler.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(insum_snapshot::temp_path(&path), &bytes[..bytes.len() / 2]).unwrap();
+        let cold = ProgramCache::new();
+        let report = cold.load_snapshot(&path);
+        assert_eq!(report.stragglers_removed, 1);
+        assert_eq!(report.programs_loaded, 1);
+        assert_eq!(report.rejected, 0);
+        assert!(!insum_snapshot::temp_path(&path).exists());
+
+        // Crash before the *first* save ever renamed: only a temp file
+        // exists. That is a cold start, plus a sweep.
+        let path2 = dir.join("never_renamed.snap");
+        fs::write(insum_snapshot::temp_path(&path2), b"half").unwrap();
+        let report = ProgramCache::new().load_snapshot(&path2);
+        assert!(report.missing);
+        assert_eq!(report.stragglers_removed, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_header_counts_one_rejection() {
+        let dir = tmp_dir("header");
+        let path = dir.join("cache.snap");
+        fs::write(&path, b"NOTASNAPSHOT").unwrap();
+        let cache = ProgramCache::new();
+        let report = cache.load_snapshot(&path);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(cache.stats().snapshot_rejected, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_fingerprint_record_is_rejected() {
+        let hot = ProgramCache::new();
+        let k = scale_kernel(2.0);
+        hot.get_or_compile(&k, &[4], &LENS, &DTS).unwrap();
+        let mut rec = hot.snapshot_records().remove(0);
+        // Forge the stored fingerprint: simulates a record written by a
+        // build whose fingerprint function (or IR) disagrees with ours.
+        let forged = fingerprint(&k) ^ 1;
+        rec[..8].copy_from_slice(&forged.to_le_bytes());
+        assert!(matches!(
+            decode_program_record(&rec),
+            Err(SnapshotError::Invalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! Corruption fuzzing of cache snapshots: every truncation length and
+//! every single-byte flip must degrade to recompile — load returns
+//! normally with damage counted, never panics, and the subsequent run
+//! is bit-identical to a cold-compile oracle.
+
+use insum_gpu::{DeviceModel, Mode};
+use insum_inductor::{
+    load_snapshot_with, save_snapshot_with, AutotuneCache, ProgramCache, TileConfig,
+};
+use insum_kernel::{BinOp, Kernel, KernelBuilder};
+use insum_tensor::{DType, Tensor};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scale_kernel(scale: f64) -> Kernel {
+    let mut b = KernelBuilder::new("scale");
+    let x = b.input("X");
+    let y = b.output("Y");
+    let lanes = b.arange(32);
+    let s = b.constant(scale);
+    let v = b.load(x, lanes, None, 0.0);
+    let sv = b.binary(BinOp::Mul, v, s);
+    b.store(y, lanes, sv, None);
+    b.build()
+}
+
+const LENS: [usize; 2] = [32, 32];
+const DTS: [DType; 2] = [DType::F32, DType::F32];
+
+/// Compile (or hit) both workload kernels through `cache` and execute
+/// them, returning the output bit patterns.
+fn run_workload(cache: &ProgramCache) -> Vec<Vec<u32>> {
+    let device = DeviceModel::rtx3090();
+    [2.0, 3.0]
+        .iter()
+        .map(|&scale| {
+            let program = cache
+                .get_or_compile(&scale_kernel(scale), &[4], &LENS, &DTS)
+                .expect("workload compiles");
+            let mut x =
+                Tensor::from_vec(vec![32], (0..32).map(|i| i as f32 * 0.37 - 3.0).collect())
+                    .unwrap();
+            let mut y = Tensor::zeros(vec![32]);
+            program
+                .launch(&mut [&mut x, &mut y], &device, Mode::Execute)
+                .expect("workload launches");
+            y.data().iter().map(|v| v.to_bits()).collect()
+        })
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("insum_snapshot_fuzz_{tag}_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A pristine snapshot of the two-kernel workload plus one autotune
+/// winner, and the cold-compile oracle outputs.
+fn pristine_snapshot(dir: &Path) -> (PathBuf, Vec<u8>, Vec<Vec<u32>>) {
+    let oracle = run_workload(&ProgramCache::new());
+    let hot = ProgramCache::new();
+    let run = run_workload(&hot);
+    assert_eq!(run, oracle, "cold compiles must agree before fuzzing");
+    let winners = AutotuneCache::new();
+    winners.store(
+        0x5eed,
+        TileConfig {
+            yblock: 16,
+            xblock: 32,
+            rblock: 16,
+        },
+    );
+    let path = dir.join("cache.snap");
+    let written = save_snapshot_with(&path, &hot, &winners).unwrap();
+    assert_eq!(written, 3);
+    (path.clone(), fs::read(&path).unwrap(), oracle)
+}
+
+#[test]
+fn every_truncation_degrades_to_recompile() {
+    let dir = tmp_dir("truncation");
+    let (path, bytes, oracle) = pristine_snapshot(&dir);
+
+    for cut in 0..bytes.len() {
+        fs::write(&path, &bytes[..cut]).unwrap();
+        let cache = ProgramCache::new();
+        let winners = AutotuneCache::new();
+        let report = load_snapshot_with(&path, &cache, &winners);
+        assert!(
+            report.rejected >= 1,
+            "truncation at {cut} lost records but rejected none"
+        );
+        assert!(
+            report.programs_loaded + report.winners_loaded + report.rejected >= 1,
+            "truncation at {cut}: empty report"
+        );
+        assert_eq!(
+            run_workload(&cache),
+            oracle,
+            "truncation at {cut} changed workload bits"
+        );
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_single_byte_flip_degrades_to_recompile() {
+    let dir = tmp_dir("byteflip");
+    let (path, bytes, oracle) = pristine_snapshot(&dir);
+
+    for pos in 0..bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0xff;
+        fs::write(&path, &damaged).unwrap();
+        let cache = ProgramCache::new();
+        let winners = AutotuneCache::new();
+        // Must return normally whatever the damage: header flips count
+        // one rejection, body flips are caught by per-record CRCs (or,
+        // for a section-tag flip, by the unknown-tag accounting).
+        let report = load_snapshot_with(&path, &cache, &winners);
+        assert!(
+            report.rejected >= 1,
+            "flip at byte {pos} went completely unnoticed"
+        );
+        // Whatever survived, serving is bit-identical to cold compiles:
+        // surviving records are verbatim originals, everything else
+        // recompiles.
+        assert_eq!(
+            run_workload(&cache),
+            oracle,
+            "flip at byte {pos} changed workload bits"
+        );
+        if let Some(cfg) = winners.lookup(0x5eed) {
+            assert_eq!(
+                cfg,
+                TileConfig {
+                    yblock: 16,
+                    xblock: 32,
+                    rblock: 16
+                },
+                "flip at byte {pos} surfaced a corrupt winner"
+            );
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}

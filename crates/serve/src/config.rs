@@ -3,6 +3,7 @@
 use crate::error::ServeError;
 use insum::{InsumOptions, Mode};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// A per-tenant cost budget: a token bucket of the simulator's
@@ -88,6 +89,17 @@ pub struct ServeConfig {
     /// How long a quarantined tenant waits before the breaker admits a
     /// half-open probe request.
     pub breaker_cooldown: Duration,
+    /// Snapshot file for crash-safe artifact persistence. When set, the
+    /// engine warm-starts the global [`insum_inductor::ProgramCache`]
+    /// from this file at boot (corrupt or stale records degrade to
+    /// recompile) and persists compiled programs plus autotune winners
+    /// back to it — atomically, via temp + fsync + rename — on the
+    /// [`ServeConfig::snapshot_interval`] cadence and at drain/shutdown.
+    pub snapshot_path: Option<PathBuf>,
+    /// Minimum time between cadence snapshot writes while serving.
+    /// Ignored when [`ServeConfig::snapshot_path`] is `None`; the final
+    /// drain/shutdown write always happens regardless of cadence.
+    pub snapshot_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +117,8 @@ impl Default for ServeConfig {
             default_budget: None,
             breaker_threshold: 0,
             breaker_cooldown: Duration::from_secs(5),
+            snapshot_path: None,
+            snapshot_interval: Duration::from_secs(60),
         }
     }
 }
@@ -183,6 +197,20 @@ impl ServeConfig {
         self
     }
 
+    /// Persist compiled artifacts to (and warm-start from) `path`.
+    #[must_use]
+    pub fn with_snapshot(mut self, path: impl Into<PathBuf>) -> ServeConfig {
+        self.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// Set the minimum time between cadence snapshot writes.
+    #[must_use]
+    pub fn with_snapshot_interval(mut self, interval: Duration) -> ServeConfig {
+        self.snapshot_interval = interval;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), ServeError> {
         if self.queue_capacity == 0 {
             return Err(ServeError::Config(
@@ -209,6 +237,11 @@ impl ServeConfig {
         if self.retry_backoff_max < self.retry_backoff {
             return Err(ServeError::Config(
                 "retry_backoff_max must be at least retry_backoff".to_string(),
+            ));
+        }
+        if self.snapshot_path.is_some() && self.snapshot_interval.is_zero() {
+            return Err(ServeError::Config(
+                "snapshot_interval must be nonzero when snapshot_path is set".to_string(),
             ));
         }
         for (tenant, budget) in self
@@ -329,5 +362,17 @@ mod tests {
             ServeConfig::default().with_sim_threads(Some(0)).validate(),
             Err(ServeError::Config(_))
         ));
+        assert!(matches!(
+            ServeConfig::default()
+                .with_snapshot("/tmp/x.snap")
+                .with_snapshot_interval(Duration::ZERO)
+                .validate(),
+            Err(ServeError::Config(_))
+        ));
+        // A zero interval without a snapshot path is inert, not an error.
+        assert!(ServeConfig::default()
+            .with_snapshot_interval(Duration::ZERO)
+            .validate()
+            .is_ok());
     }
 }

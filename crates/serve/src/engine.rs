@@ -139,6 +139,14 @@ impl ServeEngine {
         clock: Arc<dyn Clock>,
     ) -> Result<ServeEngine, ServeError> {
         config.validate()?;
+        // Warm start: seed the process-wide program cache (and autotune
+        // winners) from the configured snapshot before the scheduler can
+        // see its first request. Infallible by design — a missing,
+        // truncated, or corrupt snapshot degrades to a cold start, with
+        // the damage visible in `snapshot_rejected`.
+        if let Some(path) = &config.snapshot_path {
+            ProgramCache::global().load_snapshot(path);
+        }
         let registry = ArtifactRegistry::with_capacity(config.registry_capacity);
         let shared = Arc::new(Shared {
             config,
@@ -220,6 +228,7 @@ impl ServeEngine {
         // misses a queued tenant's depth.
         let state = relock(&self.shared.state);
         let inner = relock(&self.shared.metrics);
+        let program_cache = ProgramCache::global().stats();
         let mut snap = MetricsSnapshot {
             submitted: inner.submitted,
             completed: inner.completed,
@@ -236,7 +245,10 @@ impl ServeEngine {
             batched_requests: inner.batched_requests,
             largest_batch: inner.largest_batch,
             registry: self.shared.registry.stats(),
-            program_cache: ProgramCache::global().stats(),
+            snapshot_writes: inner.snapshot_writes,
+            warm_start_hits: program_cache.warm_hits,
+            snapshot_rejected: program_cache.snapshot_rejected,
+            program_cache,
             tenants: inner.tenants.clone(),
             kernels: inner.kernels.clone(),
         };

@@ -69,6 +69,13 @@ pub struct RegistryStats {
     pub hits: u64,
     /// Lookups that compiled a new artifact.
     pub misses: u64,
+    /// The subset of `misses` whose compile lowered zero new simulator
+    /// programs because every program was already resident in the
+    /// process-wide [`insum_inductor::ProgramCache`] — e.g. seeded from
+    /// a snapshot. Distinguishes miss-then-compile from
+    /// miss-then-snapshot-hit, so a warm restart can assert exactly
+    /// `misses == warm_misses`.
+    pub warm_misses: u64,
     /// Artifacts dropped to respect the capacity bound (LRU order).
     pub evictions: u64,
     /// Artifacts currently resident.
@@ -117,6 +124,18 @@ pub struct MetricsSnapshot {
     pub registry: RegistryStats,
     /// Process-wide program-cache counters (lowered simulator programs).
     pub program_cache: ProgramCacheStats,
+    /// Snapshot files durably written (temp + fsync + rename) by this
+    /// engine, on cadence or at drain/shutdown.
+    pub snapshot_writes: u64,
+    /// Program-cache hits whose entry was seeded from a snapshot rather
+    /// than compiled in this process (mirror of
+    /// [`ProgramCacheStats::warm_hits`], surfaced for servebench's
+    /// warm-restart assertion).
+    pub warm_start_hits: u64,
+    /// Snapshot records rejected at load: CRC failures, truncations,
+    /// stale fingerprints, version skew — each degraded to recompile
+    /// (mirror of [`ProgramCacheStats::snapshot_rejected`]).
+    pub snapshot_rejected: u64,
     /// Per-tenant breakdown.
     pub tenants: BTreeMap<String, TenantMetrics>,
     /// Per-kernel breakdown, keyed `"<fingerprint>@<grid>"` (or
@@ -140,6 +159,7 @@ pub(crate) struct MetricsInner {
     pub batches: u64,
     pub batched_requests: u64,
     pub largest_batch: usize,
+    pub snapshot_writes: u64,
     pub tenants: BTreeMap<String, TenantMetrics>,
     pub kernels: BTreeMap<String, KernelMetrics>,
 }

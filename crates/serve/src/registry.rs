@@ -140,6 +140,7 @@ pub(crate) struct ArtifactRegistry {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    warm_misses: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -158,19 +159,25 @@ impl ArtifactRegistry {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            warm_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// Fetch (or compile) the artifact for a request. The returned flag
-    /// is `true` on a registry hit — including a wait on a compilation
-    /// already in flight — and `false` when this call compiled.
+    /// Fetch (or compile) the artifact for a request. The first returned
+    /// flag is `true` on a registry hit — including a wait on a
+    /// compilation already in flight — and `false` when this call
+    /// compiled. The second flag is `true` when the compile lowered at
+    /// least one new simulator program (autotuned options lower during
+    /// the sweep); `false` leaves the miss's warm/cold classification to
+    /// the artifact's first launch, where lazy lowering happens (see
+    /// [`ArtifactRegistry::note_warm_miss`]).
     pub(crate) fn get_or_compile(
         &self,
         expr: &str,
         tensors: &BTreeMap<String, Tensor>,
         options: &InsumOptions,
-    ) -> (Result<ServeArtifact, ServeError>, bool) {
+    ) -> (Result<ServeArtifact, ServeError>, bool, bool) {
         let key = ArtifactKey::new(expr, tensors, options);
         let (slot, owner) = {
             let mut inner = relock(&self.inner);
@@ -218,6 +225,10 @@ impl ArtifactRegistry {
             // same-key request would block the scheduler thread in
             // `Slot::wait`, wedging the whole engine — and would strand
             // the tickets of every other request in the drained window.
+            // Program-cache lowering count before/after brackets the
+            // compile: a miss that lowered zero new programs was served
+            // entirely from resident (e.g. snapshot-seeded) programs.
+            let compiles_before = insum_inductor::ProgramCache::global().stats().compiles;
             let compiled = match catch_unwind(AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-injection")]
                 crate::faults::maybe_panic_compile(expr);
@@ -235,6 +246,8 @@ impl ArtifactRegistry {
                     panic_message(payload)
                 ))),
             };
+            let compile_lowered =
+                insum_inductor::ProgramCache::global().stats().compiles != compiles_before;
             slot.fill(compiled.clone());
             // A compile *panic* is transient: evict its entry (after the
             // fill, so every current waiter still wakes with the shared
@@ -243,17 +256,27 @@ impl ArtifactRegistry {
             if matches!(compiled, Err(ServeError::Engine(_))) {
                 relock(&self.inner).map.remove(&key);
             }
-            (compiled, false)
+            (compiled, false, compile_lowered)
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            (slot.wait(), true)
+            (slot.wait(), true, false)
         }
+    }
+
+    /// Record that a registry miss turned out warm: neither its compile
+    /// nor its first launch lowered a new simulator program — every
+    /// program was already resident in the process-wide
+    /// [`insum_inductor::ProgramCache`] (e.g. snapshot-seeded). Called by
+    /// the scheduler once the deferred classification resolves.
+    pub(crate) fn note_warm_miss(&self) {
+        self.warm_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn stats(&self) -> RegistryStats {
         RegistryStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            warm_misses: self.warm_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: relock(&self.inner).map.len(),
         }
@@ -325,8 +348,8 @@ mod tests {
         .into_iter()
         .collect();
         let opts = InsumOptions::default();
-        let (a, hit_a) = registry.get_or_compile("ij,jk,kl->il", &t, &opts);
-        let (b, hit_b) = registry.get_or_compile("ij,jk,kl->il", &t, &opts);
+        let (a, hit_a, _) = registry.get_or_compile("ij,jk,kl->il", &t, &opts);
+        let (b, hit_b, _) = registry.get_or_compile("ij,jk,kl->il", &t, &opts);
         let (a, b) = (a.unwrap(), b.unwrap());
         assert!(matches!(a, ServeArtifact::Chain(_)));
         assert!(a.ptr_eq(&b), "second lookup shares the chain artifact");
@@ -372,7 +395,7 @@ mod tests {
             .get_or_compile("C[i] ?= A[i]", &t, &opts)
             .0
             .is_err());
-        let (second, hit) = registry.get_or_compile("C[i] ?= A[i]", &t, &opts);
+        let (second, hit, _) = registry.get_or_compile("C[i] ?= A[i]", &t, &opts);
         assert!(second.is_err());
         assert!(hit, "second failure served from the registry");
         assert_eq!(registry.stats().misses, 1);

@@ -236,6 +236,9 @@ struct Resolved {
     pending: Pending,
     artifact: ServeArtifact,
     registry_hit: bool,
+    /// Miss whose compile lowered no simulator program: warm/cold is
+    /// decided at the artifact's first launch (lazy lowering).
+    warm_pending: bool,
 }
 
 /// Scheduler main loop: wait for eligible work, drain, process; exit
@@ -249,6 +252,7 @@ pub(crate) fn run(shared: &Shared) {
         shared.config.breaker_threshold,
         shared.config.breaker_cooldown,
     );
+    let mut last_snapshot = shared.clock.now();
     while let Some(drained) = wait_for_work(shared) {
         shared.not_full.notify_all();
         // Last-resort containment: `process` isolates panics at the
@@ -258,6 +262,44 @@ pub(crate) fn run(shared: &Shared) {
         let _ = catch_unwind(AssertUnwindSafe(|| {
             process(shared, drained, &mut meter, &mut breaker);
         }));
+        maybe_snapshot(shared, &mut last_snapshot);
+    }
+    // Drain/shutdown write: whatever was compiled since the last cadence
+    // write becomes durable before the scheduler thread exits.
+    write_snapshot(shared);
+}
+
+/// Cadence persistence: once [`ServeConfig::snapshot_interval`] has
+/// elapsed since the last write, persist the program cache and autotune
+/// winners. Runs between drained windows on the scheduler thread, so it
+/// never blocks admission or an in-flight batch.
+fn maybe_snapshot(shared: &Shared, last: &mut Duration) {
+    if shared.config.snapshot_path.is_none() {
+        return;
+    }
+    let now = shared.clock.now();
+    if now.saturating_sub(*last) < shared.config.snapshot_interval {
+        return;
+    }
+    if write_snapshot(shared) {
+        *last = now;
+    }
+}
+
+/// Atomically persist the process-wide program cache and autotune
+/// winners to the configured snapshot path (temp + fsync + rename).
+/// Returns whether a write happened; failures are absorbed — a server
+/// that cannot persist keeps serving, it just restarts cold.
+fn write_snapshot(shared: &Shared) -> bool {
+    let Some(path) = &shared.config.snapshot_path else {
+        return false;
+    };
+    match insum_inductor::ProgramCache::global().save_snapshot(path) {
+        Ok(_) => {
+            relock(&shared.metrics).snapshot_writes += 1;
+            true
+        }
+        Err(_) => false,
     }
 }
 
@@ -403,7 +445,7 @@ fn process(
     // group (fair ordering below only reorders on unequal keys).
     let mut groups: Vec<(GroupKey, Vec<Resolved>)> = Vec::new();
     for pending in survivors {
-        let (result, registry_hit) =
+        let (result, registry_hit, compile_lowered) =
             shared
                 .registry
                 .get_or_compile(&pending.expr, &pending.tensors, &pending.options);
@@ -442,6 +484,7 @@ fn process(
                     pending,
                     artifact,
                     registry_hit,
+                    warm_pending: !registry_hit && !compile_lowered,
                 };
                 // Cheap first pass: if every tensor handle is pointer-
                 // identical to a batched group representative's (same
@@ -680,6 +723,13 @@ fn execute_batch(
         .collect();
     let inputs: Vec<&std::collections::BTreeMap<String, Tensor>> =
         batch.iter().map(|r| &r.pending.tensors).collect();
+    // A miss whose compile lowered nothing classifies here: if this
+    // first launch lowers nothing either, every program was already
+    // resident (snapshot-seeded) and the miss counts as warm.
+    let compiles_before = batch
+        .iter()
+        .any(|r| r.warm_pending)
+        .then(|| insum_inductor::ProgramCache::global().stats().compiles);
     // Contain panics at the execution boundary: a request that panics the
     // simulator must fail alone — retrying if attempts remain, else
     // completing its ticket with [`ServeError::Engine`] — instead of
@@ -744,6 +794,13 @@ fn execute_batch(
     match result {
         Ok(results) => {
             debug_assert_eq!(results.len(), batch_size);
+            if let Some(before) = compiles_before {
+                if insum_inductor::ProgramCache::global().stats().compiles == before {
+                    for _ in batch.iter().filter(|r| r.warm_pending) {
+                        shared.registry.note_warm_miss();
+                    }
+                }
+            }
             let end = shared.clock.now();
             let mut metrics = relock(&shared.metrics);
             metrics.batches += 1;

@@ -1,0 +1,181 @@
+//! Warm-restart integration: a cold engine persists its compiled
+//! programs through [`ServeConfig::with_snapshot`]; a rebooted engine
+//! warm-starts from the file and serves the same replay bit-identically
+//! with zero programs lowered.
+//!
+//! Both tests reboot through the process-wide
+//! [`ProgramCache::global`]/[`AutotuneCache::global`], so they serialize
+//! on one lock (this integration binary is its own process, so no other
+//! test can observe the cleared globals).
+
+use insum_inductor::{AutotuneCache, ProgramCache};
+use insum_serve::{ServeConfig, ServeEngine, TestClock};
+use insum_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+static GLOBAL_CACHES: Mutex<()> = Mutex::new(());
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("insum_serve_restart_{tag}_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic two-expression replay: a pointwise kernel and an
+/// indirect (gather-scatter) einsum, so the snapshot carries more than
+/// one program.
+fn workload() -> Vec<(&'static str, BTreeMap<String, Tensor>)> {
+    let pointwise: BTreeMap<String, Tensor> = [
+        ("C".to_string(), Tensor::zeros(vec![64])),
+        (
+            "A".to_string(),
+            Tensor::from_vec(vec![64], (0..64).map(|i| i as f32 * 0.31 - 7.0).collect()).unwrap(),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    let nnz = 12;
+    let spmm: BTreeMap<String, Tensor> = [
+        ("C".to_string(), Tensor::zeros(vec![16, 8])),
+        (
+            "AM".to_string(),
+            Tensor::from_vec(vec![nnz], (0..nnz).map(|p| ((p * 5) % 16) as f32).collect()).unwrap(),
+        ),
+        (
+            "AK".to_string(),
+            Tensor::from_vec(vec![nnz], (0..nnz).map(|p| ((p * 3) % 8) as f32).collect()).unwrap(),
+        ),
+        (
+            "AV".to_string(),
+            Tensor::from_vec(vec![nnz], (0..nnz).map(|p| p as f32 * 0.17 - 0.9).collect()).unwrap(),
+        ),
+        (
+            "B".to_string(),
+            Tensor::from_vec(vec![8, 8], (0..64).map(|i| (i as f32).sin()).collect()).unwrap(),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    vec![
+        ("C[i] = A[i] * A[i]", pointwise),
+        ("C[AM[p],n] += AV[p] * B[AK[p],n]", spmm),
+    ]
+}
+
+/// Submit the whole workload and return each response's output bits.
+fn replay(engine: &ServeEngine) -> Vec<Vec<u32>> {
+    let session = engine.session("restart-tenant");
+    workload()
+        .iter()
+        .map(|(expr, tensors)| {
+            let response = session.submit(expr, tensors).unwrap().wait().unwrap();
+            response.output.data().iter().map(|v| v.to_bits()).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn warm_restart_is_bit_identical_with_zero_programs_lowered() {
+    let _guard = GLOBAL_CACHES.lock().unwrap();
+    let dir = tmp_dir("roundtrip");
+    let path = dir.join("serve.snap");
+    let config = ServeConfig::default().with_snapshot(&path);
+
+    // Cold boot: the snapshot file doesn't exist yet, so this is a plain
+    // cold start that compiles everything and persists it at shutdown.
+    ProgramCache::global().clear();
+    AutotuneCache::global().clear();
+    let mut cold_engine = ServeEngine::new(config.clone()).unwrap();
+    let cold = replay(&cold_engine);
+    let cold_stats = ProgramCache::global().stats();
+    assert!(cold_stats.compiles >= 2, "cold boot lowers the workload");
+    assert_eq!(cold_stats.snapshot_seeded, 0);
+    cold_engine.shutdown();
+    let m = cold_engine.metrics();
+    assert!(m.snapshot_writes >= 1, "drain/shutdown write happened");
+    assert_eq!(m.warm_start_hits, 0, "nothing to warm-hit on a cold boot");
+    assert_eq!(
+        m.registry.warm_misses, 0,
+        "cold misses lowered programs, so none classify warm"
+    );
+    assert!(path.exists());
+    drop(cold_engine);
+
+    // Reboot: clear the process-wide caches (this test binary owns the
+    // process) and warm-start from the file.
+    ProgramCache::global().clear();
+    AutotuneCache::global().clear();
+    let mut warm_engine = ServeEngine::new(config).unwrap();
+    let boot_stats = ProgramCache::global().stats();
+    assert!(
+        boot_stats.snapshot_seeded >= 2,
+        "warm boot seeds the workload's programs"
+    );
+    assert_eq!(boot_stats.snapshot_rejected, 0, "pristine file, no damage");
+    let warm = replay(&warm_engine);
+    assert_eq!(warm, cold, "warm responses are bit-identical");
+    let warm_stats = ProgramCache::global().stats();
+    assert_eq!(
+        warm_stats.compiles, boot_stats.compiles,
+        "zero programs lowered on the warm replay"
+    );
+    assert!(
+        warm_stats.warm_hits >= 2,
+        "seeded entries served the replay"
+    );
+    let m = warm_engine.metrics();
+    assert!(m.warm_start_hits >= 2);
+    assert_eq!(m.snapshot_rejected, 0);
+    assert!(m.registry.misses >= 2, "artifacts still compile per boot");
+    assert_eq!(
+        m.registry.warm_misses, m.registry.misses,
+        "every registry miss was served from snapshot-seeded programs"
+    );
+    warm_engine.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cadence_writes_follow_the_engine_clock() {
+    let _guard = GLOBAL_CACHES.lock().unwrap();
+    let dir = tmp_dir("cadence");
+    let path = dir.join("serve.snap");
+    ProgramCache::global().clear();
+    AutotuneCache::global().clear();
+    let clock = TestClock::new();
+    let config = ServeConfig::default()
+        .with_snapshot(&path)
+        .with_snapshot_interval(Duration::from_secs(1));
+    let mut engine = ServeEngine::with_clock(config, clock.clone()).unwrap();
+    let session = engine.session("cadence-tenant");
+    let (expr, tensors) = &workload()[0];
+
+    // At clock time 0 the interval hasn't elapsed: no cadence write.
+    session.submit(expr, tensors).unwrap().wait().unwrap();
+    assert_eq!(engine.metrics().snapshot_writes, 0);
+
+    // Past the interval, the next drained window flushes a snapshot.
+    clock.advance(Duration::from_secs(2));
+    session.submit(expr, tensors).unwrap().wait().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while engine.metrics().snapshot_writes == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        engine.metrics().snapshot_writes >= 1,
+        "cadence write before shutdown"
+    );
+    assert!(path.exists());
+
+    engine.shutdown();
+    assert!(
+        engine.metrics().snapshot_writes >= 2,
+        "drain/shutdown adds a final write"
+    );
+    fs::remove_dir_all(&dir).ok();
+}

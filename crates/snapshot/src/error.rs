@@ -1,0 +1,72 @@
+//! Typed snapshot failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a snapshot (or one of its frames) could not be decoded.
+///
+/// The variants split along the degrade-to-recompile boundary: header
+/// problems ([`SnapshotError::BadMagic`],
+/// [`SnapshotError::UnsupportedVersion`], a header-level
+/// [`SnapshotError::Truncated`]) mean the whole file is unusable, while
+/// record-level corruption never surfaces as an error at all — the
+/// container parser skips the damaged record and counts it (see
+/// [`crate::Snapshot::parse`]). Callers that load snapshots into caches
+/// are expected to map *every* variant to "start cold", never to a
+/// panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem failure (the wrapped message includes the kind).
+    Io(String),
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The file is a snapshot, but from an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The byte stream ended before the field being read.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A checksum or framing invariant failed.
+    Corrupt {
+        /// What failed.
+        context: &'static str,
+    },
+    /// The bytes decoded, but the value violates a structural bound
+    /// (register out of range, impossible length, stale fingerprint).
+    Invalid {
+        /// Description of the violated bound.
+        context: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(msg) => write!(f, "snapshot io error: {msg}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {supported})"
+            ),
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::Corrupt { context } => write!(f, "snapshot corrupt: {context}"),
+            SnapshotError::Invalid { context } => write!(f, "snapshot invalid: {context}"),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(format!("{} ({:?})", e, e.kind()))
+    }
+}

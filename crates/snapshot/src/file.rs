@@ -1,0 +1,356 @@
+//! Snapshot container framing and crash-safe file IO.
+//!
+//! ## On-disk layout (format version 1)
+//!
+//! ```text
+//! header   := magic:[u8;8]="INSUMSNP" version:u32 section_count:u32
+//! section  := tag:u8 record_count:u32 record*
+//! record   := len:u32 crc:u32 payload:[u8;len]
+//! ```
+//!
+//! All integers are little-endian; `crc` is CRC-32 (IEEE) over
+//! `payload`. The header is load-bearing for *typed* failures
+//! ([`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`]);
+//! everything after it degrades record-by-record: a record whose CRC
+//! mismatches is skipped, a truncation mid-record rejects the remainder,
+//! and declared-but-missing sections are counted. [`Snapshot::parse`]
+//! therefore only errors on header damage — body damage always yields
+//! `Ok` with [`Snapshot::rejected`] > 0, which is what lets cache
+//! loaders degrade to recompile without branching on error shape.
+
+use crate::error::SnapshotError;
+use crate::wire::{crc32, Reader, Writer};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First eight bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"INSUMSNP";
+
+/// The container format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tag for compiled-program records.
+pub const SECTION_PROGRAMS: u8 = 1;
+
+/// Section tag for autotune-winner records.
+pub const SECTION_AUTOTUNE: u8 = 2;
+
+/// One tagged group of records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSection {
+    /// Section tag (see [`SECTION_PROGRAMS`], [`SECTION_AUTOTUNE`];
+    /// unknown tags survive parsing so loaders can count them rejected).
+    pub tag: u8,
+    /// CRC-verified record payloads, in write order.
+    pub records: Vec<Vec<u8>>,
+}
+
+/// A parsed snapshot: the records that survived framing and CRC
+/// verification, plus a count of everything that didn't.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Sections whose headers parsed, each holding only CRC-valid
+    /// records.
+    pub sections: Vec<SnapshotSection>,
+    /// Records (or whole declared sections) dropped by truncation, CRC
+    /// mismatch, or trailing garbage.
+    pub rejected: u64,
+}
+
+impl Snapshot {
+    /// Parse `bytes`. Errors only on header-level damage; any body
+    /// damage is absorbed into [`Snapshot::rejected`].
+    pub fn parse(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(MAGIC.len(), "snapshot magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32("snapshot version")?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let section_count = r.u32("section count")?;
+
+        let mut sections = Vec::new();
+        let mut rejected = 0u64;
+        'sections: for s in 0..section_count {
+            let (tag, record_count) = match (r.u8("section tag"), r.u32("record count")) {
+                (Ok(tag), Ok(n)) => (tag, n),
+                _ => {
+                    // Section header cut off: everything from here on is
+                    // unreadable. One rejection per missing section is
+                    // the best accounting available (record counts are
+                    // unknown).
+                    rejected += u64::from(section_count - s);
+                    break;
+                }
+            };
+            let mut records = Vec::new();
+            for i in 0..record_count {
+                let header = (|| -> Result<(usize, u32), SnapshotError> {
+                    let len = r.u32("record length")? as usize;
+                    let crc = r.u32("record crc")?;
+                    if len > r.remaining() {
+                        return Err(SnapshotError::Truncated {
+                            context: "record payload",
+                        });
+                    }
+                    Ok((len, crc))
+                })();
+                let (len, crc) = match header {
+                    Ok(h) => h,
+                    Err(_) => {
+                        // Truncated mid-record: this record, the rest of
+                        // this section, and all later sections are gone.
+                        rejected += u64::from(record_count - i);
+                        rejected += u64::from(section_count - s - 1);
+                        sections.push(SnapshotSection { tag, records });
+                        break 'sections;
+                    }
+                };
+                let payload = r.take(len, "record payload").expect("length checked");
+                if crc32(payload) == crc {
+                    records.push(payload.to_vec());
+                } else {
+                    // Damaged payload (or damaged length desynchronizing
+                    // the frame): drop it and keep going. If the length
+                    // was the damaged field the following records will
+                    // fail their own CRCs and be counted too.
+                    rejected += 1;
+                }
+            }
+            sections.push(SnapshotSection { tag, records });
+        }
+        if !r.is_exhausted() {
+            // Trailing bytes mean the declared section count was damaged
+            // downward (or the file was concatenated with garbage).
+            rejected += 1;
+        }
+        Ok(Snapshot { sections, rejected })
+    }
+
+    /// All CRC-valid records under `tag`, flattened across duplicate
+    /// sections.
+    pub fn records(&self, tag: u8) -> impl Iterator<Item = &[u8]> {
+        self.sections
+            .iter()
+            .filter(move |s| s.tag == tag)
+            .flat_map(|s| s.records.iter().map(Vec::as_slice))
+    }
+}
+
+/// Incremental snapshot encoder: stage records per section, then
+/// [`SnapshotBuilder::finish`] into the framed byte stream.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    sections: Vec<(u8, Vec<Vec<u8>>)>,
+}
+
+impl SnapshotBuilder {
+    /// A builder with no sections.
+    pub fn new() -> SnapshotBuilder {
+        SnapshotBuilder::default()
+    }
+
+    /// Append `payload` as one record under `tag` (sections are created
+    /// on first use, in first-use order).
+    pub fn record(&mut self, tag: u8, payload: Vec<u8>) {
+        match self.sections.iter_mut().find(|(t, _)| *t == tag) {
+            Some((_, records)) => records.push(payload),
+            None => self.sections.push((tag, vec![payload])),
+        }
+    }
+
+    /// Total staged records across all sections.
+    pub fn record_count(&self) -> usize {
+        self.sections.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Frame everything into the on-disk byte layout.
+    pub fn finish(self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.sections.len() as u32);
+        for (tag, records) in self.sections {
+            w.u8(tag);
+            w.u32(records.len() as u32);
+            for payload in records {
+                w.u32(payload.len() as u32);
+                w.u32(crc32(&payload));
+                w.raw(&payload);
+            }
+        }
+        w.into_bytes()
+    }
+}
+
+/// The temp-file path used by [`write_atomic`] for `path`.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Crash-safe snapshot write: encode into `<path>.tmp`, fsync, then
+/// rename over `path`. A crash at any point leaves either the previous
+/// durable snapshot or a straggler temp file — never a half-written
+/// `path` (see [`clean_stragglers`]).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = temp_path(path);
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    // Durability of the rename itself needs a directory fsync; do it
+    // best-effort (some filesystems refuse directory handles).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Remove a leftover temp file from a torn [`write_atomic`] (process
+/// died between create and rename). Returns how many stragglers were
+/// removed (0 or 1). Best-effort: IO failures are swallowed — a
+/// straggler that survives is ignored by loads anyway.
+pub fn clean_stragglers(path: &Path) -> u64 {
+    let tmp = temp_path(path);
+    if tmp.exists() && fs::remove_file(&tmp).is_ok() {
+        1
+    } else {
+        0
+    }
+}
+
+/// Read and parse a snapshot file. IO failures (including the file not
+/// existing) surface as [`SnapshotError::Io`].
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = fs::read(path)?;
+    Snapshot::parse(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_section_snapshot() -> Vec<u8> {
+        let mut b = SnapshotBuilder::new();
+        b.record(SECTION_PROGRAMS, vec![1, 2, 3, 4]);
+        b.record(SECTION_PROGRAMS, vec![5, 6]);
+        b.record(SECTION_AUTOTUNE, vec![7, 8, 9]);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = two_section_snapshot();
+        let snap = Snapshot::parse(&bytes).unwrap();
+        assert_eq!(snap.rejected, 0);
+        let programs: Vec<&[u8]> = snap.records(SECTION_PROGRAMS).collect();
+        assert_eq!(programs, vec![&[1, 2, 3, 4][..], &[5, 6][..]]);
+        let tune: Vec<&[u8]> = snap.records(SECTION_AUTOTUNE).collect();
+        assert_eq!(tune, vec![&[7, 8, 9][..]]);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = two_section_snapshot();
+        bytes[0] ^= 0xff;
+        assert_eq!(Snapshot::parse(&bytes), Err(SnapshotError::BadMagic));
+
+        let mut bytes = two_section_snapshot();
+        bytes[8] = 99; // version field
+        assert_eq!(
+            Snapshot::parse(&bytes),
+            Err(SnapshotError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_inside_body_rejects_something() {
+        let bytes = two_section_snapshot();
+        let header_len = MAGIC.len() + 8;
+        for cut in header_len..bytes.len() {
+            let snap = Snapshot::parse(&bytes[..cut]).unwrap();
+            let kept: usize = snap.sections.iter().map(|s| s.records.len()).sum();
+            assert!(
+                snap.rejected >= 1,
+                "truncation at {cut} kept {kept} records but rejected none"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = two_section_snapshot();
+        // Byte offsets of the two section-tag bytes: a flipped tag
+        // parses cleanly as an *unknown* section (its records vanish
+        // from `records(tag)` lookups — loaders count them rejected),
+        // so only non-tag flips must trip the container's own counter.
+        let tag_positions = [MAGIC.len() + 8, MAGIC.len() + 8 + 5 + (8 + 4) + (8 + 2)];
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut damaged = bytes.clone();
+                damaged[pos] ^= 1 << bit;
+                match Snapshot::parse(&damaged) {
+                    Err(_) => {} // header damage: typed error
+                    Ok(snap) => {
+                        assert!(
+                            snap.rejected >= 1 || tag_positions.contains(&pos),
+                            "flip at byte {pos} bit {bit} went undetected"
+                        );
+                        // Whatever survived, under whatever tag, must be
+                        // one of the original payloads verbatim — never
+                        // wrong bits.
+                        for section in &snap.sections {
+                            for rec in &section.records {
+                                assert!(
+                                    *rec == [1, 2, 3, 4] || *rec == [5, 6] || *rec == [7, 8, 9],
+                                    "flip at byte {pos} bit {bit} surfaced corrupt record {rec:?}"
+                                );
+                            }
+                        }
+                        // And the *typed* lookups never see a record that
+                        // was written under the other tag.
+                        for rec in snap.records(SECTION_PROGRAMS) {
+                            assert!(rec == [1, 2, 3, 4] || rec == [5, 6]);
+                        }
+                        for rec in snap.records(SECTION_AUTOTUNE) {
+                            assert_eq!(rec, [7, 8, 9]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_write_and_straggler_cleanup() {
+        let dir =
+            std::env::temp_dir().join(format!("insum_snapshot_file_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+        write_atomic(&path, &two_section_snapshot()).unwrap();
+        assert!(!temp_path(&path).exists());
+        assert_eq!(read_snapshot(&path).unwrap().rejected, 0);
+
+        // A torn write leaves a straggler; cleanup removes exactly it.
+        fs::write(temp_path(&path), b"half-written").unwrap();
+        assert_eq!(clean_stragglers(&path), 1);
+        assert_eq!(clean_stragglers(&path), 0);
+        assert!(path.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,51 @@
+//! Checksummed binary snapshots of compiled artifacts, and a bit-exact
+//! tensor wire format.
+//!
+//! A process restart used to throw away every compiled `Program` and
+//! autotune winner, turning a fleet restart into a cold-start stampede
+//! through the whole lowering pipeline. This crate is the durability
+//! layer underneath `ProgramCache::{save,load}_snapshot` and
+//! `ServeConfig::with_snapshot`: a compact self-describing container
+//! ([`mod@file`]) framing CRC-checked records, plus codecs for kernel IR
+//! ([`kernel_wire`]) and tensors ([`tensor_wire`]).
+//!
+//! ## Robustness contract
+//!
+//! A snapshot on disk may be stale, truncated mid-write, bit-flipped,
+//! or written by an incompatible build. The contract everywhere in this
+//! crate is **degrade to recompile, never wrong bits, never a panic**:
+//!
+//! - Header damage yields a typed [`SnapshotError`]
+//!   ([`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`]).
+//! - Body damage never errors at all: [`Snapshot::parse`] skips every
+//!   record whose CRC-32 fails (CRC-32 detects all single-byte flips)
+//!   and counts it in [`Snapshot::rejected`].
+//! - Record payload decoders ([`decode_kernel`], [`decode_tensor`])
+//!   are defensive against forged-but-CRC-valid bytes: range checks,
+//!   allocation guards, and depth caps, all returning typed errors.
+//! - Writes are crash-safe: [`write_atomic`] stages a temp file, fsyncs,
+//!   then renames, and [`clean_stragglers`] sweeps the temp file a
+//!   crash between those steps leaves behind.
+//!
+//! Cache loaders built on top add one more verification layer: each
+//! program record embeds the kernel's stable
+//! [`insum_kernel::fingerprint`], re-fingerprinted on load so a stale
+//! record (same bytes, different compiler) is dropped instead of served.
+
+mod error;
+pub mod file;
+pub mod kernel_wire;
+pub mod tensor_wire;
+pub mod wire;
+
+pub use error::SnapshotError;
+pub use file::{
+    clean_stragglers, read_snapshot, temp_path, write_atomic, Snapshot, SnapshotBuilder,
+    SnapshotSection, FORMAT_VERSION, MAGIC, SECTION_AUTOTUNE, SECTION_PROGRAMS,
+};
+pub use kernel_wire::{decode_kernel, decode_kernel_from, encode_kernel, encode_kernel_into};
+pub use tensor_wire::{
+    decode_tensor, decode_tensor_from, dtype_tag, encode_tensor, encode_tensor_into, tag_dtype,
+    TENSOR_WIRE_VERSION,
+};
+pub use wire::{crc32, Reader, Writer};

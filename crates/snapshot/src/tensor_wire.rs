@@ -1,0 +1,251 @@
+//! Bit-exact tensor wire format.
+//!
+//! ## Layout (wire version 1)
+//!
+//! ```text
+//! magic:[u8;4]="ITWF" version:u16 dtype:u8
+//! ndim:u32 dims:u64* strides:u64* payload:u32*
+//! ```
+//!
+//! The payload is the IEEE-754 bit pattern of every element in
+//! canonical row-major order — NaN payloads and signed zeros survive
+//! verbatim. Strides on the wire are always the canonical contiguous
+//! strides of the shape (a non-canonical view is *gathered* into
+//! canonical order at encode time, not transported as-is), so decoding
+//! never has to reason about aliasing or overlap. Decoding uses
+//! [`insum_tensor::Tensor::from_vec_with`], which does not re-round
+//! `F16` values: `decode(encode(t))` is bit-identical for any `t`.
+
+use crate::error::SnapshotError;
+use crate::wire::{Reader, Writer};
+use insum_tensor::{DType, Tensor};
+
+/// First four bytes of an encoded tensor.
+pub const TENSOR_MAGIC: [u8; 4] = *b"ITWF";
+
+/// The tensor wire version this build reads and writes. Versioned
+/// separately from the snapshot container so the wire format can serve
+/// a network front-end without dragging the cache-snapshot framing
+/// along.
+pub const TENSOR_WIRE_VERSION: u16 = 1;
+
+/// Stable one-byte wire tag for a dtype (also usable as a total order
+/// over dtypes when callers need deterministic record ordering).
+pub fn dtype_tag(dtype: DType) -> u8 {
+    match dtype {
+        DType::F16 => 0,
+        DType::F32 => 1,
+        DType::I32 => 2,
+    }
+}
+
+/// Inverse of [`dtype_tag`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Corrupt`] on an unknown tag.
+pub fn tag_dtype(tag: u8) -> Result<DType, SnapshotError> {
+    match tag {
+        0 => Ok(DType::F16),
+        1 => Ok(DType::F32),
+        2 => Ok(DType::I32),
+        _ => Err(SnapshotError::Corrupt {
+            context: "tensor dtype tag",
+        }),
+    }
+}
+
+// `None` when a suffix product overflows `usize` — impossible for a
+// real `Tensor` (its storage exists in memory) but reachable from
+// forged wire bytes.
+fn canonical_strides(shape: &[usize]) -> Option<Vec<usize>> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1usize;
+    for (i, &dim) in shape.iter().enumerate().rev() {
+        strides[i] = acc;
+        acc = acc.checked_mul(dim)?;
+    }
+    Some(strides)
+}
+
+/// Append the wire encoding of `t` to `w`. Non-canonical views are
+/// gathered into canonical row-major order; element bits are copied
+/// verbatim.
+pub fn encode_tensor_into(t: &Tensor, w: &mut Writer) {
+    w.raw(&TENSOR_MAGIC);
+    w.u32(TENSOR_WIRE_VERSION as u32);
+    w.u8(dtype_tag(t.dtype()));
+    let shape = t.shape();
+    w.usize(shape.len());
+    for &d in shape {
+        w.usize(d);
+    }
+    let canon = canonical_strides(shape).expect("tensor storage exists, volume fits usize");
+    for &s in &canon {
+        w.usize(s);
+    }
+    let n: usize = shape.iter().product();
+    if t.strides() == canon && t.data().len() == n {
+        // Fast path: storage already in canonical order.
+        for &v in t.data() {
+            w.f32_bits(v);
+        }
+    } else {
+        // Stride-general gather, walking multi-indices in row-major
+        // order directly over the backing buffer so no float value is
+        // ever re-materialized through arithmetic.
+        let data = t.data();
+        let strides = t.strides();
+        let mut idx = vec![0usize; shape.len()];
+        for _ in 0..n {
+            let off: usize = idx.iter().zip(strides).map(|(i, s)| i * s).sum();
+            w.f32_bits(data[off]);
+            for d in (0..shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+/// Encode `t` as a standalone byte vector.
+pub fn encode_tensor(t: &Tensor) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_tensor_into(t, &mut w);
+    w.into_bytes()
+}
+
+/// Decode one tensor from `r`, leaving the reader positioned after it.
+///
+/// # Errors
+///
+/// [`SnapshotError::BadMagic`] / [`SnapshotError::UnsupportedVersion`]
+/// on header skew, [`SnapshotError::Truncated`] /
+/// [`SnapshotError::Corrupt`] / [`SnapshotError::Invalid`] on damaged
+/// framing — never a panic.
+pub fn decode_tensor_from(r: &mut Reader<'_>) -> Result<Tensor, SnapshotError> {
+    let magic = r.take(TENSOR_MAGIC.len(), "tensor magic")?;
+    if magic != TENSOR_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32("tensor wire version")?;
+    if version != TENSOR_WIRE_VERSION as u32 {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: TENSOR_WIRE_VERSION as u32,
+        });
+    }
+    let dtype = tag_dtype(r.u8("tensor dtype")?)?;
+    let ndim = r.seq_len(8, "tensor rank")?;
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        shape.push(r.usize("tensor dim")?);
+    }
+    let mut strides = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        strides.push(r.usize("tensor stride")?);
+    }
+    let canon = canonical_strides(&shape).ok_or(SnapshotError::Corrupt {
+        context: "tensor volume overflow",
+    })?;
+    if strides != canon {
+        return Err(SnapshotError::Invalid {
+            context: "tensor strides are not canonical for the shape".to_string(),
+        });
+    }
+    let mut n = 1usize;
+    for &d in &shape {
+        n = n.checked_mul(d).ok_or(SnapshotError::Corrupt {
+            context: "tensor volume overflow",
+        })?;
+    }
+    if n > r.remaining() / 4 {
+        return Err(SnapshotError::Truncated {
+            context: "tensor payload",
+        });
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.f32_bits("tensor element")?);
+    }
+    Tensor::from_vec_with(shape, data, dtype).map_err(|e| SnapshotError::Invalid {
+        context: format!("tensor reconstruction: {e}"),
+    })
+}
+
+/// Decode a standalone tensor encoding, requiring every byte to be
+/// consumed.
+pub fn decode_tensor(bytes: &[u8]) -> Result<Tensor, SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let t = decode_tensor_from(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(SnapshotError::Corrupt {
+            context: "trailing bytes after tensor payload",
+        });
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        let nan = f32::from_bits(0x7fc0_1234); // NaN with payload
+        let t =
+            Tensor::from_vec(vec![2, 3], vec![1.0, -0.0, nan, 0.0, f32::MIN, f32::MAX]).unwrap();
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.dtype(), t.dtype());
+        let a: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert!(!back.ptr_eq(&t));
+    }
+
+    #[test]
+    fn scalar_and_i32_round_trip() {
+        let t = Tensor::scalar(-3.5);
+        assert_eq!(decode_tensor(&encode_tensor(&t)).unwrap(), t);
+        let t = Tensor::arange(7);
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        assert_eq!(back.dtype(), DType::I32);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let t = Tensor::ones(vec![2]);
+        let mut bytes = encode_tensor(&t);
+        bytes[4] = 9; // version field
+        assert_eq!(
+            decode_tensor(&bytes),
+            Err(SnapshotError::UnsupportedVersion {
+                found: 9,
+                supported: TENSOR_WIRE_VERSION as u32
+            })
+        );
+        let mut bytes = encode_tensor(&t);
+        bytes[0] = b'X';
+        assert_eq!(decode_tensor(&bytes), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn damage_is_typed_never_panics() {
+        let t = Tensor::ones(vec![4, 4]);
+        let bytes = encode_tensor(&t);
+        for cut in 0..bytes.len() {
+            let _ = decode_tensor(&bytes[..cut]); // must not panic
+        }
+        let mut huge = encode_tensor(&Tensor::ones(vec![2, 2]));
+        // Corrupt the first dim to an absurd extent: allocation guard
+        // must reject before reserving memory.
+        let dim_off = TENSOR_MAGIC.len() + 4 + 1 + 8;
+        huge[dim_off..dim_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_tensor(&huge).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the tensor wire format: bit-exact round trips
+//! over random shapes, dtypes, and pathological float values, plus
+//! typed (never panicking) failures on version skew and truncation.
+
+use insum_snapshot::{decode_tensor, encode_tensor, SnapshotError, TENSOR_WIRE_VERSION};
+use insum_tensor::{DType, Tensor};
+use proptest::prelude::*;
+
+/// Floats drawn to stress bit-exactness: NaNs with payloads, signed
+/// zeros, infinities, subnormals — anything a value-level codec would
+/// canonicalize.
+fn any_bits() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1.0e4f32..1.0e4,
+        Just(-0.0f32),
+        Just(0.0f32),
+        Just(f32::from_bits(0x7fc0_1234)), // NaN with payload
+        Just(f32::from_bits(0xffc0_0001)), // negative NaN, different payload
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(f32::from_bits(0x0000_0001)), // smallest subnormal
+        (0u32..=u32::MAX).prop_map(f32::from_bits),
+    ]
+}
+
+fn any_dtype() -> impl Strategy<Value = DType> {
+    prop_oneof![Just(DType::F16), Just(DType::F32), Just(DType::I32)]
+}
+
+/// Random tensor: rank 0–3, dims 1–4, arbitrary bit patterns, any
+/// dtype. Built through `from_vec_with`, so `F16` tensors keep raw
+/// (even non-F16-representable) bits — exactly what the wire format
+/// must preserve.
+fn any_tensor() -> impl Strategy<Value = Tensor> {
+    (proptest::collection::vec(1usize..5, 0..4), any_dtype()).prop_flat_map(|(shape, dtype)| {
+        let n: usize = shape.iter().product();
+        proptest::collection::vec(any_bits(), n)
+            .prop_map(move |data| Tensor::from_vec_with(shape.clone(), data, dtype).unwrap())
+    })
+}
+
+fn bits_of(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_is_bit_identical(t in any_tensor()) {
+        let back = decode_tensor(&encode_tensor(&t)).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        prop_assert_eq!(back.dtype(), t.dtype());
+        prop_assert_eq!(bits_of(&back), bits_of(&t));
+    }
+
+    #[test]
+    fn non_canonical_views_gather_then_round_trip(
+        (t, rows, cols) in (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(any_bits(), r * c)
+                .prop_map(move |data| (Tensor::from_vec(vec![r, c], data).unwrap(), r, c))
+        })
+    ) {
+        // A transposed view has non-canonical strides; the encoder must
+        // gather it into canonical order without touching element bits.
+        let view = t.transpose(0, 1).unwrap();
+        let back = decode_tensor(&encode_tensor(&view)).unwrap();
+        prop_assert_eq!(back.shape(), &[cols, rows][..]);
+        for i in 0..cols {
+            for j in 0..rows {
+                prop_assert_eq!(
+                    back.at(&[i, j]).to_bits(),
+                    view.at(&[i, j]).to_bits(),
+                    "element ({}, {}) changed bits through the wire", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_skew_is_typed_not_a_panic(t in any_tensor(), version in 0u32..1000) {
+        prop_assume!(version != TENSOR_WIRE_VERSION as u32);
+        let mut bytes = encode_tensor(&t);
+        bytes[4..8].copy_from_slice(&version.to_le_bytes());
+        prop_assert_eq!(
+            decode_tensor(&bytes),
+            Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: TENSOR_WIRE_VERSION as u32
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panicking(t in any_tensor()) {
+        let bytes = encode_tensor(&t);
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_tensor(&bytes[..cut]).is_err(), "cut at {} decoded", cut);
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        prop_assert!(decode_tensor(&extended).is_err());
+    }
+}

@@ -157,6 +157,25 @@ impl Tensor {
         })
     }
 
+    /// Create a tensor from raw data in row-major order with an explicit
+    /// dtype, preserving every bit of `data`.
+    ///
+    /// Unlike [`Tensor::cast`], an [`DType::F16`] dtype does *not*
+    /// re-round the values: the caller asserts they are already
+    /// binary16-representable. This is the deserialization entry point
+    /// for wire formats, where re-rounding would quietly canonicalize
+    /// NaN payloads and break bit-exact round trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape's volume.
+    pub fn from_vec_with(shape: Vec<usize>, data: Vec<f32>, dtype: DType) -> Result<Tensor> {
+        let mut t = Tensor::from_vec(shape, data)?;
+        t.dtype = dtype;
+        Ok(t)
+    }
+
     /// Create an integer (metadata) tensor from `i64` coordinates.
     ///
     /// Values are stored exactly (all coordinates in this reproduction fit
