@@ -604,6 +604,33 @@ fn serial_precompiled(w: &Workload) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// p50/p95/p99/max of one latency histogram, in seconds.
+#[derive(Clone, Copy)]
+struct Quantiles {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    max: f64,
+}
+
+impl Quantiles {
+    fn of(h: &insum_serve::Histogram) -> Quantiles {
+        Quantiles {
+            p50: h.quantile_seconds(0.50),
+            p95: h.quantile_seconds(0.95),
+            p99: h.quantile_seconds(0.99),
+            max: h.max_seconds(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"max\": {:.6}}}",
+            self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
 struct EngineRow {
     concurrency: usize,
     wall_seconds: f64,
@@ -614,6 +641,9 @@ struct EngineRow {
     registry_misses: u64,
     wait_mean_seconds: f64,
     wait_max_seconds: f64,
+    queue_wait: Quantiles,
+    e2e: Quantiles,
+    compile: Quantiles,
     bit_identical: bool,
 }
 
@@ -722,6 +752,9 @@ fn engine_run(
         registry_misses: m.registry.misses,
         wait_mean_seconds: wait_sum / responses.len() as f64,
         wait_max_seconds: wait_max,
+        queue_wait: Quantiles::of(&m.queue_wait()),
+        e2e: Quantiles::of(&m.e2e()),
+        compile: Quantiles::of(&m.compile()),
         bit_identical,
     }
 }
@@ -752,6 +785,147 @@ fn run_workload(w: &Workload, concurrencies: &[usize], preload: bool) -> Workloa
         wall_serial_precompiled,
         submit_overhead_ns_mean,
         rows,
+    }
+}
+
+struct TelemetryResult {
+    disabled_wall_seconds: f64,
+    enabled_wall_seconds: f64,
+    overhead: f64,
+}
+
+/// Telemetry smoke: serving with tracing + histograms enabled must
+/// change no bits, stay within a 5% overhead envelope of the disabled
+/// configuration (min-of-3 walls plus an absolute slack so a sub-ms
+/// workload can't fail on scheduler jitter), and the cadence dump must
+/// parse back and reconcile with the in-memory counters.
+fn telemetry_phase(w: &Workload, expected: &[(Tensor, Profile)]) -> TelemetryResult {
+    let serve_all = |telemetry: bool| -> (f64, Vec<Vec<u32>>) {
+        let engine = ServeEngine::new(
+            ServeConfig::default()
+                .with_queue_capacity(w.requests.len().max(16))
+                .with_max_batch(8)
+                .with_options(w.options.clone())
+                .with_telemetry(telemetry),
+        )
+        .expect("engine starts");
+        engine
+            .session("warmup")
+            .submit(w.expr, &w.requests[0])
+            .expect("admission succeeds")
+            .wait()
+            .expect("warmup succeeds");
+        engine.pause();
+        let session = engine.session("telemetry");
+        let handles: Vec<_> = w
+            .requests
+            .iter()
+            .map(|t| session.submit(w.expr, t).expect("admission succeeds"))
+            .collect();
+        let start = Instant::now();
+        engine.resume();
+        let outputs: Vec<Vec<u32>> = handles
+            .into_iter()
+            .map(|h| {
+                let r = h.wait().expect("request succeeds");
+                assert_eq!(
+                    r.trace.is_some(),
+                    telemetry,
+                    "spans ride responses exactly when telemetry is on"
+                );
+                r.output.data().iter().map(|v| v.to_bits()).collect()
+            })
+            .collect();
+        (start.elapsed().as_secs_f64(), outputs)
+    };
+
+    // Min-of-3 per mode: the minimum is the least noisy wall estimator
+    // on a shared CI host.
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    let mut disabled_bits = None;
+    let mut enabled_bits = None;
+    for _ in 0..3 {
+        let (woff, boff) = serve_all(false);
+        disabled = disabled.min(woff);
+        disabled_bits.get_or_insert(boff);
+        let (won, bon) = serve_all(true);
+        enabled = enabled.min(won);
+        enabled_bits.get_or_insert(bon);
+    }
+    let expected_bits: Vec<Vec<u32>> = expected
+        .iter()
+        .map(|(t, _)| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    assert_eq!(
+        enabled_bits.as_ref().unwrap(),
+        &expected_bits,
+        "telemetry-enabled serving must change no bits"
+    );
+    assert_eq!(disabled_bits.as_ref().unwrap(), &expected_bits);
+    let overhead = (enabled - disabled) / disabled;
+    assert!(
+        enabled <= disabled * 1.05 + 0.05,
+        "telemetry overhead gate: enabled {enabled:.4}s vs disabled {disabled:.4}s \
+         ({:.1}% > 5% + slack)",
+        overhead * 100.0
+    );
+
+    // Dump parse-back: the final dump the scheduler writes at shutdown
+    // must reconcile with the in-memory snapshot.
+    let dir =
+        std::env::temp_dir().join(format!("insum_servebench_telemetry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.prom");
+    let mut engine = ServeEngine::new(
+        ServeConfig::default()
+            .with_queue_capacity(w.requests.len().max(16))
+            .with_options(w.options.clone())
+            .with_telemetry_dump(&path),
+    )
+    .expect("engine starts");
+    let session = engine.session("dumper");
+    for tensors in &w.requests {
+        session
+            .submit(w.expr, tensors)
+            .expect("admission succeeds")
+            .wait()
+            .expect("request succeeds");
+    }
+    let m = engine.metrics();
+    println!("{m}"); // the snapshot's own Display: the operator view
+    engine.shutdown();
+
+    let prom = std::fs::read_to_string(&path).expect("Prometheus dump written");
+    let samples = insum_telemetry::expo::parse_prometheus(&prom);
+    assert_eq!(samples["serve_completed_total"], m.completed as f64);
+    assert_eq!(samples["serve_submitted_total"], m.submitted as f64);
+    assert_eq!(
+        samples["serve_queue_wait_seconds_count{tenant=\"dumper\"}"],
+        m.tenants["dumper"].queue_wait.count() as f64,
+        "dumped queue-wait histogram reconciles with the in-memory one"
+    );
+    let json_text =
+        std::fs::read_to_string(path.with_extension("json")).expect("JSON dump written");
+    let json = insum_telemetry::json::parse(&json_text).expect("dump is valid JSON");
+    assert_eq!(
+        json.get("completed").and_then(|v| v.as_f64()),
+        Some(m.completed as f64)
+    );
+    assert_eq!(
+        json.get("tenants")
+            .and_then(|t| t.get("dumper"))
+            .and_then(|t| t.get("queue_wait"))
+            .and_then(|h| h.get("count"))
+            .and_then(|v| v.as_f64()),
+        Some(m.tenants["dumper"].queue_wait.count() as f64)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    TelemetryResult {
+        disabled_wall_seconds: disabled,
+        enabled_wall_seconds: enabled,
+        overhead,
     }
 }
 
@@ -1004,6 +1178,11 @@ fn main() {
         drop(snap_engine);
         std::fs::remove_dir_all(&snap_dir).ok();
 
+        // Telemetry smoke: no bit changes, bounded overhead, dump
+        // parse-back reconciliation.
+        let (_, expected) = serial_oneshot(&w);
+        let telem = telemetry_phase(&w, &expected);
+
         println!(
             "servebench smoke ok: {} requests, concurrency 4, largest batch {}, \
              {:.1} req/s (serial one-shot {:.1} req/s), bit_identical; \
@@ -1011,11 +1190,16 @@ fn main() {
              execute fan-out {execute_copies} (outputs only); \
              chain smoke: {device_steps} device steps compiled once across two submissions; \
              snapshot smoke: corrupt rejected ({snapshot_rejected}), restored file \
-             warm-started ({warm_start_hits} warm hits, 0 lowered)",
+             warm-started ({warm_start_hits} warm hits, 0 lowered); \
+             telemetry smoke: enabled {:.4}s vs disabled {:.4}s ({:+.1}% overhead, \
+             gate 5%), bits unchanged, dump parsed back and reconciled",
             w.requests.len(),
             row.largest_batch,
             w.requests.len() as f64 / row.wall_seconds,
             w.requests.len() as f64 / result.wall_serial_oneshot,
+            telem.enabled_wall_seconds,
+            telem.disabled_wall_seconds,
+            telem.overhead * 100.0,
         );
         return;
     }
@@ -1043,6 +1227,7 @@ fn main() {
                     x(r.wall_serial_precompiled / row.wall_seconds),
                     format!("{}/{}", row.batches, row.largest_batch),
                     format!("{:.1}", row.wait_mean_seconds * 1e3),
+                    format!("{:.1}", row.e2e.p99 * 1e3),
                     row.bit_identical.to_string(),
                 ]
             })
@@ -1060,6 +1245,7 @@ fn main() {
             "vs precomp",
             "batches/max",
             "wait ms",
+            "e2e p99 ms",
             "bit_id",
         ],
         &table,
@@ -1167,6 +1353,8 @@ fn main() {
                  \"cold_start_seconds\": {:.6}, \"batches\": {}, \"largest_batch\": {}, \
                  \"registry_hits\": {}, \"registry_misses\": {}, \
                  \"queue_wait_mean_seconds\": {:.6}, \"queue_wait_max_seconds\": {:.6}, \
+                 \"queue_wait_seconds\": {}, \"e2e_seconds\": {}, \
+                 \"compile_seconds\": {}, \
                  \"bit_identical\": {}}}{}\n",
                 row.concurrency,
                 row.wall_seconds,
@@ -1181,6 +1369,9 @@ fn main() {
                 row.registry_misses,
                 row.wait_mean_seconds,
                 row.wait_max_seconds,
+                row.queue_wait.json(),
+                row.e2e.json(),
+                row.compile.json(),
                 row.bit_identical,
                 if i + 1 < r.rows.len() { "," } else { "" },
             ));

@@ -1870,6 +1870,11 @@ impl Program {
         mode: Mode,
         options: &LaunchOptions,
     ) -> Result<KernelReport, GpuError> {
+        // Profiling hook: one launch interval per top-level launch
+        // (nested same-phase guards are suppressed, so the n==1
+        // delegation from `launch_batch_with` records once). Inert — a
+        // single relaxed atomic load — unless a collector is installed.
+        let _launch_span = insum_telemetry::hook::timed(insum_telemetry::HookPhase::Launch);
         if args.len() != self.param_names.len() {
             return Err(GpuError::ParamCountMismatch {
                 expected: self.param_names.len(),
@@ -2123,6 +2128,10 @@ impl Program {
         mode: Mode,
         options: &LaunchOptions,
     ) -> Result<Vec<KernelReport>, GpuError> {
+        // One launch interval covers the whole batched launch (the
+        // per-request `launch_with` guards inside are suppressed as
+        // nested same-phase spans).
+        let _launch_span = insum_telemetry::hook::timed(insum_telemetry::HookPhase::Launch);
         let n = batch.len();
         if n == 0 {
             return Ok(Vec::new());

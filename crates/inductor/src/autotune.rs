@@ -117,6 +117,11 @@ fn autotune_impl(
     cache: &ProgramCache,
     winners: Option<&AutotuneCache>,
 ) -> Result<AutotuneResult> {
+    // One autotune interval per sweep; the compile/launch guards inside
+    // the sweep are suppressed while this span is open, so an installed
+    // collector sees the sweep as a single cost instead of an event
+    // flood.
+    let _autotune_span = insum_telemetry::hook::timed(insum_telemetry::HookPhase::Autotune);
     let start = std::time::Instant::now();
     let cache_before = cache.stats();
     let launch_opts = insum_gpu::LaunchOptions::default();

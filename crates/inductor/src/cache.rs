@@ -126,6 +126,27 @@ pub struct ProgramCacheStats {
     pub entries: usize,
 }
 
+impl std::fmt::Display for ProgramCacheStats {
+    /// One-line operator summary, e.g.
+    /// `cache: 12 resident, 340 hits (5 warm), 12 misses, 12 compiles,
+    /// 0 evictions, snapshot 5 seeded / 0 rejected`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cache: {} resident, {} hits ({} warm), {} misses, {} compiles, \
+             {} evictions, snapshot {} seeded / {} rejected",
+            self.entries,
+            self.hits,
+            self.warm_hits,
+            self.misses,
+            self.compiles,
+            self.evictions,
+            self.snapshot_seeded,
+            self.snapshot_rejected
+        )
+    }
+}
+
 /// A bounded, LRU-evicting memoized mapping from (kernel fingerprint,
 /// grid, argument metadata) to compiled simulator programs. See the
 /// module docs.
@@ -219,7 +240,10 @@ impl ProgramCache {
         }
         // Compile outside the lock: misses are rare and lowering must not
         // serialize concurrent launches.
-        let program = Arc::new(Program::compile(kernel, grid, lens, dtypes)?);
+        let program = {
+            let _compile_span = insum_telemetry::hook::timed(insum_telemetry::HookPhase::Compile);
+            Arc::new(Program::compile(kernel, grid, lens, dtypes)?)
+        };
         let mut inner = self.inner.lock().expect("program cache poisoned");
         let stamp = inner.touch();
         match inner.map.get_mut(&key) {

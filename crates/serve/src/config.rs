@@ -100,6 +100,27 @@ pub struct ServeConfig {
     /// Ignored when [`ServeConfig::snapshot_path`] is `None`; the final
     /// drain/shutdown write always happens regardless of cadence.
     pub snapshot_interval: Duration,
+    /// Request tracing: when `true` (the default) every request carries
+    /// a [`insum_telemetry::Trace`] of timestamped phase transitions
+    /// (returned on [`crate::Response::trace`] and kept in the flight
+    /// recorder), and the scheduler collects compile/autotune/launch
+    /// timings through the profiling hook. Latency histograms are always
+    /// maintained regardless — they replace the engine's core wait
+    /// accounting, not an optional extra.
+    pub telemetry: bool,
+    /// How many recent terminal request traces the flight recorder
+    /// retains (failures get an additional dedicated ring of the same
+    /// capacity). `0` disables the recorder.
+    pub flight_recorder_capacity: usize,
+    /// When set, the scheduler atomically dumps the metrics snapshot to
+    /// this path in Prometheus text format — and, alongside it, a
+    /// `.json` sibling — on the [`ServeConfig::telemetry_dump_interval`]
+    /// cadence and at drain/shutdown (same temp + fsync + rename write
+    /// path as artifact snapshots).
+    pub telemetry_dump_path: Option<PathBuf>,
+    /// Minimum time between cadence telemetry dumps. Ignored when
+    /// [`ServeConfig::telemetry_dump_path`] is `None`.
+    pub telemetry_dump_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +140,10 @@ impl Default for ServeConfig {
             breaker_cooldown: Duration::from_secs(5),
             snapshot_path: None,
             snapshot_interval: Duration::from_secs(60),
+            telemetry: true,
+            flight_recorder_capacity: 64,
+            telemetry_dump_path: None,
+            telemetry_dump_interval: Duration::from_secs(60),
         }
     }
 }
@@ -211,6 +236,37 @@ impl ServeConfig {
         self
     }
 
+    /// Enable or disable request tracing and the profiling hook (the
+    /// flight recorder follows: a disabled engine records no traces).
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> ServeConfig {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Set the flight-recorder ring capacity (`0` disables it).
+    #[must_use]
+    pub fn with_flight_recorder_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.flight_recorder_capacity = capacity;
+        self
+    }
+
+    /// Periodically dump the metrics snapshot (Prometheus text at
+    /// `path`, JSON at `path` with a `.json` extension) on the
+    /// [`ServeConfig::telemetry_dump_interval`] cadence.
+    #[must_use]
+    pub fn with_telemetry_dump(mut self, path: impl Into<PathBuf>) -> ServeConfig {
+        self.telemetry_dump_path = Some(path.into());
+        self
+    }
+
+    /// Set the minimum time between cadence telemetry dumps.
+    #[must_use]
+    pub fn with_telemetry_dump_interval(mut self, interval: Duration) -> ServeConfig {
+        self.telemetry_dump_interval = interval;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), ServeError> {
         if self.queue_capacity == 0 {
             return Err(ServeError::Config(
@@ -242,6 +298,12 @@ impl ServeConfig {
         if self.snapshot_path.is_some() && self.snapshot_interval.is_zero() {
             return Err(ServeError::Config(
                 "snapshot_interval must be nonzero when snapshot_path is set".to_string(),
+            ));
+        }
+        if self.telemetry_dump_path.is_some() && self.telemetry_dump_interval.is_zero() {
+            return Err(ServeError::Config(
+                "telemetry_dump_interval must be nonzero when telemetry_dump_path is set"
+                    .to_string(),
             ));
         }
         for (tenant, budget) in self
@@ -374,5 +436,32 @@ mod tests {
             .with_snapshot_interval(Duration::ZERO)
             .validate()
             .is_ok());
+        assert!(matches!(
+            ServeConfig::default()
+                .with_telemetry_dump("/tmp/metrics.prom")
+                .with_telemetry_dump_interval(Duration::ZERO)
+                .validate(),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_defaults_and_builders() {
+        let c = ServeConfig::default();
+        assert!(c.telemetry);
+        assert_eq!(c.flight_recorder_capacity, 64);
+        assert!(c.telemetry_dump_path.is_none());
+        let c = c
+            .with_telemetry(false)
+            .with_flight_recorder_capacity(8)
+            .with_telemetry_dump("/tmp/metrics.prom")
+            .with_telemetry_dump_interval(Duration::from_secs(5));
+        assert!(!c.telemetry);
+        assert_eq!(c.flight_recorder_capacity, 8);
+        assert_eq!(
+            c.telemetry_dump_path.as_deref(),
+            Some(std::path::Path::new("/tmp/metrics.prom"))
+        );
+        assert!(c.validate().is_ok());
     }
 }

@@ -9,6 +9,7 @@ use crate::scheduler;
 use crate::session::{RequestId, ResponseHandle, Session, TicketInner};
 use insum::{InsumOptions, Mode, Tensor};
 use insum_inductor::ProgramCache;
+use insum_telemetry::{FlightRecorder, Phase, RecordedTrace, Trace, TraceOutcome};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -67,6 +68,10 @@ pub(crate) struct Pending {
     /// clock stamp (ignored when the engine is draining for shutdown).
     pub(crate) not_before: Option<Duration>,
     pub(crate) ticket: Arc<TicketInner>,
+    /// The request's span (empty when telemetry is disabled). Owned by
+    /// whoever owns the `Pending`; finalized exactly once at the
+    /// terminal decision by [`finalize_terminal`].
+    pub(crate) trace: Trace,
 }
 
 /// Safety net for the ticket contract: every admitted request's handle
@@ -106,6 +111,7 @@ pub(crate) struct Shared {
     pub(crate) not_full: Condvar,
     pub(crate) registry: ArtifactRegistry,
     pub(crate) metrics: Mutex<MetricsInner>,
+    pub(crate) recorder: FlightRecorder,
     next_id: AtomicU64,
 }
 
@@ -148,6 +154,11 @@ impl ServeEngine {
             ProgramCache::global().load_snapshot(path);
         }
         let registry = ArtifactRegistry::with_capacity(config.registry_capacity);
+        let recorder = FlightRecorder::new(if config.telemetry {
+            config.flight_recorder_capacity
+        } else {
+            0
+        });
         let shared = Arc::new(Shared {
             config,
             clock,
@@ -160,6 +171,7 @@ impl ServeEngine {
             not_full: Condvar::new(),
             registry,
             metrics: Mutex::new(MetricsInner::default()),
+            recorder,
             next_id: AtomicU64::new(0),
         });
         // Clock jumps (a TestClock advance) must re-check every timed
@@ -222,46 +234,25 @@ impl ServeEngine {
     /// are read live; the program-cache section reflects the
     /// process-wide [`ProgramCache::global`]).
     pub fn metrics(&self) -> MetricsSnapshot {
-        // Lock order state → metrics, matching admission: every queued
-        // request's submission (and tenant entry) is visible in the
-        // counters, so a snapshot never shows completed > submitted or
-        // misses a queued tenant's depth.
-        let state = relock(&self.shared.state);
-        let inner = relock(&self.shared.metrics);
-        let program_cache = ProgramCache::global().stats();
-        let mut snap = MetricsSnapshot {
-            submitted: inner.submitted,
-            completed: inner.completed,
-            failed: inner.failed,
-            rejected: inner.rejected,
-            retries: inner.retries,
-            deadline_expired: inner.deadline_expired,
-            cancelled: inner.cancelled,
-            budget_rejected: inner.budget_rejected,
-            quarantined: inner.quarantined,
-            queue_depth: state.queue.len(),
-            queue_depth_max: inner.queue_depth_max,
-            batches: inner.batches,
-            batched_requests: inner.batched_requests,
-            largest_batch: inner.largest_batch,
-            registry: self.shared.registry.stats(),
-            snapshot_writes: inner.snapshot_writes,
-            warm_start_hits: program_cache.warm_hits,
-            snapshot_rejected: program_cache.snapshot_rejected,
-            program_cache,
-            tenants: inner.tenants.clone(),
-            kernels: inner.kernels.clone(),
-        };
-        drop(inner);
-        for t in snap.tenants.values_mut() {
-            t.queue_depth = 0;
-        }
-        for p in &state.queue {
-            if let Some(t) = snap.tenants.get_mut(p.tenant.as_ref()) {
-                t.queue_depth += 1;
-            }
-        }
-        snap
+        snapshot_of(&self.shared)
+    }
+
+    /// The flight recorder's recent terminal request spans, oldest
+    /// first. Empty when telemetry is disabled.
+    pub fn traces(&self) -> Vec<RecordedTrace> {
+        self.shared.recorder.recent()
+    }
+
+    /// The flight recorder's failure ring: spans of requests that
+    /// failed, expired, were cancelled, or were rejected — kept
+    /// separately so success floods cannot evict them. Oldest first.
+    pub fn failed_traces(&self) -> Vec<RecordedTrace> {
+        self.shared.recorder.failures()
+    }
+
+    /// Render every failure span as an ASCII report (dump-on-failure).
+    pub fn dump_failed_traces(&self) -> String {
+        self.shared.recorder.dump_failures()
     }
 
     /// Shut down: admission closes immediately (blocked submitters fail
@@ -286,6 +277,103 @@ impl ServeEngine {
 impl Drop for ServeEngine {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Build a point-in-time [`MetricsSnapshot`] from the shared engine
+/// state. Factored out of [`ServeEngine::metrics`] so the scheduler's
+/// telemetry-dump path renders the identical view.
+pub(crate) fn snapshot_of(shared: &Shared) -> MetricsSnapshot {
+    // Lock order state → metrics, matching admission: every queued
+    // request's submission (and tenant entry) is visible in the
+    // counters, so a snapshot never shows completed > submitted or
+    // misses a queued tenant's depth.
+    let state = relock(&shared.state);
+    let inner = relock(&shared.metrics);
+    let program_cache = ProgramCache::global().stats();
+    let mut snap = MetricsSnapshot {
+        submitted: inner.submitted,
+        completed: inner.completed,
+        failed: inner.failed,
+        rejected: inner.rejected,
+        retries: inner.retries,
+        deadline_expired: inner.deadline_expired,
+        cancelled: inner.cancelled,
+        budget_rejected: inner.budget_rejected,
+        quarantined: inner.quarantined,
+        queue_depth: state.queue.len(),
+        queue_depth_max: inner.queue_depth_max,
+        batches: inner.batches,
+        batched_requests: inner.batched_requests,
+        largest_batch: inner.largest_batch,
+        registry: shared.registry.stats(),
+        snapshot_writes: inner.snapshot_writes,
+        telemetry_dumps: inner.telemetry_dumps,
+        warm_start_hits: program_cache.warm_hits,
+        snapshot_rejected: program_cache.snapshot_rejected,
+        program_cache,
+        tenants: inner.tenants.clone(),
+        kernels: inner.kernels.clone(),
+    };
+    drop(inner);
+    for t in snap.tenants.values_mut() {
+        t.queue_depth = 0;
+    }
+    for p in &state.queue {
+        if let Some(t) = snap.tenants.get_mut(p.tenant.as_ref()) {
+            t.queue_depth += 1;
+        }
+    }
+    snap
+}
+
+/// Finalize a terminal request exactly once: record its queue wait into
+/// the tenant's latency histogram and, when telemetry is on, stamp the
+/// terminal phase onto its trace and hand the span to the flight
+/// recorder.
+///
+/// The caller owns the `Pending` (it is about to be dropped) and holds
+/// the metrics lock. Exactly one call happens per admitted request —
+/// whoever removes the request from engine ownership makes it: the
+/// cancel path for queue removals, the scheduler for everything it
+/// drained. `wait` is the queue wait to record (admission → terminal
+/// decision, or admission → execution start for executed requests);
+/// `at` timestamps the terminal trace event on the engine clock.
+///
+/// Returns the finalized span for `Completed` outcomes (so the caller
+/// can attach it to the [`crate::Response`]); `None` otherwise or when
+/// telemetry is disabled.
+pub(crate) fn finalize_terminal(
+    shared: &Shared,
+    pending: &mut Pending,
+    outcome: TraceOutcome,
+    metrics: &mut MetricsInner,
+    wait: Duration,
+    at: Duration,
+) -> Option<Trace> {
+    metrics
+        .tenant(&pending.tenant)
+        .queue_wait
+        .record_duration(wait);
+    if !shared.config.telemetry {
+        return None;
+    }
+    let (phase, info) = match &outcome {
+        TraceOutcome::Completed => (Phase::Respond, u64::from(pending.attempt) + 1),
+        TraceOutcome::Failed(_) => (Phase::Failed, u64::from(pending.attempt) + 1),
+        TraceOutcome::Cancelled => (Phase::Cancelled, 0),
+        TraceOutcome::Expired => (Phase::Expired, 0),
+        TraceOutcome::BudgetRejected => (Phase::BudgetRejected, 0),
+        TraceOutcome::Quarantined => (Phase::Quarantined, 0),
+    };
+    pending.trace.push(phase, at, info);
+    let trace = std::mem::take(&mut pending.trace);
+    if matches!(outcome, TraceOutcome::Completed) {
+        shared.recorder.record(trace.clone(), outcome);
+        Some(trace)
+    } else {
+        shared.recorder.record(trace, outcome);
+        None
     }
 }
 
@@ -331,6 +419,13 @@ pub(crate) fn submit(
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
     let ticket = Arc::new(TicketInner::default());
     let now = shared.clock.now();
+    let trace = if shared.config.telemetry {
+        let mut t = Trace::new(id, &session.tenant);
+        t.push(Phase::Admitted, now, 0);
+        t
+    } else {
+        Trace::default()
+    };
     state.queue.push_back(Pending {
         id,
         tenant: Arc::clone(&session.tenant),
@@ -345,6 +440,7 @@ pub(crate) fn submit(
         attempt: 0,
         not_before: None,
         ticket: Arc::clone(&ticket),
+        trace,
     });
     let depth = state.queue.len();
     // Record the submission while still holding the queue lock (lock

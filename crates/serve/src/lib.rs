@@ -23,8 +23,17 @@
 //!   the process-wide [`insum_inductor::ProgramCache`] — concurrent
 //!   tenants never re-lower (or re-autotune) the same program.
 //! * **Per-tenant and per-kernel metrics** ([`ServeEngine::metrics`]):
-//!   queue depths, wait times, registry/program-cache hits, batch sizes,
-//!   and simulated instance counts.
+//!   queue depths, registry/program-cache hits, batch sizes, simulated
+//!   instance counts, and log-bucketed latency histograms (queue wait,
+//!   compile, end-to-end, cost units) with p50/p95/p99 quantiles.
+//! * **Request tracing and exposition**
+//!   ([`Response::trace`], [`ServeEngine::traces`],
+//!   [`MetricsSnapshot::render_prometheus`]): every request carries a
+//!   timestamped span of its phase transitions on the engine clock, the
+//!   last N spans live in a flight recorder with a dedicated failures
+//!   ring ([`ServeEngine::dump_failed_traces`]), and the whole metrics
+//!   snapshot renders as Prometheus text or JSON — optionally dumped
+//!   atomically on a cadence ([`ServeConfig::with_telemetry_dump`]).
 //!
 //! ## Determinism guarantee
 //!
@@ -83,6 +92,31 @@
 //! how many tries it took). All timing runs on an injectable [`Clock`]
 //! — production uses the monotonic [`SystemClock`], tests drive a
 //! [`TestClock`] so deadline/backoff/breaker behavior is deterministic.
+//!
+//! ## Trace spans
+//!
+//! With telemetry enabled (the default), every request records the same
+//! state machine as a [`Trace`] — timestamped [`Phase`] events on the
+//! engine clock, one event per transition the request actually took:
+//!
+//! ```text
+//!  admitted ─► scheduled ─► registry_wait ─► batched ─► respond
+//!     │            │          (info: hit?)  (info: size)  (info: attempts)
+//!     │            ├──► expired / quarantined / budget_rejected
+//!     │            ├──► retry (info: attempt) ─► scheduled ─► …
+//!     │            └──► failed (info: attempts)
+//!     └──► cancelled             (terminal phases end the span)
+//! ```
+//!
+//! Aggregated compile / autotune / launch timings from the profiling
+//! hook ([`insum_telemetry::hook`]) fold into the span as
+//! [`PhaseCost`]s. A completed request's span rides back on
+//! [`Response::trace`]; every terminal span also lands in the engine's
+//! flight recorder ([`ServeEngine::traces`]), where failures go to a
+//! dedicated ring that success floods cannot evict
+//! ([`ServeEngine::failed_traces`], [`ServeEngine::dump_failed_traces`]).
+//! Under a [`TestClock`] every timestamp is virtual, so spans are
+//! bit-deterministic and assertable in tests.
 //!
 //! ## Budget model and fairness
 //!
@@ -182,6 +216,13 @@ pub use engine::ServeEngine;
 pub use error::ServeError;
 pub use metrics::{KernelMetrics, MetricsSnapshot, RegistryStats, TenantMetrics};
 pub use session::{RequestId, Response, ResponseHandle, Session};
+
+// Telemetry vocabulary re-exported so dependents can consume
+// [`Response::trace`] and [`ServeEngine::traces`] without naming the
+// telemetry crate.
+pub use insum_telemetry::{
+    Histogram, Phase, PhaseCost, RecordedTrace, Trace, TraceEvent, TraceOutcome,
+};
 
 #[cfg(feature = "fault-injection")]
 #[doc(hidden)]

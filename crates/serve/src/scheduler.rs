@@ -23,12 +23,15 @@
 //! requeue with bounded exponential backoff up to the request's
 //! `max_retries`; retried attempts re-enter this same path.
 
-use crate::engine::{relock, rewait, rewait_timeout, Pending, Shared};
+use crate::engine::{
+    finalize_terminal, relock, rewait, rewait_timeout, snapshot_of, Pending, Shared,
+};
 use crate::error::ServeError;
 use crate::lifecycle::{BreakerDecision, BreakerPanel, BudgetStatus, CostMeter};
 use crate::registry::ServeArtifact;
 use crate::session::{RequestId, Response};
 use insum::{LaunchOptions, Mode, Tensor};
+use insum_telemetry::{hook, Phase, TraceOutcome};
 use insum_tensor::DType;
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -252,7 +255,17 @@ pub(crate) fn run(shared: &Shared) {
         shared.config.breaker_threshold,
         shared.config.breaker_cooldown,
     );
+    // Profiling hook: compilation, autotuning, and launches all execute
+    // on this thread, so a thread-local collector sees exactly the work
+    // done for the requests being processed. The engine clock is the
+    // time source — under a virtual TestClock every hook duration is 0
+    // and traces stay bit-deterministic.
+    let _hook_guard = shared.config.telemetry.then(|| {
+        let clock = Arc::clone(&shared.clock);
+        hook::collect(Box::new(move || clock.now()))
+    });
     let mut last_snapshot = shared.clock.now();
+    let mut last_dump = last_snapshot;
     while let Some(drained) = wait_for_work(shared) {
         shared.not_full.notify_all();
         // Last-resort containment: `process` isolates panics at the
@@ -263,10 +276,12 @@ pub(crate) fn run(shared: &Shared) {
             process(shared, drained, &mut meter, &mut breaker);
         }));
         maybe_snapshot(shared, &mut last_snapshot);
+        maybe_dump(shared, &mut last_dump);
     }
     // Drain/shutdown write: whatever was compiled since the last cadence
     // write becomes durable before the scheduler thread exits.
     write_snapshot(shared);
+    write_telemetry_dump(shared);
 }
 
 /// Cadence persistence: once [`ServeConfig::snapshot_interval`] has
@@ -284,6 +299,44 @@ fn maybe_snapshot(shared: &Shared, last: &mut Duration) {
     if write_snapshot(shared) {
         *last = now;
     }
+}
+
+/// Cadence telemetry dump: once [`ServeConfig::telemetry_dump_interval`]
+/// has elapsed since the last dump, atomically write the metrics
+/// snapshot (Prometheus text + JSON sibling). Runs between drained
+/// windows on the scheduler thread.
+///
+/// [`ServeConfig::telemetry_dump_interval`]: crate::ServeConfig::telemetry_dump_interval
+fn maybe_dump(shared: &Shared, last: &mut Duration) {
+    if shared.config.telemetry_dump_path.is_none() {
+        return;
+    }
+    let now = shared.clock.now();
+    if now.saturating_sub(*last) < shared.config.telemetry_dump_interval {
+        return;
+    }
+    if write_telemetry_dump(shared) {
+        *last = now;
+    }
+}
+
+/// Atomically write the metrics snapshot to the configured telemetry
+/// dump path: Prometheus text at the path itself, JSON at a `.json`
+/// sibling — both via the snapshot crate's temp + fsync + rename write.
+/// Failures are absorbed: an engine that cannot dump keeps serving.
+fn write_telemetry_dump(shared: &Shared) -> bool {
+    let Some(path) = &shared.config.telemetry_dump_path else {
+        return false;
+    };
+    let snap = snapshot_of(shared);
+    let prom = snap.render_prometheus();
+    let json = snap.render_json();
+    let ok = insum_snapshot::write_atomic(path, prom.as_bytes()).is_ok()
+        && insum_snapshot::write_atomic(&path.with_extension("json"), json.as_bytes()).is_ok();
+    if ok {
+        relock(&shared.metrics).telemetry_dumps += 1;
+    }
+    ok
 }
 
 /// Atomically persist the process-wide program cache and autotune
@@ -319,9 +372,31 @@ fn wait_for_work(shared: &Shared) -> Option<Vec<Pending>> {
         if state.closed && state.queue.is_empty() {
             return None;
         }
-        let before = state.queue.len();
-        state.queue.retain(|p| !p.ticket.is_complete());
-        if state.queue.len() < before {
+        // Purge cancelled requests (their cancel path counted them but —
+        // if the scheduler got here first — could not remove them from
+        // the queue). Whoever removes a request from the queue finalizes
+        // it, so its queue wait lands in the histograms exactly once.
+        if state.queue.iter().any(|p| p.ticket.is_complete()) {
+            let purge_now = shared.clock.now();
+            let mut metrics = relock(&shared.metrics);
+            let mut kept = VecDeque::with_capacity(state.queue.len());
+            for mut p in state.queue.drain(..) {
+                if p.ticket.is_complete() {
+                    let wait = purge_now.saturating_sub(p.submitted_at);
+                    finalize_terminal(
+                        shared,
+                        &mut p,
+                        TraceOutcome::Cancelled,
+                        &mut metrics,
+                        wait,
+                        purge_now,
+                    );
+                } else {
+                    kept.push_back(p);
+                }
+            }
+            state.queue = kept;
+            drop(metrics);
             shared.not_full.notify_all();
         }
         let now = shared.clock.now();
@@ -398,25 +473,49 @@ fn process(
     // Lifecycle gate: deadline expiry, circuit breaker, budget — in that
     // order, so an expired request never counts against its tenant's
     // budget and a quarantined tenant's requests don't drain its bucket.
+    // Every terminal decision below finalizes the request (queue-wait
+    // histogram + trace) exactly once; a completion that loses the
+    // first-wins race lost to a cancel, so the finalize outcome flips to
+    // `Cancelled` (the cancel path already counted it but the scheduler
+    // owns the `Pending`).
+    let telemetry = shared.config.telemetry;
     let mut survivors: Vec<Pending> = Vec::with_capacity(drained.len());
-    for pending in drained {
-        // Cancelled between drain and processing: drop silently (the
-        // cancel path already counted it and completed the ticket).
+    for mut pending in drained {
+        // Cancelled between drain and processing: the cancel path
+        // counted it; the scheduler owns the span and the wait.
         if pending.ticket.is_complete() {
+            let wait = now.saturating_sub(pending.submitted_at);
+            let mut metrics = relock(&shared.metrics);
+            finalize_terminal(
+                shared,
+                &mut pending,
+                TraceOutcome::Cancelled,
+                &mut metrics,
+                wait,
+                now,
+            );
             continue;
         }
+        if telemetry {
+            pending.trace.push(Phase::Scheduled, now, 0);
+        }
+        let wait = now.saturating_sub(pending.submitted_at);
         if let Some(deadline) = pending.deadline {
             if now >= deadline {
                 // Timeouts are breaker-relevant: a tenant whose requests
                 // keep expiring is burning queue slots.
                 let opened = breaker.record_failure(&pending.tenant, now);
                 let mut metrics = relock(&shared.metrics);
-                if pending.ticket.complete(Err(ServeError::DeadlineExceeded {
+                let outcome = if pending.ticket.complete(Err(ServeError::DeadlineExceeded {
                     deadline: deadline.saturating_sub(pending.submitted_at),
                 })) {
                     metrics.deadline_expired += 1;
                     metrics.tenant(&pending.tenant).deadline_expired += 1;
-                }
+                    TraceOutcome::Expired
+                } else {
+                    TraceOutcome::Cancelled
+                };
+                finalize_terminal(shared, &mut pending, outcome, &mut metrics, wait, now);
                 if opened {
                     metrics.tenant(&pending.tenant).breaker_open_transitions += 1;
                 }
@@ -425,16 +524,20 @@ fn process(
         }
         if breaker.admit(&pending.tenant, now) == BreakerDecision::Reject {
             let mut metrics = relock(&shared.metrics);
-            if pending.ticket.complete(Err(ServeError::Quarantined {
+            let outcome = if pending.ticket.complete(Err(ServeError::Quarantined {
                 tenant: pending.tenant.to_string(),
             })) {
                 metrics.quarantined += 1;
                 metrics.tenant(&pending.tenant).quarantined += 1;
-            }
+                TraceOutcome::Quarantined
+            } else {
+                TraceOutcome::Cancelled
+            };
+            finalize_terminal(shared, &mut pending, outcome, &mut metrics, wait, now);
             continue;
         }
         if meter.status(&pending.tenant, now) == BudgetStatus::Exhausted {
-            reject_exhausted(shared, &pending);
+            reject_exhausted(shared, pending, now);
             continue;
         }
         survivors.push(pending);
@@ -444,11 +547,24 @@ fn process(
     // earliest request, and requests stay in arrival order inside each
     // group (fair ordering below only reorders on unequal keys).
     let mut groups: Vec<(GroupKey, Vec<Resolved>)> = Vec::new();
-    for pending in survivors {
+    for mut pending in survivors {
+        let resolve_start = shared.clock.now();
         let (result, registry_hit, compile_lowered) =
             shared
                 .registry
                 .get_or_compile(&pending.expr, &pending.tensors, &pending.options);
+        let resolve_took = shared.clock.now().saturating_sub(resolve_start);
+        if telemetry {
+            pending
+                .trace
+                .push(Phase::RegistryWait, resolve_start, u64::from(registry_hit));
+            // Compile/autotune hook intervals emitted while resolving
+            // belong to this request alone — it is the one the registry
+            // compiled for.
+            for (phase, nanos) in hook::drain() {
+                pending.trace.add_cost(phase.trace_phase(), nanos);
+            }
+        }
         {
             let mut metrics = relock(&shared.metrics);
             let tenant = metrics.tenant(&pending.tenant);
@@ -456,6 +572,7 @@ fn process(
                 tenant.registry_hits += 1;
             } else {
                 tenant.registry_misses += 1;
+                tenant.compile.record_duration(resolve_took);
             }
         }
         match result {
@@ -469,17 +586,29 @@ fn process(
                     schedule_retry(shared, pending, now);
                 } else {
                     let opened = transient && breaker.record_failure(&pending.tenant, now);
+                    let msg = e.to_string();
                     let mut metrics = relock(&shared.metrics);
-                    if pending.ticket.complete(Err(e)) {
+                    let outcome = if pending.ticket.complete(Err(e)) {
                         metrics.failed += 1;
                         metrics.tenant(&pending.tenant).failed += 1;
-                    }
+                        TraceOutcome::Failed(msg)
+                    } else {
+                        TraceOutcome::Cancelled
+                    };
+                    let wait = now.saturating_sub(pending.submitted_at);
+                    finalize_terminal(shared, &mut pending, outcome, &mut metrics, wait, now);
                     if opened {
                         metrics.tenant(&pending.tenant).breaker_open_transitions += 1;
                     }
                 }
             }
             Ok(artifact) => {
+                if !registry_hit {
+                    relock(&shared.metrics)
+                        .kernel(&kernel_key(&artifact))
+                        .compile
+                        .record_duration(resolve_took);
+                }
                 let resolved = Resolved {
                     pending,
                     artifact,
@@ -555,17 +684,14 @@ fn process(
             // its later batches launch, the balance reflects what the
             // earlier ones actually cost.
             let launch_now = shared.clock.now();
-            let batch: Vec<Resolved> = members
-                .drain(..take)
-                .filter(|r| {
-                    let exhausted =
-                        meter.status(&r.pending.tenant, launch_now) == BudgetStatus::Exhausted;
-                    if exhausted {
-                        reject_exhausted(shared, &r.pending);
-                    }
-                    !exhausted
-                })
-                .collect();
+            let mut batch: Vec<Resolved> = Vec::with_capacity(take);
+            for r in members.drain(..take) {
+                if meter.status(&r.pending.tenant, launch_now) == BudgetStatus::Exhausted {
+                    reject_exhausted(shared, r.pending, launch_now);
+                } else {
+                    batch.push(r);
+                }
+            }
             if !batch.is_empty() {
                 execute_batch(shared, batch, meter, breaker);
             }
@@ -574,15 +700,21 @@ fn process(
 }
 
 /// Complete a request with [`ServeError::BudgetExhausted`], counting it
-/// only if the completion won against a concurrent cancel.
-fn reject_exhausted(shared: &Shared, pending: &Pending) {
+/// only if the completion won against a concurrent cancel, and finalize
+/// its queue wait and trace either way.
+fn reject_exhausted(shared: &Shared, mut pending: Pending, now: Duration) {
     let mut metrics = relock(&shared.metrics);
-    if pending.ticket.complete(Err(ServeError::BudgetExhausted {
+    let outcome = if pending.ticket.complete(Err(ServeError::BudgetExhausted {
         tenant: pending.tenant.to_string(),
     })) {
         metrics.budget_rejected += 1;
         metrics.tenant(&pending.tenant).budget_rejected += 1;
-    }
+        TraceOutcome::BudgetRejected
+    } else {
+        TraceOutcome::Cancelled
+    };
+    let wait = now.saturating_sub(pending.submitted_at);
+    finalize_terminal(shared, &mut pending, outcome, &mut metrics, wait, now);
 }
 
 /// Requeue a transiently failed request with bounded exponential
@@ -592,6 +724,11 @@ fn reject_exhausted(shared: &Shared, pending: &Pending) {
 /// full queue could deadlock the scheduler behind blocked submitters.
 fn schedule_retry(shared: &Shared, mut pending: Pending, now: Duration) {
     pending.attempt += 1;
+    if shared.config.telemetry {
+        pending
+            .trace
+            .push(Phase::Retry, now, u64::from(pending.attempt));
+    }
     let shift = (pending.attempt - 1).min(20);
     let backoff = shared
         .config
@@ -615,21 +752,27 @@ fn schedule_retry(shared: &Shared, mut pending: Pending, now: Duration) {
 /// record the breaker failure and complete the ticket.
 fn transient_failure(
     shared: &Shared,
-    pending: Pending,
+    mut pending: Pending,
     err: ServeError,
     breaker: &mut BreakerPanel,
     now: Duration,
+    wait: Duration,
 ) {
     if pending.attempt < pending.max_retries && !pending.ticket.is_complete() {
         schedule_retry(shared, pending, now);
         return;
     }
     let opened = breaker.record_failure(&pending.tenant, now);
+    let msg = err.to_string();
     let mut metrics = relock(&shared.metrics);
-    if pending.ticket.complete(Err(err)) {
+    let outcome = if pending.ticket.complete(Err(err)) {
         metrics.failed += 1;
         metrics.tenant(&pending.tenant).failed += 1;
-    }
+        TraceOutcome::Failed(msg)
+    } else {
+        TraceOutcome::Cancelled
+    };
+    finalize_terminal(shared, &mut pending, outcome, &mut metrics, wait, now);
     if opened {
         metrics.tenant(&pending.tenant).breaker_open_transitions += 1;
     }
@@ -705,7 +848,7 @@ fn kernel_key(artifact: &ServeArtifact) -> String {
 /// Execute one launch-compatible batch and complete its tickets.
 fn execute_batch(
     shared: &Shared,
-    batch: Vec<Resolved>,
+    mut batch: Vec<Resolved>,
     meter: &mut CostMeter,
     breaker: &mut BreakerPanel,
 ) {
@@ -717,9 +860,17 @@ fn execute_batch(
     };
     let batch_size = batch.len();
     let start = shared.clock.now();
-    let waits: Vec<f64> = batch
+    let telemetry = shared.config.telemetry;
+    if telemetry {
+        for r in &mut batch {
+            r.pending
+                .trace
+                .push(Phase::Batched, start, batch_size as u64);
+        }
+    }
+    let waits: Vec<Duration> = batch
         .iter()
-        .map(|r| start.saturating_sub(r.pending.submitted_at).as_secs_f64())
+        .map(|r| start.saturating_sub(r.pending.submitted_at))
         .collect();
     let inputs: Vec<&std::collections::BTreeMap<String, Tensor>> =
         batch.iter().map(|r| &r.pending.tensors).collect();
@@ -767,6 +918,20 @@ fn execute_batch(
         }
     }));
     let kkey = kernel_key(&artifact);
+    drop(inputs);
+    if telemetry {
+        // Every batch member experienced the whole launch: the hook's
+        // launch (and any lazy-lowering compile) intervals fold into
+        // every member's span.
+        let intervals = hook::drain();
+        if !intervals.is_empty() {
+            for r in &mut batch {
+                for &(phase, nanos) in &intervals {
+                    r.pending.trace.add_cost(phase.trace_phase(), nanos);
+                }
+            }
+        }
+    }
     let result = match caught {
         Ok(result) => result,
         Err(payload) if batch_size > 1 => {
@@ -774,7 +939,6 @@ fn execute_batch(
             // request alone so one panicking tenant cannot fail (or
             // hang) its batch-mates.
             drop(payload);
-            drop(inputs);
             for resolved in batch {
                 execute_batch(shared, vec![resolved], meter, breaker);
             }
@@ -782,10 +946,9 @@ fn execute_batch(
         }
         Err(payload) => {
             let err = ServeError::Engine(panic_message(payload));
-            drop(inputs);
             let now = shared.clock.now();
-            for resolved in batch {
-                transient_failure(shared, resolved.pending, err.clone(), breaker, now);
+            for (resolved, wait) in batch.into_iter().zip(waits) {
+                transient_failure(shared, resolved.pending, err.clone(), breaker, now, wait);
             }
             return;
         }
@@ -812,33 +975,65 @@ fn execute_batch(
                 km.batches += 1;
                 km.largest_batch = km.largest_batch.max(batch_size);
             }
-            for ((resolved, (output, profile)), wait) in batch.into_iter().zip(results).zip(waits) {
+            for ((mut resolved, (output, profile)), wait) in
+                batch.into_iter().zip(results).zip(waits)
+            {
                 let instances = profile.total_stats().instances;
                 #[cfg(feature = "fault-injection")]
                 let spike = faults::budget_spike(resolved.pending.id);
                 #[cfg(not(feature = "fault-injection"))]
                 let spike = 0u64;
                 let units = profile.total_cost_units().saturating_add(spike);
+                let e2e = end.saturating_sub(resolved.pending.submitted_at);
                 {
                     let km = metrics.kernel(&kkey);
                     km.instances_simulated += instances;
                     km.simulated_seconds_total += profile.total_time();
-                    km.wait_seconds_total += wait;
+                    km.queue_wait.record_duration(wait);
                 }
                 // The work executed whether or not the client still
                 // wants the result: charge the budget and credit the
                 // breaker unconditionally.
                 meter.charge(&resolved.pending.tenant, units, end);
                 breaker.record_success(&resolved.pending.tenant);
+                // Cancelled mid-flight: the result is discarded (the
+                // cancel path counted it) but the scheduler still owns
+                // the span and queue wait.
+                if resolved.pending.ticket.is_complete() {
+                    finalize_terminal(
+                        shared,
+                        &mut resolved.pending,
+                        TraceOutcome::Cancelled,
+                        &mut metrics,
+                        wait,
+                        end,
+                    );
+                    continue;
+                }
+                // Finalize before completing so the response can carry
+                // the full span. A cancel that sneaks in between here
+                // and `complete` keeps the counters consistent: the
+                // queue wait was recorded exactly once, the cancel path
+                // counted `cancelled`, and the `completed` counters
+                // below are skipped because the completion lost.
+                let trace = finalize_terminal(
+                    shared,
+                    &mut resolved.pending,
+                    TraceOutcome::Completed,
+                    &mut metrics,
+                    wait,
+                    end,
+                );
                 let response = Response {
                     id: RequestId(resolved.pending.id),
                     tenant: resolved.pending.tenant.to_string(),
                     output,
                     profile,
-                    queue_seconds: wait,
+                    queue_seconds: wait.as_secs_f64(),
                     batch_size,
                     registry_hit: resolved.registry_hit,
                     attempts: resolved.pending.attempt + 1,
+                    trace,
                 };
                 // First-wins against a racing cancel: count the outcome
                 // only if this completion actually delivered (the
@@ -847,12 +1042,13 @@ fn execute_batch(
                 // counters).
                 if resolved.pending.ticket.complete(Ok(response)) {
                     metrics.completed += 1;
+                    metrics.kernel(&kkey).e2e.record_duration(e2e);
                     let tm = metrics.tenant(&resolved.pending.tenant);
                     tm.completed += 1;
-                    tm.wait_seconds_total += wait;
-                    tm.wait_seconds_max = tm.wait_seconds_max.max(wait);
+                    tm.e2e.record_duration(e2e);
                     tm.instances_simulated += instances;
                     tm.cost_units += units;
+                    tm.cost.record(units);
                 }
             }
         }
@@ -871,12 +1067,24 @@ fn execute_batch(
             // identically, so complete immediately (no breaker — this is
             // the request's own error, not an engine fault).
             let err = ServeError::from(e);
+            let now = shared.clock.now();
             let mut metrics = relock(&shared.metrics);
-            for resolved in batch {
-                if resolved.pending.ticket.complete(Err(err.clone())) {
+            for (mut resolved, wait) in batch.into_iter().zip(waits) {
+                let outcome = if resolved.pending.ticket.complete(Err(err.clone())) {
                     metrics.failed += 1;
                     metrics.tenant(&resolved.pending.tenant).failed += 1;
-                }
+                    TraceOutcome::Failed(err.to_string())
+                } else {
+                    TraceOutcome::Cancelled
+                };
+                finalize_terminal(
+                    shared,
+                    &mut resolved.pending,
+                    outcome,
+                    &mut metrics,
+                    wait,
+                    now,
+                );
             }
         }
     }

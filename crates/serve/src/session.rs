@@ -50,6 +50,13 @@ pub struct Response {
     /// Retries never change bits: the output and profile are identical
     /// no matter which attempt finally succeeded.
     pub attempts: u32,
+    /// The request's full span: timestamped phase transitions (admitted
+    /// → scheduled → batched → registry/compile → respond, plus any
+    /// retries) on the engine clock, with aggregated
+    /// compile/autotune/launch hook timings. `None` when the engine was
+    /// built with [`crate::ServeConfig::with_telemetry`] disabled.
+    /// Deterministic under a [`crate::TestClock`].
+    pub trace: Option<insum_telemetry::Trace>,
 }
 
 #[derive(Default)]
@@ -160,15 +167,34 @@ impl ResponseHandle {
             // Lock order state → metrics, matching admission and
             // `ServeEngine::metrics`.
             let mut state = relock(&shared.state);
-            let was_queued = state.queue.iter().any(|p| p.id == self.id.0);
-            if was_queued {
-                state.queue.retain(|p| p.id != self.id.0);
+            let removed = state
+                .queue
+                .iter()
+                .position(|p| p.id == self.id.0)
+                .and_then(|i| state.queue.remove(i));
+            if removed.is_some() {
                 shared.not_full.notify_all();
             }
             {
                 let mut metrics = relock(&shared.metrics);
                 metrics.cancelled += 1;
                 metrics.tenant(&self.tenant).cancelled += 1;
+                // A request cancelled straight out of the queue is
+                // finalized here (queue wait + trace); one cancelled
+                // mid-flight is finalized by the scheduler when its
+                // completion loses the first-wins race.
+                if let Some(mut pending) = removed {
+                    let now = shared.clock.now();
+                    let wait = now.saturating_sub(pending.submitted_at);
+                    engine::finalize_terminal(
+                        &shared,
+                        &mut pending,
+                        insum_telemetry::TraceOutcome::Cancelled,
+                        &mut metrics,
+                        wait,
+                        now,
+                    );
+                }
             }
             drop(state);
         }

@@ -1,0 +1,455 @@
+//! End-to-end telemetry behavior on the injectable [`TestClock`]:
+//! deterministic request spans, the flight recorder's dump-on-failure,
+//! exactly-once latency accounting across every terminal outcome,
+//! arrival-order-independent histograms, and the cadence dump's
+//! parse-back reconciliation. Virtual time only moves when a test
+//! advances it, so every trace timestamp below is exact, not
+//! approximate.
+
+use insum::Tensor;
+use insum_serve::{
+    Phase, ServeConfig, ServeEngine, ServeError, SubmitOptions, TestClock, TraceOutcome,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Serializes tests that arm the process-global targeted faults.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn fault_guard() -> MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const EXPR: &str = "C[i] = A[i] * A[i]";
+/// Deterministic compile error (`?=` is not an operator).
+const BAD_EXPR: &str = "C[i] ?= A[i]";
+
+fn request(fill: f32) -> BTreeMap<String, Tensor> {
+    [
+        ("C".to_string(), Tensor::zeros(vec![16])),
+        (
+            "A".to_string(),
+            Tensor::from_vec(vec![16], vec![fill; 16]).unwrap(),
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Poll `f` every millisecond until it returns `Some`, with a real-time
+/// bound so a wedged engine fails the test instead of hanging it.
+fn poll_until<T>(what: &str, mut f: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn completed_response_carries_a_deterministic_span() {
+    let clock = TestClock::new();
+    let engine = ServeEngine::with_clock(ServeConfig::default(), Arc::clone(&clock) as _).unwrap();
+    engine.pause();
+    let tensors = request(2.0);
+    let handle = engine.session("span-t").submit(EXPR, &tensors).unwrap();
+
+    // Admitted at t=0; the engine is paused, so every later phase
+    // happens at exactly t=5s once we resume.
+    clock.advance(Duration::from_secs(5));
+    engine.resume();
+    let response = handle.wait().unwrap();
+    let trace = response.trace.expect("telemetry is on by default");
+
+    assert_eq!(trace.tenant, "span-t");
+    let at = |phase: Phase| trace.event(phase).expect("phase present").at;
+    assert_eq!(at(Phase::Admitted), Duration::ZERO);
+    assert_eq!(at(Phase::Scheduled), Duration::from_secs(5));
+    assert_eq!(at(Phase::RegistryWait), Duration::from_secs(5));
+    assert_eq!(at(Phase::Batched), Duration::from_secs(5));
+    assert_eq!(at(Phase::Respond), Duration::from_secs(5));
+    assert_eq!(trace.span(), Duration::from_secs(5));
+    assert_eq!(
+        trace.event(Phase::RegistryWait).unwrap().info,
+        0,
+        "first request is a registry miss"
+    );
+    assert_eq!(trace.event(Phase::Batched).unwrap().info, 1, "batch of 1");
+    assert_eq!(trace.event(Phase::Respond).unwrap().info, 1, "one attempt");
+    // Virtual time did not move during compile or launch, so the hook
+    // costs fold in with zero duration — bit-deterministic spans.
+    assert_eq!(trace.compile.nanos, 0);
+    assert_eq!(trace.launch.nanos, 0);
+    assert!(trace.launch.count >= 1, "the launch interval was recorded");
+
+    // The same span landed in the flight recorder.
+    let recorded = engine.traces();
+    assert_eq!(recorded.len(), 1);
+    assert_eq!(recorded[0].outcome, TraceOutcome::Completed);
+    assert_eq!(recorded[0].trace, trace);
+}
+
+#[test]
+fn failed_and_expired_spans_reach_the_failure_ring_with_exact_timestamps() {
+    let clock = TestClock::new();
+    let engine = ServeEngine::with_clock(ServeConfig::default(), Arc::clone(&clock) as _).unwrap();
+    let tensors = request(1.0);
+
+    engine.pause();
+    let expired = engine
+        .session("late")
+        .submit_with(
+            EXPR,
+            &tensors,
+            &SubmitOptions::default().with_deadline(Duration::from_secs(3)),
+        )
+        .unwrap();
+    clock.advance(Duration::from_secs(3));
+    assert!(matches!(
+        expired.wait(),
+        Err(ServeError::DeadlineExceeded { .. })
+    ));
+    engine.resume();
+    assert!(engine
+        .session("broken")
+        .submit(BAD_EXPR, &tensors)
+        .unwrap()
+        .wait()
+        .is_err());
+    poll_until("both failures recorded", || {
+        (engine.failed_traces().len() == 2).then_some(())
+    });
+
+    let failures = engine.failed_traces();
+    let expired_trace = failures
+        .iter()
+        .find(|r| r.outcome == TraceOutcome::Expired)
+        .expect("expired span in the failure ring");
+    assert_eq!(expired_trace.trace.tenant, "late");
+    let at = |phase: Phase| expired_trace.trace.event(phase).unwrap().at;
+    assert_eq!(at(Phase::Admitted), Duration::ZERO);
+    assert_eq!(at(Phase::Scheduled), Duration::from_secs(3));
+    assert_eq!(at(Phase::Expired), Duration::from_secs(3));
+
+    let failed_trace = failures
+        .iter()
+        .find(|r| matches!(r.outcome, TraceOutcome::Failed(_)))
+        .expect("compile-failed span in the failure ring");
+    assert!(failed_trace.trace.has_phase(Phase::RegistryWait));
+    assert!(failed_trace.trace.has_phase(Phase::Failed));
+
+    // The human-readable dump names every phase the requests went
+    // through — this is the artifact an operator reads after a crash.
+    let dump = engine.dump_failed_traces();
+    for needle in [
+        "admitted",
+        "scheduled",
+        "expired",
+        "failed",
+        "late",
+        "broken",
+    ] {
+        assert!(dump.contains(needle), "dump missing {needle:?}:\n{dump}");
+    }
+
+    // Success floods cannot evict the failure ring.
+    for _ in 0..80 {
+        engine
+            .session("flood")
+            .submit(EXPR, &tensors)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    assert_eq!(engine.failed_traces().len(), 2);
+}
+
+#[test]
+fn every_terminal_request_lands_in_exactly_one_queue_wait_histogram() {
+    let _guard = fault_guard();
+    let clock = TestClock::new();
+    let config = ServeConfig::default()
+        .with_retry_backoff(Duration::from_millis(10), Duration::from_millis(40))
+        .with_budget(
+            "greedy",
+            insum_serve::CostBudget {
+                capacity: 1,
+                refill_per_second: 1,
+            },
+        );
+    let engine = ServeEngine::with_clock(config, Arc::clone(&clock) as _).unwrap();
+    let tensors = request(1.0);
+
+    // Completions.
+    for _ in 0..3 {
+        engine
+            .session("steady")
+            .submit(EXPR, &tensors)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    // A cancellation straight out of the queue.
+    engine.pause();
+    let cancelled = engine.session("steady").submit(EXPR, &tensors).unwrap();
+    assert!(cancelled.cancel());
+    // A deadline expiry.
+    let expired = engine
+        .session("late")
+        .submit_with(
+            EXPR,
+            &tensors,
+            &SubmitOptions::default().with_deadline(Duration::from_secs(1)),
+        )
+        .unwrap();
+    clock.advance(Duration::from_secs(1));
+    assert!(expired.wait().is_err());
+    engine.resume();
+    // A budget rejection (the first greedy request overdraws).
+    engine
+        .session("greedy")
+        .submit(EXPR, &tensors)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(matches!(
+        engine
+            .session("greedy")
+            .submit(EXPR, &tensors)
+            .unwrap()
+            .wait(),
+        Err(ServeError::BudgetExhausted { .. })
+    ));
+    // A deterministic compile failure.
+    assert!(engine
+        .session("steady")
+        .submit(BAD_EXPR, &tensors)
+        .unwrap()
+        .wait()
+        .is_err());
+    // A retried request that fails terminally: it was admitted once and
+    // must contribute exactly one queue-wait sample despite 3 attempts.
+    insum_serve::faults::set_panic_tenant(Some("flaky"));
+    let doomed = engine
+        .session("flaky")
+        .submit_with(
+            EXPR,
+            &tensors,
+            &SubmitOptions::default().with_max_retries(2),
+        )
+        .unwrap();
+    let result = poll_until("terminal failure", || {
+        clock.advance(Duration::from_millis(40));
+        doomed.try_take()
+    });
+    insum_serve::faults::set_panic_tenant(None);
+    assert!(matches!(result, Err(ServeError::Engine(_))));
+
+    let m = engine.metrics();
+    assert_eq!(m.queue_depth, 0);
+    // Reconciliation: every terminal request appears in its tenant's
+    // queue-wait histogram exactly once — completions, failures,
+    // cancellations, expiries, and budget rejections alike.
+    for (tenant, t) in &m.tenants {
+        assert_eq!(
+            t.queue_wait.count(),
+            t.terminal(),
+            "tenant {tenant} latency books reconcile: {t:?}"
+        );
+        assert_eq!(
+            t.e2e.count(),
+            t.completed,
+            "e2e samples are completions only ({tenant})"
+        );
+        assert_eq!(
+            t.cost.count(),
+            t.completed,
+            "cost samples are completions only ({tenant})"
+        );
+    }
+    let merged = m.queue_wait();
+    assert_eq!(
+        merged.count(),
+        m.completed
+            + m.failed
+            + m.cancelled
+            + m.deadline_expired
+            + m.budget_rejected
+            + m.quarantined
+    );
+    // The expired request waited exactly 1 virtual second; the merged
+    // histogram's max must see it.
+    assert!(merged.max() >= 1_000_000_000);
+    // The retried request was admitted once.
+    assert_eq!(m.tenants["flaky"].queue_wait.count(), 1);
+    assert_eq!(m.retries, 2);
+}
+
+#[test]
+fn shuffled_arrival_orders_produce_bit_identical_histograms() {
+    // Two tenants each submit one request at t=0, t=1s, t=2s while the
+    // engine is paused; the intra-timestamp submission order differs
+    // between runs. Queue waits are therefore the same multiset per
+    // tenant, and the log-bucketed histograms must match bit for bit.
+    let run = |interleave: bool| {
+        let clock = TestClock::new();
+        let engine =
+            ServeEngine::with_clock(ServeConfig::default(), Arc::clone(&clock) as _).unwrap();
+        engine.pause();
+        let tensors = request(1.0);
+        let mut handles = Vec::new();
+        for step in 0..3u64 {
+            let tenants = if interleave { ["a", "b"] } else { ["b", "a"] };
+            for tenant in tenants {
+                handles.push(engine.session(tenant).submit(EXPR, &tensors).unwrap());
+            }
+            clock.advance(Duration::from_secs(1));
+            let _ = step;
+        }
+        engine.resume();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        engine.metrics()
+    };
+    let forward = run(true);
+    let shuffled = run(false);
+    for tenant in ["a", "b"] {
+        assert_eq!(
+            forward.tenants[tenant].queue_wait, shuffled.tenants[tenant].queue_wait,
+            "tenant {tenant} queue-wait histograms are bit-identical"
+        );
+        assert_eq!(forward.tenants[tenant].e2e, shuffled.tenants[tenant].e2e);
+    }
+    assert_eq!(forward.queue_wait(), shuffled.queue_wait());
+    // Quantiles on the merged histogram are exact under virtual time:
+    // waits are {1s, 2s, 3s} per tenant (resume happened at t=3s).
+    let q = forward.queue_wait();
+    assert_eq!(q.count(), 6);
+    assert_eq!(q.max(), 3_000_000_000);
+    assert!(q.quantile(0.5) >= 2_000_000_000);
+}
+
+#[test]
+fn disabled_telemetry_serves_identically_with_no_spans() {
+    let clock = TestClock::new();
+    let config = ServeConfig::default().with_telemetry(false);
+    let engine = ServeEngine::with_clock(config, Arc::clone(&clock) as _).unwrap();
+    let tensors = request(2.0);
+    let r = engine
+        .session("quiet")
+        .submit(EXPR, &tensors)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(r.trace.is_none(), "no span when telemetry is off");
+    assert!(engine.traces().is_empty());
+    assert_eq!(engine.dump_failed_traces(), "");
+    // Core latency accounting still works — histograms replace the old
+    // wait counters and are not gated.
+    let m = engine.metrics();
+    assert_eq!(m.tenants["quiet"].queue_wait.count(), 1);
+}
+
+#[test]
+fn telemetry_dump_parses_back_and_reconciles() {
+    let dir = std::env::temp_dir().join(format!("insum-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.prom");
+    let clock = TestClock::new();
+    let config = ServeConfig::default()
+        .with_telemetry_dump(&path)
+        .with_telemetry_dump_interval(Duration::from_secs(3600));
+    let mut engine = ServeEngine::with_clock(config, Arc::clone(&clock) as _).unwrap();
+    let tensors = request(1.5);
+    for _ in 0..4 {
+        engine
+            .session("dumper")
+            .submit(EXPR, &tensors)
+            .unwrap()
+            .wait()
+            .unwrap();
+    }
+    let m = engine.metrics();
+    engine.shutdown(); // final dump happens as the scheduler exits
+
+    // Prometheus text parses back and matches the in-memory counters.
+    let prom = std::fs::read_to_string(&path).unwrap();
+    let samples = insum_telemetry::expo::parse_prometheus(&prom);
+    assert_eq!(samples["serve_completed_total"], m.completed as f64);
+    assert_eq!(samples["serve_submitted_total"], m.submitted as f64);
+    assert_eq!(
+        samples["serve_queue_wait_seconds_count{tenant=\"dumper\"}"],
+        m.tenants["dumper"].queue_wait.count() as f64
+    );
+    assert_eq!(
+        samples["serve_tenant_requests_total{tenant=\"dumper\",outcome=\"completed\"}"],
+        4.0
+    );
+
+    // The JSON sibling parses back and reconciles too.
+    let json_text = std::fs::read_to_string(path.with_extension("json")).unwrap();
+    let json = insum_telemetry::json::parse(&json_text).unwrap();
+    assert_eq!(json.get("completed").and_then(|v| v.as_f64()), Some(4.0));
+    let tenant = json
+        .get("tenants")
+        .and_then(|t| t.get("dumper"))
+        .expect("per-tenant object");
+    assert_eq!(
+        tenant
+            .get("queue_wait")
+            .and_then(|h| h.get("count"))
+            .and_then(|v| v.as_f64()),
+        Some(4.0)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retry_spans_record_every_attempt() {
+    let _guard = fault_guard();
+    let clock = TestClock::new();
+    let config =
+        ServeConfig::default().with_retry_backoff(Duration::from_secs(1), Duration::from_secs(8));
+    let engine = ServeEngine::with_clock(config, Arc::clone(&clock) as _).unwrap();
+    let tensors = request(1.5);
+
+    insum_serve::faults::set_panic_tenant(Some("retry-t"));
+    let handle = engine
+        .session("retry-t")
+        .submit_with(
+            EXPR,
+            &tensors,
+            &SubmitOptions::default().with_max_retries(3),
+        )
+        .unwrap();
+    poll_until("first retry to be scheduled", || {
+        (engine.metrics().retries == 1).then_some(())
+    });
+    insum_serve::faults::set_panic_tenant(None);
+    clock.advance(Duration::from_secs(1));
+    let r = handle.wait().unwrap();
+    let trace = r.trace.expect("span present");
+
+    // The span shows the failed attempt's retry and the successful
+    // second pass: retry at t=0 (the panic was instant in virtual
+    // time), re-scheduled after the 1s backoff.
+    let retry = trace.event(Phase::Retry).expect("retry phase recorded");
+    assert_eq!(retry.at, Duration::ZERO);
+    assert_eq!(retry.info, 1, "first retry bumped the attempt counter");
+    assert_eq!(trace.event(Phase::Respond).unwrap().info, 2, "two attempts");
+    assert_eq!(
+        trace
+            .events
+            .iter()
+            .filter(|e| e.phase == Phase::Scheduled)
+            .count(),
+        2,
+        "both attempts went through scheduling"
+    );
+    assert_eq!(trace.ended_at(), Some(Duration::from_secs(1)));
+}

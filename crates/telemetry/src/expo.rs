@@ -1,0 +1,182 @@
+//! Prometheus text-exposition helpers.
+//!
+//! Writers for counters, gauges, and log-bucketed histograms in the
+//! Prometheus text format (version 0.0.4), plus a small parser used by
+//! the CI smoke to read a dumped snapshot back and reconcile it against
+//! in-memory counters.
+//!
+//! Histograms are exposed in **seconds** (values are recorded as
+//! nanoseconds internally). Only non-empty buckets are emitted (plus the
+//! mandatory `+Inf` bucket) — the fixed 496-bucket table would otherwise
+//! dominate the payload.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::Histogram;
+
+/// Escape a label value per the Prometheus text format.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+    }
+    out.push('}');
+}
+
+fn write_labels_plus(out: &mut String, labels: &[(&str, &str)], extra_k: &str, extra_v: &str) {
+    out.push('{');
+    for (k, v) in labels.iter() {
+        let _ = write!(out, "{}=\"{}\",", k, escape_label(v));
+    }
+    let _ = write!(out, "{}=\"{}\"", extra_k, escape_label(extra_v));
+    out.push('}');
+}
+
+/// Format an `f64` the way Prometheus expects (shortest round-trip).
+pub fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Append a `# TYPE` header. Call once per metric family.
+pub fn write_type(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Append one counter/gauge sample line.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    write_labels(out, labels);
+    let _ = writeln!(out, " {}", fmt_value(value));
+}
+
+/// Append a histogram family in seconds: cumulative `_bucket{le=...}`
+/// lines for non-empty buckets, `+Inf`, `_sum`, and `_count`.
+pub fn write_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+    write_histogram_scaled(out, name, labels, h, 1e-9);
+}
+
+/// [`write_histogram`] with an explicit scale applied to bucket bounds
+/// and the sum (use `1.0` for histograms over raw units such as
+/// simulated cost).
+pub fn write_histogram_scaled(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    h: &Histogram,
+    scale: f64,
+) {
+    let mut cumulative = 0u64;
+    for (upper, count) in h.nonzero_buckets() {
+        cumulative += count;
+        out.push_str(name);
+        out.push_str("_bucket");
+        write_labels_plus(out, labels, "le", &format!("{}", upper as f64 * scale));
+        let _ = writeln!(out, " {cumulative}");
+    }
+    out.push_str(name);
+    out.push_str("_bucket");
+    write_labels_plus(out, labels, "le", "+Inf");
+    let _ = writeln!(out, " {}", h.count());
+    out.push_str(name);
+    out.push_str("_sum");
+    write_labels(out, labels);
+    let _ = writeln!(out, " {}", fmt_value(h.sum() as f64 * scale));
+    out.push_str(name);
+    out.push_str("_count");
+    write_labels(out, labels);
+    let _ = writeln!(out, " {}", h.count());
+}
+
+/// Parse a Prometheus text payload into `full_sample_name -> value`,
+/// where the key is the sample name with its label block verbatim (e.g.
+/// `serve_requests_total{tenant="a"}`). Comment and blank lines are
+/// skipped; malformed lines are ignored rather than fatal (the smoke
+/// asserts on the keys it expects).
+pub fn parse_prometheus(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is everything after the last space outside braces;
+        // label values may contain escaped quotes but not raw spaces in
+        // our own output, so rsplit on whitespace is sufficient.
+        let Some((key, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key.trim().to_string(), v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_samples() {
+        let mut out = String::new();
+        write_type(&mut out, "serve_requests_total", "counter");
+        write_sample(&mut out, "serve_requests_total", &[("tenant", "a")], 42.0);
+        write_sample(&mut out, "serve_queue_depth", &[], 3.0);
+        let parsed = parse_prometheus(&out);
+        assert_eq!(parsed["serve_requests_total{tenant=\"a\"}"], 42.0);
+        assert_eq!(parsed["serve_queue_depth"], 3.0);
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let mut h = Histogram::new();
+        h.record(1_000); // 1 us
+        h.record(1_000);
+        h.record(2_000_000_000); // 2 s
+        let mut out = String::new();
+        write_histogram(&mut out, "serve_wait_seconds", &[("tenant", "t")], &h);
+        let parsed = parse_prometheus(&out);
+        assert_eq!(parsed["serve_wait_seconds_count{tenant=\"t\"}"], 3.0);
+        assert_eq!(
+            parsed["serve_wait_seconds_bucket{tenant=\"t\",le=\"+Inf\"}"],
+            3.0
+        );
+        let sum = parsed["serve_wait_seconds_sum{tenant=\"t\"}"];
+        assert!((sum - 2.000002).abs() < 1e-9, "sum={sum}");
+        // Bucket lines are cumulative: the last finite bucket holds 3.
+        let last_finite = out
+            .lines()
+            .rfind(|l| l.contains("_bucket") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 3"), "{last_finite}");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,333 @@
+//! Deterministic log-bucketed latency histograms.
+//!
+//! The layout is "log-linear" (HDR-lite): values below `2^SUB_BITS` get
+//! one bucket each; above that, every power-of-two octave is split into
+//! `2^SUB_BITS` equal sub-buckets. With `SUB_BITS = 3` the relative
+//! quantization error is bounded by `1 / 2^SUB_BITS = 12.5%`, the table
+//! is a fixed 496 `u64` slots (~4 KB), and recording is a handful of
+//! integer ops with no allocation — safe on a scheduler hot path.
+//!
+//! Determinism: bucket indices are pure functions of the recorded value,
+//! `merge` is element-wise saturating addition (exactly associative and
+//! commutative), and quantile extraction walks fixed bucket boundaries —
+//! so two histograms fed the same multiset of values in any order are
+//! bit-identical, which the serve engine's `TestClock` tests rely on.
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets (12.5% max relative error).
+pub const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS; // 8 sub-buckets per octave
+/// Number of fixed buckets: `SUB` unit buckets + `SUB` sub-buckets for
+/// each of the `64 - SUB_BITS` remaining octaves of the u64 range.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB; // 496
+
+/// Fixed-size, mergeable, log-bucketed histogram over `u64` values.
+///
+/// Alongside the bucket counts it tracks the exact `count`, saturating
+/// `sum`, and exact `min`/`max`, so totals and extrema are not subject
+/// to bucket quantization (only interior quantiles are, at ≤12.5%).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Bucket index for a value. Pure and total over `u64`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+        let sub = ((v >> (e - SUB_BITS)) as usize) - SUB;
+        SUB + (e - SUB_BITS) as usize * SUB + sub
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the largest value that maps to it).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    debug_assert!(i < NUM_BUCKETS);
+    if i < SUB {
+        i as u64
+    } else {
+        let g = ((i - SUB) / SUB) as u32; // octave index, 0-based
+        let sub = ((i - SUB) % SUB) as u64;
+        let lower = (SUB as u64 + sub) << g;
+        lower + ((1u64 << g) - 1)
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value. Allocation-free; a few integer ops.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Record a non-negative duration in seconds at nanosecond resolution.
+    #[inline]
+    pub fn record_seconds(&mut self, secs: f64) {
+        let ns = if secs <= 0.0 {
+            0u64
+        } else {
+            let ns = secs * 1e9;
+            if ns >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                ns as u64
+            }
+        };
+        self.record(ns);
+    }
+
+    /// Record a [`std::time::Duration`] at nanosecond resolution.
+    #[inline]
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        let ns = d.as_nanos();
+        self.record(if ns > u64::MAX as u128 {
+            u64::MAX
+        } else {
+            ns as u64
+        });
+    }
+
+    /// Merge another histogram into this one (element-wise saturating
+    /// add). Exactly associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
+    /// Number of recorded values (exact).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values (exact up to saturation).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty (exact).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact; 0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]`: the bucket upper bound at the rank-`q`
+    /// recorded value (≤12.5% above the true value), clamped to the
+    /// exact max. `q >= 1` returns the exact max; empty returns 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let q = q.max(0.0);
+        // Rank of the target value, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// [`Histogram::quantile`] converted to seconds (values recorded as
+    /// nanoseconds).
+    pub fn quantile_seconds(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 * 1e-9
+    }
+
+    /// Exact sum in seconds (values recorded as nanoseconds).
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum as f64 * 1e-9
+    }
+
+    /// Exact max in seconds (values recorded as nanoseconds).
+    pub fn max_seconds(&self) -> f64 {
+        self.max as f64 * 1e-9
+    }
+
+    /// Iterate non-empty buckets as `(inclusive_upper_bound, count)`, in
+    /// increasing bound order. Used for Prometheus exposition.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+    }
+
+    /// True when no values have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_bounds_agree() {
+        // Every bucket's upper bound maps back into that bucket, and
+        // upper+1 maps into a later bucket.
+        for i in 0..NUM_BUCKETS {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i, "upper bound of bucket {i}");
+            if ub < u64::MAX {
+                assert!(bucket_index(ub + 1) > i, "successor of bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bound() {
+        // The bucket upper bound overestimates the value by at most
+        // 1/2^SUB_BITS of the value (for values >= SUB).
+        for &v in &[8u64, 9, 100, 1000, 12345, 1 << 20, (1 << 40) + 7] {
+            let ub = bucket_upper_bound(bucket_index(v));
+            assert!(ub >= v);
+            assert!(
+                (ub - v) as f64 <= v as f64 / SUB as f64,
+                "v={v} ub={ub} error too large"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 28);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        // Values < 8 are exact: p50 of 0..=7 is 3.
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 9, 120, 4096, 70000, 70001, 1 << 30] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile not monotone at q={q}");
+            last = v;
+        }
+        assert_eq!(h.quantile(1.0), 1 << 30);
+    }
+
+    #[test]
+    fn merge_matches_bulk_record() {
+        let vals: Vec<u64> = (0..500).map(|i| (i * 2654435761u64) >> 16).collect();
+        let mut whole = Histogram::new();
+        for &v in &vals {
+            whole.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in vals.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert!(a == whole);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! `insum_telemetry` — tracing, latency histograms, and exposition for
+//! the Insum serving stack.
+//!
+//! This crate is dependency-free and sits below `insum_gpu` /
+//! `insum_inductor` / `insum_serve` so every layer can share one
+//! vocabulary:
+//!
+//! - [`histogram::Histogram`] — fixed-size log-bucketed (base-2,
+//!   8 sub-buckets per octave) latency/cost histograms: allocation-free
+//!   recording, exact count/sum/min/max, ≤12.5% quantile error,
+//!   order-independent bit-identical merging.
+//! - [`trace::Trace`] — per-request spans: timestamped phase
+//!   transitions driven by the serve engine's injectable clock
+//!   (deterministic under a virtual test clock) plus aggregated
+//!   compile/autotune/launch costs from the profiling hook.
+//! - [`recorder::FlightRecorder`] — bounded ring buffers of recent and
+//!   failed spans with ASCII dump-on-failure.
+//! - [`hook`] — the zero-cost-when-disabled profiling hook that leaf
+//!   crates use to report phase timings without depending on the serve
+//!   engine.
+//! - [`expo`] / [`json`] — Prometheus text and JSON
+//!   exposition/parse-back, with no external dependencies.
+
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod histogram;
+pub mod hook;
+pub mod json;
+pub mod recorder;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use hook::HookPhase;
+pub use recorder::{FlightRecorder, RecordedTrace, TraceOutcome};
+pub use trace::{Phase, PhaseCost, Trace, TraceEvent};

@@ -1,0 +1,188 @@
+//! Flight recorder: a bounded ring buffer of recently completed request
+//! spans, with a separate ring for failures (dump-on-failure).
+//!
+//! The recorder is lock-cheap: one short critical section per terminal
+//! request (a `VecDeque` push + possible pop), no allocation beyond the
+//! moved-in trace.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::trace::Trace;
+
+/// How a recorded request span terminated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Response delivered.
+    Completed,
+    /// Terminal failure; payload is the error text.
+    Failed(String),
+    /// Cancelled by the caller.
+    Cancelled,
+    /// Deadline expired before execution.
+    Expired,
+    /// Rejected for an exhausted cost budget.
+    BudgetRejected,
+    /// Rejected by an open circuit breaker.
+    Quarantined,
+}
+
+impl TraceOutcome {
+    /// True for any non-`Completed` terminal state.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, TraceOutcome::Completed)
+    }
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceOutcome::Completed => "completed",
+            TraceOutcome::Failed(_) => "failed",
+            TraceOutcome::Cancelled => "cancelled",
+            TraceOutcome::Expired => "expired",
+            TraceOutcome::BudgetRejected => "budget_rejected",
+            TraceOutcome::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// A terminal request span plus how it ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedTrace {
+    /// The full span.
+    pub trace: Trace,
+    /// Terminal state.
+    pub outcome: TraceOutcome,
+}
+
+struct Rings {
+    recent: VecDeque<RecordedTrace>,
+    failures: VecDeque<RecordedTrace>,
+}
+
+/// Ring buffer of the last N terminal request spans.
+///
+/// Failures (anything other than a delivered response) are additionally
+/// kept in their own ring of the same capacity, so a burst of successes
+/// cannot evict the trace of the request you are debugging.
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: Mutex<Rings>,
+}
+
+impl FlightRecorder {
+    /// Recorder keeping up to `capacity` recent spans (and up to
+    /// `capacity` failure spans). A capacity of 0 disables recording.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            rings: Mutex::new(Rings {
+                recent: VecDeque::with_capacity(capacity.min(64)),
+                failures: VecDeque::with_capacity(capacity.min(64)),
+            }),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record a terminal span. O(1); drops the oldest entry when full.
+    pub fn record(&self, trace: Trace, outcome: TraceOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        let entry = RecordedTrace { trace, outcome };
+        let mut rings = match self.rings.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if entry.outcome.is_failure() {
+            if rings.failures.len() == self.capacity {
+                rings.failures.pop_front();
+            }
+            rings.failures.push_back(entry.clone());
+        }
+        if rings.recent.len() == self.capacity {
+            rings.recent.pop_front();
+        }
+        rings.recent.push_back(entry);
+    }
+
+    /// Snapshot of the recent-span ring, oldest first.
+    pub fn recent(&self) -> Vec<RecordedTrace> {
+        let rings = match self.rings.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        rings.recent.iter().cloned().collect()
+    }
+
+    /// Snapshot of the failure ring, oldest first.
+    pub fn failures(&self) -> Vec<RecordedTrace> {
+        let rings = match self.rings.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        rings.failures.iter().cloned().collect()
+    }
+
+    /// Render every failure span as an ASCII report (dump-on-failure).
+    pub fn dump_failures(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in self.failures() {
+            let _ = writeln!(out, "--- outcome={} ---", r.outcome.name());
+            out.push_str(&r.trace.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Phase;
+    use std::time::Duration;
+
+    fn mk(id: u64) -> Trace {
+        let mut t = Trace::new(id, "t");
+        t.push(Phase::Admitted, Duration::from_millis(id), 0);
+        t
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let rec = FlightRecorder::new(2);
+        for id in 0..5 {
+            rec.record(mk(id), TraceOutcome::Completed);
+        }
+        let recent = rec.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].trace.id, 3);
+        assert_eq!(recent[1].trace.id, 4);
+    }
+
+    #[test]
+    fn failures_survive_success_floods() {
+        let rec = FlightRecorder::new(2);
+        rec.record(mk(0), TraceOutcome::Failed("boom".into()));
+        for id in 1..10 {
+            rec.record(mk(id), TraceOutcome::Completed);
+        }
+        assert!(rec.recent().iter().all(|r| r.trace.id >= 8));
+        let fails = rec.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].trace.id, 0);
+        assert!(rec.dump_failures().contains("outcome=failed"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let rec = FlightRecorder::new(0);
+        rec.record(mk(1), TraceOutcome::Expired);
+        assert!(rec.recent().is_empty());
+        assert!(rec.failures().is_empty());
+    }
+}

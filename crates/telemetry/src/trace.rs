@@ -1,0 +1,260 @@
+//! Request spans: per-request phase-transition traces.
+//!
+//! A [`Trace`] records the lifecycle of one serve request as a sequence
+//! of timestamped [`TraceEvent`]s. Timestamps come from the engine's
+//! injectable clock (`Duration` since the clock's epoch), so under a
+//! virtual test clock the whole trace is deterministic and can be
+//! asserted bit-for-bit.
+//!
+//! Fine-grained profiling-hook timings (compile / autotune / launch, see
+//! [`crate::hook`]) are aggregated into per-phase [`PhaseCost`] totals
+//! rather than appended as events: an autotune sweep can perform dozens
+//! of probe launches, and flooding the span with one event each would
+//! drown the lifecycle signal.
+
+use std::time::Duration;
+
+/// Lifecycle phase of a serve request span.
+///
+/// The first group are transitions (each appears as a timestamped
+/// event); the `Compile` / `Autotune` / `Launch` phases also appear as
+/// aggregated [`PhaseCost`] entries fed by the profiling hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Request passed admission and entered the queue.
+    Admitted,
+    /// Request picked up by the scheduler for processing.
+    Scheduled,
+    /// Request grouped into a launch batch (`info` = batch size).
+    Batched,
+    /// Artifact resolution through the registry began (compile or
+    /// single-flight wait; `info` = 1 for a registry hit, 0 for a miss).
+    RegistryWait,
+    /// Kernel compilation work (hook-timed; `info` = nanoseconds).
+    Compile,
+    /// Autotune sweep (hook-timed; `info` = nanoseconds).
+    Autotune,
+    /// Simulator launch (hook-timed; `info` = nanoseconds).
+    Launch,
+    /// Response delivered to the ticket (`info` = attempt number).
+    Respond,
+    /// Transient failure scheduled for retry (`info` = next attempt).
+    Retry,
+    /// Request cancelled by the caller.
+    Cancelled,
+    /// Request deadline expired before execution.
+    Expired,
+    /// Request rejected because the tenant's cost budget was exhausted.
+    BudgetRejected,
+    /// Request rejected by an open circuit breaker.
+    Quarantined,
+    /// Request failed terminally (`info` = attempt number).
+    Failed,
+}
+
+impl Phase {
+    /// Stable lowercase name used in rendered traces and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Admitted => "admitted",
+            Phase::Scheduled => "scheduled",
+            Phase::Batched => "batched",
+            Phase::RegistryWait => "registry_wait",
+            Phase::Compile => "compile",
+            Phase::Autotune => "autotune",
+            Phase::Launch => "launch",
+            Phase::Respond => "respond",
+            Phase::Retry => "retry",
+            Phase::Cancelled => "cancelled",
+            Phase::Expired => "expired",
+            Phase::BudgetRejected => "budget_rejected",
+            Phase::Quarantined => "quarantined",
+            Phase::Failed => "failed",
+        }
+    }
+}
+
+/// One timestamped phase transition in a request span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which phase was entered.
+    pub phase: Phase,
+    /// Clock time of the transition (duration since the clock epoch).
+    pub at: Duration,
+    /// Phase-specific payload (batch size, attempt number, hit flag).
+    pub info: u64,
+}
+
+/// Aggregated profiling-hook cost for one phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Number of hook intervals aggregated.
+    pub count: u64,
+    /// Total wall nanoseconds across those intervals (0 under a virtual
+    /// clock — deterministic by construction).
+    pub nanos: u64,
+}
+
+/// A full request span: ordered phase transitions plus aggregated
+/// profiling costs, returned on `Response` and kept in the flight
+/// recorder.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Engine-assigned request id.
+    pub id: u64,
+    /// Tenant that submitted the request.
+    pub tenant: String,
+    /// Ordered phase transitions.
+    pub events: Vec<TraceEvent>,
+    /// Hook-timed compile cost (registry miss path).
+    pub compile: PhaseCost,
+    /// Hook-timed autotune cost.
+    pub autotune: PhaseCost,
+    /// Hook-timed launch cost.
+    pub launch: PhaseCost,
+}
+
+impl Trace {
+    /// New empty span for request `id` from `tenant`.
+    pub fn new(id: u64, tenant: &str) -> Self {
+        Trace {
+            id,
+            tenant: tenant.to_string(),
+            events: Vec::new(),
+            compile: PhaseCost::default(),
+            autotune: PhaseCost::default(),
+            launch: PhaseCost::default(),
+        }
+    }
+
+    /// Append a phase transition.
+    pub fn push(&mut self, phase: Phase, at: Duration, info: u64) {
+        self.events.push(TraceEvent { phase, at, info });
+    }
+
+    /// Fold a profiling-hook interval into the matching aggregate.
+    pub fn add_cost(&mut self, phase: Phase, nanos: u64) {
+        let slot = match phase {
+            Phase::Compile => &mut self.compile,
+            Phase::Autotune => &mut self.autotune,
+            Phase::Launch => &mut self.launch,
+            _ => return,
+        };
+        slot.count += 1;
+        slot.nanos = slot.nanos.saturating_add(nanos);
+    }
+
+    /// Timestamp of the first event, if any.
+    pub fn started_at(&self) -> Option<Duration> {
+        self.events.first().map(|e| e.at)
+    }
+
+    /// Timestamp of the last event, if any.
+    pub fn ended_at(&self) -> Option<Duration> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// Span length (last event minus first event; zero if < 2 events).
+    pub fn span(&self) -> Duration {
+        match (self.started_at(), self.ended_at()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// First event with the given phase, if present.
+    pub fn event(&self, phase: Phase) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.phase == phase)
+    }
+
+    /// True if the span contains the given phase.
+    pub fn has_phase(&self, phase: Phase) -> bool {
+        self.event(phase).is_some()
+    }
+
+    /// Render the span as an indented ASCII timeline, offsets relative
+    /// to the first event.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace id={} tenant={} span={:?}",
+            self.id,
+            self.tenant,
+            self.span()
+        );
+        let t0 = self.started_at().unwrap_or(Duration::ZERO);
+        for e in &self.events {
+            let off = e.at.saturating_sub(t0);
+            let _ = writeln!(
+                out,
+                "  +{:>12} {} (info={})",
+                format!("{:?}", off),
+                e.phase.name(),
+                e.info
+            );
+        }
+        for (name, cost) in [
+            ("compile", self.compile),
+            ("autotune", self.autotune),
+            ("launch", self.launch),
+        ] {
+            if cost.count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  cost {:<9} count={} total={:?}",
+                    name,
+                    cost.count,
+                    Duration::from_nanos(cost.nanos)
+                );
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_ordered_events() {
+        let mut t = Trace::new(7, "acme");
+        t.push(Phase::Admitted, Duration::from_millis(1), 0);
+        t.push(Phase::Scheduled, Duration::from_millis(3), 0);
+        t.push(Phase::Respond, Duration::from_millis(9), 1);
+        assert_eq!(t.span(), Duration::from_millis(8));
+        assert!(t.has_phase(Phase::Scheduled));
+        assert!(!t.has_phase(Phase::Failed));
+        assert_eq!(t.event(Phase::Respond).unwrap().info, 1);
+        let r = t.render();
+        assert!(r.contains("admitted"));
+        assert!(r.contains("respond"));
+    }
+
+    #[test]
+    fn costs_aggregate() {
+        let mut t = Trace::new(1, "a");
+        t.add_cost(Phase::Launch, 100);
+        t.add_cost(Phase::Launch, 50);
+        t.add_cost(Phase::Compile, 7);
+        // Non-cost phases are ignored.
+        t.add_cost(Phase::Respond, 1);
+        assert_eq!(
+            t.launch,
+            PhaseCost {
+                count: 2,
+                nanos: 150
+            }
+        );
+        assert_eq!(t.compile, PhaseCost { count: 1, nanos: 7 });
+        assert_eq!(t.autotune, PhaseCost::default());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the log-bucketed histogram: merge algebra,
+//! quantile monotonicity, and order-independence (the bit-identity
+//! property the serve engine's shuffled-arrival tests build on).
+
+use insum_telemetry::histogram::{bucket_index, bucket_upper_bound, Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..u64::MAX, 0..200)
+}
+
+fn build(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn record_order_is_irrelevant(vals in values(), seed in 0u64..u64::MAX) {
+        // Any permutation of the same multiset yields a bit-identical
+        // histogram (record is a commutative fold into fixed buckets).
+        let mut shuffled = vals.clone();
+        // Deterministic Fisher-Yates from the seed.
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert!(build(&vals) == build(&shuffled));
+    }
+
+    #[test]
+    fn merge_is_commutative(a in values(), b in values()) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert!(ab == ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert!(left == right);
+    }
+
+    #[test]
+    fn merge_matches_concatenated_record(a in values(), b in values()) {
+        let mut merged = build(&a);
+        merged.merge(&build(&b));
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        prop_assert!(merged == build(&concat));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(vals in values()) {
+        let h = build(&vals);
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            prop_assert!(v >= last, "q={} gave {} < {}", i as f64 / 20.0, v, last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantile_bounded_by_extrema(vals in values(), q in 0.0f64..1.0) {
+        prop_assume!(!vals.is_empty());
+        let h = build(&vals);
+        let v = h.quantile(q);
+        prop_assert!(v >= h.min());
+        prop_assert!(v <= h.max());
+    }
+
+    #[test]
+    fn record_then_quantile_monotone(vals in values(), extra in 0u64..u64::MAX) {
+        // Adding a value >= the current max can only raise quantiles at
+        // or above the old value's rank; in particular p100 (max) never
+        // decreases when recording.
+        let mut h = build(&vals);
+        let before_max = h.quantile(1.0);
+        h.record(extra);
+        prop_assert!(h.quantile(1.0) >= before_max);
+        prop_assert!(h.quantile(1.0) >= extra.min(before_max));
+    }
+
+    #[test]
+    fn bucket_upper_bound_error_within_12_5_percent(v in 0u64..u64::MAX) {
+        let ub = bucket_upper_bound(bucket_index(v));
+        prop_assert!(ub >= v);
+        // Values below 8 are exact; above that, ≤ v/8 overshoot.
+        if v < 8 {
+            prop_assert_eq!(ub, v);
+        } else {
+            prop_assert!((ub - v) as u128 <= v as u128 / 8);
+        }
+    }
+
+    #[test]
+    fn exact_aggregates(vals in proptest::collection::vec(0u64..1 << 40, 0..100)) {
+        let h = build(&vals);
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.sum(), vals.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), vals.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(h.min(), vals.iter().copied().min().unwrap_or(0));
+    }
+}
+
+#[test]
+fn all_bucket_bounds_roundtrip() {
+    for i in 0..NUM_BUCKETS {
+        assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+    }
+}

@@ -75,27 +75,17 @@ fn main() -> Result<(), ServeError> {
         assert_eq!(response.output.data(), want.data(), "bit-identical");
     }
 
+    // The metrics snapshot renders itself (per-tenant latency
+    // percentiles included), and the program cache prints its own
+    // one-line summary.
     let m = engine.metrics();
-    println!(
-        "{} requests served for {} tenants: {} artifact compilation(s), \
-         {} batched launch(es), largest batch {}",
-        m.completed,
-        m.tenants.len(),
-        m.registry.misses,
-        m.batches,
-        m.largest_batch
-    );
-    for (tenant, t) in &m.tenants {
-        println!(
-            "  {tenant}: {} completed, mean wait {:.2} ms, {} instances simulated",
-            t.completed,
-            if t.completed > 0 {
-                t.wait_seconds_total / t.completed as f64 * 1e3
-            } else {
-                0.0
-            },
-            t.instances_simulated
-        );
+    println!("{m}");
+    println!("{}", insum_inductor::ProgramCache::global().stats());
+
+    // A response carries its full span: every phase the request went
+    // through, timestamped on the engine clock.
+    if let Some(trace) = &responses[0].1.trace {
+        println!("first response's span:\n{trace}");
     }
     Ok(())
 }
