@@ -1071,15 +1071,44 @@ fn main() {
         ]
         .into_iter()
         .collect();
-        let opts = InsumOptions::default();
+        // Dense pairwise steps classify onto the pattern fast path and
+        // lower no programs at all; force the general lowering so this
+        // smoke keeps exercising the per-step ProgramCache contract.
+        let opts = InsumOptions {
+            fast_path: false,
+            ..InsumOptions::default()
+        };
         let local_plan = insum::plan(chain_expr, &chain_tensors, &opts).expect("chain plans");
         let device_steps = local_plan.device_step_count() as u64;
         let reference = insum::chain_reference(chain_expr, &chain_tensors).expect("reference");
 
+        // And the fast-path counterpart: with default options the same
+        // chain's matmul steps all dispatch to microkernels — zero
+        // programs lowered, bit-identical output.
+        let cache = insum::ProgramCache::global();
+        let fast_before = cache.stats().misses;
+        let fast_plan = insum::plan(chain_expr, &chain_tensors, &InsumOptions::default())
+            .expect("fast chain plans");
+        assert_eq!(
+            fast_plan.program_step_count(),
+            0,
+            "dense pairwise chain steps must classify onto the fast path"
+        );
+        assert_eq!(
+            cache.stats().misses,
+            fast_before,
+            "fast-path chain steps must lower no programs"
+        );
+        let (fast_out, _) = fast_plan.run(&chain_tensors).expect("fast chain runs");
+        assert_eq!(
+            fast_out.data(),
+            reference.data(),
+            "fast-path chain output must match the naive reference bit-for-bit"
+        );
+
         let chain_engine = ServeEngine::new(ServeConfig::default().with_options(opts.clone()))
             .expect("engine starts");
         let session = chain_engine.session("chain");
-        let cache = insum::ProgramCache::global();
         let before = cache.stats();
         let first = session
             .submit(chain_expr, &chain_tensors)

@@ -88,6 +88,19 @@ impl CompiledChain {
         self.plan.device_step_count()
     }
 
+    /// Device steps lowered through the general pipeline, i.e. the ones
+    /// whose programs live in the cross-launch `ProgramCache`. Steps
+    /// that classified onto the pattern fast path dispatch straight to
+    /// microkernels and lower no programs at all, so they are excluded
+    /// here (the compile-once benchmarks count cache hits per
+    /// program-backed step).
+    pub fn program_step_count(&self) -> usize {
+        self.execs
+            .iter()
+            .filter(|e| matches!(e, StepExec::Device(c) if c.fast_path_pattern().is_none()))
+            .count()
+    }
+
     /// Execute the chain: returns the output tensor and the
     /// concatenated per-step launch profile.
     ///
@@ -285,7 +298,10 @@ impl CompiledChain {
 /// steps).
 fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     debug_assert_eq!(a.shape(), b.shape());
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    // `contiguous_data`, not `data`: either side may be a strided view
+    // (a fast-path transpose output fed back in as the `+=` base).
+    let (av, bv) = (a.contiguous_data(), b.contiguous_data());
+    let data = av.iter().zip(bv.iter()).map(|(x, y)| x + y).collect();
     Ok(Tensor::from_vec(a.shape().to_vec(), data)?)
 }
 
@@ -664,6 +680,39 @@ mod tests {
             let want = chain_reference("i,i,j->j", &tensors).unwrap();
             assert_eq!(got.data(), want.data(), "{strategy:?}");
         }
+    }
+
+    #[test]
+    fn chain_steps_classify_onto_the_fast_path() {
+        // A spec-form transpose is a one-step chain whose device step
+        // classifies `Transpose`: the output is a zero-copy stride view
+        // of the operand, not an interpreter launch product.
+        let tensors: BTreeMap<String, Tensor> = [("op0".to_string(), int_tensor(vec![4, 6], 21))]
+            .into_iter()
+            .collect();
+        let chain = plan("ij->ji", &tensors, &InsumOptions::default()).unwrap();
+        let (got, _) = chain.run(&tensors).unwrap();
+        let want = chain_reference("ij->ji", &tensors).unwrap();
+        assert_eq!(*got.contiguous_data(), *want.contiguous_data());
+        assert!(
+            got.shares_storage(&tensors["op0"]),
+            "transpose step returned a view, no bytes moved"
+        );
+        // Pairwise matmul steps of a longer chain classify too, and the
+        // chain stays bit-identical to the reference (ints are exact).
+        let tensors = chain3();
+        let chain = plan(CHAIN3, &tensors, &InsumOptions::default()).unwrap();
+        for exec in &chain.execs {
+            if let StepExec::Device(compiled) = exec {
+                assert!(
+                    compiled.fast_path_pattern().is_some(),
+                    "dense pairwise steps dispatch to microkernels"
+                );
+            }
+        }
+        let (got, _) = chain.run(&tensors).unwrap();
+        let want = chain_reference(CHAIN3, &tensors).unwrap();
+        assert_eq!(got.data(), want.data());
     }
 
     #[test]

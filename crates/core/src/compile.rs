@@ -1,15 +1,20 @@
 //! The `insum(...)` entry point and compiled-operation handle.
 
+use crate::fastpath::{try_fast_plan, FastOp};
 use crate::options::InsumOptions;
 use crate::Result;
 use insum_gpu::{LaunchOptions, Mode, Profile};
 use insum_graph::TensorMeta;
 use insum_inductor::{autotune, compile_fused, compile_unfused, FusedOp, UnfusedOp};
 use insum_lang::Statement;
+use insum_pattern::Pattern;
 use insum_tensor::Tensor;
 use std::collections::BTreeMap;
 
 enum Pipeline {
+    /// Recognized canonical pattern: Program-less artifact executing
+    /// through [`insum_gpu::run_micro`] (microkernels / stride views).
+    FastPath(Box<FastOp>),
     Fused(Box<FusedOp>),
     Unfused(Box<UnfusedOp>),
 }
@@ -73,14 +78,25 @@ impl Compiled {
                 grid: op.grid.clone(),
                 params: op.plan.param_order.clone(),
             }),
-            Pipeline::Unfused(_) => None,
+            Pipeline::FastPath(_) | Pipeline::Unfused(_) => None,
         }
     }
 
-    /// Number of kernels launched per run (1 when fused).
+    /// The recognized pattern this operation dispatches to, or `None`
+    /// when it runs the general (fused or unfused) lowering.
+    pub fn fast_path_pattern(&self) -> Option<&Pattern> {
+        match &self.pipeline {
+            Pipeline::FastPath(op) => Some(&op.pattern),
+            _ => None,
+        }
+    }
+
+    /// Number of kernels launched per run (1 when fused; fast-path
+    /// artifacts report 1 even when a stride view launches nothing —
+    /// the profile still carries one report per run).
     pub fn kernel_count(&self) -> usize {
         match &self.pipeline {
-            Pipeline::Fused(_) => 1,
+            Pipeline::FastPath(_) | Pipeline::Fused(_) => 1,
             Pipeline::Unfused(op) => op.kernel_count,
         }
     }
@@ -88,6 +104,10 @@ impl Compiled {
     /// The generated Triton-like source listing (all kernels).
     pub fn triton_source(&self) -> String {
         match &self.pipeline {
+            Pipeline::FastPath(op) => format!(
+                "# fast path: {} microkernel / stride view — no kernel generated",
+                op.pattern.name()
+            ),
             Pipeline::Fused(op) => insum_kernel::print_kernel(&op.kernel),
             Pipeline::Unfused(_) => {
                 "# unfused pipeline: one stock-Inductor kernel per FX node".to_string()
@@ -98,6 +118,7 @@ impl Compiled {
     /// True if the compiled kernel reduces through `tl.dot`.
     pub fn uses_tensor_cores(&self) -> bool {
         match &self.pipeline {
+            Pipeline::FastPath(_) => false,
             Pipeline::Fused(op) => op.uses_dot,
             Pipeline::Unfused(_) => self.options.tensor_cores,
         }
@@ -161,6 +182,25 @@ impl Compiled {
         launch: &LaunchOptions,
     ) -> Result<Vec<(Tensor, Profile)>> {
         match &self.pipeline {
+            // Fast-path artifacts have no shared simulator launch to
+            // batch; requests run back-to-back (each is already cheap).
+            Pipeline::FastPath(op) => {
+                // Fault-injection parity with the fused batched runner:
+                // a marked tensor bound by any request must fault this
+                // launch too (no-op in release builds).
+                let owned: Vec<Vec<Tensor>> =
+                    batch.iter().map(|tensors| op.bound_args(tensors)).collect();
+                insum_inductor::batch_fault_check(&owned);
+                batch
+                    .iter()
+                    .map(|tensors| {
+                        let (out, report) = op.run(tensors, mode, &self.options)?;
+                        let mut profile = Profile::new();
+                        profile.push(report);
+                        Ok((out, profile))
+                    })
+                    .collect()
+            }
             Pipeline::Fused(op) => {
                 let results = insum_inductor::run_fused_batch_with(
                     op,
@@ -202,6 +242,12 @@ impl Compiled {
         mode: Mode,
     ) -> Result<(Tensor, Profile)> {
         match &self.pipeline {
+            Pipeline::FastPath(op) => {
+                let (out, report) = op.run(tensors, mode, &self.options)?;
+                let mut profile = Profile::new();
+                profile.push(report);
+                Ok((out, profile))
+            }
             Pipeline::Fused(op) => {
                 let (out, report) = insum_inductor::run_fused_with(
                     op,
@@ -264,7 +310,9 @@ pub fn insum_with(
     let mut autotune_seconds = 0.0;
     let mut autotune_configs = 0;
     let mut autotune_cache_hits = 0;
-    let pipeline = if options.fuse {
+    let pipeline = if let Some(op) = try_fast_plan(&statement, &metas, options) {
+        Pipeline::FastPath(Box::new(op))
+    } else if options.fuse {
         let plan = insum_inductor::build_plan(&statement, &metas)?;
         let op = if options.autotune {
             let result = autotune(&plan, &options.codegen(), tensors, &options.device)?;

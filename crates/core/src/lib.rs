@@ -38,6 +38,7 @@ pub mod apps;
 mod chain;
 mod compile;
 mod error;
+mod fastpath;
 mod options;
 mod tune;
 
@@ -52,6 +53,7 @@ pub use tune::{pow2_candidates, tune_block_group_size, tune_group_size};
 // Re-exports so downstream users need only this crate.
 pub use insum_gpu::{DeviceModel, KernelReport, LaunchOptions, Mode, Profile};
 pub use insum_inductor::{ProgramCache, ProgramCacheStats};
+pub use insum_pattern::{classify_spec, classify_terms, Pattern};
 pub use insum_planner::{ChainSpec, ContractionPlan, OrderStrategy, PlanStep, PlannerError};
 pub use insum_tensor::{DType, Tensor};
 

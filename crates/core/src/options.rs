@@ -10,6 +10,14 @@ pub struct InsumOptions {
     /// extended Inductor). `false` reproduces stock TorchInductor: one
     /// kernel per graph node with materialized intermediates.
     pub fuse: bool,
+    /// Route statements whose index structure matches the
+    /// [`insum_pattern`] recognition table (matmul, transpose,
+    /// reduction, Hadamard, …) to dedicated microkernels and zero-copy
+    /// stride views instead of generating and interpreting a kernel.
+    /// `false` forces every statement through the general lowering (the
+    /// bit-identity oracle). Ignored when `fuse` is `false`: the unfused
+    /// ablation always reproduces stock Inductor.
+    pub fast_path: bool,
     /// Emit `ops.dot`/`tl.dot` (Tensor Cores) when a legal partition
     /// exists.
     pub tensor_cores: bool,
@@ -38,6 +46,7 @@ impl Default for InsumOptions {
     fn default() -> InsumOptions {
         InsumOptions {
             fuse: true,
+            fast_path: true,
             tensor_cores: true,
             lazy_broadcast: true,
             autotune: false,
@@ -123,7 +132,7 @@ mod tests {
     #[test]
     fn defaults_match_paper_configuration() {
         let o = InsumOptions::default();
-        assert!(o.fuse && o.tensor_cores && o.lazy_broadcast);
+        assert!(o.fuse && o.fast_path && o.tensor_cores && o.lazy_broadcast);
         assert!(!o.autotune);
     }
 

@@ -1,0 +1,483 @@
+//! Fast-path dispatch properties: soundness (every recognized pattern
+//! is bit-identical to the general lowering, NaN/±0.0 included) and
+//! completeness (curated near-miss specs fall back to `General` and
+//! still agree with the eager reference).
+//!
+//! Rank-0 outputs (`C[] = …`) are unparseable in the statement
+//! language, so the `dot`/`trace` patterns are unreachable from
+//! `insum_with`; they are covered by the classifier's unit tests and
+//! `insum_gpu`'s microkernel tests. Likewise `ii->` (trace) vs `ii->i`
+//! (diagonal) near-misses live in `insum_pattern`'s tests.
+
+use insum::{eager, insum_with, InsumOptions, Tensor};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Sprinkle the values the bit-identity contract cares about: exact
+/// zeros (the matmul zero-skip), negative zeros, NaN, and infinities.
+fn specialize(mut data: Vec<f32>, specials: bool) -> Vec<f32> {
+    if specials {
+        for (i, v) in data.iter_mut().enumerate() {
+            match i % 13 {
+                0 => *v = 0.0,
+                4 => *v = -0.0,
+                7 => *v = f32::NAN,
+                10 => *v = f32::INFINITY,
+                _ => {}
+            }
+        }
+    }
+    data
+}
+
+fn tensor(shape: Vec<usize>, data: Vec<f32>, specials: bool) -> Tensor {
+    Tensor::from_vec(shape, specialize(data, specials)).expect("length matches")
+}
+
+/// Compile + run `expr` twice — fast path on and off — on identical
+/// bindings and assert the results are bit-identical. Returns the
+/// fast-path pattern name (panics if the spec was not recognized).
+fn assert_fast_matches_general(
+    expr: &str,
+    tensors: &BTreeMap<String, Tensor>,
+    options: &InsumOptions,
+) -> String {
+    let fast = insum_with(expr, tensors, options).expect("fast compile");
+    let pattern = fast
+        .fast_path_pattern()
+        .unwrap_or_else(|| panic!("{expr} should take the fast path"))
+        .name()
+        .to_string();
+    assert!(fast.launch_signature().is_none());
+    assert_eq!(fast.kernel_count(), 1);
+    let general_opts = InsumOptions {
+        fast_path: false,
+        ..options.clone()
+    };
+    let general = insum_with(expr, tensors, &general_opts).expect("general compile");
+    assert!(general.fast_path_pattern().is_none());
+    let (got, fast_profile) = fast.run(tensors).expect("fast run");
+    let (want, _) = general.run(tensors).expect("general run");
+    assert!(
+        got.bit_eq(&want),
+        "{expr} [{pattern}] fast-path result is not bit-identical \
+         (max |Δ| = {:?})",
+        got.max_abs_diff(&want)
+    );
+    // The analytic profile must agree with the execute profile.
+    let analytic = fast.time(tensors).expect("fast time");
+    assert_eq!(analytic.total_time(), fast_profile.total_time());
+    pattern
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..10, 2usize..10, 2usize..10)
+}
+
+fn data(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matmul_family_is_bit_identical(
+        (m, k, n) in dims(),
+        specials in proptest::bool::ANY,
+        accumulate in proptest::bool::ANY,
+        a in data(1024),
+        b in data(1024),
+    ) {
+        let tensors: BTreeMap<String, Tensor> = [
+            ("A".to_string(), tensor(vec![m, k], a[..m * k].to_vec(), specials)),
+            ("B".to_string(), tensor(vec![k, n], b[..k * n].to_vec(), specials)),
+            ("C".to_string(), tensor(vec![m, n], a[..m * n].to_vec(), false)),
+        ]
+        .into_iter()
+        .collect();
+        let expr = if accumulate {
+            "C[i,j] += A[i,k] * B[k,j]"
+        } else {
+            "C[i,j] = A[i,k] * B[k,j]"
+        };
+        prop_assert_eq!(
+            assert_fast_matches_general(expr, &tensors, &InsumOptions::default()),
+            "matmul"
+        );
+    }
+
+    #[test]
+    fn batched_matmul_is_bit_identical(
+        (g, m, k) in (2usize..5, 2usize..7, 2usize..7),
+        specials in proptest::bool::ANY,
+        a in data(1024),
+        b in data(1024),
+    ) {
+        let n = 3usize;
+        let tensors: BTreeMap<String, Tensor> = [
+            ("A".to_string(), tensor(vec![g, m, k], a[..g * m * k].to_vec(), specials)),
+            ("B".to_string(), tensor(vec![g, k, n], b[..g * k * n].to_vec(), specials)),
+            ("C".to_string(), Tensor::zeros(vec![g, m, n])),
+        ]
+        .into_iter()
+        .collect();
+        prop_assert_eq!(
+            assert_fast_matches_general(
+                "C[g,i,j] = A[g,i,k] * B[g,k,j]",
+                &tensors,
+                &InsumOptions::default()
+            ),
+            "batched_matmul"
+        );
+    }
+
+    #[test]
+    fn copy_and_reduction_shapes_are_bit_identical(
+        (d0, d1, d2) in dims(),
+        specials in proptest::bool::ANY,
+        a in data(1024),
+    ) {
+        let cube = tensor(vec![d0, d1, d2], a[..d0 * d1 * d2].to_vec(), specials);
+        let mat = tensor(vec![d0, d1], a[..d0 * d1].to_vec(), specials);
+        let opts = InsumOptions::default();
+
+        // Transpose / identity / 3-D permutation: zero-copy views.
+        for (expr, out_shape, pattern) in [
+            ("C[j,i] = A2[i,j]", vec![d1, d0], "transpose"),
+            ("C[i,j] = A2[i,j]", vec![d0, d1], "transpose"),
+            ("C[k,i,j] = A3[i,j,k]", vec![d2, d0, d1], "transpose"),
+        ] {
+            let tensors: BTreeMap<String, Tensor> = [
+                ("A2".to_string(), mat.clone()),
+                ("A3".to_string(), cube.clone()),
+                ("C".to_string(), Tensor::zeros(out_shape)),
+            ]
+            .into_iter()
+            .collect();
+            prop_assert_eq!(assert_fast_matches_general(expr, &tensors, &opts), pattern);
+            let compiled = insum_with(expr, &tensors, &opts).expect("compiles");
+            let (out, _) = compiled.run(&tensors).expect("runs");
+            let src = if expr.contains("A3") { &cube } else { &mat };
+            prop_assert!(out.shares_storage(src), "{expr} must not copy");
+        }
+
+        // Reductions (assign and accumulate).
+        for (expr, out_shape, base_specials) in [
+            ("C[i] = A2[i,j]", vec![d0], false),
+            ("C[i] += A2[i,j]", vec![d0], false),
+            ("C[i,k] = A3[i,j,k]", vec![d0, d2], false),
+        ] {
+            let tensors: BTreeMap<String, Tensor> = [
+                ("A2".to_string(), mat.clone()),
+                ("A3".to_string(), cube.clone()),
+                (
+                    "C".to_string(),
+                    tensor(out_shape.clone(), a[..out_shape.iter().product::<usize>()].to_vec(), base_specials),
+                ),
+            ]
+            .into_iter()
+            .collect();
+            prop_assert_eq!(
+                assert_fast_matches_general(expr, &tensors, &opts),
+                "reduction"
+            );
+        }
+
+        // Diagonal view of a square matrix.
+        let sq = tensor(vec![d0, d0], a[..d0 * d0].to_vec(), specials);
+        let tensors: BTreeMap<String, Tensor> = [
+            ("A".to_string(), sq.clone()),
+            ("C".to_string(), Tensor::zeros(vec![d0])),
+        ]
+        .into_iter()
+        .collect();
+        prop_assert_eq!(
+            assert_fast_matches_general("C[i] = A[i,i]", &tensors, &opts),
+            "diagonal"
+        );
+        let compiled = insum_with("C[i] = A[i,i]", &tensors, &opts).expect("compiles");
+        let (out, _) = compiled.run(&tensors).expect("runs");
+        prop_assert!(out.shares_storage(&sq), "diagonal must not copy");
+    }
+
+    #[test]
+    fn hadamard_and_outer_are_bit_identical(
+        (m, n) in (2usize..12, 2usize..12),
+        specials in proptest::bool::ANY,
+        accumulate in proptest::bool::ANY,
+        a in data(256),
+        b in data(256),
+    ) {
+        let op = if accumulate { "+=" } else { "=" };
+        let had: BTreeMap<String, Tensor> = [
+            ("A".to_string(), tensor(vec![m, n], a[..m * n].to_vec(), specials)),
+            ("B".to_string(), tensor(vec![m, n], b[..m * n].to_vec(), specials)),
+            ("C".to_string(), tensor(vec![m, n], b[..m * n].to_vec(), false)),
+        ]
+        .into_iter()
+        .collect();
+        prop_assert_eq!(
+            assert_fast_matches_general(
+                &format!("C[i,j] {op} A[i,j] * B[i,j]"),
+                &had,
+                &InsumOptions::default()
+            ),
+            "hadamard"
+        );
+        let outer: BTreeMap<String, Tensor> = [
+            ("A".to_string(), tensor(vec![m], a[..m].to_vec(), specials)),
+            ("B".to_string(), tensor(vec![n], b[..n].to_vec(), specials)),
+            ("C".to_string(), tensor(vec![m, n], a[..m * n].to_vec(), false)),
+        ]
+        .into_iter()
+        .collect();
+        prop_assert_eq!(
+            assert_fast_matches_general(
+                &format!("C[i,j] {op} A[i] * B[j]"),
+                &outer,
+                &InsumOptions::default()
+            ),
+            "outer"
+        );
+    }
+
+    #[test]
+    fn soundness_holds_across_option_ablations(
+        (m, k, n) in (2usize..8, 2usize..8, 2usize..8),
+        specials in proptest::bool::ANY,
+        a in data(256),
+        b in data(256),
+    ) {
+        let tensors: BTreeMap<String, Tensor> = [
+            ("A".to_string(), tensor(vec![m, k], a[..m * k].to_vec(), specials)),
+            ("B".to_string(), tensor(vec![k, n], b[..k * n].to_vec(), specials)),
+            ("C".to_string(), Tensor::zeros(vec![m, n])),
+        ]
+        .into_iter()
+        .collect();
+        for opts in [
+            InsumOptions::default(),
+            InsumOptions { lazy_broadcast: false, ..Default::default() },
+        ] {
+            prop_assert_eq!(
+                assert_fast_matches_general("C[i,j] = A[i,k] * B[k,j]", &tensors, &opts),
+                "matmul"
+            );
+        }
+        // Ablations that change the lowering's accumulation semantics
+        // (scalar path without the zero skip, autotuned or overridden
+        // tile boundaries) must decline the fast path entirely.
+        for opts in [
+            InsumOptions { tensor_cores: false, ..Default::default() },
+            InsumOptions { autotune: true, ..Default::default() },
+            InsumOptions { rblock: Some(16), ..Default::default() },
+        ] {
+            let compiled = insum_with("C[i,j] = A[i,k] * B[k,j]", &tensors, &opts)
+                .expect("general compile");
+            prop_assert!(
+                compiled.fast_path_pattern().is_none(),
+                "semantics-changing ablations must route to the general path"
+            );
+        }
+    }
+}
+
+/// Large extents that cross every default tile width (the general
+/// pipeline tiles Y/X/R; the fast path must still match bit-for-bit).
+#[test]
+fn large_extents_cross_tile_boundaries() {
+    let gen = |len: usize, seed: f32| -> Vec<f32> {
+        (0..len)
+            .map(|i| (i as f32 * 0.618 + seed).sin() * 2.0)
+            .collect()
+    };
+    let (m, k, n) = (70, 257, 33);
+    let tensors: BTreeMap<String, Tensor> = [
+        ("A".to_string(), tensor(vec![m, k], gen(m * k, 0.3), true)),
+        ("B".to_string(), tensor(vec![k, n], gen(k * n, 0.7), true)),
+        ("C".to_string(), Tensor::zeros(vec![m, n])),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(
+        assert_fast_matches_general(
+            "C[i,j] = A[i,k] * B[k,j]",
+            &tensors,
+            &InsumOptions::default()
+        ),
+        "matmul"
+    );
+    let red: BTreeMap<String, Tensor> = [
+        (
+            "A".to_string(),
+            tensor(vec![m, 1733], gen(m * 1733, 0.1), true),
+        ),
+        ("C".to_string(), Tensor::zeros(vec![m])),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(
+        assert_fast_matches_general("C[i] = A[i,j]", &red, &InsumOptions::default()),
+        "reduction"
+    );
+}
+
+/// Near-miss specs that must classify `General`: the compiled operation
+/// reports no fast-path pattern and still matches the eager reference.
+#[test]
+fn near_misses_fall_back_to_general() {
+    let gen = |len: usize| -> Vec<f32> { (0..len).map(|i| (i as f32) * 0.21 - 3.0).collect() };
+    let opts = InsumOptions::default();
+    type Case = (&'static str, Vec<(&'static str, Vec<usize>)>);
+    let cases: Vec<Case> = vec![
+        // Matvec: output drops an index of one factor.
+        (
+            "C[i] = A[i,j] * B[j]",
+            vec![("C", vec![4]), ("A", vec![4, 5]), ("B", vec![5])],
+        ),
+        // Broadcast: B has no `i`, output keeps both.
+        (
+            "C[i,j] = A[i,j] * B[j]",
+            vec![("C", vec![4, 5]), ("A", vec![4, 5]), ("B", vec![5])],
+        ),
+        // Transposed Hadamard.
+        (
+            "C[i,j] = A[i,j] * B[j,i]",
+            vec![("C", vec![4, 5]), ("A", vec![4, 5]), ("B", vec![5, 4])],
+        ),
+        // Transposed-operand matmul.
+        (
+            "C[i,j] = A[i,k] * B[j,k]",
+            vec![("C", vec![4, 5]), ("A", vec![4, 3]), ("B", vec![5, 3])],
+        ),
+        // Reduce + permute: kept indices out of order.
+        (
+            "C[j,i] = A[i,j,k]",
+            vec![("C", vec![5, 4]), ("A", vec![4, 5, 3])],
+        ),
+    ];
+    for (expr, shapes) in cases {
+        let tensors: BTreeMap<String, Tensor> = shapes
+            .into_iter()
+            .map(|(name, shape)| {
+                let t = if name == "C" {
+                    Tensor::zeros(shape)
+                } else {
+                    let len = shape.iter().product();
+                    Tensor::from_vec(shape, gen(len)).unwrap()
+                };
+                (name.to_string(), t)
+            })
+            .collect();
+        let compiled = insum_with(expr, &tensors, &opts).expect("compiles");
+        assert!(
+            compiled.fast_path_pattern().is_none(),
+            "{expr} must fall back to the general lowering"
+        );
+        let (got, _) = compiled.run(&tensors).expect("runs");
+        let want = eager(expr, &tensors).expect("eager evaluates");
+        assert!(
+            got.allclose(&want, 1e-4, 1e-4),
+            "{expr} diverges from eager"
+        );
+    }
+}
+
+/// Gate near-misses that classify fast but are dtype- or op-ineligible:
+/// accumulate copies and narrowing transposes run the general path.
+#[test]
+fn copy_gates_route_to_general() {
+    use insum::DType;
+    let a32 = Tensor::from_vec(vec![3, 4], (0..12).map(|i| i as f32 - 5.5).collect()).unwrap();
+    let opts = InsumOptions::default();
+
+    // `+=` transpose: recognized shape, but copies only fast-path `=`.
+    let t: BTreeMap<String, Tensor> = [
+        ("A".to_string(), a32.clone()),
+        ("C".to_string(), Tensor::ones(vec![4, 3])),
+    ]
+    .into_iter()
+    .collect();
+    let acc = insum_with("C[j,i] += A[i,j]", &t, &opts).expect("compiles");
+    assert!(acc.fast_path_pattern().is_none());
+
+    // F32 -> F16 narrowing transpose: needs a real rounding kernel.
+    let t16: BTreeMap<String, Tensor> = [
+        ("A".to_string(), a32.clone()),
+        ("C".to_string(), Tensor::zeros_with(vec![4, 3], DType::F16)),
+    ]
+    .into_iter()
+    .collect();
+    let narrow = insum_with("C[j,i] = A[i,j]", &t16, &opts).expect("compiles");
+    assert!(narrow.fast_path_pattern().is_none());
+
+    // F16 -> F32 widening transpose IS view-eligible (raw bits survive).
+    let a16 = a32.cast(DType::F16);
+    let widen: BTreeMap<String, Tensor> = [
+        ("A".to_string(), a16.clone()),
+        ("C".to_string(), Tensor::zeros(vec![4, 3])),
+    ]
+    .into_iter()
+    .collect();
+    assert_eq!(
+        assert_fast_matches_general("C[j,i] = A[i,j]", &widen, &opts),
+        "transpose"
+    );
+
+    // Opt-out: fast_path = false compiles the general pipeline even for
+    // a perfect matmul.
+    let mm: BTreeMap<String, Tensor> = [
+        ("A".to_string(), a32.clone()),
+        ("B".to_string(), Tensor::ones(vec![4, 2])),
+        ("C".to_string(), Tensor::zeros(vec![3, 2])),
+    ]
+    .into_iter()
+    .collect();
+    let off = insum_with(
+        "C[i,j] = A[i,k] * B[k,j]",
+        &mm,
+        &InsumOptions {
+            fast_path: false,
+            ..Default::default()
+        },
+    )
+    .expect("compiles");
+    assert!(off.fast_path_pattern().is_none());
+    assert!(off.launch_signature().is_some(), "general fused kernel");
+}
+
+/// F16 end-to-end: rounding epilogues must match the general pipeline.
+#[test]
+fn f16_compute_patterns_are_bit_identical() {
+    use insum::DType;
+    let gen = |len: usize, s: f32| -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i as f32) * 0.377 + s).cos() * 3.0)
+            .collect()
+    };
+    let (m, k, n) = (6, 9, 5);
+    let a = Tensor::from_vec(vec![m, k], gen(m * k, 0.2))
+        .unwrap()
+        .cast(DType::F16);
+    let b = Tensor::from_vec(vec![k, n], gen(k * n, 1.4))
+        .unwrap()
+        .cast(DType::F16);
+    let c = Tensor::from_vec(vec![m, n], gen(m * n, 2.6))
+        .unwrap()
+        .cast(DType::F16);
+    let tensors: BTreeMap<String, Tensor> = [
+        ("A".to_string(), a),
+        ("B".to_string(), b),
+        ("C".to_string(), c),
+    ]
+    .into_iter()
+    .collect();
+    for expr in ["C[i,j] = A[i,k] * B[k,j]", "C[i,j] += A[i,k] * B[k,j]"] {
+        assert_eq!(
+            assert_fast_matches_general(expr, &tensors, &InsumOptions::default()),
+            "matmul",
+            "{expr}"
+        );
+    }
+}

@@ -68,6 +68,9 @@ pub enum GpuError {
     Kernel(KernelError),
     /// A register was read before being written.
     UninitializedRegister(Reg),
+    /// A fast-path microkernel rejected its bindings (see
+    /// [`crate::run_micro`]).
+    Micro(String),
 }
 
 impl fmt::Display for GpuError {
@@ -85,6 +88,7 @@ impl fmt::Display for GpuError {
             GpuError::BadGrid(g) => write!(f, "bad launch grid {g:?}"),
             GpuError::Kernel(e) => write!(f, "{e}"),
             GpuError::UninitializedRegister(r) => write!(f, "register v{r} read before write"),
+            GpuError::Micro(detail) => write!(f, "fast-path microkernel: {detail}"),
         }
     }
 }

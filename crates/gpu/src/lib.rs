@@ -102,6 +102,7 @@
 mod block;
 mod device;
 mod interp;
+mod micro;
 mod persist;
 mod program;
 #[doc(hidden)]
@@ -111,6 +112,7 @@ mod stats;
 pub use block::Block;
 pub use device::DeviceModel;
 pub use interp::{launch, launch_with, GpuError, LaunchOptions, Mode};
+pub use micro::{copy_view_eligible, run_micro};
 pub use program::Program;
 pub use stats::{KernelReport, KernelStats, Profile};
 

@@ -57,3 +57,15 @@ pub use winners::{AutotuneCache, TileConfig};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, InductorError>;
+
+/// Mid-plan fault check for batched launches that bypass the fused
+/// runner (the fast-path microkernels and stride views execute without
+/// a compiled program, so [`run_fused_batch_with_cache`]'s hook never
+/// sees them). Panics if a marked tensor is bound anywhere in `args`;
+/// compiles to a no-op without the `fault-injection` feature.
+pub fn batch_fault_check(args: &[Vec<insum_tensor::Tensor>]) {
+    #[cfg(feature = "fault-injection")]
+    faults::maybe_panic_batch(args);
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = args;
+}

@@ -76,14 +76,16 @@ pub fn run_fused_with_cache(
     launch_options: &LaunchOptions,
     cache: &ProgramCache,
 ) -> Result<(Tensor, KernelReport)> {
-    // Cheap Arc clones: the launch binds the caller's storage and only
-    // written parameters copy-on-write.
+    // Cheap Arc clones for contiguous bindings: the launch shares the
+    // caller's storage and only written parameters copy-on-write. A
+    // strided view (e.g. a fast-path transpose output fed back in) is
+    // gathered first — the interpreter addresses raw row-major storage.
     let mut owned: Vec<Tensor> = Vec::with_capacity(op.plan.param_order.len());
     for name in &op.plan.param_order {
         let t = inputs
             .get(name)
             .ok_or_else(|| InductorError::Binding(format!("missing tensor {name:?}")))?;
-        owned.push(t.clone());
+        owned.push(t.contiguous());
     }
     let mut refs: Vec<&mut Tensor> = owned.iter_mut().collect();
     let lens: Vec<usize> = refs.iter().map(|t| t.len()).collect();
@@ -137,7 +139,10 @@ pub fn run_fused_batch_with_cache(
             let t = inputs.get(name).ok_or_else(|| {
                 InductorError::Binding(format!("request {req}: missing tensor {name:?}"))
             })?;
-            args.push(t.clone());
+            // Gather strided views into row-major storage (no-op Arc
+            // clone for the common contiguous case) — see
+            // `run_fused_with_cache`.
+            args.push(t.contiguous());
         }
         owned.push(args);
     }

@@ -402,7 +402,10 @@ pub fn run_unfused_with_cache(
                 let t = inputs
                     .get(name)
                     .ok_or_else(|| InductorError::Binding(format!("missing tensor {name:?}")))?;
-                values[*node] = Some(t.clone());
+                // Gather strided views (e.g. fast-path transpose
+                // outputs) into row-major storage; a no-op Arc clone
+                // for contiguous bindings.
+                values[*node] = Some(t.contiguous());
             }
             Step::Zeros { node } => {
                 let n = op.graph.node(*node);

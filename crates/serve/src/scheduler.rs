@@ -230,6 +230,14 @@ enum GroupKey {
     /// already proves per-step launch compatibility; no per-step
     /// signature needs to appear in the key.
     Chain { artifact: usize, analytic: bool },
+    /// A fast-path artifact (microkernel or stride view): there is no
+    /// simulator launch signature to compare, but two requests resolve
+    /// to the same fast-path `Arc` only through the same registry key —
+    /// equal expression, argument metadata, and normalized options — so
+    /// artifact identity plus interpreter mode proves compatibility,
+    /// exactly as for chains. Members execute back-to-back under one
+    /// batched entry point (and one fault-injection check).
+    FastPath { artifact: usize, analytic: bool },
     /// Unbatchable (unfused pipeline or unresolvable binding): executes
     /// alone, keyed by request id.
     Single(u64),
@@ -242,6 +250,11 @@ struct Resolved {
     /// Miss whose compile lowered no simulator program: warm/cold is
     /// decided at the artifact's first launch (lazy lowering).
     warm_pending: bool,
+    /// Content fingerprints of the bound tensors in map order, computed
+    /// lazily so the content-identity grouping fallback hashes each
+    /// request's tensors at most once per drain window (and never when
+    /// `ptr_eq` settles every comparison).
+    fingerprints: std::cell::OnceCell<Vec<u64>>,
 }
 
 /// Scheduler main loop: wait for eligible work, drain, process; exit
@@ -614,6 +627,7 @@ fn process(
                     artifact,
                     registry_hit,
                     warm_pending: !registry_hit && !compile_lowered,
+                    fingerprints: std::cell::OnceCell::new(),
                 };
                 // Cheap first pass: if every tensor handle is pointer-
                 // identical to a batched group representative's (same
@@ -778,21 +792,57 @@ fn transient_failure(
     }
 }
 
-/// The `ptr_eq` first pass of launch-compatibility grouping: same
-/// registry artifact, same interpreter mode, and pointer-identical
-/// tensor bindings. This is the hook the content-identity response dedup
-/// (ROADMAP) builds on: `ptr_eq` proves the arguments bit-identical
-/// without reading them.
+/// The cheap first pass of launch-compatibility grouping: same registry
+/// artifact, same interpreter mode, and identical tensor bindings —
+/// pointer-identical ([`Tensor::ptr_eq`], free), or bit-identical by
+/// content fingerprint (the ROADMAP's content-identity dedup first
+/// step: bit-identical-but-not-*shared* arguments group together too).
+/// Either proof implies equal lengths and dtypes, so this pass can only
+/// join groups the full key would also join.
 fn ptr_identical(candidate: &Resolved, rep: &Resolved) -> bool {
     candidate.artifact.ptr_eq(&rep.artifact)
         && candidate.pending.mode == rep.pending.mode
-        && candidate.pending.tensors.len() == rep.pending.tensors.len()
-        && candidate
-            .pending
-            .tensors
-            .iter()
-            .zip(rep.pending.tensors.iter())
-            .all(|((an, at), (bn, bt))| an == bn && at.ptr_eq(bt))
+        && bindings_identical(
+            &candidate.pending.tensors,
+            &rep.pending.tensors,
+            &candidate.fingerprints,
+            &rep.fingerprints,
+        )
+}
+
+/// True when both maps bind the same names to identical tensors.
+/// `ptr_eq` settles a pair for free; pairs it cannot settle fall back to
+/// equal shape + dtype (launch compatibility stays proven even under a
+/// hash collision) plus equal [`Tensor::content_fingerprint`], memoized
+/// in `memo_*` so each request's tensors are hashed at most once per
+/// drain window.
+fn bindings_identical(
+    a: &BTreeMap<String, Tensor>,
+    b: &BTreeMap<String, Tensor>,
+    memo_a: &std::cell::OnceCell<Vec<u64>>,
+    memo_b: &std::cell::OnceCell<Vec<u64>>,
+) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut unsettled = Vec::new();
+    for (i, ((an, at), (bn, bt))) in a.iter().zip(b.iter()).enumerate() {
+        if an != bn || at.dtype() != bt.dtype() || at.shape() != bt.shape() {
+            return false;
+        }
+        if !at.ptr_eq(bt) {
+            unsettled.push(i);
+        }
+    }
+    if unsettled.is_empty() {
+        return true;
+    }
+    let fp = |map: &BTreeMap<String, Tensor>| -> Vec<u64> {
+        map.values().map(Tensor::content_fingerprint).collect()
+    };
+    let fa = memo_a.get_or_init(|| fp(a));
+    let fb = memo_b.get_or_init(|| fp(b));
+    unsettled.into_iter().all(|i| fa[i] == fb[i])
 }
 
 fn group_key(artifact: &ServeArtifact, pending: &Pending) -> GroupKey {
@@ -807,6 +857,15 @@ fn group_key(artifact: &ServeArtifact, pending: &Pending) -> GroupKey {
             };
         }
     };
+    if artifact.fast_path_pattern().is_some() {
+        // Program-less fast-path artifact: see the variant docs —
+        // artifact identity subsumes the launch-compatibility
+        // conditions a kernel signature would encode.
+        return GroupKey::FastPath {
+            artifact: Arc::as_ptr(artifact) as usize,
+            analytic: pending.mode == Mode::Analytic,
+        };
+    }
     let Some(sig) = artifact.launch_signature() else {
         return GroupKey::Single(pending.id);
     };
@@ -835,10 +894,13 @@ fn group_key(artifact: &ServeArtifact, pending: &Pending) -> GroupKey {
 
 fn kernel_key(artifact: &ServeArtifact) -> String {
     match artifact {
-        ServeArtifact::Single(compiled) => match compiled.launch_signature() {
-            Some(sig) => format!("{:016x}@{:?}", sig.kernel_fingerprint, sig.grid),
-            None => format!("unfused:{}", compiled.statement()),
-        },
+        ServeArtifact::Single(compiled) => {
+            match (compiled.fast_path_pattern(), compiled.launch_signature()) {
+                (Some(pattern), _) => format!("fastpath:{}", pattern.name()),
+                (None, Some(sig)) => format!("{:016x}@{:?}", sig.kernel_fingerprint, sig.grid),
+                (None, None) => format!("unfused:{}", compiled.statement()),
+            }
+        }
         ServeArtifact::Chain(chain) => {
             format!("chain[{} steps]:{}", chain.step_count(), chain.expression())
         }
@@ -1086,6 +1148,80 @@ fn execute_batch(
                     now,
                 );
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::OnceCell;
+
+    fn map(pairs: &[(&str, Tensor)]) -> BTreeMap<String, Tensor> {
+        pairs
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn ptr_eq_path_groups_shared_storage_without_hashing() {
+        let a = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let left = map(&[("A", a.clone()), ("C", Tensor::zeros(vec![4]))]);
+        // Tensor clones share storage, so every pair settles on ptr_eq.
+        let right = left.clone();
+        let (ma, mb) = (OnceCell::new(), OnceCell::new());
+        assert!(bindings_identical(&left, &right, &ma, &mb));
+        assert!(
+            ma.get().is_none() && mb.get().is_none(),
+            "the pointer path never pays for a content hash"
+        );
+    }
+
+    #[test]
+    fn content_path_groups_bit_identical_distinct_buffers() {
+        let bits = |v: Vec<f32>| Tensor::from_vec(vec![4], v).unwrap();
+        let left = map(&[("A", bits(vec![1.0, -0.0, f32::NAN, 4.0]))]);
+        let right = map(&[("A", bits(vec![1.0, -0.0, f32::NAN, 4.0]))]);
+        assert!(!left["A"].ptr_eq(&right["A"]), "distinct storage");
+        let (ma, mb) = (OnceCell::new(), OnceCell::new());
+        assert!(
+            bindings_identical(&left, &right, &ma, &mb),
+            "bit-identical-but-not-shared arguments group together"
+        );
+        assert!(
+            ma.get().is_some() && mb.get().is_some(),
+            "the fallback memoized both fingerprint vectors"
+        );
+        // The memo is reused: a third comparison against `left` must not
+        // recompute its fingerprints (OnceCell can only be set once, so
+        // reaching another successful compare proves reuse).
+        assert!(bindings_identical(&left, &right, &ma, &mb));
+    }
+
+    #[test]
+    fn content_path_rejects_differing_bits_shapes_and_names() {
+        let t = |v: Vec<f32>| Tensor::from_vec(vec![2], v).unwrap();
+        let base = map(&[("A", t(vec![1.0, 2.0]))]);
+        let cells = || (OnceCell::new(), OnceCell::new());
+        // Different value bits (including a sign-of-zero flip).
+        for other in [
+            map(&[("A", t(vec![1.0, 2.5]))]),
+            map(&[("A", t([1.0, -0.0].iter().map(|&v| v * 2.0).collect()))]),
+        ] {
+            let (ma, mb) = cells();
+            assert!(!bindings_identical(&base, &other, &ma, &mb));
+        }
+        // Different binding name, shape, or dtype short-circuit before
+        // any hashing happens.
+        for other in [
+            map(&[("B", t(vec![1.0, 2.0]))]),
+            map(&[("A", Tensor::from_vec(vec![2, 1], vec![1.0, 2.0]).unwrap())]),
+            map(&[("A", t(vec![1.0, 2.0]).cast(insum_tensor::DType::F16))]),
+        ] {
+            let (ma, mb) = cells();
+            assert!(!bindings_identical(&base, &other, &ma, &mb));
+            assert!(ma.get().is_none(), "structural mismatch never hashes");
         }
     }
 }

@@ -338,6 +338,46 @@ fn metrics_attribute_tenants_kernels_and_registry_sharing() {
 }
 
 #[test]
+fn fast_path_artifacts_batch_and_key_by_pattern() {
+    // Program-less fast-path artifacts are first-class in the grouping:
+    // they share one `GroupKey::FastPath` batch (artifact identity plus
+    // interpreter mode proves compatibility) and their kernel metrics
+    // key on the recognized pattern. Each request builds its tensors
+    // from scratch, so grouping here also exercises the content-identity
+    // fallback — bit-identical arguments that share no storage.
+    let fresh = || -> BTreeMap<String, Tensor> {
+        [
+            ("C".to_string(), Tensor::zeros(vec![4, 3])),
+            (
+                "A".to_string(),
+                Tensor::from_vec(vec![3, 4], (0..12).map(|i| i as f32 - 5.5).collect()).unwrap(),
+            ),
+        ]
+        .into_iter()
+        .collect()
+    };
+    let engine = ServeEngine::new(ServeConfig::default().with_max_batch(8)).unwrap();
+    engine.pause();
+    let session = engine.session("fast");
+    let handles: Vec<_> = (0..3)
+        .map(|_| session.submit("C[j,i] = A[i,j]", &fresh()).unwrap())
+        .collect();
+    engine.resume();
+    for h in handles {
+        let r = h.wait().unwrap();
+        assert_eq!(r.batch_size, 3, "fast-path requests share one batch");
+    }
+    let m = engine.metrics();
+    assert_eq!(m.registry.misses, 1, "one fast-path artifact, shared");
+    assert_eq!(m.registry.hits, 2);
+    assert!(
+        m.kernels.contains_key("fastpath:transpose"),
+        "kernel metrics key on the pattern (keys: {:?})",
+        m.kernels.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn failing_request_does_not_poison_its_batch_mates() {
     // Three launch-compatible requests land in one batch; the middle one
     // scatters out of bounds at execution time. Its batch-mates must

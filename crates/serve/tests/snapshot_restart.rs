@@ -26,15 +26,20 @@ fn tmp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// A deterministic two-expression replay: a pointwise kernel and an
-/// indirect (gather-scatter) einsum, so the snapshot carries more than
-/// one program.
+/// A deterministic two-expression replay: a matvec and an indirect
+/// (gather-scatter) einsum, so the snapshot carries more than one
+/// program. (Both classify `General` — fast-path artifacts lower no
+/// programs and would leave nothing to persist.)
 fn workload() -> Vec<(&'static str, BTreeMap<String, Tensor>)> {
-    let pointwise: BTreeMap<String, Tensor> = [
-        ("C".to_string(), Tensor::zeros(vec![64])),
+    let matvec: BTreeMap<String, Tensor> = [
+        ("C".to_string(), Tensor::zeros(vec![8])),
         (
             "A".to_string(),
-            Tensor::from_vec(vec![64], (0..64).map(|i| i as f32 * 0.31 - 7.0).collect()).unwrap(),
+            Tensor::from_vec(vec![8, 8], (0..64).map(|i| i as f32 * 0.31 - 7.0).collect()).unwrap(),
+        ),
+        (
+            "V".to_string(),
+            Tensor::from_vec(vec![8], (0..8).map(|i| i as f32 * 0.5 - 1.3).collect()).unwrap(),
         ),
     ]
     .into_iter()
@@ -62,7 +67,7 @@ fn workload() -> Vec<(&'static str, BTreeMap<String, Tensor>)> {
     .into_iter()
     .collect();
     vec![
-        ("C[i] = A[i] * A[i]", pointwise),
+        ("C[i] = A[i,j] * V[j]", matvec),
         ("C[AM[p],n] += AV[p] * B[AK[p],n]", spmm),
     ]
 }

@@ -44,9 +44,10 @@ impl Tensor {
         out_shape[dim] = k;
         let mut out = Tensor::zeros_with(out_shape, self.dtype());
         let od = out.data_mut();
-        let src = self.data();
+        let src = self.contiguous_data();
+        let idx = index.contiguous_data();
         for o in 0..outer {
-            for (j, pos) in (0..k).map(|j| (j, index.data()[j] as i64)) {
+            for (j, pos) in (0..k).map(|j| (j, idx[j] as i64)) {
                 if pos < 0 || pos as usize >= bound {
                     return Err(TensorError::IndexOutOfBounds {
                         index: pos,
@@ -118,11 +119,12 @@ impl Tensor {
         let inner: usize = self.shape()[dim + 1..].iter().product();
         let k = index.len();
         let round = self.dtype() == DType::F16;
+        let src = source.contiguous_data();
+        let idx = index.contiguous_data();
         let data = self.data_mut();
-        let src = source.data();
         for o in 0..outer {
             for j in 0..k {
-                let pos = index.data()[j] as i64;
+                let pos = idx[j] as i64;
                 if pos < 0 || pos as usize >= bound {
                     return Err(TensorError::IndexOutOfBounds {
                         index: pos,

@@ -5,6 +5,7 @@ use crate::dtype::DType;
 use crate::error::TensorError;
 use crate::f16::f16_round;
 use crate::Result;
+use std::borrow::Cow;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,8 +16,11 @@ use std::sync::Arc;
 /// copy it accounts for.
 static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
 
-/// A dense, row-major, contiguous n-dimensional array of `f32` values with
-/// a simulated [`DType`] tag.
+/// A dense n-dimensional array of `f32` values with a simulated
+/// [`DType`] tag. Storage is row-major contiguous unless the handle is a
+/// *strided view* ([`Tensor::permute_view`], [`Tensor::diagonal_view`]):
+/// those reinterpret shared storage through non-canonical strides without
+/// touching a byte — the fast-path dispatch layer's zero-copy transpose.
 ///
 /// `Tensor` is the common currency of the whole reproduction: the eager
 /// graph interpreter, the sparse format converters, and the GPU simulator
@@ -48,17 +52,19 @@ pub struct Tensor {
     dtype: DType,
 }
 
-/// Logical equality: shape, dtype, and element values (IEEE float
-/// semantics, exactly as the old deep-copy type's derived impl compared
-/// its data vector — so `NaN != NaN` regardless of storage sharing).
-/// The internal strides vector is deliberately excluded — it is derived
-/// metadata (always row-major for the shape), and comparing it made
-/// logically identical tensors that reached their shape through
-/// different construction paths compare unequal. Use [`Tensor::ptr_eq`]
-/// when a cheap storage-identity check is wanted instead.
+/// Logical equality: shape, dtype, and element values in *logical*
+/// (row-major index) order, with IEEE float semantics — so `NaN != NaN`
+/// regardless of storage sharing. Strides are layout metadata, not
+/// identity: a transpose view compares equal to its materialized copy,
+/// and tensors that reached the same shape through different
+/// construction paths compare equal. Use [`Tensor::ptr_eq`] for a cheap
+/// storage-identity check or [`Tensor::bit_eq`] for bit-exact
+/// (NaN-inclusive) comparison instead.
 impl PartialEq for Tensor {
     fn eq(&self, other: &Tensor) -> bool {
-        self.shape == other.shape && self.dtype == other.dtype && self.data == other.data
+        self.shape == other.shape
+            && self.dtype == other.dtype
+            && *self.contiguous_data() == *other.contiguous_data()
     }
 }
 
@@ -239,14 +245,16 @@ impl Tensor {
         self.shape.len()
     }
 
-    /// Total number of elements.
+    /// Total number of (logical) elements. For strided views this can be
+    /// smaller than the backing storage (a diagonal view of an `n`×`n`
+    /// matrix has `n` elements over `n²` storage).
     pub fn len(&self) -> usize {
-        self.data.len()
+        volume(&self.shape)
     }
 
     /// True if the tensor has zero elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// The simulated element type.
@@ -259,9 +267,79 @@ impl Tensor {
         self.len() * self.dtype.size_bytes()
     }
 
-    /// The raw row-major data.
+    /// The raw row-major data. Only meaningful when the handle is
+    /// contiguous (storage order == logical order); strided views must go
+    /// through [`Tensor::contiguous_data`] or [`Tensor::at`] instead, and
+    /// this asserts as much in debug builds.
     pub fn data(&self) -> &[f32] {
+        debug_assert!(
+            self.is_contiguous(),
+            "Tensor::data() on a non-contiguous view (shape {:?}, strides {:?}); \
+             use contiguous_data()/contiguous()",
+            self.shape,
+            self.strides
+        );
         &self.data
+    }
+
+    /// True when storage order equals logical row-major order and the
+    /// buffer holds exactly the logical elements — i.e. this handle is
+    /// not a strided view.
+    pub fn is_contiguous(&self) -> bool {
+        self.strides == contiguous_strides(&self.shape) && self.data.len() == self.len()
+    }
+
+    /// The elements in logical row-major order: a zero-cost borrow for
+    /// contiguous tensors, a gathered copy for strided views. The gather
+    /// is a read (it materializes nothing into the handle), so it does
+    /// not count toward [`Tensor::deep_copy_count`].
+    pub fn contiguous_data(&self) -> Cow<'_, [f32]> {
+        if self.is_contiguous() {
+            Cow::Borrowed(&self.data)
+        } else {
+            Cow::Owned(self.gather_logical())
+        }
+    }
+
+    /// Gather the logical elements of a strided view into a fresh
+    /// row-major vector.
+    fn gather_logical(&self) -> Vec<f32> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        let nd = self.ndim();
+        let mut idx = vec![0usize; nd];
+        for _ in 0..n {
+            let mut off = 0usize;
+            for (i, s) in idx.iter().zip(&self.strides) {
+                off += i * s;
+            }
+            out.push(self.data[off]);
+            for d in (0..nd).rev() {
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// A contiguous tensor with the same logical contents: `self` cloned
+    /// when already contiguous (O(1), shares storage), otherwise a
+    /// materializing gather — which counts as a deep copy, exactly like
+    /// any other storage materialization.
+    pub fn contiguous(&self) -> Tensor {
+        if self.is_contiguous() {
+            return self.clone();
+        }
+        DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+        Tensor {
+            strides: contiguous_strides(&self.shape),
+            shape: self.shape.clone(),
+            data: Arc::new(self.gather_logical()),
+            dtype: self.dtype,
+        }
     }
 
     /// Copy-on-write access to the backing buffer: materializes a private
@@ -279,16 +357,28 @@ impl Tensor {
     ///
     /// If the storage is shared with other handles (clones, views), this
     /// first materializes a private copy — writes are never observable
-    /// through any other `Tensor`. Callers are responsible for preserving
-    /// the dtype's value invariant (use [`Tensor::cast`] to re-round
-    /// after bulk writes to an F16 tensor).
+    /// through any other `Tensor`. A strided view is first gathered into
+    /// canonical layout (also counted as a deep copy), so the slice is
+    /// always in logical row-major order. Callers are responsible for
+    /// preserving the dtype's value invariant (use [`Tensor::cast`] to
+    /// re-round after bulk writes to an F16 tensor).
     pub fn data_mut(&mut self) -> &mut [f32] {
+        if !self.is_contiguous() {
+            DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+            self.data = Arc::new(self.gather_logical());
+            self.strides = contiguous_strides(&self.shape);
+        }
         self.buf_mut()
     }
 
-    /// Consume the tensor and return its raw data (copying only if the
-    /// storage is still shared with another handle).
+    /// Consume the tensor and return its raw data in logical row-major
+    /// order (copying only if the storage is still shared with another
+    /// handle, or if this handle is a strided view).
     pub fn into_data(self) -> Vec<f32> {
+        if !self.is_contiguous() {
+            DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+            return self.gather_logical();
+        }
         match Arc::try_unwrap(self.data) {
             Ok(data) => data,
             Err(shared) => {
@@ -299,13 +389,70 @@ impl Tensor {
     }
 
     /// True if `self` and `other` share the same backing buffer *and*
-    /// interpret it identically (equal shape and dtype) — a cheap proof
-    /// of bit-identity that never reads the data. `false` says nothing:
-    /// separately built tensors with equal contents are not `ptr_eq`.
+    /// interpret it identically (equal shape, strides, and dtype) — a
+    /// cheap proof of bit-identity that never reads the data. `false`
+    /// says nothing: separately built tensors with equal contents are not
+    /// `ptr_eq`.
     pub fn ptr_eq(&self, other: &Tensor) -> bool {
         Arc::ptr_eq(&self.data, &other.data)
             && self.shape == other.shape
+            && self.strides == other.strides
             && self.dtype == other.dtype
+    }
+
+    /// True if `self` and `other` share the same backing buffer, whatever
+    /// their layout metadata — the assertion a zero-copy view check
+    /// wants (`transposed.shares_storage(&original)` proves no bytes
+    /// moved even though shape and strides differ).
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Bit-exact equality: equal shape, dtype, and element *bits* in
+    /// logical order — `NaN` payloads and the sign of zero included.
+    /// This is the comparison the fast-path-vs-general bit-identity
+    /// contract is stated in (IEEE `==` would pass `-0.0` vs `+0.0` and
+    /// fail `NaN` vs `NaN`).
+    pub fn bit_eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && self.dtype == other.dtype
+            && self
+                .contiguous_data()
+                .iter()
+                .zip(other.contiguous_data().iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// A cheap FNV-1a fingerprint of the logical content: dtype, shape,
+    /// and every element's bits in row-major order. Equal fingerprints on
+    /// equal-shape/dtype tensors make bit-identity overwhelmingly likely
+    /// (the serve scheduler uses this as the content-identity fallback
+    /// behind [`Tensor::ptr_eq`] when grouping launch-compatible
+    /// requests); it is not a cryptographic guarantee.
+    pub fn content_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(match self.dtype {
+            DType::F16 => 1,
+            DType::F32 => 2,
+            DType::I32 => 3,
+        });
+        for &d in &self.shape {
+            for b in (d as u64).to_le_bytes() {
+                mix(b);
+            }
+        }
+        for v in self.contiguous_data().iter() {
+            for b in v.to_bits().to_le_bytes() {
+                mix(b);
+            }
+        }
+        h
     }
 
     /// Process-wide count of storage materializations: the number of
@@ -376,17 +523,26 @@ impl Tensor {
     /// Casting to F16 rounds every element through binary16; casting to I32
     /// truncates toward zero.
     pub fn cast(&self, dtype: DType) -> Tensor {
+        // Storage is always f32, so retagging to F32 transforms no
+        // values: the cast shares the buffer (strided views stay views).
+        if dtype == DType::F32 {
+            return Tensor {
+                shape: self.shape.clone(),
+                strides: self.strides.clone(),
+                data: Arc::clone(&self.data),
+                dtype,
+            };
+        }
+        let src = self.contiguous_data();
         let data = match dtype {
-            DType::F16 => Arc::new(self.data.iter().map(|&v| f16_round(v)).collect()),
-            // Storage is always f32, so retagging to F32 transforms no
-            // values: the cast shares the buffer instead of copying it.
-            DType::F32 => Arc::clone(&self.data),
-            DType::I32 => Arc::new(self.data.iter().map(|&v| v.trunc()).collect()),
+            DType::F16 => src.iter().map(|&v| f16_round(v)).collect(),
+            DType::I32 => src.iter().map(|&v| v.trunc()).collect(),
+            DType::F32 => unreachable!("handled above"),
         };
         Tensor {
+            strides: contiguous_strides(&self.shape),
             shape: self.shape.clone(),
-            strides: self.strides.clone(),
-            data,
+            data: Arc::new(data),
             dtype,
         }
     }
@@ -397,9 +553,10 @@ impl Tensor {
 
     /// Reshape to a new shape with the same volume.
     ///
-    /// Zero-copy: the layout is always row-major contiguous, so the
-    /// result is a new handle onto the same shared storage (copy-on-write
-    /// like any clone).
+    /// Zero-copy for contiguous tensors: the result is a new handle onto
+    /// the same shared storage (copy-on-write like any clone). A strided
+    /// view is gathered into canonical layout first (counted as a deep
+    /// copy) — its storage order does not match the requested shape.
     ///
     /// # Errors
     ///
@@ -416,10 +573,16 @@ impl Tensor {
                 ),
             });
         }
+        let data = if self.is_contiguous() {
+            Arc::clone(&self.data)
+        } else {
+            DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+            Arc::new(self.gather_logical())
+        };
         Ok(Tensor {
             strides: contiguous_strides(&shape),
             shape,
-            data: Arc::clone(&self.data),
+            data,
             dtype: self.dtype,
         })
     }
@@ -493,6 +656,62 @@ impl Tensor {
         self.permute(&perm)
     }
 
+    /// Zero-copy permutation: a strided view whose axis `d` is `self`'s
+    /// axis `perm[d]`. No element moves — shape and strides are permuted
+    /// over the same shared storage, so this is O(rank) whatever the
+    /// tensor size. This is the execution target the fast-path dispatcher
+    /// uses for transpose-shaped einsums; materialize with
+    /// [`Tensor::contiguous`] when canonical layout is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `perm` is not a valid
+    /// permutation of `0..ndim()`.
+    pub fn permute_view(&self, perm: &[usize]) -> Result<Tensor> {
+        let nd = self.ndim();
+        let mut seen = vec![false; nd];
+        if perm.len() != nd
+            || perm
+                .iter()
+                .any(|&p| p >= nd || std::mem::replace(&mut seen[p], true))
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "permute_view".into(),
+                detail: format!("{perm:?} is not a permutation of 0..{nd}"),
+            });
+        }
+        Ok(Tensor {
+            shape: perm.iter().map(|&p| self.shape[p]).collect(),
+            strides: perm.iter().map(|&p| self.strides[p]).collect(),
+            data: Arc::clone(&self.data),
+            dtype: self.dtype,
+        })
+    }
+
+    /// Zero-copy main diagonal of a square matrix: a rank-1 strided view
+    /// of length `n` whose stride is the sum of both axis strides. No
+    /// element moves — the fast-path execution target for `ii->i`-shaped
+    /// einsums.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self` is a square
+    /// rank-2 tensor.
+    pub fn diagonal_view(&self) -> Result<Tensor> {
+        if self.ndim() != 2 || self.shape[0] != self.shape[1] {
+            return Err(TensorError::ShapeMismatch {
+                op: "diagonal_view".into(),
+                detail: format!("diagonal needs a square matrix, got {:?}", self.shape),
+            });
+        }
+        Ok(Tensor {
+            shape: vec![self.shape[0]],
+            strides: vec![self.strides[0] + self.strides[1]],
+            data: Arc::clone(&self.data),
+            dtype: self.dtype,
+        })
+    }
+
     /// Insert a size-1 dimension at `dim` (PyTorch `unsqueeze`).
     ///
     /// # Panics
@@ -552,11 +771,11 @@ impl Tensor {
     // Elementwise and reductions
     // ------------------------------------------------------------------
 
-    /// Apply `f` to every element, producing a new tensor.
+    /// Apply `f` to every element, producing a new (contiguous) tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let round = self.dtype == DType::F16;
         let data = self
-            .data
+            .contiguous_data()
             .iter()
             .map(|&v| {
                 let r = f(v);
@@ -568,8 +787,8 @@ impl Tensor {
             })
             .collect();
         Tensor {
+            strides: contiguous_strides(&self.shape),
             shape: self.shape.clone(),
-            strides: self.strides.clone(),
             data: Arc::new(data),
             dtype: self.dtype,
         }
@@ -669,16 +888,17 @@ impl Tensor {
         let keep: Vec<usize> = (0..nd).filter(|d| !axes.contains(d)).collect();
         let out_shape: Vec<usize> = keep.iter().map(|&d| self.shape[d]).collect();
         let mut out = Tensor::zeros_with(out_shape.clone(), self.dtype);
+        let src = self.contiguous_data();
         let od = out.buf_mut();
         let mut idx = vec![0usize; nd];
-        for i in 0..self.len() {
+        for i in 0..volume(&self.shape) {
             let mut off = 0usize;
             let mut stride = 1usize;
             for &d in keep.iter().rev() {
                 off += idx[d] * stride;
                 stride *= self.shape[d];
             }
-            od[off] += self.data[i];
+            od[off] += src[i];
             for d in (0..nd).rev() {
                 idx[d] += 1;
                 if idx[d] < self.shape[d] {
@@ -695,25 +915,32 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.contiguous_data().iter().sum()
     }
 
     /// Maximum element (NaN-free data assumed). Returns `-inf` when empty.
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.contiguous_data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (NaN-free data assumed). Returns `+inf` when empty.
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.contiguous_data()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Mean absolute value; 0 for empty tensors.
     pub fn mean_abs(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        self.data.iter().map(|v| v.abs()).sum::<f32>() / self.data.len() as f32
+        let src = self.contiguous_data();
+        src.iter().map(|v| v.abs()).sum::<f32>() / src.len() as f32
     }
 
     // ------------------------------------------------------------------
@@ -736,15 +963,17 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = Tensor::zeros(vec![m, n]);
+        let lhs = self.contiguous_data();
+        let rhs = other.contiguous_data();
         let od = out.buf_mut();
         for i in 0..m {
             for l in 0..k {
-                let a = self.data[i * k + l];
+                let a = lhs[i * k + l];
                 if a == 0.0 {
                     continue;
                 }
                 for j in 0..n {
-                    od[i * n + j] += a * other.data[l * n + j];
+                    od[i * n + j] += a * rhs[l * n + j];
                 }
             }
         }
@@ -766,9 +995,9 @@ impl Tensor {
     pub fn allclose(&self, other: &Tensor, rtol: f32, atol: f32) -> bool {
         self.shape == other.shape
             && self
-                .data
+                .contiguous_data()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.contiguous_data().iter())
                 .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
     }
 
@@ -778,9 +1007,9 @@ impl Tensor {
             return None;
         }
         Some(
-            self.data
+            self.contiguous_data()
                 .iter()
-                .zip(other.data.iter())
+                .zip(other.contiguous_data().iter())
                 .map(|(&a, &b)| (a - b).abs())
                 .fold(0.0, f32::max),
         )
@@ -790,8 +1019,11 @@ impl Tensor {
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor(shape={:?}, dtype={}", self.shape, self.dtype)?;
+        if !self.is_contiguous() {
+            write!(f, ", strides={:?}", self.strides)?;
+        }
         if self.len() <= 16 {
-            write!(f, ", data={:?}", self.data)?;
+            write!(f, ", data={:?}", self.contiguous_data())?;
         } else {
             write!(f, ", data=[{} elems]", self.len())?;
         }
@@ -1053,18 +1285,14 @@ mod tests {
     }
 
     #[test]
-    fn partial_eq_ignores_strides() {
-        // Regression for the derived PartialEq comparing the internal
-        // strides vector: logically identical tensors must compare equal
-        // whatever metadata path produced them.
+    fn partial_eq_is_layout_independent() {
+        // Logical equality must not depend on how the shape was reached
+        // or how the elements are laid out: a strided view compares equal
+        // to its materialized copy.
         let canonical = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let odd_strides = Tensor {
-            shape: vec![2, 2],
-            strides: vec![0, 0], // deliberately non-canonical
-            data: Arc::new(vec![1.0, 2.0, 3.0, 4.0]),
-            dtype: DType::F32,
-        };
-        assert_eq!(canonical, odd_strides);
+        let view = canonical.permute_view(&[1, 0]).unwrap();
+        assert_eq!(view, canonical.transpose(0, 1).unwrap());
+        assert_eq!(view.permute_view(&[1, 0]).unwrap(), canonical);
         // Shape and dtype still distinguish.
         assert_ne!(canonical, canonical.reshape(vec![4]).unwrap());
         assert_ne!(
@@ -1082,6 +1310,116 @@ mod tests {
             canonical,
             canonical.transpose(0, 1).unwrap().transpose(0, 1).unwrap()
         );
+    }
+
+    #[test]
+    fn permute_view_is_zero_copy_and_correct() {
+        let _serial = COUNT_LOCK.lock().unwrap();
+        let t = Tensor::from_fn(vec![2, 3, 4], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f32);
+        let before = Tensor::deep_copy_count();
+        let v = t.permute_view(&[2, 0, 1]).unwrap();
+        assert_eq!(Tensor::deep_copy_count(), before, "views move no bytes");
+        assert!(v.shares_storage(&t));
+        assert!(!v.is_contiguous());
+        assert_eq!(v.shape(), &[4, 2, 3]);
+        assert_eq!(v.len(), 24);
+        assert_eq!(v.at(&[3, 1, 2]), 123.0);
+        // Bit-identical to the materializing permute.
+        assert!(v.bit_eq(&t.permute(&[2, 0, 1]).unwrap()));
+        // Materializing the view counts one deep copy and detaches.
+        let c = v.contiguous();
+        assert_eq!(Tensor::deep_copy_count(), before + 1);
+        assert!(c.is_contiguous());
+        assert!(!c.shares_storage(&t));
+        assert!(c.bit_eq(&v));
+        // contiguous() on an already-contiguous tensor is a free clone.
+        let before = Tensor::deep_copy_count();
+        let c2 = c.contiguous();
+        assert_eq!(Tensor::deep_copy_count(), before);
+        assert!(c2.shares_storage(&c));
+        // Invalid permutations are rejected.
+        assert!(t.permute_view(&[0, 0, 1]).is_err());
+        assert!(t.permute_view(&[0]).is_err());
+    }
+
+    #[test]
+    fn diagonal_view_is_zero_copy_and_correct() {
+        let _serial = COUNT_LOCK.lock().unwrap();
+        let t = Tensor::from_fn(vec![3, 3], |i| (i[0] * 10 + i[1]) as f32);
+        let before = Tensor::deep_copy_count();
+        let d = t.diagonal_view().unwrap();
+        assert_eq!(Tensor::deep_copy_count(), before);
+        assert!(d.shares_storage(&t));
+        assert_eq!(d.shape(), &[3]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(*d.contiguous_data(), [0.0, 11.0, 22.0]);
+        assert!(t.diagonal_view().unwrap().ptr_eq(&d));
+        assert!(Tensor::zeros(vec![2, 3]).diagonal_view().is_err());
+        assert!(Tensor::zeros(vec![4]).diagonal_view().is_err());
+    }
+
+    #[test]
+    fn view_writes_never_leak_and_reads_stay_logical() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut v = t.permute_view(&[1, 0]).unwrap();
+        // set() through a view copies the storage first (copy-on-write).
+        v.set(&[0, 1], 9.0); // logical [0,1] of the transpose == t[1,0]
+        assert_eq!(t.at(&[1, 0]), 3.0, "original untouched");
+        assert_eq!(v.at(&[0, 1]), 9.0);
+        // data_mut gathers a view into logical order first.
+        let mut v2 = t.permute_view(&[1, 0]).unwrap();
+        v2.data_mut()[1] = 7.0; // logical index 1 == t[1,0]
+        assert!(v2.is_contiguous());
+        assert_eq!(v2.at(&[0, 1]), 7.0);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+        // into_data returns logical order for views.
+        let v3 = t.permute_view(&[1, 0]).unwrap();
+        assert_eq!(v3.into_data(), vec![1.0, 3.0, 2.0, 4.0]);
+        // reshape of a view gathers (logical order preserved).
+        let r = t.permute_view(&[1, 0]).unwrap().reshape(vec![4]).unwrap();
+        assert_eq!(r.data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn bit_eq_distinguishes_nan_and_zero_signs() {
+        let a = Tensor::from_vec(vec![3], vec![f32::NAN, -0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![f32::NAN, -0.0, 1.0]).unwrap();
+        assert!(a.bit_eq(&b), "NaN == NaN under bit_eq");
+        assert_ne!(a, b, "PartialEq keeps IEEE NaN semantics");
+        let c = Tensor::from_vec(vec![3], vec![f32::NAN, 0.0, 1.0]).unwrap();
+        assert!(!a.bit_eq(&c), "-0.0 vs +0.0 differ under bit_eq");
+        assert!(!a.bit_eq(&a.reshape(vec![3, 1]).unwrap()));
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_logical_content() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        // Views fingerprint their logical content, not their storage.
+        let v = a.permute_view(&[1, 0]).unwrap();
+        assert_eq!(
+            v.content_fingerprint(),
+            a.transpose(0, 1).unwrap().content_fingerprint()
+        );
+        assert_ne!(a.content_fingerprint(), v.content_fingerprint());
+        // Shape, dtype, and values all feed the hash.
+        assert_ne!(
+            a.content_fingerprint(),
+            a.reshape(vec![4]).unwrap().content_fingerprint()
+        );
+        assert_ne!(
+            a.content_fingerprint(),
+            a.cast(DType::F16).content_fingerprint()
+        );
+        let mut c = b.clone();
+        c.set(&[0, 0], -1.0);
+        assert_ne!(a.content_fingerprint(), c.content_fingerprint());
+        // -0.0 and +0.0 hash differently (bit-level content identity).
+        let z1 = Tensor::from_vec(vec![1], vec![0.0]).unwrap();
+        let z2 = Tensor::from_vec(vec![1], vec![-0.0]).unwrap();
+        assert_ne!(z1.content_fingerprint(), z2.content_fingerprint());
     }
 
     #[test]

@@ -1,25 +1,36 @@
-//! Two-einsum attention served through `insum_serve`: scores (`QKᵀ`)
-//! and values (`P·V`) are each a spec-form contraction routed through
-//! the planner, with the softmax (the only non-einsum stage) on the
-//! host between them. Two tenants run the same attention shapes on
-//! their own data — the registry keys artifacts by expression, shapes,
-//! and options, so both tenants share one plan artifact per einsum and
-//! every pairwise step compiles exactly once process-wide.
+//! Attention served through `insum_serve`, staged to exercise the
+//! pattern fast path: the Kᵀ layout change and the probability-mass
+//! reduction are canonical einsums that dispatch to zero-copy stride
+//! views / microkernels, while the two contractions (`QKᵀ` scores and
+//! `P·V` values) are spec-form chains routed through the planner, with
+//! the softmax (the only non-einsum stage) on the host. Two tenants run
+//! the same attention shapes on their own data — the registry keys
+//! artifacts by expression, shapes, and options, so both tenants share
+//! every artifact and each stage compiles exactly once process-wide.
+//!
+//! Each stage prints whether it dispatched onto the fast path (and to
+//! which pattern) or onto the general lowering.
 //!
 //! Run with: `cargo run --release --example attention`
 
-use insum::{run_chain, Tensor};
+use insum::{insum_with, run_chain, InsumOptions, Tensor};
 use insum_serve::{ServeEngine, ServeError};
 use insum_tensor::rand_uniform;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 
-/// Scores einsum: `S[b,h,q,k] = Q[b,h,q,e] * K[b,h,k,e]` in spec form
-/// (operands bind positionally as `op0`, `op1`).
-const SCORES: &str = "bhqe,bhke->bhqk";
+/// Key transpose: a pure layout change, `Pattern::Transpose` territory.
+const KEY_T: &str = "KT[b,h,e,k] = K[b,h,k,e]";
+/// Scores einsum against the transposed keys:
+/// `S[b,h,q,k] = Q[b,h,q,e] * KT[b,h,e,k]` in spec form (operands bind
+/// positionally as `op0`, `op1`).
+const SCORES: &str = "bhqe,bhek->bhqk";
 /// Values einsum: `O[b,h,q,d] = P[b,h,q,k] * V[b,h,k,d]`.
 const VALUES: &str = "bhqk,bhkd->bhqd";
+/// Probability mass per query row (sums the key axis away):
+/// `Pattern::Reduction` territory, used to sanity-check the softmax.
+const MASS: &str = "M[b,h,q] = P[b,h,q,k]";
 
 const BATCH: usize = 2;
 const HEADS: usize = 4;
@@ -31,7 +42,7 @@ fn softmax(scores: &Tensor, dim: usize) -> Tensor {
     let shape = scores.shape().to_vec();
     let keys = *shape.last().expect("scores have a key axis");
     let scale = 1.0 / (dim as f32).sqrt();
-    let mut data = scores.data().to_vec();
+    let mut data = scores.contiguous_data().to_vec();
     for row in data.chunks_mut(keys) {
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v * scale));
         let mut sum = 0.0;
@@ -66,6 +77,18 @@ fn bind(a: &Tensor, b: &Tensor) -> BTreeMap<String, Tensor> {
     .collect()
 }
 
+/// How a statement-form stage dispatches: the recognized fast-path
+/// pattern's name, or `"general"` for the full lowering.
+fn dispatch_of(expr: &str, tensors: &BTreeMap<String, Tensor>) -> String {
+    match insum_with(expr, tensors, &InsumOptions::default()) {
+        Ok(compiled) => compiled
+            .fast_path_pattern()
+            .map(|p| format!("fast:{}", p.name()))
+            .unwrap_or_else(|| "general".to_string()),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
 fn main() -> Result<(), ServeError> {
     let engine = ServeEngine::with_defaults()?;
 
@@ -73,21 +96,71 @@ fn main() -> Result<(), ServeError> {
         let session = engine.session(tenant);
         let (q, k, v) = qkv(seed);
 
-        // Stage 1 (served): attention scores.
-        let scores_in = bind(&q, &k);
+        // Stage 1 (served, fast path): transpose the keys into the
+        // (e, k) layout the scores contraction consumes. This is a pure
+        // stride transform — the served output is a view of K's own
+        // storage; no bytes moved.
+        let kt_in: BTreeMap<String, Tensor> = [
+            ("K".to_string(), k.clone()),
+            (
+                "KT".to_string(),
+                Tensor::zeros(vec![BATCH, HEADS, DIM, SEQ]),
+            ),
+        ]
+        .into_iter()
+        .collect();
+        println!(
+            "{tenant}: stage keyT    dispatch {}",
+            dispatch_of(KEY_T, &kt_in)
+        );
+        let kt = session.submit(KEY_T, &kt_in)?.wait()?.output;
+        assert!(
+            kt.shares_storage(&k),
+            "{tenant}: transposed keys must be a zero-copy view"
+        );
+
+        // Stage 2 (served, general): attention scores through the
+        // planner chain.
+        println!("{tenant}: stage scores  dispatch general (planner chain)");
+        let scores_in = bind(&q, &kt);
         let scores = session.submit(SCORES, &scores_in)?.wait()?;
         // Integer data → the device reduction is exact: served scores
         // match the dense f64-accumulating oracle bit-for-bit.
-        let want_scores = insum_tensor::einsum(SCORES, &[&q, &k]).expect("scores einsum");
-        assert_eq!(scores.output.data(), want_scores.data(), "{tenant}: scores");
+        let want_scores = insum_tensor::einsum(SCORES, &[&q, &kt]).expect("scores einsum");
+        assert_eq!(
+            *scores.output.contiguous_data(),
+            *want_scores.contiguous_data(),
+            "{tenant}: scores"
+        );
 
-        // Stage 2 (host): scaled softmax over keys.
+        // Stage 3 (host): scaled softmax over keys.
         let probs = softmax(&scores.output, DIM);
 
-        // Stage 3 (served): weighted values. The probabilities are
-        // generic floats now, so the check is the serving guarantee —
-        // bit-identity with a standalone planned run of the same
+        // Stage 4 (served, fast path): probability mass per query row —
+        // a reduction microkernel — which must give 1 for every row.
+        let mass_in: BTreeMap<String, Tensor> = [
+            ("P".to_string(), probs.clone()),
+            ("M".to_string(), Tensor::zeros(vec![BATCH, HEADS, SEQ])),
+        ]
+        .into_iter()
+        .collect();
+        println!(
+            "{tenant}: stage mass    dispatch {}",
+            dispatch_of(MASS, &mass_in)
+        );
+        let mass = session.submit(MASS, &mass_in)?.wait()?.output;
+        assert!(
+            mass.contiguous_data()
+                .iter()
+                .all(|&m| (m - 1.0).abs() < 1e-5),
+            "{tenant}: softmax rows must sum to 1"
+        );
+
+        // Stage 5 (served, general): weighted values. The probabilities
+        // are generic floats now, so the check is the serving guarantee
+        // — bit-identity with a standalone planned run of the same
         // request — plus closeness to the dense oracle.
+        println!("{tenant}: stage values  dispatch general (planner chain)");
         let values_in = bind(&probs, &v);
         let out = session.submit(VALUES, &values_in)?.wait()?;
         let (want_out, _) = run_chain(VALUES, &values_in).map_err(ServeError::from)?;
@@ -118,13 +191,14 @@ fn main() -> Result<(), ServeError> {
         );
     }
 
-    // Both tenants shared one plan artifact per einsum: two compilations
-    // total, and the second tenant hit the registry on both stages.
+    // Both tenants shared every artifact — two fast-path statements and
+    // two chain plans: four compilations total, and the second tenant
+    // hit the registry on all four stages.
     let m = engine.metrics();
-    assert_eq!(m.registry.misses, 2, "one plan artifact per einsum");
-    assert_eq!(m.registry.hits, 2, "the second tenant reused both");
+    assert_eq!(m.registry.misses, 4, "one artifact per served stage");
+    assert_eq!(m.registry.hits, 4, "the second tenant reused all four");
     println!(
-        "served {} attention stages for 2 tenants with {} plan compilations \
+        "served {} attention stages for 2 tenants with {} artifact compilations \
          ({} registry hits)",
         m.completed, m.registry.misses, m.registry.hits
     );
